@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks of the hot paths: full flow run, the
+// individual flow engines, model forward/likelihood, training step, and
+// beam search. These quantify the cost model behind the experiment
+// harnesses (a flow run is the unit the paper's "budget" counts).
+
+#include <benchmark/benchmark.h>
+
+#include "align/beam.h"
+#include "align/losses.h"
+#include "flow/flow.h"
+#include "netlist/suite.h"
+#include "nn/optim.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "sta/sta.h"
+
+namespace {
+
+using namespace vpr;
+
+const flow::Design& bench_design() {
+  static const flow::Design design{[] {
+    auto t = netlist::suite_design(6);
+    t.target_cells = 2000;
+    return t;
+  }()};
+  return design;
+}
+
+void BM_FlowRun(benchmark::State& state) {
+  const flow::Flow flow{bench_design()};
+  const auto rs = flow::RecipeSet::from_ids({1, 8, 24});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.run(rs));
+  }
+}
+BENCHMARK(BM_FlowRun)->Unit(benchmark::kMillisecond);
+
+void BM_Placement(benchmark::State& state) {
+  const auto& nl = bench_design().netlist();
+  for (auto _ : state) {
+    place::Placer placer{nl, place::PlacerKnobs{}, 1};
+    benchmark::DoNotOptimize(placer.run());
+  }
+}
+BENCHMARK(BM_Placement)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const auto& nl = bench_design().netlist();
+  place::Placer placer{nl, place::PlacerKnobs{}, 1};
+  const auto placement = placer.run();
+  for (auto _ : state) {
+    route::GlobalRouter router{nl, placement, route::RouterKnobs{}, 2};
+    benchmark::DoNotOptimize(router.run());
+  }
+}
+BENCHMARK(BM_GlobalRoute)->Unit(benchmark::kMillisecond);
+
+void BM_StaticTimingAnalysis(benchmark::State& state) {
+  const auto& nl = bench_design().netlist();
+  const sta::TimingAnalyzer analyzer{nl};
+  sta::TimingOptions opt;
+  opt.wire_cap_per_unit = 0.15;
+  opt.wire_delay_per_unit = 0.08;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze({}, {}, opt));
+  }
+}
+BENCHMARK(BM_StaticTimingAnalysis)->Unit(benchmark::kMillisecond);
+
+align::RecipeModel& bench_model() {
+  static util::Rng rng{7};
+  static align::RecipeModel model{align::ModelConfig{}, rng};
+  return model;
+}
+
+std::vector<double> bench_insight() { return std::vector<double>(72, 0.3); }
+
+void BM_ModelSequenceLogProb(benchmark::State& state) {
+  const auto& model = bench_model();
+  const auto iv = bench_insight();
+  std::vector<int> bits(40, 0);
+  bits[3] = bits[17] = bits[31] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.log_prob(iv, bits));
+  }
+}
+BENCHMARK(BM_ModelSequenceLogProb)->Unit(benchmark::kMicrosecond);
+
+void BM_MdpoTrainStep(benchmark::State& state) {
+  auto& model = bench_model();
+  nn::Adam opt{model.parameters(), 1e-4};
+  const auto iv = bench_insight();
+  std::vector<int> w(40, 0);
+  std::vector<int> l(40, 0);
+  w[5] = w[12] = 1;
+  l[9] = l[30] = 1;
+  for (auto _ : state) {
+    opt.zero_grad();
+    nn::Tensor loss = align::mdpo_pair_loss(model, iv, w, l, 1.0, 0.0, 2.0);
+    loss.backward();
+    opt.step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_MdpoTrainStep)->Unit(benchmark::kMicrosecond);
+
+void BM_BeamSearchK5(benchmark::State& state) {
+  const auto& model = bench_model();
+  const auto iv = bench_insight();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::beam_search(model, iv, 5));
+  }
+}
+BENCHMARK(BM_BeamSearchK5)->Unit(benchmark::kMillisecond);
+
+void BM_NetlistGeneration(benchmark::State& state) {
+  auto traits = netlist::suite_design(6);
+  traits.target_cells = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::generate(traits));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NetlistGeneration)->Arg(1000)->Arg(4000)->Arg(16000)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Design similarity atlas: the transferability argument made concrete.
+// Extract insight vectors for all 17 suite designs and print the pairwise
+// distance matrix plus each design's nearest neighbour — designs with
+// similar flow-health profiles are the ones whose recipe preferences
+// transfer (paper §II: "observability of physical design flow health is
+// crucial to allow recipe recommenders to discover design similarity").
+//
+// Usage: design_similarity [max_cells=1500]
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "flow/flow.h"
+#include "insight/insight.h"
+#include "netlist/suite.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vpr;
+  const int max_cells = argc > 1 ? std::atoi(argv[1]) : 1500;
+
+  std::cout << "Extracting insight vectors for all 17 designs (capped at "
+            << max_cells << " cells each)...\n\n";
+  std::vector<std::string> names;
+  std::vector<insight::InsightVector> vectors;
+  for (const auto& suite_traits : netlist::benchmark_suite()) {
+    auto traits = suite_traits;
+    traits.target_cells = std::min(traits.target_cells, max_cells);
+    const flow::Design design{traits};
+    const flow::Flow flow{design};
+    const auto probe = flow.run(flow::RecipeSet{});
+    names.push_back(traits.name);
+    vectors.push_back(insight::analyze(design, probe));
+  }
+
+  // Distance matrix (L2 over the 72-dim insight space).
+  std::vector<std::string> header{"."};
+  header.insert(header.end(), names.begin(), names.end());
+  util::TablePrinter matrix{header};
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    for (std::size_t j = 0; j < vectors.size(); ++j) {
+      row.push_back(util::fmt(insight::distance(vectors[i], vectors[j]), 2));
+    }
+    matrix.add_row(std::move(row));
+  }
+  matrix.print(std::cout);
+
+  std::cout << "\nNearest neighbours in insight space:\n";
+  util::TablePrinter nn({"Design", "Nearest", "Distance", "Farthest",
+                         "Distance "});
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    std::size_t best = i;
+    std::size_t worst = i;
+    double best_d = 1e18;
+    double worst_d = -1.0;
+    for (std::size_t j = 0; j < vectors.size(); ++j) {
+      if (j == i) continue;
+      const double dist = insight::distance(vectors[i], vectors[j]);
+      if (dist < best_d) {
+        best_d = dist;
+        best = j;
+      }
+      if (dist > worst_d) {
+        worst_d = dist;
+        worst = j;
+      }
+    }
+    nn.add_row({names[i], names[best], util::fmt(best_d, 2), names[worst],
+                util::fmt(worst_d, 2)});
+  }
+  nn.print(std::cout);
+  return 0;
+}

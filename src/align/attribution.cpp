@@ -1,0 +1,106 @@
+#include "align/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::align {
+
+namespace {
+
+/// Greedy decode: per-step probabilities along the argmax trajectory.
+std::vector<double> greedy_probs(const RecipeModel& model,
+                                 std::span<const double> insight) {
+  const int n = model.config().num_recipes;
+  std::vector<int> bits;
+  std::vector<double> probs;
+  bits.reserve(static_cast<std::size_t>(n));
+  probs.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double p = model.next_prob(insight, bits);
+    probs.push_back(p);
+    bits.push_back(p > 0.5 ? 1 : 0);
+  }
+  return probs;
+}
+
+}  // namespace
+
+std::vector<RecipeAttribution> recipe_marginals(
+    const RecipeModel& model, std::span<const double> insight) {
+  const auto probs = greedy_probs(model, insight);
+  std::vector<RecipeAttribution> out;
+  out.reserve(probs.size());
+  for (std::size_t t = 0; t < probs.size(); ++t) {
+    out.push_back({static_cast<int>(t), probs[t]});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RecipeAttribution& a, const RecipeAttribution& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+std::vector<InsightSensitivity> insight_sensitivities(
+    const RecipeModel& model, std::span<const double> insight,
+    double epsilon) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("insight_sensitivities: epsilon <= 0");
+  }
+  std::vector<double> iv(insight.begin(), insight.end());
+  const auto mean_prob = [&] {
+    const auto probs = greedy_probs(model, iv);
+    double sum = 0.0;
+    for (const double p : probs) sum += p;
+    return sum / static_cast<double>(probs.size());
+  };
+  std::vector<InsightSensitivity> out;
+  out.reserve(iv.size());
+  for (std::size_t d = 0; d < iv.size(); ++d) {
+    const double saved = iv[d];
+    iv[d] = saved + epsilon;
+    const double up = mean_prob();
+    iv[d] = saved - epsilon;
+    const double down = mean_prob();
+    iv[d] = saved;
+    out.push_back({static_cast<int>(d), (up - down) / (2.0 * epsilon)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InsightSensitivity& a, const InsightSensitivity& b) {
+                     return std::fabs(a.gradient) > std::fabs(b.gradient);
+                   });
+  return out;
+}
+
+std::vector<InsightSensitivity> recipe_insight_sensitivities(
+    const RecipeModel& model, std::span<const double> insight, int recipe,
+    double epsilon) {
+  if (recipe < 0 || recipe >= model.config().num_recipes) {
+    throw std::invalid_argument("recipe_insight_sensitivities: bad recipe");
+  }
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("recipe_insight_sensitivities: epsilon <= 0");
+  }
+  std::vector<double> iv(insight.begin(), insight.end());
+  const auto prob_of = [&] {
+    return greedy_probs(model, iv)[static_cast<std::size_t>(recipe)];
+  };
+  std::vector<InsightSensitivity> out;
+  out.reserve(iv.size());
+  for (std::size_t d = 0; d < iv.size(); ++d) {
+    const double saved = iv[d];
+    iv[d] = saved + epsilon;
+    const double up = prob_of();
+    iv[d] = saved - epsilon;
+    const double down = prob_of();
+    iv[d] = saved;
+    out.push_back({static_cast<int>(d), (up - down) / (2.0 * epsilon)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InsightSensitivity& a, const InsightSensitivity& b) {
+                     return std::fabs(a.gradient) > std::fabs(b.gradient);
+                   });
+  return out;
+}
+
+}  // namespace vpr::align

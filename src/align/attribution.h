@@ -1,0 +1,44 @@
+#pragma once
+// Model interpretability: per-recipe marginal selection probabilities
+// under greedy decoding, and sensitivity of those marginals to each
+// insight dimension (finite differences). This is the "why did the model
+// pick these recipes for this design" view used by the
+// recipe_attribution example and the interpretability tests.
+
+#include <span>
+#include <vector>
+
+#include "align/recipe_model.h"
+
+namespace vpr::align {
+
+struct RecipeAttribution {
+  int recipe = 0;
+  double probability = 0.0;  // P(select | greedy prefix, insight)
+};
+
+/// Greedy-decode the model once and report the per-step selection
+/// probability of every recipe, sorted by descending probability.
+[[nodiscard]] std::vector<RecipeAttribution> recipe_marginals(
+    const RecipeModel& model, std::span<const double> insight);
+
+struct InsightSensitivity {
+  int insight_dim = 0;
+  /// d(mean selection probability)/d(insight_dim), central difference.
+  double gradient = 0.0;
+};
+
+/// Sensitivity of the model's mean selection probability to each insight
+/// dimension, sorted by descending |gradient|. `epsilon` is the central
+/// difference step.
+[[nodiscard]] std::vector<InsightSensitivity> insight_sensitivities(
+    const RecipeModel& model, std::span<const double> insight,
+    double epsilon = 0.05);
+
+/// Sensitivity of one specific recipe's selection probability to each
+/// insight dimension.
+[[nodiscard]] std::vector<InsightSensitivity> recipe_insight_sensitivities(
+    const RecipeModel& model, std::span<const double> insight, int recipe,
+    double epsilon = 0.05);
+
+}  // namespace vpr::align

@@ -1,0 +1,55 @@
+#include "align/beam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::align {
+
+std::vector<BeamCandidate> beam_search(const RecipeModel& model,
+                                       std::span<const double> insight,
+                                       int beam_width) {
+  if (beam_width < 1) throw std::invalid_argument("beam_search: width < 1");
+  const int n = model.config().num_recipes;
+
+  struct Partial {
+    std::vector<int> bits;
+    double score = 0.0;
+  };
+  std::vector<Partial> beam{Partial{{}, 0.0}};
+  beam.front().bits.reserve(static_cast<std::size_t>(n));
+
+  for (int t = 0; t < n; ++t) {
+    std::vector<Partial> expanded;
+    expanded.reserve(beam.size() * 2);
+    for (const auto& partial : beam) {
+      const double p1 = model.next_prob(insight, partial.bits);
+      // Guard the log against exact 0/1 saturation.
+      const double p = std::clamp(p1, 1e-12, 1.0 - 1e-12);
+      for (const int bit : {0, 1}) {
+        Partial next = partial;
+        next.bits.push_back(bit);
+        next.score += std::log(bit == 1 ? p : 1.0 - p);
+        expanded.push_back(std::move(next));
+      }
+    }
+    const auto keep = std::min<std::size_t>(
+        static_cast<std::size_t>(beam_width), expanded.size());
+    std::partial_sort(expanded.begin(),
+                      expanded.begin() + static_cast<std::ptrdiff_t>(keep),
+                      expanded.end(), [](const Partial& a, const Partial& b) {
+                        return a.score > b.score;
+                      });
+    expanded.resize(keep);
+    beam = std::move(expanded);
+  }
+
+  std::vector<BeamCandidate> out;
+  out.reserve(beam.size());
+  for (const auto& partial : beam) {
+    out.push_back({flow::RecipeSet::from_bits(partial.bits), partial.score});
+  }
+  return out;
+}
+
+}  // namespace vpr::align

@@ -1,0 +1,25 @@
+#pragma once
+// Beam search over the 40-step recipe decision sequence (paper Algorithm 1,
+// BeamSearch): maintains the K highest-cumulative-log-probability partial
+// sequences, expanding each with r_t in {0, 1} at every step, and returns
+// the K complete recipe sets.
+
+#include <span>
+#include <vector>
+
+#include "align/recipe_model.h"
+#include "flow/recipe.h"
+
+namespace vpr::align {
+
+struct BeamCandidate {
+  flow::RecipeSet recipes;
+  double log_prob = 0.0;
+};
+
+/// Top-K recipe sets under the model's policy for the given insight,
+/// ordered by descending cumulative log probability.
+[[nodiscard]] std::vector<BeamCandidate> beam_search(
+    const RecipeModel& model, std::span<const double> insight, int beam_width);
+
+}  // namespace vpr::align

@@ -1,0 +1,175 @@
+#include "align/cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace vpr::align {
+
+namespace {
+
+constexpr std::uint32_t kDatasetMagic = 0x1a5e7001;
+constexpr std::uint32_t kCvMagic = 0x1a5e7002;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::istream& is, std::string& s) {
+  std::uint64_t n = 0;
+  if (!read_pod(is, n) || n > (1u << 20)) return false;
+  s.resize(n);
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+void write_point(std::ostream& os, const DataPoint& p) {
+  write_pod(os, p.recipes.to_u64());
+  write_pod(os, p.power);
+  write_pod(os, p.tns);
+  write_pod(os, p.score);
+}
+
+bool read_point(std::istream& is, DataPoint& p) {
+  std::uint64_t bits = 0;
+  if (!read_pod(is, bits)) return false;
+  p.recipes = flow::RecipeSet::from_u64(bits);
+  return read_pod(is, p.power) && read_pod(is, p.tns) && read_pod(is, p.score);
+}
+
+}  // namespace
+
+std::string cache_dir() {
+  if (const char* dir = std::getenv("INSIGHTALIGN_CACHE_DIR")) return dir;
+  return "insightalign_cache";
+}
+
+void save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
+                  const std::string& path) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path().empty()
+          ? "."
+          : std::filesystem::path(path).parent_path());
+  std::ofstream os{path, std::ios::binary};
+  write_pod(os, kDatasetMagic);
+  write_pod(os, weights.power);
+  write_pod(os, weights.tns);
+  write_pod(os, static_cast<std::uint64_t>(dataset.size()));
+  for (const auto& d : dataset.designs()) {
+    write_string(os, d.name);
+    for (const double x : d.insight_vec) write_pod(os, x);
+    write_pod(os, static_cast<std::uint64_t>(d.points.size()));
+    for (const auto& p : d.points) write_point(os, p);
+  }
+}
+
+std::optional<OfflineDataset> load_dataset(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return std::nullopt;
+  std::uint32_t magic = 0;
+  if (!read_pod(is, magic) || magic != kDatasetMagic) return std::nullopt;
+  QorWeights weights;
+  if (!read_pod(is, weights.power) || !read_pod(is, weights.tns)) {
+    return std::nullopt;
+  }
+  std::uint64_t n_designs = 0;
+  if (!read_pod(is, n_designs) || n_designs > 1000) return std::nullopt;
+  std::vector<DesignData> designs(n_designs);
+  for (auto& d : designs) {
+    if (!read_string(is, d.name)) return std::nullopt;
+    for (auto& x : d.insight_vec) {
+      if (!read_pod(is, x)) return std::nullopt;
+    }
+    std::uint64_t n_points = 0;
+    if (!read_pod(is, n_points) || n_points > (1u << 24)) return std::nullopt;
+    d.points.resize(n_points);
+    for (auto& p : d.points) {
+      if (!read_point(is, p)) return std::nullopt;
+    }
+  }
+  return OfflineDataset::from_designs(std::move(designs), weights);
+}
+
+void save_cv_result(const CrossValidationResult& result,
+                    const std::string& path) {
+  std::ofstream os{path, std::ios::binary};
+  write_pod(os, kCvMagic);
+  write_pod(os, static_cast<std::uint64_t>(result.rows.size()));
+  for (const auto& row : result.rows) {
+    write_string(os, row.design);
+    write_pod(os, row.known_tns);
+    write_pod(os, row.known_power);
+    write_pod(os, row.known_score);
+    write_pod(os, row.rec_tns);
+    write_pod(os, row.rec_power);
+    write_pod(os, row.rec_score);
+    write_pod(os, row.win_pct);
+    write_pod(os, row.best_recipes.to_u64());
+    write_pod(os, static_cast<std::uint64_t>(row.recommendations.size()));
+    for (const auto& p : row.recommendations) write_point(os, p);
+  }
+  write_pod(os, static_cast<std::uint64_t>(result.fold_train_accuracy.size()));
+  for (const double a : result.fold_train_accuracy) write_pod(os, a);
+  write_pod(os, static_cast<std::uint64_t>(result.fold_test_accuracy.size()));
+  for (const double a : result.fold_test_accuracy) write_pod(os, a);
+}
+
+std::optional<CrossValidationResult> load_cv_result(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return std::nullopt;
+  std::uint32_t magic = 0;
+  if (!read_pod(is, magic) || magic != kCvMagic) return std::nullopt;
+  CrossValidationResult result;
+  std::uint64_t n_rows = 0;
+  if (!read_pod(is, n_rows) || n_rows > 1000) return std::nullopt;
+  result.rows.resize(n_rows);
+  for (auto& row : result.rows) {
+    if (!read_string(is, row.design)) return std::nullopt;
+    std::uint64_t bits = 0;
+    std::uint64_t n_recs = 0;
+    if (!read_pod(is, row.known_tns) || !read_pod(is, row.known_power) ||
+        !read_pod(is, row.known_score) || !read_pod(is, row.rec_tns) ||
+        !read_pod(is, row.rec_power) || !read_pod(is, row.rec_score) ||
+        !read_pod(is, row.win_pct) || !read_pod(is, bits) ||
+        !read_pod(is, n_recs) || n_recs > (1u << 16)) {
+      return std::nullopt;
+    }
+    row.best_recipes = flow::RecipeSet::from_u64(bits);
+    row.recommendations.resize(n_recs);
+    for (auto& p : row.recommendations) {
+      if (!read_point(is, p)) return std::nullopt;
+    }
+  }
+  std::uint64_t n = 0;
+  if (!read_pod(is, n) || n > 64) return std::nullopt;
+  result.fold_train_accuracy.resize(n);
+  for (auto& a : result.fold_train_accuracy) {
+    if (!read_pod(is, a)) return std::nullopt;
+  }
+  if (!read_pod(is, n) || n > 64) return std::nullopt;
+  result.fold_test_accuracy.resize(n);
+  for (auto& a : result.fold_test_accuracy) {
+    if (!read_pod(is, a)) return std::nullopt;
+  }
+  return result;
+}
+
+OfflineDataset dataset_from_designs(std::vector<DesignData> designs,
+                                    const QorWeights& weights) {
+  return OfflineDataset::from_designs(std::move(designs), weights);
+}
+
+}  // namespace vpr::align

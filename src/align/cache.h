@@ -1,0 +1,39 @@
+#pragma once
+// Binary serialization for the expensive experiment artifacts: the offline
+// dataset (3,000 flow runs) and the cross-validation result (4 trained
+// folds + zero-shot evaluations). Every experiment binary is deterministic,
+// so the bench harnesses share these via an on-disk cache instead of each
+// re-running the flows — the first bench in a session pays, the rest load.
+//
+// Set INSIGHTALIGN_CACHE_DIR to relocate the cache; delete the directory to
+// force regeneration.
+
+#include <optional>
+#include <string>
+
+#include "align/dataset.h"
+#include "align/evaluator.h"
+
+namespace vpr::align {
+
+/// Cache directory from INSIGHTALIGN_CACHE_DIR (default
+/// "insightalign_cache" under the current directory). Created on demand by
+/// the save functions.
+[[nodiscard]] std::string cache_dir();
+
+void save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
+                  const std::string& path);
+/// Returns nullopt on missing file or format mismatch.
+[[nodiscard]] std::optional<OfflineDataset> load_dataset(
+    const std::string& path);
+
+void save_cv_result(const CrossValidationResult& result,
+                    const std::string& path);
+[[nodiscard]] std::optional<CrossValidationResult> load_cv_result(
+    const std::string& path);
+
+/// Rebuilds `dataset` from raw design data (used by load_dataset and tests).
+[[nodiscard]] OfflineDataset dataset_from_designs(
+    std::vector<DesignData> designs, const QorWeights& weights);
+
+}  // namespace vpr::align

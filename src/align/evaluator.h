@@ -1,0 +1,73 @@
+#pragma once
+// Zero-shot evaluation with k-fold cross-validation (paper §IV-B):
+// designs are split into k groups; for each fold a fresh model is trained
+// on the other folds' designs and evaluated zero-shot on the held-out
+// designs. For each design the top-K beam recommendations are run through
+// the real flow and compared against the design's best-known datapoint,
+// with Win% = fraction of known recipe sets outperformed by the best
+// recommendation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/dataset.h"
+#include "align/trainer.h"
+#include "flow/flow.h"
+
+namespace vpr::align {
+
+struct EvalConfig {
+  int folds = 4;
+  int beam_width = 5;  // paper: K = 5
+  TrainConfig train;
+  std::uint64_t seed = 0xf01dULL;
+};
+
+/// One row of Table IV.
+struct DesignEvaluation {
+  std::string design;
+  // Best-known datapoint in the offline dataset:
+  double known_tns = 0.0;
+  double known_power = 0.0;
+  double known_score = 0.0;
+  // Best of the top-K zero-shot recommendations:
+  double rec_tns = 0.0;
+  double rec_power = 0.0;
+  double rec_score = 0.0;
+  double win_pct = 0.0;  // % of known recipe sets beaten by best rec
+  flow::RecipeSet best_recipes;
+  /// All K recommendations' (power, tns, score) for scatter plots (Fig. 5).
+  std::vector<DataPoint> recommendations;
+};
+
+struct CrossValidationResult {
+  std::vector<DesignEvaluation> rows;  // one per design, suite order
+  std::vector<double> fold_train_accuracy;
+  std::vector<double> fold_test_accuracy;
+  [[nodiscard]] double mean_win_pct() const;
+};
+
+class ZeroShotEvaluator {
+ public:
+  ZeroShotEvaluator(const std::vector<const flow::Design*>& designs,
+                    const OfflineDataset& dataset, EvalConfig config);
+
+  /// Runs the full k-fold protocol. Deterministic.
+  [[nodiscard]] CrossValidationResult run() const;
+
+  /// Evaluates an already-trained model zero-shot on one design.
+  [[nodiscard]] DesignEvaluation evaluate_design(const RecipeModel& model,
+                                                 std::size_t design_index,
+                                                 int beam_width) const;
+
+  /// Fold assignment (design index -> fold id), balanced by point count.
+  [[nodiscard]] std::vector<int> fold_assignment() const;
+
+ private:
+  const std::vector<const flow::Design*>& designs_;
+  const OfflineDataset& dataset_;
+  EvalConfig config_;
+};
+
+}  // namespace vpr::align

@@ -1,0 +1,52 @@
+#include "align/losses.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::align {
+
+nn::Tensor mdpo_pair_loss(const RecipeModel& model,
+                          std::span<const double> insight,
+                          std::span<const int> bits_i,
+                          std::span<const int> bits_j, double score_i,
+                          double score_j, double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("mdpo: lambda must be >= 0");
+  const nn::Tensor lp_i = model.sequence_log_prob(insight, bits_i);
+  const nn::Tensor lp_j = model.sequence_log_prob(insight, bits_j);
+  const double margin = lambda * std::fabs(score_i - score_j);
+  const double sign = score_i >= score_j ? 1.0 : -1.0;
+  // relu(margin - sign * (lp_i - lp_j))
+  const nn::Tensor diff = nn::scale(nn::sub(lp_i, lp_j), sign);
+  return nn::relu(nn::add_scalar(nn::neg(diff), margin));
+}
+
+nn::Tensor dpo_pair_loss(const RecipeModel& model,
+                         std::span<const double> insight,
+                         std::span<const int> bits_winner,
+                         std::span<const int> bits_loser, double beta) {
+  if (beta <= 0.0) throw std::invalid_argument("dpo: beta must be > 0");
+  const nn::Tensor lp_w = model.sequence_log_prob(insight, bits_winner);
+  const nn::Tensor lp_l = model.sequence_log_prob(insight, bits_loser);
+  return nn::neg(nn::logsigmoid(nn::scale(nn::sub(lp_w, lp_l), beta)));
+}
+
+nn::Tensor nll_loss(const RecipeModel& model, std::span<const double> insight,
+                    std::span<const int> bits) {
+  return nn::neg(model.sequence_log_prob(insight, bits));
+}
+
+nn::Tensor ppo_loss(const RecipeModel& model, std::span<const double> insight,
+                    std::span<const int> bits, double old_log_prob,
+                    double advantage, double clip_eps) {
+  if (clip_eps <= 0.0 || clip_eps >= 1.0) {
+    throw std::invalid_argument("ppo: clip_eps must be in (0,1)");
+  }
+  const nn::Tensor lp = model.sequence_log_prob(insight, bits);
+  const nn::Tensor ratio = nn::exp_op(nn::add_scalar(lp, -old_log_prob));
+  const nn::Tensor unclipped = nn::scale(ratio, advantage);
+  const nn::Tensor clipped =
+      nn::scale(nn::clamp(ratio, 1.0 - clip_eps, 1.0 + clip_eps), advantage);
+  return nn::neg(nn::minimum(unclipped, clipped));
+}
+
+}  // namespace vpr::align

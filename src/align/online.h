@@ -1,0 +1,74 @@
+#pragma once
+// Online fine-tuning (paper §III-G, Fig. 1b): starting from the offline
+// aligned policy, iterate a closed loop on one specific design — propose
+// K recipe sets (beam search plus policy sampling for novelty), run the
+// physical design flow on each, then update the policy with margin-DPO
+// pairs over everything observed so far plus a clipped-PPO term on the
+// newly evaluated samples.
+
+#include <cstdint>
+#include <vector>
+
+#include "align/dataset.h"
+#include "align/recipe_model.h"
+#include "flow/flow.h"
+
+namespace vpr::align {
+
+struct OnlineConfig {
+  int iterations = 8;
+  int proposals_per_iteration = 5;  // paper: K = 5
+  int beam_width = 5;
+  double lr = 1e-3;
+  double lambda = 2.0;       // margin-DPO weight
+  double ppo_clip = 0.2;
+  double ppo_weight = 0.5;   // PPO term weight relative to MDPO
+  int dpo_pairs_per_iteration = 96;
+  int updates_per_iteration = 1;  // epochs over the iteration's losses
+  double grad_clip = 5.0;
+  std::uint64_t seed = 0x0417eULL;
+  bool blind_insights = false;
+};
+
+/// One closed-loop iteration's outcome.
+struct OnlineIteration {
+  std::vector<DataPoint> evaluated;  // newly run recipe sets this iteration
+  double best_score_so_far = 0.0;
+  double top5_mean_score_so_far = 0.0;  // Fig. 6 trajectory metric
+  double best_power_so_far = 0.0;
+  double best_tns_so_far = 0.0;
+  double mean_loss = 0.0;
+};
+
+struct OnlineResult {
+  std::vector<OnlineIteration> iterations;
+  [[nodiscard]] const OnlineIteration& last() const {
+    return iterations.back();
+  }
+};
+
+class OnlineTuner {
+ public:
+  /// `design_data` supplies the insight vector and the frozen per-design
+  /// QoR normalization (so scores are comparable with the offline dataset).
+  OnlineTuner(RecipeModel& model, const flow::Design& design,
+              const DesignData& design_data, OnlineConfig config);
+
+  /// Runs the closed loop; the model is updated in place.
+  OnlineResult run();
+
+ private:
+  /// Proposes recipe sets: beam-search heads, with policy samples replacing
+  /// duplicates of already-evaluated sets.
+  [[nodiscard]] std::vector<flow::RecipeSet> propose(util::Rng& rng) const;
+  [[nodiscard]] flow::RecipeSet sample_policy(util::Rng& rng) const;
+
+  RecipeModel& model_;
+  const flow::Design& design_;
+  const DesignData& design_data_;
+  OnlineConfig config_;
+  std::vector<double> insight_;
+  std::vector<DataPoint> history_;
+};
+
+}  // namespace vpr::align

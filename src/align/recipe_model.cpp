@@ -1,0 +1,130 @@
+#include "align/recipe_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::align {
+
+RecipeModel::RecipeModel(const ModelConfig& config, util::Rng& rng)
+    : config_(config),
+      token_embed_(3, config.d_model, rng),
+      pos_enc_(config.num_recipes, config.d_model, rng),
+      insight_embed_(config.insight_dim, config.d_model, rng),
+      head_(config.d_model, 1, rng) {
+  if (config.num_recipes <= 0 || config.d_model <= 0 ||
+      config.insight_dim <= 0 || config.decoder_layers <= 0) {
+    throw std::invalid_argument("RecipeModel: bad config");
+  }
+  decoder_stack_.reserve(static_cast<std::size_t>(config.decoder_layers));
+  for (int layer = 0; layer < config.decoder_layers; ++layer) {
+    decoder_stack_.push_back(std::make_unique<nn::TransformerDecoderLayer>(
+        config.d_model, config.ffn_hidden, rng));
+  }
+}
+
+nn::Tensor RecipeModel::insight_embedding(
+    std::span<const double> insight) const {
+  if (insight.size() != static_cast<std::size_t>(config_.insight_dim)) {
+    throw std::invalid_argument("RecipeModel: insight dimension mismatch");
+  }
+  const nn::Tensor iv = nn::Tensor::from(
+      std::vector<double>(insight.begin(), insight.end()), 1,
+      config_.insight_dim);
+  return insight_embed_.forward(iv);
+}
+
+nn::Tensor RecipeModel::forward_logits(std::span<const double> insight,
+                                       std::span<const int> decisions,
+                                       int steps) const {
+  const int n = config_.num_recipes;
+  if (steps < 0) steps = n;
+  if (steps < 1 || steps > n) {
+    throw std::invalid_argument("RecipeModel: bad step count");
+  }
+  if (static_cast<int>(decisions.size()) < steps - 1) {
+    throw std::invalid_argument("RecipeModel: decisions too short");
+  }
+  // Input token at position 0 is SOS; position t (t>=1) is r_{t-1}.
+  std::vector<int> tokens(static_cast<std::size_t>(steps));
+  tokens[0] = kTokenSos;
+  for (int t = 1; t < steps; ++t) {
+    const int d = decisions[static_cast<std::size_t>(t - 1)];
+    if (d != 0 && d != 1) {
+      throw std::invalid_argument("RecipeModel: decisions must be 0/1");
+    }
+    tokens[static_cast<std::size_t>(t)] =
+        d == 1 ? kTokenSelected : kTokenNotSelected;
+  }
+  nn::Tensor h = pos_enc_.forward(token_embed_.forward(tokens));
+  const nn::Tensor memory = insight_embedding(insight);
+  for (const auto& layer : decoder_stack_) {
+    h = layer->forward(h, memory);
+  }
+  return head_.forward(h);  // (steps, 1) logits
+}
+
+nn::Tensor RecipeModel::sequence_log_prob(
+    std::span<const double> insight, std::span<const int> decisions) const {
+  const int n = config_.num_recipes;
+  if (static_cast<int>(decisions.size()) != n) {
+    throw std::invalid_argument("RecipeModel: need all 40 decisions");
+  }
+  const nn::Tensor logits = forward_logits(insight, decisions, n);
+  // log P(r_t) = logsigmoid(z_t) if selected else logsigmoid(-z_t).
+  // Select via constant +/-1 mask so the whole thing stays differentiable.
+  std::vector<double> sign(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    sign[static_cast<std::size_t>(t)] =
+        decisions[static_cast<std::size_t>(t)] == 1 ? 1.0 : -1.0;
+  }
+  const nn::Tensor signed_logits =
+      nn::mul(logits, nn::Tensor::from(std::move(sign), n, 1));
+  return nn::sum(nn::logsigmoid(signed_logits));
+}
+
+double RecipeModel::log_prob(std::span<const double> insight,
+                             std::span<const int> decisions) const {
+  return sequence_log_prob(insight, decisions).item();
+}
+
+double RecipeModel::next_prob(std::span<const double> insight,
+                              std::span<const int> prefix) const {
+  const int t = static_cast<int>(prefix.size());
+  if (t >= config_.num_recipes) {
+    throw std::invalid_argument("RecipeModel: prefix already complete");
+  }
+  const nn::Tensor logits = forward_logits(insight, prefix, t + 1);
+  const double z = logits.at(t, 0);
+  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                  : std::exp(z) / (1.0 + std::exp(z));
+}
+
+std::vector<double> RecipeModel::step_probs(
+    std::span<const double> insight, std::span<const int> decisions) const {
+  const int n = config_.num_recipes;
+  const nn::Tensor logits = forward_logits(insight, decisions, n);
+  std::vector<double> probs(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double z = logits.at(t, 0);
+    probs[static_cast<std::size_t>(t)] =
+        z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                 : std::exp(z) / (1.0 + std::exp(z));
+  }
+  return probs;
+}
+
+std::vector<nn::Tensor> RecipeModel::parameters() const {
+  std::vector<nn::Tensor> params;
+  const auto append = [&params](const nn::Module& m) {
+    const auto p = m.parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  append(token_embed_);
+  append(pos_enc_);
+  append(insight_embed_);
+  for (const auto& layer : decoder_stack_) append(*layer);
+  append(head_);
+  return params;
+}
+
+}  // namespace vpr::align

@@ -1,0 +1,88 @@
+#pragma once
+// The InsightAlign recipe recommender model (paper Table III):
+// a decoder-only generative model over recipe decision tokens.
+//
+//   Decision Token Embed.  Embedding        (40, 3)   -> (40, 32)
+//   Recipe Pos. Enc.       Pos. Encoding    (40, 32)  -> (40, 32)
+//   Insight Embed.         Linear x1        (1, 72)   -> (1, 32)
+//   Transformer Dec.       Decoder x1       (1,32)+(40,32) -> (40, 1)
+//   Probabilistic          Sigmoid x40      (40, 1)   -> (40, 1)
+//
+// Position t decides recipe t. The input token at position t is the
+// previous decision r_{t-1} (SOS at position 0), so causal self-attention
+// gives logit_t access to exactly r_{<t}, which makes teacher-forced
+// sequence likelihoods (paper eq. 3) a single forward pass.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/modules.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace vpr::align {
+
+/// Token ids for the decision vocabulary.
+inline constexpr int kTokenNotSelected = 0;
+inline constexpr int kTokenSelected = 1;
+inline constexpr int kTokenSos = 2;
+
+struct ModelConfig {
+  int num_recipes = 40;
+  int d_model = 32;
+  int insight_dim = 72;
+  int ffn_hidden = 64;
+  /// Paper Table III uses a single decoder layer; deeper stacks are an
+  /// extension (exercised by the ablation bench).
+  int decoder_layers = 1;
+};
+
+class RecipeModel final : public nn::Module {
+ public:
+  RecipeModel(const ModelConfig& config, util::Rng& rng);
+
+  [[nodiscard]] const ModelConfig& config() const noexcept { return config_; }
+
+  /// Teacher-forced logits for the first `steps` positions (default: all).
+  /// `decisions` is the full (or prefix) 0/1 recipe vector; decisions[i]
+  /// is consumed as the input token of position i+1, so only the first
+  /// steps-1 entries are read. Returns a (steps, 1) tensor of pre-sigmoid
+  /// logits, differentiable w.r.t. model parameters.
+  [[nodiscard]] nn::Tensor forward_logits(std::span<const double> insight,
+                                          std::span<const int> decisions,
+                                          int steps = -1) const;
+
+  /// log pi(R | I) = sum_t log P(r_t | r_<t, I)  (paper eq. 3).
+  /// Differentiable scalar tensor.
+  [[nodiscard]] nn::Tensor sequence_log_prob(
+      std::span<const double> insight, std::span<const int> decisions) const;
+
+  /// Non-differentiable convenience: numeric value of sequence_log_prob.
+  [[nodiscard]] double log_prob(std::span<const double> insight,
+                                std::span<const int> decisions) const;
+
+  /// P(r_t = 1 | prefix, I) where t == prefix.size(). Used by beam search.
+  [[nodiscard]] double next_prob(std::span<const double> insight,
+                                 std::span<const int> prefix) const;
+
+  /// Per-position P(r_t = 1 | r_<t, I) under teacher forcing (diagnostics).
+  [[nodiscard]] std::vector<double> step_probs(
+      std::span<const double> insight,
+      std::span<const int> decisions) const;
+
+  [[nodiscard]] std::vector<nn::Tensor> parameters() const override;
+
+ private:
+  [[nodiscard]] nn::Tensor insight_embedding(
+      std::span<const double> insight) const;
+
+  ModelConfig config_;
+  nn::Embedding token_embed_;
+  nn::PositionalEncoding pos_enc_;
+  nn::Linear insight_embed_;
+  std::vector<std::unique_ptr<nn::TransformerDecoderLayer>> decoder_stack_;
+  nn::Linear head_;
+};
+
+}  // namespace vpr::align

@@ -1,0 +1,290 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace vpr::baselines {
+
+namespace {
+
+void record(SearchResult& result, const align::DataPoint& point) {
+  result.evaluated.push_back(point);
+  const double prev =
+      result.best_so_far.empty() ? -1e18 : result.best_so_far.back();
+  result.best_so_far.push_back(std::max(prev, point.score));
+}
+
+/// Hamming distance between two recipe bitsets.
+int hamming(const flow::RecipeSet& a, const flow::RecipeSet& b) {
+  return static_cast<int>(
+      std::popcount(a.to_u64() ^ b.to_u64()));
+}
+
+}  // namespace
+
+const align::DataPoint& SearchResult::best_point() const {
+  if (evaluated.empty()) throw std::logic_error("best_point: empty history");
+  return *std::max_element(evaluated.begin(), evaluated.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.score < b.score;
+                           });
+}
+
+SearchResult random_search(const Objective& objective,
+                           const SearchConfig& config) {
+  util::Rng rng{config.seed};
+  SearchResult result;
+  for (int i = 0; i < config.budget; ++i) {
+    const auto rs =
+        align::random_recipe_set(rng, config.min_recipes, config.max_recipes);
+    record(result, objective.evaluate(rs));
+  }
+  return result;
+}
+
+SearchResult hill_climb(const Objective& objective,
+                        const SearchConfig& config) {
+  util::Rng rng{config.seed};
+  SearchResult result;
+  auto current =
+      align::random_recipe_set(rng, config.min_recipes, config.max_recipes);
+  auto current_point = objective.evaluate(current);
+  record(result, current_point);
+  for (int i = 1; i < config.budget; ++i) {
+    // Flip 1-2 random bits; keep the move only if it improves.
+    flow::RecipeSet candidate = current;
+    const int flips = rng.bernoulli(0.3) ? 2 : 1;
+    for (int f = 0; f < flips; ++f) {
+      const int bit = rng.uniform_int(0, flow::kNumRecipes - 1);
+      candidate.set(bit, !candidate.test(bit));
+    }
+    const auto point = objective.evaluate(candidate);
+    record(result, point);
+    if (point.score > current_point.score) {
+      current = candidate;
+      current_point = point;
+    }
+  }
+  return result;
+}
+
+// ----- Bayesian optimization -----
+
+namespace {
+
+/// Dense Cholesky solve of (K) x = b for SPD K; K is modified in place.
+std::vector<double> cholesky_solve(std::vector<double> k, int n,
+                                   std::vector<double> b) {
+  // Factorize K = L L^T.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = k[static_cast<std::size_t>(i) * n + j];
+      for (int p = 0; p < j; ++p) {
+        sum -= k[static_cast<std::size_t>(i) * n + p] *
+               k[static_cast<std::size_t>(j) * n + p];
+      }
+      if (i == j) {
+        if (sum <= 0.0) sum = 1e-12;
+        k[static_cast<std::size_t>(i) * n + j] = std::sqrt(sum);
+      } else {
+        k[static_cast<std::size_t>(i) * n + j] =
+            sum / k[static_cast<std::size_t>(j) * n + j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int p = 0; p < i; ++p) {
+      sum -= k[static_cast<std::size_t>(i) * n + p] *
+             b[static_cast<std::size_t>(p)];
+    }
+    b[static_cast<std::size_t>(i)] = sum / k[static_cast<std::size_t>(i) * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = b[static_cast<std::size_t>(i)];
+    for (int p = i + 1; p < n; ++p) {
+      sum -= k[static_cast<std::size_t>(p) * n + i] *
+             b[static_cast<std::size_t>(p)];
+    }
+    b[static_cast<std::size_t>(i)] = sum / k[static_cast<std::size_t>(i) * n + i];
+  }
+  return b;
+}
+
+double std_normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+double std_normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace
+
+SearchResult bayesian_opt(const Objective& objective, const BoConfig& config) {
+  if (config.initial_samples < 2 || config.initial_samples > config.budget) {
+    throw std::invalid_argument("bayesian_opt: bad initial sample count");
+  }
+  util::Rng rng{config.seed};
+  SearchResult result;
+  // Warm-up.
+  for (int i = 0; i < config.initial_samples; ++i) {
+    const auto rs =
+        align::random_recipe_set(rng, config.min_recipes, config.max_recipes);
+    record(result, objective.evaluate(rs));
+  }
+  const auto kernel = [&](const flow::RecipeSet& a, const flow::RecipeSet& b) {
+    const double d = static_cast<double>(hamming(a, b));
+    return std::exp(-d / config.length_scale);
+  };
+
+  while (static_cast<int>(result.evaluated.size()) < config.budget) {
+    const int n = static_cast<int>(result.evaluated.size());
+    // Center observations.
+    double mean_y = 0.0;
+    for (const auto& p : result.evaluated) mean_y += p.score;
+    mean_y /= n;
+    std::vector<double> y(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      y[static_cast<std::size_t>(i)] = result.evaluated[static_cast<std::size_t>(i)].score - mean_y;
+    }
+    // Gram matrix with observation noise.
+    std::vector<double> gram(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        gram[static_cast<std::size_t>(i) * n + j] =
+            kernel(result.evaluated[static_cast<std::size_t>(i)].recipes,
+                   result.evaluated[static_cast<std::size_t>(j)].recipes) +
+            (i == j ? config.noise : 0.0);
+      }
+    }
+    const std::vector<double> alpha = cholesky_solve(gram, n, y);
+
+    // EI over a candidate pool: fresh random sets + mutations of the best.
+    const auto& best = result.best_point();
+    double best_ei = -1.0;
+    flow::RecipeSet best_candidate;
+    for (int c = 0; c < config.candidate_pool; ++c) {
+      flow::RecipeSet cand;
+      if (c % 3 == 0) {
+        cand = align::random_recipe_set(rng, config.min_recipes,
+                                        config.max_recipes);
+      } else {
+        cand = best.recipes;
+        const int flips = rng.uniform_int(1, 3);
+        for (int f = 0; f < flips; ++f) {
+          const int bit = rng.uniform_int(0, flow::kNumRecipes - 1);
+          cand.set(bit, !cand.test(bit));
+        }
+      }
+      // GP posterior at cand (mean-only variance approximation: full
+      // predictive variance needs another solve; use k(x,x)=1 prior with
+      // a cheap Nystrom-style deflation).
+      double mu = 0.0;
+      double max_k = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double kv =
+            kernel(cand, result.evaluated[static_cast<std::size_t>(i)].recipes);
+        mu += kv * alpha[static_cast<std::size_t>(i)];
+        max_k = std::max(max_k, kv);
+      }
+      mu += mean_y;
+      const double sigma =
+          std::sqrt(std::max(1e-9, 1.0 + config.noise - max_k * max_k));
+      const double improvement = mu - best.score;
+      const double z = improvement / sigma;
+      const double ei =
+          improvement * std_normal_cdf(z) + sigma * std_normal_pdf(z);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = cand;
+      }
+    }
+    record(result, objective.evaluate(best_candidate));
+  }
+  return result;
+}
+
+SearchResult simulated_annealing(const Objective& objective,
+                                 const AnnealConfig& config) {
+  if (config.initial_temperature <= 0.0 || config.cooling <= 0.0 ||
+      config.cooling >= 1.0) {
+    throw std::invalid_argument("simulated_annealing: bad schedule");
+  }
+  util::Rng rng{config.seed};
+  SearchResult result;
+  auto current =
+      align::random_recipe_set(rng, config.min_recipes, config.max_recipes);
+  auto current_point = objective.evaluate(current);
+  record(result, current_point);
+  double temperature = config.initial_temperature;
+  for (int i = 1; i < config.budget; ++i) {
+    flow::RecipeSet candidate = current;
+    const int flips = rng.uniform_int(1, 2);
+    for (int f = 0; f < flips; ++f) {
+      const int bit = rng.uniform_int(0, flow::kNumRecipes - 1);
+      candidate.set(bit, !candidate.test(bit));
+    }
+    const auto point = objective.evaluate(candidate);
+    record(result, point);
+    const double delta = point.score - current_point.score;
+    if (delta >= 0.0 ||
+        rng.uniform() < std::exp(delta / std::max(temperature, 1e-6))) {
+      current = candidate;
+      current_point = point;
+    }
+    temperature *= config.cooling;
+  }
+  return result;
+}
+
+SearchResult aco_search(const Objective& objective, const AcoConfig& config) {
+  util::Rng rng{config.seed};
+  SearchResult result;
+  // Initial pheromone: expected density matching the sampling bounds.
+  const double init_tau = std::clamp(
+      0.5 * (config.min_recipes + config.max_recipes) / flow::kNumRecipes,
+      config.tau_min, config.tau_max);
+  std::vector<double> tau(static_cast<std::size_t>(flow::kNumRecipes),
+                          init_tau);
+  while (static_cast<int>(result.evaluated.size()) < config.budget) {
+    std::vector<align::DataPoint> colony;
+    const int ants = std::min(
+        config.ants_per_iteration,
+        config.budget - static_cast<int>(result.evaluated.size()));
+    for (int a = 0; a < ants; ++a) {
+      flow::RecipeSet rs;
+      for (int i = 0; i < flow::kNumRecipes; ++i) {
+        if (rng.bernoulli(tau[static_cast<std::size_t>(i)])) rs.set(i);
+      }
+      const auto point = objective.evaluate(rs);
+      record(result, point);
+      colony.push_back(point);
+    }
+    // Evaporate, then the iteration's best ant deposits on its recipes.
+    for (auto& t : tau) {
+      t = std::clamp(t * (1.0 - config.evaporation), config.tau_min,
+                     config.tau_max);
+    }
+    const auto& queen = *std::max_element(
+        colony.begin(), colony.end(),
+        [](const auto& a, const auto& b) { return a.score < b.score; });
+    // Only reinforce when the ant is actually good globally.
+    if (queen.score >= result.best_score() - 0.2) {
+      for (const int id : queen.recipes.ids()) {
+        tau[static_cast<std::size_t>(id)] = std::clamp(
+            tau[static_cast<std::size_t>(id)] + config.deposit,
+            config.tau_min, config.tau_max);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vpr::baselines

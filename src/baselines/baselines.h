@@ -1,0 +1,87 @@
+#pragma once
+// Black-box flow-tuning baselines from the paper's Background section,
+// implemented over the same flow/objective as InsightAlign so the
+// sample-efficiency comparison in bench/ext_baselines is apples-to-apples:
+//   - random search
+//   - greedy bit-flip hill climbing
+//   - Bayesian optimization (Gaussian process over the 40-bit recipe
+//     vector with a Hamming-RBF kernel, expected-improvement acquisition)
+//   - ant colony optimization (per-recipe pheromones)
+// Each returns the full evaluation history and the best-so-far trajectory.
+
+#include <cstdint>
+#include <vector>
+
+#include "align/dataset.h"
+#include "flow/flow.h"
+
+namespace vpr::baselines {
+
+/// Wraps one design's flow + frozen per-design QoR normalization so every
+/// optimizer sees the identical objective (higher score is better).
+class Objective {
+ public:
+  Objective(const flow::Design& design, const align::DesignData& stats)
+      : flow_(design), stats_(stats) {}
+
+  [[nodiscard]] align::DataPoint evaluate(const flow::RecipeSet& rs) const {
+    const flow::FlowResult r = flow_.run(rs);
+    return {rs, r.qor.power, r.qor.tns,
+            stats_.score_of(r.qor.power, r.qor.tns)};
+  }
+
+ private:
+  flow::Flow flow_;
+  const align::DesignData& stats_;
+};
+
+struct SearchResult {
+  std::vector<align::DataPoint> evaluated;   // in evaluation order
+  std::vector<double> best_so_far;           // best score after each eval
+  [[nodiscard]] double best_score() const {
+    return best_so_far.empty() ? -1e18 : best_so_far.back();
+  }
+  [[nodiscard]] const align::DataPoint& best_point() const;
+};
+
+struct SearchConfig {
+  int budget = 40;        // flow evaluations allowed
+  int min_recipes = 1;    // sampling bounds for fresh sets
+  int max_recipes = 8;
+  std::uint64_t seed = 0xba5eULL;
+};
+
+[[nodiscard]] SearchResult random_search(const Objective& objective,
+                                         const SearchConfig& config);
+
+[[nodiscard]] SearchResult hill_climb(const Objective& objective,
+                                      const SearchConfig& config);
+
+struct BoConfig : SearchConfig {
+  int initial_samples = 8;      // random warm-up evaluations
+  int candidate_pool = 300;     // EI maximization pool per step
+  double length_scale = 6.0;    // Hamming-RBF kernel length scale
+  double noise = 1e-3;          // GP observation noise
+};
+[[nodiscard]] SearchResult bayesian_opt(const Objective& objective,
+                                        const BoConfig& config);
+
+struct AcoConfig : SearchConfig {
+  int ants_per_iteration = 5;
+  double evaporation = 0.15;
+  double deposit = 0.25;
+  double tau_min = 0.03;
+  double tau_max = 0.65;
+};
+[[nodiscard]] SearchResult aco_search(const Objective& objective,
+                                      const AcoConfig& config);
+
+struct AnnealConfig : SearchConfig {
+  double initial_temperature = 0.8;  // in QoR-score units
+  double cooling = 0.90;             // geometric per-evaluation factor
+};
+/// Simulated annealing over bit flips with Metropolis acceptance.
+[[nodiscard]] SearchResult simulated_annealing(const Objective& objective,
+                                               const AnnealConfig& config);
+
+}  // namespace vpr::baselines

@@ -1,0 +1,268 @@
+// insightalign — command-line front end for the whole system. The binary
+// an open-source release ships: browse the benchmark suite and recipe
+// catalog, run flows with recipes, probe insights, align a model on an
+// offline archive, and recommend / online-tune for a design.
+//
+//   insightalign suite
+//   insightalign recipes
+//   insightalign run --design 10 --recipes 1,8,24 [--json out.json]
+//   insightalign probe --design 6
+//   insightalign align --designs 1-6 --points 48 --epochs 6 \
+//       --model model.bin --dataset archive.bin
+//   insightalign recommend --model model.bin --dataset archive.bin \
+//       --design 14 [--k 5]
+//   insightalign tune --model model.bin --dataset archive.bin \
+//       --design 14 --iterations 6
+//
+// Designs are suite indices 1..17 (optionally capped with --cells).
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "align/cache.h"
+#include "align/pipeline.h"
+#include "flow/report.h"
+#include "flow/runtime_model.h"
+#include "insight/insight.h"
+#include "netlist/suite.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vpr;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage: insightalign <command> [flags]\n"
+      "  suite                         list the 17 benchmark designs\n"
+      "  recipes                       list the 40-recipe catalog\n"
+      "  run --design K [--recipes a,b,c] [--cells N] [--json FILE]\n"
+      "  probe --design K [--cells N]  probing run + insight vector\n"
+      "  align --designs A-B [--points N] [--epochs N] [--cells N]\n"
+      "        --model FILE --dataset FILE\n"
+      "  recommend --model FILE --dataset FILE --design K [--k K] [--cells N]\n"
+      "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n";
+  std::exit(2);
+}
+
+/// "1,8,24" -> {1,8,24}
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::istringstream is{text};
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoi(token));
+  }
+  return out;
+}
+
+/// "1-6" -> {1,...,6}; "3" -> {3}; "1,4,7" -> {1,4,7}
+std::vector<int> parse_design_spec(const std::string& text) {
+  const auto dash = text.find('-');
+  if (dash != std::string::npos) {
+    const int lo = std::stoi(text.substr(0, dash));
+    const int hi = std::stoi(text.substr(dash + 1));
+    std::vector<int> out;
+    for (int k = lo; k <= hi; ++k) out.push_back(k);
+    return out;
+  }
+  return parse_int_list(text);
+}
+
+flow::Design make_design(int index, int cells_cap) {
+  auto traits = netlist::suite_design(index);
+  if (cells_cap > 0) {
+    traits.target_cells = std::min(traits.target_cells, cells_cap);
+  }
+  return flow::Design{traits};
+}
+
+int cmd_suite() {
+  util::TablePrinter table({"Design", "Node", "Cells", "Clock (ns)",
+                            "Est. tool-hours/run"});
+  for (const auto& t : netlist::benchmark_suite()) {
+    table.add_row(
+        {t.name, util::fmt(t.feature_nm, 0) + " nm",
+         std::to_string(t.target_cells), util::fmt(t.clock_period_ns, 2),
+         util::fmt(flow::RuntimeModel::estimate(t, flow::FlowKnobs{})
+                       .total_hours,
+                   1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_recipes() {
+  util::TablePrinter table({"Id", "Category", "Recipe", "Description"});
+  for (const auto& r : flow::recipe_catalog()) {
+    table.add_row({std::to_string(r.id), flow::category_name(r.category),
+                   r.name, r.description});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const util::Args& args) {
+  const int design_index = args.get_int("design", 0);
+  if (design_index < 1) usage("run: --design 1..17 required");
+  const auto design = make_design(design_index, args.get_int("cells", 0));
+  flow::RecipeSet recipes;
+  for (const int id : parse_int_list(args.get_or("recipes", ""))) {
+    recipes.set(id);
+  }
+  const flow::Flow flow{design};
+  const auto result = flow.run(recipes);
+  flow::write_text_report(design, recipes, result, std::cout);
+  if (const auto json_path = args.get("json")) {
+    std::ofstream os{*json_path};
+    flow::to_json(design, recipes, result).write(os);
+    std::cout << "\nJSON report written to " << *json_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_probe(const util::Args& args) {
+  const int design_index = args.get_int("design", 0);
+  if (design_index < 1) usage("probe: --design 1..17 required");
+  const auto design = make_design(design_index, args.get_int("cells", 0));
+  const flow::Flow flow{design};
+  const auto probe = flow.run(flow::RecipeSet{});
+  const auto iv = insight::analyze(design, probe);
+  util::TablePrinter table({"#", "Insight", "Value"});
+  const auto& descriptors = insight::insight_descriptors();
+  for (int i = 0; i < insight::kInsightDims; ++i) {
+    table.add_row({std::to_string(i),
+                   descriptors[static_cast<std::size_t>(i)].description,
+                   util::fmt(iv[static_cast<std::size_t>(i)], 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+align::PipelineConfig pipeline_config(const util::Args& args) {
+  align::PipelineConfig pc;
+  pc.dataset.points_per_design = args.get_int("points", 48);
+  pc.dataset.expert_points =
+      std::min(24, pc.dataset.points_per_design / 3);
+  pc.train.epochs = args.get_int("epochs", 6);
+  pc.train.pairs_per_design = args.get_int("pairs", 128);
+  return pc;
+}
+
+int cmd_align(const util::Args& args) {
+  const auto spec = args.get("designs");
+  if (!spec.has_value()) usage("align: --designs (e.g. 1-6) required");
+  const auto model_path = args.get("model");
+  const auto dataset_path = args.get("dataset");
+  if (!model_path || !dataset_path) {
+    usage("align: --model and --dataset output paths required");
+  }
+  std::vector<std::unique_ptr<flow::Design>> owned;
+  std::vector<const flow::Design*> designs;
+  for (const int k : parse_design_spec(*spec)) {
+    owned.push_back(std::make_unique<flow::Design>(
+        make_design(k, args.get_int("cells", 2000))));
+    designs.push_back(owned.back().get());
+  }
+  align::PipelineConfig pc = pipeline_config(args);
+  align::Pipeline pipeline{pc};
+  std::cout << "Building archive (" << designs.size() << " designs x "
+            << pc.dataset.points_per_design << " runs) and aligning..."
+            << std::endl;
+  const auto metrics = pipeline.fit(designs);
+  std::cout << "Final ranking accuracy: "
+            << util::fmt(metrics.final_accuracy(), 3) << '\n';
+  {
+    std::ofstream os{*model_path, std::ios::binary};
+    pipeline.save_model(os);
+  }
+  align::save_dataset(pipeline.dataset(), pc.dataset.weights, *dataset_path);
+  std::cout << "Saved model to " << *model_path << " and archive to "
+            << *dataset_path << '\n';
+  return 0;
+}
+
+align::Pipeline restored_pipeline(const util::Args& args) {
+  const auto model_path = args.get("model");
+  const auto dataset_path = args.get("dataset");
+  if (!model_path || !dataset_path) {
+    usage("--model and --dataset required");
+  }
+  auto dataset = align::load_dataset(*dataset_path);
+  if (!dataset.has_value()) usage("cannot read dataset " + *dataset_path);
+  std::ifstream is{*model_path, std::ios::binary};
+  if (!is) usage("cannot read model " + *model_path);
+  align::Pipeline pipeline{pipeline_config(args)};
+  pipeline.restore(std::move(*dataset), is);
+  return pipeline;
+}
+
+int cmd_recommend(const util::Args& args) {
+  const int design_index = args.get_int("design", 0);
+  if (design_index < 1) usage("recommend: --design 1..17 required");
+  auto pipeline = restored_pipeline(args);
+  const auto design = make_design(design_index, args.get_int("cells", 2000));
+  const auto recs = pipeline.recommend(design, args.get_int("k", 5));
+  util::TablePrinter table(
+      {"Rank", "Recipe set", "log pi", "Power (mW)", "TNS (ns)", "QoR"});
+  int rank = 1;
+  for (const auto& r : recs) {
+    table.add_row({std::to_string(rank++), r.recipes.to_string(),
+                   util::fmt(r.log_prob, 2), util::fmt(r.power, 2),
+                   util::fmt_adaptive(r.tns),
+                   r.score.has_value() ? util::fmt(*r.score, 3) : "n/a"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const util::Args& args) {
+  const int design_index = args.get_int("design", 0);
+  if (design_index < 1) usage("tune: --design 1..17 required");
+  auto pipeline = restored_pipeline(args);
+  const auto design = make_design(design_index, args.get_int("cells", 2000));
+  align::OnlineConfig oc;
+  oc.iterations = args.get_int("iterations", 6);
+  const auto result = pipeline.tune(design, oc);
+  util::TablePrinter table(
+      {"Iter", "Best Power (mW)", "Best TNS (ns)", "Best QoR"});
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& it = result.iterations[i];
+    table.add_row({std::to_string(i + 1),
+                   util::fmt(it.best_power_so_far, 2),
+                   util::fmt_adaptive(it.best_tns_so_far),
+                   util::fmt(it.best_score_so_far, 3)});
+  }
+  table.print(std::cout);
+  if (const auto model_path = args.get("model-out")) {
+    std::ofstream os{*model_path, std::ios::binary};
+    pipeline.save_model(os);
+    std::cout << "Tuned model saved to " << *model_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args{argc, argv};
+    if (args.positional().empty()) usage();
+    const std::string& command = args.positional().front();
+    if (command == "suite") return cmd_suite();
+    if (command == "recipes") return cmd_recipes();
+    if (command == "run") return cmd_run(args);
+    if (command == "probe") return cmd_probe(args);
+    if (command == "align") return cmd_align(args);
+    if (command == "recommend") return cmd_recommend(args);
+    if (command == "tune") return cmd_tune(args);
+    usage("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,195 @@
+#include "cts/cts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace vpr::cts {
+
+namespace {
+
+struct SinkInfo {
+  int cell = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double path_wire = 0.0;  // wirelength from clock root to this sink
+  int path_buffers = 0;
+};
+
+/// Top-down bisection: recursively split sinks along the wider dimension,
+/// accumulating branch wirelength from each region's centroid to its
+/// children's centroids.
+void build_tree(std::vector<SinkInfo>& sinks, std::size_t begin,
+                std::size_t end, double root_x, double root_y,
+                double direct_factor, double buffer_every, double* wirelength,
+                int* buffers) {
+  if (begin >= end) return;
+  // Region centroid.
+  double cx = 0.0;
+  double cy = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    cx += sinks[i].x;
+    cy += sinks[i].y;
+  }
+  const double count = static_cast<double>(end - begin);
+  cx /= count;
+  cy /= count;
+  const double branch =
+      (std::fabs(cx - root_x) + std::fabs(cy - root_y)) * direct_factor;
+  const int branch_buffers =
+      static_cast<int>(std::floor(branch / buffer_every));
+  *wirelength += branch;
+  *buffers += branch_buffers;
+  for (std::size_t i = begin; i < end; ++i) {
+    sinks[i].path_wire += branch;
+    sinks[i].path_buffers += branch_buffers;
+  }
+  if (end - begin == 1) {
+    // Final stub from the region centroid to the sink pin.
+    const double stub = (std::fabs(sinks[begin].x - cx) +
+                         std::fabs(sinks[begin].y - cy)) *
+                        direct_factor;
+    sinks[begin].path_wire += stub;
+    *wirelength += stub;
+    return;
+  }
+  // Split along the wider dimension.
+  double min_x = 1.0, max_x = 0.0, min_y = 1.0, max_y = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    min_x = std::min(min_x, sinks[i].x);
+    max_x = std::max(max_x, sinks[i].x);
+    min_y = std::min(min_y, sinks[i].y);
+    max_y = std::max(max_y, sinks[i].y);
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+  const auto mid_it =
+      sinks.begin() + static_cast<std::ptrdiff_t>(begin + (end - begin) / 2);
+  std::nth_element(sinks.begin() + static_cast<std::ptrdiff_t>(begin), mid_it,
+                   sinks.begin() + static_cast<std::ptrdiff_t>(end),
+                   [split_x](const SinkInfo& a, const SinkInfo& b) {
+                     return split_x ? a.x < b.x : a.y < b.y;
+                   });
+  const std::size_t mid = begin + (end - begin) / 2;
+  build_tree(sinks, begin, mid, cx, cy, direct_factor, buffer_every,
+             wirelength, buffers);
+  build_tree(sinks, mid, end, cx, cy, direct_factor, buffer_every, wirelength,
+             buffers);
+}
+
+}  // namespace
+
+ClockTreeSynthesizer::ClockTreeSynthesizer(const netlist::Netlist& nl,
+                                           const place::Placement& placement,
+                                           CtsKnobs knobs, std::uint64_t seed)
+    : nl_(nl), placement_(placement), knobs_(knobs), seed_(seed) {
+  if (placement.x.size() != static_cast<std::size_t>(nl.cell_count())) {
+    throw std::invalid_argument("CTS: placement size mismatch");
+  }
+  knobs_.buffer_drive = std::clamp(knobs_.buffer_drive, 1,
+                                   netlist::CellLibrary::max_drive());
+  knobs_.target_skew = std::max(knobs_.target_skew, 0.005);
+  knobs_.latency_effort = std::clamp(knobs_.latency_effort, 0.0, 1.0);
+  knobs_.useful_skew_budget = std::max(knobs_.useful_skew_budget, 0.0);
+}
+
+ClockTree ClockTreeSynthesizer::run(
+    std::span<const double> setup_slack_per_cell) const {
+  if (!setup_slack_per_cell.empty() &&
+      setup_slack_per_cell.size() !=
+          static_cast<std::size_t>(nl_.cell_count())) {
+    throw std::invalid_argument("CTS: slack vector size mismatch");
+  }
+  util::Rng rng{seed_};
+  ClockTree tree;
+  tree.arrival.assign(static_cast<std::size_t>(nl_.cell_count()), 0.0);
+
+  const auto ffs = nl_.flip_flops();
+  if (ffs.empty()) return tree;
+
+  std::vector<SinkInfo> sinks;
+  sinks.reserve(ffs.size());
+  for (const int ff : ffs) {
+    sinks.push_back({ff, placement_.x[static_cast<std::size_t>(ff)],
+                     placement_.y[static_cast<std::size_t>(ff)], 0.0, 0});
+  }
+
+  // Stronger buffers sustain longer unbuffered segments; higher latency
+  // effort routes branches more directly (shorter, but less balanced).
+  const double buffer_every =
+      0.06 * std::sqrt(static_cast<double>(knobs_.buffer_drive));
+  const double direct_factor = 1.25 - 0.35 * knobs_.latency_effort;
+
+  double wirelength = 0.0;
+  int buffers = 0;
+  build_tree(sinks, 0, sinks.size(), 0.5, 0.5, direct_factor, buffer_every,
+             &wirelength, &buffers);
+
+  // Clock buffer delay per stage from the library.
+  const auto& lib = nl_.library();
+  const auto& buf = lib.cell(
+      lib.find(netlist::Func::kClkBuf, knobs_.buffer_drive,
+               netlist::Vt::kStandard));
+  const double seg_cap = buffer_every * knobs_.wire_cap_per_unit;
+  const double buf_delay = buf.intrinsic_delay + buf.drive_res * seg_cap;
+
+  // Raw insertion delays plus environment imbalance.
+  std::vector<double> latency(sinks.size(), 0.0);
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    latency[i] = sinks[i].path_wire * knobs_.wire_delay_per_unit +
+                 sinks[i].path_buffers * buf_delay +
+                 std::fabs(rng.normal(0.0, knobs_.environment_skew));
+  }
+  const double max_latency = *std::max_element(latency.begin(), latency.end());
+
+  // Skew balancing: snake extra wire into fast branches until every sink is
+  // within target_skew of the slowest one. Tighter targets cost wire/power.
+  double snaked_wire = 0.0;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    const double deficit = (max_latency - knobs_.target_skew) - latency[i];
+    if (deficit > 0.0) {
+      latency[i] += deficit;
+      snaked_wire += deficit / knobs_.wire_delay_per_unit;
+    }
+  }
+  wirelength += snaked_wire;
+
+  // Useful skew: delay the capture clock of setup-critical flip-flops.
+  if (knobs_.useful_skew && !setup_slack_per_cell.empty()) {
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const double slack =
+          setup_slack_per_cell[static_cast<std::size_t>(sinks[i].cell)];
+      if (slack < 0.0) {
+        latency[i] += std::min(-slack, knobs_.useful_skew_budget);
+        ++tree.useful_skew_endpoints;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    tree.arrival[static_cast<std::size_t>(sinks[i].cell)] = latency[i];
+  }
+  tree.max_latency = *std::max_element(latency.begin(), latency.end());
+  tree.min_latency = *std::min_element(latency.begin(), latency.end());
+  tree.skew = tree.max_latency - tree.min_latency;
+  tree.buffer_count = buffers + static_cast<int>(
+                                    std::floor(snaked_wire / buffer_every));
+  tree.wirelength = wirelength;
+
+  // Clock network power: buffers toggle every cycle (activity 1.0), the
+  // wire capacitance swings every cycle, and each FF clock pin loads it.
+  constexpr double kVdd = 0.9;  // volts (nominal)
+  const double f_ghz = knobs_.clock_frequency_ghz;
+  double ff_clock_pin_cap = 0.0;
+  for (const int ff : ffs) ff_clock_pin_cap += nl_.cell_type(ff).input_cap;
+  const double wire_cap = wirelength * knobs_.wire_cap_per_unit;
+  // mW = pJ/toggle * GHz; wire/pin: C V^2 f (pF * V^2 * GHz => mW).
+  tree.clock_power = tree.buffer_count * buf.internal_energy * f_ghz +
+                     (wire_cap + ff_clock_pin_cap) * kVdd * kVdd * f_ghz +
+                     tree.buffer_count * buf.leakage * 1e-3;
+  return tree;
+}
+
+}  // namespace vpr::cts

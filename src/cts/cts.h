@@ -1,0 +1,65 @@
+#pragma once
+// Clock tree synthesis: top-down recursive bisection over the placed
+// flip-flop sinks, buffer insertion along branches, per-sink insertion
+// delay (latency), global skew, optional skew balancing (wire snaking up
+// to a target skew) and optional useful skew (intentionally delaying the
+// capture clock of setup-critical endpoints).
+//
+// The resulting per-cell clock arrivals feed straight into STA, so the
+// timing side effects of CTS choices (harmful skew, hold pressure from
+// useful skew) emerge from the timing model rather than being scripted.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/placer.h"
+
+namespace vpr::cts {
+
+struct CtsKnobs {
+  double target_skew = 0.08;       // ns; balancing band below max latency
+  int buffer_drive = 2;            // clock buffer strength (1..4)
+  double latency_effort = 0.3;     // 0..1; shortens branches, loosens skew
+  bool useful_skew = false;        // borrow time for critical endpoints
+  double useful_skew_budget = 0.08;  // ns; max intentional capture delay
+
+  // Environment, filled by the flow from technology / design traits:
+  double wire_delay_per_unit = 0.15;   // ns per normalized unit
+  double wire_cap_per_unit = 0.08;     // pF per normalized unit
+  double environment_skew = 0.0;       // ns of random per-sink imbalance
+  double clock_frequency_ghz = 1.0;    // for clock network power
+};
+
+struct ClockTree {
+  /// Per-cell clock arrival (insertion delay); 0 for non flip-flops.
+  std::vector<double> arrival;
+  double max_latency = 0.0;  // ns
+  double min_latency = 0.0;  // ns
+  double skew = 0.0;         // max - min latency, ns
+  int buffer_count = 0;
+  double wirelength = 0.0;       // normalized units, incl. snaking
+  double clock_power = 0.0;      // mW (buffers + wire + FF clock pins)
+  int useful_skew_endpoints = 0; // endpoints that received extra delay
+};
+
+class ClockTreeSynthesizer {
+ public:
+  ClockTreeSynthesizer(const netlist::Netlist& nl,
+                       const place::Placement& placement, CtsKnobs knobs,
+                       std::uint64_t seed);
+
+  /// `setup_slack_per_cell` (optional, size cell_count): the previous STA's
+  /// per-cell slack, used only when knobs.useful_skew is on.
+  [[nodiscard]] ClockTree run(
+      std::span<const double> setup_slack_per_cell = {}) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  const place::Placement& placement_;
+  CtsKnobs knobs_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vpr::cts

@@ -1,0 +1,161 @@
+#include "flow/flow.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/engines.h"
+#include "util/rng.h"
+
+namespace vpr::flow {
+
+namespace {
+
+/// Technology-derived wire parasitics (per normalized die unit). Advanced
+/// nodes: thinner wires => higher resistance-dominated delay per unit, cap
+/// slightly lower.
+struct WireParams {
+  double cap_per_unit;    // pF
+  double delay_per_unit;  // ns
+};
+
+WireParams wire_params(const netlist::TechNode& node) {
+  const double s = node.feature_nm / 45.0;  // 1.0 at 45nm, ~0.16 at 7nm
+  return {
+      .cap_per_unit = 0.22 * (0.5 + 0.5 * s),
+      .delay_per_unit = 0.10 * (1.35 - 0.35 * s),
+  };
+}
+
+}  // namespace
+
+Design::Design(netlist::DesignTraits traits)
+    : traits_(std::move(traits)), netlist_(netlist::generate(traits_)) {}
+
+FlowKnobs Flow::resolve_knobs(const RecipeSet& recipes) const {
+  FlowKnobs knobs;  // engine defaults
+  recipes.apply(knobs);
+  return knobs;
+}
+
+FlowResult Flow::run(const RecipeSet& recipes) const {
+  const auto& traits = design_.traits();
+  FlowResult result;
+  result.knobs = resolve_knobs(recipes);
+  const FlowKnobs& knobs = result.knobs;
+
+  // Working copy: the optimization engines mutate it.
+  netlist::Netlist nl = design_.netlist();
+  const WireParams wire = wire_params(nl.library().node());
+  const double freq_ghz = 1.0 / traits.clock_period_ns;
+
+  sta::TimingOptions t_opt;
+  t_opt.wire_cap_per_unit = wire.cap_per_unit;
+  t_opt.wire_delay_per_unit = wire.delay_per_unit;
+  t_opt.clock_uncertainty = std::max(0.0, knobs.clock_uncertainty);
+
+  // ----- Placement -----
+  place::Placer placer{nl, knobs.place, traits.seed ^ 0x9e37ULL};
+  place::Placement placement =
+      placer.run({}, &result.place_trajectory);
+  if (knobs.timing_driven_place) {
+    // Estimate wire lengths from HPWL, derive net criticalities, re-place.
+    std::vector<double> est_wl(static_cast<std::size_t>(nl.net_count()));
+    for (int net = 0; net < nl.net_count(); ++net) {
+      est_wl[static_cast<std::size_t>(net)] = placement.net_hpwl(nl, net);
+    }
+    const sta::TimingAnalyzer pre_sta{nl};
+    const auto pre_report = pre_sta.analyze(est_wl, {}, t_opt);
+    place::Placer td_placer{nl, knobs.place, traits.seed ^ 0x9e38ULL};
+    place::PlaceTrajectory td_traj;
+    placement = td_placer.run(pre_report.net_criticality, &td_traj);
+    // Keep the richer (second) trajectory for insights.
+    result.place_trajectory = td_traj;
+  }
+  result.place_hpwl = placement.hpwl;
+  if (!placement.bin_utilization.empty()) {
+    double sum = 0.0;
+    for (const double u : placement.bin_utilization) sum += u;
+    result.mean_utilization =
+        sum / static_cast<double>(placement.bin_utilization.size());
+  }
+
+  // ----- Clock tree synthesis -----
+  cts::CtsKnobs cts_knobs = knobs.cts;
+  cts_knobs.wire_cap_per_unit = wire.cap_per_unit;
+  cts_knobs.wire_delay_per_unit = wire.delay_per_unit;
+  cts_knobs.environment_skew = 0.035 * traits.skew_sensitivity;
+  cts_knobs.clock_frequency_ghz = freq_ghz;
+  std::vector<double> pre_cts_slack;
+  if (cts_knobs.useful_skew) {
+    std::vector<double> est_wl(static_cast<std::size_t>(nl.net_count()));
+    for (int net = 0; net < nl.net_count(); ++net) {
+      est_wl[static_cast<std::size_t>(net)] = placement.net_hpwl(nl, net);
+    }
+    const sta::TimingAnalyzer pre_sta{nl};
+    pre_cts_slack = pre_sta.analyze(est_wl, {}, t_opt).cell_slack;
+  }
+  const cts::ClockTreeSynthesizer cts_engine{nl, placement, cts_knobs,
+                                             traits.seed ^ 0xc75ULL};
+  result.clock = cts_engine.run(pre_cts_slack);
+
+  // ----- Global routing -----
+  route::GlobalRouter router{nl, placement, knobs.route,
+                             traits.seed ^ 0x707eULL};
+  result.routing = router.run();
+  std::vector<double> net_wl = result.routing.net_length;
+
+  // ----- Post-route STA -----
+  auto run_sta = [&](const netlist::Netlist& current) {
+    // Nets created by hold fixing get a short local wire.
+    net_wl.resize(static_cast<std::size_t>(current.net_count()),
+                  0.3 / std::max(1, placement.grid));
+    const sta::TimingAnalyzer analyzer{current};
+    std::vector<double> clk = result.clock.arrival;
+    clk.resize(static_cast<std::size_t>(current.cell_count()), 0.0);
+    return analyzer.analyze(net_wl, clk, t_opt);
+  };
+  result.pre_opt_timing = run_sta(nl);
+
+  // ----- Optimization: setup -> hold -> power -> leakage -> gating -----
+  opt::OptEngine engine{nl, placement, knobs.opt, traits.seed ^ 0x0b7ULL};
+  auto report = result.pre_opt_timing;
+  if (engine.fix_setup(report) > 0) report = run_sta(nl);
+  if (engine.fix_hold(report) > 0) report = run_sta(nl);
+  if (engine.recover_power(report) > 0) report = run_sta(nl);
+  if (engine.recover_leakage(report) > 0) report = run_sta(nl);
+  std::vector<std::uint8_t> gated;
+  engine.apply_clock_gating(gated);
+  result.opt_stats = engine.stats();
+  result.final_cell_count = nl.cell_count();
+
+  // Legalization feedback: optimization-driven area growth (upsizing, hold
+  // buffers) displaces cells and stretches wires. Signoff sees the
+  // stretched parasitics, so stacking aggressive sizing recipes carries a
+  // real power/timing cost instead of being a free lunch.
+  const double growth = std::max(
+      0.0, nl.total_area() / design_.netlist().total_area() - 1.0);
+  const double stretch = 1.0 + 0.6 * growth;
+  for (auto& w : net_wl) w *= stretch;
+  result.final_timing = run_sta(nl);
+
+  // ----- Signoff power -----
+  sta::PowerOptions p_opt;
+  p_opt.wire_cap_per_unit = wire.cap_per_unit;
+  p_opt.frequency_ghz = freq_ghz;
+  const sta::PowerAnalyzer power{nl};
+  result.power = power.analyze(net_wl, result.clock.clock_power, gated, p_opt);
+
+  // ----- QoR assembly (with tiny deterministic process noise) -----
+  util::Rng noise{util::hash_combine(traits.seed, recipes.to_u64())};
+  const double jitter = 1.0 + noise.normal(0.0, 0.004);
+  Qor& qor = result.qor;
+  qor.wns = result.final_timing.wns;
+  qor.tns = result.final_timing.tns * jitter;
+  qor.hold_tns = result.final_timing.hold_tns;
+  qor.power = result.power.total * (1.0 + noise.normal(0.0, 0.004));
+  qor.area = nl.total_area();
+  qor.drcs = result.routing.drc_violations;
+  return result;
+}
+
+}  // namespace vpr::flow

@@ -1,0 +1,88 @@
+#pragma once
+// Flow orchestration: the miniature stand-in for a commercial P&R tool.
+// One Flow::run() executes placement -> clock tree synthesis -> global
+// routing -> optimization (setup / hold / power / leakage / clock gating)
+// -> signoff STA + power, with the knobs resolved from a RecipeSet, and
+// returns the final QoR plus the full per-stage trajectory that the
+// insight analyzers mine.
+//
+// Runs are deterministic given (design traits, recipe set): the flow seeds
+// every engine from the design seed, and the small signoff "process noise"
+// is a pure function of (design, recipe set).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cts/cts.h"
+#include "flow/recipe.h"
+#include "netlist/generator.h"
+#include "netlist/netlist.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "sta/power.h"
+#include "sta/sta.h"
+
+namespace vpr::flow {
+
+/// Signoff quality of result — what the recommender optimizes.
+struct Qor {
+  double wns = 0.0;       // ns, negative when violating
+  double tns = 0.0;       // ns, >= 0 (total negative slack magnitude)
+  double hold_tns = 0.0;  // ns, >= 0
+  double power = 0.0;     // mW
+  double area = 0.0;      // um^2
+  int drcs = 0;           // routing DRC estimate
+};
+
+/// Everything observable about one flow run (for insight extraction).
+struct FlowResult {
+  Qor qor;
+  FlowKnobs knobs;  // resolved knobs after recipe application
+  place::PlaceTrajectory place_trajectory;
+  double place_hpwl = 0.0;
+  double mean_utilization = 0.0;
+  route::RoutingResult routing;
+  cts::ClockTree clock;
+  sta::TimingReport pre_opt_timing;  // post-route, pre-optimization
+  sta::TimingReport final_timing;
+  sta::PowerReport power;
+  opt::OptStats opt_stats;
+  int final_cell_count = 0;
+};
+
+/// A benchmark design: immutable traits + the generated golden netlist.
+class Design {
+ public:
+  explicit Design(netlist::DesignTraits traits);
+
+  [[nodiscard]] const netlist::DesignTraits& traits() const noexcept {
+    return traits_;
+  }
+  [[nodiscard]] const netlist::Netlist& netlist() const noexcept {
+    return netlist_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return traits_.name;
+  }
+
+ private:
+  netlist::DesignTraits traits_;
+  netlist::Netlist netlist_;
+};
+
+class Flow {
+ public:
+  explicit Flow(const Design& design) : design_(design) {}
+
+  /// Runs the full flow with the given recipe set. Deterministic.
+  [[nodiscard]] FlowResult run(const RecipeSet& recipes) const;
+
+  /// Knobs after applying `recipes` to the defaults (exposed for tests).
+  [[nodiscard]] FlowKnobs resolve_knobs(const RecipeSet& recipes) const;
+
+ private:
+  const Design& design_;
+};
+
+}  // namespace vpr::flow

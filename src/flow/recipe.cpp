@@ -1,0 +1,302 @@
+#include "flow/recipe.h"
+
+#include <stdexcept>
+
+namespace vpr::flow {
+
+const char* category_name(RecipeCategory c) {
+  switch (c) {
+    case RecipeCategory::kTradeoff: return "Design intention tradeoffs";
+    case RecipeCategory::kTiming: return "Timing";
+    case RecipeCategory::kClockTree: return "Clock tree";
+    case RecipeCategory::kRoutingCongestion: return "Routing (congestion)";
+    case RecipeCategory::kGlobalRouting: return "Routing (global/engines)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Recipe> build_catalog() {
+  std::vector<Recipe> r;
+  r.reserve(kNumRecipes);
+  const auto add = [&](RecipeCategory cat, const char* name,
+                       const char* description,
+                       std::function<void(FlowKnobs&)> apply) {
+    Recipe recipe;
+    recipe.id = static_cast<int>(r.size());
+    recipe.name = name;
+    recipe.category = cat;
+    recipe.description = description;
+    recipe.apply = std::move(apply);
+    r.push_back(std::move(recipe));
+  };
+  using C = RecipeCategory;
+
+  // ----- Design intention tradeoffs (0-7) -----
+  add(C::kTradeoff, "trade_timing_for_power",
+      "Relax setup effort, deepen power recovery",
+      [](FlowKnobs& k) {
+        k.opt.power_effort += 0.35;
+        k.opt.setup_effort -= 0.20;
+      });
+  add(C::kTradeoff, "trade_power_for_timing",
+      "Deepen setup fixing (incl. LVT), relax power recovery",
+      [](FlowKnobs& k) {
+        k.opt.setup_effort += 0.35;
+        k.opt.setup_use_lvt = true;
+        k.opt.power_effort -= 0.15;
+      });
+  add(C::kTradeoff, "area_frugal",
+      "Cap area growth; pack placement tighter",
+      [](FlowKnobs& k) {
+        k.opt.max_area_growth = 0.06;
+        k.place.density_target += 0.08;
+      });
+  add(C::kTradeoff, "area_for_timing",
+      "Allow large area growth for timing fixes",
+      [](FlowKnobs& k) {
+        k.opt.max_area_growth = 0.40;
+        k.opt.setup_effort += 0.20;
+      });
+  add(C::kTradeoff, "leakage_focus",
+      "Prioritize leakage recovery (HVT swaps)",
+      [](FlowKnobs& k) { k.opt.leakage_effort += 0.40; });
+  add(C::kTradeoff, "dynamic_power_focus",
+      "Prioritize dynamic power: downsizing + clock gating",
+      [](FlowKnobs& k) {
+        k.opt.power_effort += 0.25;
+        k.opt.clock_gating += 0.30;
+      });
+  add(C::kTradeoff, "balanced_ppa",
+      "Modest, broad effort increase across engines",
+      [](FlowKnobs& k) {
+        k.opt.setup_effort += 0.10;
+        k.opt.power_effort += 0.10;
+        k.opt.leakage_effort += 0.10;
+      });
+  add(C::kTradeoff, "recover_into_margin",
+      "Shrink the slack guard so recovery digs deeper",
+      [](FlowKnobs& k) { k.opt.slack_guard -= 0.035; });
+
+  // ----- Timing (8-15) -----
+  add(C::kTiming, "setup_focus",
+      "More setup-fixing passes on critical cells",
+      [](FlowKnobs& k) { k.opt.setup_effort += 0.30; });
+  add(C::kTiming, "setup_with_lvt",
+      "Permit VT acceleration during setup fixing",
+      [](FlowKnobs& k) {
+        k.opt.setup_use_lvt = true;
+        k.opt.setup_effort += 0.10;
+      });
+  add(C::kTiming, "hold_aggressive",
+      "Fix nearly all hold violations early",
+      [](FlowKnobs& k) { k.opt.hold_effort += 0.45; });
+  add(C::kTiming, "hold_minimal",
+      "Only fix the worst hold violations (save buffers/power)",
+      [](FlowKnobs& k) { k.opt.hold_effort -= 0.35; });
+  add(C::kTiming, "timing_driven_place",
+      "Re-place with STA-derived net weights",
+      [](FlowKnobs& k) {
+        k.timing_driven_place = true;
+        k.place.timing_weight += 0.50;
+      });
+  add(C::kTiming, "placement_explore",
+      "Higher placement perturbation + extra iterations",
+      [](FlowKnobs& k) {
+        k.place.perturbation += 0.40;
+        k.place.iterations += 2;
+      });
+  add(C::kTiming, "extra_setup_margin",
+      "Target extra setup margin when fixing",
+      [](FlowKnobs& k) { k.opt.setup_margin += 0.03; });
+  add(C::kTiming, "optimistic_signoff",
+      "Reduce the signoff uncertainty guard band",
+      [](FlowKnobs& k) { k.clock_uncertainty -= 0.01; });
+
+  // ----- Clock tree (16-23) -----
+  add(C::kClockTree, "tight_skew",
+      "Tighten the CTS skew balancing target",
+      [](FlowKnobs& k) { k.cts.target_skew -= 0.05; });
+  add(C::kClockTree, "loose_skew_low_power",
+      "Loosen skew target to save clock buffers/power",
+      [](FlowKnobs& k) { k.cts.target_skew += 0.07; });
+  add(C::kClockTree, "strong_clock_buffers",
+      "Use stronger clock buffers (fewer stages)",
+      [](FlowKnobs& k) { k.cts.buffer_drive += 1; });
+  add(C::kClockTree, "weak_clock_buffers",
+      "Use weaker clock buffers (lower clock power)",
+      [](FlowKnobs& k) { k.cts.buffer_drive -= 1; });
+  add(C::kClockTree, "latency_first_cts",
+      "Route clock branches more directly (lower latency)",
+      [](FlowKnobs& k) { k.cts.latency_effort += 0.40; });
+  add(C::kClockTree, "useful_skew",
+      "Enable useful skew for setup-critical endpoints",
+      [](FlowKnobs& k) { k.cts.useful_skew = true; });
+  add(C::kClockTree, "useful_skew_wide",
+      "Useful skew with a wide borrowing budget",
+      [](FlowKnobs& k) {
+        k.cts.useful_skew = true;
+        k.cts.useful_skew_budget = 0.16;
+      });
+  add(C::kClockTree, "clock_gate_deep",
+      "Aggressive clock gating of idle registers",
+      [](FlowKnobs& k) { k.opt.clock_gating += 0.50; });
+
+  // ----- Routing: congestion (24-31) -----
+  add(C::kRoutingCongestion, "route_effort_high",
+      "More detour candidates + steeper congestion penalty",
+      [](FlowKnobs& k) { k.route.congestion_effort += 0.40; });
+  add(C::kRoutingCongestion, "capacity_margin",
+      "Derate routing capacity for DRC safety",
+      [](FlowKnobs& k) { k.route.capacity_derate -= 0.15; });
+  add(C::kRoutingCongestion, "extra_route_rounds",
+      "Additional rip-up-and-reroute rounds",
+      [](FlowKnobs& k) { k.route.rounds += 3; });
+  add(C::kRoutingCongestion, "fast_route",
+      "Fewer routing rounds, lower effort (runtime recipe)",
+      [](FlowKnobs& k) {
+        k.route.rounds -= 1;
+        k.route.congestion_effort -= 0.20;
+      });
+  add(C::kRoutingCongestion, "place_congestion_spread",
+      "Stronger congestion-driven spreading in placement",
+      [](FlowKnobs& k) { k.place.congestion_effort += 0.40; });
+  add(C::kRoutingCongestion, "density_relax",
+      "Lower placement density target (easier routing)",
+      [](FlowKnobs& k) { k.place.density_target -= 0.10; });
+  add(C::kRoutingCongestion, "density_pack",
+      "Higher density target (shorter wires, congestion risk)",
+      [](FlowKnobs& k) { k.place.density_target += 0.10; });
+  add(C::kRoutingCongestion, "layer_headroom",
+      "Assume extra track capacity (optimistic routing)",
+      [](FlowKnobs& k) { k.route.capacity_derate += 0.15; });
+
+  // ----- Global routing hyperparameters + engine combos (32-39) -----
+  add(C::kGlobalRouting, "route_conservative",
+      "Combined modest effort increase + capacity margin",
+      [](FlowKnobs& k) {
+        k.route.congestion_effort += 0.20;
+        k.route.capacity_derate -= 0.08;
+      });
+  add(C::kGlobalRouting, "power_recovery_deep",
+      "Deeper downsizing with smaller slack guard",
+      [](FlowKnobs& k) {
+        k.opt.power_effort += 0.25;
+        k.opt.slack_guard -= 0.02;
+      });
+  add(C::kGlobalRouting, "leakage_recovery_deep",
+      "Deeper HVT swapping with smaller slack guard",
+      [](FlowKnobs& k) {
+        k.opt.leakage_effort += 0.30;
+        k.opt.slack_guard -= 0.02;
+      });
+  add(C::kGlobalRouting, "sequential_power_focus",
+      "Clock gating plus relaxed skew for clock power",
+      [](FlowKnobs& k) {
+        k.opt.clock_gating += 0.40;
+        k.cts.target_skew += 0.02;
+      });
+  add(C::kGlobalRouting, "switching_care",
+      "For high-activity designs: recovery + route effort",
+      [](FlowKnobs& k) {
+        k.opt.power_effort += 0.20;
+        k.route.congestion_effort += 0.20;
+      });
+  add(C::kGlobalRouting, "place_iterations_deep",
+      "Extra global placement iterations",
+      [](FlowKnobs& k) { k.place.iterations += 3; });
+  add(C::kGlobalRouting, "congestion_combo",
+      "Placement + routing congestion effort together",
+      [](FlowKnobs& k) {
+        k.place.congestion_effort += 0.30;
+        k.route.congestion_effort += 0.30;
+      });
+  add(C::kGlobalRouting, "hold_then_power",
+      "Strong hold fixing paired with power recovery",
+      [](FlowKnobs& k) {
+        k.opt.hold_effort += 0.30;
+        k.opt.power_effort += 0.15;
+      });
+
+  if (static_cast<int>(r.size()) != kNumRecipes) {
+    throw std::logic_error("recipe catalog must contain exactly 40 recipes");
+  }
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Recipe>& recipe_catalog() {
+  static const std::vector<Recipe> catalog = build_catalog();
+  return catalog;
+}
+
+RecipeSet RecipeSet::from_ids(const std::vector<int>& ids) {
+  RecipeSet rs;
+  for (const int id : ids) rs.set(id);
+  return rs;
+}
+
+RecipeSet RecipeSet::from_bits(const std::vector<int>& bits) {
+  if (static_cast<int>(bits.size()) != kNumRecipes) {
+    throw std::invalid_argument("RecipeSet::from_bits: need 40 entries");
+  }
+  RecipeSet rs;
+  for (int i = 0; i < kNumRecipes; ++i) {
+    if (bits[static_cast<std::size_t>(i)] != 0) rs.set(i);
+  }
+  return rs;
+}
+
+void RecipeSet::set(int id, bool on) {
+  if (id < 0 || id >= kNumRecipes) {
+    throw std::out_of_range("RecipeSet::set: bad recipe id");
+  }
+  bits_.set(static_cast<std::size_t>(id), on);
+}
+
+bool RecipeSet::test(int id) const {
+  if (id < 0 || id >= kNumRecipes) {
+    throw std::out_of_range("RecipeSet::test: bad recipe id");
+  }
+  return bits_.test(static_cast<std::size_t>(id));
+}
+
+std::vector<int> RecipeSet::ids() const {
+  std::vector<int> out;
+  for (int i = 0; i < kNumRecipes; ++i) {
+    if (bits_.test(static_cast<std::size_t>(i))) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> RecipeSet::to_bits() const {
+  std::vector<int> out(kNumRecipes, 0);
+  for (int i = 0; i < kNumRecipes; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        bits_.test(static_cast<std::size_t>(i)) ? 1 : 0;
+  }
+  return out;
+}
+
+std::string RecipeSet::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for (const int id : ids()) {
+    if (!first) s += ",";
+    s += std::to_string(id);
+    first = false;
+  }
+  s += "}";
+  return s;
+}
+
+void RecipeSet::apply(FlowKnobs& knobs) const {
+  const auto& catalog = recipe_catalog();
+  for (const int id : ids()) {
+    catalog[static_cast<std::size_t>(id)].apply(knobs);
+  }
+}
+
+}  // namespace vpr::flow

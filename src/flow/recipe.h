@@ -1,0 +1,93 @@
+#pragma once
+// Recipes (paper Table II): preconfigured knob adjustments, each with a
+// dedicated QoR intention, spanning five categories. A RecipeSet is the
+// subset of the 40 recipes loaded into one flow run — the object the
+// InsightAlign model generates token by token.
+//
+// Recipes compose: each applies a delta / override to the FlowKnobs, in
+// recipe-id order. Interactions between recipes are physical: they emerge
+// from the engines (e.g. aggressive sizing + dense placement => routing
+// overflow => detours => worse timing), not from scripted rules.
+
+#include <bitset>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cts/cts.h"
+#include "opt/engines.h"
+#include "place/placer.h"
+#include "route/router.h"
+
+namespace vpr::flow {
+
+inline constexpr int kNumRecipes = 40;
+
+/// All engine knobs for one flow run.
+struct FlowKnobs {
+  place::PlacerKnobs place;
+  cts::CtsKnobs cts;
+  route::RouterKnobs route;
+  opt::OptKnobs opt;
+  double clock_uncertainty = 0.02;  // ns signoff guard band
+  bool timing_driven_place = false; // re-place with STA net weights
+};
+
+enum class RecipeCategory {
+  kTradeoff,     // design intention tradeoffs
+  kTiming,       // setup/hold balance, placement perturbation
+  kClockTree,    // CTS hyperparameters
+  kRoutingCongestion,  // congestion knobs
+  kGlobalRouting,      // global routing hyperparameters + misc engines
+};
+
+[[nodiscard]] const char* category_name(RecipeCategory c);
+
+struct Recipe {
+  int id = 0;
+  std::string name;
+  RecipeCategory category = RecipeCategory::kTradeoff;
+  std::string description;
+  std::function<void(FlowKnobs&)> apply;
+};
+
+/// The fixed 40-recipe catalog (index == recipe id).
+[[nodiscard]] const std::vector<Recipe>& recipe_catalog();
+
+/// A subset of the catalog, as selected by the recommender.
+class RecipeSet {
+ public:
+  RecipeSet() = default;
+  explicit RecipeSet(const std::bitset<kNumRecipes>& bits) : bits_(bits) {}
+  /// From explicit recipe ids; throws on out-of-range ids.
+  static RecipeSet from_ids(const std::vector<int>& ids);
+  /// From a 0/1 vector of length kNumRecipes.
+  static RecipeSet from_bits(const std::vector<int>& bits);
+
+  void set(int id, bool on = true);
+  [[nodiscard]] bool test(int id) const;
+  [[nodiscard]] int count() const noexcept {
+    return static_cast<int>(bits_.count());
+  }
+  [[nodiscard]] std::vector<int> ids() const;
+  /// 0/1 vector of length kNumRecipes (the model's token sequence).
+  [[nodiscard]] std::vector<int> to_bits() const;
+  [[nodiscard]] std::uint64_t to_u64() const {
+    return bits_.to_ullong();
+  }
+  static RecipeSet from_u64(std::uint64_t v) {
+    return RecipeSet{std::bitset<kNumRecipes>{v}};
+  }
+  [[nodiscard]] std::string to_string() const;  // e.g. "{3,17,25}"
+
+  friend bool operator==(const RecipeSet&, const RecipeSet&) = default;
+
+  /// Applies every selected recipe to `knobs`, in id order.
+  void apply(FlowKnobs& knobs) const;
+
+ private:
+  std::bitset<kNumRecipes> bits_;
+};
+
+}  // namespace vpr::flow

@@ -1,0 +1,184 @@
+#include "flow/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace vpr::flow {
+
+void write_text_report(const Design& design, const RecipeSet& recipes,
+                       const FlowResult& result, std::ostream& os) {
+  const auto& traits = design.traits();
+  os << "==== Flow report: " << design.name() << " ====\n";
+  os << "Technology " << traits.feature_nm << " nm | clock "
+     << traits.clock_period_ns << " ns | cells (golden) "
+     << design.netlist().cell_count() << " -> (final) "
+     << result.final_cell_count << '\n';
+  os << "Recipes: " << recipes.to_string();
+  for (const int id : recipes.ids()) {
+    os << "\n  [" << id << "] "
+       << recipe_catalog()[static_cast<std::size_t>(id)].name << " - "
+       << recipe_catalog()[static_cast<std::size_t>(id)].description;
+  }
+  os << '\n';
+
+  os << "\n-- Placement --\n";
+  os << "HPWL " << util::fmt(result.place_hpwl, 2) << " | mean utilization "
+     << util::fmt(result.mean_utilization, 3) << '\n';
+  for (std::size_t s = 0; s < result.place_trajectory.step_congestion.size();
+       ++s) {
+    os << "  step " << s + 1 << ": congestion "
+       << util::fmt(result.place_trajectory.step_congestion[s], 3)
+       << ", overflow "
+       << util::fmt(result.place_trajectory.step_overflow[s], 3) << ", hpwl "
+       << util::fmt(result.place_trajectory.step_hpwl[s], 1) << '\n';
+  }
+
+  os << "\n-- Clock tree --\n";
+  os << "latency " << util::fmt(result.clock.max_latency, 3) << " ns | skew "
+     << util::fmt(result.clock.skew, 3) << " ns | buffers "
+     << result.clock.buffer_count << " | clock power "
+     << util::fmt(result.clock.clock_power, 3) << " mW | useful-skew "
+     << result.clock.useful_skew_endpoints << " endpoints\n";
+
+  os << "\n-- Routing --\n";
+  os << "wirelength " << util::fmt(result.routing.total_wirelength, 2)
+     << " | overflow edges " << result.routing.overflow_edges << '/'
+     << result.routing.edge_count() << " | peak util "
+     << util::fmt(result.routing.max_utilization, 2) << " | DRC "
+     << result.routing.drc_violations << '\n';
+
+  os << "\n-- Timing --\n";
+  os << "pre-opt : WNS " << util::fmt(result.pre_opt_timing.wns, 3)
+     << " TNS " << util::fmt(result.pre_opt_timing.tns, 2) << " hold TNS "
+     << util::fmt(result.pre_opt_timing.hold_tns, 2) << '\n';
+  os << "signoff : WNS " << util::fmt(result.final_timing.wns, 3) << " TNS "
+     << util::fmt(result.final_timing.tns, 2) << " hold TNS "
+     << util::fmt(result.final_timing.hold_tns, 2) << " (violations "
+     << result.final_timing.setup_violations << " setup / "
+     << result.final_timing.hold_violations << " hold)\n";
+
+  // Endpoint slack distribution at signoff.
+  if (!result.final_timing.endpoints.empty()) {
+    std::vector<double> slacks;
+    slacks.reserve(result.final_timing.endpoints.size());
+    for (const auto& ep : result.final_timing.endpoints) {
+      slacks.push_back(ep.setup_slack);
+    }
+    const double period = design.traits().clock_period_ns;
+    const double lo = std::min(-0.1 * period,
+                               *std::min_element(slacks.begin(), slacks.end()));
+    util::Histogram hist{lo, period, 8};
+    hist.add_all(slacks);
+    os << "endpoint setup-slack distribution (ns):\n" << hist.render(30);
+  }
+
+  os << "\n-- Optimization --\n";
+  os << "upsized " << result.opt_stats.upsized << " | vt-accel "
+     << result.opt_stats.vt_accelerated << " | downsized "
+     << result.opt_stats.downsized << " | vt-relaxed "
+     << result.opt_stats.vt_relaxed << " | hold buffers "
+     << result.opt_stats.hold_buffers << " | gated FFs "
+     << result.opt_stats.gated_ffs << '\n';
+
+  os << "\n-- Power --\n";
+  os << "total " << util::fmt(result.power.total, 3) << " mW = switching "
+     << util::fmt(result.power.switching, 3) << " + internal "
+     << util::fmt(result.power.internal_power, 3) << " + leakage "
+     << util::fmt(result.power.leakage, 3) << " + clock "
+     << util::fmt(result.power.clock_network, 3) << '\n';
+  os << "sequential fraction "
+     << util::fmt(result.power.sequential_fraction(), 3)
+     << " | leakage fraction "
+     << util::fmt(result.power.leakage_fraction(), 3) << '\n';
+
+  os << "\n-- Headline QoR --\n";
+  os << "power " << util::fmt(result.qor.power, 3) << " mW | TNS "
+     << util::fmt(result.qor.tns, 3) << " ns | hold TNS "
+     << util::fmt(result.qor.hold_tns, 3) << " ns | area "
+     << util::fmt(result.qor.area, 1) << " um^2 | DRC " << result.qor.drcs
+     << '\n';
+}
+
+util::Json to_json(const Design& design, const RecipeSet& recipes,
+                   const FlowResult& result) {
+  util::Json root = util::Json::object();
+  root["design"] = util::Json::object();
+  root["design"]["name"] = design.name();
+  root["design"]["feature_nm"] = design.traits().feature_nm;
+  root["design"]["clock_period_ns"] = design.traits().clock_period_ns;
+  root["design"]["cells"] = design.netlist().cell_count();
+  root["design"]["final_cells"] = result.final_cell_count;
+
+  util::Json recipe_array = util::Json::array();
+  for (const int id : recipes.ids()) {
+    util::Json r = util::Json::object();
+    r["id"] = id;
+    r["name"] = recipe_catalog()[static_cast<std::size_t>(id)].name;
+    recipe_array.push_back(std::move(r));
+  }
+  root["recipes"] = std::move(recipe_array);
+
+  util::Json place = util::Json::object();
+  place["hpwl"] = result.place_hpwl;
+  place["mean_utilization"] = result.mean_utilization;
+  util::Json congestion = util::Json::array();
+  for (const double c : result.place_trajectory.step_congestion) {
+    congestion.push_back(c);
+  }
+  place["step_congestion"] = std::move(congestion);
+  root["placement"] = std::move(place);
+
+  util::Json clock = util::Json::object();
+  clock["max_latency_ns"] = result.clock.max_latency;
+  clock["skew_ns"] = result.clock.skew;
+  clock["buffers"] = result.clock.buffer_count;
+  clock["power_mw"] = result.clock.clock_power;
+  root["clock_tree"] = std::move(clock);
+
+  util::Json routing = util::Json::object();
+  routing["wirelength"] = result.routing.total_wirelength;
+  routing["overflow_edges"] = result.routing.overflow_edges;
+  routing["max_utilization"] = result.routing.max_utilization;
+  routing["drc_violations"] = result.routing.drc_violations;
+  root["routing"] = std::move(routing);
+
+  util::Json timing = util::Json::object();
+  timing["wns_ns"] = result.final_timing.wns;
+  timing["tns_ns"] = result.final_timing.tns;
+  timing["hold_tns_ns"] = result.final_timing.hold_tns;
+  timing["setup_violations"] = result.final_timing.setup_violations;
+  timing["hold_violations"] = result.final_timing.hold_violations;
+  root["timing"] = std::move(timing);
+
+  util::Json power = util::Json::object();
+  power["total_mw"] = result.power.total;
+  power["switching_mw"] = result.power.switching;
+  power["internal_mw"] = result.power.internal_power;
+  power["leakage_mw"] = result.power.leakage;
+  power["clock_mw"] = result.power.clock_network;
+  power["sequential_fraction"] = result.power.sequential_fraction();
+  power["leakage_fraction"] = result.power.leakage_fraction();
+  root["power"] = std::move(power);
+
+  util::Json opt = util::Json::object();
+  opt["upsized"] = result.opt_stats.upsized;
+  opt["downsized"] = result.opt_stats.downsized;
+  opt["vt_relaxed"] = result.opt_stats.vt_relaxed;
+  opt["hold_buffers"] = result.opt_stats.hold_buffers;
+  opt["gated_ffs"] = result.opt_stats.gated_ffs;
+  root["optimization"] = std::move(opt);
+
+  util::Json qor = util::Json::object();
+  qor["power_mw"] = result.qor.power;
+  qor["tns_ns"] = result.qor.tns;
+  qor["hold_tns_ns"] = result.qor.hold_tns;
+  qor["area_um2"] = result.qor.area;
+  qor["drcs"] = result.qor.drcs;
+  root["qor"] = std::move(qor);
+  return root;
+}
+
+}  // namespace vpr::flow

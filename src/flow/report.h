@@ -1,0 +1,24 @@
+#pragma once
+// Flow run reporting: renders a FlowResult as a human-readable text report
+// (the "log file" view a designer reads) and as structured JSON (the view
+// downstream tooling consumes). Pure formatting — no flow state is touched.
+
+#include <iosfwd>
+#include <string>
+
+#include "flow/flow.h"
+#include "util/json.h"
+
+namespace vpr::flow {
+
+/// Multi-section text report: design, recipes, stage trajectory, clock
+/// tree, routing, timing, optimization, power, headline QoR.
+void write_text_report(const Design& design, const RecipeSet& recipes,
+                       const FlowResult& result, std::ostream& os);
+
+/// Structured JSON mirror of the text report.
+[[nodiscard]] util::Json to_json(const Design& design,
+                                 const RecipeSet& recipes,
+                                 const FlowResult& result);
+
+}  // namespace vpr::flow

@@ -1,0 +1,64 @@
+#include "flow/runtime_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::flow {
+
+RuntimeEstimate RuntimeModel::estimate(const netlist::DesignTraits& traits,
+                                       const FlowKnobs& knobs) {
+  // Superlinear size scaling, normalized to 24 h at 1M cells baseline.
+  const double mcells = std::max(1e-4, traits.target_cells / 1e6);
+  const double size_factor = std::pow(mcells, 1.15);
+  const double base_hours = 24.0 * size_factor;
+
+  RuntimeEstimate est;
+  const FlowKnobs defaults;
+  // Placement: proportional to refinement iterations; timing-driven mode
+  // doubles it (a second global placement pass after STA).
+  est.place_hours = base_hours * 0.35 *
+                    (static_cast<double>(knobs.place.iterations) /
+                     defaults.place.iterations) *
+                    (knobs.timing_driven_place ? 2.0 : 1.0);
+  // CTS: tighter skew targets and useful skew need more balancing passes.
+  const double skew_effort = std::clamp(
+      defaults.cts.target_skew / std::max(knobs.cts.target_skew, 1e-3), 0.3,
+      4.0);
+  est.cts_hours =
+      base_hours * 0.10 * skew_effort * (knobs.cts.useful_skew ? 1.3 : 1.0);
+  // Routing: proportional to rip-up rounds and detour effort.
+  est.route_hours = base_hours * 0.35 *
+                    (static_cast<double>(std::max(1, knobs.route.rounds)) /
+                     defaults.route.rounds) *
+                    (1.0 + 0.5 * knobs.route.congestion_effort);
+  // Optimization: summed engine efforts.
+  const double opt_effort =
+      std::clamp(knobs.opt.setup_effort, 0.0, 1.0) +
+      std::clamp(knobs.opt.hold_effort, 0.0, 1.0) +
+      std::clamp(knobs.opt.power_effort, 0.0, 1.0) +
+      std::clamp(knobs.opt.leakage_effort, 0.0, 1.0) +
+      std::clamp(knobs.opt.clock_gating, 0.0, 1.0);
+  const double default_effort =
+      defaults.opt.setup_effort + defaults.opt.hold_effort +
+      defaults.opt.power_effort + defaults.opt.leakage_effort +
+      defaults.opt.clock_gating;
+  est.opt_hours = base_hours * 0.20 *
+                  (opt_effort / std::max(default_effort, 1e-9));
+  est.total_hours =
+      est.place_hours + est.cts_hours + est.route_hours + est.opt_hours;
+  return est;
+}
+
+double RuntimeModel::campaign_hours(const netlist::DesignTraits& traits,
+                                    int runs, int parallel_jobs) {
+  if (runs < 0 || parallel_jobs < 1) {
+    throw std::invalid_argument("campaign_hours: bad counts");
+  }
+  const auto per_run = estimate(traits, FlowKnobs{});
+  const double waves =
+      std::ceil(static_cast<double>(runs) / parallel_jobs);
+  return waves * per_run.total_hours;
+}
+
+}  // namespace vpr::flow

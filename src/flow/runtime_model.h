@@ -1,0 +1,41 @@
+#pragma once
+// Tool-runtime cost model: estimates the wall-clock hours a commercial
+// P&R tool would spend on one flow iteration of a given design with given
+// knobs. The paper's core motivation is compute cost ("lengthy exploration
+// cycles ... large parallel jobs", runs taking "days to weeks"), so the
+// experiment harnesses report estimated tool-hours alongside evaluation
+// counts. This is a cost *model* — our miniature flow runs in
+// milliseconds; the estimate maps each run back to commercial-scale
+// effort.
+//
+// Calibration: a 1M-cell design at baseline knobs ~ 24 tool-hours, scaling
+// slightly superlinearly with cell count; effort knobs (placement
+// iterations, routing rounds, optimization effort, timing-driven
+// re-placement) multiply it.
+
+#include "flow/recipe.h"
+#include "netlist/generator.h"
+
+namespace vpr::flow {
+
+struct RuntimeEstimate {
+  double place_hours = 0.0;
+  double cts_hours = 0.0;
+  double route_hours = 0.0;
+  double opt_hours = 0.0;
+  double total_hours = 0.0;
+};
+
+class RuntimeModel {
+ public:
+  /// Estimate for one flow iteration of `traits` under `knobs`.
+  [[nodiscard]] static RuntimeEstimate estimate(
+      const netlist::DesignTraits& traits, const FlowKnobs& knobs);
+
+  /// Convenience: hours for a whole exploration campaign of `runs`
+  /// iterations at baseline knobs, assuming `parallel_jobs` machines.
+  [[nodiscard]] static double campaign_hours(
+      const netlist::DesignTraits& traits, int runs, int parallel_jobs = 1);
+};
+
+}  // namespace vpr::flow

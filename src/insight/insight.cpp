@@ -1,0 +1,363 @@
+#include "insight/insight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace vpr::insight {
+
+const char* category_name(InsightCategory c) {
+  switch (c) {
+    case InsightCategory::kPlacement: return "Placement";
+    case InsightCategory::kRouting: return "Routing";
+    case InsightCategory::kTiming: return "Timing";
+    case InsightCategory::kPower: return "Power";
+    case InsightCategory::kClock: return "Clock";
+    case InsightCategory::kStructure: return "Structure";
+    case InsightCategory::kOpportunity: return "Opportunity";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<InsightDescriptor> build_descriptors() {
+  std::vector<InsightDescriptor> d;
+  d.reserve(kInsightDims);
+  const auto add = [&](InsightCategory cat, std::string description,
+                       std::string range) {
+    d.push_back({static_cast<int>(d.size()), cat, std::move(description),
+                 std::move(range)});
+  };
+  using C = InsightCategory;
+  // 0-9: placement trajectory.
+  for (int s = 1; s <= 5; ++s) {
+    add(C::kPlacement,
+        "Congestion level during placement step " + std::to_string(s),
+        "[0,1] (low/medium/high)");
+  }
+  for (int s = 1; s <= 5; ++s) {
+    add(C::kPlacement,
+        "Density overflow during placement step " + std::to_string(s),
+        "[0,1]");
+  }
+  add(C::kPlacement, "Normalized wirelength per cell after placement", "[0,1]");   // 10
+  add(C::kPlacement, "Mean bin utilization", "[0,1]");                             // 11
+  add(C::kRouting, "Routing overflow edge fraction, first round", "[0,1]");        // 12
+  add(C::kRouting, "Routing overflow edge fraction, final round", "[0,1]");        // 13
+  add(C::kRouting, "Peak routing-edge utilization", "[0,1]");                      // 14
+  add(C::kRouting, "Routing DRC violation density", "[0,1]");                      // 15
+  add(C::kRouting, "Mean routing detour factor above HPWL", "[0,1]");              // 16
+  add(C::kTiming, "Is easy to meet timing constraints", "{yes,no}");               // 17
+  add(C::kTiming, "Worst negative slack over clock period", "[-1,1]");             // 18
+  add(C::kTiming, "Total negative slack per endpoint-period", "[0,1]");            // 19
+  add(C::kTiming, "Violating endpoint fraction", "[0,1]");                         // 20
+  add(C::kTiming, "Longest arrival over clock period", "[0,1]");                   // 21
+  add(C::kTiming, "Endpoint slack spread over period", "[0,1]");                   // 22
+  add(C::kTiming, "Weak cell percentage on critical paths", "[0,100]%/100");       // 23
+  add(C::kTiming, "Hold-violating endpoint fraction", "[0,1]");                    // 24
+  add(C::kTiming, "Total negative hold slack per endpoint-period", "[0,1]");       // 25
+  add(C::kTiming, "Instance count from hold-time fixes", "N (per FF)");            // 26
+  add(C::kClock, "Critical paths with harmful clock skew", "{yes,no}");            // 27
+  add(C::kClock, "Harmful-skew endpoint fraction", "[0,1]");                       // 28
+  add(C::kClock, "Clock skew over clock period", "[0,1]");                         // 29
+  add(C::kClock, "Clock insertion latency over period", "[0,1]");                  // 30
+  add(C::kClock, "Clock buffers per flip-flop", "[0,1]");                          // 31
+  add(C::kClock, "Clock network share of total power", "[0,1]");                   // 32
+  add(C::kPower, "Sequential-cell power is dominant", "{yes,no}");                 // 33
+  add(C::kPower, "Sequential power fraction", "[0,1]");                            // 34
+  add(C::kPower, "Leakage power is dominant", "{yes,no}");                         // 35
+  add(C::kPower, "Leakage power fraction", "[0,1]");                               // 36
+  add(C::kPower, "Good opportunity for power saving during recovery step",
+      "{yes,no}");                                                                 // 37
+  add(C::kPower, "Positive-slack cell fraction", "[0,1]");                         // 38
+  add(C::kTiming, "Mean endpoint slack over period", "[-1,1]");                    // 39
+  add(C::kTiming, "Endpoint slack standard deviation over period", "[0,1]");       // 40
+  add(C::kPower, "Mean switching activity", "[0,1]");                              // 41
+  add(C::kPower, "90th percentile switching activity", "[0,1]");                   // 42
+  add(C::kPower, "Low-activity flip-flop fraction (gating opportunity)",
+      "[0,1]");                                                                    // 43
+  add(C::kStructure, "Flip-flop ratio", "[0,1]");                                  // 44
+  add(C::kStructure, "Average net fanout (normalized)", "[0,1]");                  // 45
+  add(C::kStructure, "High-fanout net fraction", "[0,1]");                         // 46
+  add(C::kStructure, "Design size (log10 cells / 6)", "[0,1]");                    // 47
+  add(C::kStructure, "Mean cell area (node-normalized)", "[0,1]");                 // 48
+  add(C::kStructure, "Weakest-drive cell fraction", "[0,1]");                      // 49
+  add(C::kStructure, "Low-VT cell fraction", "[0,1]");                             // 50
+  add(C::kStructure, "High-VT cell fraction", "[0,1]");                            // 51
+  add(C::kStructure, "Technology node scale (feature/45nm)", "[0,1]");             // 52
+  add(C::kStructure, "Clock period (normalized to 5 ns)", "[0,1]");                // 53
+  add(C::kStructure, "Macro blockage area fraction", "[0,1]");                     // 54
+  add(C::kStructure, "Connectivity cluster count (normalized)", "[0,1]");          // 55
+  add(C::kStructure, "Cross-cluster net fraction", "[0,1]");                       // 56
+  add(C::kPlacement, "Placement congestion slope across steps", "[-1,1]");         // 57
+  add(C::kRouting, "Routing overflow improvement across rounds", "[0,1]");         // 58
+  add(C::kTiming, "Endpoints per cell", "[0,1]");                                  // 59
+  add(C::kTiming, "Primary-output endpoint fraction", "[0,1]");                    // 60
+  add(C::kRouting, "Routed wirelength per cell (normalized)", "[0,1]");            // 61
+  add(C::kTiming, "Mean net criticality", "[0,1]");                                // 62
+  add(C::kTiming, "95th percentile net criticality", "[0,1]");                     // 63
+  add(C::kOpportunity, "Upsizable near-critical cell fraction", "[0,1]");          // 64
+  add(C::kOpportunity, "Downsizable positive-slack cell fraction", "[0,1]");       // 65
+  add(C::kOpportunity, "VT-relaxable positive-slack cell fraction", "[0,1]");      // 66
+  add(C::kOpportunity, "Short-path endpoint fraction (hold risk)", "[0,1]");       // 67
+  add(C::kOpportunity, "Timing-power tension (criticality vs activity)",
+      "[0,1]");                                                                    // 68
+  add(C::kOpportunity, "Probe-run setup fixes per cell", "[0,1]");                 // 69
+  add(C::kOpportunity, "Probe-run power recovery moves per cell", "[0,1]");        // 70
+  add(C::kStructure, "Bias term", "{1}");                                          // 71
+  return d;
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Last-value padding read of a trajectory vector.
+double step_value(const std::vector<double>& v, int step) {
+  if (v.empty()) return 0.0;
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(step),
+                                         v.size() - 1);
+  return v[idx];
+}
+
+}  // namespace
+
+const std::vector<InsightDescriptor>& insight_descriptors() {
+  static const std::vector<InsightDescriptor> descriptors =
+      build_descriptors();
+  return descriptors;
+}
+
+InsightVector analyze(const flow::Design& design,
+                      const flow::FlowResult& probe) {
+  const auto& nl = design.netlist();
+  const auto& traits = design.traits();
+  const double period = traits.clock_period_ns;
+  const int cells = nl.cell_count();
+  const int ffs = std::max(1, nl.flip_flop_count());
+  const auto& timing = probe.pre_opt_timing;
+  const int endpoints =
+      std::max<std::size_t>(1, timing.endpoints.size());
+
+  InsightVector v{};
+
+  // --- placement trajectory (0-9) ---
+  for (int s = 0; s < 5; ++s) {
+    v[static_cast<std::size_t>(s)] =
+        clamp01(step_value(probe.place_trajectory.step_congestion, s) * 3.0);
+    v[static_cast<std::size_t>(5 + s)] =
+        clamp01(step_value(probe.place_trajectory.step_overflow, s) * 5.0);
+  }
+  v[10] = clamp01(probe.place_hpwl / (0.06 * cells));
+  v[11] = clamp01(probe.mean_utilization);
+
+  // --- routing (12-16) ---
+  const auto& rounds = probe.routing.round_overflow_edges;
+  const double grid_edges =
+      std::max(1.0, static_cast<double>(probe.routing.edge_count()));
+  const double r0 = rounds.empty() ? 0.0 : static_cast<double>(rounds.front());
+  const double rl = rounds.empty() ? 0.0 : static_cast<double>(rounds.back());
+  v[12] = clamp01(r0 / grid_edges * 8.0);
+  v[13] = clamp01(rl / grid_edges * 8.0);
+  v[14] = clamp01(probe.routing.max_utilization / 2.0);
+  v[15] = clamp01(static_cast<double>(probe.routing.drc_violations) /
+                  std::max(1.0, cells / 50.0));
+  double mean_detour = 0.0;
+  if (!probe.routing.detour_factor.empty()) {
+    for (const double d : probe.routing.detour_factor) mean_detour += d;
+    mean_detour /= static_cast<double>(probe.routing.detour_factor.size());
+  }
+  v[16] = clamp01((mean_detour - 1.0) * 2.0);
+
+  // --- timing (17-26) ---
+  v[17] = timing.wns >= 0.0 ? 1.0 : 0.0;
+  v[18] = std::clamp(timing.wns / period, -1.0, 1.0);
+  v[19] = clamp01(timing.tns / (period * endpoints));
+  v[20] = clamp01(static_cast<double>(timing.setup_violations) / endpoints);
+  v[21] = clamp01(timing.max_arrival / (2.0 * period));
+  std::vector<double> ep_slack;
+  std::vector<double> ep_hold;
+  ep_slack.reserve(timing.endpoints.size());
+  for (const auto& ep : timing.endpoints) {
+    ep_slack.push_back(ep.setup_slack);
+    if (ep.cell >= 0) ep_hold.push_back(ep.hold_slack);
+  }
+  v[22] = clamp01(util::stddev(ep_slack) / period);
+  v[23] = clamp01(timing.critical_weak_fraction);
+  v[24] = clamp01(static_cast<double>(timing.hold_violations) / endpoints);
+  v[25] = clamp01(timing.hold_tns / (0.2 * period * endpoints));
+  v[26] = clamp01(static_cast<double>(probe.opt_stats.hold_buffers) / ffs);
+
+  // --- clock (27-32) ---
+  const double harmful_frac =
+      static_cast<double>(timing.harmful_skew_endpoints) / endpoints;
+  v[27] = harmful_frac > 0.02 ? 1.0 : 0.0;
+  v[28] = clamp01(harmful_frac * 5.0);
+  v[29] = clamp01(probe.clock.skew / (0.3 * period));
+  v[30] = clamp01(probe.clock.max_latency / period);
+  v[31] = clamp01(static_cast<double>(probe.clock.buffer_count) / ffs);
+  v[32] = probe.power.total > 0.0
+              ? clamp01(probe.clock.clock_power / probe.power.total * 2.0)
+              : 0.0;
+
+  // --- power (33-38) ---
+  const double seq_frac = probe.power.sequential_fraction();
+  const double leak_frac = probe.power.leakage_fraction();
+  v[33] = seq_frac > 0.40 ? 1.0 : 0.0;
+  v[34] = clamp01(seq_frac);
+  v[35] = leak_frac > 0.25 ? 1.0 : 0.0;
+  v[36] = clamp01(leak_frac);
+  int positive_slack_cells = 0;
+  for (const double s : timing.cell_slack) {
+    if (s > 0.1 * period) ++positive_slack_cells;
+  }
+  const double pos_frac =
+      cells > 0 ? static_cast<double>(positive_slack_cells) /
+                      static_cast<double>(timing.cell_slack.size())
+                : 0.0;
+  v[37] = pos_frac > 0.5 ? 1.0 : 0.0;
+  v[38] = clamp01(pos_frac);
+  v[39] = std::clamp(util::mean(ep_slack) / period, -1.0, 1.0);
+  v[40] = clamp01(util::stddev(ep_slack) / (0.5 * period));
+
+  // --- activity / power structure (41-43) ---
+  std::vector<double> activities;
+  activities.reserve(static_cast<std::size_t>(cells));
+  int low_activity_ffs = 0;
+  for (int c = 0; c < cells; ++c) {
+    activities.push_back(nl.cell(c).activity);
+    if (nl.is_flip_flop(c) && nl.cell(c).activity < 0.05) ++low_activity_ffs;
+  }
+  v[41] = clamp01(util::mean(activities) * 3.0);
+  v[42] = clamp01(util::percentile(activities, 90.0) * 2.0);
+  v[43] = clamp01(static_cast<double>(low_activity_ffs) / ffs);
+
+  // --- structure (44-56) ---
+  v[44] = clamp01(static_cast<double>(nl.flip_flop_count()) / cells * 2.0);
+  v[45] = clamp01(nl.average_fanout() / 4.0);
+  int high_fanout_nets = 0;
+  int cross_cluster_nets = 0;
+  int driven_nets = 0;
+  for (int n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver_cell == netlist::kNoDriver) continue;
+    ++driven_nets;
+    if (net.sink_cells.size() > 8) ++high_fanout_nets;
+    const int dc = nl.cell(net.driver_cell).cluster;
+    for (const int s : net.sink_cells) {
+      if (nl.cell(s).cluster != dc) {
+        ++cross_cluster_nets;
+        break;
+      }
+    }
+  }
+  v[46] = clamp01(static_cast<double>(high_fanout_nets) /
+                  std::max(1, driven_nets) * 20.0);
+  v[47] = clamp01(std::log10(static_cast<double>(cells)) / 6.0);
+  const double area_scale = nl.library().node().area_scale();
+  v[48] = clamp01(nl.total_area() / cells / (5.0 * area_scale) / 2.0);
+  v[49] = clamp01(nl.weak_cell_fraction());
+  int lvt = 0;
+  int hvt = 0;
+  for (int c = 0; c < cells; ++c) {
+    if (nl.cell_type(c).vt == netlist::Vt::kLow) ++lvt;
+    if (nl.cell_type(c).vt == netlist::Vt::kHigh) ++hvt;
+  }
+  v[50] = clamp01(static_cast<double>(lvt) / cells);
+  v[51] = clamp01(static_cast<double>(hvt) / cells);
+  v[52] = clamp01(nl.library().node().feature_nm / 45.0);
+  v[53] = clamp01(period / 5.0);
+  double blocked = 0.0;
+  for (const auto& b : nl.blockages()) {
+    blocked += (b.x1 - b.x0) * (b.y1 - b.y0);
+  }
+  v[54] = clamp01(blocked);
+  v[55] = clamp01(static_cast<double>(nl.cluster_count()) / 16.0);
+  v[56] = clamp01(static_cast<double>(cross_cluster_nets) /
+                  std::max(1, driven_nets));
+
+  // --- trajectory dynamics (57-58) ---
+  const auto& cong = probe.place_trajectory.step_congestion;
+  v[57] = cong.size() >= 2
+              ? std::clamp((cong.back() - cong.front()) * 3.0, -1.0, 1.0)
+              : 0.0;
+  v[58] = r0 > 0.0 ? clamp01((r0 - rl) / r0) : 0.0;
+
+  // --- endpoint structure (59-63) ---
+  v[59] = clamp01(static_cast<double>(endpoints) / cells);
+  int po_endpoints = 0;
+  for (const auto& ep : timing.endpoints) {
+    if (ep.cell < 0) ++po_endpoints;
+  }
+  v[60] = clamp01(static_cast<double>(po_endpoints) / endpoints);
+  v[61] = clamp01(probe.routing.total_wirelength / (0.08 * cells));
+  v[62] = clamp01(util::mean(timing.net_criticality));
+  v[63] = clamp01(util::percentile(timing.net_criticality, 95.0));
+
+  // --- optimization opportunity (64-70) ---
+  int upsizable_critical = 0;
+  int near_critical = 0;
+  int downsizable_positive = 0;
+  int relaxable_positive = 0;
+  const double crit_threshold = 0.15 * period;
+  for (int c = 0;
+       c < static_cast<int>(timing.cell_slack.size()) && c < cells; ++c) {
+    const double s = timing.cell_slack[static_cast<std::size_t>(c)];
+    const auto& type = nl.cell_type(c);
+    if (s < crit_threshold) {
+      ++near_critical;
+      if (type.drive < netlist::CellLibrary::max_drive()) {
+        ++upsizable_critical;
+      }
+    } else {
+      if (type.drive > 1 && !nl.is_flip_flop(c)) ++downsizable_positive;
+      if (type.vt != netlist::Vt::kHigh) ++relaxable_positive;
+    }
+  }
+  v[64] = near_critical > 0 ? clamp01(static_cast<double>(upsizable_critical) /
+                                      near_critical)
+                            : 0.0;
+  v[65] = clamp01(static_cast<double>(downsizable_positive) / cells);
+  v[66] = clamp01(static_cast<double>(relaxable_positive) / cells);
+  int short_paths = 0;
+  for (const double h : ep_hold) {
+    if (h < 0.1 * period) ++short_paths;
+  }
+  v[67] = ep_hold.empty()
+              ? 0.0
+              : clamp01(static_cast<double>(short_paths) /
+                        static_cast<double>(ep_hold.size()));
+  // Tension: are the high-activity cells also the critical ones?
+  std::vector<double> crit_per_cell;
+  crit_per_cell.reserve(timing.cell_slack.size());
+  for (const double s : timing.cell_slack) {
+    crit_per_cell.push_back(std::clamp(1.0 - s / std::max(crit_threshold, 1e-9),
+                                       0.0, 1.0));
+  }
+  std::vector<double> act_trim(activities.begin(),
+                               activities.begin() +
+                                   static_cast<std::ptrdiff_t>(std::min(
+                                       activities.size(),
+                                       crit_per_cell.size())));
+  crit_per_cell.resize(act_trim.size());
+  v[68] = clamp01((util::pearson(crit_per_cell, act_trim) + 1.0) / 2.0);
+  v[69] = clamp01(static_cast<double>(probe.opt_stats.upsized) /
+                  std::max(1, cells) * 10.0);
+  v[70] = clamp01(static_cast<double>(probe.opt_stats.downsized +
+                                      probe.opt_stats.vt_relaxed) /
+                  std::max(1, cells) * 5.0);
+  v[71] = 1.0;
+  return v;
+}
+
+double distance(const InsightVector& a, const InsightVector& b) {
+  double sq = 0.0;
+  for (int i = 0; i < kInsightDims; ++i) {
+    const double d = a[static_cast<std::size_t>(i)] -
+                     b[static_cast<std::size_t>(i)];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace vpr::insight

@@ -1,0 +1,55 @@
+#pragma once
+// Design insights (paper §III-A, Table I): expert flow-health analyses
+// encoded as a fixed-length quantitative vector, extracted automatically
+// from the probing run's trajectory. This is the contextual conditioning
+// input of the InsightAlign model — 72 dimensions spanning placement
+// congestion trajectory, routing health, timing difficulty, power
+// structure, clock tree quality, design structure and optimization
+// opportunity.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace vpr::insight {
+
+inline constexpr int kInsightDims = 72;
+
+enum class InsightCategory {
+  kPlacement,
+  kRouting,
+  kTiming,
+  kPower,
+  kClock,
+  kStructure,
+  kOpportunity,
+};
+
+[[nodiscard]] const char* category_name(InsightCategory c);
+
+/// Metadata for one insight dimension (used by the Table I harness and for
+/// interpretability).
+struct InsightDescriptor {
+  int index = 0;
+  InsightCategory category = InsightCategory::kStructure;
+  std::string description;
+  std::string range;  // human-readable, e.g. "{yes,no}" or "[0,1]"
+};
+
+/// All 72 descriptors, index-aligned with InsightVector.
+[[nodiscard]] const std::vector<InsightDescriptor>& insight_descriptors();
+
+using InsightVector = std::array<double, kInsightDims>;
+
+/// Extracts the insight vector from a design and the FlowResult of its
+/// probing run (first iteration with the default recipe set).
+[[nodiscard]] InsightVector analyze(const flow::Design& design,
+                                    const flow::FlowResult& probe);
+
+/// L2 distance between insight vectors (used for design-similarity
+/// diagnostics and tests).
+[[nodiscard]] double distance(const InsightVector& a, const InsightVector& b);
+
+}  // namespace vpr::insight

@@ -1,0 +1,221 @@
+#include "netlist/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vpr::netlist {
+
+namespace {
+
+struct Signal {
+  int net = 0;
+  int level = 0;
+  int cluster = 0;
+};
+
+constexpr Func kCombFuncs[] = {Func::kInv,  Func::kNand2, Func::kNor2,
+                               Func::kAnd2, Func::kOr2,   Func::kXor2,
+                               Func::kMux2, Func::kAoi21, Func::kBuf};
+
+/// Random initial variant honoring the VT / drive mix traits.
+int pick_type(const CellLibrary& lib, Func func, const DesignTraits& traits,
+              util::Rng& rng) {
+  Vt vt = Vt::kStandard;
+  const double r = rng.uniform();
+  if (r < traits.lvt_ratio) {
+    vt = Vt::kLow;
+  } else if (r > 0.95) {
+    vt = Vt::kHigh;
+  }
+  int drive = 2;
+  const double dr = rng.uniform();
+  if (dr < traits.weak_drive_ratio) {
+    drive = 1;
+  } else if (dr > 0.9) {
+    drive = 3;
+  }
+  return lib.find(func, drive, vt);
+}
+
+}  // namespace
+
+Netlist generate(const DesignTraits& traits) {
+  if (traits.target_cells < 50) {
+    throw std::invalid_argument("generate: target_cells too small");
+  }
+  if (traits.logic_depth < 2) {
+    throw std::invalid_argument("generate: logic_depth must be >= 2");
+  }
+  util::Rng rng{traits.seed};
+  const TechNode node{traits.name + "_node", traits.feature_nm};
+  Netlist nl{traits.name, CellLibrary::make(node), traits.clock_period_ns};
+  const CellLibrary& lib = nl.library();
+
+  const int n_ff = std::max(
+      2, static_cast<int>(traits.ff_ratio * traits.target_cells));
+  const int n_comb = std::max(10, traits.target_cells - n_ff);
+  const int n_pi = std::max(4, traits.target_cells / 50);
+  const int n_clusters = std::max(1, traits.clusters);
+
+  // Per-cluster activity baseline: gives designs coherent high/low activity
+  // regions, which is what the power-saving insights key on.
+  std::vector<double> cluster_activity(static_cast<std::size_t>(n_clusters));
+  for (auto& a : cluster_activity) {
+    a = std::clamp(traits.activity_mean * rng.lognormal(0.0, 0.4), 0.004, 0.9);
+  }
+  const auto cell_activity = [&](int cluster) {
+    return std::clamp(
+        cluster_activity[static_cast<std::size_t>(cluster)] *
+            rng.lognormal(0.0, 0.4),
+        0.002, 0.95);
+  };
+
+  // Level-indexed signal pools; per-cluster views for locality bias.
+  std::vector<std::vector<Signal>> by_level(
+      static_cast<std::size_t>(traits.logic_depth) + 1);
+  std::vector<Signal> all_signals;
+  const auto add_signal = [&](int net, int level, int cluster) {
+    const Signal s{net, level, cluster};
+    by_level[static_cast<std::size_t>(level)].push_back(s);
+    all_signals.push_back(s);
+  };
+
+  // Primary inputs at level 0.
+  for (int i = 0; i < n_pi; ++i) {
+    const int net = nl.add_net();
+    nl.mark_primary_input(net);
+    add_signal(net, 0, rng.uniform_int(0, n_clusters - 1));
+  }
+
+  // Flip-flop output (Q) nets at level 0; the FF cells themselves are
+  // created at the end, once deep signals exist to feed their D pins.
+  std::vector<int> ff_q_nets(static_cast<std::size_t>(n_ff));
+  std::vector<int> ff_clusters(static_cast<std::size_t>(n_ff));
+  for (int i = 0; i < n_ff; ++i) {
+    const int net = nl.add_net();
+    const int cluster = rng.uniform_int(0, n_clusters - 1);
+    ff_q_nets[static_cast<std::size_t>(i)] = net;
+    ff_clusters[static_cast<std::size_t>(i)] = cluster;
+    add_signal(net, 0, cluster);
+  }
+
+  // A few designated broadcast signals become high-fanout nets (enables,
+  // resets): they get a strong extra selection weight below.
+  const int n_broadcast = std::max(
+      0, static_cast<int>(traits.high_fanout_ratio *
+                          static_cast<double>(n_comb)));
+  std::vector<Signal> broadcast;
+  for (int i = 0; i < n_broadcast && !all_signals.empty(); ++i) {
+    broadcast.push_back(all_signals[rng.index(all_signals.size())]);
+  }
+
+  // Picks a fanin for a cell at `level` in `cluster`: biased toward recent
+  // levels and (per congestion_propensity) toward the same cluster.
+  const auto pick_fanin = [&](int level, int cluster) -> Signal {
+    if (!broadcast.empty() && rng.bernoulli(0.04)) {
+      return broadcast[rng.index(broadcast.size())];
+    }
+    const bool local = !rng.bernoulli(traits.congestion_propensity);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      // Geometric bias toward the immediately preceding level.
+      int src_level = level - 1;
+      while (src_level > 0 && rng.bernoulli(0.45)) --src_level;
+      const auto& pool = by_level[static_cast<std::size_t>(src_level)];
+      if (pool.empty()) continue;
+      const Signal& s = pool[rng.index(pool.size())];
+      if (!local || s.cluster == cluster || attempt >= 8) return s;
+    }
+    // Fallback: anything from level 0 (never empty).
+    const auto& pool = by_level[0];
+    return pool[rng.index(pool.size())];
+  };
+
+  // Combinational cells, level by level so pools stay populated.
+  for (int i = 0; i < n_comb; ++i) {
+    const int level =
+        1 + static_cast<int>(rng.index(
+                static_cast<std::size_t>(traits.logic_depth)));
+    const Func func =
+        kCombFuncs[rng.index(std::size(kCombFuncs))];
+    const int cluster = rng.uniform_int(0, n_clusters - 1);
+    std::vector<int> fanins;
+    const int n_in = func_input_count(func);
+    fanins.reserve(static_cast<std::size_t>(n_in));
+    for (int p = 0; p < n_in; ++p) {
+      fanins.push_back(pick_fanin(level, cluster).net);
+    }
+    const int out = nl.add_net();
+    const int cell =
+        nl.add_cell(pick_type(lib, func, traits, rng), fanins, out);
+    nl.set_cell_cluster(cell, cluster);
+    nl.set_cell_activity(cell, cell_activity(cluster));
+    add_signal(out, level, cluster);
+  }
+
+  // Flip-flops: D pin fed from deep logic, except a hold-sensitive fraction
+  // fed from shallow levels (short FF->FF paths that hold fixing must pad).
+  const int deep_from =
+      std::max(1, static_cast<int>(0.6 * traits.logic_depth));
+  for (int i = 0; i < n_ff; ++i) {
+    const int cluster = ff_clusters[static_cast<std::size_t>(i)];
+    Signal d{};
+    if (rng.bernoulli(traits.hold_sensitivity)) {
+      // Short path: level 0 source (often another FF's Q).
+      const auto& pool = by_level[0];
+      d = pool[rng.index(pool.size())];
+    } else {
+      // Deep path: search downward from a deep level for a non-empty pool.
+      int level = traits.logic_depth;
+      for (; level >= deep_from; --level) {
+        if (!by_level[static_cast<std::size_t>(level)].empty() &&
+            rng.bernoulli(0.5)) {
+          break;
+        }
+      }
+      level = std::max(level, 1);
+      while (by_level[static_cast<std::size_t>(level)].empty()) --level;
+      const auto& pool = by_level[static_cast<std::size_t>(level)];
+      d = pool[rng.index(pool.size())];
+    }
+    const int dff_type = pick_type(lib, Func::kDff, traits, rng);
+    const int cell = nl.add_cell(dff_type, {d.net},
+                                 ff_q_nets[static_cast<std::size_t>(i)]);
+    nl.set_cell_cluster(cell, cluster);
+    nl.set_cell_activity(cell, cell_activity(cluster) * 0.5);
+  }
+
+  // Primary outputs from deep signals; then make every otherwise-unloaded
+  // net a PO so no output dangles.
+  const int n_po = std::max(2, n_pi / 2);
+  for (int i = 0; i < n_po; ++i) {
+    int level = traits.logic_depth;
+    while (by_level[static_cast<std::size_t>(level)].empty()) --level;
+    const auto& pool = by_level[static_cast<std::size_t>(level)];
+    nl.mark_primary_output(pool[rng.index(pool.size())].net);
+  }
+  for (int n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(n).sink_cells.empty() && !nl.net(n).is_primary_output) {
+      nl.mark_primary_output(n);
+    }
+  }
+
+  // Macro blockages.
+  if (traits.macro_ratio > 0.0) {
+    double remaining = std::clamp(traits.macro_ratio, 0.0, 0.4);
+    while (remaining > 0.01) {
+      const double w = std::clamp(rng.uniform(0.12, 0.35), 0.0, 1.0);
+      const double h = std::clamp(remaining / w, 0.05, 0.35);
+      const double x0 = rng.uniform(0.0, 1.0 - w);
+      const double y0 = rng.uniform(0.0, 1.0 - h);
+      nl.add_blockage({x0, y0, x0 + w, y0 + h});
+      remaining -= w * h;
+    }
+  }
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace vpr::netlist

@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic design generator. Each generated design is a legal multi-level
+// sequential netlist whose *traits* (size, depth, fanout profile, activity,
+// VT mix, clustering, hold/skew sensitivity, macros) are controlled by a
+// DesignTraits descriptor. The 17-design benchmark suite used by the
+// experiments (stand-ins for the paper's industrial designs D1..D17) is
+// defined in suite.h.
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace vpr::netlist {
+
+struct DesignTraits {
+  std::string name = "design";
+  double feature_nm = 45.0;       // technology node
+  int target_cells = 4000;        // approximate cell count
+  double clock_period_ns = 1.0;   // single clock domain
+  int logic_depth = 12;           // average combinational levels
+  double ff_ratio = 0.12;         // flip-flop fraction of cells
+  double high_fanout_ratio = 0.01;   // fraction of nets made high-fanout
+  double activity_mean = 0.10;    // mean switching activity
+  double lvt_ratio = 0.25;        // initial low-VT fraction (leaky/fast)
+  double weak_drive_ratio = 0.30; // initial drive-1 fraction
+  double congestion_propensity = 0.3;  // 0 local .. 1 heavily cross-cluster
+  double hold_sensitivity = 0.2;  // prevalence of short FF->FF paths
+  double skew_sensitivity = 0.3;  // clock sink spread / imbalance
+  double macro_ratio = 0.0;       // die fraction blocked by macros
+  int clusters = 8;               // connectivity clusters
+  std::uint64_t seed = 1;
+};
+
+/// Builds a netlist realizing the traits. Deterministic given traits.seed.
+[[nodiscard]] Netlist generate(const DesignTraits& traits);
+
+}  // namespace vpr::netlist

@@ -1,0 +1,191 @@
+#include "netlist/library.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::netlist {
+
+const char* func_name(Func f) {
+  switch (f) {
+    case Func::kInv: return "INV";
+    case Func::kBuf: return "BUF";
+    case Func::kNand2: return "NAND2";
+    case Func::kNor2: return "NOR2";
+    case Func::kAnd2: return "AND2";
+    case Func::kOr2: return "OR2";
+    case Func::kXor2: return "XOR2";
+    case Func::kMux2: return "MUX2";
+    case Func::kAoi21: return "AOI21";
+    case Func::kDff: return "DFF";
+    case Func::kClkBuf: return "CLKBUF";
+  }
+  return "?";
+}
+
+const char* vt_name(Vt vt) {
+  switch (vt) {
+    case Vt::kLow: return "LVT";
+    case Vt::kStandard: return "SVT";
+    case Vt::kHigh: return "HVT";
+  }
+  return "?";
+}
+
+int func_input_count(Func f) {
+  switch (f) {
+    case Func::kInv:
+    case Func::kBuf:
+    case Func::kClkBuf:
+      return 1;
+    case Func::kDff:
+      return 1;  // D pin (clock pin handled separately)
+    case Func::kNand2:
+    case Func::kNor2:
+    case Func::kAnd2:
+    case Func::kOr2:
+    case Func::kXor2:
+      return 2;
+    case Func::kMux2:
+    case Func::kAoi21:
+      return 3;
+  }
+  return 1;
+}
+
+double TechNode::delay_scale() const { return feature_nm / 45.0; }
+double TechNode::cap_scale() const { return feature_nm / 45.0; }
+double TechNode::leakage_scale() const {
+  // Leakage grows sharply at advanced nodes (relative share of power).
+  return std::pow(45.0 / feature_nm, 0.8);
+}
+double TechNode::area_scale() const {
+  return (feature_nm / 45.0) * (feature_nm / 45.0);
+}
+
+namespace {
+
+struct FuncBase {
+  Func func;
+  CellKind kind;
+  double delay;     // ns at drive 1, SVT, 45 nm
+  double res;       // ns/pF at drive 1
+  double cap;       // pF per input at drive 1
+  double leak;      // uW at drive 1, SVT
+  double energy;    // pJ per toggle at drive 1
+  double area;      // um^2 at drive 1
+};
+
+constexpr FuncBase kBases[] = {
+    {Func::kInv, CellKind::kInverter, 0.012, 2.4, 0.0018, 0.020, 0.0016, 0.8},
+    {Func::kBuf, CellKind::kBuffer, 0.022, 2.2, 0.0017, 0.028, 0.0022, 1.1},
+    {Func::kNand2, CellKind::kCombinational, 0.016, 2.8, 0.0021, 0.031, 0.0024, 1.3},
+    {Func::kNor2, CellKind::kCombinational, 0.019, 3.1, 0.0022, 0.033, 0.0026, 1.3},
+    {Func::kAnd2, CellKind::kCombinational, 0.026, 2.9, 0.0021, 0.036, 0.0028, 1.6},
+    {Func::kOr2, CellKind::kCombinational, 0.028, 3.0, 0.0022, 0.037, 0.0029, 1.6},
+    {Func::kXor2, CellKind::kCombinational, 0.038, 3.5, 0.0028, 0.048, 0.0042, 2.4},
+    {Func::kMux2, CellKind::kCombinational, 0.034, 3.3, 0.0026, 0.052, 0.0040, 2.6},
+    {Func::kAoi21, CellKind::kCombinational, 0.030, 3.2, 0.0025, 0.044, 0.0034, 2.1},
+    {Func::kDff, CellKind::kFlipFlop, 0.085, 2.6, 0.0024, 0.110, 0.0105, 5.5},
+    {Func::kClkBuf, CellKind::kClockBuffer, 0.020, 1.8, 0.0020, 0.040, 0.0030, 1.5},
+};
+
+/// VT multipliers: LVT is fast and leaky, HVT slow and frugal.
+double vt_delay_factor(Vt vt) {
+  switch (vt) {
+    case Vt::kLow: return 0.82;
+    case Vt::kStandard: return 1.0;
+    case Vt::kHigh: return 1.28;
+  }
+  return 1.0;
+}
+
+double vt_leak_factor(Vt vt) {
+  switch (vt) {
+    case Vt::kLow: return 4.2;
+    case Vt::kStandard: return 1.0;
+    case Vt::kHigh: return 0.24;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+CellLibrary CellLibrary::make(const TechNode& node) {
+  CellLibrary lib{node};
+  const double ds = node.delay_scale();
+  const double cs = node.cap_scale();
+  const double ls = node.leakage_scale();
+  const double as = node.area_scale();
+  for (const auto& base : kBases) {
+    for (int drive = 1; drive <= max_drive(); ++drive) {
+      const double d = static_cast<double>(drive);
+      for (const Vt vt : {Vt::kLow, Vt::kStandard, Vt::kHigh}) {
+        // Clock buffers are built in SVT only (leakage is dominated by
+        // activity there anyway); others get all three flavors.
+        if (base.func == Func::kClkBuf && vt != Vt::kStandard) continue;
+        CellType cell;
+        cell.func = base.func;
+        cell.kind = base.kind;
+        cell.vt = vt;
+        cell.drive = drive;
+        cell.name = std::string(func_name(base.func)) + "_X" +
+                    std::to_string(drive) + "_" + vt_name(vt);
+        const double vtd = vt_delay_factor(vt);
+        const double vtl = vt_leak_factor(vt);
+        // Stronger drive: slightly lower intrinsic delay, much lower
+        // resistance, higher pin cap / leakage / energy / area.
+        cell.intrinsic_delay = base.delay * vtd * ds / std::sqrt(d);
+        cell.drive_res = base.res * vtd * ds / d;
+        cell.input_cap = base.cap * cs * (0.7 + 0.3 * d);
+        cell.leakage = base.leak * vtl * ls * d;
+        cell.internal_energy = base.energy * cs * (0.6 + 0.4 * d);
+        cell.area = base.area * as * (0.6 + 0.4 * d);
+        if (base.func == Func::kDff) {
+          cell.clk_to_q = cell.intrinsic_delay;
+          cell.setup_time = 0.040 * vtd * ds;
+          cell.hold_time = 0.018 * ds / vtd;
+        }
+        lib.cells_.push_back(std::move(cell));
+      }
+    }
+  }
+  return lib;
+}
+
+int CellLibrary::find(Func func, int drive, Vt vt) const {
+  for (int i = 0; i < size(); ++i) {
+    const auto& c = cells_[static_cast<std::size_t>(i)];
+    if (c.func == func && c.drive == drive && c.vt == vt) return i;
+  }
+  throw std::out_of_range("CellLibrary::find: no such variant");
+}
+
+std::optional<int> CellLibrary::upsized(int index) const {
+  const auto& c = cell(index);
+  if (c.drive >= max_drive()) return std::nullopt;
+  return find(c.func, c.drive + 1, c.vt);
+}
+
+std::optional<int> CellLibrary::downsized(int index) const {
+  const auto& c = cell(index);
+  if (c.drive <= 1) return std::nullopt;
+  return find(c.func, c.drive - 1, c.vt);
+}
+
+std::optional<int> CellLibrary::slower_vt(int index) const {
+  const auto& c = cell(index);
+  if (c.func == Func::kClkBuf) return std::nullopt;
+  if (c.vt == Vt::kHigh) return std::nullopt;
+  const Vt next = c.vt == Vt::kLow ? Vt::kStandard : Vt::kHigh;
+  return find(c.func, c.drive, next);
+}
+
+std::optional<int> CellLibrary::faster_vt(int index) const {
+  const auto& c = cell(index);
+  if (c.func == Func::kClkBuf) return std::nullopt;
+  if (c.vt == Vt::kLow) return std::nullopt;
+  const Vt next = c.vt == Vt::kHigh ? Vt::kStandard : Vt::kLow;
+  return find(c.func, c.drive, next);
+}
+
+}  // namespace vpr::netlist

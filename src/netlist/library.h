@@ -1,0 +1,108 @@
+#pragma once
+// Simplified standard-cell library in the spirit of a Liberty .lib:
+// a set of cell types spanning logic functions, drive strengths and
+// threshold-voltage (VT) flavors, with a linear delay model
+//   delay = intrinsic + drive_resistance * load_cap,
+// per-pin input capacitance, leakage and per-toggle internal energy.
+//
+// The library is generated programmatically for a technology node; the
+// optimization engines (sizing, VT swap, buffering) navigate between
+// variants of the same function.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vpr::netlist {
+
+enum class CellKind {
+  kCombinational,  // generic logic gate
+  kBuffer,         // repeater (also used by hold fixing as delay cell)
+  kInverter,
+  kFlipFlop,  // D flip-flop, single clock domain
+  kClockBuffer,
+};
+
+enum class Vt { kLow = 0, kStandard = 1, kHigh = 2 };
+
+/// Logic function groups; cells within a group are swap-compatible.
+enum class Func {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kMux2,
+  kAoi21,
+  kDff,
+  kClkBuf,
+};
+
+[[nodiscard]] const char* func_name(Func f);
+[[nodiscard]] const char* vt_name(Vt vt);
+[[nodiscard]] int func_input_count(Func f);
+
+/// One library cell (unique function x drive x VT).
+struct CellType {
+  std::string name;
+  Func func = Func::kInv;
+  CellKind kind = CellKind::kCombinational;
+  Vt vt = Vt::kStandard;
+  int drive = 1;  // 1 (weakest) .. 4 (strongest)
+
+  double intrinsic_delay = 0.0;   // ns
+  double drive_res = 0.0;         // ns per pF
+  double input_cap = 0.0;         // pF per input pin
+  double leakage = 0.0;           // uW
+  double internal_energy = 0.0;   // pJ per output toggle
+  double area = 0.0;              // um^2
+  // Flip-flop only:
+  double setup_time = 0.0;  // ns
+  double hold_time = 0.0;   // ns
+  double clk_to_q = 0.0;    // ns (== intrinsic_delay for FFs)
+};
+
+/// Technology node descriptor; scales the base (45 nm-flavored) library.
+struct TechNode {
+  std::string name;    // e.g. "45nm", "7nm"
+  double feature_nm;   // drawn feature size
+  /// Derived multipliers relative to the 45 nm base.
+  [[nodiscard]] double delay_scale() const;
+  [[nodiscard]] double cap_scale() const;
+  [[nodiscard]] double leakage_scale() const;  // grows at small nodes
+  [[nodiscard]] double area_scale() const;
+};
+
+/// Library for one technology node.
+class CellLibrary {
+ public:
+  static CellLibrary make(const TechNode& node);
+
+  [[nodiscard]] const TechNode& node() const noexcept { return node_; }
+  [[nodiscard]] const std::vector<CellType>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const CellType& cell(int index) const { return cells_.at(index); }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(cells_.size()); }
+
+  /// Index of the (func, drive, vt) variant; throws if absent.
+  [[nodiscard]] int find(Func func, int drive, Vt vt) const;
+  /// Variant with the next higher/lower drive, same func/vt (if any).
+  [[nodiscard]] std::optional<int> upsized(int index) const;
+  [[nodiscard]] std::optional<int> downsized(int index) const;
+  /// Variant with a higher-threshold (lower leakage, slower) VT, same
+  /// func/drive.
+  [[nodiscard]] std::optional<int> slower_vt(int index) const;
+  [[nodiscard]] std::optional<int> faster_vt(int index) const;
+
+  [[nodiscard]] static constexpr int max_drive() noexcept { return 4; }
+
+ private:
+  explicit CellLibrary(TechNode node) : node_(std::move(node)) {}
+  TechNode node_;
+  std::vector<CellType> cells_;
+};
+
+}  // namespace vpr::netlist

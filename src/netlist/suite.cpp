@@ -1,0 +1,135 @@
+#include "netlist/suite.h"
+
+#include <stdexcept>
+
+namespace vpr::netlist {
+
+std::vector<DesignTraits> benchmark_suite() {
+  std::vector<DesignTraits> suite;
+  suite.reserve(kSuiteSize);
+
+  const auto make = [&](const char* name, double node_nm, int cells,
+                        double period, int depth) {
+    DesignTraits t;
+    t.name = name;
+    t.feature_nm = node_nm;
+    t.target_cells = cells;
+    t.clock_period_ns = period;
+    t.logic_depth = depth;
+    t.seed = 0x5eed0000ULL + suite.size() + 1;
+    suite.push_back(t);
+    return suite.size() - 1;
+  };
+  const auto& last = [&]() -> DesignTraits& { return suite.back(); };
+
+  // D1: large 45nm networking block; timing-stressed, congested core.
+  make("D1", 45.0, 9000, 15.0, 16);
+  last().congestion_propensity = 0.55;
+  last().activity_mean = 0.16;
+  last().hold_sensitivity = 0.15;
+
+  // D2: large 28nm compute tile; deep logic, moderate everything.
+  make("D2", 28.0, 8000, 8.8, 18);
+  last().lvt_ratio = 0.35;
+  last().activity_mean = 0.13;
+
+  // D3: very large 45nm SoC subsystem with macros.
+  make("D3", 45.0, 12000, 18.5, 14);
+  last().macro_ratio = 0.12;
+  last().congestion_propensity = 0.45;
+  last().activity_mean = 0.15;
+
+  // D4: small 14nm low-power controller; leakage-dominant.
+  make("D4", 14.0, 2500, 6.0, 10);
+  last().lvt_ratio = 0.55;
+  last().activity_mean = 0.035;
+  last().weak_drive_ratio = 0.40;
+
+  // D5: mid 28nm DSP; easy timing, power-recovery headroom.
+  make("D5", 28.0, 4500, 7.6, 9);
+  last().activity_mean = 0.10;
+  last().weak_drive_ratio = 0.20;
+
+  // D6: small 10nm IoT core; sequential power dominant.
+  make("D6", 10.0, 3000, 4.6, 11);
+  last().ff_ratio = 0.30;
+  last().activity_mean = 0.08;
+  last().skew_sensitivity = 0.55;
+
+  // D7: mid 20nm interface block; hold-sensitive.
+  make("D7", 20.0, 5000, 5.4, 12);
+  last().hold_sensitivity = 0.45;
+  last().activity_mean = 0.11;
+
+  // D8: small 16nm crypto datapath; XOR-heavy deep cones.
+  make("D8", 16.0, 3500, 6.3, 20);
+  last().activity_mean = 0.22;
+  last().weak_drive_ratio = 0.45;
+
+  // D9: large 28nm GPU shader slice; high activity, congested.
+  make("D9", 28.0, 10000, 9.0, 13);
+  last().congestion_propensity = 0.6;
+  last().activity_mean = 0.19;
+  last().high_fanout_ratio = 0.02;
+
+  // D10: 7nm ML accelerator tile; extreme traits on several axes at once —
+  // the suite's hardest zero-shot target (the paper's D10 analogue).
+  make("D10", 7.0, 6000, 4.2, 17);
+  last().congestion_propensity = 0.75;
+  last().hold_sensitivity = 0.5;
+  last().skew_sensitivity = 0.7;
+  last().lvt_ratio = 0.5;
+  last().activity_mean = 0.24;
+  last().macro_ratio = 0.10;
+
+  // D11: tiny 12nm always-on sensor hub; ultra-low power.
+  make("D11", 12.0, 2000, 5.4, 8);
+  last().activity_mean = 0.015;
+  last().ff_ratio = 0.22;
+  last().lvt_ratio = 0.1;
+
+  // D12: mid 28nm modem core; skewed clock environment.
+  make("D12", 28.0, 6500, 8.1, 12);
+  last().skew_sensitivity = 0.6;
+  last().activity_mean = 0.12;
+
+  // D13: large 45nm legacy ASIC; huge fanouts, weak cells.
+  make("D13", 45.0, 11000, 16.8, 15);
+  last().high_fanout_ratio = 0.03;
+  last().weak_drive_ratio = 0.5;
+  last().activity_mean = 0.14;
+
+  // D14: small 10nm audio codec; sequential-power heavy, easy timing.
+  make("D14", 10.0, 2800, 4.0, 9);
+  last().ff_ratio = 0.28;
+  last().activity_mean = 0.06;
+  last().skew_sensitivity = 0.4;
+
+  // D15: large 16nm cache controller; macros + congestion.
+  make("D15", 16.0, 9500, 9.3, 13);
+  last().macro_ratio = 0.15;
+  last().congestion_propensity = 0.65;
+  last().activity_mean = 0.13;
+
+  // D16: tiny 7nm PHY lane; trivial timing, hold-dominated.
+  make("D16", 7.0, 2200, 3.7, 7);
+  last().hold_sensitivity = 0.6;
+  last().activity_mean = 0.05;
+
+  // D17: very large 28nm switch fabric; broadcast-net heavy.
+  make("D17", 28.0, 13000, 11.0, 14);
+  last().high_fanout_ratio = 0.025;
+  last().congestion_propensity = 0.5;
+  last().activity_mean = 0.17;
+
+  return suite;
+}
+
+DesignTraits suite_design(int k) {
+  if (k < 1 || k > kSuiteSize) {
+    throw std::out_of_range("suite_design: expected 1..17");
+  }
+  return benchmark_suite()[static_cast<std::size_t>(k - 1)];
+}
+
+}  // namespace vpr::netlist

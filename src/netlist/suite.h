@@ -1,0 +1,23 @@
+#pragma once
+// The 17-design benchmark suite used by every experiment. These are
+// open, synthetic stand-ins for the paper's 17 proprietary industrial
+// designs: the trait vectors are chosen to span the same axes the paper
+// cites (technology node 45 nm..7 nm, design size, timing pressure, power
+// profile, congestion, hold/skew sensitivity) so that different recipe
+// subsets win on different designs.
+
+#include <vector>
+
+#include "netlist/generator.h"
+
+namespace vpr::netlist {
+
+/// Trait descriptors for D1..D17, index 0 == D1. Deterministic.
+[[nodiscard]] std::vector<DesignTraits> benchmark_suite();
+
+/// Convenience: traits for design "Dk" (1-based). Throws on bad index.
+[[nodiscard]] DesignTraits suite_design(int k);
+
+inline constexpr int kSuiteSize = 17;
+
+}  // namespace vpr::netlist

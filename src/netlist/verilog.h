@@ -1,0 +1,29 @@
+#pragma once
+// Structural-Verilog interchange for the gate-level netlist: a writer and
+// a matching parser for the subset this system emits (one module, wire
+// declarations, named-port cell instances from our library, plus pragma
+// comments carrying the non-Verilog attributes: activity, cluster, clock
+// period, blockages). Round-trips losslessly through read_verilog.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vpr::netlist {
+
+/// Writes `nl` as a single structural Verilog module.
+/// Net n is named "n<n>", cell c is instantiated as "u<c>".
+void write_verilog(const Netlist& nl, std::ostream& os);
+
+/// Convenience: write to a string.
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+/// Parses a module previously produced by write_verilog. The library is
+/// reconstructed from the "// pragma node" header. Throws
+/// std::runtime_error with a line number on malformed input.
+[[nodiscard]] Netlist read_verilog(std::istream& is);
+
+[[nodiscard]] Netlist read_verilog_string(const std::string& text);
+
+}  // namespace vpr::netlist

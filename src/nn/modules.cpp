@@ -1,0 +1,229 @@
+#include "nn/modules.h"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vpr::nn {
+
+namespace {
+/// Xavier/Glorot scale for a (fan_in, fan_out) weight.
+double glorot(int fan_in, int fan_out) {
+  return std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+}
+}  // namespace
+
+// ----- Module -----
+
+std::vector<double> Module::state() const {
+  std::vector<double> out;
+  for (const auto& p : parameters()) {
+    const auto d = p.data();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+void Module::load_state(std::span<const double> state) {
+  std::size_t offset = 0;
+  for (auto p : parameters()) {
+    auto dst = p.data();
+    if (offset + dst.size() > state.size()) {
+      throw std::invalid_argument("load_state: snapshot too small");
+    }
+    std::copy_n(state.begin() + static_cast<std::ptrdiff_t>(offset),
+                dst.size(), dst.begin());
+    offset += dst.size();
+  }
+  if (offset != state.size()) {
+    throw std::invalid_argument("load_state: snapshot size mismatch");
+  }
+}
+
+void Module::save(std::ostream& os) const {
+  const auto s = state();
+  const auto n = static_cast<std::uint64_t>(s.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(s.data()),
+           static_cast<std::streamsize>(s.size() * sizeof(double)));
+  if (!os) throw std::runtime_error("Module::save: stream write failed");
+}
+
+void Module::load(std::istream& is) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::vector<double> s(n);
+  is.read(reinterpret_cast<char*>(s.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!is) throw std::runtime_error("Module::load: stream read failed");
+  load_state(s);
+}
+
+// ----- Linear -----
+
+Linear::Linear(int in_features, int out_features, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::randn(in_features, out_features, rng,
+                            glorot(in_features, out_features),
+                            /*requires_grad=*/true)),
+      bias_(Tensor::zeros(1, out_features, /*requires_grad=*/true)) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Linear: non-positive dimensions");
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return add_row(matmul(x, weight_), bias_);
+}
+
+std::vector<Tensor> Linear::parameters() const { return {weight_, bias_}; }
+
+// ----- Embedding -----
+
+Embedding::Embedding(int num_embeddings, int dim, util::Rng& rng)
+    : num_(num_embeddings),
+      dim_(dim),
+      table_(Tensor::randn(num_embeddings, dim, rng, 0.1,
+                           /*requires_grad=*/true)) {
+  if (num_embeddings <= 0 || dim <= 0) {
+    throw std::invalid_argument("Embedding: non-positive dimensions");
+  }
+}
+
+Tensor Embedding::forward(const std::vector<int>& ids) const {
+  return gather_rows(table_, ids);
+}
+
+std::vector<Tensor> Embedding::parameters() const { return {table_}; }
+
+// ----- PositionalEncoding -----
+
+PositionalEncoding::PositionalEncoding(int max_len, int dim, util::Rng& rng)
+    : max_len_(max_len),
+      dim_(dim),
+      table_(Tensor::randn(max_len, dim, rng, 0.1, /*requires_grad=*/true)) {
+  if (max_len <= 0 || dim <= 0) {
+    throw std::invalid_argument("PositionalEncoding: non-positive dimensions");
+  }
+}
+
+Tensor PositionalEncoding::forward(const Tensor& x) const {
+  if (x.rows() > max_len_ || x.cols() != dim_) {
+    throw std::invalid_argument("PositionalEncoding: input shape mismatch");
+  }
+  return add(x, slice_rows(table_, 0, x.rows()));
+}
+
+std::vector<Tensor> PositionalEncoding::parameters() const { return {table_}; }
+
+// ----- LayerNorm -----
+
+LayerNorm::LayerNorm(int dim)
+    : gain_(Tensor::full(1, dim, 1.0, /*requires_grad=*/true)),
+      bias_(Tensor::zeros(1, dim, /*requires_grad=*/true)) {
+  if (dim <= 0) throw std::invalid_argument("LayerNorm: non-positive dim");
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layernorm_rows(x, gain_, bias_);
+}
+
+std::vector<Tensor> LayerNorm::parameters() const { return {gain_, bias_}; }
+
+// ----- SingleHeadAttention -----
+
+SingleHeadAttention::SingleHeadAttention(int dim, util::Rng& rng)
+    : dim_(dim),
+      wq_(Tensor::randn(dim, dim, rng, glorot(dim, dim), true)),
+      wk_(Tensor::randn(dim, dim, rng, glorot(dim, dim), true)),
+      wv_(Tensor::randn(dim, dim, rng, glorot(dim, dim), true)),
+      wo_(Tensor::randn(dim, dim, rng, glorot(dim, dim), true)) {
+  if (dim <= 0) throw std::invalid_argument("Attention: non-positive dim");
+}
+
+Tensor SingleHeadAttention::forward(const Tensor& query, const Tensor& memory,
+                                    bool causal) const {
+  if (query.cols() != dim_ || memory.cols() != dim_) {
+    throw std::invalid_argument("Attention: feature dim mismatch");
+  }
+  const Tensor q = matmul(query, wq_);
+  const Tensor k = matmul(memory, wk_);
+  const Tensor v = matmul(memory, wv_);
+  Tensor scores = scale(matmul(q, transpose(k)),
+                        1.0 / std::sqrt(static_cast<double>(dim_)));
+  if (causal) {
+    // Additive mask: -inf-ish above the diagonal. The mask tensor is a
+    // constant, so it does not enter the gradient.
+    constexpr double kMask = -1e9;
+    std::vector<double> mask(
+        static_cast<std::size_t>(scores.rows()) * scores.cols(), 0.0);
+    for (int i = 0; i < scores.rows(); ++i) {
+      for (int j = i + 1; j < scores.cols(); ++j) {
+        mask[static_cast<std::size_t>(i) * scores.cols() + j] = kMask;
+      }
+    }
+    scores = add(scores,
+                 Tensor::from(std::move(mask), scores.rows(), scores.cols()));
+  }
+  const Tensor attn = softmax_rows(scores);
+  return matmul(matmul(attn, v), wo_);
+}
+
+std::vector<Tensor> SingleHeadAttention::parameters() const {
+  return {wq_, wk_, wv_, wo_};
+}
+
+// ----- FeedForward -----
+
+FeedForward::FeedForward(int dim, int hidden, util::Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {}
+
+Tensor FeedForward::forward(const Tensor& x) const {
+  return fc2_.forward(relu(fc1_.forward(x)));
+}
+
+std::vector<Tensor> FeedForward::parameters() const {
+  auto params = fc1_.parameters();
+  const auto p2 = fc2_.parameters();
+  params.insert(params.end(), p2.begin(), p2.end());
+  return params;
+}
+
+// ----- TransformerDecoderLayer -----
+
+TransformerDecoderLayer::TransformerDecoderLayer(int dim, int ffn_hidden,
+                                                 util::Rng& rng)
+    : self_attn_(dim, rng),
+      cross_attn_(dim, rng),
+      ffn_(dim, ffn_hidden, rng),
+      norm1_(dim),
+      norm2_(dim),
+      norm3_(dim) {}
+
+Tensor TransformerDecoderLayer::forward(const Tensor& x,
+                                        const Tensor& memory) const {
+  const Tensor h1 =
+      norm1_.forward(add(x, self_attn_.forward(x, x, /*causal=*/true)));
+  const Tensor h2 = norm2_.forward(
+      add(h1, cross_attn_.forward(h1, memory, /*causal=*/false)));
+  return norm3_.forward(add(h2, ffn_.forward(h2)));
+}
+
+std::vector<Tensor> TransformerDecoderLayer::parameters() const {
+  std::vector<Tensor> params;
+  for (const Module* m :
+       {static_cast<const Module*>(&self_attn_),
+        static_cast<const Module*>(&cross_attn_),
+        static_cast<const Module*>(&ffn_), static_cast<const Module*>(&norm1_),
+        static_cast<const Module*>(&norm2_),
+        static_cast<const Module*>(&norm3_)}) {
+    const auto p = m->parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+}  // namespace vpr::nn

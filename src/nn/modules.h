@@ -1,0 +1,147 @@
+#pragma once
+// Neural-network building blocks for the InsightAlign recipe model
+// (paper Table III). All modules expose their parameters for optimizers and
+// for snapshot/restore (used by the PPO reference policy in online
+// fine-tuning).
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace vpr::nn {
+
+/// Base for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Trainable parameters (handles share storage with the module).
+  [[nodiscard]] virtual std::vector<Tensor> parameters() const = 0;
+
+  void zero_grad() {
+    for (auto p : parameters()) p.zero_grad();
+  }
+  [[nodiscard]] std::size_t parameter_count() const {
+    std::size_t n = 0;
+    for (const auto& p : parameters()) n += p.size();
+    return n;
+  }
+  /// Raw flattened parameter values, in parameters() order.
+  [[nodiscard]] std::vector<double> state() const;
+  /// Restore from a state() snapshot; size must match exactly.
+  void load_state(std::span<const double> state);
+  /// Binary save/load of state() to a stream.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+};
+
+/// Fully connected layer: y = x W + b, with W of shape (in, out).
+class Linear final : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Rng& rng);
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+  [[nodiscard]] int in_features() const noexcept { return in_; }
+  [[nodiscard]] int out_features() const noexcept { return out_; }
+
+ private:
+  int in_;
+  int out_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Token embedding table: maps integer ids to d-dimensional rows.
+class Embedding final : public Module {
+ public:
+  Embedding(int num_embeddings, int dim, util::Rng& rng);
+  [[nodiscard]] Tensor forward(const std::vector<int>& ids) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+  [[nodiscard]] int num_embeddings() const noexcept { return num_; }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+ private:
+  int num_;
+  int dim_;
+  Tensor table_;
+};
+
+/// Learned per-position (per-recipe) encoding added to the token embedding.
+/// The paper uses it to let the model distinguish recipes by their slot in
+/// the 40-step tuning sequence.
+class PositionalEncoding final : public Module {
+ public:
+  PositionalEncoding(int max_len, int dim, util::Rng& rng);
+  /// Adds encodings for positions [0, x.rows()) to x.
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+  [[nodiscard]] int max_len() const noexcept { return max_len_; }
+
+ private:
+  int max_len_;
+  int dim_;
+  Tensor table_;
+};
+
+/// Per-row LayerNorm with learnable gain/bias.
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(int dim);
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+};
+
+/// Single-head scaled dot-product attention with output projection.
+/// Used both for causal self-attention over recipe decisions and for cross
+/// attention from recipe positions to the insight embedding.
+class SingleHeadAttention final : public Module {
+ public:
+  SingleHeadAttention(int dim, util::Rng& rng);
+  /// query: (Lq, d); key/value source: (Lk, d).
+  /// If causal, position i may only attend to source positions <= i
+  /// (only meaningful when Lq == Lk).
+  [[nodiscard]] Tensor forward(const Tensor& query, const Tensor& memory,
+                               bool causal) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+
+ private:
+  int dim_;
+  Tensor wq_, wk_, wv_, wo_;
+};
+
+/// Position-wise feed-forward: Linear -> ReLU -> Linear.
+class FeedForward final : public Module {
+ public:
+  FeedForward(int dim, int hidden, util::Rng& rng);
+  [[nodiscard]] Tensor forward(const Tensor& x) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Post-norm transformer decoder layer (Vaswani et al.):
+/// causal self-attention, cross-attention to a memory sequence, FFN,
+/// each with residual connection + LayerNorm.
+class TransformerDecoderLayer final : public Module {
+ public:
+  TransformerDecoderLayer(int dim, int ffn_hidden, util::Rng& rng);
+  /// x: (L, d) target sequence; memory: (M, d) context (insight embedding).
+  [[nodiscard]] Tensor forward(const Tensor& x, const Tensor& memory) const;
+  [[nodiscard]] std::vector<Tensor> parameters() const override;
+
+ private:
+  SingleHeadAttention self_attn_;
+  SingleHeadAttention cross_attn_;
+  FeedForward ffn_;
+  LayerNorm norm1_, norm2_, norm3_;
+};
+
+}  // namespace vpr::nn

@@ -1,0 +1,127 @@
+#pragma once
+// Minimal reverse-mode automatic differentiation over 2-D row-major double
+// matrices. This is the numerical substrate for the InsightAlign recipe
+// model (Table III of the paper): the model is ~20k parameters, so a small,
+// carefully tested tape beats binding a heavyweight framework.
+//
+// Usage follows the dynamic-graph style:
+//   Tensor w = Tensor::randn(4, 4, rng, 0.1, /*requires_grad=*/true);
+//   Tensor y = sum(relu(matmul(x, w)));
+//   y.backward();          // fills w.grad()
+//
+// Ownership: Tensor is a cheap handle (shared_ptr to the node). Graphs are
+// rebuilt every forward pass; nodes free themselves when the last handle
+// (including parent links from downstream nodes) drops.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vpr::nn {
+
+namespace detail {
+struct TensorImpl;
+}
+
+class Tensor {
+ public:
+  /// Empty (0x0) tensor; valid only as a placeholder.
+  Tensor();
+
+  // ----- Constructors -----
+  static Tensor zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor full(int rows, int cols, double value,
+                     bool requires_grad = false);
+  /// Row-major data; size must equal rows*cols.
+  static Tensor from(std::vector<double> data, int rows, int cols,
+                     bool requires_grad = false);
+  /// Gaussian init with the given scale (stddev).
+  static Tensor randn(int rows, int cols, util::Rng& rng, double scale,
+                      bool requires_grad = false);
+  /// 1x1 constant.
+  static Tensor scalar(double value, bool requires_grad = false);
+
+  // ----- Shape / element access -----
+  [[nodiscard]] int rows() const noexcept;
+  [[nodiscard]] int cols() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] bool defined() const noexcept { return impl_ != nullptr; }
+  [[nodiscard]] double at(int r, int c) const;
+  /// Value of a 1x1 tensor.
+  [[nodiscard]] double item() const;
+  /// Mutable raw value storage. Mutating a non-leaf mid-graph is undefined;
+  /// intended for leaf initialization and optimizer updates.
+  [[nodiscard]] std::span<double> data();
+  [[nodiscard]] std::span<const double> data() const;
+
+  // ----- Autograd -----
+  [[nodiscard]] bool requires_grad() const noexcept;
+  /// Gradient storage (allocated on demand, zero-initialized).
+  [[nodiscard]] std::span<double> grad();
+  [[nodiscard]] std::span<const double> grad() const;
+  void zero_grad();
+  /// Run backpropagation from this tensor, which must be 1x1.
+  void backward();
+  /// Detached copy sharing no graph history (constant with same values).
+  [[nodiscard]] Tensor detach() const;
+
+  // Internal node access for op implementations.
+  [[nodiscard]] const std::shared_ptr<detail::TensorImpl>& impl() const {
+    return impl_;
+  }
+  explicit Tensor(std::shared_ptr<detail::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<detail::TensorImpl> impl_;
+};
+
+// ----- Elementwise binary ops (shapes must match) -----
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+/// Elementwise minimum with subgradient toward the smaller input.
+[[nodiscard]] Tensor minimum(const Tensor& a, const Tensor& b);
+
+/// Broadcast-add a 1xC row vector to every row of a RxC matrix.
+[[nodiscard]] Tensor add_row(const Tensor& matrix, const Tensor& row);
+
+// ----- Elementwise unary ops -----
+[[nodiscard]] Tensor scale(const Tensor& a, double s);
+[[nodiscard]] Tensor add_scalar(const Tensor& a, double s);
+[[nodiscard]] Tensor neg(const Tensor& a);
+[[nodiscard]] Tensor relu(const Tensor& a);
+[[nodiscard]] Tensor sigmoid(const Tensor& a);
+/// Numerically stable log(sigmoid(x)); gradient is sigmoid(-x).
+[[nodiscard]] Tensor logsigmoid(const Tensor& a);
+[[nodiscard]] Tensor tanh_op(const Tensor& a);
+[[nodiscard]] Tensor exp_op(const Tensor& a);
+/// Natural log; inputs must be positive.
+[[nodiscard]] Tensor log_op(const Tensor& a);
+/// Clamp with zero gradient outside [lo, hi].
+[[nodiscard]] Tensor clamp(const Tensor& a, double lo, double hi);
+
+// ----- Matrix ops -----
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor transpose(const Tensor& a);
+/// Row-wise softmax (each row sums to 1).
+[[nodiscard]] Tensor softmax_rows(const Tensor& a);
+/// Per-row layer normalization with learnable 1xC gain and bias.
+[[nodiscard]] Tensor layernorm_rows(const Tensor& x, const Tensor& gain,
+                                    const Tensor& bias, double eps = 1e-5);
+
+// ----- Reductions / reshaping -----
+[[nodiscard]] Tensor sum(const Tensor& a);   // -> 1x1
+[[nodiscard]] Tensor mean(const Tensor& a);  // -> 1x1
+/// Rows [start, start+count) as a view-copy with gradient routing.
+[[nodiscard]] Tensor slice_rows(const Tensor& a, int start, int count);
+[[nodiscard]] Tensor concat_rows(const std::vector<Tensor>& parts);
+/// Row lookup: out[i] = table[indices[i]]; backward scatters into table.
+[[nodiscard]] Tensor gather_rows(const Tensor& table,
+                                 const std::vector<int>& indices);
+
+}  // namespace vpr::nn

@@ -1,0 +1,184 @@
+#include "opt/engines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vpr::opt {
+
+namespace {
+/// Cells sorted by slack ascending (most critical first).
+std::vector<int> cells_by_slack(const sta::TimingReport& report) {
+  std::vector<int> order(report.cell_slack.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return report.cell_slack[static_cast<std::size_t>(a)] <
+           report.cell_slack[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+}  // namespace
+
+OptEngine::OptEngine(netlist::Netlist& nl, place::Placement& placement,
+                     OptKnobs knobs, std::uint64_t seed)
+    : nl_(nl),
+      placement_(placement),
+      knobs_(knobs),
+      rng_(seed),
+      initial_area_(nl.total_area()) {
+  knobs_.setup_effort = std::clamp(knobs_.setup_effort, 0.0, 1.0);
+  knobs_.hold_effort = std::clamp(knobs_.hold_effort, 0.0, 1.0);
+  knobs_.power_effort = std::clamp(knobs_.power_effort, 0.0, 1.0);
+  knobs_.leakage_effort = std::clamp(knobs_.leakage_effort, 0.0, 1.0);
+  knobs_.clock_gating = std::clamp(knobs_.clock_gating, 0.0, 1.0);
+}
+
+int OptEngine::fix_setup(const sta::TimingReport& report) {
+  if (knobs_.setup_effort <= 0.0) return 0;
+  if (report.cell_slack.size() != static_cast<std::size_t>(nl_.cell_count())) {
+    throw std::invalid_argument("fix_setup: stale timing report");
+  }
+  const auto& lib = nl_.library();
+  const double threshold = knobs_.setup_margin;
+  const auto order = cells_by_slack(report);
+  // Budget: effort controls how deep into the critical set we go.
+  const int budget = static_cast<int>(
+      std::lround(knobs_.setup_effort * 0.25 * nl_.cell_count()));
+  int changed = 0;
+  for (const int c : order) {
+    if (changed >= budget) break;
+    if (report.cell_slack[static_cast<std::size_t>(c)] >= threshold) break;
+    if (nl_.total_area() >
+        initial_area_ * (1.0 + knobs_.max_area_growth)) {
+      break;
+    }
+    const int type = nl_.cell(c).type;
+    if (const auto up = lib.upsized(type)) {
+      nl_.retype_cell(c, *up);
+      ++stats_.upsized;
+      ++changed;
+    } else if (knobs_.setup_use_lvt) {
+      if (const auto fast = lib.faster_vt(type)) {
+        nl_.retype_cell(c, *fast);
+        ++stats_.vt_accelerated;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+int OptEngine::fix_hold(const sta::TimingReport& report) {
+  if (knobs_.hold_effort <= 0.0) return 0;
+  const auto& lib = nl_.library();
+  // Weak SVT buffer: maximum delay per unit of area/power.
+  const int buf_type =
+      lib.find(netlist::Func::kBuf, 1, netlist::Vt::kStandard);
+  const auto& buf = lib.cell(buf_type);
+  // Approximate per-buffer delay (intrinsic + typical load).
+  const double buf_delay = buf.intrinsic_delay + buf.drive_res * 0.004;
+  int inserted = 0;
+  // Worst violations first; effort throttles how many endpoints we touch.
+  std::vector<const sta::Endpoint*> violating;
+  for (const auto& ep : report.endpoints) {
+    if (ep.cell >= 0 && ep.hold_slack < 0.0) violating.push_back(&ep);
+  }
+  std::stable_sort(violating.begin(), violating.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->hold_slack < b->hold_slack;
+                   });
+  const auto n_fix = static_cast<std::size_t>(
+      std::lround(knobs_.hold_effort * static_cast<double>(violating.size())));
+  for (std::size_t i = 0; i < n_fix; ++i) {
+    const auto& ep = *violating[i];
+    const int chain = std::clamp(
+        static_cast<int>(std::ceil(-ep.hold_slack / std::max(buf_delay, 1e-4))),
+        1, 5);
+    for (int k = 0; k < chain; ++k) {
+      const int new_buf = nl_.insert_buffer_before(ep.cell, 0, buf_type);
+      // Place the buffer on top of its flip-flop.
+      placement_.x.push_back(placement_.x[static_cast<std::size_t>(ep.cell)]);
+      placement_.y.push_back(placement_.y[static_cast<std::size_t>(ep.cell)]);
+      (void)new_buf;
+      ++inserted;
+    }
+  }
+  stats_.hold_buffers += inserted;
+  return inserted;
+}
+
+int OptEngine::recover_power(const sta::TimingReport& report) {
+  if (knobs_.power_effort <= 0.0) return 0;
+  const auto& lib = nl_.library();
+  // Positive-slack threshold shrinks as effort rises (more cells eligible).
+  const double needed =
+      knobs_.slack_guard + (1.0 - knobs_.power_effort) * 0.15 *
+                               nl_.clock_period();
+  auto order = cells_by_slack(report);
+  std::reverse(order.begin(), order.end());  // highest slack first
+  const int budget = static_cast<int>(
+      std::lround(knobs_.power_effort * 0.30 * nl_.cell_count()));
+  int changed = 0;
+  for (const int c : order) {
+    if (changed >= budget) break;
+    if (c >= static_cast<int>(report.cell_slack.size())) continue;
+    if (report.cell_slack[static_cast<std::size_t>(c)] < needed) break;
+    if (nl_.is_flip_flop(c)) continue;
+    if (const auto down = lib.downsized(nl_.cell(c).type)) {
+      nl_.retype_cell(c, *down);
+      ++stats_.downsized;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+int OptEngine::recover_leakage(const sta::TimingReport& report) {
+  if (knobs_.leakage_effort <= 0.0) return 0;
+  const auto& lib = nl_.library();
+  const double needed =
+      knobs_.slack_guard + (1.0 - knobs_.leakage_effort) * 0.20 *
+                               nl_.clock_period();
+  auto order = cells_by_slack(report);
+  std::reverse(order.begin(), order.end());
+  const int budget = static_cast<int>(
+      std::lround(knobs_.leakage_effort * 0.35 * nl_.cell_count()));
+  int changed = 0;
+  for (const int c : order) {
+    if (changed >= budget) break;
+    if (c >= static_cast<int>(report.cell_slack.size())) continue;
+    if (report.cell_slack[static_cast<std::size_t>(c)] < needed) break;
+    if (const auto slow = lib.slower_vt(nl_.cell(c).type)) {
+      nl_.retype_cell(c, *slow);
+      ++stats_.vt_relaxed;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+int OptEngine::apply_clock_gating(std::vector<std::uint8_t>& gated) {
+  gated.resize(static_cast<std::size_t>(nl_.cell_count()), 0);
+  if (knobs_.clock_gating <= 0.0) return 0;
+  // Gate the lowest-activity flip-flops first.
+  std::vector<int> ffs = nl_.flip_flops();
+  std::stable_sort(ffs.begin(), ffs.end(), [&](int a, int b) {
+    return nl_.cell(a).activity < nl_.cell(b).activity;
+  });
+  const auto n_gate = static_cast<std::size_t>(
+      std::lround(knobs_.clock_gating * 0.8 * static_cast<double>(ffs.size())));
+  int count = 0;
+  for (std::size_t i = 0; i < n_gate && i < ffs.size(); ++i) {
+    // Only worthwhile on genuinely idle registers.
+    if (nl_.cell(ffs[i]).activity > 0.25) break;
+    if (!gated[static_cast<std::size_t>(ffs[i])]) {
+      gated[static_cast<std::size_t>(ffs[i])] = 1;
+      ++count;
+    }
+  }
+  stats_.gated_ffs += count;
+  return count;
+}
+
+}  // namespace vpr::opt

@@ -1,0 +1,74 @@
+#pragma once
+// Post-placement optimization engines, the transforms most recipes steer:
+//   - setup fixing: upsize (and optionally VT-accelerate) critical cells
+//   - hold fixing: splice delay buffers in front of hold-violating FFs
+//   - power recovery: downsize cells with comfortable positive slack
+//   - leakage recovery: swap positive-slack cells to a higher VT
+//   - clock gating: mark low-activity flip-flops as gated
+// Each engine mutates the working netlist (and extends the placement for
+// inserted buffers) and reports what it changed; the flow re-runs STA
+// between engines so their interactions are physical, not scripted.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/placer.h"
+#include "sta/sta.h"
+
+namespace vpr::opt {
+
+struct OptKnobs {
+  double setup_effort = 0.5;    // 0..1: fraction of critical cells attacked
+  bool setup_use_lvt = false;   // allow VT acceleration during setup fixing
+  double setup_margin = 0.0;    // ns of extra margin targeted
+  double hold_effort = 0.5;     // 0..1: fraction of hold violations fixed
+  double power_effort = 0.3;    // 0..1: downsizing aggressiveness
+  double leakage_effort = 0.3;  // 0..1: HVT-swap aggressiveness
+  double clock_gating = 0.0;    // 0..1: fraction of low-activity FFs gated
+  double slack_guard = 0.05;    // ns of slack kept when recovering power
+  double max_area_growth = 0.20;  // relative cap for setup/hold fixes
+};
+
+struct OptStats {
+  int upsized = 0;
+  int vt_accelerated = 0;
+  int downsized = 0;
+  int vt_relaxed = 0;
+  int hold_buffers = 0;
+  int gated_ffs = 0;
+};
+
+class OptEngine {
+ public:
+  /// Mutates `nl` in place; appends coordinates to `placement` for any
+  /// buffers it inserts.
+  OptEngine(netlist::Netlist& nl, place::Placement& placement, OptKnobs knobs,
+            std::uint64_t seed);
+
+  /// Upsizes (and optionally VT-accelerates) the worst-slack cells.
+  /// Returns number of changed cells.
+  int fix_setup(const sta::TimingReport& report);
+  /// Inserts delay buffers before hold-violating flip-flop D pins.
+  /// Returns number of buffers inserted.
+  int fix_hold(const sta::TimingReport& report);
+  /// Downsizes high-slack cells. Returns number of changed cells.
+  int recover_power(const sta::TimingReport& report);
+  /// Moves high-slack cells to a slower VT. Returns number changed.
+  int recover_leakage(const sta::TimingReport& report);
+  /// Marks low-activity flip-flops as clock-gated in `gated` (resized to
+  /// cell_count). Returns number gated.
+  int apply_clock_gating(std::vector<std::uint8_t>& gated);
+
+  [[nodiscard]] const OptStats& stats() const noexcept { return stats_; }
+
+ private:
+  netlist::Netlist& nl_;
+  place::Placement& placement_;
+  OptKnobs knobs_;
+  util::Rng rng_;
+  OptStats stats_;
+  double initial_area_;
+};
+
+}  // namespace vpr::opt

@@ -1,0 +1,172 @@
+#include "place/legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace vpr::place {
+
+Legalizer::Legalizer(const netlist::Netlist& nl, int rows) : nl_(nl) {
+  // Die sized for ~65% utilization of the *routable* area (matches the
+  // global placer, with macro blockages excluded from usable capacity).
+  double blocked_fraction = 0.0;
+  for (const auto& b : nl.blockages()) {
+    blocked_fraction += (b.x1 - b.x0) * (b.y1 - b.y0);
+  }
+  blocked_fraction = std::min(blocked_fraction, 0.6);
+  // 55% utilization of the routable area: the extra whitespace absorbs the
+  // per-row fragmentation the greedy packer leaves at blockage and die
+  // edges.
+  const double die_area = nl.total_area() / 0.55 / (1.0 - blocked_fraction);
+  // Fewer rows => narrower per-row cell footprints => less fragmentation
+  // loss at blockage/die edges (total capacity is row-count invariant).
+  rows_ = rows > 0
+              ? rows
+              : std::clamp(
+                    static_cast<int>(0.7 * std::sqrt(nl.cell_count())), 8,
+                    200);
+  row_height_ = 1.0 / rows_;
+  // A cell of area A occupies normalized width A / (die_area * row_height).
+  width_scale_ = 1.0 / (die_area * row_height_);
+}
+
+double Legalizer::cell_width(int cell) const {
+  return nl_.cell_type(cell).area * width_scale_;
+}
+
+LegalPlacement Legalizer::run(const Placement& placement) const {
+  const int n = nl_.cell_count();
+  if (placement.x.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("Legalizer: placement size mismatch");
+  }
+  LegalPlacement legal;
+  legal.rows = rows_;
+  legal.row_height = row_height_;
+  legal.x.assign(static_cast<std::size_t>(n), 0.0);
+  legal.y.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Per-row blocked intervals from macro blockages.
+  struct Interval {
+    double x0, x1;
+  };
+  std::vector<std::vector<Interval>> blocked(
+      static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    const double yc = (r + 0.5) * row_height_;
+    for (const auto& b : nl_.blockages()) {
+      if (yc >= b.y0 && yc <= b.y1) {
+        blocked[static_cast<std::size_t>(r)].push_back({b.x0, b.x1});
+      }
+    }
+    std::sort(blocked[static_cast<std::size_t>(r)].begin(),
+              blocked[static_cast<std::size_t>(r)].end(),
+              [](const Interval& a, const Interval& b) { return a.x0 < b.x0; });
+  }
+
+  // Tetris: process cells in x order; greedily pick the row minimizing
+  // displacement given each row's packing cursor.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return placement.x[static_cast<std::size_t>(a)] <
+           placement.x[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> cursor(static_cast<std::size_t>(rows_), 0.0);
+
+  // Returns the legal x for the cell in `row` closest to `desired`, or a
+  // negative value if the row cannot take it. Scans the row's free
+  // segments (between the packing cursor, the blockages, and the die
+  // edge) and picks the closest feasible spot — cells may land left of
+  // their desired position when a blockage or the edge is in the way.
+  const auto placed_x = [&](int row, double desired, double width) {
+    const double row_cursor = cursor[static_cast<std::size_t>(row)];
+    double best_x = -1.0;
+    double best_dist = 1e18;
+    double seg_start = row_cursor;
+    const auto consider = [&](double s0, double s1) {
+      const double hi = s1 - width;
+      if (hi < s0) return;
+      const double x = std::clamp(desired, s0, hi);
+      const double dist = std::fabs(x - desired);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_x = x;
+      }
+    };
+    for (const auto& iv : blocked[static_cast<std::size_t>(row)]) {
+      if (iv.x1 <= seg_start) continue;
+      consider(seg_start, std::max(seg_start, iv.x0));
+      seg_start = std::max(seg_start, iv.x1);
+    }
+    consider(seg_start, 1.0);
+    return best_x;
+  };
+
+  double total_disp = 0.0;
+  for (const int c : order) {
+    const double width = cell_width(c);
+    const double dx = placement.x[static_cast<std::size_t>(c)];
+    const double dy = placement.y[static_cast<std::size_t>(c)];
+    const int home_row = std::clamp(
+        static_cast<int>(dy * rows_), 0, rows_ - 1);
+    double best_cost = 1e18;
+    int best_row = home_row;
+    double best_x = 0.0;
+    // Search rows outward from the home row; break once the row-distance
+    // alone exceeds the best cost found.
+    for (int offset = 0; offset < rows_; ++offset) {
+      bool any = false;
+      for (const int r : {home_row - offset, home_row + offset}) {
+        if (r < 0 || r >= rows_) continue;
+        if (offset > 0 && r == home_row) continue;
+        any = true;
+        const double y_cost =
+            std::fabs((r + 0.5) * row_height_ - dy);
+        if (y_cost >= best_cost) continue;
+        const double x = placed_x(r, dx, width);
+        if (x < 0.0) continue;  // row full
+        const double cost = y_cost + std::fabs(x - dx);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_row = r;
+          best_x = x;
+        }
+      }
+      if (!any || static_cast<double>(offset) * row_height_ > best_cost) {
+        break;
+      }
+    }
+    if (best_cost >= 1e18) {
+      throw std::logic_error("Legalizer: no legal site found (die full?)");
+    }
+    legal.x[static_cast<std::size_t>(c)] = best_x;
+    legal.y[static_cast<std::size_t>(c)] = (best_row + 0.5) * row_height_;
+    cursor[static_cast<std::size_t>(best_row)] = best_x + width;
+    const double disp = std::fabs(best_x - dx) +
+                        std::fabs(legal.y[static_cast<std::size_t>(c)] - dy);
+    total_disp += disp;
+    legal.max_displacement = std::max(legal.max_displacement, disp);
+  }
+  legal.mean_displacement = n > 0 ? total_disp / n : 0.0;
+  return legal;
+}
+
+void write_def(const netlist::Netlist& nl, const LegalPlacement& placement,
+               std::ostream& os, int units) {
+  os << "VERSION 5.8 ;\nDESIGN " << nl.name() << " ;\nUNITS DISTANCE MICRONS "
+     << units << " ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << units << ' ' << units << " ) ;\n";
+  os << "COMPONENTS " << nl.cell_count() << " ;\n";
+  for (int c = 0; c < nl.cell_count(); ++c) {
+    os << "- u" << c << ' ' << nl.cell_type(c).name << " + PLACED ( "
+       << static_cast<long>(placement.x[static_cast<std::size_t>(c)] * units)
+       << ' '
+       << static_cast<long>(placement.y[static_cast<std::size_t>(c)] * units)
+       << " ) N ;\n";
+  }
+  os << "END COMPONENTS\nEND DESIGN\n";
+}
+
+}  // namespace vpr::place

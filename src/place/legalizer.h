@@ -1,0 +1,51 @@
+#pragma once
+// Row-based legalization (Tetris-style): snaps the global placement onto
+// standard-cell rows with non-overlapping, blockage-aware packing, the
+// step a real flow performs before detailed routing / DEF handoff. Also
+// provides a DEF-like writer for interchange with external tools.
+//
+// Legalization is an export-path utility: the flow's QoR model consumes
+// the global placement directly (bin-level fidelity), while the legalizer
+// provides the site-level view plus displacement statistics.
+
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/placer.h"
+
+namespace vpr::place {
+
+struct LegalPlacement {
+  std::vector<double> x;  // per cell, normalized site-aligned positions
+  std::vector<double> y;  // per cell, row centerlines
+  int rows = 0;
+  double row_height = 0.0;
+  double mean_displacement = 0.0;  // vs the input placement
+  double max_displacement = 0.0;
+};
+
+class Legalizer {
+ public:
+  /// `rows` <= 0 derives the row count from the design's utilization.
+  Legalizer(const netlist::Netlist& nl, int rows = 0);
+
+  [[nodiscard]] LegalPlacement run(const Placement& placement) const;
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  /// Normalized width of cell `c` on a row.
+  [[nodiscard]] double cell_width(int cell) const;
+
+ private:
+  const netlist::Netlist& nl_;
+  int rows_;
+  double row_height_;
+  double width_scale_;  // um^2 -> normalized row-width units
+};
+
+/// Writes a DEF-flavored COMPONENTS section (normalized coordinates scaled
+/// by `units` into integer DBU).
+void write_def(const netlist::Netlist& nl, const LegalPlacement& placement,
+               std::ostream& os, int units = 1000);
+
+}  // namespace vpr::place

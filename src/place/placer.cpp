@@ -1,0 +1,341 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::place {
+
+namespace {
+constexpr double kMinSpan = 1e-4;  // minimum net bbox span for RUDY
+
+/// Bounding box of a net (driver + sinks).
+struct Bbox {
+  double x0 = 1.0, y0 = 1.0, x1 = 0.0, y1 = 0.0;
+  int pins = 0;
+  void expand(double x, double y) {
+    x0 = std::min(x0, x);
+    y0 = std::min(y0, y);
+    x1 = std::max(x1, x);
+    y1 = std::max(y1, y);
+    ++pins;
+  }
+  [[nodiscard]] double hpwl() const {
+    return pins >= 2 ? (x1 - x0) + (y1 - y0) : 0.0;
+  }
+};
+
+Bbox net_bbox(const netlist::Netlist& nl, const Placement& p, int net_id) {
+  Bbox bb;
+  const auto& net = nl.net(net_id);
+  if (net.driver_cell != netlist::kNoDriver) {
+    bb.expand(p.x[static_cast<std::size_t>(net.driver_cell)],
+              p.y[static_cast<std::size_t>(net.driver_cell)]);
+  }
+  for (const int s : net.sink_cells) {
+    bb.expand(p.x[static_cast<std::size_t>(s)],
+              p.y[static_cast<std::size_t>(s)]);
+  }
+  return bb;
+}
+
+}  // namespace
+
+double Placement::net_hpwl(const netlist::Netlist& nl, int net) const {
+  return net_bbox(nl, *this, net).hpwl();
+}
+
+Placer::Placer(const netlist::Netlist& netlist, PlacerKnobs knobs,
+               std::uint64_t seed)
+    : nl_(netlist), knobs_(knobs), seed_(seed) {
+  if (knobs_.iterations < 1) {
+    throw std::invalid_argument("PlacerKnobs.iterations must be >= 1");
+  }
+  knobs_.density_target = std::clamp(knobs_.density_target, 0.4, 0.98);
+  knobs_.congestion_effort = std::clamp(knobs_.congestion_effort, 0.0, 1.0);
+  knobs_.timing_weight = std::clamp(knobs_.timing_weight, 0.0, 1.0);
+  knobs_.perturbation = std::clamp(knobs_.perturbation, 0.0, 1.0);
+
+  // Grid scales with design size: ~20 cells per bin.
+  grid_ = std::clamp(static_cast<int>(std::sqrt(nl_.cell_count() / 20.0)), 8,
+                     64);
+  // Die sized for ~65% average utilization.
+  const double die_area_units = nl_.total_area() / 0.65;
+  bin_capacity_ = die_area_units / (grid_ * grid_);
+
+  bin_cap_.assign(static_cast<std::size_t>(grid_) * grid_, bin_capacity_);
+  for (int by = 0; by < grid_; ++by) {
+    for (int bx = 0; bx < grid_; ++bx) {
+      const double cx = (bx + 0.5) / grid_;
+      const double cy = (by + 0.5) / grid_;
+      if (in_blockage(cx, cy)) {
+        bin_cap_[static_cast<std::size_t>(by) * grid_ + bx] =
+            bin_capacity_ * 0.05;
+      }
+    }
+  }
+  // Routing headroom over mean demand. Advanced nodes have proportionally
+  // fewer usable tracks for the same cell count, so hotspots overflow
+  // sooner there.
+  const double node_scale =
+      std::clamp(nl_.library().node().feature_nm / 45.0, 0.1, 1.0);
+  routing_capacity_ = 1.35 + 0.75 * node_scale;
+}
+
+bool Placer::in_blockage(double x, double y) const {
+  for (const auto& b : nl_.blockages()) {
+    if (x >= b.x0 && x <= b.x1 && y >= b.y0 && y <= b.y1) return true;
+  }
+  return false;
+}
+
+int Placer::bin_of(double x, double y) const {
+  const int bx = std::clamp(static_cast<int>(x * grid_), 0, grid_ - 1);
+  const int by = std::clamp(static_cast<int>(y * grid_), 0, grid_ - 1);
+  return by * grid_ + bx;
+}
+
+void Placer::seed_initial(Placement& p, util::Rng& rng) const {
+  const int n = nl_.cell_count();
+  p.x.assign(static_cast<std::size_t>(n), 0.5);
+  p.y.assign(static_cast<std::size_t>(n), 0.5);
+  p.grid = grid_;
+  // Cluster centers on a jittered ring/grid layout.
+  const int n_clusters = std::max(1, nl_.cluster_count());
+  std::vector<double> cx(static_cast<std::size_t>(n_clusters));
+  std::vector<double> cy(static_cast<std::size_t>(n_clusters));
+  const int side = std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                                    static_cast<double>(n_clusters)))));
+  for (int c = 0; c < n_clusters; ++c) {
+    const int gx = c % side;
+    const int gy = c / side;
+    cx[static_cast<std::size_t>(c)] =
+        std::clamp((gx + 0.5) / side + rng.normal(0.0, 0.05), 0.02, 0.98);
+    cy[static_cast<std::size_t>(c)] =
+        std::clamp((gy + 0.5) / side + rng.normal(0.0, 0.05), 0.02, 0.98);
+  }
+  for (int i = 0; i < n; ++i) {
+    const int c = std::clamp(nl_.cell(i).cluster, 0, n_clusters - 1);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const double x = std::clamp(
+          cx[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
+          0.999);
+      const double y = std::clamp(
+          cy[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
+          0.999);
+      p.x[static_cast<std::size_t>(i)] = x;
+      p.y[static_cast<std::size_t>(i)] = y;
+      if (!in_blockage(x, y)) break;
+    }
+  }
+}
+
+void Placer::force_step(Placement& p, std::span<const double> net_weights,
+                        double temperature, util::Rng& rng) const {
+  const int n = nl_.cell_count();
+  // Net centroids (cheap star model).
+  std::vector<double> net_cx(static_cast<std::size_t>(nl_.net_count()), 0.0);
+  std::vector<double> net_cy(static_cast<std::size_t>(nl_.net_count()), 0.0);
+  std::vector<int> net_pins(static_cast<std::size_t>(nl_.net_count()), 0);
+  for (int c = 0; c < n; ++c) {
+    const auto& cell = nl_.cell(c);
+    const auto touch = [&](int net) {
+      net_cx[static_cast<std::size_t>(net)] += p.x[static_cast<std::size_t>(c)];
+      net_cy[static_cast<std::size_t>(net)] += p.y[static_cast<std::size_t>(c)];
+      ++net_pins[static_cast<std::size_t>(net)];
+    };
+    touch(cell.fanout_net);
+    for (const int f : cell.fanin_nets) touch(f);
+  }
+  for (int net = 0; net < nl_.net_count(); ++net) {
+    if (net_pins[static_cast<std::size_t>(net)] > 0) {
+      net_cx[static_cast<std::size_t>(net)] /=
+          net_pins[static_cast<std::size_t>(net)];
+      net_cy[static_cast<std::size_t>(net)] /=
+          net_pins[static_cast<std::size_t>(net)];
+    }
+  }
+  // Move each cell toward the weighted centroid of its nets' centroids.
+  const double step = 0.35;
+  for (int c = 0; c < n; ++c) {
+    const auto& cell = nl_.cell(c);
+    double tx = 0.0;
+    double ty = 0.0;
+    double wsum = 0.0;
+    const auto pull = [&](int net) {
+      // High-fanout nets pull weakly (star model degenerates otherwise).
+      const int pins = net_pins[static_cast<std::size_t>(net)];
+      double w = 1.0 / std::max(1.0, std::sqrt(static_cast<double>(pins)));
+      if (!net_weights.empty()) {
+        w *= 1.0 + knobs_.timing_weight * 4.0 *
+                       net_weights[static_cast<std::size_t>(net)];
+      }
+      tx += w * net_cx[static_cast<std::size_t>(net)];
+      ty += w * net_cy[static_cast<std::size_t>(net)];
+      wsum += w;
+    };
+    pull(cell.fanout_net);
+    for (const int f : cell.fanin_nets) pull(f);
+    if (wsum <= 0.0) continue;
+    tx /= wsum;
+    ty /= wsum;
+    double nx = p.x[static_cast<std::size_t>(c)] +
+                step * (tx - p.x[static_cast<std::size_t>(c)]) +
+                rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
+    double ny = p.y[static_cast<std::size_t>(c)] +
+                step * (ty - p.y[static_cast<std::size_t>(c)]) +
+                rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
+    nx = std::clamp(nx, 0.001, 0.999);
+    ny = std::clamp(ny, 0.001, 0.999);
+    if (!in_blockage(nx, ny)) {
+      p.x[static_cast<std::size_t>(c)] = nx;
+      p.y[static_cast<std::size_t>(c)] = ny;
+    }
+  }
+}
+
+void Placer::update_maps(Placement& p) const {
+  const std::size_t bins = static_cast<std::size_t>(grid_) * grid_;
+  p.bin_utilization.assign(bins, 0.0);
+  p.routing_demand.assign(bins, 0.0);
+  for (int c = 0; c < nl_.cell_count(); ++c) {
+    p.bin_utilization[static_cast<std::size_t>(
+        bin_of(p.x[static_cast<std::size_t>(c)],
+               p.y[static_cast<std::size_t>(c)]))] += nl_.cell_type(c).area;
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    p.bin_utilization[b] /= std::max(bin_cap_[b], 1e-12);
+  }
+  // RUDY-style demand: each net spreads its half-perimeter wirelength
+  // uniformly over the bins its bounding box covers.
+  for (int net = 0; net < nl_.net_count(); ++net) {
+    const Bbox bb = net_bbox(nl_, p, net);
+    if (bb.pins < 2) continue;
+    const double demand = std::max(bb.hpwl(), kMinSpan);
+    const int bx0 = std::clamp(static_cast<int>(bb.x0 * grid_), 0, grid_ - 1);
+    const int bx1 = std::clamp(static_cast<int>(bb.x1 * grid_), 0, grid_ - 1);
+    const int by0 = std::clamp(static_cast<int>(bb.y0 * grid_), 0, grid_ - 1);
+    const int by1 = std::clamp(static_cast<int>(bb.y1 * grid_), 0, grid_ - 1);
+    const double per_bin =
+        demand / ((bx1 - bx0 + 1) * (by1 - by0 + 1));
+    for (int by = by0; by <= by1; ++by) {
+      for (int bx = bx0; bx <= bx1; ++bx) {
+        p.routing_demand[static_cast<std::size_t>(by) * grid_ + bx] += per_bin;
+      }
+    }
+  }
+  // Normalize to capacity units (1.0 == at capacity). The routing fabric is
+  // sized against mean demand: routing_capacity_ is the headroom multiplier
+  // (tighter at advanced nodes), so congestion measures hotspot intensity,
+  // derated further inside macro blockages.
+  double mean_demand = 0.0;
+  for (const double d : p.routing_demand) mean_demand += d;
+  mean_demand /= std::max<std::size_t>(1, p.routing_demand.size());
+  const double cap = std::max(routing_capacity_ * mean_demand, 1e-12);
+  for (std::size_t b = 0; b < p.routing_demand.size(); ++b) {
+    const double blockage_derate =
+        bin_cap_[b] < bin_capacity_ * 0.5 ? 0.25 : 1.0;
+    p.routing_demand[b] /= cap * blockage_derate;
+  }
+}
+
+void Placer::spread_step(Placement& p, util::Rng& rng) const {
+  update_maps(p);
+  const int passes =
+      1 + static_cast<int>(std::lround(2.0 * knobs_.congestion_effort));
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int c = 0; c < nl_.cell_count(); ++c) {
+      const double x = p.x[static_cast<std::size_t>(c)];
+      const double y = p.y[static_cast<std::size_t>(c)];
+      const std::size_t b = static_cast<std::size_t>(bin_of(x, y));
+      const bool too_dense = p.bin_utilization[b] > knobs_.density_target;
+      const bool too_congested =
+          knobs_.congestion_effort > 0.0 &&
+          p.routing_demand[b] > 1.0 - 0.4 * knobs_.congestion_effort;
+      if (!too_dense && !too_congested) continue;
+      // Nudge toward the least-loaded neighboring bin center.
+      const int bx = static_cast<int>(b) % grid_;
+      const int by = static_cast<int>(b) / grid_;
+      double best_score = 1e18;
+      int best_bx = bx;
+      int best_by = by;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = bx + dx;
+          const int ny = by + dy;
+          if (nx < 0 || ny < 0 || nx >= grid_ || ny >= grid_) continue;
+          const std::size_t nb = static_cast<std::size_t>(ny) * grid_ + nx;
+          const double score =
+              p.bin_utilization[nb] + 0.5 * p.routing_demand[nb] +
+              (bin_cap_[nb] < bin_capacity_ * 0.5 ? 10.0 : 0.0);
+          if (score < best_score) {
+            best_score = score;
+            best_bx = nx;
+            best_by = ny;
+          }
+        }
+      }
+      if (best_bx == bx && best_by == by) continue;
+      const double nxp = std::clamp(
+          (best_bx + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_), 0.001,
+          0.999);
+      const double nyp = std::clamp(
+          (best_by + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_), 0.001,
+          0.999);
+      if (!in_blockage(nxp, nyp)) {
+        p.x[static_cast<std::size_t>(c)] = nxp;
+        p.y[static_cast<std::size_t>(c)] = nyp;
+        // Keep the utilization map roughly current while spreading.
+        const double area = nl_.cell_type(c).area;
+        p.bin_utilization[b] -= area / std::max(bin_cap_[b], 1e-12);
+        const std::size_t nb = static_cast<std::size_t>(bin_of(nxp, nyp));
+        p.bin_utilization[nb] += area / std::max(bin_cap_[nb], 1e-12);
+      }
+    }
+    update_maps(p);
+  }
+}
+
+double Placer::total_hpwl(const Placement& p) const {
+  double total = 0.0;
+  for (int net = 0; net < nl_.net_count(); ++net) {
+    total += net_bbox(nl_, p, net).hpwl();
+  }
+  return total;
+}
+
+Placement Placer::run(std::span<const double> net_weights,
+                      PlaceTrajectory* trajectory) {
+  if (!net_weights.empty() &&
+      net_weights.size() != static_cast<std::size_t>(nl_.net_count())) {
+    throw std::invalid_argument("Placer::run: net_weights size mismatch");
+  }
+  util::Rng rng{seed_};
+  Placement p;
+  seed_initial(p, rng);
+  update_maps(p);
+  for (int it = 0; it < knobs_.iterations; ++it) {
+    const double temperature =
+        1.0 - static_cast<double>(it) / knobs_.iterations;
+    force_step(p, net_weights, temperature, rng);
+    spread_step(p, rng);
+    if (trajectory != nullptr) {
+      int overflowed = 0;
+      double excess = 0.0;
+      const std::size_t bins = p.routing_demand.size();
+      for (std::size_t b = 0; b < bins; ++b) {
+        if (p.routing_demand[b] > 1.0) ++overflowed;
+        excess += std::max(0.0, p.bin_utilization[b] - knobs_.density_target);
+      }
+      trajectory->step_congestion.push_back(
+          static_cast<double>(overflowed) / static_cast<double>(bins));
+      trajectory->step_overflow.push_back(excess /
+                                          static_cast<double>(bins));
+      trajectory->step_hpwl.push_back(total_hpwl(p));
+    }
+  }
+  p.hpwl = total_hpwl(p);
+  return p;
+}
+
+}  // namespace vpr::place

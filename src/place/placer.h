@@ -1,0 +1,76 @@
+#pragma once
+// Global placement engine: cluster-seeded initial placement followed by
+// force-directed refinement with density- and congestion-driven spreading
+// on a bin grid. Produces normalized [0,1]^2 cell locations, the final
+// half-perimeter wirelength, a density map, and a per-step trajectory
+// (congestion / overflow / HPWL at each refinement step) that the insight
+// analyzers consume ("congestion level during placement step X").
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace vpr::place {
+
+struct PlacerKnobs {
+  double density_target = 0.78;   // max bin utilization before spreading
+  double timing_weight = 0.0;     // strength of timing-driven net weights
+  double congestion_effort = 0.3; // routing-congestion-driven spreading
+  double perturbation = 0.3;      // annealing jitter scale
+  int iterations = 5;             // refinement steps
+};
+
+struct Placement {
+  std::vector<double> x;  // per cell
+  std::vector<double> y;
+  int grid = 0;
+  double hpwl = 0.0;                // final half-perimeter wirelength
+  std::vector<double> bin_utilization;   // grid*grid, row-major
+  std::vector<double> routing_demand;    // RUDY map, grid*grid
+
+  /// Net half-perimeter in normalized units (driver + sinks bounding box).
+  [[nodiscard]] double net_hpwl(const netlist::Netlist& nl, int net) const;
+};
+
+struct PlaceTrajectory {
+  std::vector<double> step_congestion;  // fraction of routing-overflowed bins
+  std::vector<double> step_overflow;    // mean density excess over target
+  std::vector<double> step_hpwl;
+};
+
+class Placer {
+ public:
+  Placer(const netlist::Netlist& netlist, PlacerKnobs knobs,
+         std::uint64_t seed);
+
+  /// Runs placement. `net_weights` (optional, size net_count) biases the
+  /// force model toward timing-critical nets; pass {} for wirelength-only.
+  /// `trajectory` (optional) receives per-step snapshots.
+  [[nodiscard]] Placement run(std::span<const double> net_weights = {},
+                              PlaceTrajectory* trajectory = nullptr);
+
+  [[nodiscard]] int grid() const noexcept { return grid_; }
+
+ private:
+  void seed_initial(Placement& p, util::Rng& rng) const;
+  void force_step(Placement& p, std::span<const double> net_weights,
+                  double temperature, util::Rng& rng) const;
+  void spread_step(Placement& p, util::Rng& rng) const;
+  void update_maps(Placement& p) const;
+  [[nodiscard]] double total_hpwl(const Placement& p) const;
+  [[nodiscard]] bool in_blockage(double x, double y) const;
+  [[nodiscard]] int bin_of(double x, double y) const;
+
+  const netlist::Netlist& nl_;
+  PlacerKnobs knobs_;
+  std::uint64_t seed_;
+  int grid_;
+  double bin_capacity_;            // area units per bin at 100% utilization
+  std::vector<double> bin_cap_;    // per-bin capacity (blockage-derated)
+  double routing_capacity_;        // RUDY demand a bin can absorb
+};
+
+}  // namespace vpr::place

@@ -1,0 +1,76 @@
+#pragma once
+// Congestion-driven global routing on a capacitated bin grid. Nets are
+// decomposed into driver->sink two-pin connections, routed with L/Z pattern
+// candidates against a negotiated-congestion edge cost, then iteratively
+// ripped up and rerouted for a configurable number of rounds. Outputs the
+// routed length per net (which feeds wire caps back into STA and power),
+// overflow/DRC estimates, and a per-round overflow trajectory for the
+// insight analyzers.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/placer.h"
+
+namespace vpr::route {
+
+struct RouterKnobs {
+  double congestion_effort = 0.4;  // 0..1: detour willingness + penalty ramp
+  double capacity_derate = 1.0;    // usable track fraction (0.6..1.2)
+  int rounds = 3;                  // rip-up & reroute rounds
+};
+
+struct RoutingResult {
+  std::vector<double> net_length;     // per net, normalized units
+  std::vector<double> detour_factor;  // routed length / HPWL (>= 1)
+  double total_wirelength = 0.0;
+  int overflow_edges = 0;        // edges over capacity after the last round
+  double total_overflow = 0.0;   // summed excess demand
+  double max_utilization = 0.0;  // most-loaded edge, demand/capacity
+  int drc_violations = 0;        // overflow-derived DRC estimate
+  int grid = 0;                  // routing grid used (edge count derives)
+  std::vector<int> round_overflow_edges;  // trajectory across rounds
+
+  [[nodiscard]] int edge_count() const noexcept {
+    return grid > 1 ? 2 * grid * (grid - 1) : 0;
+  }
+};
+
+class GlobalRouter {
+ public:
+  GlobalRouter(const netlist::Netlist& nl, const place::Placement& placement,
+               RouterKnobs knobs, std::uint64_t seed);
+
+  [[nodiscard]] RoutingResult run();
+
+  [[nodiscard]] int grid() const noexcept { return grid_; }
+  [[nodiscard]] double edge_capacity() const noexcept { return capacity_; }
+
+ private:
+  struct TwoPin {
+    int net = 0;
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  };
+
+  [[nodiscard]] int bin_x(int cell) const;
+  [[nodiscard]] int bin_y(int cell) const;
+  /// Routes one two-pin connection, optionally committing edge usage;
+  /// returns the path length (in bin steps) via the cheapest candidate.
+  double route_two_pin(const TwoPin& pin, bool commit, double penalty);
+  double path_cost_and_commit(int x0, int y0, int x1, int y1, int xm, int ym,
+                              bool commit, double penalty, double* length);
+
+  const netlist::Netlist& nl_;
+  const place::Placement& placement_;
+  RouterKnobs knobs_;
+  std::uint64_t seed_;
+  int grid_;
+  double capacity_;
+  std::vector<double> h_usage_;  // edge (x,y)->(x+1,y): index y*(grid-1)+x
+  std::vector<double> v_usage_;  // edge (x,y)->(x,y+1): index x*(grid-1)+y
+  std::vector<double> h_history_;  // PathFinder-style overflow memory
+  std::vector<double> v_history_;
+};
+
+}  // namespace vpr::route

@@ -1,0 +1,161 @@
+#include "sta/paths.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpr::sta {
+
+namespace {
+
+struct ArrivalModel {
+  std::vector<double> at_max;       // per net
+  std::vector<double> stage_delay;  // per cell
+  std::vector<int> worst_fanin;     // per cell: fanin net on the max path
+};
+
+/// Mirrors TimingAnalyzer::analyze's forward pass, additionally recording
+/// the argmax fanin per cell so paths can be traced back.
+ArrivalModel propagate(const netlist::Netlist& nl,
+                       std::span<const double> net_wirelength,
+                       std::span<const double> clock_arrival,
+                       const TimingOptions& options,
+                       const std::vector<int>& topo) {
+  const int n_nets = nl.net_count();
+  const int n_cells = nl.cell_count();
+  const double default_wl = 0.5 / std::sqrt(std::max(1, n_cells));
+  const auto wl = [&](int net) {
+    return net_wirelength.empty()
+               ? default_wl
+               : net_wirelength[static_cast<std::size_t>(net)];
+  };
+  const auto clk = [&](int cell) {
+    return clock_arrival.empty()
+               ? 0.0
+               : clock_arrival[static_cast<std::size_t>(cell)];
+  };
+  std::vector<double> net_load(static_cast<std::size_t>(n_nets), 0.0);
+  for (int net = 0; net < n_nets; ++net) {
+    double load = wl(net) * options.wire_cap_per_unit;
+    for (const int sink : nl.net(net).sink_cells) {
+      load += nl.cell_type(sink).input_cap;
+    }
+    if (nl.net(net).is_primary_output) load += options.output_load;
+    net_load[static_cast<std::size_t>(net)] = load;
+  }
+  ArrivalModel model;
+  model.at_max.assign(static_cast<std::size_t>(n_nets), 0.0);
+  model.stage_delay.assign(static_cast<std::size_t>(n_cells), 0.0);
+  model.worst_fanin.assign(static_cast<std::size_t>(n_cells), -1);
+  for (int c = 0; c < n_cells; ++c) {
+    const auto& type = nl.cell_type(c);
+    const int out = nl.cell(c).fanout_net;
+    model.stage_delay[static_cast<std::size_t>(c)] =
+        type.intrinsic_delay +
+        type.drive_res * net_load[static_cast<std::size_t>(out)] +
+        0.5 * options.wire_delay_per_unit * wl(out);
+  }
+  for (int net = 0; net < n_nets; ++net) {
+    const int driver = nl.net(net).driver_cell;
+    if (driver != netlist::kNoDriver && nl.is_flip_flop(driver)) {
+      model.at_max[static_cast<std::size_t>(net)] =
+          clk(driver) + nl.cell_type(driver).clk_to_q +
+          nl.cell_type(driver).drive_res *
+              net_load[static_cast<std::size_t>(net)];
+    }
+  }
+  for (const int c : topo) {
+    double in_max = 0.0;
+    int argmax = -1;
+    for (const int f : nl.cell(c).fanin_nets) {
+      if (model.at_max[static_cast<std::size_t>(f)] >= in_max) {
+        in_max = model.at_max[static_cast<std::size_t>(f)];
+        argmax = f;
+      }
+    }
+    model.worst_fanin[static_cast<std::size_t>(c)] = argmax;
+    const int out = nl.cell(c).fanout_net;
+    model.at_max[static_cast<std::size_t>(out)] =
+        in_max + model.stage_delay[static_cast<std::size_t>(c)];
+  }
+  return model;
+}
+
+}  // namespace
+
+std::vector<TimingPath> worst_paths(const netlist::Netlist& nl,
+                                    std::span<const double> net_wirelength,
+                                    std::span<const double> clock_arrival,
+                                    const TimingOptions& options, int count) {
+  if (count < 1) throw std::invalid_argument("worst_paths: count < 1");
+  const TimingAnalyzer analyzer{nl};
+  const auto report =
+      analyzer.analyze(net_wirelength, clock_arrival, options);
+  const auto model = propagate(nl, net_wirelength, clock_arrival, options,
+                               analyzer.topological_order());
+
+  // Rank endpoints by setup slack ascending.
+  std::vector<const Endpoint*> endpoints;
+  endpoints.reserve(report.endpoints.size());
+  for (const auto& ep : report.endpoints) endpoints.push_back(&ep);
+  std::stable_sort(endpoints.begin(), endpoints.end(),
+                   [](const Endpoint* a, const Endpoint* b) {
+                     return a->setup_slack < b->setup_slack;
+                   });
+
+  std::vector<TimingPath> paths;
+  const auto n_paths = std::min<std::size_t>(static_cast<std::size_t>(count),
+                                             endpoints.size());
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    const Endpoint& ep = *endpoints[i];
+    TimingPath path;
+    path.endpoint_cell = ep.cell;
+    path.endpoint_net = ep.net;
+    path.slack = ep.setup_slack;
+    path.arrival = model.at_max[static_cast<std::size_t>(ep.net)];
+    path.required = path.arrival + path.slack;
+
+    // Walk the argmax chain from the endpoint net back to its source.
+    int net = ep.net;
+    std::vector<PathStage> reversed;
+    while (net >= 0) {
+      const int driver = nl.net(net).driver_cell;
+      if (driver == netlist::kNoDriver) {
+        reversed.push_back({-1, "<PI>", 0.0, 0.0});
+        break;
+      }
+      PathStage stage;
+      stage.cell = driver;
+      stage.cell_name = nl.cell_type(driver).name;
+      stage.stage_delay = model.stage_delay[static_cast<std::size_t>(driver)];
+      stage.arrival = model.at_max[static_cast<std::size_t>(net)];
+      reversed.push_back(std::move(stage));
+      if (nl.is_flip_flop(driver)) break;  // launch point
+      net = model.worst_fanin[static_cast<std::size_t>(driver)];
+    }
+    path.stages.assign(reversed.rbegin(), reversed.rend());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string format_path(const TimingPath& path) {
+  std::ostringstream os;
+  for (const auto& stage : path.stages) {
+    if (stage.cell >= 0) {
+      os << 'u' << stage.cell << '(' << stage.cell_name << ')';
+    } else {
+      os << stage.cell_name;
+    }
+    os << " -> ";
+  }
+  os << (path.endpoint_cell >= 0
+             ? "FF u" + std::to_string(path.endpoint_cell)
+             : std::string("PO"));
+  os << "  arrival=" << path.arrival << " required=" << path.required
+     << " slack=" << path.slack;
+  return os.str();
+}
+
+}  // namespace vpr::sta

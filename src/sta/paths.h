@@ -1,0 +1,44 @@
+#pragma once
+// Critical-path extraction: reconstructs the worst setup paths endpoint by
+// endpoint, walking the max-arrival fanin chain back to its launching
+// flip-flop or primary input. Used by the flow_explorer example, the
+// report writer, and debugging — a textual equivalent of a timing
+// report's "report_timing" view.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sta/sta.h"
+
+namespace vpr::sta {
+
+struct PathStage {
+  int cell = -1;           // -1 for the primary-input source pseudo-stage
+  std::string cell_name;   // library cell name, or "<PI>"
+  double stage_delay = 0;  // ns contributed by this stage
+  double arrival = 0;      // cumulative arrival at the stage output, ns
+};
+
+struct TimingPath {
+  int endpoint_cell = -1;  // capture FF, or -1 for a primary output
+  int endpoint_net = -1;
+  double slack = 0.0;
+  double arrival = 0.0;   // data arrival at the endpoint
+  double required = 0.0;  // required time at the endpoint
+  std::vector<PathStage> stages;  // launch -> endpoint order
+};
+
+/// Extracts the `count` worst setup paths. Re-runs arrival propagation
+/// internally with the same inputs as TimingAnalyzer::analyze, so pass
+/// identical wirelengths/clock arrivals/options for consistent numbers.
+[[nodiscard]] std::vector<TimingPath> worst_paths(
+    const netlist::Netlist& nl, std::span<const double> net_wirelength,
+    std::span<const double> clock_arrival, const TimingOptions& options,
+    int count);
+
+/// Renders a path as a compact single-line summary, e.g.
+/// "u12(DFF_X2_SVT) -> u47(NAND2_X1_LVT) -> ... slack=-0.12".
+[[nodiscard]] std::string format_path(const TimingPath& path);
+
+}  // namespace vpr::sta

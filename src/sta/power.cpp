@@ -1,0 +1,75 @@
+#include "sta/power.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vpr::sta {
+
+PowerReport PowerAnalyzer::analyze(std::span<const double> net_wirelength,
+                                   double clock_network_mw,
+                                   std::span<const std::uint8_t> gated,
+                                   const PowerOptions& options) const {
+  const int n_nets = nl_.net_count();
+  const int n_cells = nl_.cell_count();
+  if (!net_wirelength.empty() &&
+      net_wirelength.size() != static_cast<std::size_t>(n_nets)) {
+    throw std::invalid_argument("PowerAnalyzer: wirelength size mismatch");
+  }
+  if (!gated.empty() && gated.size() != static_cast<std::size_t>(n_cells)) {
+    throw std::invalid_argument("PowerAnalyzer: gated size mismatch");
+  }
+  const double default_wl = 0.5 / std::sqrt(std::max(1, n_cells));
+  const auto wl = [&](int net) {
+    return net_wirelength.empty()
+               ? default_wl
+               : net_wirelength[static_cast<std::size_t>(net)];
+  };
+  const auto is_gated = [&](int cell) {
+    return !gated.empty() && gated[static_cast<std::size_t>(cell)] != 0;
+  };
+
+  PowerReport report;
+  const double v2f = options.vdd * options.vdd * options.frequency_ghz;
+
+  for (int c = 0; c < n_cells; ++c) {
+    const auto& type = nl_.cell_type(c);
+    const bool ff = nl_.is_flip_flop(c);
+    double activity = nl_.cell(c).activity;
+    if (ff && is_gated(c)) activity *= options.gated_residual;
+
+    // Load switched by this cell's output.
+    const int out = nl_.cell(c).fanout_net;
+    double load = wl(out) * options.wire_cap_per_unit;
+    for (const int sink : nl_.net(out).sink_cells) {
+      load += nl_.cell_type(sink).input_cap;
+    }
+    if (nl_.net(out).is_primary_output) load += options.output_load;
+
+    // pF * V^2 * GHz => mW; pJ * GHz => mW.
+    const double switching = activity * load * v2f;
+    double internal =
+        activity * type.internal_energy * options.frequency_ghz;
+    if (ff) {
+      // Flip-flop internal power includes the clock pin toggling every
+      // cycle regardless of data activity (unless gated).
+      const double clock_toggle = is_gated(c) ? options.gated_residual : 1.0;
+      internal += clock_toggle * 0.5 * type.internal_energy *
+                  options.frequency_ghz;
+    }
+    report.switching += switching;
+    report.internal_power += internal;
+    report.leakage += type.leakage * 1e-3;  // uW -> mW
+    if (ff) {
+      report.sequential += switching + internal;
+    } else {
+      report.combinational += switching + internal;
+    }
+  }
+  report.clock_network = clock_network_mw;
+  report.sequential += clock_network_mw;
+  report.total = report.switching + report.internal_power + report.leakage +
+                 report.clock_network;
+  return report;
+}
+
+}  // namespace vpr::sta

@@ -1,0 +1,58 @@
+#pragma once
+// Power analysis (signoff companion to STA): switching + internal power
+// from per-cell activities and routed wire loads, leakage from the cell
+// library, clock network power from CTS, with a sequential/combinational
+// breakdown. Clock-gated flip-flops see reduced internal and clock-pin
+// power.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vpr::sta {
+
+struct PowerOptions {
+  double wire_cap_per_unit = 0.08;  // pF per normalized unit
+  double vdd = 0.9;                 // volts
+  double frequency_ghz = 1.0;       // clock frequency
+  double output_load = 0.004;       // pF at primary outputs
+  /// Residual activity factor of a gated flip-flop (clock + internal).
+  double gated_residual = 0.25;
+};
+
+struct PowerReport {
+  double switching = 0.0;      // net/wire switching power, mW
+  double internal_power = 0.0; // cell internal power, mW
+  double leakage = 0.0;        // mW
+  double clock_network = 0.0;  // CTS buffers + clock wiring, mW
+  double sequential = 0.0;     // FF internal + clock network, mW
+  double combinational = 0.0;  // everything else dynamic, mW
+  double total = 0.0;          // mW
+
+  [[nodiscard]] double leakage_fraction() const {
+    return total > 0.0 ? leakage / total : 0.0;
+  }
+  [[nodiscard]] double sequential_fraction() const {
+    return total > 0.0 ? sequential / total : 0.0;
+  }
+};
+
+class PowerAnalyzer {
+ public:
+  explicit PowerAnalyzer(const netlist::Netlist& nl) : nl_(nl) {}
+
+  /// `net_wirelength`: per-net routed length (empty => estimate);
+  /// `clock_network_mw`: CTS-reported clock tree power; `gated`: per-cell
+  /// clock-gating flags (empty => none).
+  [[nodiscard]] PowerReport analyze(std::span<const double> net_wirelength,
+                                    double clock_network_mw,
+                                    std::span<const std::uint8_t> gated,
+                                    const PowerOptions& options) const;
+
+ private:
+  const netlist::Netlist& nl_;
+};
+
+}  // namespace vpr::sta

@@ -1,0 +1,268 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vpr::sta {
+
+namespace {
+constexpr double kBigSlack = 1e9;
+
+/// Default wirelength estimate before placement exists.
+double default_wirelength(const netlist::Netlist& nl) {
+  return 0.5 / std::sqrt(std::max(1, nl.cell_count()));
+}
+}  // namespace
+
+TimingAnalyzer::TimingAnalyzer(const netlist::Netlist& nl) : nl_(nl) {
+  // Kahn's algorithm over combinational cells. Flip-flop outputs and
+  // primary inputs are timing sources; flip-flop D pins are sinks.
+  const int n = nl.cell_count();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < n; ++c) {
+    if (nl.is_flip_flop(c)) continue;
+    for (const int net : nl.cell(c).fanin_nets) {
+      const int driver = nl.net(net).driver_cell;
+      if (driver != netlist::kNoDriver && !nl.is_flip_flop(driver)) {
+        ++indegree[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  std::vector<int> queue;
+  for (int c = 0; c < n; ++c) {
+    if (!nl.is_flip_flop(c) && indegree[static_cast<std::size_t>(c)] == 0) {
+      queue.push_back(c);
+    }
+  }
+  topo_.reserve(static_cast<std::size_t>(n));
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int c = queue[head];
+    topo_.push_back(c);
+    for (const int sink : nl.net(nl.cell(c).fanout_net).sink_cells) {
+      if (nl.is_flip_flop(sink)) continue;
+      if (--indegree[static_cast<std::size_t>(sink)] == 0) {
+        queue.push_back(sink);
+      }
+    }
+  }
+  int comb_count = 0;
+  for (int c = 0; c < n; ++c) {
+    if (!nl.is_flip_flop(c)) ++comb_count;
+  }
+  if (static_cast<int>(topo_.size()) != comb_count) {
+    throw std::logic_error("TimingAnalyzer: combinational loop detected");
+  }
+}
+
+TimingReport TimingAnalyzer::analyze(std::span<const double> net_wirelength,
+                                     std::span<const double> clock_arrival,
+                                     const TimingOptions& options) const {
+  const int n_cells = nl_.cell_count();
+  const int n_nets = nl_.net_count();
+  if (!net_wirelength.empty() &&
+      net_wirelength.size() != static_cast<std::size_t>(n_nets)) {
+    throw std::invalid_argument("analyze: net_wirelength size mismatch");
+  }
+  if (!clock_arrival.empty() &&
+      clock_arrival.size() != static_cast<std::size_t>(n_cells)) {
+    throw std::invalid_argument("analyze: clock_arrival size mismatch");
+  }
+  const double default_wl = default_wirelength(nl_);
+  const auto wl = [&](int net) {
+    return net_wirelength.empty()
+               ? default_wl
+               : net_wirelength[static_cast<std::size_t>(net)];
+  };
+  const auto clk = [&](int cell) {
+    return clock_arrival.empty()
+               ? 0.0
+               : clock_arrival[static_cast<std::size_t>(cell)];
+  };
+  const double period = nl_.clock_period();
+
+  // Per-net electrical load: sink pin caps + wire cap (+ PO load).
+  std::vector<double> net_load(static_cast<std::size_t>(n_nets), 0.0);
+  for (int net = 0; net < n_nets; ++net) {
+    double load = wl(net) * options.wire_cap_per_unit;
+    for (const int sink : nl_.net(net).sink_cells) {
+      load += nl_.cell_type(sink).input_cap;
+    }
+    if (nl_.net(net).is_primary_output) load += options.output_load;
+    net_load[static_cast<std::size_t>(net)] = load;
+  }
+  // Per-cell stage delay: driver delay into its fanout net plus half the
+  // wire's distributed RC.
+  std::vector<double> stage_delay(static_cast<std::size_t>(n_cells), 0.0);
+  for (int c = 0; c < n_cells; ++c) {
+    const auto& type = nl_.cell_type(c);
+    const int out = nl_.cell(c).fanout_net;
+    stage_delay[static_cast<std::size_t>(c)] =
+        type.intrinsic_delay +
+        type.drive_res * net_load[static_cast<std::size_t>(out)] +
+        0.5 * options.wire_delay_per_unit * wl(out);
+  }
+
+  // Forward propagation of max/min arrivals per net.
+  std::vector<double> at_max(static_cast<std::size_t>(n_nets), 0.0);
+  std::vector<double> at_min(static_cast<std::size_t>(n_nets), 0.0);
+  for (int net = 0; net < n_nets; ++net) {
+    const int driver = nl_.net(net).driver_cell;
+    if (driver == netlist::kNoDriver) {
+      at_max[static_cast<std::size_t>(net)] = 0.0;  // primary input
+      at_min[static_cast<std::size_t>(net)] = 0.0;
+    } else if (nl_.is_flip_flop(driver)) {
+      const double launch =
+          clk(driver) + nl_.cell_type(driver).clk_to_q +
+          nl_.cell_type(driver).drive_res *
+              net_load[static_cast<std::size_t>(net)];
+      at_max[static_cast<std::size_t>(net)] = launch;
+      at_min[static_cast<std::size_t>(net)] = launch;
+    }
+  }
+  for (const int c : topo_) {
+    double in_max = 0.0;
+    double in_min = kBigSlack;
+    for (const int f : nl_.cell(c).fanin_nets) {
+      in_max = std::max(in_max, at_max[static_cast<std::size_t>(f)]);
+      in_min = std::min(in_min, at_min[static_cast<std::size_t>(f)]);
+    }
+    if (nl_.cell(c).fanin_nets.empty()) in_min = 0.0;
+    const int out = nl_.cell(c).fanout_net;
+    at_max[static_cast<std::size_t>(out)] =
+        in_max + stage_delay[static_cast<std::size_t>(c)];
+    at_min[static_cast<std::size_t>(out)] =
+        in_min + stage_delay[static_cast<std::size_t>(c)];
+  }
+
+  TimingReport report;
+  report.endpoints.reserve(
+      static_cast<std::size_t>(nl_.flip_flop_count() +
+                               static_cast<int>(nl_.primary_outputs().size())));
+
+  // Required times per net (setup/max path), seeded at endpoints.
+  std::vector<double> required(static_cast<std::size_t>(n_nets), kBigSlack);
+  double wns = kBigSlack;
+  double hold_wns = kBigSlack;
+  double tns = 0.0;
+  double hold_tns = 0.0;
+
+  for (int c = 0; c < n_cells; ++c) {
+    if (!nl_.is_flip_flop(c)) continue;
+    const auto& type = nl_.cell_type(c);
+    const int d_net = nl_.cell(c).fanin_nets.front();
+    const double capture = clk(c);
+    const double setup_required =
+        period + capture - type.setup_time - options.clock_uncertainty;
+    const double setup_slack =
+        setup_required - at_max[static_cast<std::size_t>(d_net)];
+    const double hold_slack = at_min[static_cast<std::size_t>(d_net)] -
+                              (capture + type.hold_time +
+                               options.clock_uncertainty);
+    required[static_cast<std::size_t>(d_net)] =
+        std::min(required[static_cast<std::size_t>(d_net)], setup_required);
+    report.endpoints.push_back({c, d_net, setup_slack, hold_slack});
+    wns = std::min(wns, setup_slack);
+    hold_wns = std::min(hold_wns, hold_slack);
+    if (setup_slack < 0.0) {
+      tns -= setup_slack;
+      ++report.setup_violations;
+    }
+    if (hold_slack < 0.0) {
+      hold_tns -= hold_slack;
+      ++report.hold_violations;
+    }
+  }
+  for (const int po : nl_.primary_outputs()) {
+    const double setup_required = period - options.clock_uncertainty;
+    const double setup_slack =
+        setup_required - at_max[static_cast<std::size_t>(po)];
+    required[static_cast<std::size_t>(po)] =
+        std::min(required[static_cast<std::size_t>(po)], setup_required);
+    report.endpoints.push_back({-1, po, setup_slack, kBigSlack});
+    wns = std::min(wns, setup_slack);
+    if (setup_slack < 0.0) {
+      tns -= setup_slack;
+      ++report.setup_violations;
+    }
+  }
+
+  // Backward pass: required time at each driven net.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const int c = *it;
+    const int out = nl_.cell(c).fanout_net;
+    const double req_in =
+        required[static_cast<std::size_t>(out)] -
+        stage_delay[static_cast<std::size_t>(c)];
+    for (const int f : nl_.cell(c).fanin_nets) {
+      required[static_cast<std::size_t>(f)] =
+          std::min(required[static_cast<std::size_t>(f)], req_in);
+    }
+  }
+
+  report.wns = wns == kBigSlack ? 0.0 : wns;
+  report.hold_wns = hold_wns == kBigSlack ? 0.0 : hold_wns;
+  report.tns = tns;
+  report.hold_tns = hold_tns;
+  for (int net = 0; net < n_nets; ++net) {
+    report.max_arrival =
+        std::max(report.max_arrival, at_max[static_cast<std::size_t>(net)]);
+  }
+
+  // Per-cell slack and criticality-derived metrics.
+  report.cell_slack.assign(static_cast<std::size_t>(n_cells), kBigSlack);
+  report.net_criticality.assign(static_cast<std::size_t>(n_nets), 0.0);
+  const double crit_threshold = options.critical_fraction * period;
+  int near_critical_cells = 0;
+  int weak_near_critical = 0;
+  for (int c = 0; c < n_cells; ++c) {
+    const int out = nl_.cell(c).fanout_net;
+    double slack = required[static_cast<std::size_t>(out)] -
+                   at_max[static_cast<std::size_t>(out)];
+    if (nl_.is_flip_flop(c)) {
+      // A flip-flop's launching slack is its Q net's slack.
+      slack = required[static_cast<std::size_t>(out)] -
+              at_max[static_cast<std::size_t>(out)];
+    }
+    report.cell_slack[static_cast<std::size_t>(c)] = slack;
+    if (slack < crit_threshold) {
+      ++near_critical_cells;
+      if (nl_.cell_type(c).drive == 1) ++weak_near_critical;
+    }
+  }
+  report.critical_weak_fraction =
+      near_critical_cells > 0
+          ? static_cast<double>(weak_near_critical) / near_critical_cells
+          : 0.0;
+  for (int net = 0; net < n_nets; ++net) {
+    const double slack = required[static_cast<std::size_t>(net)] -
+                         at_max[static_cast<std::size_t>(net)];
+    if (slack >= kBigSlack / 2) continue;
+    report.net_criticality[static_cast<std::size_t>(net)] =
+        std::clamp(1.0 - slack / std::max(crit_threshold, 1e-9), 0.0, 1.0);
+  }
+
+  // Harmful-skew candidates: near-critical FF endpoints whose capture clock
+  // arrives earlier than average (stealing cycle time from the data path).
+  if (!clock_arrival.empty()) {
+    double mean_clk = 0.0;
+    int ffs = 0;
+    for (int c = 0; c < n_cells; ++c) {
+      if (nl_.is_flip_flop(c)) {
+        mean_clk += clk(c);
+        ++ffs;
+      }
+    }
+    if (ffs > 0) mean_clk /= ffs;
+    for (const auto& ep : report.endpoints) {
+      if (ep.cell < 0) continue;
+      if (ep.setup_slack < crit_threshold && clk(ep.cell) < mean_clk - 1e-6) {
+        ++report.harmful_skew_endpoints;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vpr::sta

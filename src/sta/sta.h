@@ -1,0 +1,79 @@
+#pragma once
+// Static timing analysis over the gate-level netlist: load/wire-aware
+// linear delay model, max/min arrival propagation, required-time backward
+// pass, setup & hold slack at every endpoint (flip-flop D pins and primary
+// outputs), WNS/TNS, and derived per-net criticalities used by the
+// timing-driven placer and the optimization engines.
+//
+// Clock arrivals per flip-flop come from CTS; wire lengths per net come
+// from placement (scaled by routing detours). Both are optional: the flow
+// runs a wire-estimate STA before placement and exact STA after routing.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vpr::sta {
+
+struct TimingOptions {
+  double wire_cap_per_unit = 0.0;    // pF per normalized wire unit
+  double wire_delay_per_unit = 0.0;  // ns per normalized wire unit
+  double output_load = 0.004;        // pF at each primary output
+  double clock_uncertainty = 0.02;   // ns guard band (setup & hold)
+  /// Criticality threshold as a fraction of the clock period: paths with
+  /// slack below threshold*T count as "near-critical".
+  double critical_fraction = 0.15;
+};
+
+struct Endpoint {
+  int cell = -1;       // flip-flop id, or -1 for a primary output
+  int net = -1;        // the endpoint's data net
+  double setup_slack = 0.0;
+  double hold_slack = 0.0;   // +inf-like large value for POs
+};
+
+struct TimingReport {
+  double wns = 0.0;        // worst setup slack (negative => violation), ns
+  double tns = 0.0;        // total negative setup slack, >= 0, ns
+  double hold_wns = 0.0;   // worst hold slack
+  double hold_tns = 0.0;   // total negative hold slack, >= 0
+  int setup_violations = 0;
+  int hold_violations = 0;
+  double max_arrival = 0.0;  // longest path arrival, ns
+  std::vector<Endpoint> endpoints;
+  /// Per-cell worst slack of any path through the cell (required - arrival).
+  std::vector<double> cell_slack;
+  /// Per-net criticality in [0,1] for timing-driven placement.
+  std::vector<double> net_criticality;
+  /// Fraction of near-critical cells that are weakest-drive.
+  double critical_weak_fraction = 0.0;
+  /// Number of near-critical endpoints whose capture clock arrives earlier
+  /// than the average clock arrival (harmful skew candidates).
+  int harmful_skew_endpoints = 0;
+};
+
+class TimingAnalyzer {
+ public:
+  explicit TimingAnalyzer(const netlist::Netlist& nl);
+
+  /// `net_wirelength`: per-net routed length in normalized units (empty =>
+  /// a uniform pre-placement estimate). `clock_arrival`: per-cell clock
+  /// insertion delay, only read for flip-flops (empty => ideal clock).
+  [[nodiscard]] TimingReport analyze(
+      std::span<const double> net_wirelength,
+      std::span<const double> clock_arrival,
+      const TimingOptions& options) const;
+
+  /// Topological order of combinational cells; throws std::logic_error if
+  /// the combinational graph has a cycle.
+  [[nodiscard]] const std::vector<int>& topological_order() const noexcept {
+    return topo_;
+  }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<int> topo_;  // combinational cells in dependency order
+};
+
+}  // namespace vpr::sta

@@ -1,0 +1,121 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpr::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  if (!is_object()) throw std::logic_error("Json::operator[]: not an object");
+  return std::get<Object>(value_)[key];
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  if (!is_array()) throw std::logic_error("Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(ch);
+          out += hex.str();
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    os << static_cast<long long>(d);
+  } else {
+    std::ostringstream tmp;
+    tmp << std::setprecision(12) << d;
+    os << tmp.str();
+  }
+}
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1),
+                                ' ')
+                  : "";
+  const std::string close_pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+                  : "";
+  const char* nl = indent >= 0 ? "\n" : "";
+  if (is_null()) {
+    os << "null";
+  } else if (is_bool()) {
+    os << (as_bool() ? "true" : "false");
+  } else if (is_number()) {
+    write_number(os, as_number());
+  } else if (is_string()) {
+    os << '"' << escape(as_string()) << '"';
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    if (arr.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[' << nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      os << pad;
+      arr[i].write_impl(os, indent, depth + 1);
+      if (i + 1 < arr.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << ']';
+  } else {
+    const auto& obj = as_object();
+    if (obj.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{' << nl;
+    std::size_t i = 0;
+    for (const auto& [key, value] : obj) {
+      os << pad << '"' << escape(key) << "\":" << (indent >= 0 ? " " : "");
+      value.write_impl(os, indent, depth + 1);
+      if (++i < obj.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << '}';
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace vpr::util

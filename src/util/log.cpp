@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace vpr::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace vpr::util

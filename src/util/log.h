@@ -1,0 +1,44 @@
+#pragma once
+// Tiny leveled logger. The flow engines log stage progress at Info and
+// per-engine details at Debug; experiment binaries default to Warn so that
+// table output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace vpr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(Info) << "placed " << n << " cells";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, os_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace vpr::util
+
+#define VPR_LOG(level) ::vpr::util::LogLine(::vpr::util::LogLevel::k##level)

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal deterministic parallel-for over an index range: results must be
+// written to pre-sized slots (no shared mutable state inside the body).
+// Used by the offline dataset builder, where each (design, recipe set)
+// flow run is independent.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace vpr::util {
+
+/// Runs body(i) for i in [0, n) across up to `threads` workers
+/// (0 => hardware concurrency). Exceptions inside the body terminate.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  if (n == 0) return;
+  unsigned n_threads = threads != 0 ? threads
+                                    : std::max(1u,
+                                               std::thread::hardware_concurrency());
+  n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, n));
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned w = 0; w < n_threads; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace vpr::util

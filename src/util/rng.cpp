@@ -1,0 +1,41 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace vpr::util {
+
+double Rng::normal() noexcept {
+  if (gauss_valid_) {
+    gauss_valid_ = false;
+    return gauss_cache_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_cache_ = v * factor;
+  gauss_valid_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace vpr::util

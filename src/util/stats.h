@@ -1,0 +1,69 @@
+#pragma once
+// Small statistics helpers shared by the flow simulator, the dataset
+// builder (per-design z-scoring for the compound QoR score, paper eq. 4)
+// and the experiment harnesses.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vpr::util {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;  // population
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;    // population
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+/// Median (average of middle two for even length). Copies internally.
+[[nodiscard]] double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100]. Copies internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+/// Pearson correlation; 0 if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+/// Spearman rank correlation (average ranks on ties).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Streaming mean/variance (Welford). Used by stage trajectory capture.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-metric z-score normalizer: fit on a sample, then transform.
+/// A constant metric transforms to 0 (std clamped away from zero).
+class ZScore {
+ public:
+  ZScore() = default;
+  explicit ZScore(std::span<const double> sample);
+  [[nodiscard]] double operator()(double x) const noexcept {
+    return (x - mean_) / std_;
+  }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double std() const noexcept { return std_; }
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+/// Ranks with average tie handling; rank 1 = smallest.
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> xs);
+
+}  // namespace vpr::util

@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table and CSV emission for the experiment harnesses. Every bench
+// binary that regenerates a paper table/figure prints through TablePrinter
+// (human-readable) and optionally CsvWriter (machine-readable series).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vpr::util {
+
+/// Column-aligned ASCII table. Usage:
+///   TablePrinter t({"Design", "TNS", "Win%"});
+///   t.add_row({"D1", "20.23", "98.7"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer with RFC-4180 quoting of commas/quotes/newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+/// Fixed-precision numeric formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+/// Formats like the paper's Table IV: more digits for tiny magnitudes.
+[[nodiscard]] std::string fmt_adaptive(double value);
+
+}  // namespace vpr::util

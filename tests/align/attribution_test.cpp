@@ -1,0 +1,98 @@
+#include "align/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/optim.h"
+
+namespace vpr::align {
+namespace {
+
+std::vector<double> iv(double fill = 0.3) {
+  std::vector<double> v(72, fill);
+  v.back() = 1.0;
+  return v;
+}
+
+RecipeModel make_model(std::uint64_t seed = 51) {
+  util::Rng rng{seed};
+  return RecipeModel{ModelConfig{}, rng};
+}
+
+TEST(RecipeMarginals, CoversAllRecipesSorted) {
+  const auto model = make_model();
+  const auto marginals = recipe_marginals(model, iv());
+  ASSERT_EQ(marginals.size(), 40u);
+  std::set<int> ids;
+  for (std::size_t i = 0; i < marginals.size(); ++i) {
+    ids.insert(marginals[i].recipe);
+    EXPECT_GT(marginals[i].probability, 0.0);
+    EXPECT_LT(marginals[i].probability, 1.0);
+    if (i > 0) {
+      EXPECT_LE(marginals[i].probability, marginals[i - 1].probability);
+    }
+  }
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(RecipeMarginals, TrainedPreferenceSurfaces) {
+  auto model = make_model(53);
+  // Teach: always select recipe 7, never recipe 20.
+  std::vector<int> target(40, 0);
+  target[7] = 1;
+  nn::Adam opt{model.parameters(), 5e-3};
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    nn::Tensor loss = nn::neg(model.sequence_log_prob(iv(), target));
+    loss.backward();
+    opt.step();
+  }
+  const auto marginals = recipe_marginals(model, iv());
+  EXPECT_EQ(marginals.front().recipe, 7);
+  EXPECT_GT(marginals.front().probability, 0.8);
+}
+
+TEST(InsightSensitivities, RanksByMagnitudeAndCoversAllDims) {
+  const auto model = make_model();
+  const auto sens = insight_sensitivities(model, iv());
+  ASSERT_EQ(sens.size(), 72u);
+  std::set<int> dims;
+  for (std::size_t i = 0; i < sens.size(); ++i) {
+    dims.insert(sens[i].insight_dim);
+    EXPECT_TRUE(std::isfinite(sens[i].gradient));
+    if (i > 0) {
+      EXPECT_LE(std::fabs(sens[i].gradient),
+                std::fabs(sens[i - 1].gradient) + 1e-15);
+    }
+  }
+  EXPECT_EQ(dims.size(), 72u);
+}
+
+TEST(InsightSensitivities, SomeDimensionMatters) {
+  const auto model = make_model(57);
+  const auto sens = insight_sensitivities(model, iv());
+  // A randomly initialized conditioned model cannot be flat everywhere.
+  EXPECT_GT(std::fabs(sens.front().gradient), 1e-6);
+}
+
+TEST(RecipeInsightSensitivities, ValidatesInput) {
+  const auto model = make_model();
+  EXPECT_THROW((void)recipe_insight_sensitivities(model, iv(), 40),
+               std::invalid_argument);
+  EXPECT_THROW((void)recipe_insight_sensitivities(model, iv(), 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)insight_sensitivities(model, iv(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(RecipeInsightSensitivities, FiniteForEveryDim) {
+  const auto model = make_model();
+  const auto sens = recipe_insight_sensitivities(model, iv(), 3);
+  ASSERT_EQ(sens.size(), 72u);
+  for (const auto& s : sens) EXPECT_TRUE(std::isfinite(s.gradient));
+}
+
+}  // namespace
+}  // namespace vpr::align

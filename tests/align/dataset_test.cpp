@@ -1,0 +1,166 @@
+#include "align/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "align/cache.h"
+
+namespace vpr::align {
+namespace {
+
+const std::vector<const flow::Design*>& two_designs() {
+  static const flow::Design d1{[] {
+    netlist::DesignTraits t;
+    t.name = "dsA";
+    t.target_cells = 500;
+    t.clock_period_ns = 2.0;
+    t.seed = 2001;
+    return t;
+  }()};
+  static const flow::Design d2{[] {
+    netlist::DesignTraits t;
+    t.name = "dsB";
+    t.target_cells = 500;
+    t.clock_period_ns = 1.0;
+    t.activity_mean = 0.25;
+    t.seed = 2002;
+    return t;
+  }()};
+  static const std::vector<const flow::Design*> v{&d1, &d2};
+  return v;
+}
+
+DatasetConfig small_config() {
+  DatasetConfig c;
+  c.points_per_design = 12;
+  c.seed = 777;
+  return c;
+}
+
+const OfflineDataset& shared_dataset() {
+  static const OfflineDataset ds =
+      OfflineDataset::build(two_designs(), small_config());
+  return ds;
+}
+
+TEST(RandomRecipeSet, RespectsBounds) {
+  util::Rng rng{5};
+  for (int i = 0; i < 200; ++i) {
+    const auto rs = random_recipe_set(rng, 2, 6);
+    EXPECT_GE(rs.count(), 2);
+    EXPECT_LE(rs.count(), 6);
+  }
+  EXPECT_THROW((void)random_recipe_set(rng, 0, 5), std::invalid_argument);
+  EXPECT_THROW((void)random_recipe_set(rng, 5, 2), std::invalid_argument);
+}
+
+TEST(OfflineDataset, BuildsRequestedShape) {
+  const auto& ds = shared_dataset();
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.total_points(), 24);
+  for (std::size_t d = 0; d < ds.size(); ++d) {
+    EXPECT_EQ(ds.design(d).points.size(), 12u);
+    // Recipe sets are de-duplicated.
+    std::set<std::uint64_t> unique;
+    for (const auto& p : ds.design(d).points) {
+      unique.insert(p.recipes.to_u64());
+      EXPECT_GT(p.power, 0.0);
+      EXPECT_GE(p.tns, 0.0);
+    }
+    EXPECT_EQ(unique.size(), 12u);
+  }
+  EXPECT_EQ(ds.design(0).name, "dsA");
+}
+
+TEST(OfflineDataset, ScoresAreZNormalizedPerDesign) {
+  const auto& ds = shared_dataset();
+  for (std::size_t d = 0; d < ds.size(); ++d) {
+    double mean = 0.0;
+    for (const auto& p : ds.design(d).points) mean += p.score;
+    mean /= static_cast<double>(ds.design(d).points.size());
+    // Weighted sum of two z-scored metrics has ~zero mean by construction.
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(OfflineDataset, ScoreOfPrefersLowPowerAndTns) {
+  const auto& data = shared_dataset().design(0);
+  const double good = data.score_of(1.0, 0.0);
+  const double bad = data.score_of(100.0, 50.0);
+  EXPECT_GT(good, bad);
+}
+
+TEST(OfflineDataset, BestKnownIsMaxScore) {
+  const auto& data = shared_dataset().design(0);
+  const auto& best = data.best_known();
+  for (const auto& p : data.points) EXPECT_LE(p.score, best.score);
+}
+
+TEST(OfflineDataset, InsightVectorPopulated) {
+  const auto& data = shared_dataset().design(0);
+  const auto iv = data.insight();
+  ASSERT_EQ(iv.size(), 72u);
+  EXPECT_DOUBLE_EQ(iv.back(), 1.0);
+}
+
+TEST(OfflineDataset, DeterministicRebuild) {
+  const auto a = OfflineDataset::build(two_designs(), small_config());
+  const auto b = OfflineDataset::build(two_designs(), small_config());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    for (std::size_t i = 0; i < a.design(d).points.size(); ++i) {
+      EXPECT_EQ(a.design(d).points[i].recipes, b.design(d).points[i].recipes);
+      EXPECT_DOUBLE_EQ(a.design(d).points[i].power,
+                       b.design(d).points[i].power);
+    }
+  }
+}
+
+TEST(OfflineDataset, ValidatesInputs) {
+  EXPECT_THROW((void)OfflineDataset::build({}, small_config()),
+               std::invalid_argument);
+  DatasetConfig bad = small_config();
+  bad.points_per_design = 1;
+  EXPECT_THROW((void)OfflineDataset::build(two_designs(), bad),
+               std::invalid_argument);
+}
+
+TEST(DatasetCache, SaveLoadRoundTrip) {
+  const auto& ds = shared_dataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_ds_test.bin").string();
+  save_dataset(ds, QorWeights{}, path);
+  const auto loaded = load_dataset(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), ds.size());
+  for (std::size_t d = 0; d < ds.size(); ++d) {
+    EXPECT_EQ(loaded->design(d).name, ds.design(d).name);
+    EXPECT_EQ(loaded->design(d).insight_vec, ds.design(d).insight_vec);
+    ASSERT_EQ(loaded->design(d).points.size(), ds.design(d).points.size());
+    for (std::size_t i = 0; i < ds.design(d).points.size(); ++i) {
+      EXPECT_EQ(loaded->design(d).points[i].recipes,
+                ds.design(d).points[i].recipes);
+      EXPECT_DOUBLE_EQ(loaded->design(d).points[i].score,
+                       ds.design(d).points[i].score);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCache, MissingOrCorruptFileReturnsNullopt) {
+  EXPECT_FALSE(load_dataset("/nonexistent/path.bin").has_value());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_corrupt.bin").string();
+  {
+    std::ofstream os{path, std::ios::binary};
+    os << "not a dataset";
+  }
+  EXPECT_FALSE(load_dataset(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vpr::align

@@ -1,0 +1,125 @@
+#include "align/online.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpr::align {
+namespace {
+
+struct World {
+  const flow::Design design;
+  OfflineDataset dataset;
+
+  World()
+      : design([] {
+          netlist::DesignTraits t;
+          t.name = "online";
+          t.target_cells = 450;
+          t.clock_period_ns = 1.2;
+          t.seed = 4004;
+          return t;
+        }()) {
+    DatasetConfig dc;
+    dc.points_per_design = 14;
+    dc.seed = 111;
+    dataset = OfflineDataset::build({&design}, dc);
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+OnlineConfig fast_config() {
+  OnlineConfig oc;
+  oc.iterations = 3;
+  oc.proposals_per_iteration = 3;
+  oc.beam_width = 3;
+  oc.dpo_pairs_per_iteration = 24;
+  oc.seed = 123;
+  return oc;
+}
+
+TEST(OnlineTuner, RunsRequestedIterations) {
+  auto& w = world();
+  util::Rng rng{71};
+  RecipeModel model{ModelConfig{}, rng};
+  OnlineTuner tuner{model, w.design, w.dataset.design(0), fast_config()};
+  const auto result = tuner.run();
+  ASSERT_EQ(result.iterations.size(), 3u);
+  for (const auto& it : result.iterations) {
+    EXPECT_EQ(it.evaluated.size(), 3u);
+  }
+}
+
+TEST(OnlineTuner, BestScoreIsMonotone) {
+  auto& w = world();
+  util::Rng rng{72};
+  RecipeModel model{ModelConfig{}, rng};
+  OnlineTuner tuner{model, w.design, w.dataset.design(0), fast_config()};
+  const auto result = tuner.run();
+  std::size_t history = result.iterations.front().evaluated.size();
+  for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_GE(result.iterations[i].best_score_so_far,
+              result.iterations[i - 1].best_score_so_far - 1e-12);
+    // The top-5 mean is only monotone once 5+ points exist: before that
+    // the averaging set itself grows (mean of best 3 can exceed best 5).
+    if (history >= 5) {
+      EXPECT_GE(result.iterations[i].top5_mean_score_so_far,
+                result.iterations[i - 1].top5_mean_score_so_far - 1e-12);
+    }
+    history += result.iterations[i].evaluated.size();
+  }
+}
+
+TEST(OnlineTuner, ProposalsAreNovelAcrossIterations) {
+  auto& w = world();
+  util::Rng rng{73};
+  RecipeModel model{ModelConfig{}, rng};
+  OnlineTuner tuner{model, w.design, w.dataset.design(0), fast_config()};
+  const auto result = tuner.run();
+  std::set<std::uint64_t> seen;
+  for (const auto& it : result.iterations) {
+    for (const auto& p : it.evaluated) {
+      EXPECT_TRUE(seen.insert(p.recipes.to_u64()).second)
+          << "duplicate evaluation of " << p.recipes.to_string();
+    }
+  }
+}
+
+TEST(OnlineTuner, ModelActuallyUpdates) {
+  auto& w = world();
+  util::Rng rng{74};
+  RecipeModel model{ModelConfig{}, rng};
+  const auto before = model.state();
+  OnlineTuner tuner{model, w.design, w.dataset.design(0), fast_config()};
+  (void)tuner.run();
+  EXPECT_NE(model.state(), before);
+}
+
+TEST(OnlineTuner, DeterministicGivenSeed) {
+  auto& w = world();
+  const auto run = [&] {
+    util::Rng rng{75};
+    RecipeModel model{ModelConfig{}, rng};
+    OnlineTuner tuner{model, w.design, w.dataset.design(0), fast_config()};
+    const auto r = tuner.run();
+    return r.last().best_score_so_far;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(OnlineTuner, RejectsBadConfig) {
+  auto& w = world();
+  util::Rng rng{76};
+  RecipeModel model{ModelConfig{}, rng};
+  OnlineConfig bad = fast_config();
+  bad.iterations = 0;
+  EXPECT_THROW(OnlineTuner(model, w.design, w.dataset.design(0), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpr::align

@@ -1,0 +1,173 @@
+#include "cts/cts.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "place/placer.h"
+
+namespace vpr::cts {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  place::Placement placement;
+  explicit Fixture(double ff_ratio = 0.2, std::uint64_t seed = 21)
+      : nl(netlist::generate([&] {
+          netlist::DesignTraits t;
+          t.target_cells = 600;
+          t.logic_depth = 6;
+          t.ff_ratio = ff_ratio;
+          t.seed = seed;
+          return t;
+        }())) {
+    place::Placer placer{nl, place::PlacerKnobs{}, seed};
+    placement = placer.run();
+  }
+};
+
+TEST(Cts, ArrivalsOnlyOnFlipFlops) {
+  Fixture fx;
+  const ClockTreeSynthesizer cts{fx.nl, fx.placement, CtsKnobs{}, 1};
+  const ClockTree tree = cts.run();
+  ASSERT_EQ(tree.arrival.size(), static_cast<std::size_t>(fx.nl.cell_count()));
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    if (fx.nl.is_flip_flop(c)) {
+      EXPECT_GT(tree.arrival[static_cast<std::size_t>(c)], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(tree.arrival[static_cast<std::size_t>(c)], 0.0);
+    }
+  }
+  EXPECT_GT(tree.buffer_count, 0);
+  EXPECT_GT(tree.wirelength, 0.0);
+  EXPECT_GT(tree.clock_power, 0.0);
+}
+
+TEST(Cts, SkewIsMaxMinusMinLatency) {
+  Fixture fx;
+  const ClockTreeSynthesizer cts{fx.nl, fx.placement, CtsKnobs{}, 2};
+  const ClockTree tree = cts.run();
+  EXPECT_NEAR(tree.skew, tree.max_latency - tree.min_latency, 1e-12);
+  EXPECT_GE(tree.skew, 0.0);
+}
+
+TEST(Cts, TightTargetSkewReducesSkewAtPowerCost) {
+  Fixture fx;
+  CtsKnobs tight;
+  tight.target_skew = 0.01;
+  CtsKnobs loose;
+  loose.target_skew = 0.30;
+  const ClockTreeSynthesizer ct{fx.nl, fx.placement, tight, 3};
+  const ClockTreeSynthesizer cl{fx.nl, fx.placement, loose, 3};
+  const auto rt = ct.run();
+  const auto rl = cl.run();
+  EXPECT_LE(rt.skew, rl.skew + 1e-9);
+  EXPECT_GE(rt.clock_power, rl.clock_power);
+  EXPECT_GE(rt.wirelength, rl.wirelength);
+}
+
+TEST(Cts, SkewRespectsTargetBand) {
+  Fixture fx;
+  CtsKnobs knobs;
+  knobs.target_skew = 0.05;
+  knobs.environment_skew = 0.0;
+  const ClockTreeSynthesizer cts{fx.nl, fx.placement, knobs, 4};
+  const auto tree = cts.run();
+  EXPECT_LE(tree.skew, knobs.target_skew + 1e-9);
+}
+
+TEST(Cts, EnvironmentSkewWidensSkew) {
+  Fixture fx;
+  CtsKnobs calm;
+  calm.environment_skew = 0.0;
+  calm.target_skew = 1.0;  // no balancing, observe raw imbalance
+  CtsKnobs noisy = calm;
+  noisy.environment_skew = 0.05;
+  const ClockTreeSynthesizer cc{fx.nl, fx.placement, calm, 5};
+  const ClockTreeSynthesizer cn{fx.nl, fx.placement, noisy, 5};
+  EXPECT_LT(cc.run().skew, cn.run().skew);
+}
+
+TEST(Cts, LatencyEffortReducesLatency) {
+  Fixture fx;
+  CtsKnobs slowpath;
+  slowpath.latency_effort = 0.0;
+  slowpath.target_skew = 1.0;
+  CtsKnobs fastpath;
+  fastpath.latency_effort = 1.0;
+  fastpath.target_skew = 1.0;
+  const ClockTreeSynthesizer cs{fx.nl, fx.placement, slowpath, 6};
+  const ClockTreeSynthesizer cf{fx.nl, fx.placement, fastpath, 6};
+  EXPECT_LT(cf.run().max_latency, cs.run().max_latency);
+}
+
+TEST(Cts, UsefulSkewDelaysCriticalCaptures) {
+  Fixture fx;
+  CtsKnobs knobs;
+  knobs.useful_skew = true;
+  knobs.useful_skew_budget = 0.1;
+  // Mark every FF setup-critical.
+  std::vector<double> slack(static_cast<std::size_t>(fx.nl.cell_count()),
+                            -0.05);
+  const ClockTreeSynthesizer cts{fx.nl, fx.placement, knobs, 7};
+  const auto with = cts.run(slack);
+  CtsKnobs off = knobs;
+  off.useful_skew = false;
+  const ClockTreeSynthesizer cts2{fx.nl, fx.placement, off, 7};
+  const auto without = cts2.run(slack);
+  EXPECT_GT(with.useful_skew_endpoints, 0);
+  EXPECT_GT(with.max_latency, without.max_latency - 1e-12);
+  EXPECT_EQ(without.useful_skew_endpoints, 0);
+}
+
+TEST(Cts, StrongerBuffersFewerStages) {
+  Fixture fx;
+  CtsKnobs weak;
+  weak.buffer_drive = 1;
+  CtsKnobs strong;
+  strong.buffer_drive = 4;
+  const ClockTreeSynthesizer cw{fx.nl, fx.placement, weak, 8};
+  const ClockTreeSynthesizer cs{fx.nl, fx.placement, strong, 8};
+  EXPECT_GE(cw.run().buffer_count, cs.run().buffer_count);
+}
+
+TEST(Cts, DeterministicForSameSeed) {
+  Fixture fx;
+  const ClockTreeSynthesizer a{fx.nl, fx.placement, CtsKnobs{}, 11};
+  const ClockTreeSynthesizer b{fx.nl, fx.placement, CtsKnobs{}, 11};
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.arrival, rb.arrival);
+  EXPECT_DOUBLE_EQ(ra.clock_power, rb.clock_power);
+}
+
+TEST(Cts, NoFlipFlopsIsClean) {
+  // Purely combinational netlist.
+  netlist::Netlist nl{"comb", netlist::CellLibrary::make({"45nm", 45.0}),
+                      1.0};
+  const auto& lib = nl.library();
+  const int a = nl.add_net();
+  nl.mark_primary_input(a);
+  const int out = nl.add_net();
+  nl.add_cell(lib.find(netlist::Func::kInv, 2, netlist::Vt::kStandard), {a},
+              out);
+  nl.mark_primary_output(out);
+  place::Placer placer{nl, place::PlacerKnobs{}, 1};
+  const auto placement = placer.run();
+  const ClockTreeSynthesizer cts{nl, placement, CtsKnobs{}, 1};
+  const auto tree = cts.run();
+  EXPECT_EQ(tree.buffer_count, 0);
+  EXPECT_DOUBLE_EQ(tree.skew, 0.0);
+}
+
+TEST(Cts, RejectsMismatchedInputs) {
+  Fixture fx;
+  place::Placement bad;  // empty
+  EXPECT_THROW(ClockTreeSynthesizer(fx.nl, bad, CtsKnobs{}, 1),
+               std::invalid_argument);
+  const ClockTreeSynthesizer cts{fx.nl, fx.placement, CtsKnobs{}, 1};
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW((void)cts.run(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpr::cts

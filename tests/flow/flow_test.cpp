@@ -1,0 +1,112 @@
+#include "flow/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/suite.h"
+
+namespace vpr::flow {
+namespace {
+
+/// Small design reused across tests (generation is cached by the fixture).
+class FlowTest : public ::testing::Test {
+ protected:
+  static const Design& design() {
+    static const Design d{[] {
+      netlist::DesignTraits t;
+      t.name = "flowtest";
+      t.target_cells = 700;
+      t.logic_depth = 7;
+      t.clock_period_ns = 1.4;
+      t.hold_sensitivity = 0.3;
+      t.seed = 404;
+      return t;
+    }()};
+    return d;
+  }
+};
+
+TEST_F(FlowTest, BaselineRunProducesCompleteResult) {
+  const Flow flow{design()};
+  const FlowResult r = flow.run(RecipeSet{});
+  EXPECT_GT(r.qor.power, 0.0);
+  EXPECT_GT(r.qor.area, 0.0);
+  EXPECT_GE(r.qor.tns, 0.0);
+  EXPECT_GE(r.qor.hold_tns, 0.0);
+  EXPECT_GE(r.qor.drcs, 0);
+  EXPECT_FALSE(r.place_trajectory.step_congestion.empty());
+  EXPECT_FALSE(r.routing.net_length.empty());
+  EXPECT_FALSE(r.clock.arrival.empty());
+  EXPECT_FALSE(r.final_timing.endpoints.empty());
+  EXPECT_GE(r.final_cell_count, design().netlist().cell_count());
+  EXPECT_GT(r.power.total, 0.0);
+}
+
+TEST_F(FlowTest, DeterministicAcrossRuns) {
+  const Flow flow{design()};
+  const auto a = flow.run(RecipeSet::from_ids({3, 17}));
+  const auto b = flow.run(RecipeSet::from_ids({3, 17}));
+  EXPECT_DOUBLE_EQ(a.qor.power, b.qor.power);
+  EXPECT_DOUBLE_EQ(a.qor.tns, b.qor.tns);
+  EXPECT_EQ(a.qor.drcs, b.qor.drcs);
+  EXPECT_EQ(a.final_cell_count, b.final_cell_count);
+}
+
+TEST_F(FlowTest, DifferentRecipesChangeOutcome) {
+  const Flow flow{design()};
+  const auto base = flow.run(RecipeSet{});
+  const auto power_push = flow.run(RecipeSet::from_ids({0, 4, 5, 23}));
+  // Power-focused recipes should reduce power on this design.
+  EXPECT_LT(power_push.qor.power, base.qor.power);
+}
+
+TEST_F(FlowTest, TimingRecipesImproveTnsWhenViolating) {
+  const Flow flow{design()};
+  const auto base = flow.run(RecipeSet{});
+  if (base.qor.tns > 0.1) {
+    const auto timing_push = flow.run(RecipeSet::from_ids({1, 8, 3}));
+    EXPECT_LT(timing_push.qor.tns, base.qor.tns * 1.5);
+  }
+}
+
+TEST_F(FlowTest, ResolveKnobsAppliesRecipes) {
+  const Flow flow{design()};
+  const auto knobs = flow.resolve_knobs(RecipeSet::from_ids({16}));
+  EXPECT_LT(knobs.cts.target_skew, FlowKnobs{}.cts.target_skew);
+}
+
+TEST_F(FlowTest, HoldBuffersExtendCellCount) {
+  const Flow flow{design()};
+  const auto r = flow.run(RecipeSet::from_ids({10}));  // hold_aggressive
+  EXPECT_GE(r.final_cell_count, design().netlist().cell_count());
+  EXPECT_EQ(r.opt_stats.hold_buffers,
+            r.final_cell_count - design().netlist().cell_count());
+}
+
+TEST_F(FlowTest, ClockGatingRecipeGatesFlops) {
+  const Flow flow{design()};
+  const auto r = flow.run(RecipeSet::from_ids({23}));  // clock_gate_deep
+  EXPECT_GT(r.opt_stats.gated_ffs, 0);
+}
+
+TEST_F(FlowTest, UsefulSkewRecipeActivates) {
+  const Flow flow{design()};
+  const auto base = flow.run(RecipeSet{});
+  const auto us = flow.run(RecipeSet::from_ids({22}));  // useful_skew_wide
+  if (base.pre_opt_timing.setup_violations > 0) {
+    EXPECT_GT(us.clock.useful_skew_endpoints, 0);
+  }
+  EXPECT_TRUE(us.knobs.cts.useful_skew);
+}
+
+TEST(FlowSuite, SuiteDesignRunsEndToEnd) {
+  // One mid-size suite design, full scale, as an integration smoke test.
+  const Design d{netlist::suite_design(6)};
+  const Flow flow{d};
+  const auto r = flow.run(RecipeSet{});
+  EXPECT_GT(r.qor.power, 0.0);
+  EXPECT_GT(r.power.sequential_fraction(), 0.2)
+      << "D6 is meant to be sequential-power heavy";
+}
+
+}  // namespace
+}  // namespace vpr::flow

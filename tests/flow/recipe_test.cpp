@@ -1,0 +1,135 @@
+#include "flow/recipe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpr::flow {
+namespace {
+
+TEST(RecipeCatalog, HasExactlyFortyUniqueRecipes) {
+  const auto& catalog = recipe_catalog();
+  ASSERT_EQ(catalog.size(), static_cast<std::size_t>(kNumRecipes));
+  std::set<std::string> names;
+  for (int i = 0; i < kNumRecipes; ++i) {
+    const auto& r = catalog[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.id, i);
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.description.empty());
+    ASSERT_TRUE(static_cast<bool>(r.apply));
+    names.insert(r.name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumRecipes));
+}
+
+TEST(RecipeCatalog, CoversAllFiveCategories) {
+  std::set<RecipeCategory> categories;
+  for (const auto& r : recipe_catalog()) categories.insert(r.category);
+  EXPECT_EQ(categories.size(), 5u);
+}
+
+TEST(RecipeCatalog, EveryRecipeChangesKnobs) {
+  for (const auto& r : recipe_catalog()) {
+    FlowKnobs knobs;
+    r.apply(knobs);
+    const FlowKnobs defaults;
+    const bool changed =
+        knobs.place.density_target != defaults.place.density_target ||
+        knobs.place.timing_weight != defaults.place.timing_weight ||
+        knobs.place.congestion_effort != defaults.place.congestion_effort ||
+        knobs.place.perturbation != defaults.place.perturbation ||
+        knobs.place.iterations != defaults.place.iterations ||
+        knobs.cts.target_skew != defaults.cts.target_skew ||
+        knobs.cts.buffer_drive != defaults.cts.buffer_drive ||
+        knobs.cts.latency_effort != defaults.cts.latency_effort ||
+        knobs.cts.useful_skew != defaults.cts.useful_skew ||
+        knobs.cts.useful_skew_budget != defaults.cts.useful_skew_budget ||
+        knobs.route.congestion_effort != defaults.route.congestion_effort ||
+        knobs.route.capacity_derate != defaults.route.capacity_derate ||
+        knobs.route.rounds != defaults.route.rounds ||
+        knobs.opt.setup_effort != defaults.opt.setup_effort ||
+        knobs.opt.setup_use_lvt != defaults.opt.setup_use_lvt ||
+        knobs.opt.setup_margin != defaults.opt.setup_margin ||
+        knobs.opt.hold_effort != defaults.opt.hold_effort ||
+        knobs.opt.power_effort != defaults.opt.power_effort ||
+        knobs.opt.leakage_effort != defaults.opt.leakage_effort ||
+        knobs.opt.clock_gating != defaults.opt.clock_gating ||
+        knobs.opt.slack_guard != defaults.opt.slack_guard ||
+        knobs.opt.max_area_growth != defaults.opt.max_area_growth ||
+        knobs.clock_uncertainty != defaults.clock_uncertainty ||
+        knobs.timing_driven_place != defaults.timing_driven_place;
+    EXPECT_TRUE(changed) << "recipe " << r.name << " is a no-op";
+  }
+}
+
+TEST(RecipeSet, SetTestCountRoundTrip) {
+  RecipeSet rs;
+  EXPECT_EQ(rs.count(), 0);
+  rs.set(0);
+  rs.set(39);
+  rs.set(17);
+  EXPECT_EQ(rs.count(), 3);
+  EXPECT_TRUE(rs.test(17));
+  EXPECT_FALSE(rs.test(18));
+  rs.set(17, false);
+  EXPECT_EQ(rs.count(), 2);
+  EXPECT_EQ(rs.ids(), (std::vector<int>{0, 39}));
+}
+
+TEST(RecipeSet, BoundsChecked) {
+  RecipeSet rs;
+  EXPECT_THROW(rs.set(40), std::out_of_range);
+  EXPECT_THROW(rs.set(-1), std::out_of_range);
+  EXPECT_THROW((void)rs.test(40), std::out_of_range);
+}
+
+TEST(RecipeSet, BitsConversionRoundTrip) {
+  const auto rs = RecipeSet::from_ids({1, 5, 12, 38});
+  const auto bits = rs.to_bits();
+  ASSERT_EQ(bits.size(), static_cast<std::size_t>(kNumRecipes));
+  EXPECT_EQ(bits[5], 1);
+  EXPECT_EQ(bits[6], 0);
+  EXPECT_EQ(RecipeSet::from_bits(bits), rs);
+  EXPECT_THROW((void)RecipeSet::from_bits({1, 0, 1}), std::invalid_argument);
+}
+
+TEST(RecipeSet, U64RoundTrip) {
+  const auto rs = RecipeSet::from_ids({0, 13, 39});
+  EXPECT_EQ(RecipeSet::from_u64(rs.to_u64()), rs);
+}
+
+TEST(RecipeSet, ToStringListsIds) {
+  EXPECT_EQ(RecipeSet::from_ids({3, 1}).to_string(), "{1,3}");
+  EXPECT_EQ(RecipeSet{}.to_string(), "{}");
+}
+
+TEST(RecipeSet, ApplyComposesInIdOrder) {
+  // density_relax (29) lowers by 0.10, density_pack (30) raises by 0.10:
+  // together they cancel.
+  FlowKnobs knobs;
+  RecipeSet::from_ids({29, 30}).apply(knobs);
+  EXPECT_NEAR(knobs.place.density_target, FlowKnobs{}.place.density_target,
+              1e-12);
+}
+
+TEST(RecipeSet, ApplyAccumulates) {
+  FlowKnobs knobs;
+  // setup_focus (8) and trade_power_for_timing (1) both raise setup_effort.
+  RecipeSet::from_ids({1, 8}).apply(knobs);
+  EXPECT_GT(knobs.opt.setup_effort, FlowKnobs{}.opt.setup_effort + 0.5);
+  EXPECT_TRUE(knobs.opt.setup_use_lvt);
+}
+
+TEST(CategoryNames, AllDistinct) {
+  std::set<std::string> names;
+  for (const auto c :
+       {RecipeCategory::kTradeoff, RecipeCategory::kTiming,
+        RecipeCategory::kClockTree, RecipeCategory::kRoutingCongestion,
+        RecipeCategory::kGlobalRouting}) {
+    names.insert(category_name(c));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace vpr::flow

@@ -1,0 +1,85 @@
+#include "flow/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpr::flow {
+namespace {
+
+struct Fixture {
+  Design design;
+  RecipeSet recipes = RecipeSet::from_ids({1, 16, 24});
+  FlowResult result;
+  Fixture()
+      : design([] {
+          netlist::DesignTraits t;
+          t.name = "report";
+          t.target_cells = 500;
+          t.clock_period_ns = 1.5;
+          t.seed = 777;
+          return t;
+        }()) {
+    const Flow flow{design};
+    result = flow.run(recipes);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture fx;
+  return fx;
+}
+
+TEST(TextReport, ContainsAllSections) {
+  auto& fx = fixture();
+  std::ostringstream os;
+  write_text_report(fx.design, fx.recipes, fx.result, os);
+  const std::string text = os.str();
+  for (const char* section :
+       {"Flow report: report", "-- Placement --", "-- Clock tree --",
+        "-- Routing --", "-- Timing --", "-- Optimization --", "-- Power --",
+        "-- Headline QoR --"}) {
+    EXPECT_NE(text.find(section), std::string::npos) << section;
+  }
+  // Selected recipes are listed by name.
+  EXPECT_NE(text.find("trade_power_for_timing"), std::string::npos);
+  EXPECT_NE(text.find("tight_skew"), std::string::npos);
+}
+
+TEST(JsonReport, StructureAndValues) {
+  auto& fx = fixture();
+  const auto j = to_json(fx.design, fx.recipes, fx.result);
+  ASSERT_TRUE(j.is_object());
+  const auto& obj = j.as_object();
+  ASSERT_TRUE(obj.contains("design"));
+  ASSERT_TRUE(obj.contains("qor"));
+  ASSERT_TRUE(obj.contains("recipes"));
+  EXPECT_EQ(obj.at("design").as_object().at("name").as_string(), "report");
+  EXPECT_DOUBLE_EQ(obj.at("qor").as_object().at("power_mw").as_number(),
+                   fx.result.qor.power);
+  EXPECT_EQ(obj.at("recipes").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      obj.at("recipes").as_array().front().as_object().at("id").as_number(),
+      1.0);
+}
+
+TEST(JsonReport, SerializesWithoutError) {
+  auto& fx = fixture();
+  const auto j = to_json(fx.design, fx.recipes, fx.result);
+  const std::string dumped = j.dump(2);
+  EXPECT_NE(dumped.find("\"qor\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"power_mw\""), std::string::npos);
+  // Compact form parses as one line.
+  EXPECT_EQ(j.dump(-1).find('\n'), std::string::npos);
+}
+
+TEST(JsonReport, TrajectoryLengthsMatch) {
+  auto& fx = fixture();
+  const auto j = to_json(fx.design, fx.recipes, fx.result);
+  const auto& place = j.as_object().at("placement").as_object();
+  EXPECT_EQ(place.at("step_congestion").as_array().size(),
+            fx.result.place_trajectory.step_congestion.size());
+}
+
+}  // namespace
+}  // namespace vpr::flow

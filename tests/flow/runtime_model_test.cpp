@@ -1,0 +1,74 @@
+#include "flow/runtime_model.h"
+
+#include <gtest/gtest.h>
+
+namespace vpr::flow {
+namespace {
+
+netlist::DesignTraits traits_of(int cells) {
+  netlist::DesignTraits t;
+  t.target_cells = cells;
+  return t;
+}
+
+TEST(RuntimeModel, ComponentsSumToTotal) {
+  const auto est = RuntimeModel::estimate(traits_of(100000), FlowKnobs{});
+  EXPECT_NEAR(est.total_hours,
+              est.place_hours + est.cts_hours + est.route_hours +
+                  est.opt_hours,
+              1e-12);
+  EXPECT_GT(est.total_hours, 0.0);
+}
+
+TEST(RuntimeModel, MillionCellBaselineIsDaysScale) {
+  const auto est = RuntimeModel::estimate(traits_of(1000000), FlowKnobs{});
+  // Paper: industrial runs take "days to weeks".
+  EXPECT_GT(est.total_hours, 12.0);
+  EXPECT_LT(est.total_hours, 120.0);
+}
+
+TEST(RuntimeModel, SuperlinearInSize) {
+  const auto small = RuntimeModel::estimate(traits_of(100000), FlowKnobs{});
+  const auto large = RuntimeModel::estimate(traits_of(1000000), FlowKnobs{});
+  EXPECT_GT(large.total_hours, 10.0 * small.total_hours);
+}
+
+TEST(RuntimeModel, EffortKnobsIncreaseRuntime) {
+  const auto traits = traits_of(500000);
+  const auto base = RuntimeModel::estimate(traits, FlowKnobs{});
+  FlowKnobs heavy;
+  heavy.place.iterations += 3;
+  heavy.timing_driven_place = true;
+  heavy.route.rounds += 3;
+  heavy.cts.target_skew *= 0.3;
+  heavy.opt.setup_effort = 1.0;
+  heavy.opt.power_effort = 1.0;
+  const auto est = RuntimeModel::estimate(traits, heavy);
+  EXPECT_GT(est.place_hours, base.place_hours);
+  EXPECT_GT(est.route_hours, base.route_hours);
+  EXPECT_GT(est.cts_hours, base.cts_hours);
+  EXPECT_GT(est.opt_hours, base.opt_hours);
+}
+
+TEST(RuntimeModel, RecipesChangeEstimate) {
+  const auto traits = traits_of(500000);
+  FlowKnobs knobs;
+  RecipeSet::from_ids({26}).apply(knobs);  // extra_route_rounds
+  const auto base = RuntimeModel::estimate(traits, FlowKnobs{});
+  const auto est = RuntimeModel::estimate(traits, knobs);
+  EXPECT_GT(est.route_hours, base.route_hours);
+}
+
+TEST(RuntimeModel, CampaignScalesWithRunsAndJobs) {
+  const auto traits = traits_of(200000);
+  const double serial = RuntimeModel::campaign_hours(traits, 100, 1);
+  const double parallel = RuntimeModel::campaign_hours(traits, 100, 20);
+  EXPECT_NEAR(serial, 20.0 * parallel, 1e-9);
+  EXPECT_THROW((void)RuntimeModel::campaign_hours(traits, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)RuntimeModel::campaign_hours(traits, 10, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpr::flow

@@ -1,0 +1,140 @@
+#include "insight/insight.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "netlist/suite.h"
+
+namespace vpr::insight {
+namespace {
+
+const flow::Design& small_design(int variant) {
+  static const flow::Design designs[] = {
+      flow::Design{[] {
+        netlist::DesignTraits t;
+        t.name = "in0";
+        t.target_cells = 600;
+        t.seed = 1001;
+        t.activity_mean = 0.05;
+        t.clock_period_ns = 3.0;
+        return t;
+      }()},
+      flow::Design{[] {
+        netlist::DesignTraits t;
+        t.name = "in1";
+        t.target_cells = 600;
+        t.seed = 1002;
+        t.activity_mean = 0.3;
+        t.clock_period_ns = 0.9;
+        t.congestion_propensity = 0.8;
+        t.hold_sensitivity = 0.6;
+        return t;
+      }()},
+  };
+  return designs[variant];
+}
+
+flow::FlowResult probe(const flow::Design& d) {
+  const flow::Flow f{d};
+  return f.run(flow::RecipeSet{});
+}
+
+TEST(InsightDescriptors, SeventyTwoWellFormed) {
+  const auto& ds = insight_descriptors();
+  ASSERT_EQ(ds.size(), static_cast<std::size_t>(kInsightDims));
+  std::set<std::string> descriptions;
+  for (int i = 0; i < kInsightDims; ++i) {
+    const auto& d = ds[static_cast<std::size_t>(i)];
+    EXPECT_EQ(d.index, i);
+    EXPECT_FALSE(d.description.empty());
+    EXPECT_FALSE(d.range.empty());
+    descriptions.insert(d.description);
+  }
+  EXPECT_EQ(descriptions.size(), static_cast<std::size_t>(kInsightDims));
+}
+
+TEST(InsightDescriptors, CoverPaperTableOneCategories) {
+  std::set<InsightCategory> cats;
+  for (const auto& d : insight_descriptors()) cats.insert(d.category);
+  EXPECT_TRUE(cats.contains(InsightCategory::kPlacement));
+  EXPECT_TRUE(cats.contains(InsightCategory::kTiming));
+  EXPECT_TRUE(cats.contains(InsightCategory::kPower));
+  EXPECT_TRUE(cats.contains(InsightCategory::kClock));
+}
+
+TEST(InsightAnalyze, AllValuesFiniteAndMostlyBounded) {
+  const auto& d = small_design(0);
+  const auto v = analyze(d, probe(d));
+  for (int i = 0; i < kInsightDims; ++i) {
+    EXPECT_TRUE(std::isfinite(v[static_cast<std::size_t>(i)])) << i;
+    EXPECT_GE(v[static_cast<std::size_t>(i)], -1.0) << i;
+    EXPECT_LE(v[static_cast<std::size_t>(i)], 1.0) << i;
+  }
+  EXPECT_DOUBLE_EQ(v[71], 1.0);  // bias term
+}
+
+TEST(InsightAnalyze, DeterministicForSameProbe) {
+  const auto& d = small_design(0);
+  const auto a = analyze(d, probe(d));
+  const auto b = analyze(d, probe(d));
+  EXPECT_EQ(a, b);
+}
+
+TEST(InsightAnalyze, DistinguishesDifferentDesigns) {
+  const auto& d0 = small_design(0);
+  const auto& d1 = small_design(1);
+  const auto v0 = analyze(d0, probe(d0));
+  const auto v1 = analyze(d1, probe(d1));
+  EXPECT_GT(distance(v0, v1), 0.3);
+}
+
+TEST(InsightAnalyze, EasyTimingFlagTracksWns) {
+  const auto& relaxed = small_design(0);  // 3.0 ns period
+  const auto r = probe(relaxed);
+  const auto v = analyze(relaxed, r);
+  if (r.pre_opt_timing.wns >= 0.0) {
+    EXPECT_DOUBLE_EQ(v[17], 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(v[17], 0.0);
+  }
+}
+
+TEST(InsightAnalyze, ActivityInsightTracksTraits) {
+  const auto& quiet = small_design(0);
+  const auto& busy = small_design(1);
+  const auto vq = analyze(quiet, probe(quiet));
+  const auto vb = analyze(busy, probe(busy));
+  EXPECT_LT(vq[41], vb[41]);  // mean switching activity
+}
+
+TEST(InsightAnalyze, HoldRiskTracksHoldSensitivity) {
+  const auto& calm = small_design(0);
+  const auto& risky = small_design(1);
+  const auto vc = analyze(calm, probe(calm));
+  const auto vr = analyze(risky, probe(risky));
+  EXPECT_LE(vc[67], vr[67] + 0.05);  // short-path endpoint fraction
+}
+
+TEST(InsightDistance, ZeroForIdentical) {
+  const auto& d = small_design(0);
+  const auto v = analyze(d, probe(d));
+  EXPECT_DOUBLE_EQ(distance(v, v), 0.0);
+}
+
+TEST(InsightAnalyze, SuiteDesignsProduceDiverseInsights) {
+  // Two structurally different suite designs (shrunk) must be separable.
+  auto t4 = netlist::suite_design(4);
+  auto t9 = netlist::suite_design(9);
+  t4.target_cells = 900;
+  t9.target_cells = 900;
+  const flow::Design d4{t4};
+  const flow::Design d9{t9};
+  const auto v4 = analyze(d4, probe(d4));
+  const auto v9 = analyze(d9, probe(d9));
+  EXPECT_GT(distance(v4, v9), 0.3);
+}
+
+}  // namespace
+}  // namespace vpr::insight

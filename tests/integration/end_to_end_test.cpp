@@ -1,0 +1,133 @@
+// End-to-end integration: a miniature version of the paper's full
+// pipeline — 4 designs, offline dataset, 2-fold cross-validation with
+// margin-DPO alignment, zero-shot beam recommendation validated in the
+// flow, then online fine-tuning on the weakest design. This is the
+// compressed Table IV + Fig. 6 protocol as a single test.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "align/evaluator.h"
+#include "align/online.h"
+#include "netlist/suite.h"
+
+namespace vpr {
+namespace {
+
+struct Pipeline {
+  std::vector<std::unique_ptr<flow::Design>> owned;
+  std::vector<const flow::Design*> designs;
+  align::OfflineDataset dataset;
+  align::EvalConfig config;
+  align::CrossValidationResult cv;
+
+  Pipeline() {
+    for (const int k : {4, 6, 11, 16}) {  // small, fast suite designs
+      auto traits = netlist::suite_design(k);
+      traits.target_cells = std::min(traits.target_cells, 900);
+      owned.push_back(std::make_unique<flow::Design>(traits));
+      designs.push_back(owned.back().get());
+    }
+    align::DatasetConfig dc;
+    dc.points_per_design = 28;
+    dc.seed = 404;
+    dataset = align::OfflineDataset::build(designs, dc);
+    config.folds = 2;
+    config.beam_width = 5;
+    config.train.epochs = 4;
+    config.train.pairs_per_design = 80;
+    const align::ZeroShotEvaluator evaluator{designs, dataset, config};
+    cv = evaluator.run();
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+TEST(EndToEnd, CrossValidationProducesAllRows) {
+  const auto& cv = pipeline().cv;
+  ASSERT_EQ(cv.rows.size(), 4u);
+  for (const auto& row : cv.rows) {
+    EXPECT_FALSE(row.design.empty());
+    EXPECT_EQ(row.recommendations.size(), 5u);
+    EXPECT_GE(row.win_pct, 0.0);
+    EXPECT_LE(row.win_pct, 100.0);
+    EXPECT_GT(row.rec_power, 0.0);
+    EXPECT_GT(row.known_power, 0.0);
+  }
+  ASSERT_EQ(cv.fold_test_accuracy.size(), 2u);
+}
+
+TEST(EndToEnd, ZeroShotTransfersAboveChance) {
+  const auto& cv = pipeline().cv;
+  // Unseen pairwise ranking accuracy above coin flip on both folds.
+  for (const double acc : cv.fold_test_accuracy) EXPECT_GT(acc, 0.55);
+  // Zero-shot recommendations beat the majority of the archive on average.
+  EXPECT_GT(cv.mean_win_pct(), 60.0);
+}
+
+TEST(EndToEnd, RecommendationsScoredWithFrozenDesignStats) {
+  const auto& p = pipeline();
+  for (std::size_t d = 0; d < p.cv.rows.size(); ++d) {
+    const auto& row = p.cv.rows[d];
+    for (const auto& rec : row.recommendations) {
+      EXPECT_NEAR(rec.score,
+                  p.dataset.design(d).score_of(rec.power, rec.tns), 1e-9);
+    }
+  }
+}
+
+TEST(EndToEnd, OnlineFineTuningImprovesWeakestDesign) {
+  auto& p = pipeline();
+  // Pick the design with the lowest Win%.
+  std::size_t weakest = 0;
+  for (std::size_t d = 1; d < p.cv.rows.size(); ++d) {
+    if (p.cv.rows[d].win_pct < p.cv.rows[weakest].win_pct) weakest = d;
+  }
+  util::Rng rng{31337};
+  align::RecipeModel model{align::ModelConfig{}, rng};
+  // Offline-align on the other designs.
+  std::vector<std::size_t> train_split;
+  for (std::size_t d = 0; d < p.dataset.size(); ++d) {
+    if (d != weakest) train_split.push_back(d);
+  }
+  align::AlignmentTrainer trainer{model, p.config.train};
+  trainer.train(p.dataset, train_split);
+
+  align::OnlineConfig oc;
+  oc.iterations = 4;
+  oc.proposals_per_iteration = 5;
+  oc.seed = 99;
+  align::OnlineTuner tuner{model, *p.designs[weakest],
+                           p.dataset.design(weakest), oc};
+  const auto result = tuner.run();
+  ASSERT_EQ(result.iterations.size(), 4u);
+  // Monotone best-so-far and a final result competitive with the archive.
+  EXPECT_GE(result.last().best_score_so_far,
+            result.iterations.front().best_score_so_far);
+  const double archive_best = p.dataset.design(weakest).best_known().score;
+  EXPECT_GT(result.last().best_score_so_far, archive_best - 0.5);
+}
+
+TEST(EndToEnd, DeterministicAcrossFullPipelines) {
+  // Rebuilding an identical pipeline yields the identical Table IV row set.
+  const auto& p = pipeline();
+  align::DatasetConfig dc;
+  dc.points_per_design = 28;
+  dc.seed = 404;
+  const auto dataset2 = align::OfflineDataset::build(p.designs, dc);
+  const align::ZeroShotEvaluator evaluator{p.designs, dataset2, p.config};
+  const auto cv2 = evaluator.run();
+  ASSERT_EQ(cv2.rows.size(), p.cv.rows.size());
+  for (std::size_t d = 0; d < cv2.rows.size(); ++d) {
+    EXPECT_DOUBLE_EQ(cv2.rows[d].win_pct, p.cv.rows[d].win_pct);
+    EXPECT_DOUBLE_EQ(cv2.rows[d].rec_score, p.cv.rows[d].rec_score);
+    EXPECT_EQ(cv2.rows[d].best_recipes, p.cv.rows[d].best_recipes);
+  }
+}
+
+}  // namespace
+}  // namespace vpr

@@ -1,0 +1,152 @@
+#include "netlist/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/suite.h"
+
+namespace vpr::netlist {
+namespace {
+
+DesignTraits small_traits(std::uint64_t seed = 5) {
+  DesignTraits t;
+  t.name = "small";
+  t.target_cells = 400;
+  t.logic_depth = 6;
+  t.seed = seed;
+  return t;
+}
+
+TEST(Generator, ProducesValidNetlistOfRequestedSize) {
+  const Netlist nl = generate(small_traits());
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_NEAR(nl.cell_count(), 400, 60);
+  EXPECT_GT(nl.flip_flop_count(), 0);
+  EXPECT_FALSE(nl.primary_inputs().empty());
+  EXPECT_FALSE(nl.primary_outputs().empty());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Netlist a = generate(small_traits(7));
+  const Netlist b = generate(small_traits(7));
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  for (int c = 0; c < a.cell_count(); ++c) {
+    EXPECT_EQ(a.cell(c).type, b.cell(c).type);
+    EXPECT_EQ(a.cell(c).fanin_nets, b.cell(c).fanin_nets);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Netlist a = generate(small_traits(1));
+  const Netlist b = generate(small_traits(2));
+  bool differs = a.cell_count() != b.cell_count();
+  if (!differs) {
+    for (int c = 0; c < a.cell_count() && !differs; ++c) {
+      differs = a.cell(c).type != b.cell(c).type ||
+                a.cell(c).fanin_nets != b.cell(c).fanin_nets;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, FfRatioIsHonored) {
+  auto traits = small_traits();
+  traits.ff_ratio = 0.3;
+  traits.target_cells = 1000;
+  const Netlist nl = generate(traits);
+  const double ratio =
+      static_cast<double>(nl.flip_flop_count()) / nl.cell_count();
+  EXPECT_NEAR(ratio, 0.3, 0.05);
+}
+
+TEST(Generator, NoUndrivenDanglingNets) {
+  const Netlist nl = generate(small_traits());
+  for (int n = 0; n < nl.net_count(); ++n) {
+    const bool used = !nl.net(n).sink_cells.empty() ||
+                      nl.net(n).is_primary_output;
+    EXPECT_TRUE(used) << "net " << n << " dangles";
+  }
+}
+
+TEST(Generator, MacroRatioCreatesBlockages) {
+  auto traits = small_traits();
+  traits.macro_ratio = 0.15;
+  const Netlist nl = generate(traits);
+  EXPECT_FALSE(nl.blockages().empty());
+  double area = 0.0;
+  for (const auto& b : nl.blockages()) {
+    EXPECT_GT(b.x1, b.x0);
+    EXPECT_GT(b.y1, b.y0);
+    area += (b.x1 - b.x0) * (b.y1 - b.y0);
+  }
+  EXPECT_GT(area, 0.05);
+  EXPECT_LT(area, 0.5);
+}
+
+TEST(Generator, LvtRatioShapesVtMix) {
+  auto lo = small_traits(11);
+  lo.lvt_ratio = 0.0;
+  lo.target_cells = 1500;
+  auto hi = small_traits(11);
+  hi.lvt_ratio = 0.6;
+  hi.target_cells = 1500;
+  const auto count_lvt = [](const Netlist& nl) {
+    int lvt = 0;
+    for (int c = 0; c < nl.cell_count(); ++c) {
+      if (nl.cell_type(c).vt == Vt::kLow) ++lvt;
+    }
+    return lvt;
+  };
+  EXPECT_LT(count_lvt(generate(lo)), count_lvt(generate(hi)));
+}
+
+TEST(Generator, RejectsDegenerateTraits) {
+  auto traits = small_traits();
+  traits.target_cells = 10;
+  EXPECT_THROW((void)generate(traits), std::invalid_argument);
+  traits = small_traits();
+  traits.logic_depth = 1;
+  EXPECT_THROW((void)generate(traits), std::invalid_argument);
+}
+
+TEST(Suite, HasSeventeenDiverseDesigns) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), static_cast<std::size_t>(kSuiteSize));
+  std::set<std::string> names;
+  std::set<double> nodes;
+  for (const auto& t : suite) {
+    names.insert(t.name);
+    nodes.insert(t.feature_nm);
+    EXPECT_GE(t.target_cells, 2000);
+    EXPECT_GT(t.clock_period_ns, 0.0);
+  }
+  EXPECT_EQ(names.size(), 17u);
+  EXPECT_GE(nodes.size(), 5u);  // 45nm down to 7nm
+}
+
+TEST(Suite, DesignAccessorMatchesList) {
+  EXPECT_EQ(suite_design(1).name, "D1");
+  EXPECT_EQ(suite_design(17).name, "D17");
+  EXPECT_THROW((void)suite_design(0), std::out_of_range);
+  EXPECT_THROW((void)suite_design(18), std::out_of_range);
+}
+
+/// Property sweep: every suite design generates a valid netlist.
+class SuiteGeneration : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteGeneration, GeneratesAndValidates) {
+  auto traits = suite_design(GetParam());
+  // Shrink for test speed; keeps structure generation paths identical.
+  traits.target_cells = std::min(traits.target_cells, 1500);
+  const Netlist nl = generate(traits);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_GT(nl.flip_flop_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SuiteGeneration,
+                         ::testing::Range(1, kSuiteSize + 1));
+
+}  // namespace
+}  // namespace vpr::netlist

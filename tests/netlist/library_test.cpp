@@ -1,0 +1,142 @@
+#include "netlist/library.h"
+
+#include <gtest/gtest.h>
+
+namespace vpr::netlist {
+namespace {
+
+CellLibrary lib45() { return CellLibrary::make({"45nm", 45.0}); }
+
+TEST(CellLibrary, ContainsAllVariants) {
+  const auto lib = lib45();
+  // 10 functions x 4 drives x 3 VTs + CLKBUF x 4 drives x 1 VT.
+  EXPECT_EQ(lib.size(), 10 * 4 * 3 + 4);
+}
+
+TEST(CellLibrary, FindLocatesEveryCombination) {
+  const auto lib = lib45();
+  for (const Func f : {Func::kInv, Func::kNand2, Func::kDff}) {
+    for (int d = 1; d <= CellLibrary::max_drive(); ++d) {
+      for (const Vt vt : {Vt::kLow, Vt::kStandard, Vt::kHigh}) {
+        const int idx = lib.find(f, d, vt);
+        EXPECT_EQ(lib.cell(idx).func, f);
+        EXPECT_EQ(lib.cell(idx).drive, d);
+        EXPECT_EQ(lib.cell(idx).vt, vt);
+      }
+    }
+  }
+  EXPECT_THROW((void)lib.find(Func::kClkBuf, 1, Vt::kLow), std::out_of_range);
+}
+
+TEST(CellLibrary, StrongerDriveIsFasterUnderLoad) {
+  const auto lib = lib45();
+  const auto& weak = lib.cell(lib.find(Func::kNand2, 1, Vt::kStandard));
+  const auto& strong = lib.cell(lib.find(Func::kNand2, 4, Vt::kStandard));
+  const double load = 0.02;  // pF
+  EXPECT_LT(strong.intrinsic_delay + strong.drive_res * load,
+            weak.intrinsic_delay + weak.drive_res * load);
+  EXPECT_GT(strong.area, weak.area);
+  EXPECT_GT(strong.leakage, weak.leakage);
+  EXPECT_GT(strong.input_cap, weak.input_cap);
+}
+
+TEST(CellLibrary, VtTradesLeakageForSpeed) {
+  const auto lib = lib45();
+  const auto& lvt = lib.cell(lib.find(Func::kInv, 2, Vt::kLow));
+  const auto& svt = lib.cell(lib.find(Func::kInv, 2, Vt::kStandard));
+  const auto& hvt = lib.cell(lib.find(Func::kInv, 2, Vt::kHigh));
+  EXPECT_LT(lvt.intrinsic_delay, svt.intrinsic_delay);
+  EXPECT_LT(svt.intrinsic_delay, hvt.intrinsic_delay);
+  EXPECT_GT(lvt.leakage, svt.leakage);
+  EXPECT_GT(svt.leakage, hvt.leakage);
+}
+
+TEST(CellLibrary, UpsizeDownsizeNavigation) {
+  const auto lib = lib45();
+  const int base = lib.find(Func::kAnd2, 2, Vt::kStandard);
+  const auto up = lib.upsized(base);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(lib.cell(*up).drive, 3);
+  const auto down = lib.downsized(base);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(lib.cell(*down).drive, 1);
+  EXPECT_FALSE(lib.downsized(*down).has_value());
+  const int top = lib.find(Func::kAnd2, 4, Vt::kStandard);
+  EXPECT_FALSE(lib.upsized(top).has_value());
+}
+
+TEST(CellLibrary, VtNavigation) {
+  const auto lib = lib45();
+  const int svt = lib.find(Func::kOr2, 2, Vt::kStandard);
+  const auto slower = lib.slower_vt(svt);
+  ASSERT_TRUE(slower.has_value());
+  EXPECT_EQ(lib.cell(*slower).vt, Vt::kHigh);
+  EXPECT_FALSE(lib.slower_vt(*slower).has_value());
+  const auto faster = lib.faster_vt(svt);
+  ASSERT_TRUE(faster.has_value());
+  EXPECT_EQ(lib.cell(*faster).vt, Vt::kLow);
+  EXPECT_FALSE(lib.faster_vt(*faster).has_value());
+}
+
+TEST(CellLibrary, ClockBufferHasNoVtVariants) {
+  const auto lib = lib45();
+  const int clkbuf = lib.find(Func::kClkBuf, 2, Vt::kStandard);
+  EXPECT_FALSE(lib.slower_vt(clkbuf).has_value());
+  EXPECT_FALSE(lib.faster_vt(clkbuf).has_value());
+}
+
+TEST(CellLibrary, FlipFlopTimingArcsPopulated) {
+  const auto lib = lib45();
+  const auto& dff = lib.cell(lib.find(Func::kDff, 2, Vt::kStandard));
+  EXPECT_GT(dff.setup_time, 0.0);
+  EXPECT_GT(dff.hold_time, 0.0);
+  EXPECT_GT(dff.clk_to_q, 0.0);
+  EXPECT_EQ(dff.kind, CellKind::kFlipFlop);
+}
+
+TEST(TechNode, AdvancedNodeScaling) {
+  const TechNode n45{"45nm", 45.0};
+  const TechNode n7{"7nm", 7.0};
+  EXPECT_LT(n7.delay_scale(), n45.delay_scale());
+  EXPECT_LT(n7.area_scale(), n45.area_scale());
+  EXPECT_GT(n7.leakage_scale(), n45.leakage_scale());
+}
+
+TEST(CellLibrary, AdvancedNodeCellsAreFasterAndSmaller) {
+  const auto lib7 = CellLibrary::make({"7nm", 7.0});
+  const auto lib45v = lib45();
+  const auto& inv7 = lib7.cell(lib7.find(Func::kInv, 2, Vt::kStandard));
+  const auto& inv45 = lib45v.cell(lib45v.find(Func::kInv, 2, Vt::kStandard));
+  EXPECT_LT(inv7.intrinsic_delay, inv45.intrinsic_delay);
+  EXPECT_LT(inv7.area, inv45.area);
+}
+
+TEST(FuncMetadata, InputCounts) {
+  EXPECT_EQ(func_input_count(Func::kInv), 1);
+  EXPECT_EQ(func_input_count(Func::kNand2), 2);
+  EXPECT_EQ(func_input_count(Func::kMux2), 3);
+  EXPECT_EQ(func_input_count(Func::kDff), 1);
+}
+
+/// Property sweep: every library cell has physically sane parameters.
+class LibraryCellProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LibraryCellProperty, AllCellsSane) {
+  const double node = GetParam();
+  const auto lib = CellLibrary::make({"node", node});
+  for (const auto& cell : lib.cells()) {
+    EXPECT_GT(cell.intrinsic_delay, 0.0) << cell.name;
+    EXPECT_GT(cell.drive_res, 0.0) << cell.name;
+    EXPECT_GT(cell.input_cap, 0.0) << cell.name;
+    EXPECT_GT(cell.leakage, 0.0) << cell.name;
+    EXPECT_GT(cell.area, 0.0) << cell.name;
+    EXPECT_GE(cell.drive, 1);
+    EXPECT_LE(cell.drive, CellLibrary::max_drive());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, LibraryCellProperty,
+                         ::testing::Values(45.0, 28.0, 16.0, 10.0, 7.0));
+
+}  // namespace
+}  // namespace vpr::netlist

@@ -1,0 +1,117 @@
+#include "netlist/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/generator.h"
+
+namespace vpr::netlist {
+namespace {
+
+Netlist sample_design(std::uint64_t seed = 808) {
+  DesignTraits t;
+  t.name = "vtest";
+  t.target_cells = 300;
+  t.logic_depth = 5;
+  t.macro_ratio = 0.1;
+  t.seed = seed;
+  return generate(t);
+}
+
+void expect_equivalent(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  ASSERT_EQ(a.net_count(), b.net_count());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_DOUBLE_EQ(a.clock_period(), b.clock_period());
+  EXPECT_DOUBLE_EQ(a.library().node().feature_nm,
+                   b.library().node().feature_nm);
+  for (int c = 0; c < a.cell_count(); ++c) {
+    EXPECT_EQ(a.cell_type(c).name, b.cell_type(c).name) << "cell " << c;
+    EXPECT_EQ(a.cell(c).fanin_nets, b.cell(c).fanin_nets) << "cell " << c;
+    EXPECT_EQ(a.cell(c).fanout_net, b.cell(c).fanout_net) << "cell " << c;
+    EXPECT_EQ(a.cell(c).cluster, b.cell(c).cluster) << "cell " << c;
+    EXPECT_NEAR(a.cell(c).activity, b.cell(c).activity, 1e-6) << "cell " << c;
+  }
+  const std::set<int> pi_a(a.primary_inputs().begin(),
+                           a.primary_inputs().end());
+  const std::set<int> pi_b(b.primary_inputs().begin(),
+                           b.primary_inputs().end());
+  EXPECT_EQ(pi_a, pi_b);
+  const std::set<int> po_a(a.primary_outputs().begin(),
+                           a.primary_outputs().end());
+  const std::set<int> po_b(b.primary_outputs().begin(),
+                           b.primary_outputs().end());
+  EXPECT_EQ(po_a, po_b);
+  EXPECT_EQ(a.blockages().size(), b.blockages().size());
+}
+
+TEST(Verilog, WriterEmitsModuleStructure) {
+  const auto nl = sample_design();
+  const std::string text = to_verilog(nl);
+  EXPECT_NE(text.find("module vtest"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  EXPECT_NE(text.find("// pragma clock_period"), std::string::npos);
+  EXPECT_NE(text.find("// pragma blockage"), std::string::npos);
+  EXPECT_NE(text.find(".CK(clk)"), std::string::npos);
+}
+
+TEST(Verilog, RoundTripPreservesNetlist) {
+  const auto original = sample_design();
+  const auto parsed = read_verilog_string(to_verilog(original));
+  expect_equivalent(original, parsed);
+  EXPECT_NO_THROW(parsed.validate());
+}
+
+TEST(Verilog, RoundTripPreservesTimingBehaviour) {
+  const auto original = sample_design(909);
+  const auto parsed = read_verilog_string(to_verilog(original));
+  // Same structure => identical aggregate electrical stats.
+  EXPECT_DOUBLE_EQ(original.total_area(), parsed.total_area());
+  EXPECT_DOUBLE_EQ(original.total_leakage(), parsed.total_leakage());
+  EXPECT_EQ(original.flip_flop_count(), parsed.flip_flop_count());
+}
+
+TEST(Verilog, DoubleRoundTripIsIdempotent) {
+  const auto original = sample_design(910);
+  const std::string once = to_verilog(original);
+  const std::string twice = to_verilog(read_verilog_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Verilog, ParserRejectsGarbage) {
+  EXPECT_THROW((void)read_verilog_string("FOO u0 (.A(n0), .Y(n1));"),
+               std::exception);
+  EXPECT_THROW(
+      (void)read_verilog_string("module m (n0);\n NOT_A_CELL u0 (.A(n0), "
+                                ".Y(n0));\nendmodule\n"),
+      std::exception);
+}
+
+TEST(Verilog, ParserRejectsNonContiguousInstances) {
+  const std::string text =
+      "// pragma node t 45\nmodule m (n0, n1);\n  input n0;\n  output n1;\n"
+      "  INV_X2_SVT u5 (.A(n0), .Y(n1));\nendmodule\n";
+  EXPECT_THROW((void)read_verilog_string(text), std::runtime_error);
+}
+
+TEST(Verilog, MinimalHandWrittenModuleParses) {
+  const std::string text =
+      "// pragma node mini 28\n// pragma clock_period 2.5\n"
+      "module mini (n0, n2);\n  input n0;\n  output n2;\n  wire n1;\n\n"
+      "  INV_X1_SVT u0 (.A(n0), .Y(n1)); // pragma cell 0.2 3\n"
+      "  BUF_X2_HVT u1 (.A(n1), .Y(n2));\n"
+      "endmodule\n";
+  const auto nl = read_verilog_string(text);
+  EXPECT_EQ(nl.cell_count(), 2);
+  EXPECT_EQ(nl.net_count(), 3);
+  EXPECT_DOUBLE_EQ(nl.clock_period(), 2.5);
+  EXPECT_DOUBLE_EQ(nl.library().node().feature_nm, 28.0);
+  EXPECT_NEAR(nl.cell(0).activity, 0.2, 1e-9);
+  EXPECT_EQ(nl.cell(0).cluster, 3);
+  EXPECT_EQ(nl.cell_type(1).name, "BUF_X2_HVT");
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace vpr::netlist

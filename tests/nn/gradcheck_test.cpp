@@ -1,0 +1,247 @@
+// Finite-difference gradient verification for every differentiable op and
+// for composite module graphs. This is the safety net that lets the DPO/PPO
+// training code trust the autodiff tape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/modules.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace vpr::nn {
+namespace {
+
+/// Builds a scalar loss from leaf tensors, then compares analytic gradients
+/// against central finite differences.
+void expect_gradients_match(
+    std::vector<Tensor>& leaves,
+    const std::function<Tensor(const std::vector<Tensor>&)>& loss_fn,
+    double eps = 1e-6, double tol = 1e-5) {
+  for (auto& leaf : leaves) leaf.zero_grad();
+  Tensor loss = loss_fn(leaves);
+  loss.backward();
+
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    auto data = leaves[li].data();
+    const auto grad = leaves[li].grad();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double saved = data[i];
+      data[i] = saved + eps;
+      const double up = loss_fn(leaves).item();
+      data[i] = saved - eps;
+      const double down = loss_fn(leaves).item();
+      data[i] = saved;
+      const double fd = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grad[i], fd, tol)
+          << "leaf " << li << " element " << i;
+    }
+  }
+}
+
+Tensor make_leaf(util::Rng& rng, int rows, int cols, double scale = 1.0) {
+  return Tensor::randn(rows, cols, rng, scale, /*requires_grad=*/true);
+}
+
+TEST(GradCheck, Add) {
+  util::Rng rng{1};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3), make_leaf(rng, 2, 3)};
+  expect_gradients_match(
+      leaves, [](const auto& l) { return sum(add(l[0], l[1])); });
+}
+
+TEST(GradCheck, SubMul) {
+  util::Rng rng{2};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 2), make_leaf(rng, 2, 2)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(mul(sub(l[0], l[1]), l[0]));
+  });
+}
+
+TEST(GradCheck, Matmul) {
+  util::Rng rng{3};
+  std::vector<Tensor> leaves{make_leaf(rng, 3, 4), make_leaf(rng, 4, 2)};
+  expect_gradients_match(
+      leaves, [](const auto& l) { return sum(matmul(l[0], l[1])); });
+}
+
+TEST(GradCheck, MatmulChained) {
+  util::Rng rng{4};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3), make_leaf(rng, 3, 3),
+                             make_leaf(rng, 3, 2)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(matmul(matmul(l[0], l[1]), l[2]));
+  });
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  util::Rng rng{5};
+  std::vector<Tensor> leaves{make_leaf(rng, 3, 4), make_leaf(rng, 1, 4)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(mul(add_row(l[0], l[1]), add_row(l[0], l[1])));
+  });
+}
+
+TEST(GradCheck, Transpose) {
+  util::Rng rng{6};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(matmul(l[0], transpose(l[0])));
+  });
+}
+
+TEST(GradCheck, ScaleAddScalarNeg) {
+  util::Rng rng{7};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 2)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(neg(add_scalar(scale(l[0], 2.5), -1.0)));
+  });
+}
+
+TEST(GradCheck, Sigmoid) {
+  util::Rng rng{8};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3)};
+  expect_gradients_match(leaves,
+                         [](const auto& l) { return sum(sigmoid(l[0])); });
+}
+
+TEST(GradCheck, Logsigmoid) {
+  util::Rng rng{9};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3, 2.0)};
+  expect_gradients_match(leaves,
+                         [](const auto& l) { return sum(logsigmoid(l[0])); });
+}
+
+TEST(GradCheck, TanhExp) {
+  util::Rng rng{10};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 2)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return sum(mul(tanh_op(l[0]), exp_op(l[0])));
+  });
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  util::Rng rng{11};
+  // Shift values away from 0 so finite differences are valid.
+  Tensor x = Tensor::from({0.5, -0.7, 1.2, -2.0}, 2, 2, true);
+  std::vector<Tensor> leaves{x};
+  expect_gradients_match(leaves,
+                         [](const auto& l) { return sum(relu(l[0])); });
+}
+
+TEST(GradCheck, MinimumAwayFromTie) {
+  Tensor a = Tensor::from({1.0, 5.0, -2.0}, 1, 3, true);
+  Tensor b = Tensor::from({3.0, 2.0, -1.0}, 1, 3, true);
+  std::vector<Tensor> leaves{a, b};
+  expect_gradients_match(
+      leaves, [](const auto& l) { return sum(minimum(l[0], l[1])); });
+}
+
+TEST(GradCheck, ClampInterior) {
+  Tensor x = Tensor::from({0.2, 0.8, -0.5, 1.5}, 2, 2, true);
+  std::vector<Tensor> leaves{x};
+  expect_gradients_match(
+      leaves, [](const auto& l) { return sum(clamp(l[0], 0.0, 1.0)); });
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  util::Rng rng{12};
+  std::vector<Tensor> leaves{make_leaf(rng, 3, 4)};
+  // Weighted sum to give each softmax output a distinct gradient.
+  const Tensor w = Tensor::from({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 3, 4);
+  expect_gradients_match(leaves, [w](const auto& l) {
+    return sum(mul(softmax_rows(l[0]), w));
+  });
+}
+
+TEST(GradCheck, SumMeanSlice) {
+  util::Rng rng{13};
+  std::vector<Tensor> leaves{make_leaf(rng, 4, 3)};
+  expect_gradients_match(leaves, [](const auto& l) {
+    return add(mean(slice_rows(l[0], 1, 2)), sum(slice_rows(l[0], 0, 1)));
+  });
+}
+
+TEST(GradCheck, ConcatRows) {
+  util::Rng rng{14};
+  std::vector<Tensor> leaves{make_leaf(rng, 2, 3), make_leaf(rng, 1, 3)};
+  const Tensor w = Tensor::from({1, -1, 2, -2, 3, -3, 4, -4, 5}, 3, 3);
+  expect_gradients_match(leaves, [w](const auto& l) {
+    return sum(mul(concat_rows({l[0], l[1]}), w));
+  });
+}
+
+TEST(GradCheck, GatherRowsWithRepeats) {
+  util::Rng rng{15};
+  std::vector<Tensor> leaves{make_leaf(rng, 4, 3)};
+  const Tensor w = Tensor::from({1, 2, 3, 4, 5, 6, 7, 8, 9}, 3, 3);
+  expect_gradients_match(leaves, [w](const auto& l) {
+    return sum(mul(gather_rows(l[0], {2, 0, 2}), w));
+  });
+}
+
+TEST(GradCheck, LayerNormRows) {
+  util::Rng rng{16};
+  std::vector<Tensor> leaves{make_leaf(rng, 3, 5), make_leaf(rng, 1, 5),
+                             make_leaf(rng, 1, 5)};
+  const Tensor w = Tensor::randn(3, 5, rng, 1.0);
+  expect_gradients_match(
+      leaves,
+      [w](const auto& l) {
+        return sum(mul(layernorm_rows(l[0], l[1], l[2]), w));
+      },
+      1e-6, 1e-4);
+}
+
+TEST(GradCheck, LogOp) {
+  Tensor x = Tensor::from({0.5, 1.5, 3.0}, 1, 3, true);
+  std::vector<Tensor> leaves{x};
+  expect_gradients_match(leaves,
+                         [](const auto& l) { return sum(log_op(l[0])); });
+}
+
+TEST(GradCheck, AttentionBlock) {
+  util::Rng rng{17};
+  SingleHeadAttention attn{4, rng};
+  std::vector<Tensor> leaves = attn.parameters();
+  const Tensor x = Tensor::randn(3, 4, rng, 1.0);
+  const Tensor w = Tensor::randn(3, 4, rng, 1.0);
+  expect_gradients_match(
+      leaves,
+      [&](const auto&) {
+        return sum(mul(attn.forward(x, x, /*causal=*/true), w));
+      },
+      1e-6, 1e-4);
+}
+
+TEST(GradCheck, TransformerDecoderLayerEndToEnd) {
+  util::Rng rng{18};
+  TransformerDecoderLayer layer{4, 8, rng};
+  std::vector<Tensor> leaves = layer.parameters();
+  const Tensor x = Tensor::randn(3, 4, rng, 1.0);
+  const Tensor memory = Tensor::randn(1, 4, rng, 1.0);
+  const Tensor w = Tensor::randn(3, 4, rng, 1.0);
+  expect_gradients_match(
+      leaves,
+      [&](const auto&) { return sum(mul(layer.forward(x, memory), w)); },
+      1e-6, 2e-4);
+}
+
+TEST(GradCheck, InputGradientThroughDecoderLayer) {
+  util::Rng rng{19};
+  TransformerDecoderLayer layer{4, 8, rng};
+  Tensor x = Tensor::randn(2, 4, rng, 1.0, /*requires_grad=*/true);
+  Tensor memory = Tensor::randn(1, 4, rng, 1.0, /*requires_grad=*/true);
+  std::vector<Tensor> leaves{x, memory};
+  expect_gradients_match(
+      leaves,
+      [&](const auto& l) { return sum(layer.forward(l[0], l[1])); }, 1e-6,
+      2e-4);
+}
+
+}  // namespace
+}  // namespace vpr::nn

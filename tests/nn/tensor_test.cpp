@@ -1,0 +1,242 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vpr::nn {
+namespace {
+
+TEST(Tensor, ZerosShapeAndValues) {
+  const Tensor t = Tensor::zeros(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t.at(i, j), 0.0);
+  }
+}
+
+TEST(Tensor, FromRowMajorLayout) {
+  const Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 6.0);
+}
+
+TEST(Tensor, FromRejectsWrongSize) {
+  EXPECT_THROW(Tensor::from({1, 2, 3}, 2, 2), std::invalid_argument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  const Tensor t = Tensor::zeros(2, 2);
+  EXPECT_THROW((void)t.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)t.at(0, -1), std::out_of_range);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.5).item(), 3.5);
+  EXPECT_THROW((void)Tensor::zeros(2, 1).item(), std::invalid_argument);
+}
+
+TEST(Tensor, AddSubMulElementwise) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Tensor::from({10, 20, 30, 40}, 2, 2);
+  const Tensor s = add(a, b);
+  const Tensor d = sub(b, a);
+  const Tensor p = mul(a, b);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 18.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 90.0);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  const Tensor a = Tensor::zeros(2, 2);
+  const Tensor b = Tensor::zeros(2, 3);
+  EXPECT_THROW((void)add(a, b), std::invalid_argument);
+  EXPECT_THROW((void)matmul(b, b), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulKnownResult) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor b = Tensor::from({7, 8, 9, 10, 11, 12}, 3, 2);
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Tensor, TransposeRoundTrip) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor at = transpose(a);
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+  const Tensor back = transpose(at);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(back.at(i, j), a.at(i, j));
+  }
+}
+
+TEST(Tensor, SoftmaxRowsSumToOne) {
+  const Tensor a = Tensor::from({1, 2, 3, -1, 0, 1}, 2, 3);
+  const Tensor s = softmax_rows(a);
+  for (int i = 0; i < 2; ++i) {
+    double total = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+  // Monotone in logits.
+  EXPECT_GT(s.at(0, 2), s.at(0, 1));
+}
+
+TEST(Tensor, SoftmaxNumericallyStableForLargeLogits) {
+  const Tensor a = Tensor::from({1000.0, 1000.0, -1000.0}, 1, 3);
+  const Tensor s = softmax_rows(a);
+  EXPECT_NEAR(s.at(0, 0), 0.5, 1e-9);
+  EXPECT_NEAR(s.at(0, 2), 0.0, 1e-9);
+}
+
+TEST(Tensor, SigmoidAndLogsigmoidConsistent) {
+  const Tensor x = Tensor::from({-30.0, -1.0, 0.0, 1.0, 30.0}, 1, 5);
+  const Tensor s = sigmoid(x);
+  const Tensor ls = logsigmoid(x);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_NEAR(ls.at(0, j), std::log(s.at(0, j)), 1e-9);
+  }
+  // Extreme negative input stays finite.
+  const Tensor extreme = logsigmoid(Tensor::from({-800.0}, 1, 1));
+  EXPECT_TRUE(std::isfinite(extreme.item()));
+  EXPECT_NEAR(extreme.item(), -800.0, 1e-6);
+}
+
+TEST(Tensor, ReluClampsNegatives) {
+  const Tensor x = Tensor::from({-2, -0.5, 0, 0.5, 2}, 1, 5);
+  const Tensor y = relu(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 3), 0.5);
+}
+
+TEST(Tensor, ClampBounds) {
+  const Tensor x = Tensor::from({-2, 0.5, 2}, 1, 3);
+  const Tensor y = clamp(x, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(y.at(0, 2), 1.0);
+  EXPECT_THROW((void)clamp(x, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Tensor, MinimumElementwise) {
+  const Tensor a = Tensor::from({1, 5}, 1, 2);
+  const Tensor b = Tensor::from({3, 2}, 1, 2);
+  const Tensor m = minimum(a, b);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+}
+
+TEST(Tensor, SumAndMean) {
+  const Tensor a = Tensor::from({1, 2, 3, 4}, 2, 2);
+  EXPECT_DOUBLE_EQ(sum(a).item(), 10.0);
+  EXPECT_DOUBLE_EQ(mean(a).item(), 2.5);
+}
+
+TEST(Tensor, SliceAndConcatRows) {
+  const Tensor a = Tensor::from({1, 2, 3, 4, 5, 6}, 3, 2);
+  const Tensor s = slice_rows(a, 1, 2);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 3.0);
+  EXPECT_THROW((void)slice_rows(a, 2, 2), std::out_of_range);
+  const Tensor c = concat_rows({s, slice_rows(a, 0, 1)});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_DOUBLE_EQ(c.at(2, 1), 2.0);
+}
+
+TEST(Tensor, GatherRows) {
+  const Tensor table = Tensor::from({10, 11, 20, 21, 30, 31}, 3, 2);
+  const Tensor g = gather_rows(table, {2, 0, 2});
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 30.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 11.0);
+  EXPECT_DOUBLE_EQ(g.at(2, 0), 30.0);
+  EXPECT_THROW((void)gather_rows(table, {3}), std::out_of_range);
+}
+
+TEST(Tensor, AddRowBroadcasts) {
+  const Tensor m = Tensor::from({1, 2, 3, 4}, 2, 2);
+  const Tensor r = Tensor::from({10, 20}, 1, 2);
+  const Tensor y = add_row(m, r);
+  EXPECT_DOUBLE_EQ(y.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(y.at(1, 1), 24.0);
+}
+
+TEST(Tensor, BackwardSimpleChain) {
+  Tensor x = Tensor::from({2.0}, 1, 1, /*requires_grad=*/true);
+  Tensor y = mul(x, x);  // y = x^2
+  y.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 4.0);
+}
+
+TEST(Tensor, BackwardAccumulatesAcrossUses) {
+  Tensor x = Tensor::from({3.0}, 1, 1, true);
+  Tensor y = add(x, x);  // dy/dx = 2
+  y.backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 2.0);
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor x = Tensor::zeros(2, 2, true);
+  Tensor y = add(x, x);
+  EXPECT_THROW(y.backward(), std::invalid_argument);
+}
+
+TEST(Tensor, DetachBlocksGradient) {
+  Tensor x = Tensor::from({2.0}, 1, 1, true);
+  Tensor d = mul(x, x).detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_DOUBLE_EQ(d.item(), 4.0);
+}
+
+TEST(Tensor, ConstantsDoNotTrackGradient) {
+  const Tensor a = Tensor::from({1, 2}, 1, 2);
+  const Tensor b = Tensor::from({3, 4}, 1, 2);
+  EXPECT_FALSE(add(a, b).requires_grad());
+}
+
+TEST(Tensor, LogOpDomainChecked) {
+  EXPECT_THROW((void)log_op(Tensor::from({-1.0}, 1, 1)), std::domain_error);
+  EXPECT_NEAR(log_op(Tensor::from({std::exp(2.0)}, 1, 1)).item(), 2.0, 1e-12);
+}
+
+TEST(Tensor, ZeroGradClearsAccumulation) {
+  Tensor x = Tensor::from({2.0}, 1, 1, true);
+  mul(x, x).backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 4.0);
+  x.zero_grad();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.0);
+}
+
+TEST(Tensor, LayerNormRowsNormalizes) {
+  const Tensor x = Tensor::from({1, 2, 3, 4, 10, 20, 30, 40}, 2, 4);
+  const Tensor g = Tensor::full(1, 4, 1.0);
+  const Tensor b = Tensor::zeros(1, 4);
+  const Tensor y = layernorm_rows(x, g, b);
+  for (int i = 0; i < 2; ++i) {
+    double m = 0.0;
+    for (int j = 0; j < 4; ++j) m += y.at(i, j);
+    EXPECT_NEAR(m, 0.0, 1e-9);
+    double v = 0.0;
+    for (int j = 0; j < 4; ++j) v += y.at(i, j) * y.at(i, j);
+    EXPECT_NEAR(v / 4.0, 1.0, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace vpr::nn

@@ -1,0 +1,187 @@
+#include "opt/engines.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "place/placer.h"
+#include "sta/power.h"
+#include "sta/sta.h"
+
+namespace vpr::opt {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  place::Placement placement;
+  sta::TimingOptions topt;
+  explicit Fixture(double period = 0.8, double hold_sens = 0.3,
+                   std::uint64_t seed = 61)
+      : nl(netlist::generate([&] {
+          netlist::DesignTraits t;
+          t.target_cells = 700;
+          t.logic_depth = 8;
+          t.clock_period_ns = period;
+          t.hold_sensitivity = hold_sens;
+          t.seed = seed;
+          return t;
+        }())) {
+    place::Placer placer{nl, place::PlacerKnobs{}, seed};
+    placement = placer.run();
+    topt.wire_cap_per_unit = 0.15;
+    topt.wire_delay_per_unit = 0.08;
+  }
+
+  [[nodiscard]] sta::TimingReport timing() const {
+    const sta::TimingAnalyzer analyzer{nl};
+    return analyzer.analyze({}, {}, topt);
+  }
+};
+
+TEST(OptEngine, SetupFixingImprovesWns) {
+  Fixture fx{0.6};
+  auto before = fx.timing();
+  ASSERT_LT(before.wns, 0.0) << "fixture must start violating";
+  OptKnobs knobs;
+  knobs.setup_effort = 0.8;
+  OptEngine engine{fx.nl, fx.placement, knobs, 1};
+  const int changed = engine.fix_setup(before);
+  EXPECT_GT(changed, 0);
+  const auto after = fx.timing();
+  EXPECT_GT(after.wns, before.wns);
+  EXPECT_LT(after.tns, before.tns);
+}
+
+TEST(OptEngine, SetupFixingRespectsAreaCap) {
+  Fixture fx{0.5};
+  const double area_before = fx.nl.total_area();
+  OptKnobs knobs;
+  knobs.setup_effort = 1.0;
+  knobs.max_area_growth = 0.02;
+  OptEngine engine{fx.nl, fx.placement, knobs, 2};
+  engine.fix_setup(fx.timing());
+  EXPECT_LE(fx.nl.total_area(), area_before * 1.05);
+}
+
+TEST(OptEngine, ZeroEffortIsNoOp) {
+  Fixture fx;
+  OptKnobs knobs;
+  knobs.setup_effort = 0.0;
+  knobs.hold_effort = 0.0;
+  knobs.power_effort = 0.0;
+  knobs.leakage_effort = 0.0;
+  knobs.clock_gating = 0.0;
+  OptEngine engine{fx.nl, fx.placement, knobs, 3};
+  const auto report = fx.timing();
+  EXPECT_EQ(engine.fix_setup(report), 0);
+  EXPECT_EQ(engine.fix_hold(report), 0);
+  EXPECT_EQ(engine.recover_power(report), 0);
+  EXPECT_EQ(engine.recover_leakage(report), 0);
+  std::vector<std::uint8_t> gated;
+  EXPECT_EQ(engine.apply_clock_gating(gated), 0);
+}
+
+TEST(OptEngine, HoldFixingInsertsBuffersAndImprovesHold) {
+  Fixture fx{2.5, /*hold_sens=*/0.6, 71};
+  // Force hold pressure: capture clocks arrive late on short paths.
+  std::vector<double> clk(static_cast<std::size_t>(fx.nl.cell_count()), 0.0);
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    if (fx.nl.is_flip_flop(c)) clk[static_cast<std::size_t>(c)] = 0.15;
+  }
+  const sta::TimingAnalyzer analyzer{fx.nl};
+  auto before = analyzer.analyze({}, clk, fx.topt);
+  // All capture clocks shifted equally: launches also shift; build true
+  // pressure by shifting only half the FFs.
+  int i = 0;
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    if (fx.nl.is_flip_flop(c)) {
+      clk[static_cast<std::size_t>(c)] = (i++ % 2 == 0) ? 0.25 : 0.0;
+    }
+  }
+  before = analyzer.analyze({}, clk, fx.topt);
+  ASSERT_GT(before.hold_violations, 0);
+  OptKnobs knobs;
+  knobs.hold_effort = 1.0;
+  OptEngine engine{fx.nl, fx.placement, knobs, 4};
+  const int buffers = engine.fix_hold(before);
+  EXPECT_GT(buffers, 0);
+  EXPECT_EQ(engine.stats().hold_buffers, buffers);
+  // Placement extended for the new cells.
+  EXPECT_EQ(fx.placement.x.size(),
+            static_cast<std::size_t>(fx.nl.cell_count()));
+  const sta::TimingAnalyzer analyzer2{fx.nl};
+  clk.resize(static_cast<std::size_t>(fx.nl.cell_count()), 0.0);
+  const auto after = analyzer2.analyze({}, clk, fx.topt);
+  EXPECT_LT(after.hold_tns, before.hold_tns);
+}
+
+TEST(OptEngine, PowerRecoveryReducesPowerOnEasyDesign) {
+  Fixture fx{3.0};  // relaxed period => lots of positive slack
+  const sta::PowerAnalyzer pa{fx.nl};
+  sta::PowerOptions popt;
+  const double before = pa.analyze({}, 0.0, {}, popt).total;
+  OptKnobs knobs;
+  knobs.power_effort = 0.9;
+  OptEngine engine{fx.nl, fx.placement, knobs, 5};
+  const int changed = engine.recover_power(fx.timing());
+  EXPECT_GT(changed, 0);
+  const double after = pa.analyze({}, 0.0, {}, popt).total;
+  EXPECT_LT(after, before);
+  // Timing must remain met.
+  EXPECT_GE(fx.timing().wns, -0.05);
+}
+
+TEST(OptEngine, LeakageRecoverySwapsVt) {
+  Fixture fx{3.0};
+  const double leak_before = fx.nl.total_leakage();
+  OptKnobs knobs;
+  knobs.leakage_effort = 0.9;
+  OptEngine engine{fx.nl, fx.placement, knobs, 6};
+  const int changed = engine.recover_leakage(fx.timing());
+  EXPECT_GT(changed, 0);
+  EXPECT_EQ(engine.stats().vt_relaxed, changed);
+  EXPECT_LT(fx.nl.total_leakage(), leak_before);
+}
+
+TEST(OptEngine, ClockGatingTargetsIdleFlipFlops) {
+  Fixture fx;
+  OptKnobs knobs;
+  knobs.clock_gating = 1.0;
+  OptEngine engine{fx.nl, fx.placement, knobs, 7};
+  std::vector<std::uint8_t> gated;
+  const int n = engine.apply_clock_gating(gated);
+  EXPECT_EQ(gated.size(), static_cast<std::size_t>(fx.nl.cell_count()));
+  int count = 0;
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    if (gated[static_cast<std::size_t>(c)]) {
+      EXPECT_TRUE(fx.nl.is_flip_flop(c));
+      EXPECT_LT(fx.nl.cell(c).activity, 0.3);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(OptEngine, StaleReportRejected) {
+  Fixture fx;
+  auto report = fx.timing();
+  report.cell_slack.pop_back();
+  OptKnobs knobs;
+  knobs.setup_effort = 0.5;
+  OptEngine engine{fx.nl, fx.placement, knobs, 8};
+  EXPECT_THROW((void)engine.fix_setup(report), std::invalid_argument);
+}
+
+TEST(OptEngine, StatsAccumulateAcrossPasses) {
+  Fixture fx{0.7};
+  OptKnobs knobs;
+  knobs.setup_effort = 0.5;
+  knobs.power_effort = 0.5;
+  OptEngine engine{fx.nl, fx.placement, knobs, 9};
+  const int up = engine.fix_setup(fx.timing());
+  const int down = engine.recover_power(fx.timing());
+  EXPECT_EQ(engine.stats().upsized, up);
+  EXPECT_EQ(engine.stats().downsized, down);
+}
+
+}  // namespace
+}  // namespace vpr::opt

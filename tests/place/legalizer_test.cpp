@@ -1,0 +1,133 @@
+#include "place/legalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "netlist/generator.h"
+
+namespace vpr::place {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  Placement placement;
+  explicit Fixture(double macro = 0.0, std::uint64_t seed = 99)
+      : nl(netlist::generate([&] {
+          netlist::DesignTraits t;
+          t.target_cells = 600;
+          t.logic_depth = 6;
+          t.macro_ratio = macro;
+          t.seed = seed;
+          return t;
+        }())) {
+    Placer placer{nl, PlacerKnobs{}, seed};
+    placement = placer.run();
+  }
+};
+
+TEST(Legalizer, NoOverlapsWithinRows) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  const auto legal = legalizer.run(fx.placement);
+  ASSERT_EQ(legal.x.size(), static_cast<std::size_t>(fx.nl.cell_count()));
+  // Group by row and check packed intervals don't overlap.
+  std::map<int, std::vector<std::pair<double, double>>> rows;
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    const int row = static_cast<int>(
+        legal.y[static_cast<std::size_t>(c)] / legal.row_height);
+    rows[row].push_back({legal.x[static_cast<std::size_t>(c)],
+                         legal.x[static_cast<std::size_t>(c)] +
+                             legalizer.cell_width(c)});
+  }
+  for (auto& [row, intervals] : rows) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9)
+          << "overlap in row " << row;
+    }
+  }
+}
+
+TEST(Legalizer, CellsOnRowCenterlines) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  const auto legal = legalizer.run(fx.placement);
+  for (const double y : legal.y) {
+    const double row_pos = y / legal.row_height - 0.5;
+    EXPECT_NEAR(row_pos, std::round(row_pos), 1e-9);
+  }
+}
+
+TEST(Legalizer, DisplacementIsModest) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  const auto legal = legalizer.run(fx.placement);
+  EXPECT_GT(legal.mean_displacement, 0.0);
+  EXPECT_LT(legal.mean_displacement, 0.15);
+  EXPECT_GE(legal.max_displacement, legal.mean_displacement);
+}
+
+TEST(Legalizer, AvoidsMacroBlockages) {
+  Fixture fx{0.2, 123};
+  ASSERT_FALSE(fx.nl.blockages().empty());
+  const Legalizer legalizer{fx.nl};
+  const auto legal = legalizer.run(fx.placement);
+  int inside = 0;
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    const double x = legal.x[static_cast<std::size_t>(c)];
+    const double y = legal.y[static_cast<std::size_t>(c)];
+    for (const auto& b : fx.nl.blockages()) {
+      // Cell start strictly inside the macro body counts as a violation.
+      if (x > b.x0 + 1e-9 && x < b.x1 - 1e-9 && y > b.y0 && y < b.y1) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(inside, 0);
+}
+
+TEST(Legalizer, ExplicitRowCountHonored) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl, 16};
+  EXPECT_EQ(legalizer.rows(), 16);
+  const auto legal = legalizer.run(fx.placement);
+  EXPECT_EQ(legal.rows, 16);
+  EXPECT_NEAR(legal.row_height, 1.0 / 16, 1e-12);
+}
+
+TEST(Legalizer, DeterministicOutput) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  const auto a = legalizer.run(fx.placement);
+  const auto b = legalizer.run(fx.placement);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Legalizer, RejectsMismatchedPlacement) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  Placement empty;
+  EXPECT_THROW((void)legalizer.run(empty), std::invalid_argument);
+}
+
+TEST(WriteDef, EmitsComponentsSection) {
+  Fixture fx;
+  const Legalizer legalizer{fx.nl};
+  const auto legal = legalizer.run(fx.placement);
+  std::ostringstream os;
+  write_def(fx.nl, legal, os);
+  const std::string def = os.str();
+  EXPECT_NE(def.find("COMPONENTS " + std::to_string(fx.nl.cell_count())),
+            std::string::npos);
+  EXPECT_NE(def.find("END COMPONENTS"), std::string::npos);
+  EXPECT_NE(def.find("- u0 "), std::string::npos);
+  EXPECT_NE(def.find("+ PLACED ("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpr::place

@@ -1,0 +1,195 @@
+#include "place/placer.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+
+namespace vpr::place {
+namespace {
+
+netlist::Netlist test_design(std::uint64_t seed = 41, double macro = 0.0,
+                             double congestion = 0.3) {
+  netlist::DesignTraits traits;
+  traits.target_cells = 800;
+  traits.logic_depth = 7;
+  traits.seed = seed;
+  traits.macro_ratio = macro;
+  traits.congestion_propensity = congestion;
+  return netlist::generate(traits);
+}
+
+TEST(Placer, AllCellsPlacedInDie) {
+  const auto nl = test_design();
+  Placer placer{nl, PlacerKnobs{}, 1};
+  const Placement p = placer.run();
+  ASSERT_EQ(p.x.size(), static_cast<std::size_t>(nl.cell_count()));
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    EXPECT_GE(p.x[i], 0.0);
+    EXPECT_LE(p.x[i], 1.0);
+    EXPECT_GE(p.y[i], 0.0);
+    EXPECT_LE(p.y[i], 1.0);
+  }
+  EXPECT_GT(p.hpwl, 0.0);
+  EXPECT_GT(p.grid, 0);
+}
+
+TEST(Placer, DeterministicForSameSeed) {
+  const auto nl = test_design();
+  Placer a{nl, PlacerKnobs{}, 9};
+  Placer b{nl, PlacerKnobs{}, 9};
+  const Placement pa = a.run();
+  const Placement pb = b.run();
+  EXPECT_EQ(pa.x, pb.x);
+  EXPECT_EQ(pa.y, pb.y);
+  EXPECT_DOUBLE_EQ(pa.hpwl, pb.hpwl);
+}
+
+TEST(Placer, RefinementImprovesWirelengthOverRandom) {
+  const auto nl = test_design();
+  PlacerKnobs one_pass;
+  one_pass.iterations = 1;
+  PlacerKnobs refined;
+  refined.iterations = 8;
+  Placer p1{nl, one_pass, 5};
+  Placer p8{nl, refined, 5};
+  EXPECT_LT(p8.run().hpwl, p1.run().hpwl * 1.05);
+}
+
+TEST(Placer, TrajectoryRecordedPerIteration) {
+  const auto nl = test_design();
+  PlacerKnobs knobs;
+  knobs.iterations = 4;
+  Placer placer{nl, knobs, 3};
+  PlaceTrajectory traj;
+  (void)placer.run({}, &traj);
+  EXPECT_EQ(traj.step_congestion.size(), 4u);
+  EXPECT_EQ(traj.step_overflow.size(), 4u);
+  EXPECT_EQ(traj.step_hpwl.size(), 4u);
+  for (const double c : traj.step_congestion) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(Placer, BlockagesStayMostlyEmpty) {
+  const auto nl = test_design(7, /*macro=*/0.2);
+  ASSERT_FALSE(nl.blockages().empty());
+  Placer placer{nl, PlacerKnobs{}, 2};
+  const Placement p = placer.run();
+  int inside = 0;
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    for (const auto& b : nl.blockages()) {
+      if (p.x[i] >= b.x0 && p.x[i] <= b.x1 && p.y[i] >= b.y0 &&
+          p.y[i] <= b.y1) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  // A few stragglers are tolerated; the bulk must avoid macros.
+  EXPECT_LT(static_cast<double>(inside) / nl.cell_count(), 0.12);
+}
+
+TEST(Placer, DensityTargetLimitsPeakUtilization) {
+  const auto nl = test_design();
+  PlacerKnobs tight;
+  tight.density_target = 0.55;
+  tight.iterations = 6;
+  PlacerKnobs loose;
+  loose.density_target = 0.95;
+  loose.iterations = 6;
+  Placer pt{nl, tight, 4};
+  Placer pl{nl, loose, 4};
+  const auto rt = pt.run();
+  const auto rl = pl.run();
+  const auto peak = [](const Placement& p) {
+    double mx = 0.0;
+    for (const double u : p.bin_utilization) mx = std::max(mx, u);
+    return mx;
+  };
+  EXPECT_LE(peak(rt), peak(rl) + 0.3);
+}
+
+TEST(Placer, TimingWeightsPullCriticalNetsShorter) {
+  const auto nl = test_design();
+  // Mark one specific net critical and compare its HPWL with/without.
+  std::vector<double> weights(static_cast<std::size_t>(nl.net_count()), 0.0);
+  // Choose a multi-pin net.
+  int target_net = -1;
+  for (int n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(n).driver_cell != netlist::kNoDriver &&
+        nl.net(n).sink_cells.size() >= 3) {
+      target_net = n;
+      break;
+    }
+  }
+  ASSERT_GE(target_net, 0);
+  weights[static_cast<std::size_t>(target_net)] = 1.0;
+  PlacerKnobs knobs;
+  knobs.timing_weight = 1.0;
+  Placer unweighted{nl, PlacerKnobs{}, 6};
+  Placer weighted{nl, knobs, 6};
+  const auto pu = unweighted.run();
+  const auto pw = weighted.run(weights);
+  EXPECT_LT(pw.net_hpwl(nl, target_net), pu.net_hpwl(nl, target_net) * 1.5);
+}
+
+TEST(Placer, RejectsBadInputs) {
+  const auto nl = test_design();
+  PlacerKnobs bad;
+  bad.iterations = 0;
+  EXPECT_THROW(Placer(nl, bad, 1), std::invalid_argument);
+  Placer ok{nl, PlacerKnobs{}, 1};
+  const std::vector<double> wrong_size(5, 1.0);
+  EXPECT_THROW((void)ok.run(wrong_size), std::invalid_argument);
+}
+
+TEST(Placer, MapsNormalized) {
+  const auto nl = test_design();
+  Placer placer{nl, PlacerKnobs{}, 8};
+  const auto p = placer.run();
+  ASSERT_EQ(p.bin_utilization.size(),
+            static_cast<std::size_t>(p.grid) * p.grid);
+  ASSERT_EQ(p.routing_demand.size(), p.bin_utilization.size());
+  double mean_demand = 0.0;
+  for (const double d : p.routing_demand) mean_demand += d;
+  mean_demand /= static_cast<double>(p.routing_demand.size());
+  // Demand is normalized to capacity units; the mean sits below 1.
+  EXPECT_GT(mean_demand, 0.05);
+  EXPECT_LT(mean_demand, 1.0);
+}
+
+/// Property sweep: placement stays legal across knob corners.
+struct KnobCase {
+  double density;
+  double congestion;
+  double perturbation;
+};
+
+class PlacerKnobSweep : public ::testing::TestWithParam<KnobCase> {};
+
+TEST_P(PlacerKnobSweep, ProducesLegalPlacement) {
+  const auto param = GetParam();
+  const auto nl = test_design(13);
+  PlacerKnobs knobs;
+  knobs.density_target = param.density;
+  knobs.congestion_effort = param.congestion;
+  knobs.perturbation = param.perturbation;
+  knobs.iterations = 3;
+  Placer placer{nl, knobs, 17};
+  const auto p = placer.run();
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    EXPECT_GE(p.x[i], 0.0);
+    EXPECT_LE(p.x[i], 1.0);
+  }
+  EXPECT_GT(p.hpwl, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, PlacerKnobSweep,
+    ::testing::Values(KnobCase{0.4, 0.0, 0.0}, KnobCase{0.98, 1.0, 1.0},
+                      KnobCase{0.7, 0.5, 0.3}, KnobCase{0.55, 1.0, 0.0},
+                      KnobCase{0.9, 0.0, 1.0}));
+
+}  // namespace
+}  // namespace vpr::place

@@ -1,0 +1,148 @@
+#include "route/router.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "place/placer.h"
+
+namespace vpr::route {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  place::Placement placement;
+  explicit Fixture(double congestion = 0.3, std::uint64_t seed = 77)
+      : nl(netlist::generate([&] {
+          netlist::DesignTraits t;
+          t.target_cells = 700;
+          t.logic_depth = 6;
+          t.congestion_propensity = congestion;
+          t.seed = seed;
+          return t;
+        }())) {
+    place::Placer placer{nl, place::PlacerKnobs{}, seed};
+    placement = placer.run();
+  }
+};
+
+TEST(Router, RoutesEveryNetAtLeastHpwl) {
+  Fixture fx;
+  GlobalRouter router{fx.nl, fx.placement, RouterKnobs{}, 1};
+  const auto r = router.run();
+  ASSERT_EQ(r.net_length.size(), static_cast<std::size_t>(fx.nl.net_count()));
+  for (int n = 0; n < fx.nl.net_count(); ++n) {
+    const double hpwl = fx.placement.net_hpwl(fx.nl, n);
+    EXPECT_GE(r.net_length[static_cast<std::size_t>(n)], hpwl - 1e-9)
+        << "net " << n;
+    EXPECT_GE(r.detour_factor[static_cast<std::size_t>(n)], 1.0 - 1e-9);
+  }
+  EXPECT_GT(r.total_wirelength, 0.0);
+  EXPECT_EQ(r.round_overflow_edges.size(),
+            static_cast<std::size_t>(RouterKnobs{}.rounds));
+}
+
+TEST(Router, DeterministicForSameInputs) {
+  Fixture fx;
+  GlobalRouter a{fx.nl, fx.placement, RouterKnobs{}, 5};
+  GlobalRouter b{fx.nl, fx.placement, RouterKnobs{}, 5};
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.net_length, rb.net_length);
+  EXPECT_EQ(ra.overflow_edges, rb.overflow_edges);
+}
+
+TEST(Router, NegotiationReducesOverflowAcrossRounds) {
+  Fixture fx{/*congestion=*/0.8, 13};
+  RouterKnobs knobs;
+  knobs.rounds = 5;
+  knobs.congestion_effort = 0.8;
+  GlobalRouter router{fx.nl, fx.placement, knobs, 3};
+  const auto r = router.run();
+  ASSERT_EQ(r.round_overflow_edges.size(), 5u);
+  // The final round should not be (much) worse than the first.
+  EXPECT_LE(r.round_overflow_edges.back(),
+            r.round_overflow_edges.front() + 2);
+}
+
+TEST(Router, CapacityDerateIncreasesOverflow) {
+  Fixture fx{0.7, 29};
+  RouterKnobs generous;
+  generous.capacity_derate = 1.2;
+  RouterKnobs tight;
+  tight.capacity_derate = 0.6;
+  GlobalRouter rg{fx.nl, fx.placement, generous, 4};
+  GlobalRouter rt{fx.nl, fx.placement, tight, 4};
+  const auto a = rg.run();
+  const auto b = rt.run();
+  EXPECT_LE(a.overflow_edges, b.overflow_edges);
+  EXPECT_LE(a.drc_violations, b.drc_violations);
+}
+
+TEST(Router, EffortTradesWirelengthForOverflow) {
+  Fixture fx{0.8, 31};
+  RouterKnobs lazy;
+  lazy.congestion_effort = 0.0;
+  lazy.rounds = 2;
+  RouterKnobs diligent;
+  diligent.congestion_effort = 1.0;
+  diligent.rounds = 5;
+  GlobalRouter rl{fx.nl, fx.placement, lazy, 6};
+  GlobalRouter rd{fx.nl, fx.placement, diligent, 6};
+  const auto a = rl.run();
+  const auto b = rd.run();
+  // More effort should not yield more overflow; may cost wirelength.
+  EXPECT_LE(b.overflow_edges, a.overflow_edges + 2);
+}
+
+TEST(Router, DrcCountTracksOverflow) {
+  Fixture fx{0.85, 37};
+  RouterKnobs tight;
+  tight.capacity_derate = 0.6;
+  GlobalRouter router{fx.nl, fx.placement, tight, 7};
+  const auto r = router.run();
+  if (r.total_overflow > 1.0) {
+    EXPECT_GT(r.drc_violations, 0);
+  }
+  EXPECT_GE(r.max_utilization, 0.0);
+}
+
+TEST(Router, GridEdgeCountConsistent) {
+  Fixture fx;
+  GlobalRouter router{fx.nl, fx.placement, RouterKnobs{}, 8};
+  const auto r = router.run();
+  EXPECT_EQ(r.grid, router.grid());
+  EXPECT_EQ(r.edge_count(), 2 * r.grid * (r.grid - 1));
+}
+
+TEST(Router, RejectsBadPlacement) {
+  Fixture fx;
+  place::Placement empty;
+  EXPECT_THROW(GlobalRouter(fx.nl, empty, RouterKnobs{}, 1),
+               std::invalid_argument);
+}
+
+/// Property sweep: routing is legal at knob corners.
+class RouterKnobSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(RouterKnobSweep, CompletesAndCovers) {
+  const auto [effort, derate, rounds] = GetParam();
+  Fixture fx{0.6, 53};
+  RouterKnobs knobs;
+  knobs.congestion_effort = effort;
+  knobs.capacity_derate = derate;
+  knobs.rounds = rounds;
+  GlobalRouter router{fx.nl, fx.placement, knobs, 11};
+  const auto r = router.run();
+  EXPECT_EQ(r.round_overflow_edges.size(), static_cast<std::size_t>(rounds));
+  EXPECT_GT(r.total_wirelength, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, RouterKnobSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.6, 1.0, 1.2),
+                       ::testing::Values(1, 4)));
+
+}  // namespace
+}  // namespace vpr::route

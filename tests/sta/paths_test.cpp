@@ -1,0 +1,122 @@
+#include "sta/paths.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+
+namespace vpr::sta {
+namespace {
+
+using netlist::Func;
+using netlist::Netlist;
+using netlist::Vt;
+
+/// FF -> 3 inverters -> FF at an impossible period.
+struct ChainFixture {
+  Netlist nl{"paths", netlist::CellLibrary::make({"45nm", 45.0}), 0.1};
+  int launch = 0;
+  int capture = 0;
+  ChainFixture() {
+    const auto& lib = nl.library();
+    const int dff = lib.find(Func::kDff, 2, Vt::kStandard);
+    const int inv = lib.find(Func::kInv, 2, Vt::kStandard);
+    const int pi = nl.add_net();
+    nl.mark_primary_input(pi);
+    int q = nl.add_net();
+    launch = nl.add_cell(dff, {pi}, q);
+    for (int i = 0; i < 3; ++i) {
+      const int next = nl.add_net();
+      nl.add_cell(inv, {q}, next);
+      q = next;
+    }
+    const int q2 = nl.add_net();
+    capture = nl.add_cell(dff, {q}, q2);
+    nl.mark_primary_output(q2);
+  }
+};
+
+TimingOptions ideal() {
+  TimingOptions o;
+  o.wire_cap_per_unit = 0.0;
+  o.wire_delay_per_unit = 0.0;
+  o.output_load = 0.0;
+  o.clock_uncertainty = 0.0;
+  return o;
+}
+
+TEST(WorstPaths, ReconstructsFullChain) {
+  ChainFixture fx;
+  const auto paths = worst_paths(fx.nl, {}, {}, ideal(), 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const auto& p = paths.front();
+  EXPECT_EQ(p.endpoint_cell, fx.capture);
+  // Launch FF + 3 inverters = 4 stages.
+  ASSERT_EQ(p.stages.size(), 4u);
+  EXPECT_EQ(p.stages.front().cell, fx.launch);
+  EXPECT_EQ(p.stages.front().cell_name, "DFF_X2_SVT");
+  for (std::size_t s = 1; s < p.stages.size(); ++s) {
+    EXPECT_EQ(p.stages[s].cell_name, "INV_X2_SVT");
+    // Arrivals increase along the path.
+    EXPECT_GT(p.stages[s].arrival, p.stages[s - 1].arrival);
+  }
+  EXPECT_LT(p.slack, 0.0);
+  EXPECT_NEAR(p.required, p.arrival + p.slack, 1e-12);
+}
+
+TEST(WorstPaths, SlackMatchesAnalyzerReport) {
+  ChainFixture fx;
+  const TimingAnalyzer analyzer{fx.nl};
+  const auto report = analyzer.analyze({}, {}, ideal());
+  const auto paths = worst_paths(fx.nl, {}, {}, ideal(), 3);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_NEAR(paths.front().slack, report.wns, 1e-9);
+}
+
+TEST(WorstPaths, OrderedBySlack) {
+  netlist::DesignTraits traits;
+  traits.target_cells = 500;
+  traits.clock_period_ns = 0.4;
+  traits.seed = 515;
+  const auto nl = netlist::generate(traits);
+  TimingOptions opt;
+  opt.wire_cap_per_unit = 0.1;
+  opt.wire_delay_per_unit = 0.05;
+  const auto paths = worst_paths(nl, {}, {}, opt, 10);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].slack, paths[i - 1].slack - 1e-12);
+  }
+}
+
+TEST(WorstPaths, StageArrivalsAreCumulativeDelays) {
+  ChainFixture fx;
+  const auto paths = worst_paths(fx.nl, {}, {}, ideal(), 1);
+  const auto& stages = paths.front().stages;
+  double acc = 0.0;
+  for (const auto& stage : stages) {
+    acc += stage.stage_delay;
+    EXPECT_NEAR(stage.arrival, acc, 1e-9);
+  }
+}
+
+TEST(WorstPaths, CountClampedToEndpoints) {
+  ChainFixture fx;
+  // 3 endpoints exist (launch FF D, capture FF D, PO); asking for 50
+  // returns all of them and no more.
+  const auto paths = worst_paths(fx.nl, {}, {}, ideal(), 50);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_THROW((void)worst_paths(fx.nl, {}, {}, ideal(), 0),
+               std::invalid_argument);
+}
+
+TEST(FormatPath, MentionsCellsAndSlack) {
+  ChainFixture fx;
+  const auto paths = worst_paths(fx.nl, {}, {}, ideal(), 1);
+  const std::string text = format_path(paths.front());
+  EXPECT_NE(text.find("DFF_X2_SVT"), std::string::npos);
+  EXPECT_NE(text.find("INV_X2_SVT"), std::string::npos);
+  EXPECT_NE(text.find("slack="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpr::sta

@@ -1,0 +1,105 @@
+#include "sta/power.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+
+namespace vpr::sta {
+namespace {
+
+netlist::Netlist small_design(double activity = 0.1) {
+  netlist::DesignTraits traits;
+  traits.target_cells = 500;
+  traits.logic_depth = 6;
+  traits.activity_mean = activity;
+  traits.seed = 31;
+  return netlist::generate(traits);
+}
+
+TEST(PowerAnalyzer, ComponentsSumToTotal) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  const auto r = pa.analyze({}, /*clock_network_mw=*/1.5, {}, PowerOptions{});
+  EXPECT_NEAR(r.total,
+              r.switching + r.internal_power + r.leakage + r.clock_network,
+              1e-9);
+  EXPECT_GT(r.switching, 0.0);
+  EXPECT_GT(r.internal_power, 0.0);
+  EXPECT_GT(r.leakage, 0.0);
+  EXPECT_DOUBLE_EQ(r.clock_network, 1.5);
+}
+
+TEST(PowerAnalyzer, HigherActivityMorePower) {
+  const auto quiet = small_design(0.02);
+  const auto busy = small_design(0.3);
+  const PowerAnalyzer pq{quiet};
+  const PowerAnalyzer pb{busy};
+  const auto rq = pq.analyze({}, 0.0, {}, PowerOptions{});
+  const auto rb = pb.analyze({}, 0.0, {}, PowerOptions{});
+  EXPECT_GT(rb.switching, rq.switching);
+}
+
+TEST(PowerAnalyzer, FrequencyScalesDynamicNotLeakage) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  PowerOptions slow;
+  slow.frequency_ghz = 0.5;
+  PowerOptions fast;
+  fast.frequency_ghz = 2.0;
+  const auto rs = pa.analyze({}, 0.0, {}, slow);
+  const auto rf = pa.analyze({}, 0.0, {}, fast);
+  EXPECT_NEAR(rf.switching, 4.0 * rs.switching, 1e-9);
+  EXPECT_NEAR(rf.leakage, rs.leakage, 1e-9);
+}
+
+TEST(PowerAnalyzer, LongerWiresMoreSwitching) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  const std::vector<double> short_w(static_cast<std::size_t>(nl.net_count()),
+                                    0.01);
+  const std::vector<double> long_w(static_cast<std::size_t>(nl.net_count()),
+                                   0.4);
+  const auto rs = pa.analyze(short_w, 0.0, {}, PowerOptions{});
+  const auto rl = pa.analyze(long_w, 0.0, {}, PowerOptions{});
+  EXPECT_GT(rl.switching, rs.switching);
+}
+
+TEST(PowerAnalyzer, ClockGatingReducesSequentialPower) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  std::vector<std::uint8_t> gated(static_cast<std::size_t>(nl.cell_count()),
+                                  0);
+  const auto before = pa.analyze({}, 0.0, gated, PowerOptions{});
+  for (int c = 0; c < nl.cell_count(); ++c) {
+    if (nl.is_flip_flop(c)) gated[static_cast<std::size_t>(c)] = 1;
+  }
+  const auto after = pa.analyze({}, 0.0, gated, PowerOptions{});
+  EXPECT_LT(after.sequential, before.sequential);
+  EXPECT_LT(after.total, before.total);
+  // Combinational power untouched.
+  EXPECT_NEAR(after.combinational, before.combinational, 1e-9);
+}
+
+TEST(PowerAnalyzer, FractionsAreConsistent) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  const auto r = pa.analyze({}, 2.0, {}, PowerOptions{});
+  EXPECT_GT(r.leakage_fraction(), 0.0);
+  EXPECT_LT(r.leakage_fraction(), 1.0);
+  EXPECT_GT(r.sequential_fraction(), 0.0);
+  EXPECT_LT(r.sequential_fraction(), 1.0);
+}
+
+TEST(PowerAnalyzer, SizeMismatchesRejected) {
+  const auto nl = small_design();
+  const PowerAnalyzer pa{nl};
+  const std::vector<double> bad_w(3, 0.1);
+  EXPECT_THROW((void)pa.analyze(bad_w, 0.0, {}, PowerOptions{}),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> bad_g(3, 0);
+  EXPECT_THROW((void)pa.analyze({}, 0.0, bad_g, PowerOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpr::sta

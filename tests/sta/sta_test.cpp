@@ -1,0 +1,218 @@
+#include "sta/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+
+namespace vpr::sta {
+namespace {
+
+using netlist::Func;
+using netlist::Netlist;
+using netlist::Vt;
+
+Netlist make_empty(double period = 1.0) {
+  return Netlist{"t", netlist::CellLibrary::make({"45nm", 45.0}), period};
+}
+
+TimingOptions ideal_options() {
+  TimingOptions o;
+  o.wire_cap_per_unit = 0.0;
+  o.wire_delay_per_unit = 0.0;
+  o.output_load = 0.0;
+  o.clock_uncertainty = 0.0;
+  return o;
+}
+
+/// FF -> inv chain of `depth` -> FF, returns (netlist, launch, capture).
+struct ChainFixture {
+  Netlist nl = make_empty();
+  int launch = 0;
+  int capture = 0;
+  explicit ChainFixture(int depth, double period = 1.0) {
+    nl = make_empty(period);
+    const auto& lib = nl.library();
+    const int dff = lib.find(Func::kDff, 2, Vt::kStandard);
+    const int inv = lib.find(Func::kInv, 2, Vt::kStandard);
+    const int pi = nl.add_net();
+    nl.mark_primary_input(pi);
+    int q = nl.add_net();
+    launch = nl.add_cell(dff, {pi}, q);
+    for (int i = 0; i < depth; ++i) {
+      const int next = nl.add_net();
+      nl.add_cell(inv, {q}, next);
+      q = next;
+    }
+    const int q2 = nl.add_net();
+    capture = nl.add_cell(dff, {q}, q2);
+    nl.mark_primary_output(q2);
+  }
+};
+
+TEST(TimingAnalyzer, ChainDelayAccumulates) {
+  ChainFixture fx{4};
+  const TimingAnalyzer sta{fx.nl};
+  const auto r = sta.analyze({}, {}, ideal_options());
+  // Arrival at capture D = clk2q + 4 stage delays (pin-cap loads only).
+  EXPECT_GT(r.max_arrival, 0.0);
+  ChainFixture longer{8};
+  const TimingAnalyzer sta2{longer.nl};
+  const auto r2 = sta2.analyze({}, {}, ideal_options());
+  EXPECT_GT(r2.max_arrival, r.max_arrival);
+}
+
+TEST(TimingAnalyzer, SlackMatchesPeriod) {
+  ChainFixture fx{2, /*period=*/10.0};
+  const TimingAnalyzer sta{fx.nl};
+  const auto r = sta.analyze({}, {}, ideal_options());
+  EXPECT_GT(r.wns, 0.0);   // 10ns period: easy
+  EXPECT_EQ(r.tns, 0.0);
+  ChainFixture tight{2, /*period=*/0.05};
+  const TimingAnalyzer sta2{tight.nl};
+  const auto r2 = sta2.analyze({}, {}, ideal_options());
+  EXPECT_LT(r2.wns, 0.0);  // 50ps period: impossible
+  EXPECT_GT(r2.tns, 0.0);
+  EXPECT_GT(r2.setup_violations, 0);
+}
+
+TEST(TimingAnalyzer, WnsEqualsMinEndpointSlack) {
+  ChainFixture fx{5, 0.3};
+  const TimingAnalyzer sta{fx.nl};
+  const auto r = sta.analyze({}, {}, ideal_options());
+  double min_slack = 1e18;
+  for (const auto& ep : r.endpoints) {
+    min_slack = std::min(min_slack, ep.setup_slack);
+  }
+  EXPECT_DOUBLE_EQ(r.wns, min_slack);
+}
+
+TEST(TimingAnalyzer, WireLengthAddsDelay) {
+  ChainFixture fx{3, 1.0};
+  const TimingAnalyzer sta{fx.nl};
+  TimingOptions opt = ideal_options();
+  opt.wire_cap_per_unit = 0.2;
+  opt.wire_delay_per_unit = 0.1;
+  const std::vector<double> short_wires(
+      static_cast<std::size_t>(fx.nl.net_count()), 0.01);
+  const std::vector<double> long_wires(
+      static_cast<std::size_t>(fx.nl.net_count()), 0.5);
+  const auto r_short = sta.analyze(short_wires, {}, opt);
+  const auto r_long = sta.analyze(long_wires, {}, opt);
+  EXPECT_GT(r_long.max_arrival, r_short.max_arrival);
+  EXPECT_LT(r_long.wns, r_short.wns);
+}
+
+TEST(TimingAnalyzer, LateCaptureClockHelpsSetupHurtsHold) {
+  ChainFixture fx{3, 0.4};
+  const TimingAnalyzer sta{fx.nl};
+  std::vector<double> clk(static_cast<std::size_t>(fx.nl.cell_count()), 0.0);
+  const auto base = sta.analyze({}, {}, ideal_options());
+  clk[static_cast<std::size_t>(fx.capture)] = 0.1;  // capture clock late
+  const auto skewed = sta.analyze({}, clk, ideal_options());
+  // Find the capture FF endpoint in both reports.
+  const auto find_ep = [&](const TimingReport& r) {
+    for (const auto& ep : r.endpoints) {
+      if (ep.cell == fx.capture) return ep;
+    }
+    return Endpoint{};
+  };
+  EXPECT_GT(find_ep(skewed).setup_slack, find_ep(base).setup_slack);
+  EXPECT_LT(find_ep(skewed).hold_slack, find_ep(base).hold_slack);
+}
+
+TEST(TimingAnalyzer, HoldViolationOnShortPath) {
+  // FF -> FF direct: min path = clk2q only; with a late-ish capture clock,
+  // hold fails.
+  auto nl = make_empty(5.0);
+  const auto& lib = nl.library();
+  const int dff = lib.find(Func::kDff, 2, Vt::kStandard);
+  const int pi = nl.add_net();
+  nl.mark_primary_input(pi);
+  const int q1 = nl.add_net();
+  const int launch = nl.add_cell(dff, {pi}, q1);
+  const int q2 = nl.add_net();
+  const int capture = nl.add_cell(dff, {q1}, q2);
+  nl.mark_primary_output(q2);
+  (void)launch;
+  const TimingAnalyzer sta{nl};
+  std::vector<double> clk(static_cast<std::size_t>(nl.cell_count()), 0.0);
+  clk[static_cast<std::size_t>(capture)] = 0.5;
+  const auto r = sta.analyze({}, clk, ideal_options());
+  EXPECT_GT(r.hold_violations, 0);
+  EXPECT_LT(r.hold_wns, 0.0);
+  EXPECT_GT(r.hold_tns, 0.0);
+}
+
+TEST(TimingAnalyzer, DetectsCombinationalLoop) {
+  auto nl = make_empty();
+  const auto& lib = nl.library();
+  const int inv = lib.find(Func::kInv, 2, Vt::kStandard);
+  const int a = nl.add_net();
+  const int b = nl.add_net();
+  nl.add_cell(inv, {a}, b);
+  nl.add_cell(inv, {b}, a);  // loop
+  EXPECT_THROW(TimingAnalyzer{nl}, std::logic_error);
+}
+
+TEST(TimingAnalyzer, CriticalityIsMonotoneInSlack) {
+  // Deep chain at a period it cannot meet: the chain nets are critical.
+  ChainFixture fx{14, 0.2};
+  const TimingAnalyzer sta{fx.nl};
+  const auto r = sta.analyze({}, {}, ideal_options());
+  ASSERT_LT(r.wns, 0.0);
+  // Nets on the single chain are all critical; PI net feeds the launch FF
+  // D pin which has huge slack — its criticality must be lower.
+  double max_crit = 0.0;
+  for (const double c : r.net_criticality) max_crit = std::max(max_crit, c);
+  EXPECT_GT(max_crit, 0.9);
+}
+
+TEST(TimingAnalyzer, SizeMismatchesRejected) {
+  ChainFixture fx{2};
+  const TimingAnalyzer sta{fx.nl};
+  const std::vector<double> bad(3, 0.1);
+  EXPECT_THROW((void)sta.analyze(bad, {}, ideal_options()),
+               std::invalid_argument);
+  EXPECT_THROW((void)sta.analyze({}, bad, ideal_options()),
+               std::invalid_argument);
+}
+
+TEST(TimingAnalyzer, GeneratedDesignAnalyzes) {
+  netlist::DesignTraits traits;
+  traits.target_cells = 600;
+  traits.logic_depth = 7;
+  traits.seed = 99;
+  const Netlist nl = netlist::generate(traits);
+  const TimingAnalyzer sta{nl};
+  TimingOptions opt;
+  opt.wire_cap_per_unit = 0.1;
+  opt.wire_delay_per_unit = 0.05;
+  const auto r = sta.analyze({}, {}, opt);
+  EXPECT_GT(r.max_arrival, 0.0);
+  EXPECT_EQ(r.cell_slack.size(), static_cast<std::size_t>(nl.cell_count()));
+  EXPECT_EQ(r.net_criticality.size(), static_cast<std::size_t>(nl.net_count()));
+  EXPECT_FALSE(r.endpoints.empty());
+}
+
+/// Property: upsizing any cell on the critical path never worsens arrival.
+TEST(TimingAnalyzer, UpsizingDriverImprovesLoadedStage) {
+  ChainFixture fx{1, 1.0};
+  TimingOptions opt = ideal_options();
+  opt.wire_cap_per_unit = 0.3;
+  std::vector<double> wires(static_cast<std::size_t>(fx.nl.net_count()), 0.2);
+  const TimingAnalyzer sta{fx.nl};
+  const double before = sta.analyze(wires, {}, opt).max_arrival;
+  // Upsize the single inverter.
+  const auto& lib = fx.nl.library();
+  for (int c = 0; c < fx.nl.cell_count(); ++c) {
+    if (!fx.nl.is_flip_flop(c)) {
+      fx.nl.retype_cell(c, lib.find(Func::kInv, 4, Vt::kStandard));
+    }
+  }
+  const TimingAnalyzer sta2{fx.nl};
+  const double after = sta2.analyze(wires, {}, opt).max_arrival;
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace vpr::sta

@@ -1,0 +1,65 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace vpr::util {
+namespace {
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(3), 1);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h{-1.0, 1.0, 4};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+  EXPECT_THROW((void)h.bin_lo(4), std::out_of_range);
+  EXPECT_THROW((void)h.count(-1), std::out_of_range);
+}
+
+TEST(Histogram, AddAllAccumulates) {
+  Histogram h{0.0, 4.0, 2};
+  h.add_all({0.5, 1.0, 3.0, 3.5});
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 2);
+}
+
+TEST(Histogram, RenderShowsBarsProportional) {
+  Histogram h{0.0, 2.0, 2};
+  h.add_all({0.1, 0.2, 0.3, 0.4, 1.5});
+  const std::string out = h.render(8);
+  // First bin has 4 samples (full bar), second has 1 (quarter bar).
+  EXPECT_NE(out.find("######## 4"), std::string::npos);
+  EXPECT_NE(out.find("## 1"), std::string::npos);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyRenderIsSafe) {
+  Histogram h{0.0, 1.0, 3};
+  const std::string out = h.render();
+  EXPECT_NE(out.find("[   0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpr::util

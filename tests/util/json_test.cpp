@@ -1,0 +1,88 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace vpr::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json{}.dump(-1), "null");
+  EXPECT_EQ(Json{true}.dump(-1), "true");
+  EXPECT_EQ(Json{false}.dump(-1), "false");
+  EXPECT_EQ(Json{3}.dump(-1), "3");
+  EXPECT_EQ(Json{3.5}.dump(-1), "3.5");
+  EXPECT_EQ(Json{"hi"}.dump(-1), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Json{42.0}.dump(-1), "42");
+  EXPECT_EQ(Json{-7.0}.dump(-1), "-7");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(Json{std::numeric_limits<double>::infinity()}.dump(-1), "null");
+  EXPECT_EQ(Json{std::numeric_limits<double>::quiet_NaN()}.dump(-1), "null");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(Json::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, ObjectBuildsAndSortsKeys) {
+  Json j;
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  EXPECT_EQ(j.dump(-1), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, ArrayBuilds) {
+  Json j = Json::array();
+  j.push_back(1);
+  j.push_back("two");
+  j.push_back(Json{});
+  EXPECT_EQ(j.dump(-1), "[1,\"two\",null]");
+}
+
+TEST(Json, NestedStructure) {
+  Json j;
+  j["metrics"]["power"] = 12.5;
+  j["metrics"]["tns"] = 0.0;
+  j["tags"] = Json::array();
+  j["tags"].push_back("a");
+  EXPECT_EQ(j.dump(-1),
+            "{\"metrics\":{\"power\":12.5,\"tns\":0},\"tags\":[\"a\"]}");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json j;
+  j["a"] = 1;
+  const std::string out = j.dump(2);
+  EXPECT_EQ(out, "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Json j{3.0};
+  EXPECT_THROW(j["x"], std::logic_error);
+  EXPECT_THROW(j.push_back(1), std::logic_error);
+}
+
+TEST(Json, AccessorsRoundTrip) {
+  Json j;
+  j["s"] = "str";
+  j["n"] = 4.5;
+  j["b"] = true;
+  EXPECT_EQ(j.as_object().at("s").as_string(), "str");
+  EXPECT_DOUBLE_EQ(j.as_object().at("n").as_number(), 4.5);
+  EXPECT_TRUE(j.as_object().at("b").as_bool());
+}
+
+}  // namespace
+}  // namespace vpr::util

@@ -1,0 +1,50 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace vpr::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(kN, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoOp) {
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  constexpr std::size_t kN = 200;
+  const auto run = [&](unsigned threads) {
+    std::vector<double> out(kN, 0.0);
+    parallel_for(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    }, threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelFor, MoreWorkersThanWork) {
+  std::vector<int> hits(3, 0);
+  parallel_for(3, [&](std::size_t i) { ++hits[i]; }, 16);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+}  // namespace
+}  // namespace vpr::util

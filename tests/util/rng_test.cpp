@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace vpr::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{3};
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    const int v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    ++counts[static_cast<std::size_t>(v - 2)];
+  }
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng{13};
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN - mean * mean, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng{17};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexPrefersHeavyWeight) {
+  Rng rng{19};
+  const std::vector<double> w{0.1, 0.1, 0.8};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.8, 0.03);
+}
+
+TEST(Rng, WeightedIndexSingleElement) {
+  Rng rng{19};
+  const std::vector<double> w{2.5};
+  EXPECT_EQ(rng.weighted_index(w), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{23};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a{31};
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng{37};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Splitmix64, IsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Adjacent inputs should differ in many bits.
+  const auto x = splitmix64(100) ^ splitmix64(101);
+  EXPECT_GT(__builtin_popcountll(x), 10);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng{41};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace vpr::util

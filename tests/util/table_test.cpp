@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vpr::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"Design", "QoR"});
+  t.add_row({"D1", "1.94"});
+  t.add_row({"D10-long-name", "0.74"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Design"), std::string::npos);
+  EXPECT_NE(out.find("D10-long-name"), std::string::npos);
+  // Every line between rules has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvWriter, PlainRowUnquoted) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(-1.0, 1), "-1.0");
+}
+
+TEST(FmtAdaptive, MoreDigitsForTinyValues) {
+  EXPECT_EQ(fmt_adaptive(20.23), "20.23");
+  EXPECT_EQ(fmt_adaptive(0.157), "0.157");
+  EXPECT_EQ(fmt_adaptive(0.0012), "0.0012");
+  EXPECT_EQ(fmt_adaptive(0.0), "0.00");
+}
+
+}  // namespace
+}  // namespace vpr::util
