@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_data_scaling.dir/ext_data_scaling.cpp.o"
+  "CMakeFiles/ext_data_scaling.dir/ext_data_scaling.cpp.o.d"
+  "ext_data_scaling"
+  "ext_data_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_data_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_recipe_atlas.dir/ext_recipe_atlas.cpp.o"
+  "CMakeFiles/ext_recipe_atlas.dir/ext_recipe_atlas.cpp.o.d"
+  "ext_recipe_atlas"
+  "ext_recipe_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_recipe_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

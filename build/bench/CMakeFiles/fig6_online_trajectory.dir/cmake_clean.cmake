@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_online_trajectory.dir/fig6_online_trajectory.cpp.o"
+  "CMakeFiles/fig6_online_trajectory.dir/fig6_online_trajectory.cpp.o.d"
+  "fig6_online_trajectory"
+  "fig6_online_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_online_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

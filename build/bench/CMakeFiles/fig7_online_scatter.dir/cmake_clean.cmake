@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_online_scatter.dir/fig7_online_scatter.cpp.o"
+  "CMakeFiles/fig7_online_scatter.dir/fig7_online_scatter.cpp.o.d"
+  "fig7_online_scatter"
+  "fig7_online_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_online_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

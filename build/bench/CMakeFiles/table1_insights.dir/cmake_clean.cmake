@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_insights.dir/table1_insights.cpp.o"
+  "CMakeFiles/table1_insights.dir/table1_insights.cpp.o.d"
+  "table1_insights"
+  "table1_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

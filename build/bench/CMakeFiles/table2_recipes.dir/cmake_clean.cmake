@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_recipes.dir/table2_recipes.cpp.o"
+  "CMakeFiles/table2_recipes.dir/table2_recipes.cpp.o.d"
+  "table2_recipes"
+  "table2_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

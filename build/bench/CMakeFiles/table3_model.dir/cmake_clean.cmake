@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model.dir/table3_model.cpp.o"
+  "CMakeFiles/table3_model.dir/table3_model.cpp.o.d"
+  "table3_model"
+  "table3_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

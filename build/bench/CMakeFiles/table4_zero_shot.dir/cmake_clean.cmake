@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_zero_shot.dir/table4_zero_shot.cpp.o"
+  "CMakeFiles/table4_zero_shot.dir/table4_zero_shot.cpp.o.d"
+  "table4_zero_shot"
+  "table4_zero_shot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_zero_shot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_similarity.dir/design_similarity.cpp.o"
+  "CMakeFiles/design_similarity.dir/design_similarity.cpp.o.d"
+  "design_similarity"
+  "design_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_io.dir/netlist_io.cpp.o"
+  "CMakeFiles/netlist_io.dir/netlist_io.cpp.o.d"
+  "netlist_io"
+  "netlist_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/vpr_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vpr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/insight/CMakeFiles/vpr_insight.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/vpr_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/vpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vpr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/vpr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/vpr_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vpr_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_attribution.dir/recipe_attribution.cpp.o"
+  "CMakeFiles/recipe_attribution.dir/recipe_attribution.cpp.o.d"
+  "recipe_attribution"
+  "recipe_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

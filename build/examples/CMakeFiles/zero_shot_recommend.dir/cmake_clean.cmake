@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_shot_recommend.dir/zero_shot_recommend.cpp.o"
+  "CMakeFiles/zero_shot_recommend.dir/zero_shot_recommend.cpp.o.d"
+  "zero_shot_recommend"
+  "zero_shot_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_shot_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

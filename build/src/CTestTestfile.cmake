@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("nn")
+subdirs("netlist")
+subdirs("sta")
+subdirs("place")
+subdirs("cts")
+subdirs("route")
+subdirs("opt")
+subdirs("flow")
+subdirs("insight")
+subdirs("align")
+subdirs("baselines")
+subdirs("cli")

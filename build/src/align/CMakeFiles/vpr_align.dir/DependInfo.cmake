@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/attribution.cpp" "src/align/CMakeFiles/vpr_align.dir/attribution.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/attribution.cpp.o.d"
+  "/root/repo/src/align/beam.cpp" "src/align/CMakeFiles/vpr_align.dir/beam.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/beam.cpp.o.d"
+  "/root/repo/src/align/cache.cpp" "src/align/CMakeFiles/vpr_align.dir/cache.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/cache.cpp.o.d"
+  "/root/repo/src/align/dataset.cpp" "src/align/CMakeFiles/vpr_align.dir/dataset.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/dataset.cpp.o.d"
+  "/root/repo/src/align/evaluator.cpp" "src/align/CMakeFiles/vpr_align.dir/evaluator.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/evaluator.cpp.o.d"
+  "/root/repo/src/align/losses.cpp" "src/align/CMakeFiles/vpr_align.dir/losses.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/losses.cpp.o.d"
+  "/root/repo/src/align/online.cpp" "src/align/CMakeFiles/vpr_align.dir/online.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/online.cpp.o.d"
+  "/root/repo/src/align/pipeline.cpp" "src/align/CMakeFiles/vpr_align.dir/pipeline.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/pipeline.cpp.o.d"
+  "/root/repo/src/align/recipe_model.cpp" "src/align/CMakeFiles/vpr_align.dir/recipe_model.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/recipe_model.cpp.o.d"
+  "/root/repo/src/align/trainer.cpp" "src/align/CMakeFiles/vpr_align.dir/trainer.cpp.o" "gcc" "src/align/CMakeFiles/vpr_align.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/vpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vpr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/insight/CMakeFiles/vpr_insight.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/vpr_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/vpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vpr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/vpr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/vpr_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

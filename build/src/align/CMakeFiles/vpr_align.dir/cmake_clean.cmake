@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_align.dir/attribution.cpp.o"
+  "CMakeFiles/vpr_align.dir/attribution.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/beam.cpp.o"
+  "CMakeFiles/vpr_align.dir/beam.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/cache.cpp.o"
+  "CMakeFiles/vpr_align.dir/cache.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/dataset.cpp.o"
+  "CMakeFiles/vpr_align.dir/dataset.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/evaluator.cpp.o"
+  "CMakeFiles/vpr_align.dir/evaluator.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/losses.cpp.o"
+  "CMakeFiles/vpr_align.dir/losses.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/online.cpp.o"
+  "CMakeFiles/vpr_align.dir/online.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/pipeline.cpp.o"
+  "CMakeFiles/vpr_align.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/recipe_model.cpp.o"
+  "CMakeFiles/vpr_align.dir/recipe_model.cpp.o.d"
+  "CMakeFiles/vpr_align.dir/trainer.cpp.o"
+  "CMakeFiles/vpr_align.dir/trainer.cpp.o.d"
+  "libvpr_align.a"
+  "libvpr_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/vpr_baselines.dir/baselines.cpp.o.d"
+  "libvpr_baselines.a"
+  "libvpr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insightalign.dir/main.cpp.o"
+  "CMakeFiles/insightalign.dir/main.cpp.o.d"
+  "insightalign"
+  "insightalign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insightalign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

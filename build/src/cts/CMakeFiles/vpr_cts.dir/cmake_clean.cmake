@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_cts.dir/cts.cpp.o"
+  "CMakeFiles/vpr_cts.dir/cts.cpp.o.d"
+  "libvpr_cts.a"
+  "libvpr_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

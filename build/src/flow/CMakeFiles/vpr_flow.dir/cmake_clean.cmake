@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_flow.dir/flow.cpp.o"
+  "CMakeFiles/vpr_flow.dir/flow.cpp.o.d"
+  "CMakeFiles/vpr_flow.dir/recipe.cpp.o"
+  "CMakeFiles/vpr_flow.dir/recipe.cpp.o.d"
+  "CMakeFiles/vpr_flow.dir/report.cpp.o"
+  "CMakeFiles/vpr_flow.dir/report.cpp.o.d"
+  "CMakeFiles/vpr_flow.dir/runtime_model.cpp.o"
+  "CMakeFiles/vpr_flow.dir/runtime_model.cpp.o.d"
+  "libvpr_flow.a"
+  "libvpr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_insight.dir/insight.cpp.o"
+  "CMakeFiles/vpr_insight.dir/insight.cpp.o.d"
+  "libvpr_insight.a"
+  "libvpr_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

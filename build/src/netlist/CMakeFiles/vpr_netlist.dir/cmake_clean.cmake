@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_netlist.dir/generator.cpp.o"
+  "CMakeFiles/vpr_netlist.dir/generator.cpp.o.d"
+  "CMakeFiles/vpr_netlist.dir/library.cpp.o"
+  "CMakeFiles/vpr_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/vpr_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/vpr_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/vpr_netlist.dir/suite.cpp.o"
+  "CMakeFiles/vpr_netlist.dir/suite.cpp.o.d"
+  "CMakeFiles/vpr_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/vpr_netlist.dir/verilog.cpp.o.d"
+  "libvpr_netlist.a"
+  "libvpr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_nn.dir/modules.cpp.o"
+  "CMakeFiles/vpr_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/vpr_nn.dir/optim.cpp.o"
+  "CMakeFiles/vpr_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/vpr_nn.dir/tensor.cpp.o"
+  "CMakeFiles/vpr_nn.dir/tensor.cpp.o.d"
+  "libvpr_nn.a"
+  "libvpr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/engines.cpp" "src/opt/CMakeFiles/vpr_opt.dir/engines.cpp.o" "gcc" "src/opt/CMakeFiles/vpr_opt.dir/engines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/vpr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/vpr_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_opt.dir/engines.cpp.o"
+  "CMakeFiles/vpr_opt.dir/engines.cpp.o.d"
+  "libvpr_opt.a"
+  "libvpr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_place.dir/legalizer.cpp.o"
+  "CMakeFiles/vpr_place.dir/legalizer.cpp.o.d"
+  "CMakeFiles/vpr_place.dir/placer.cpp.o"
+  "CMakeFiles/vpr_place.dir/placer.cpp.o.d"
+  "libvpr_place.a"
+  "libvpr_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

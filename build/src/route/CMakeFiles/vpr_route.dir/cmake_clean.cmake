@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_route.dir/router.cpp.o"
+  "CMakeFiles/vpr_route.dir/router.cpp.o.d"
+  "libvpr_route.a"
+  "libvpr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_sta.dir/paths.cpp.o"
+  "CMakeFiles/vpr_sta.dir/paths.cpp.o.d"
+  "CMakeFiles/vpr_sta.dir/power.cpp.o"
+  "CMakeFiles/vpr_sta.dir/power.cpp.o.d"
+  "CMakeFiles/vpr_sta.dir/sta.cpp.o"
+  "CMakeFiles/vpr_sta.dir/sta.cpp.o.d"
+  "libvpr_sta.a"
+  "libvpr_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

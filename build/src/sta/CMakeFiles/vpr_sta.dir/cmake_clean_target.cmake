@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpr_sta.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpr_util.dir/args.cpp.o"
+  "CMakeFiles/vpr_util.dir/args.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/histogram.cpp.o"
+  "CMakeFiles/vpr_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/json.cpp.o"
+  "CMakeFiles/vpr_util.dir/json.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/log.cpp.o"
+  "CMakeFiles/vpr_util.dir/log.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/rng.cpp.o"
+  "CMakeFiles/vpr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/stats.cpp.o"
+  "CMakeFiles/vpr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/table.cpp.o"
+  "CMakeFiles/vpr_util.dir/table.cpp.o.d"
+  "libvpr_util.a"
+  "libvpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/attribution_test.cpp" "tests/CMakeFiles/test_align.dir/align/attribution_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/attribution_test.cpp.o.d"
+  "/root/repo/tests/align/beam_test.cpp" "tests/CMakeFiles/test_align.dir/align/beam_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/beam_test.cpp.o.d"
+  "/root/repo/tests/align/dataset_test.cpp" "tests/CMakeFiles/test_align.dir/align/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/dataset_test.cpp.o.d"
+  "/root/repo/tests/align/evaluator_test.cpp" "tests/CMakeFiles/test_align.dir/align/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/evaluator_test.cpp.o.d"
+  "/root/repo/tests/align/losses_test.cpp" "tests/CMakeFiles/test_align.dir/align/losses_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/losses_test.cpp.o.d"
+  "/root/repo/tests/align/model_test.cpp" "tests/CMakeFiles/test_align.dir/align/model_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/model_test.cpp.o.d"
+  "/root/repo/tests/align/online_test.cpp" "tests/CMakeFiles/test_align.dir/align/online_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/online_test.cpp.o.d"
+  "/root/repo/tests/align/pipeline_test.cpp" "tests/CMakeFiles/test_align.dir/align/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/pipeline_test.cpp.o.d"
+  "/root/repo/tests/align/trainer_test.cpp" "tests/CMakeFiles/test_align.dir/align/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_align.dir/align/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/vpr_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/vpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/insight/CMakeFiles/vpr_insight.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/vpr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/vpr_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/vpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/vpr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/vpr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/vpr_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

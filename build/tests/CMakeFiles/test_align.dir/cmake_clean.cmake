@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align.dir/align/attribution_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/attribution_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/beam_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/beam_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/dataset_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/dataset_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/evaluator_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/losses_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/losses_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/model_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/model_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/online_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/online_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/pipeline_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/trainer_test.cpp.o"
+  "CMakeFiles/test_align.dir/align/trainer_test.cpp.o.d"
+  "test_align"
+  "test_align.pdb"
+  "test_align[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

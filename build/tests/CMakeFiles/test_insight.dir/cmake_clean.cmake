@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insight.dir/insight/insight_test.cpp.o"
+  "CMakeFiles/test_insight.dir/insight/insight_test.cpp.o.d"
+  "test_insight"
+  "test_insight.pdb"
+  "test_insight[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist.dir/netlist/generator_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/generator_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/library_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/library_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/netlist_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/netlist_test.cpp.o.d"
+  "CMakeFiles/test_netlist.dir/netlist/verilog_test.cpp.o"
+  "CMakeFiles/test_netlist.dir/netlist/verilog_test.cpp.o.d"
+  "test_netlist"
+  "test_netlist.pdb"
+  "test_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

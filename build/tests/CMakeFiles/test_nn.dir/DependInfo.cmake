@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/modules_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/modules_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/modules_test.cpp.o.d"
+  "/root/repo/tests/nn/optim_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/optim_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/optim_test.cpp.o.d"
+  "/root/repo/tests/nn/random_graph_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/random_graph_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/random_graph_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/vpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

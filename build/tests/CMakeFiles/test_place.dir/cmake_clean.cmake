@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_place.dir/place/legalizer_test.cpp.o"
+  "CMakeFiles/test_place.dir/place/legalizer_test.cpp.o.d"
+  "CMakeFiles/test_place.dir/place/placer_test.cpp.o"
+  "CMakeFiles/test_place.dir/place/placer_test.cpp.o.d"
+  "test_place"
+  "test_place.pdb"
+  "test_place[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/route/router_test.cpp" "tests/CMakeFiles/test_route.dir/route/router_test.cpp.o" "gcc" "tests/CMakeFiles/test_route.dir/route/router_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/vpr_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/vpr_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

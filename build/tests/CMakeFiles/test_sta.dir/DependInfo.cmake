@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sta/paths_test.cpp" "tests/CMakeFiles/test_sta.dir/sta/paths_test.cpp.o" "gcc" "tests/CMakeFiles/test_sta.dir/sta/paths_test.cpp.o.d"
+  "/root/repo/tests/sta/power_test.cpp" "tests/CMakeFiles/test_sta.dir/sta/power_test.cpp.o" "gcc" "tests/CMakeFiles/test_sta.dir/sta/power_test.cpp.o.d"
+  "/root/repo/tests/sta/sta_test.cpp" "tests/CMakeFiles/test_sta.dir/sta/sta_test.cpp.o" "gcc" "tests/CMakeFiles/test_sta.dir/sta/sta_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/vpr_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/vpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_place[1]_include.cmake")
+include("/root/repo/build/tests/test_cts[1]_include.cmake")
+include("/root/repo/build/tests/test_route[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_insight[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+add_test(integration.end_to_end "/root/repo/build/tests/test_integration")
+set_tests_properties(integration.end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.suite "/root/repo/build/src/cli/insightalign" "suite")
+set_tests_properties(cli.suite PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.recipes "/root/repo/build/src/cli/insightalign" "recipes")
+set_tests_properties(cli.recipes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.usage "/root/repo/build/src/cli/insightalign")
+set_tests_properties(cli.usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;66;add_test;/root/repo/tests/CMakeLists.txt;0;")
