@@ -7,6 +7,7 @@
 
 #include "align/beam.h"
 #include "align/losses.h"
+#include "flow/eval.h"
 #include "flow/flow.h"
 #include "netlist/suite.h"
 #include "nn/optim.h"
@@ -35,6 +36,29 @@ void BM_FlowRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowRun)->Unit(benchmark::kMillisecond);
+
+// Cold FlowEval throughput: every iteration misses and pays for a full
+// Flow::run (plus the cache insert). Compare against BM_FlowEvalWarm — the
+// gap is what memoization saves on every repeated (design, recipe set).
+void BM_FlowEvalCold(benchmark::State& state) {
+  const auto rs = flow::RecipeSet::from_ids({1, 8, 24});
+  flow::FlowEval eval{4};
+  for (auto _ : state) {
+    eval.clear();
+    benchmark::DoNotOptimize(eval.eval(bench_design(), rs));
+  }
+}
+BENCHMARK(BM_FlowEvalCold)->Unit(benchmark::kMillisecond);
+
+void BM_FlowEvalWarm(benchmark::State& state) {
+  const auto rs = flow::RecipeSet::from_ids({1, 8, 24});
+  flow::FlowEval eval{4};
+  (void)eval.eval(bench_design(), rs);  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.eval(bench_design(), rs));
+  }
+}
+BENCHMARK(BM_FlowEvalWarm)->Unit(benchmark::kMicrosecond);
 
 void BM_Placement(benchmark::State& state) {
   const auto& nl = bench_design().netlist();

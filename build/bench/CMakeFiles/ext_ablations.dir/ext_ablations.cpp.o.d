@@ -238,4 +238,6 @@ bench/CMakeFiles/ext_ablations.dir/ext_ablations.cpp.o: \
  /root/repo/src/netlist/generator.h /root/repo/src/sta/power.h \
  /root/repo/src/insight/insight.h /root/repo/src/util/stats.h \
  /root/repo/src/align/evaluator.h /root/repo/src/align/trainer.h \
- /root/repo/src/netlist/suite.h /root/repo/src/util/table.h
+ /root/repo/src/flow/eval.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/netlist/suite.h \
+ /root/repo/src/util/log.h /root/repo/src/util/table.h

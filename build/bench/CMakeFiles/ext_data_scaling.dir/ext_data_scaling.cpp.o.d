@@ -239,5 +239,7 @@ bench/CMakeFiles/ext_data_scaling.dir/ext_data_scaling.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/align/cache.h \
- /root/repo/src/align/evaluator.h /root/repo/src/netlist/suite.h \
+ /root/repo/src/align/evaluator.h /root/repo/src/flow/eval.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/netlist/suite.h /root/repo/src/util/log.h \
  /root/repo/src/flow/runtime_model.h /root/repo/src/util/table.h

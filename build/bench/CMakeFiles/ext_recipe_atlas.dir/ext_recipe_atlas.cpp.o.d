@@ -238,5 +238,7 @@ bench/CMakeFiles/ext_recipe_atlas.dir/ext_recipe_atlas.cpp.o: \
  /root/repo/src/insight/insight.h /root/repo/src/util/stats.h \
  /root/repo/src/align/evaluator.h /root/repo/src/align/trainer.h \
  /root/repo/src/align/recipe_model.h /root/repo/src/nn/modules.h \
- /root/repo/src/nn/tensor.h /root/repo/src/netlist/suite.h \
+ /root/repo/src/nn/tensor.h /root/repo/src/flow/eval.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/netlist/suite.h /root/repo/src/util/log.h \
  /root/repo/src/flow/runtime_model.h /root/repo/src/util/table.h

@@ -241,5 +241,7 @@ bench/CMakeFiles/fig5_scatter.dir/fig5_scatter.cpp.o: \
  /root/repo/src/insight/insight.h /root/repo/src/util/stats.h \
  /root/repo/src/align/evaluator.h /root/repo/src/align/trainer.h \
  /root/repo/src/align/recipe_model.h /root/repo/src/nn/modules.h \
- /root/repo/src/nn/tensor.h /root/repo/src/netlist/suite.h \
+ /root/repo/src/nn/tensor.h /root/repo/src/flow/eval.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/netlist/suite.h /root/repo/src/util/log.h \
  /root/repo/src/util/table.h

@@ -238,4 +238,6 @@ bench/CMakeFiles/fig7_online_scatter.dir/fig7_online_scatter.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/align/cache.h \
  /root/repo/src/align/evaluator.h /root/repo/src/align/trainer.h \
- /root/repo/src/netlist/suite.h /root/repo/src/util/table.h
+ /root/repo/src/flow/eval.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/netlist/suite.h \
+ /root/repo/src/util/log.h /root/repo/src/util/table.h

@@ -225,6 +225,10 @@ bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o: \
  /root/repo/src/netlist/library.h /usr/include/c++/12/optional \
  /root/repo/src/place/placer.h /root/repo/src/opt/engines.h \
  /root/repo/src/sta/sta.h /root/repo/src/route/router.h \
- /root/repo/src/align/losses.h /root/repo/src/flow/flow.h \
+ /root/repo/src/align/losses.h /root/repo/src/flow/eval.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/flow/flow.h \
  /root/repo/src/netlist/generator.h /root/repo/src/sta/power.h \
  /root/repo/src/netlist/suite.h /root/repo/src/nn/optim.h

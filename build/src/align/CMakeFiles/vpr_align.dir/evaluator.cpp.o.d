@@ -223,4 +223,8 @@ src/align/CMakeFiles/vpr_align.dir/evaluator.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/align/beam.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/align/beam.h \
+ /root/repo/src/flow/eval.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -243,4 +243,8 @@ src/align/CMakeFiles/vpr_align.dir/online.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/align/beam.h \
- /root/repo/src/align/losses.h /root/repo/src/nn/optim.h
+ /root/repo/src/align/losses.h /root/repo/src/flow/eval.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/nn/optim.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/eval.cpp" "src/flow/CMakeFiles/vpr_flow.dir/eval.cpp.o" "gcc" "src/flow/CMakeFiles/vpr_flow.dir/eval.cpp.o.d"
   "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/vpr_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/vpr_flow.dir/flow.cpp.o.d"
   "/root/repo/src/flow/recipe.cpp" "src/flow/CMakeFiles/vpr_flow.dir/recipe.cpp.o" "gcc" "src/flow/CMakeFiles/vpr_flow.dir/recipe.cpp.o.d"
   "/root/repo/src/flow/report.cpp" "src/flow/CMakeFiles/vpr_flow.dir/report.cpp.o" "gcc" "src/flow/CMakeFiles/vpr_flow.dir/report.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/vpr_flow.dir/eval.cpp.o"
+  "CMakeFiles/vpr_flow.dir/eval.cpp.o.d"
   "CMakeFiles/vpr_flow.dir/flow.cpp.o"
   "CMakeFiles/vpr_flow.dir/flow.cpp.o.d"
   "CMakeFiles/vpr_flow.dir/recipe.cpp.o"

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vpr_util.dir/stats.cpp.o.d"
   "CMakeFiles/vpr_util.dir/table.cpp.o"
   "CMakeFiles/vpr_util.dir/table.cpp.o.d"
+  "CMakeFiles/vpr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/vpr_util.dir/thread_pool.cpp.o.d"
   "libvpr_util.a"
   "libvpr_util.pdb"
 )

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/eval_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/eval_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/eval_test.cpp.o.d"
   "/root/repo/tests/flow/flow_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/flow_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/flow_test.cpp.o.d"
   "/root/repo/tests/flow/recipe_sweep_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/recipe_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/recipe_sweep_test.cpp.o.d"
   "/root/repo/tests/flow/recipe_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/recipe_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/recipe_test.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/flow/eval_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/eval_test.cpp.o.d"
   "CMakeFiles/test_flow.dir/flow/flow_test.cpp.o"
   "CMakeFiles/test_flow.dir/flow/flow_test.cpp.o.d"
   "CMakeFiles/test_flow.dir/flow/recipe_sweep_test.cpp.o"

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
   "CMakeFiles/test_util.dir/util/table_test.cpp.o"
   "CMakeFiles/test_util.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
   "test_util"
   "test_util.pdb"
   "test_util[1]_tests.cmake"

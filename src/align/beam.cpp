@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace vpr::align {
@@ -11,27 +12,40 @@ std::vector<BeamCandidate> beam_search(const RecipeModel& model,
                                        int beam_width) {
   if (beam_width < 1) throw std::invalid_argument("beam_search: width < 1");
   const int n = model.config().num_recipes;
+  if (n > 64) {
+    throw std::invalid_argument("beam_search: > 64 recipes unsupported");
+  }
 
+  // Partial sequences are stored as bit masks (bit t == decision r_t), the
+  // same packing as RecipeSet::to_u64(), so expanding a beam entry copies
+  // 16 bytes instead of deep-copying a decision vector. A width-5, 40-step
+  // search previously allocated ~400 vectors per call; now it allocates
+  // none inside the loop — only `prefix` is rebuilt (in place) for the
+  // model's next_prob query.
   struct Partial {
-    std::vector<int> bits;
+    std::uint64_t mask = 0;
     double score = 0.0;
   };
-  std::vector<Partial> beam{Partial{{}, 0.0}};
-  beam.front().bits.reserve(static_cast<std::size_t>(n));
+  std::vector<Partial> beam{Partial{}};
+  std::vector<Partial> expanded;
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<std::size_t>(n));
 
   for (int t = 0; t < n; ++t) {
-    std::vector<Partial> expanded;
+    expanded.clear();
     expanded.reserve(beam.size() * 2);
+    prefix.resize(static_cast<std::size_t>(t));
     for (const auto& partial : beam) {
-      const double p1 = model.next_prob(insight, partial.bits);
+      for (int b = 0; b < t; ++b) {
+        prefix[static_cast<std::size_t>(b)] =
+            static_cast<int>((partial.mask >> b) & 1U);
+      }
+      const double p1 = model.next_prob(insight, prefix);
       // Guard the log against exact 0/1 saturation.
       const double p = std::clamp(p1, 1e-12, 1.0 - 1e-12);
-      for (const int bit : {0, 1}) {
-        Partial next = partial;
-        next.bits.push_back(bit);
-        next.score += std::log(bit == 1 ? p : 1.0 - p);
-        expanded.push_back(std::move(next));
-      }
+      expanded.push_back({partial.mask, partial.score + std::log(1.0 - p)});
+      expanded.push_back(
+          {partial.mask | (1ULL << t), partial.score + std::log(p)});
     }
     const auto keep = std::min<std::size_t>(
         static_cast<std::size_t>(beam_width), expanded.size());
@@ -41,13 +55,13 @@ std::vector<BeamCandidate> beam_search(const RecipeModel& model,
                         return a.score > b.score;
                       });
     expanded.resize(keep);
-    beam = std::move(expanded);
+    std::swap(beam, expanded);
   }
 
   std::vector<BeamCandidate> out;
   out.reserve(beam.size());
   for (const auto& partial : beam) {
-    out.push_back({flow::RecipeSet::from_bits(partial.bits), partial.score});
+    out.push_back({flow::RecipeSet::from_u64(partial.mask), partial.score});
   }
   return out;
 }

@@ -1,40 +1,26 @@
 #include "align/cache.h"
 
 #include <cstdint>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#include "insight/insight.h"
+#include "util/serialize.h"
 
 namespace vpr::align {
 
 namespace {
 
-constexpr std::uint32_t kDatasetMagic = 0x1a5e7001;
+using util::read_pod;
+using util::read_string;
+using util::write_pod;
+using util::write_string;
+
+// v1 (0x1a5e7001) had no insight-dimension field; a v1 cache written with a
+// different insight::kInsightDims would be silently misparsed, so the magic
+// is bumped and old files are rejected as a format mismatch.
+constexpr std::uint32_t kDatasetMagic = 0x1a5e7003;
 constexpr std::uint32_t kCvMagic = 0x1a5e7002;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool read_pod(std::istream& is, T& value) {
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  return static_cast<bool>(is);
-}
-
-void write_string(std::ostream& os, const std::string& s) {
-  write_pod(os, static_cast<std::uint64_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool read_string(std::istream& is, std::string& s) {
-  std::uint64_t n = 0;
-  if (!read_pod(is, n) || n > (1u << 20)) return false;
-  s.resize(n);
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  return static_cast<bool>(is);
-}
 
 void write_point(std::ostream& os, const DataPoint& p) {
   write_pod(os, p.recipes.to_u64());
@@ -52,19 +38,17 @@ bool read_point(std::istream& is, DataPoint& p) {
 
 }  // namespace
 
-std::string cache_dir() {
-  if (const char* dir = std::getenv("INSIGHTALIGN_CACHE_DIR")) return dir;
-  return "insightalign_cache";
-}
+std::string cache_dir() { return util::cache_dir(); }
 
-void save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
+bool save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
                   const std::string& path) {
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path().empty()
-          ? "."
-          : std::filesystem::path(path).parent_path());
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  std::filesystem::create_directories(parent.empty() ? "." : parent, ec);
   std::ofstream os{path, std::ios::binary};
+  if (!os) return false;
   write_pod(os, kDatasetMagic);
+  write_pod(os, static_cast<std::uint32_t>(insight::kInsightDims));
   write_pod(os, weights.power);
   write_pod(os, weights.tns);
   write_pod(os, static_cast<std::uint64_t>(dataset.size()));
@@ -74,6 +58,8 @@ void save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
     write_pod(os, static_cast<std::uint64_t>(d.points.size()));
     for (const auto& p : d.points) write_point(os, p);
   }
+  os.flush();
+  return os.good();
 }
 
 std::optional<OfflineDataset> load_dataset(const std::string& path) {
@@ -81,6 +67,11 @@ std::optional<OfflineDataset> load_dataset(const std::string& path) {
   if (!is) return std::nullopt;
   std::uint32_t magic = 0;
   if (!read_pod(is, magic) || magic != kDatasetMagic) return std::nullopt;
+  std::uint32_t dims = 0;
+  if (!read_pod(is, dims) ||
+      dims != static_cast<std::uint32_t>(insight::kInsightDims)) {
+    return std::nullopt;
+  }
   QorWeights weights;
   if (!read_pod(is, weights.power) || !read_pod(is, weights.tns)) {
     return std::nullopt;
@@ -103,9 +94,10 @@ std::optional<OfflineDataset> load_dataset(const std::string& path) {
   return OfflineDataset::from_designs(std::move(designs), weights);
 }
 
-void save_cv_result(const CrossValidationResult& result,
+bool save_cv_result(const CrossValidationResult& result,
                     const std::string& path) {
   std::ofstream os{path, std::ios::binary};
+  if (!os) return false;
   write_pod(os, kCvMagic);
   write_pod(os, static_cast<std::uint64_t>(result.rows.size()));
   for (const auto& row : result.rows) {
@@ -125,6 +117,8 @@ void save_cv_result(const CrossValidationResult& result,
   for (const double a : result.fold_train_accuracy) write_pod(os, a);
   write_pod(os, static_cast<std::uint64_t>(result.fold_test_accuracy.size()));
   for (const double a : result.fold_test_accuracy) write_pod(os, a);
+  os.flush();
+  return os.good();
 }
 
 std::optional<CrossValidationResult> load_cv_result(const std::string& path) {

@@ -5,6 +5,12 @@
 // so the bench harnesses share these via an on-disk cache instead of each
 // re-running the flows — the first bench in a session pays, the rest load.
 //
+// The dataset header records the insight-vector dimension, so a cache
+// written before a change to insight::kInsightDims is rejected on load
+// instead of being silently misparsed. The save functions report stream
+// failures (full disk, unwritable target) so callers can warn instead of
+// leaving truncated files behind.
+//
 // Set INSIGHTALIGN_CACHE_DIR to relocate the cache; delete the directory to
 // force regeneration.
 
@@ -21,14 +27,18 @@ namespace vpr::align {
 /// the save functions.
 [[nodiscard]] std::string cache_dir();
 
-void save_dataset(const OfflineDataset& dataset, const QorWeights& weights,
-                  const std::string& path);
-/// Returns nullopt on missing file or format mismatch.
+/// Returns false when the stream went bad (the file may be truncated and
+/// will be rejected by load_dataset).
+[[nodiscard]] bool save_dataset(const OfflineDataset& dataset,
+                                const QorWeights& weights,
+                                const std::string& path);
+/// Returns nullopt on missing file, format/magic mismatch, or an
+/// insight-dimension mismatch against the current build.
 [[nodiscard]] std::optional<OfflineDataset> load_dataset(
     const std::string& path);
 
-void save_cv_result(const CrossValidationResult& result,
-                    const std::string& path);
+[[nodiscard]] bool save_cv_result(const CrossValidationResult& result,
+                                  const std::string& path);
 [[nodiscard]] std::optional<CrossValidationResult> load_cv_result(
     const std::string& path);
 

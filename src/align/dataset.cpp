@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "util/parallel.h"
+#include "flow/eval.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vpr::align {
 
@@ -76,8 +77,8 @@ OfflineDataset OfflineDataset::build(
 
     // Probing iteration: default recipe set, insights extracted from its
     // trajectory (paper's "offline alignment" insight-probing phase).
-    const flow::Flow flow{design};
-    const flow::FlowResult probe = flow.run(flow::RecipeSet{});
+    flow::FlowEval& eval = flow::FlowEval::shared();
+    const flow::FlowResult& probe = eval.probe(design);
     data.insight_vec = insight::analyze(design, probe);
 
     // Pre-draw the random recipe sets (deterministic), de-duplicated.
@@ -99,13 +100,12 @@ OfflineDataset OfflineDataset::build(
       sets.push_back(rs);
     }
 
-    // Parallel flow runs into pre-sized slots.
+    // Parallel memoized flow runs into pre-sized slots.
     data.points.resize(sets.size());
-    util::parallel_for(
-        sets.size(),
-        [&](std::size_t i) {
-          const flow::FlowResult r = flow.run(sets[i]);
-          data.points[i] = {sets[i], r.qor.power, r.qor.tns, 0.0};
+    eval.eval_many(
+        design, sets,
+        [&](std::size_t i, const flow::Qor& q) {
+          data.points[i] = {sets[i], q.power, q.tns, 0.0};
         },
         config.threads);
 
@@ -150,8 +150,8 @@ OfflineDataset OfflineDataset::build(
         }
         ++added;
         seen.push_back(candidate.to_u64());
-        const flow::FlowResult r = flow.run(candidate);
-        const DataPoint p{candidate, r.qor.power, r.qor.tns, 0.0};
+        const flow::Qor q = eval.eval(design, candidate);
+        const DataPoint p{candidate, q.power, q.tns, 0.0};
         data.points.push_back(p);
         if (provisional(p) > current_score) {
           current = candidate;

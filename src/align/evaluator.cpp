@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "align/beam.h"
+#include "flow/eval.h"
 #include "util/rng.h"
 
 namespace vpr::align {
@@ -67,12 +68,12 @@ DesignEvaluation ZeroShotEvaluator::evaluate_design(const RecipeModel& model,
   }
   const auto candidates = beam_search(model, iv, beam_width);
 
-  const flow::Flow flow{design};
+  flow::FlowEval& service = flow::FlowEval::shared();
   double best_score = -1e18;
   for (const auto& cand : candidates) {
-    const flow::FlowResult r = flow.run(cand.recipes);
-    DataPoint p{cand.recipes, r.qor.power, r.qor.tns,
-                data.score_of(r.qor.power, r.qor.tns)};
+    const flow::Qor q = service.eval(design, cand.recipes);
+    DataPoint p{cand.recipes, q.power, q.tns,
+                data.score_of(q.power, q.tns)};
     eval.recommendations.push_back(p);
     if (p.score > best_score) {
       best_score = p.score;

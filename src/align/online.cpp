@@ -6,6 +6,7 @@
 
 #include "align/beam.h"
 #include "align/losses.h"
+#include "flow/eval.h"
 #include "nn/optim.h"
 #include "util/stats.h"
 
@@ -77,7 +78,7 @@ std::vector<flow::RecipeSet> OnlineTuner::propose(util::Rng& rng) const {
 OnlineResult OnlineTuner::run() {
   util::Rng rng{config_.seed};
   nn::Adam optimizer{model_.parameters(), config_.lr};
-  const flow::Flow flow{design_};
+  flow::FlowEval& eval = flow::FlowEval::shared();
   OnlineResult result;
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
@@ -86,9 +87,9 @@ OnlineResult OnlineTuner::run() {
     // ----- Propose and evaluate -----
     const auto proposals = propose(rng);
     for (const auto& rs : proposals) {
-      const flow::FlowResult r = flow.run(rs);
-      const DataPoint p{rs, r.qor.power, r.qor.tns,
-                        design_data_.score_of(r.qor.power, r.qor.tns)};
+      const flow::Qor q = eval.eval(design_, rs);
+      const DataPoint p{rs, q.power, q.tns,
+                        design_data_.score_of(q.power, q.tns)};
       record.evaluated.push_back(p);
       history_.push_back(p);
     }

@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "flow/eval.h"
 #include "insight/insight.h"
-#include "util/parallel.h"
 
 namespace vpr::align {
 
@@ -53,27 +53,29 @@ std::vector<Recommendation> Pipeline::recommend(const flow::Design& design,
   if (!fitted_) throw std::logic_error("Pipeline::recommend before fit");
   if (k <= 0) k = config_.beam_width;
 
-  const flow::Flow flow{design};
+  flow::FlowEval& eval = flow::FlowEval::shared();
   // Insight extraction: reuse the archive's vector when the design was in
-  // the fit() set, otherwise run a fresh probing iteration.
+  // the fit() set, otherwise run a (memoized) probing iteration.
   std::vector<double> iv;
   const auto idx = dataset_index(design);
   if (idx.has_value()) {
     iv = dataset_.design(*idx).insight();
   } else {
-    const auto probe = flow.run(flow::RecipeSet{});
-    const auto vec = insight::analyze(design, probe);
+    const auto vec = insight::analyze(design, eval.probe(design));
     iv.assign(vec.begin(), vec.end());
   }
 
+  // Beam search revisits the same recipe sets across recommend() calls
+  // (and across recommend/tune), so validation goes through FlowEval: a
+  // repeated candidate costs a lookup, not a flow run.
   std::vector<Recommendation> out;
   for (const auto& cand : beam_search(*model_, iv, k)) {
-    const flow::FlowResult r = flow.run(cand.recipes);
+    const flow::Qor q = eval.eval(design, cand.recipes);
     Recommendation rec;
     rec.recipes = cand.recipes;
     rec.log_prob = cand.log_prob;
-    rec.power = r.qor.power;
-    rec.tns = r.qor.tns;
+    rec.power = q.power;
+    rec.tns = q.tns;
     if (idx.has_value()) {
       rec.score = dataset_.design(*idx).score_of(rec.power, rec.tns);
     }
@@ -85,9 +87,8 @@ std::vector<Recommendation> Pipeline::recommend(const flow::Design& design,
 DesignData Pipeline::bootstrap_design(const flow::Design& design) const {
   DesignData data;
   data.name = design.name();
-  const flow::Flow flow{design};
-  const auto probe = flow.run(flow::RecipeSet{});
-  data.insight_vec = insight::analyze(design, probe);
+  flow::FlowEval& eval = flow::FlowEval::shared();
+  data.insight_vec = insight::analyze(design, eval.probe(design));
 
   util::Rng rng{util::hash_combine(config_.seed, 0xb007ULL)};
   std::vector<flow::RecipeSet> sets;
@@ -103,11 +104,10 @@ DesignData Pipeline::bootstrap_design(const flow::Design& design) const {
     sets.push_back(rs);
   }
   data.points.resize(sets.size());
-  util::parallel_for(
-      sets.size(),
-      [&](std::size_t i) {
-        const flow::FlowResult r = flow.run(sets[i]);
-        data.points[i] = {sets[i], r.qor.power, r.qor.tns, 0.0};
+  eval.eval_many(
+      design, sets,
+      [&](std::size_t i, const flow::Qor& q) {
+        data.points[i] = {sets[i], q.power, q.tns, 0.0};
       },
       config_.dataset.threads);
   data.finalize(config_.dataset.weights);

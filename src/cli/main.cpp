@@ -180,7 +180,12 @@ int cmd_align(const util::Args& args) {
     std::ofstream os{*model_path, std::ios::binary};
     pipeline.save_model(os);
   }
-  align::save_dataset(pipeline.dataset(), pc.dataset.weights, *dataset_path);
+  if (!align::save_dataset(pipeline.dataset(), pc.dataset.weights,
+                           *dataset_path)) {
+    std::cerr << "warning: failed to write archive " << *dataset_path
+              << " (target unwritable or disk full)\n";
+    return 1;
+  }
   std::cout << "Saved model to " << *model_path << " and archive to "
             << *dataset_path << '\n';
   return 0;

@@ -1,0 +1,321 @@
+#include "flow/eval.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace vpr::flow {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Spill file layout: magic, version, entry count, then (fingerprint,
+// recipe bits, Qor fields) per entry.
+constexpr std::uint32_t kEvalMagic = 0x1a5e7e0aU;
+constexpr std::uint32_t kEvalVersion = 1;
+
+}  // namespace
+
+double FlowEvalStats::hit_rate() const {
+  const std::uint64_t lookups = hits + misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+double FlowEvalStats::saved_seconds() const {
+  if (misses == 0) return 0.0;
+  const double mean_eval = eval_seconds / static_cast<double>(misses);
+  return static_cast<double>(hits) * mean_eval;
+}
+
+struct FlowEval::Entry {
+  std::mutex m;
+  bool ready = false;
+  Qor qor;
+};
+
+struct FlowEval::ProbeEntry {
+  std::mutex m;
+  std::unique_ptr<FlowResult> result;
+};
+
+struct FlowEval::Shard {
+  mutable std::mutex m;
+  // fingerprint -> recipe bits -> entry
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::shared_ptr<Entry>>>
+      map;
+};
+
+FlowEval::FlowEval(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t s = 0; s < std::max<std::size_t>(1, shards); ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FlowEval::~FlowEval() = default;
+
+FlowEval& FlowEval::shared() {
+  static FlowEval service;
+  return service;
+}
+
+std::uint64_t FlowEval::fingerprint(const Design& design) {
+  const netlist::DesignTraits& t = design.traits();
+  std::uint64_t h = 0x1a11a5e7f10eULL;
+  for (const char c : t.name) {
+    h = util::hash_combine(h, static_cast<unsigned char>(c));
+  }
+  const auto mix_d = [&h](double v) {
+    h = util::hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  };
+  const auto mix_i = [&h](std::uint64_t v) { h = util::hash_combine(h, v); };
+  mix_d(t.feature_nm);
+  mix_i(static_cast<std::uint64_t>(t.target_cells));
+  mix_d(t.clock_period_ns);
+  mix_i(static_cast<std::uint64_t>(t.logic_depth));
+  mix_d(t.ff_ratio);
+  mix_d(t.high_fanout_ratio);
+  mix_d(t.activity_mean);
+  mix_d(t.lvt_ratio);
+  mix_d(t.weak_drive_ratio);
+  mix_d(t.congestion_propensity);
+  mix_d(t.hold_sensitivity);
+  mix_d(t.skew_sensitivity);
+  mix_d(t.macro_ratio);
+  mix_i(static_cast<std::uint64_t>(t.clusters));
+  mix_i(t.seed);
+  return h;
+}
+
+FlowEval::Shard& FlowEval::shard_for(std::uint64_t fp, std::uint64_t rs) const {
+  return *shards_[util::hash_combine(fp, rs) % shards_.size()];
+}
+
+Qor FlowEval::eval(const Design& design, const RecipeSet& recipes) {
+  const std::uint64_t fp = fingerprint(design);
+  const std::uint64_t rs = recipes.to_u64();
+  const auto t0 = Clock::now();
+
+  Shard& shard = shard_for(fp, rs);
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard lk{shard.m};
+    std::shared_ptr<Entry>& slot = shard.map[fp][rs];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+
+  // The entry lock makes evaluation exactly-once: the first thread to
+  // arrive runs the flow, concurrent requesters for the same key block
+  // here and wake up to a warm hit.
+  std::unique_lock elk{entry->m};
+  if (entry->ready) {
+    const double lookup = seconds_since(t0);
+    std::lock_guard sk{stats_mutex_};
+    ++stats_.hits;
+    stats_.lookup_seconds += lookup;
+    return entry->qor;
+  }
+
+  const auto e0 = Clock::now();
+  const Flow flow{design};
+  entry->qor = flow.run(recipes).qor;
+  entry->ready = true;
+  const double elapsed = seconds_since(e0);
+  {
+    std::lock_guard sk{stats_mutex_};
+    ++stats_.misses;
+    stats_.eval_seconds += elapsed;
+  }
+  return entry->qor;
+}
+
+const FlowResult& FlowEval::probe(const Design& design) {
+  const std::uint64_t fp = fingerprint(design);
+  std::shared_ptr<ProbeEntry> entry;
+  {
+    std::lock_guard lk{probe_mutex_};
+    std::shared_ptr<ProbeEntry>& slot = probes_[fp];
+    if (!slot) slot = std::make_shared<ProbeEntry>();
+    entry = slot;
+  }
+  std::unique_lock elk{entry->m};
+  if (entry->result) {
+    std::lock_guard sk{stats_mutex_};
+    ++stats_.probe_hits;
+    return *entry->result;
+  }
+  const auto e0 = Clock::now();
+  const Flow flow{design};
+  entry->result = std::make_unique<FlowResult>(flow.run(RecipeSet{}));
+  const double elapsed = seconds_since(e0);
+  {
+    std::lock_guard sk{stats_mutex_};
+    ++stats_.probe_misses;
+    stats_.eval_seconds += elapsed;
+  }
+  return *entry->result;
+}
+
+void FlowEval::eval_many(
+    const Design& design, std::span<const RecipeSet> sets,
+    const std::function<void(std::size_t, const Qor&)>& sink,
+    unsigned threads) {
+  util::ThreadPool::shared().parallel_for(
+      sets.size(),
+      [&](std::size_t i) { sink(i, eval(design, sets[i])); }, threads);
+}
+
+FlowEvalStats FlowEval::stats() const {
+  std::lock_guard sk{stats_mutex_};
+  return stats_;
+}
+
+void FlowEval::reset_stats() {
+  std::lock_guard sk{stats_mutex_};
+  stats_ = FlowEvalStats{};
+}
+
+void FlowEval::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lk{shard->m};
+    shard->map.clear();
+  }
+  {
+    std::lock_guard lk{probe_mutex_};
+    probes_.clear();
+  }
+  reset_stats();
+}
+
+std::size_t FlowEval::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk{shard->m};
+    for (const auto& [fp, by_recipe] : shard->map) {
+      total += by_recipe.size();
+    }
+  }
+  return total;
+}
+
+std::string FlowEval::default_spill_path() {
+  return util::cache_dir() + "/floweval_qor.bin";
+}
+
+bool FlowEval::save_disk(const std::string& path) const {
+  const auto t0 = Clock::now();
+  // Snapshot ready entries first so the file write holds no shard locks.
+  struct Row {
+    std::uint64_t fp;
+    std::uint64_t rs;
+    Qor qor;
+  };
+  std::vector<Row> rows;
+  for (const auto& shard : shards_) {
+    std::lock_guard lk{shard->m};
+    for (const auto& [fp, by_recipe] : shard->map) {
+      for (const auto& [rs, entry] : by_recipe) {
+        std::lock_guard elk{entry->m};
+        if (entry->ready) rows.push_back({fp, rs, entry->qor});
+      }
+    }
+  }
+
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream os{path, std::ios::binary};
+  if (!os) return false;
+  util::write_pod(os, kEvalMagic);
+  util::write_pod(os, kEvalVersion);
+  util::write_pod(os, static_cast<std::uint64_t>(rows.size()));
+  for (const Row& row : rows) {
+    util::write_pod(os, row.fp);
+    util::write_pod(os, row.rs);
+    util::write_pod(os, row.qor.wns);
+    util::write_pod(os, row.qor.tns);
+    util::write_pod(os, row.qor.hold_tns);
+    util::write_pod(os, row.qor.power);
+    util::write_pod(os, row.qor.area);
+    util::write_pod(os, static_cast<std::int32_t>(row.qor.drcs));
+  }
+  os.flush();
+  const bool ok = os.good();
+  {
+    std::lock_guard sk{stats_mutex_};
+    stats_.io_seconds += seconds_since(t0);
+  }
+  return ok;
+}
+
+bool FlowEval::load_disk(const std::string& path) {
+  const auto t0 = Clock::now();
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return false;
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!util::read_pod(is, magic) || magic != kEvalMagic) return false;
+  if (!util::read_pod(is, version) || version != kEvalVersion) return false;
+  if (!util::read_pod(is, count) || count > (1u << 26)) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t fp = 0;
+    std::uint64_t rs = 0;
+    Qor qor;
+    std::int32_t drcs = 0;
+    if (!util::read_pod(is, fp) || !util::read_pod(is, rs) ||
+        !util::read_pod(is, qor.wns) || !util::read_pod(is, qor.tns) ||
+        !util::read_pod(is, qor.hold_tns) || !util::read_pod(is, qor.power) ||
+        !util::read_pod(is, qor.area) || !util::read_pod(is, drcs)) {
+      return false;
+    }
+    qor.drcs = drcs;
+    Shard& shard = shard_for(fp, rs);
+    std::lock_guard lk{shard.m};
+    std::shared_ptr<Entry>& slot = shard.map[fp][rs];
+    if (!slot) {
+      slot = std::make_shared<Entry>();
+      slot->qor = qor;
+      slot->ready = true;
+    }
+  }
+  {
+    std::lock_guard sk{stats_mutex_};
+    stats_.io_seconds += seconds_since(t0);
+  }
+  return true;
+}
+
+void FlowEval::print_stats(std::ostream& os) const {
+  const FlowEvalStats s = stats();
+  util::TablePrinter table({"FlowEval", "Value"});
+  table.add_row({"cached entries", std::to_string(size())});
+  table.add_row({"hits", std::to_string(s.hits)});
+  table.add_row({"misses (evaluations)", std::to_string(s.misses)});
+  table.add_row({"probe hits", std::to_string(s.probe_hits)});
+  table.add_row({"probe misses", std::to_string(s.probe_misses)});
+  table.add_row({"hit rate", util::fmt(100.0 * s.hit_rate(), 1) + "%"});
+  table.add_row({"eval wall (s)", util::fmt(s.eval_seconds, 3)});
+  table.add_row({"lookup wall (s)", util::fmt(s.lookup_seconds, 4)});
+  table.add_row({"disk I/O wall (s)", util::fmt(s.io_seconds, 4)});
+  table.add_row({"saved wall (s, est.)", util::fmt(s.saved_seconds(), 3)});
+  table.print(os);
+}
+
+}  // namespace vpr::flow

@@ -1,20 +1,25 @@
 #pragma once
 // Minimal deterministic parallel-for over an index range: results must be
 // written to pre-sized slots (no shared mutable state inside the body).
-// Used by the offline dataset builder, where each (design, recipe set)
-// flow run is independent.
+// Spawns and joins fresh threads on every call — fine for coarse one-shot
+// jobs; the hot evaluation paths use the persistent util::ThreadPool
+// (thread_pool.h) instead.
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace vpr::util {
 
 /// Runs body(i) for i in [0, n) across up to `threads` workers
-/// (0 => hardware concurrency). Exceptions inside the body terminate.
+/// (0 => hardware concurrency). An exception in the body cancels the
+/// remaining indices; all workers are joined and the first exception is
+/// rethrown on the calling thread.
 inline void parallel_for(std::size_t n,
                          const std::function<void(std::size_t)>& body,
                          unsigned threads = 0) {
@@ -29,16 +34,28 @@ inline void parallel_for(std::size_t n,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(n_threads);
   for (unsigned w = 0; w < n_threads; ++w) {
     pool.emplace_back([&] {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        body(i);
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace vpr::util

@@ -1,0 +1,172 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace vpr::util {
+
+struct ThreadPool::Job {
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::vector<Range> ranges;  // one per participant slot
+  std::mutex range_mutex;     // guards ranges + failed + error
+  bool failed = false;
+  std::exception_ptr error;
+  std::size_t slots = 0;    // participant capacity; guarded by pool mutex_
+  std::size_t claimed = 0;  // slots handed out; guarded by pool mutex_
+  std::size_t active = 0;   // participants running; guarded by pool mutex_
+};
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    workers = hw - 1;  // the calling thread is the last participant
+  }
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk{mutex_};
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::take_batch(Job& job, std::size_t slot, std::size_t& begin,
+                            std::size_t& end) {
+  std::lock_guard lk{job.range_mutex};
+  if (job.failed) return false;
+  Job::Range& own = job.ranges[slot];
+  if (own.begin >= own.end) {
+    // Steal half of the largest remaining range.
+    std::size_t victim = job.ranges.size();
+    std::size_t best = 0;
+    for (std::size_t r = 0; r < job.ranges.size(); ++r) {
+      const std::size_t len = job.ranges[r].end - job.ranges[r].begin;
+      if (len > best) {
+        best = len;
+        victim = r;
+      }
+    }
+    if (best == 0) return false;
+    Job::Range& v = job.ranges[victim];
+    const std::size_t half = (best + 1) / 2;
+    own.begin = v.end - half;
+    own.end = v.end;
+    v.end = own.begin;
+  }
+  // Grab a quarter of the local range (>= 1) so most of it stays stealable.
+  const std::size_t remaining = own.end - own.begin;
+  const std::size_t batch = std::max<std::size_t>(1, remaining / 4);
+  begin = own.begin;
+  end = own.begin + batch;
+  own.begin = end;
+  return true;
+}
+
+void ThreadPool::participate(Job& job, std::size_t slot) {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  while (take_batch(job, slot, begin, end)) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        std::lock_guard lk{job.range_mutex};
+        if (!job.error) job.error = std::current_exception();
+        job.failed = true;
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lk{mutex_};
+  for (;;) {
+    wake_.wait(lk, [&] {
+      return stop_ ||
+             (job_ != nullptr && generation_ != seen &&
+              job_->claimed < job_->slots);
+    });
+    if (stop_) return;
+    seen = generation_;
+    Job& job = *job_;
+    const std::size_t slot = job.claimed++;
+    ++job.active;
+    lk.unlock();
+    participate(job, slot);
+    lk.lock();
+    --job.active;
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              unsigned max_workers) {
+  if (n == 0) return;
+  std::size_t participants = threads_.size() + 1;
+  if (max_workers != 0) {
+    participants = std::min<std::size_t>(participants, max_workers);
+  }
+  participants = std::min(participants, n);
+
+  // Run inline when parallelism cannot help, or when another parallel_for
+  // is already in flight (including nested calls from a worker thread —
+  // blocking here would deadlock the pool).
+  std::unique_lock run_lock{run_mutex_, std::try_to_lock};
+  if (participants <= 1 || !run_lock.owns_lock()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.body = &body;
+  job.slots = participants;
+  job.claimed = 1;  // slot 0 belongs to the calling thread
+  job.ranges.resize(participants);
+  const std::size_t chunk = n / participants;
+  const std::size_t extra = n % participants;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < participants; ++s) {
+    job.ranges[s].begin = cursor;
+    cursor += chunk + (s < extra ? 1 : 0);
+    job.ranges[s].end = cursor;
+  }
+
+  {
+    std::lock_guard lk{mutex_};
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  participate(job, 0);
+
+  std::unique_lock lk{mutex_};
+  job_ = nullptr;  // no further claims; drain the workers that joined
+  done_.wait(lk, [&] { return job.active == 0; });
+  lk.unlock();
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace vpr::util

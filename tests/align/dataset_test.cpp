@@ -132,7 +132,7 @@ TEST(DatasetCache, SaveLoadRoundTrip) {
   const auto& ds = shared_dataset();
   const std::string path =
       (std::filesystem::temp_directory_path() / "ia_ds_test.bin").string();
-  save_dataset(ds, QorWeights{}, path);
+  ASSERT_TRUE(save_dataset(ds, QorWeights{}, path));
   const auto loaded = load_dataset(path);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->size(), ds.size());
@@ -160,6 +160,66 @@ TEST(DatasetCache, MissingOrCorruptFileReturnsNullopt) {
   }
   EXPECT_FALSE(load_dataset(path).has_value());
   std::remove(path.c_str());
+}
+
+TEST(DatasetCache, RejectsTruncatedFile) {
+  const auto& ds = shared_dataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_truncated.bin").string();
+  ASSERT_TRUE(save_dataset(ds, QorWeights{}, path));
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_FALSE(load_dataset(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCache, RejectsOldMagic) {
+  // A v1 cache (magic 0x1a5e7001, no dimension field) must be rejected as
+  // a format mismatch, not misparsed.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_old_magic.bin").string();
+  {
+    std::ofstream os{path, std::ios::binary};
+    const std::uint32_t old_magic = 0x1a5e7001;
+    os.write(reinterpret_cast<const char*>(&old_magic), sizeof(old_magic));
+    const double weights[2] = {0.7, 0.3};
+    os.write(reinterpret_cast<const char*>(weights), sizeof(weights));
+  }
+  EXPECT_FALSE(load_dataset(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCache, RejectsInsightDimensionMismatch) {
+  const auto& ds = shared_dataset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_wrong_dims.bin").string();
+  ASSERT_TRUE(save_dataset(ds, QorWeights{}, path));
+  ASSERT_TRUE(load_dataset(path).has_value());
+  {
+    // Patch the recorded dimension (u32 right after the u32 magic), as if
+    // the cache had been written by a build with a different
+    // insight::kInsightDims.
+    std::fstream fs{path, std::ios::binary | std::ios::in | std::ios::out};
+    fs.seekp(sizeof(std::uint32_t));
+    const std::uint32_t wrong_dims = insight::kInsightDims + 1;
+    fs.write(reinterpret_cast<const char*>(&wrong_dims), sizeof(wrong_dims));
+  }
+  EXPECT_FALSE(load_dataset(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCache, SaveReportsFailureOnUnwritableTarget) {
+  const std::string blocker =
+      (std::filesystem::temp_directory_path() / "ia_blocker.bin").string();
+  {
+    std::ofstream os{blocker};
+    os << "x";
+  }
+  // A regular file as a path component is unwritable even for root; the
+  // old void-returning save would have silently dropped the dataset.
+  EXPECT_FALSE(
+      save_dataset(shared_dataset(), QorWeights{}, blocker + "/ds.bin"));
+  std::remove(blocker.c_str());
 }
 
 }  // namespace

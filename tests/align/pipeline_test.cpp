@@ -6,6 +6,8 @@
 #include <memory>
 #include <sstream>
 
+#include "flow/eval.h"
+
 namespace vpr::align {
 namespace {
 
@@ -132,6 +134,37 @@ TEST(Pipeline, DeterministicFit) {
     return p.model().state();
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Pipeline, WarmRecommendIssuesNoNewEvaluations) {
+  auto& p = fitted_pipeline();
+  const auto first = p.recommend(world().d1, 3);
+  auto& service = flow::FlowEval::shared();
+  const auto before = service.stats();
+  const auto second = p.recommend(world().d1, 3);
+  const auto after = service.stats();
+  // Beam search is deterministic, so every repeated recipe set resolves
+  // from the memo: zero new Flow::run evaluations on the warm path.
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.probe_misses, before.probe_misses);
+  EXPECT_GT(after.hits, before.hits);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].recipes, first[i].recipes);
+    EXPECT_DOUBLE_EQ(second[i].power, first[i].power);
+    EXPECT_DOUBLE_EQ(second[i].tns, first[i].tns);
+  }
+}
+
+TEST(Pipeline, WarmRecommendOnUnseenDesignSkipsProbe) {
+  auto& p = fitted_pipeline();
+  (void)p.recommend(world().unseen, 2);
+  auto& service = flow::FlowEval::shared();
+  const auto before = service.stats();
+  (void)p.recommend(world().unseen, 2);
+  const auto after = service.stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.probe_misses, before.probe_misses);
 }
 
 }  // namespace

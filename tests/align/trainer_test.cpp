@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "align/cache.h"
@@ -173,7 +174,7 @@ TEST(ZeroShotEvaluator, CvResultCacheRoundTrip) {
   result.fold_test_accuracy = {0.7};
   const std::string path =
       (std::filesystem::temp_directory_path() / "ia_cv_test.bin").string();
-  save_cv_result(result, path);
+  ASSERT_TRUE(save_cv_result(result, path));
   const auto loaded = load_cv_result(path);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->rows.size(), 1u);
@@ -184,6 +185,35 @@ TEST(ZeroShotEvaluator, CvResultCacheRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->rows[0].recommendations[0].power, 3.0);
   EXPECT_DOUBLE_EQ(loaded->fold_test_accuracy[0], 0.7);
   std::remove(path.c_str());
+}
+
+TEST(ZeroShotEvaluator, CvCacheRejectsTruncatedFile) {
+  CrossValidationResult result;
+  DesignEvaluation row;
+  row.design = "X";
+  row.recommendations.push_back(
+      {flow::RecipeSet::from_ids({1}), 3.0, 0.5, 0.9});
+  result.rows.push_back(row);
+  result.fold_train_accuracy = {0.8};
+  result.fold_test_accuracy = {0.7};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ia_cv_trunc.bin").string();
+  ASSERT_TRUE(save_cv_result(result, path));
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(load_cv_result(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ZeroShotEvaluator, CvCacheSaveReportsUnwritableTarget) {
+  const std::string blocker =
+      (std::filesystem::temp_directory_path() / "ia_cv_blocker.bin").string();
+  {
+    std::ofstream os{blocker};
+    os << "x";
+  }
+  EXPECT_FALSE(save_cv_result(CrossValidationResult{}, blocker + "/cv.bin"));
+  std::remove(blocker.c_str());
 }
 
 }  // namespace

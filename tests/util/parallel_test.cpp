@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace vpr::util {
@@ -44,6 +45,38 @@ TEST(ParallelFor, MoreWorkersThanWork) {
   std::vector<int> hits(3, 0);
   parallel_for(3, [&](std::size_t i) { ++hits[i]; }, 16);
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptionToCaller) {
+  EXPECT_THROW(parallel_for(
+                   128,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesExceptionOnSequentialPath) {
+  EXPECT_THROW(parallel_for(
+                   8, [](std::size_t) { throw std::logic_error("boom"); }, 1),
+               std::logic_error);
+}
+
+TEST(ParallelFor, ExceptionCancelsRemainingIndices) {
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(
+        100000,
+        [&](std::size_t) {
+          ++executed;
+          throw std::runtime_error("boom");
+        },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(executed.load(), 100000);
 }
 
 }  // namespace
