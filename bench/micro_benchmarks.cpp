@@ -3,10 +3,22 @@
 // beam search. These quantify the cost model behind the experiment
 // harnesses (a flow run is the unit the paper's "budget" counts).
 
+// Invoked with no arguments it first emits BENCH_nn.json (tape-free vs
+// tape inference timings, see emit_bench_nn below) and then runs the
+// google-benchmark suite; `--bench_nn_only` stops after the JSON.
+
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <thread>
 
 #include "align/beam.h"
 #include "align/losses.h"
+#include "align/trainer.h"
 #include "flow/eval.h"
 #include "flow/flow.h"
 #include "netlist/suite.h"
@@ -14,6 +26,7 @@
 #include "place/placer.h"
 #include "route/router.h"
 #include "sta/sta.h"
+#include "util/json.h"
 
 namespace {
 
@@ -111,6 +124,18 @@ void BM_ModelSequenceLogProb(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelSequenceLogProb)->Unit(benchmark::kMicrosecond);
 
+// Tape (autograd-graph) likelihood: the pre-fast-path cost of log_prob.
+void BM_ModelSequenceLogProbTape(benchmark::State& state) {
+  const auto& model = bench_model();
+  const auto iv = bench_insight();
+  std::vector<int> bits(40, 0);
+  bits[3] = bits[17] = bits[31] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sequence_log_prob(iv, bits).item());
+  }
+}
+BENCHMARK(BM_ModelSequenceLogProbTape)->Unit(benchmark::kMicrosecond);
+
 void BM_MdpoTrainStep(benchmark::State& state) {
   auto& model = bench_model();
   nn::Adam opt{model.parameters(), 1e-4};
@@ -138,6 +163,17 @@ void BM_BeamSearchK5(benchmark::State& state) {
 }
 BENCHMARK(BM_BeamSearchK5)->Unit(benchmark::kMillisecond);
 
+// Pre-KV-cache beam search (full tape forward per expansion): the seed
+// implementation, kept as the speedup baseline.
+void BM_BeamSearchK5Reference(benchmark::State& state) {
+  const auto& model = bench_model();
+  const auto iv = bench_insight();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::beam_search_reference(model, iv, 5));
+  }
+}
+BENCHMARK(BM_BeamSearchK5Reference)->Unit(benchmark::kMillisecond);
+
 void BM_NetlistGeneration(benchmark::State& state) {
   auto traits = netlist::suite_design(6);
   traits.target_cells = static_cast<int>(state.range(0));
@@ -149,6 +185,131 @@ void BM_NetlistGeneration(benchmark::State& state) {
 BENCHMARK(BM_NetlistGeneration)->Arg(1000)->Arg(4000)->Arg(16000)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
 
+/// Mean wall-clock milliseconds per call of `fn`: warms up, then repeats
+/// until `min_total_ms` of measured time or `max_iters` calls.
+template <typename Fn>
+double timed_ms(Fn&& fn, int warmup, double min_total_ms, int max_iters) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  double total_ms = 0.0;
+  int iters = 0;
+  while (iters < max_iters && (iters == 0 || total_ms < min_total_ms)) {
+    const auto t0 = clock::now();
+    fn();
+    total_ms += std::chrono::duration<double, std::milli>(clock::now() - t0)
+                    .count();
+    ++iters;
+  }
+  return total_ms / iters;
+}
+
+netlist::DesignTraits train_traits(const char* name, std::uint64_t seed,
+                                   double period, double activity) {
+  netlist::DesignTraits t;
+  t.name = name;
+  t.target_cells = 450;
+  t.clock_period_ns = period;
+  t.activity_mean = activity;
+  t.seed = seed;
+  return t;
+}
+
+/// The machine-readable numbers behind the PR acceptance bar: ms per
+/// width-5 40-step recommend on the KV-cached fast path vs the tape
+/// reference (and the speedup), decoder token evaluations per second, and
+/// ms per MDPO training epoch serial vs data-parallel.
+void emit_bench_nn(const std::string& path) {
+  util::Json root = util::Json::object();
+
+  {
+    const auto& model = bench_model();
+    const auto iv = bench_insight();
+    const int width = 5;
+    const int steps = bench_model().config().num_recipes;
+    // Token evaluations per recommend: the beam holds min(2^t, width)
+    // partials at step t and runs one decoder step per partial.
+    int token_evals = 0;
+    int beam_size = 1;
+    for (int t = 0; t < steps; ++t) {
+      token_evals += beam_size;
+      beam_size = std::min(2 * beam_size, width);
+    }
+    const double fast_ms = timed_ms(
+        [&] { benchmark::DoNotOptimize(align::beam_search(model, iv, width)); },
+        /*warmup=*/3, /*min_total_ms=*/250.0, /*max_iters=*/200);
+    const double ref_ms = timed_ms(
+        [&] {
+          benchmark::DoNotOptimize(
+              align::beam_search_reference(model, iv, width));
+        },
+        /*warmup=*/1, /*min_total_ms=*/500.0, /*max_iters=*/20);
+    util::Json beam = util::Json::object();
+    beam["beam_width"] = width;
+    beam["steps"] = steps;
+    beam["token_evals_per_recommend"] = token_evals;
+    beam["fast_ms_per_recommend"] = fast_ms;
+    beam["reference_ms_per_recommend"] = ref_ms;
+    beam["speedup"] = ref_ms / fast_ms;
+    beam["fast_tokens_per_sec"] = 1000.0 * token_evals / fast_ms;
+    beam["reference_tokens_per_sec"] = 1000.0 * token_evals / ref_ms;
+    root["beam_recommend"] = beam;
+  }
+
+  {
+    static const flow::Design d1{train_traits("bnA", 4001, 1.6, 0.08)};
+    static const flow::Design d2{train_traits("bnB", 4002, 1.0, 0.22)};
+    const std::vector<const flow::Design*> designs{&d1, &d2};
+    align::DatasetConfig dc;
+    dc.points_per_design = 12;
+    dc.seed = 808;
+    const auto dataset = align::OfflineDataset::build(designs, dc);
+    const std::vector<std::size_t> all{0, 1};
+    align::TrainConfig tc;
+    tc.epochs = 1;
+    tc.pairs_per_design = 64;
+    tc.seed = 515;
+    const auto epoch_ms = [&](int workers) {
+      tc.workers = workers;
+      return timed_ms(
+          [&] {
+            util::Rng rng{77};
+            align::RecipeModel model{align::ModelConfig{}, rng};
+            align::AlignmentTrainer trainer{model, tc};
+            benchmark::DoNotOptimize(trainer.train(dataset, all));
+          },
+          /*warmup=*/1, /*min_total_ms=*/500.0, /*max_iters=*/10);
+    };
+    util::Json train = util::Json::object();
+    train["designs"] = designs.size();
+    train["pairs_per_design"] = tc.pairs_per_design;
+    train["minibatch"] = tc.minibatch;
+    // Parallel speedup is hardware-bound: on a single-core host the pool
+    // has no background workers and the fan-out runs inline.
+    train["hardware_concurrency"] =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    const double serial_ms = epoch_ms(0);
+    const double parallel_ms = epoch_ms(4);
+    train["serial_ms_per_epoch"] = serial_ms;
+    train["parallel_workers"] = 4;
+    train["parallel_ms_per_epoch"] = parallel_ms;
+    train["parallel_speedup"] = serial_ms / parallel_ms;
+    root["train_epoch"] = train;
+  }
+
+  std::ofstream os{path};
+  root.write(os);
+  os << '\n';
+  std::printf("wrote %s\n%s\n", path.c_str(), root.dump().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_bench_nn("BENCH_nn.json");
+  if (argc > 1 && std::string_view{argv[1]} == "--bench_nn_only") return 0;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

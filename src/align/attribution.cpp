@@ -8,18 +8,19 @@ namespace vpr::align {
 
 namespace {
 
-/// Greedy decode: per-step probabilities along the argmax trajectory.
+/// Greedy decode: per-step probabilities along the argmax trajectory,
+/// on a single KV-cached lane (one O(prefix) step per position).
 std::vector<double> greedy_probs(const RecipeModel& model,
                                  std::span<const double> insight) {
   const int n = model.config().num_recipes;
-  std::vector<int> bits;
+  DecodeSession session = model.decode(insight, 1);
+  int prev = 0;
   std::vector<double> probs;
-  bits.reserve(static_cast<std::size_t>(n));
   probs.reserve(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) {
-    const double p = model.next_prob(insight, bits);
+    const double p = session.step(0, prev);
     probs.push_back(p);
-    bits.push_back(p > 0.5 ? 1 : 0);
+    prev = p > 0.5 ? 1 : 0;
   }
   return probs;
 }

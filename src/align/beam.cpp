@@ -5,65 +5,125 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "nn/infer.h"
+
 namespace vpr::align {
 
-std::vector<BeamCandidate> beam_search(const RecipeModel& model,
-                                       std::span<const double> insight,
-                                       int beam_width) {
+namespace {
+
+/// Partial sequences are stored as bit masks (bit t == decision r_t), the
+/// same packing as RecipeSet::to_u64(), so expanding a beam entry copies a
+/// few bytes instead of deep-copying a decision vector. `lane` is the
+/// DecodeSession lane holding this partial's K/V cache (unused by the
+/// reference search).
+struct Partial {
+  std::uint64_t mask = 0;
+  double score = 0.0;
+  int lane = 0;
+};
+
+void check_args(const RecipeModel& model, int beam_width) {
   if (beam_width < 1) throw std::invalid_argument("beam_search: width < 1");
-  const int n = model.config().num_recipes;
-  if (n > 64) {
+  if (model.config().num_recipes > 64) {
     throw std::invalid_argument("beam_search: > 64 recipes unsupported");
   }
+}
 
-  // Partial sequences are stored as bit masks (bit t == decision r_t), the
-  // same packing as RecipeSet::to_u64(), so expanding a beam entry copies
-  // 16 bytes instead of deep-copying a decision vector. A width-5, 40-step
-  // search previously allocated ~400 vectors per call; now it allocates
-  // none inside the loop — only `prefix` is rebuilt (in place) for the
-  // model's next_prob query.
-  struct Partial {
-    std::uint64_t mask = 0;
-    double score = 0.0;
-  };
-  std::vector<Partial> beam{Partial{}};
-  std::vector<Partial> expanded;
-  std::vector<int> prefix;
-  prefix.reserve(static_cast<std::size_t>(n));
-
-  for (int t = 0; t < n; ++t) {
-    expanded.clear();
-    expanded.reserve(beam.size() * 2);
-    prefix.resize(static_cast<std::size_t>(t));
-    for (const auto& partial : beam) {
-      for (int b = 0; b < t; ++b) {
-        prefix[static_cast<std::size_t>(b)] =
-            static_cast<int>((partial.mask >> b) & 1U);
-      }
-      const double p1 = model.next_prob(insight, prefix);
-      // Guard the log against exact 0/1 saturation.
-      const double p = std::clamp(p1, 1e-12, 1.0 - 1e-12);
-      expanded.push_back({partial.mask, partial.score + std::log(1.0 - p)});
-      expanded.push_back(
-          {partial.mask | (1ULL << t), partial.score + std::log(p)});
-    }
-    const auto keep = std::min<std::size_t>(
-        static_cast<std::size_t>(beam_width), expanded.size());
-    std::partial_sort(expanded.begin(),
-                      expanded.begin() + static_cast<std::ptrdiff_t>(keep),
-                      expanded.end(), [](const Partial& a, const Partial& b) {
-                        return a.score > b.score;
-                      });
-    expanded.resize(keep);
-    std::swap(beam, expanded);
+/// Expand every beam entry with r_t in {0, 1} and keep the best `width`.
+/// `next_p` maps a beam entry to P(r_t = 1 | its prefix).
+template <typename NextProb>
+void expand_step(std::vector<Partial>& beam, std::vector<Partial>& expanded,
+                 int t, int width, NextProb&& next_p) {
+  expanded.clear();
+  expanded.reserve(beam.size() * 2);
+  for (const auto& partial : beam) {
+    const double p1 = next_p(partial);
+    // Guard the log against exact 0/1 saturation.
+    const double p = std::clamp(p1, 1e-12, 1.0 - 1e-12);
+    expanded.push_back(
+        {partial.mask, partial.score + std::log(1.0 - p), partial.lane});
+    expanded.push_back({partial.mask | (1ULL << t),
+                        partial.score + std::log(p), partial.lane});
   }
+  const auto keep = std::min<std::size_t>(static_cast<std::size_t>(width),
+                                          expanded.size());
+  std::partial_sort(expanded.begin(),
+                    expanded.begin() + static_cast<std::ptrdiff_t>(keep),
+                    expanded.end(), [](const Partial& a, const Partial& b) {
+                      return a.score > b.score;
+                    });
+  expanded.resize(keep);
+  std::swap(beam, expanded);
+}
 
+std::vector<BeamCandidate> to_candidates(const std::vector<Partial>& beam) {
   std::vector<BeamCandidate> out;
   out.reserve(beam.size());
   for (const auto& partial : beam) {
     out.push_back({flow::RecipeSet::from_u64(partial.mask), partial.score});
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<BeamCandidate> beam_search(const RecipeModel& model,
+                                       std::span<const double> insight,
+                                       int beam_width) {
+  check_args(model, beam_width);
+  const int n = model.config().num_recipes;
+
+  // Two banks of `beam_width` lanes: the current beam occupies one bank;
+  // after selection each survivor's parent cache is copied into the other
+  // bank (a parent's step() already appended position t's K/V, and both
+  // children share it — position t consumed r_{t-1}, not r_t). Copying into
+  // the opposite bank keeps duplicated parents intact until all survivors
+  // have cloned them.
+  DecodeSession session = model.decode(insight, 2 * beam_width);
+  int bank = 0;
+  std::vector<Partial> beam{Partial{}};  // lane 0, bank 0
+  std::vector<Partial> expanded;
+
+  for (int t = 0; t < n; ++t) {
+    expand_step(beam, expanded, t, beam_width, [&](const Partial& partial) {
+      const int prev =
+          t == 0 ? 0 : static_cast<int>((partial.mask >> (t - 1)) & 1U);
+      return session.step(partial.lane, prev);
+    });
+    bank ^= 1;
+    const int base = bank * beam_width;
+    for (std::size_t j = 0; j < beam.size(); ++j) {
+      const int dst = base + static_cast<int>(j);
+      session.copy_lane(dst, beam[j].lane);
+      beam[j].lane = dst;
+    }
+  }
+  return to_candidates(beam);
+}
+
+std::vector<BeamCandidate> beam_search_reference(
+    const RecipeModel& model, std::span<const double> insight,
+    int beam_width) {
+  check_args(model, beam_width);
+  const int n = model.config().num_recipes;
+  std::vector<Partial> beam{Partial{}};
+  std::vector<Partial> expanded;
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<std::size_t>(n));
+
+  for (int t = 0; t < n; ++t) {
+    prefix.resize(static_cast<std::size_t>(t));
+    expand_step(beam, expanded, t, beam_width, [&](const Partial& partial) {
+      for (int b = 0; b < t; ++b) {
+        prefix[static_cast<std::size_t>(b)] =
+            static_cast<int>((partial.mask >> b) & 1U);
+      }
+      // Full tape forward over the prefix (the seed next_prob path).
+      const nn::Tensor logits = model.forward_logits(insight, prefix, t + 1);
+      return nn::infer::stable_sigmoid(logits.at(t, 0));
+    });
+  }
+  return to_candidates(beam);
 }
 
 }  // namespace vpr::align

@@ -18,8 +18,18 @@ struct BeamCandidate {
 };
 
 /// Top-K recipe sets under the model's policy for the given insight,
-/// ordered by descending cumulative log probability.
+/// ordered by descending cumulative log probability. Runs on a KV-cached
+/// DecodeSession (one lane per beam entry), so each expansion costs
+/// O(prefix) instead of a full O(prefix^2) forward; candidates and scores
+/// are bitwise identical to beam_search_reference.
 [[nodiscard]] std::vector<BeamCandidate> beam_search(
+    const RecipeModel& model, std::span<const double> insight, int beam_width);
+
+/// Reference beam search driving the autograd-tape forward for every
+/// (beam entry, step) expansion — the pre-KV-cache implementation, kept as
+/// the equivalence oracle for tests and the speedup baseline for the
+/// micro-benchmarks.
+[[nodiscard]] std::vector<BeamCandidate> beam_search_reference(
     const RecipeModel& model, std::span<const double> insight, int beam_width);
 
 }  // namespace vpr::align

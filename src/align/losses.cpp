@@ -5,11 +5,11 @@
 
 namespace vpr::align {
 
-nn::Tensor mdpo_pair_loss(const RecipeModel& model,
-                          std::span<const double> insight,
-                          std::span<const int> bits_i,
-                          std::span<const int> bits_j, double score_i,
-                          double score_j, double lambda) {
+PairLossTerms mdpo_pair_loss_terms(const RecipeModel& model,
+                                   std::span<const double> insight,
+                                   std::span<const int> bits_i,
+                                   std::span<const int> bits_j, double score_i,
+                                   double score_j, double lambda) {
   if (lambda < 0.0) throw std::invalid_argument("mdpo: lambda must be >= 0");
   const nn::Tensor lp_i = model.sequence_log_prob(insight, bits_i);
   const nn::Tensor lp_j = model.sequence_log_prob(insight, bits_j);
@@ -17,22 +17,49 @@ nn::Tensor mdpo_pair_loss(const RecipeModel& model,
   const double sign = score_i >= score_j ? 1.0 : -1.0;
   // relu(margin - sign * (lp_i - lp_j))
   const nn::Tensor diff = nn::scale(nn::sub(lp_i, lp_j), sign);
-  return nn::relu(nn::add_scalar(nn::neg(diff), margin));
+  return {nn::relu(nn::add_scalar(nn::neg(diff), margin)), lp_i, lp_j};
+}
+
+nn::Tensor mdpo_pair_loss(const RecipeModel& model,
+                          std::span<const double> insight,
+                          std::span<const int> bits_i,
+                          std::span<const int> bits_j, double score_i,
+                          double score_j, double lambda) {
+  return mdpo_pair_loss_terms(model, insight, bits_i, bits_j, score_i,
+                              score_j, lambda)
+      .loss;
+}
+
+PairLossTerms dpo_pair_loss_terms(const RecipeModel& model,
+                                  std::span<const double> insight,
+                                  std::span<const int> bits_winner,
+                                  std::span<const int> bits_loser,
+                                  double beta) {
+  if (beta <= 0.0) throw std::invalid_argument("dpo: beta must be > 0");
+  const nn::Tensor lp_w = model.sequence_log_prob(insight, bits_winner);
+  const nn::Tensor lp_l = model.sequence_log_prob(insight, bits_loser);
+  return {nn::neg(nn::logsigmoid(nn::scale(nn::sub(lp_w, lp_l), beta))), lp_w,
+          lp_l};
 }
 
 nn::Tensor dpo_pair_loss(const RecipeModel& model,
                          std::span<const double> insight,
                          std::span<const int> bits_winner,
                          std::span<const int> bits_loser, double beta) {
-  if (beta <= 0.0) throw std::invalid_argument("dpo: beta must be > 0");
-  const nn::Tensor lp_w = model.sequence_log_prob(insight, bits_winner);
-  const nn::Tensor lp_l = model.sequence_log_prob(insight, bits_loser);
-  return nn::neg(nn::logsigmoid(nn::scale(nn::sub(lp_w, lp_l), beta)));
+  return dpo_pair_loss_terms(model, insight, bits_winner, bits_loser, beta)
+      .loss;
+}
+
+PairLossTerms nll_loss_terms(const RecipeModel& model,
+                             std::span<const double> insight,
+                             std::span<const int> bits) {
+  const nn::Tensor lp = model.sequence_log_prob(insight, bits);
+  return {nn::neg(lp), lp, nn::Tensor{}};
 }
 
 nn::Tensor nll_loss(const RecipeModel& model, std::span<const double> insight,
                     std::span<const int> bits) {
-  return nn::neg(model.sequence_log_prob(insight, bits));
+  return nll_loss_terms(model, insight, bits).loss;
 }
 
 nn::Tensor ppo_loss(const RecipeModel& model, std::span<const double> insight,

@@ -13,6 +13,16 @@
 
 namespace vpr::align {
 
+/// A pair loss together with the sequence log-likelihood tensors already
+/// sitting in its graph. Reading lp_i/lp_j values costs nothing extra,
+/// which spares callers (the trainer's ranking-accuracy bookkeeping) a
+/// second full forward per sequence. lp_j is undefined for nll_loss_terms.
+struct PairLossTerms {
+  nn::Tensor loss;
+  nn::Tensor lp_i;
+  nn::Tensor lp_j;
+};
+
 /// Margin-based DPO (eq. 2) for one pair under insight I:
 ///   max(0, lambda*|q_i - q_j| - sign(q_i - q_j) * (log pi_i - log pi_j)).
 [[nodiscard]] nn::Tensor mdpo_pair_loss(const RecipeModel& model,
@@ -22,6 +32,12 @@ namespace vpr::align {
                                         double score_i, double score_j,
                                         double lambda);
 
+/// mdpo_pair_loss plus the two log-likelihood tensors from its graph.
+[[nodiscard]] PairLossTerms mdpo_pair_loss_terms(
+    const RecipeModel& model, std::span<const double> insight,
+    std::span<const int> bits_i, std::span<const int> bits_j, double score_i,
+    double score_j, double lambda);
+
 /// Plain DPO (eq. 1) with uniform reference policy (the pi_ref terms cancel
 /// for fixed-length binary sequences): -logsigmoid(beta*(lp_w - lp_l)).
 [[nodiscard]] nn::Tensor dpo_pair_loss(const RecipeModel& model,
@@ -30,11 +46,23 @@ namespace vpr::align {
                                        std::span<const int> bits_loser,
                                        double beta);
 
+/// dpo_pair_loss plus the two log-likelihood tensors from its graph
+/// (lp_i = winner, lp_j = loser).
+[[nodiscard]] PairLossTerms dpo_pair_loss_terms(
+    const RecipeModel& model, std::span<const double> insight,
+    std::span<const int> bits_winner, std::span<const int> bits_loser,
+    double beta);
+
 /// Supervised ablation: maximize likelihood of a known-good recipe set
 /// (negative log-likelihood of the sequence).
 [[nodiscard]] nn::Tensor nll_loss(const RecipeModel& model,
                                   std::span<const double> insight,
                                   std::span<const int> bits);
+
+/// nll_loss plus the log-likelihood tensor (lp_i; lp_j stays undefined).
+[[nodiscard]] PairLossTerms nll_loss_terms(const RecipeModel& model,
+                                           std::span<const double> insight,
+                                           std::span<const int> bits);
 
 /// Clipped PPO surrogate for one sampled recipe set:
 ///   -min(r * A, clip(r, 1-eps, 1+eps) * A),  r = exp(lp_new - lp_old).

@@ -28,10 +28,14 @@ OnlineTuner::OnlineTuner(RecipeModel& model, const flow::Design& design,
 }
 
 flow::RecipeSet OnlineTuner::sample_policy(util::Rng& rng) const {
+  // One KV-cached decode lane: each step reuses the prefix's cache instead
+  // of re-running the full forward (probabilities are bitwise identical,
+  // so the rng trajectory is unchanged).
+  DecodeSession session = model_.decode(insight_, 1);
   std::vector<int> bits;
   bits.reserve(static_cast<std::size_t>(flow::kNumRecipes));
   for (int t = 0; t < flow::kNumRecipes; ++t) {
-    const double p = model_.next_prob(insight_, bits);
+    const double p = session.step(0, bits.empty() ? 0 : bits.back());
     bits.push_back(rng.bernoulli(p) ? 1 : 0);
   }
   return flow::RecipeSet::from_bits(bits);

@@ -1,7 +1,10 @@
 #include "align/recipe_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "nn/infer.h"
 
 namespace vpr::align {
 
@@ -33,11 +36,9 @@ nn::Tensor RecipeModel::insight_embedding(
   return insight_embed_.forward(iv);
 }
 
-nn::Tensor RecipeModel::forward_logits(std::span<const double> insight,
-                                       std::span<const int> decisions,
-                                       int steps) const {
+std::vector<int> RecipeModel::input_tokens(std::span<const int> decisions,
+                                           int steps) const {
   const int n = config_.num_recipes;
-  if (steps < 0) steps = n;
   if (steps < 1 || steps > n) {
     throw std::invalid_argument("RecipeModel: bad step count");
   }
@@ -55,6 +56,14 @@ nn::Tensor RecipeModel::forward_logits(std::span<const double> insight,
     tokens[static_cast<std::size_t>(t)] =
         d == 1 ? kTokenSelected : kTokenNotSelected;
   }
+  return tokens;
+}
+
+nn::Tensor RecipeModel::forward_logits(std::span<const double> insight,
+                                       std::span<const int> decisions,
+                                       int steps) const {
+  if (steps < 0) steps = config_.num_recipes;
+  const std::vector<int> tokens = input_tokens(decisions, steps);
   nn::Tensor h = pos_enc_.forward(token_embed_.forward(tokens));
   const nn::Tensor memory = insight_embedding(insight);
   for (const auto& layer : decoder_stack_) {
@@ -82,9 +91,50 @@ nn::Tensor RecipeModel::sequence_log_prob(
   return nn::sum(nn::logsigmoid(signed_logits));
 }
 
+void RecipeModel::infer_logits(std::span<const double> insight,
+                               std::span<const int> decisions, int steps,
+                               double* logits_out) const {
+  if (steps < 0) steps = config_.num_recipes;
+  const std::vector<int> tokens = input_tokens(decisions, steps);
+  if (insight.size() != static_cast<std::size_t>(config_.insight_dim)) {
+    throw std::invalid_argument("RecipeModel: insight dimension mismatch");
+  }
+  const int d = config_.d_model;
+  thread_local std::vector<double> h;
+  thread_local std::vector<double> memory;
+  h.resize(static_cast<std::size_t>(steps) * d);
+  memory.resize(static_cast<std::size_t>(d));
+  for (int t = 0; t < steps; ++t) {
+    double* row = h.data() + static_cast<std::size_t>(t) * d;
+    token_embed_.infer_row(tokens[static_cast<std::size_t>(t)], row);
+    pos_enc_.infer_add_row(t, row);
+  }
+  insight_embed_.infer(insight.data(), 1, memory.data());
+  for (const auto& layer : decoder_stack_) {
+    // TransformerDecoderLayer::infer finishes reading its input before the
+    // final output write, so running in place is safe.
+    layer->infer(h.data(), steps, memory.data(), 1, h.data());
+  }
+  head_.infer(h.data(), steps, logits_out);
+}
+
 double RecipeModel::log_prob(std::span<const double> insight,
                              std::span<const int> decisions) const {
-  return sequence_log_prob(insight, decisions).item();
+  const int n = config_.num_recipes;
+  if (static_cast<int>(decisions.size()) != n) {
+    throw std::invalid_argument("RecipeModel: need all 40 decisions");
+  }
+  std::vector<double> logits(static_cast<std::size_t>(n));
+  infer_logits(insight, decisions, n, logits.data());
+  // Same arithmetic order as sequence_log_prob: sign the logit, take the
+  // stable logsigmoid, sum ascending over positions.
+  double acc = 0.0;
+  for (int t = 0; t < n; ++t) {
+    const double sign = decisions[static_cast<std::size_t>(t)] == 1 ? 1.0 : -1.0;
+    acc += nn::infer::logsigmoid_value(logits[static_cast<std::size_t>(t)] *
+                                       sign);
+  }
+  return acc;
 }
 
 double RecipeModel::next_prob(std::span<const double> insight,
@@ -93,24 +143,132 @@ double RecipeModel::next_prob(std::span<const double> insight,
   if (t >= config_.num_recipes) {
     throw std::invalid_argument("RecipeModel: prefix already complete");
   }
-  const nn::Tensor logits = forward_logits(insight, prefix, t + 1);
-  const double z = logits.at(t, 0);
-  return z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
-                  : std::exp(z) / (1.0 + std::exp(z));
+  // One-shot decode session: replays the prefix through the KV cache and
+  // returns the final step's probability. Callers that query successive
+  // prefixes should hold their own DecodeSession instead.
+  DecodeSession session = decode(insight, 1);
+  double p = 0.0;
+  for (int i = 0; i <= t; ++i) {
+    p = session.step(0, i == 0 ? 0 : prefix[static_cast<std::size_t>(i - 1)]);
+  }
+  return p;
 }
 
 std::vector<double> RecipeModel::step_probs(
     std::span<const double> insight, std::span<const int> decisions) const {
   const int n = config_.num_recipes;
-  const nn::Tensor logits = forward_logits(insight, decisions, n);
   std::vector<double> probs(static_cast<std::size_t>(n));
-  for (int t = 0; t < n; ++t) {
-    const double z = logits.at(t, 0);
-    probs[static_cast<std::size_t>(t)] =
-        z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
-                 : std::exp(z) / (1.0 + std::exp(z));
-  }
+  infer_logits(insight, decisions, n, probs.data());
+  for (double& p : probs) p = nn::infer::stable_sigmoid(p);
   return probs;
+}
+
+DecodeSession RecipeModel::decode(std::span<const double> insight,
+                                  int max_lanes) const {
+  return DecodeSession(*this, insight, max_lanes);
+}
+
+// ----- DecodeSession -----
+
+DecodeSession::DecodeSession(const RecipeModel& model,
+                             std::span<const double> insight, int max_lanes)
+    : model_(&model),
+      max_lanes_(max_lanes),
+      n_(model.config().num_recipes),
+      d_(model.config().d_model),
+      layers_(static_cast<int>(model.decoder_stack_.size())) {
+  if (max_lanes < 1) {
+    throw std::invalid_argument("DecodeSession: max_lanes < 1");
+  }
+  if (insight.size() != static_cast<std::size_t>(model.config().insight_dim)) {
+    throw std::invalid_argument("DecodeSession: insight dimension mismatch");
+  }
+  const std::size_t d = static_cast<std::size_t>(d_);
+  memory_.resize(d);
+  model.insight_embed_.infer(insight.data(), 1, memory_.data());
+  cross_k_.resize(static_cast<std::size_t>(layers_) * d);
+  cross_v_.resize(static_cast<std::size_t>(layers_) * d);
+  for (int l = 0; l < layers_; ++l) {
+    model.decoder_stack_[static_cast<std::size_t>(l)]->infer_cross_kv(
+        memory_.data(), 1, cross_k_.data() + static_cast<std::size_t>(l) * d,
+        cross_v_.data() + static_cast<std::size_t>(l) * d);
+  }
+  const std::size_t lane_cache = static_cast<std::size_t>(n_) * d;
+  self_k_.resize(static_cast<std::size_t>(layers_) * max_lanes_ * lane_cache);
+  self_v_.resize(self_k_.size());
+  len_.assign(static_cast<std::size_t>(max_lanes_), 0);
+  x_row_.resize(d);
+  y_row_.resize(d);
+}
+
+double* DecodeSession::self_k(int layer, int lane) {
+  const std::size_t lane_cache = static_cast<std::size_t>(n_) * d_;
+  return self_k_.data() +
+         (static_cast<std::size_t>(layer) * max_lanes_ + lane) * lane_cache;
+}
+
+double* DecodeSession::self_v(int layer, int lane) {
+  const std::size_t lane_cache = static_cast<std::size_t>(n_) * d_;
+  return self_v_.data() +
+         (static_cast<std::size_t>(layer) * max_lanes_ + lane) * lane_cache;
+}
+
+void DecodeSession::check_lane(int lane) const {
+  if (lane < 0 || lane >= max_lanes_) {
+    throw std::invalid_argument("DecodeSession: lane out of range");
+  }
+}
+
+int DecodeSession::length(int lane) const {
+  check_lane(lane);
+  return len_[static_cast<std::size_t>(lane)];
+}
+
+void DecodeSession::reset_lane(int lane) {
+  check_lane(lane);
+  len_[static_cast<std::size_t>(lane)] = 0;
+}
+
+void DecodeSession::copy_lane(int dst, int src) {
+  check_lane(dst);
+  check_lane(src);
+  if (dst == src) return;
+  const int rows = len_[static_cast<std::size_t>(src)];
+  const std::size_t used = static_cast<std::size_t>(rows) * d_;
+  for (int l = 0; l < layers_; ++l) {
+    std::copy_n(self_k(l, src), used, self_k(l, dst));
+    std::copy_n(self_v(l, src), used, self_v(l, dst));
+  }
+  len_[static_cast<std::size_t>(dst)] = rows;
+}
+
+double DecodeSession::step(int lane, int prev_decision) {
+  check_lane(lane);
+  const int t = len_[static_cast<std::size_t>(lane)];
+  if (t >= n_) {
+    throw std::invalid_argument("DecodeSession: lane already complete");
+  }
+  int token = kTokenSos;
+  if (t > 0) {
+    if (prev_decision != 0 && prev_decision != 1) {
+      throw std::invalid_argument("DecodeSession: decisions must be 0/1");
+    }
+    token = prev_decision == 1 ? kTokenSelected : kTokenNotSelected;
+  }
+  model_->token_embed_.infer_row(token, x_row_.data());
+  model_->pos_enc_.infer_add_row(t, x_row_.data());
+  const std::size_t d = static_cast<std::size_t>(d_);
+  for (int l = 0; l < layers_; ++l) {
+    model_->decoder_stack_[static_cast<std::size_t>(l)]->infer_step(
+        x_row_.data(), t, self_k(l, lane), self_v(l, lane),
+        cross_k_.data() + static_cast<std::size_t>(l) * d,
+        cross_v_.data() + static_cast<std::size_t>(l) * d, 1, y_row_.data());
+    std::swap(x_row_, y_row_);
+  }
+  double z = 0.0;
+  model_->head_.infer(x_row_.data(), 1, &z);
+  len_[static_cast<std::size_t>(lane)] = t + 1;
+  return nn::infer::stable_sigmoid(z);
 }
 
 std::vector<nn::Tensor> RecipeModel::parameters() const {

@@ -38,6 +38,56 @@ struct ModelConfig {
   int decoder_layers = 1;
 };
 
+class RecipeModel;
+
+/// KV-cached incremental decoding over a fixed insight (tape-free).
+///
+/// The session holds, per decoder layer, the cross-attention K/V projection
+/// of the insight embedding (computed once at construction) and, per lane,
+/// the self-attention K/V rows of every position decoded so far. A lane is
+/// one independent prefix; step() extends it by a single position at
+/// O(prefix) cost instead of re-running the full O(prefix^2) forward.
+/// Beam search uses one lane per beam entry plus copy_lane() to duplicate a
+/// surviving parent's cache when the beam reorders. Probabilities are
+/// bitwise identical to the autograd forward over the same prefix.
+class DecodeSession {
+ public:
+  /// P(r_t = 1 | prefix, I) for this lane's next position t == length(lane).
+  /// `prev_decision` is r_{t-1} (ignored at t == 0, where SOS is fed).
+  /// Advances the lane's cache by one position.
+  double step(int lane, int prev_decision);
+  /// Duplicate lane `src`'s cached prefix (all layers + length) into `dst`.
+  void copy_lane(int dst, int src);
+  /// Discard lane's cached prefix so it can decode a new sequence.
+  void reset_lane(int lane);
+  /// Number of positions decoded so far in this lane.
+  [[nodiscard]] int length(int lane) const;
+  [[nodiscard]] int lanes() const noexcept { return max_lanes_; }
+
+ private:
+  friend class RecipeModel;
+  DecodeSession(const RecipeModel& model, std::span<const double> insight,
+                int max_lanes);
+
+  [[nodiscard]] double* self_k(int layer, int lane);
+  [[nodiscard]] double* self_v(int layer, int lane);
+  void check_lane(int lane) const;
+
+  const RecipeModel* model_;
+  int max_lanes_;
+  int n_;       // num_recipes (max positions per lane)
+  int d_;       // d_model
+  int layers_;  // decoder stack depth
+  std::vector<double> memory_;   // (1 x d) insight embedding
+  std::vector<double> cross_k_;  // layers x (1 x d)
+  std::vector<double> cross_v_;  // layers x (1 x d)
+  std::vector<double> self_k_;   // layers x lanes x (n x d)
+  std::vector<double> self_v_;   // layers x lanes x (n x d)
+  std::vector<int> len_;         // per-lane decoded length
+  std::vector<double> x_row_;    // (d) scratch: layer input row
+  std::vector<double> y_row_;    // (d) scratch: layer output row
+};
+
 class RecipeModel final : public nn::Module {
  public:
   RecipeModel(const ModelConfig& config, util::Rng& rng);
@@ -58,9 +108,22 @@ class RecipeModel final : public nn::Module {
   [[nodiscard]] nn::Tensor sequence_log_prob(
       std::span<const double> insight, std::span<const int> decisions) const;
 
-  /// Non-differentiable convenience: numeric value of sequence_log_prob.
+  /// Non-differentiable convenience: numeric value of sequence_log_prob,
+  /// computed on the tape-free fast path (bitwise identical).
   [[nodiscard]] double log_prob(std::span<const double> insight,
                                 std::span<const int> decisions) const;
+
+  /// Tape-free teacher-forced logits for the first `steps` positions,
+  /// written to logits_out (`steps` doubles). No graph is built; values are
+  /// bitwise identical to forward_logits().
+  void infer_logits(std::span<const double> insight,
+                    std::span<const int> decisions, int steps,
+                    double* logits_out) const;
+
+  /// Open a KV-cached incremental decode session with `max_lanes`
+  /// independent prefixes over this insight (see DecodeSession).
+  [[nodiscard]] DecodeSession decode(std::span<const double> insight,
+                                     int max_lanes = 1) const;
 
   /// P(r_t = 1 | prefix, I) where t == prefix.size(). Used by beam search.
   [[nodiscard]] double next_prob(std::span<const double> insight,
@@ -74,8 +137,13 @@ class RecipeModel final : public nn::Module {
   [[nodiscard]] std::vector<nn::Tensor> parameters() const override;
 
  private:
+  friend class DecodeSession;
+
   [[nodiscard]] nn::Tensor insight_embedding(
       std::span<const double> insight) const;
+  /// Validates `decisions` and expands it into input tokens (SOS-shifted).
+  [[nodiscard]] std::vector<int> input_tokens(std::span<const int> decisions,
+                                              int steps) const;
 
   ModelConfig config_;
   nn::Embedding token_embed_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "align/losses.h"
 #include "nn/optim.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vpr::align {
 
@@ -68,6 +70,9 @@ AlignmentTrainer::AlignmentTrainer(RecipeModel& model, TrainConfig config)
       config_.minibatch < 1) {
     throw std::invalid_argument("TrainConfig: bad counts");
   }
+  if (config_.workers < 0) {
+    throw std::invalid_argument("TrainConfig: workers < 0");
+  }
 }
 
 TrainMetrics AlignmentTrainer::train(
@@ -86,6 +91,64 @@ TrainMetrics AlignmentTrainer::train(
     insights[d] = effective_insight(dataset.design(d), config_.blind_insights);
   }
 
+  // One preference pair evaluated in isolation on model `m` (whose
+  // parameters must equal the master's): the gradient of the
+  // 1/minibatch-scaled loss, the loss value, and the ranking verdict.
+  // Because each pair starts from zeroed gradients, the result is a pure
+  // function of (parameters, pair) — independent of scheduling — and the
+  // pair-ordered sum below makes the whole minibatch deterministic.
+  struct PairEval {
+    std::vector<double> grad;
+    double loss = 0.0;
+    bool correct = false;
+  };
+  const auto eval_pair = [&](RecipeModel& m, const Pair& pair) -> PairEval {
+    const auto& data = dataset.design(pair.design);
+    const auto& iv = insights[pair.design];
+    const auto bits_w = data.points[pair.winner].recipes.to_bits();
+    const auto bits_l = data.points[pair.loser].recipes.to_bits();
+    PairLossTerms terms;
+    switch (config_.loss) {
+      case LossKind::kMarginDpo:
+        terms = mdpo_pair_loss_terms(m, iv, bits_w, bits_l,
+                                     data.points[pair.winner].score,
+                                     data.points[pair.loser].score,
+                                     config_.lambda);
+        break;
+      case LossKind::kPlainDpo:
+        terms = dpo_pair_loss_terms(m, iv, bits_w, bits_l, config_.beta);
+        break;
+      case LossKind::kSupervisedNll:
+        // Supervised ablation: fit the winner only.
+        terms = nll_loss_terms(m, iv, bits_w);
+        break;
+    }
+    m.zero_grad();
+    nn::Tensor scaled =
+        nn::scale(terms.loss, 1.0 / static_cast<double>(config_.minibatch));
+    scaled.backward();
+    // Ranking accuracy before the update: the DPO loss graphs already hold
+    // both likelihoods; NLL only has the winner's, so the loser's comes
+    // from the tape-free fast path.
+    const double lp_w = terms.lp_i.item();
+    const double lp_l =
+        terms.lp_j.defined() ? terms.lp_j.item() : m.log_prob(iv, bits_l);
+    return {m.gradients(), terms.loss.item(), lp_w > lp_l};
+  };
+
+  // Replica models for the data-parallel path; refreshed from the master
+  // before each minibatch (parameters only change at step()).
+  std::vector<std::unique_ptr<RecipeModel>> replicas;
+  if (config_.workers > 0) {
+    util::Rng init_rng{config_.seed};  // overwritten by load_state below
+    replicas.resize(static_cast<std::size_t>(config_.minibatch));
+    for (auto& replica : replicas) {
+      replica = std::make_unique<RecipeModel>(model_.config(), init_rng);
+    }
+  }
+
+  const auto minibatch = static_cast<std::size_t>(config_.minibatch);
+  std::vector<PairEval> evals;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto pairs =
         sample_pairs(dataset, train_designs, config_.pairs_per_design,
@@ -95,50 +158,36 @@ TrainMetrics AlignmentTrainer::train(
     }
     double loss_sum = 0.0;
     int correct = 0;
-    std::size_t batch_count = 0;
-    optimizer.zero_grad();
-    for (std::size_t p = 0; p < pairs.size(); ++p) {
-      const auto& pair = pairs[p];
-      const auto& data = dataset.design(pair.design);
-      const auto& iv = insights[pair.design];
-      const auto bits_w = data.points[pair.winner].recipes.to_bits();
-      const auto bits_l = data.points[pair.loser].recipes.to_bits();
-
-      nn::Tensor loss;
-      switch (config_.loss) {
-        case LossKind::kMarginDpo:
-          loss = mdpo_pair_loss(model_, iv, bits_w, bits_l,
-                                data.points[pair.winner].score,
-                                data.points[pair.loser].score,
-                                config_.lambda);
-          break;
-        case LossKind::kPlainDpo:
-          loss = dpo_pair_loss(model_, iv, bits_w, bits_l, config_.beta);
-          break;
-        case LossKind::kSupervisedNll:
-          // Supervised ablation: fit the winner only.
-          loss = nll_loss(model_, iv, bits_w);
-          break;
+    for (std::size_t start = 0; start < pairs.size(); start += minibatch) {
+      const std::size_t count = std::min(minibatch, pairs.size() - start);
+      evals.clear();
+      evals.resize(count);
+      if (config_.workers == 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+          evals[i] = eval_pair(model_, pairs[start + i]);
+        }
+      } else {
+        const auto snapshot = model_.state();
+        for (std::size_t i = 0; i < count; ++i) {
+          replicas[i]->load_state(snapshot);
+        }
+        util::ThreadPool::shared().parallel_for(
+            count,
+            [&](std::size_t i) {
+              evals[i] = eval_pair(*replicas[i], pairs[start + i]);
+            },
+            static_cast<unsigned>(config_.workers));
       }
-      loss_sum += loss.item();
-      // Ranking accuracy before this update (loss graph already has both
-      // likelihoods for the DPO losses; recompute cheaply for NLL).
-      const double lp_w = model_.log_prob(iv, bits_w);
-      const double lp_l = model_.log_prob(iv, bits_l);
-      if (lp_w > lp_l) ++correct;
-
-      nn::Tensor scaled =
-          nn::scale(loss, 1.0 / static_cast<double>(config_.minibatch));
-      scaled.backward();
-      ++batch_count;
-      if (batch_count == static_cast<std::size_t>(config_.minibatch) ||
-          p + 1 == pairs.size()) {
-        optimizer.clip_grad_norm(config_.grad_clip);
-        optimizer.step();
-        optimizer.zero_grad();
-        batch_count = 0;
-        ++metrics.optimizer_steps;
+      // Deterministic reduction: per-pair gradients summed in pair order.
+      model_.zero_grad();
+      for (const auto& eval : evals) {
+        model_.accumulate_gradients(eval.grad);
+        loss_sum += eval.loss;
+        if (eval.correct) ++correct;
       }
+      optimizer.clip_grad_norm(config_.grad_clip);
+      optimizer.step();
+      ++metrics.optimizer_steps;
     }
     metrics.epoch_loss.push_back(loss_sum / static_cast<double>(pairs.size()));
     metrics.epoch_accuracy.push_back(static_cast<double>(correct) /
@@ -154,10 +203,15 @@ double AlignmentTrainer::evaluate_pair_accuracy(
   const auto pairs = sample_pairs(dataset, designs, pairs_per_design,
                                   config_.min_score_gap, rng);
   if (pairs.empty()) return 0.0;
+  // Effective insight once per design, not once per sampled pair.
+  std::vector<std::vector<double>> insights(dataset.size());
+  for (const std::size_t d : designs) {
+    insights[d] = effective_insight(dataset.design(d), config_.blind_insights);
+  }
   int correct = 0;
   for (const auto& pair : pairs) {
     const auto& data = dataset.design(pair.design);
-    const auto iv = effective_insight(data, config_.blind_insights);
+    const auto& iv = insights[pair.design];
     const double lp_w =
         model_.log_prob(iv, data.points[pair.winner].recipes.to_bits());
     const double lp_l =

@@ -1,0 +1,36 @@
+#include "nn/infer.h"
+
+#include <algorithm>
+
+namespace vpr::nn::infer {
+
+void softmax_row(double* row, int n) {
+  double mx = row[0];
+  for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+  double denom = 0.0;
+  for (int j = 0; j < n; ++j) {
+    row[j] = std::exp(row[j] - mx);
+    denom += row[j];
+  }
+  for (int j = 0; j < n; ++j) row[j] /= denom;
+}
+
+void layernorm_row(const double* x, const double* gain, const double* bias,
+                   double* out, int n, double eps) {
+  double mu = 0.0;
+  for (int j = 0; j < n; ++j) mu += x[j];
+  mu /= n;
+  double var = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double d = x[j] - mu;
+    var += d * d;
+  }
+  var /= n;
+  const double is = 1.0 / std::sqrt(var + eps);
+  for (int j = 0; j < n; ++j) {
+    const double xh = (x[j] - mu) * is;
+    out[j] = gain[j] * xh + bias[j];
+  }
+}
+
+}  // namespace vpr::nn::infer

@@ -1,0 +1,99 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vpr::nn::kern {
+
+namespace {
+
+// Tile sizes chosen for the model's working set (matrices up to ~72 wide):
+// a full (tile_i x k) A-panel plus a (tile_j x k) slice of B^T stays in L1.
+constexpr int kTileI = 32;
+constexpr int kTileJ = 48;
+
+// Below this row count the k*n cost of transposing B dominates the product
+// itself (the incremental decode path is all m == 1 matvecs).
+constexpr int kTransposeMinRows = 4;
+
+}  // namespace
+
+void matmul(const double* a, const double* b, double* c, int m, int k,
+            int n) {
+  if (m <= 0 || k <= 0 || n <= 0) {
+    std::fill(c, c + static_cast<std::size_t>(std::max(m, 0)) *
+                        static_cast<std::size_t>(std::max(n, 0)),
+              0.0);
+    return;
+  }
+  if (m < kTransposeMinRows) {
+    for (int i = 0; i < m; ++i) {
+      const double* arow = a + static_cast<std::size_t>(i) * k;
+      double* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int p = 0; p < k; ++p) {
+          acc += arow[p] * b[static_cast<std::size_t>(p) * n + j];
+        }
+        crow[j] = acc;
+      }
+    }
+    return;
+  }
+  // Transpose B once so every dot product reads both operands sequentially,
+  // then tile the output so the B^T slice is reused across a row block.
+  thread_local std::vector<double> bt;
+  bt.resize(static_cast<std::size_t>(n) * k);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      bt[static_cast<std::size_t>(j) * k + p] =
+          b[static_cast<std::size_t>(p) * n + j];
+    }
+  }
+  for (int i0 = 0; i0 < m; i0 += kTileI) {
+    const int i1 = std::min(m, i0 + kTileI);
+    for (int j0 = 0; j0 < n; j0 += kTileJ) {
+      const int j1 = std::min(n, j0 + kTileJ);
+      for (int i = i0; i < i1; ++i) {
+        const double* arow = a + static_cast<std::size_t>(i) * k;
+        double* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = j0; j < j1; ++j) {
+          crow[j] = dot(arow, bt.data() + static_cast<std::size_t>(j) * k, k);
+        }
+      }
+    }
+  }
+}
+
+void matmul_nt_acc(const double* a, const double* b, double* c, int m, int k,
+                   int n) {
+  for (int i0 = 0; i0 < m; i0 += kTileI) {
+    const int i1 = std::min(m, i0 + kTileI);
+    for (int j0 = 0; j0 < n; j0 += kTileJ) {
+      const int j1 = std::min(n, j0 + kTileJ);
+      for (int i = i0; i < i1; ++i) {
+        const double* arow = a + static_cast<std::size_t>(i) * k;
+        double* crow = c + static_cast<std::size_t>(i) * n;
+        for (int j = j0; j < j1; ++j) {
+          crow[j] += dot(arow, b + static_cast<std::size_t>(j) * k, k);
+        }
+      }
+    }
+  }
+}
+
+void matmul_tn_acc(const double* a, const double* b, double* c, int m, int k,
+                   int n) {
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<std::size_t>(i) * k;
+    const double* brow = b + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* crow = c + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace vpr::nn::kern

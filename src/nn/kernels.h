@@ -1,0 +1,42 @@
+#pragma once
+// Dense row-major matrix kernels shared by the autograd tape (tensor.cpp)
+// and the tape-free inference path (modules.cpp / recipe_model.cpp).
+//
+// Every kernel accumulates each output element with a single accumulator
+// over the inner index in ascending order. That invariant is load-bearing:
+// the tape forward (full matrices) and the KV-cached incremental decode
+// (single rows) must produce bit-identical values, so the m == 1 fast case
+// and the blocked/transposed m > 1 case are required to perform the same
+// additions in the same order — only the memory access pattern differs.
+
+#include <cstddef>
+
+namespace vpr::nn::kern {
+
+/// C(m x n) = A(m x k) * B(k x n). Overwrites C. Large shapes go through a
+/// thread-local transposed copy of B (sequential loads in the dot products)
+/// with i/j tiling; small row counts use strided dots directly.
+void matmul(const double* a, const double* b, double* c, int m, int k, int n);
+
+/// C(m x n) += A(m x k) * B^T, with B stored row-major as (n x k):
+/// C[i][j] += sum_p A[i][p] * B[j][p]. This is the naturally "transposed"
+/// product (both operands walk rows) used for dA = dC * B^T in backward.
+void matmul_nt_acc(const double* a, const double* b, double* c, int m, int k,
+                   int n);
+
+/// C(k x n) += A^T * B, with A stored row-major as (m x k) and B as (m x n):
+/// C[p][j] += sum_i A[i][p] * B[i][j]. Used for dB = A^T * dC in backward;
+/// skips zero A entries (sparse activations after ReLU / one-hot gathers).
+void matmul_tn_acc(const double* a, const double* b, double* c, int m, int k,
+                   int n);
+
+/// Ascending-index single-accumulator dot product — the same summation
+/// order the matmul kernels use internally, exposed for the row-wise
+/// attention score loop.
+[[nodiscard]] inline double dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace vpr::nn::kern

@@ -1,10 +1,14 @@
 #include "nn/modules.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "nn/infer.h"
+#include "nn/kernels.h"
 
 namespace vpr::nn {
 
@@ -39,6 +43,36 @@ void Module::load_state(std::span<const double> state) {
   }
   if (offset != state.size()) {
     throw std::invalid_argument("load_state: snapshot size mismatch");
+  }
+}
+
+std::vector<double> Module::gradients() const {
+  std::vector<double> out;
+  for (const auto& p : parameters()) {
+    const auto g = p.grad();
+    if (g.empty()) {
+      out.insert(out.end(), p.size(), 0.0);
+    } else {
+      out.insert(out.end(), g.begin(), g.end());
+    }
+  }
+  return out;
+}
+
+void Module::accumulate_gradients(std::span<const double> grads) {
+  std::size_t offset = 0;
+  for (auto p : parameters()) {
+    auto dst = p.grad();
+    if (offset + dst.size() > grads.size()) {
+      throw std::invalid_argument("accumulate_gradients: snapshot too small");
+    }
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] += grads[offset + i];
+    }
+    offset += dst.size();
+  }
+  if (offset != grads.size()) {
+    throw std::invalid_argument("accumulate_gradients: size mismatch");
   }
 }
 
@@ -79,6 +113,15 @@ Tensor Linear::forward(const Tensor& x) const {
   return add_row(matmul(x, weight_), bias_);
 }
 
+void Linear::infer(const double* x, int rows, double* out) const {
+  kern::matmul(x, weight_.data().data(), out, rows, in_, out_);
+  const double* b = bias_.data().data();
+  for (int i = 0; i < rows; ++i) {
+    double* row = out + static_cast<std::size_t>(i) * out_;
+    for (int j = 0; j < out_; ++j) row[j] = row[j] + b[j];
+  }
+}
+
 std::vector<Tensor> Linear::parameters() const { return {weight_, bias_}; }
 
 // ----- Embedding -----
@@ -95,6 +138,14 @@ Embedding::Embedding(int num_embeddings, int dim, util::Rng& rng)
 
 Tensor Embedding::forward(const std::vector<int>& ids) const {
   return gather_rows(table_, ids);
+}
+
+void Embedding::infer_row(int id, double* out) const {
+  if (id < 0 || id >= num_) {
+    throw std::out_of_range("Embedding::infer_row: id out of range");
+  }
+  const double* row = table_.data().data() + static_cast<std::size_t>(id) * dim_;
+  std::copy_n(row, dim_, out);
 }
 
 std::vector<Tensor> Embedding::parameters() const { return {table_}; }
@@ -117,6 +168,15 @@ Tensor PositionalEncoding::forward(const Tensor& x) const {
   return add(x, slice_rows(table_, 0, x.rows()));
 }
 
+void PositionalEncoding::infer_add_row(int pos, double* x) const {
+  if (pos < 0 || pos >= max_len_) {
+    throw std::out_of_range("PositionalEncoding: position out of range");
+  }
+  const double* row =
+      table_.data().data() + static_cast<std::size_t>(pos) * dim_;
+  for (int j = 0; j < dim_; ++j) x[j] = x[j] + row[j];
+}
+
 std::vector<Tensor> PositionalEncoding::parameters() const { return {table_}; }
 
 // ----- LayerNorm -----
@@ -129,6 +189,16 @@ LayerNorm::LayerNorm(int dim)
 
 Tensor LayerNorm::forward(const Tensor& x) const {
   return layernorm_rows(x, gain_, bias_);
+}
+
+void LayerNorm::infer(const double* x, int rows, double* out) const {
+  const double* g = gain_.data().data();
+  const double* b = bias_.data().data();
+  const int cols = static_cast<int>(gain_.size());
+  for (int i = 0; i < rows; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * cols;
+    infer::layernorm_row(x + off, g, b, out + off, cols);
+  }
 }
 
 std::vector<Tensor> LayerNorm::parameters() const { return {gain_, bias_}; }
@@ -172,6 +242,67 @@ Tensor SingleHeadAttention::forward(const Tensor& query, const Tensor& memory,
   return matmul(matmul(attn, v), wo_);
 }
 
+void SingleHeadAttention::infer_kv(const double* x, int rows, double* k,
+                                   double* v) const {
+  kern::matmul(x, wk_.data().data(), k, rows, dim_, dim_);
+  kern::matmul(x, wv_.data().data(), v, rows, dim_, dim_);
+}
+
+void SingleHeadAttention::infer_q(const double* x, int rows,
+                                  double* q) const {
+  kern::matmul(x, wq_.data().data(), q, rows, dim_, dim_);
+}
+
+void SingleHeadAttention::infer_attend(const double* q_row,
+                                       const double* k_rows,
+                                       const double* v_rows, int len,
+                                       double* out_row) const {
+  // Mirrors the tape exactly: scores = (q . k_j) * 1/sqrt(d), row softmax,
+  // context = sum_j attn_j v_j (ascending j), then the Wo projection. The
+  // tape's additive -1e9 causal mask drives exp() to exactly 0.0 for masked
+  // columns, and adding those zero terms to the softmax denominator and the
+  // context accumulator leaves every bit unchanged — so attending over only
+  // the visible `len` rows reproduces the masked full-row arithmetic.
+  const double s = 1.0 / std::sqrt(static_cast<double>(dim_));
+  thread_local std::vector<double> scores;
+  thread_local std::vector<double> ctx;
+  scores.resize(static_cast<std::size_t>(len));
+  ctx.resize(static_cast<std::size_t>(dim_));
+  for (int j = 0; j < len; ++j) {
+    scores[static_cast<std::size_t>(j)] =
+        kern::dot(q_row, k_rows + static_cast<std::size_t>(j) * dim_, dim_) *
+        s;
+  }
+  infer::softmax_row(scores.data(), len);
+  for (int c = 0; c < dim_; ++c) {
+    double acc = 0.0;
+    for (int j = 0; j < len; ++j) {
+      acc += scores[static_cast<std::size_t>(j)] *
+             v_rows[static_cast<std::size_t>(j) * dim_ + c];
+    }
+    ctx[static_cast<std::size_t>(c)] = acc;
+  }
+  kern::matmul(ctx.data(), wo_.data().data(), out_row, 1, dim_, dim_);
+}
+
+void SingleHeadAttention::infer(const double* query, int lq,
+                                const double* memory, int lk, bool causal,
+                                double* out) const {
+  thread_local std::vector<double> q;
+  thread_local std::vector<double> k;
+  thread_local std::vector<double> v;
+  q.resize(static_cast<std::size_t>(lq) * dim_);
+  k.resize(static_cast<std::size_t>(lk) * dim_);
+  v.resize(static_cast<std::size_t>(lk) * dim_);
+  infer_q(query, lq, q.data());
+  infer_kv(memory, lk, k.data(), v.data());
+  for (int i = 0; i < lq; ++i) {
+    const int len = causal ? std::min(i + 1, lk) : lk;
+    infer_attend(q.data() + static_cast<std::size_t>(i) * dim_, k.data(),
+                 v.data(), len, out + static_cast<std::size_t>(i) * dim_);
+  }
+}
+
 std::vector<Tensor> SingleHeadAttention::parameters() const {
   return {wq_, wk_, wv_, wo_};
 }
@@ -183,6 +314,15 @@ FeedForward::FeedForward(int dim, int hidden, util::Rng& rng)
 
 Tensor FeedForward::forward(const Tensor& x) const {
   return fc2_.forward(relu(fc1_.forward(x)));
+}
+
+void FeedForward::infer(const double* x, int rows, double* out) const {
+  thread_local std::vector<double> hidden;
+  const int h = fc1_.out_features();
+  hidden.resize(static_cast<std::size_t>(rows) * h);
+  fc1_.infer(x, rows, hidden.data());
+  for (double& value : hidden) value = infer::relu_value(value);
+  fc2_.infer(hidden.data(), rows, out);
 }
 
 std::vector<Tensor> FeedForward::parameters() const {
@@ -210,6 +350,75 @@ Tensor TransformerDecoderLayer::forward(const Tensor& x,
   const Tensor h2 = norm2_.forward(
       add(h1, cross_attn_.forward(h1, memory, /*causal=*/false)));
   return norm3_.forward(add(h2, ffn_.forward(h2)));
+}
+
+void TransformerDecoderLayer::infer(const double* x, int rows,
+                                    const double* memory, int mem_rows,
+                                    double* out) const {
+  const int d = dim();
+  const std::size_t size = static_cast<std::size_t>(rows) * d;
+  thread_local std::vector<double> attn;
+  thread_local std::vector<double> h1;
+  thread_local std::vector<double> h2;
+  attn.resize(size);
+  h1.resize(size);
+  h2.resize(size);
+  // h1 = norm1(x + self_attn(x, x, causal))
+  self_attn_.infer(x, rows, x, rows, /*causal=*/true, attn.data());
+  for (std::size_t i = 0; i < size; ++i) h1[i] = x[i] + attn[i];
+  norm1_.infer(h1.data(), rows, h1.data());
+  // h2 = norm2(h1 + cross_attn(h1, memory))
+  cross_attn_.infer(h1.data(), rows, memory, mem_rows, /*causal=*/false,
+                    attn.data());
+  for (std::size_t i = 0; i < size; ++i) h2[i] = h1[i] + attn[i];
+  norm2_.infer(h2.data(), rows, h2.data());
+  // out = norm3(h2 + ffn(h2))
+  ffn_.infer(h2.data(), rows, attn.data());
+  for (std::size_t i = 0; i < size; ++i) out[i] = h2[i] + attn[i];
+  norm3_.infer(out, rows, out);
+}
+
+void TransformerDecoderLayer::infer_cross_kv(const double* memory,
+                                             int mem_rows, double* k,
+                                             double* v) const {
+  cross_attn_.infer_kv(memory, mem_rows, k, v);
+}
+
+void TransformerDecoderLayer::infer_step(const double* x_row, int pos,
+                                         double* self_k, double* self_v,
+                                         const double* cross_k,
+                                         const double* cross_v, int mem_rows,
+                                         double* out_row) const {
+  const int d = dim();
+  thread_local std::vector<double> q;
+  thread_local std::vector<double> row_a;
+  thread_local std::vector<double> row_b;
+  q.resize(static_cast<std::size_t>(d));
+  row_a.resize(static_cast<std::size_t>(d));
+  row_b.resize(static_cast<std::size_t>(d));
+  const std::size_t cache_off = static_cast<std::size_t>(pos) * d;
+  // Self-attention: extend the K/V cache with this position, attend over
+  // the pos+1 visible rows.
+  self_attn_.infer_q(x_row, 1, q.data());
+  self_attn_.infer_kv(x_row, 1, self_k + cache_off, self_v + cache_off);
+  self_attn_.infer_attend(q.data(), self_k, self_v, pos + 1, row_a.data());
+  for (int j = 0; j < d; ++j) row_a[static_cast<std::size_t>(j)] += x_row[j];
+  norm1_.infer(row_a.data(), 1, row_a.data());  // row_a = h1
+  // Cross-attention over the precomputed memory projection.
+  cross_attn_.infer_q(row_a.data(), 1, q.data());
+  cross_attn_.infer_attend(q.data(), cross_k, cross_v, mem_rows,
+                           row_b.data());
+  for (int j = 0; j < d; ++j) {
+    row_b[static_cast<std::size_t>(j)] += row_a[static_cast<std::size_t>(j)];
+  }
+  norm2_.infer(row_b.data(), 1, row_b.data());  // row_b = h2
+  // Feed-forward.
+  ffn_.infer(row_b.data(), 1, row_a.data());
+  for (int j = 0; j < d; ++j) {
+    out_row[j] =
+        row_b[static_cast<std::size_t>(j)] + row_a[static_cast<std::size_t>(j)];
+  }
+  norm3_.infer(out_row, 1, out_row);
 }
 
 std::vector<Tensor> TransformerDecoderLayer::parameters() const {

@@ -32,6 +32,12 @@ class Module {
   [[nodiscard]] std::vector<double> state() const;
   /// Restore from a state() snapshot; size must match exactly.
   void load_state(std::span<const double> state);
+  /// Flattened parameter gradients in parameters() order (zeros where a
+  /// gradient was never allocated). Same layout as state().
+  [[nodiscard]] std::vector<double> gradients() const;
+  /// Accumulate a gradients() snapshot into the parameter gradients
+  /// (elementwise +=, ascending index — deterministic).
+  void accumulate_gradients(std::span<const double> grads);
   /// Binary save/load of state() to a stream.
   void save(std::ostream& os) const;
   void load(std::istream& is);
@@ -42,6 +48,9 @@ class Linear final : public Module {
  public:
   Linear(int in_features, int out_features, util::Rng& rng);
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// Tape-free forward: out(rows x out_features) = x W + b. Bitwise
+  /// identical to forward() values.
+  void infer(const double* x, int rows, double* out) const;
   [[nodiscard]] std::vector<Tensor> parameters() const override;
   [[nodiscard]] int in_features() const noexcept { return in_; }
   [[nodiscard]] int out_features() const noexcept { return out_; }
@@ -58,6 +67,8 @@ class Embedding final : public Module {
  public:
   Embedding(int num_embeddings, int dim, util::Rng& rng);
   [[nodiscard]] Tensor forward(const std::vector<int>& ids) const;
+  /// Tape-free row lookup: copies table[id] into out (dim doubles).
+  void infer_row(int id, double* out) const;
   [[nodiscard]] std::vector<Tensor> parameters() const override;
   [[nodiscard]] int num_embeddings() const noexcept { return num_; }
   [[nodiscard]] int dim() const noexcept { return dim_; }
@@ -76,6 +87,8 @@ class PositionalEncoding final : public Module {
   PositionalEncoding(int max_len, int dim, util::Rng& rng);
   /// Adds encodings for positions [0, x.rows()) to x.
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// Tape-free: adds the encoding of position `pos` to one row in place.
+  void infer_add_row(int pos, double* x) const;
   [[nodiscard]] std::vector<Tensor> parameters() const override;
   [[nodiscard]] int max_len() const noexcept { return max_len_; }
 
@@ -90,6 +103,8 @@ class LayerNorm final : public Module {
  public:
   explicit LayerNorm(int dim);
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// Tape-free per-row normalization; out may alias x.
+  void infer(const double* x, int rows, double* out) const;
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 
  private:
@@ -108,6 +123,21 @@ class SingleHeadAttention final : public Module {
   /// (only meaningful when Lq == Lk).
   [[nodiscard]] Tensor forward(const Tensor& query, const Tensor& memory,
                                bool causal) const;
+  /// Tape-free forward over full matrices, bitwise identical to forward().
+  void infer(const double* query, int lq, const double* memory, int lk,
+             bool causal, double* out) const;
+  /// K/V projection of `rows` source rows (for decode-session caches):
+  /// k = x Wk, v = x Wv, each (rows x dim).
+  void infer_kv(const double* x, int rows, double* k, double* v) const;
+  /// Query projection of `rows` rows: q = x Wq.
+  void infer_q(const double* x, int rows, double* q) const;
+  /// Attend one projected query row over `len` cached K/V rows (causal by
+  /// construction: the caller passes only the visible rows), writing the
+  /// output-projected result row. Bitwise identical to the corresponding
+  /// row of forward().
+  void infer_attend(const double* q_row, const double* k_rows,
+                    const double* v_rows, int len, double* out_row) const;
+  [[nodiscard]] int dim() const noexcept { return dim_; }
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 
  private:
@@ -120,6 +150,8 @@ class FeedForward final : public Module {
  public:
   FeedForward(int dim, int hidden, util::Rng& rng);
   [[nodiscard]] Tensor forward(const Tensor& x) const;
+  /// Tape-free forward; out may not alias x.
+  void infer(const double* x, int rows, double* out) const;
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 
  private:
@@ -135,6 +167,23 @@ class TransformerDecoderLayer final : public Module {
   TransformerDecoderLayer(int dim, int ffn_hidden, util::Rng& rng);
   /// x: (L, d) target sequence; memory: (M, d) context (insight embedding).
   [[nodiscard]] Tensor forward(const Tensor& x, const Tensor& memory) const;
+  /// Tape-free full-sequence forward, bitwise identical to forward().
+  void infer(const double* x, int rows, const double* memory, int mem_rows,
+             double* out) const;
+  /// Precompute the cross-attention K/V projection of a fixed memory
+  /// (each mem_rows x dim) for reuse across decode steps.
+  void infer_cross_kv(const double* memory, int mem_rows, double* k,
+                      double* v) const;
+  /// KV-cached incremental step for position `pos`: appends this position's
+  /// self-attention K/V rows into self_k/self_v (each at least
+  /// (pos+1) x dim, rows [0, pos) already filled by prior steps) and writes
+  /// the layer output row. Bitwise identical to row `pos` of forward() over
+  /// the same prefix.
+  void infer_step(const double* x_row, int pos, double* self_k,
+                  double* self_v, const double* cross_k,
+                  const double* cross_v, int mem_rows,
+                  double* out_row) const;
+  [[nodiscard]] int dim() const noexcept { return self_attn_.dim(); }
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 
  private:

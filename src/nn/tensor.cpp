@@ -1,6 +1,8 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+
+#include "nn/kernels.h"
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -448,17 +450,7 @@ Tensor matmul(const Tensor& ta, const Tensor& tb) {
   const int k = a->cols;
   const int n = b->cols;
   auto out = make_result(m, n, {a, b});
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const double av = a->value[static_cast<std::size_t>(i) * k + p];
-      if (av == 0.0) continue;
-      const std::size_t brow = static_cast<std::size_t>(p) * n;
-      const std::size_t orow = static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        out->value[orow + j] += av * b->value[brow + j];
-      }
-    }
-  }
+  kern::matmul(a->value.data(), b->value.data(), out->value.data(), m, k, n);
   if (out->requires_grad) {
     auto out_w = std::weak_ptr<TensorImpl>(out);
     out->backward_fn = [a, b, out_w, m, k, n] {
@@ -467,30 +459,14 @@ Tensor matmul(const Tensor& ta, const Tensor& tb) {
       if (a->requires_grad) {
         a->ensure_grad();
         // dA = dC * B^T
-        for (int i = 0; i < m; ++i) {
-          for (int p = 0; p < k; ++p) {
-            double acc = 0.0;
-            for (int j = 0; j < n; ++j) {
-              acc += o->grad[static_cast<std::size_t>(i) * n + j] *
-                     b->value[static_cast<std::size_t>(p) * n + j];
-            }
-            a->grad[static_cast<std::size_t>(i) * k + p] += acc;
-          }
-        }
+        kern::matmul_nt_acc(o->grad.data(), b->value.data(), a->grad.data(),
+                            m, n, k);
       }
       if (b->requires_grad) {
         b->ensure_grad();
         // dB = A^T * dC
-        for (int p = 0; p < k; ++p) {
-          for (int j = 0; j < n; ++j) {
-            double acc = 0.0;
-            for (int i = 0; i < m; ++i) {
-              acc += a->value[static_cast<std::size_t>(i) * k + p] *
-                     o->grad[static_cast<std::size_t>(i) * n + j];
-            }
-            b->grad[static_cast<std::size_t>(p) * n + j] += acc;
-          }
-        }
+        kern::matmul_tn_acc(a->value.data(), o->grad.data(), b->grad.data(),
+                            m, k, n);
       }
     };
   }

@@ -161,6 +161,48 @@ TEST(PpoLoss, ClippingBoundsTheIncentive) {
   EXPECT_GE(clipped.item(), -(1.2 * 0.7) - 1e-9);
 }
 
+TEST(Losses, TermsExposeTheGraphLikelihoods) {
+  // The *_terms variants must return the same loss as the plain helpers
+  // plus the log-likelihood tensors already in the graph — so callers can
+  // read both values without re-running a forward pass.
+  const auto model = make_model(37);
+  const double lp_a = model.log_prob(iv(), bits_a());
+  const double lp_b = model.log_prob(iv(), bits_b());
+
+  const auto mdpo = mdpo_pair_loss_terms(model, iv(), bits_a(), bits_b(),
+                                         1.0, 0.2, /*lambda=*/2.0);
+  EXPECT_DOUBLE_EQ(
+      mdpo.loss.item(),
+      mdpo_pair_loss(model, iv(), bits_a(), bits_b(), 1.0, 0.2, 2.0).item());
+  EXPECT_DOUBLE_EQ(mdpo.lp_i.item(), lp_a);
+  EXPECT_DOUBLE_EQ(mdpo.lp_j.item(), lp_b);
+
+  const auto dpo =
+      dpo_pair_loss_terms(model, iv(), bits_a(), bits_b(), /*beta=*/1.0);
+  EXPECT_DOUBLE_EQ(
+      dpo.loss.item(),
+      dpo_pair_loss(model, iv(), bits_a(), bits_b(), 1.0).item());
+  EXPECT_DOUBLE_EQ(dpo.lp_i.item(), lp_a);
+  EXPECT_DOUBLE_EQ(dpo.lp_j.item(), lp_b);
+
+  const auto nll = nll_loss_terms(model, iv(), bits_a());
+  EXPECT_DOUBLE_EQ(nll.loss.item(), -lp_a);
+  EXPECT_DOUBLE_EQ(nll.lp_i.item(), lp_a);
+  EXPECT_FALSE(nll.lp_j.defined());
+
+  // The likelihood tensors really are part of the loss graph: backprop
+  // through the loss populates gradients reachable from them.
+  auto grad_model = make_model(37);
+  auto terms = dpo_pair_loss_terms(grad_model, iv(), bits_a(),
+                                   bits_b(), 1.0);
+  terms.loss.backward();
+  double total = 0.0;
+  for (const auto& p : grad_model.parameters()) {
+    for (const double g : p.grad()) total += std::fabs(g);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
 TEST(Losses, ParameterValidation) {
   const auto model = make_model();
   EXPECT_THROW((void)mdpo_pair_loss(model, iv(), bits_a(), bits_b(), 1.0,
