@@ -27,6 +27,15 @@ double seconds_since(Clock::time_point t0) {
 constexpr std::uint32_t kEvalMagic = 0x1a5e7e0aU;
 constexpr std::uint32_t kEvalVersion = 1;
 
+void accumulate_stage_times(FlowEvalStats& stats, const StageTimes& t) {
+  stats.place_seconds += t.place_ms / 1e3;
+  stats.cts_seconds += t.cts_ms / 1e3;
+  stats.route_seconds += t.route_ms / 1e3;
+  stats.sta_seconds += t.sta_ms / 1e3;
+  stats.opt_seconds += t.opt_ms / 1e3;
+  stats.power_seconds += t.power_ms / 1e3;
+}
+
 }  // namespace
 
 double FlowEvalStats::hit_rate() const {
@@ -134,13 +143,15 @@ Qor FlowEval::eval(const Design& design, const RecipeSet& recipes) {
 
   const auto e0 = Clock::now();
   const Flow flow{design};
-  entry->qor = flow.run(recipes).qor;
+  const FlowResult run_result = flow.run(recipes);
+  entry->qor = run_result.qor;
   entry->ready = true;
   const double elapsed = seconds_since(e0);
   {
     std::lock_guard sk{stats_mutex_};
     ++stats_.misses;
     stats_.eval_seconds += elapsed;
+    accumulate_stage_times(stats_, run_result.stage_times);
   }
   return entry->qor;
 }
@@ -168,6 +179,7 @@ const FlowResult& FlowEval::probe(const Design& design) {
     std::lock_guard sk{stats_mutex_};
     ++stats_.probe_misses;
     stats_.eval_seconds += elapsed;
+    accumulate_stage_times(stats_, entry->result->stage_times);
   }
   return *entry->result;
 }
@@ -312,6 +324,12 @@ void FlowEval::print_stats(std::ostream& os) const {
   table.add_row({"probe misses", std::to_string(s.probe_misses)});
   table.add_row({"hit rate", util::fmt(100.0 * s.hit_rate(), 1) + "%"});
   table.add_row({"eval wall (s)", util::fmt(s.eval_seconds, 3)});
+  table.add_row({"  stage place (s)", util::fmt(s.place_seconds, 3)});
+  table.add_row({"  stage cts (s)", util::fmt(s.cts_seconds, 3)});
+  table.add_row({"  stage route (s)", util::fmt(s.route_seconds, 3)});
+  table.add_row({"  stage sta (s)", util::fmt(s.sta_seconds, 3)});
+  table.add_row({"  stage opt (s)", util::fmt(s.opt_seconds, 3)});
+  table.add_row({"  stage power (s)", util::fmt(s.power_seconds, 3)});
   table.add_row({"lookup wall (s)", util::fmt(s.lookup_seconds, 4)});
   table.add_row({"disk I/O wall (s)", util::fmt(s.io_seconds, 4)});
   table.add_row({"saved wall (s, est.)", util::fmt(s.saved_seconds(), 3)});

@@ -42,6 +42,14 @@ struct FlowEvalStats {
   double eval_seconds = 0.0;       // wall time inside Flow::run
   double lookup_seconds = 0.0;     // wall time resolving warm hits
   double io_seconds = 0.0;         // wall time in save_disk/load_disk
+  // Per-stage wall time summed over all executed flows (FlowResult::
+  // stage_times) — where the cache-miss budget actually goes.
+  double place_seconds = 0.0;
+  double cts_seconds = 0.0;
+  double route_seconds = 0.0;
+  double sta_seconds = 0.0;
+  double opt_seconds = 0.0;
+  double power_seconds = 0.0;
 
   /// Total Flow::run executions (QoR + probe misses).
   [[nodiscard]] std::uint64_t evaluations() const {

@@ -1,14 +1,24 @@
 #include "flow/flow.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
+#include <span>
 
 #include "opt/engines.h"
+#include "sta/incremental.h"
 #include "util/rng.h"
 
 namespace vpr::flow {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
 
 /// Technology-derived wire parasitics (per normalized die unit). Advanced
 /// nodes: thinner wires => higher resistance-dominated delay per unit, cap
@@ -38,8 +48,19 @@ FlowKnobs Flow::resolve_knobs(const RecipeSet& recipes) const {
 }
 
 FlowResult Flow::run(const RecipeSet& recipes) const {
+  return run_impl(recipes, /*incremental_sta=*/true);
+}
+
+FlowResult Flow::run_reference(const RecipeSet& recipes) const {
+  return run_impl(recipes, /*incremental_sta=*/false);
+}
+
+FlowResult Flow::run_impl(const RecipeSet& recipes,
+                          bool incremental_sta) const {
+  const auto run_start = Clock::now();
   const auto& traits = design_.traits();
   FlowResult result;
+  StageTimes& times = result.stage_times;
   result.knobs = resolve_knobs(recipes);
   const FlowKnobs& knobs = result.knobs;
 
@@ -53,21 +74,60 @@ FlowResult Flow::run(const RecipeSet& recipes) const {
   t_opt.wire_delay_per_unit = wire.delay_per_unit;
   t_opt.clock_uncertainty = std::max(0.0, knobs.clock_uncertainty);
 
+  // All STA goes through one helper: either a persistent IncrementalTimer
+  // (fast path, one topo build + dirty-cone updates for the whole run) or
+  // a fresh TimingAnalyzer per call (reference oracle). The returned
+  // reference is valid until the next analyze call.
+  std::optional<sta::IncrementalTimer> inc_timer;
+  sta::TimingReport scratch_report;
+  const auto analyze = [&](std::span<const double> wl,
+                           std::span<const double> clk)
+      -> const sta::TimingReport& {
+    const auto t0 = Clock::now();
+    const sta::TimingReport* rep;
+    if (incremental_sta) {
+      if (!inc_timer) inc_timer.emplace(nl);
+      rep = &inc_timer->analyze(wl, clk, t_opt);
+    } else {
+      const sta::TimingAnalyzer analyzer{nl};
+      scratch_report = analyzer.analyze(wl, clk, t_opt);
+      rep = &scratch_report;
+    }
+    times.sta_ms += ms_since(t0);
+    return *rep;
+  };
+
   // ----- Placement -----
+  auto stage_start = Clock::now();
   place::Placer placer{nl, knobs.place, traits.seed ^ 0x9e37ULL};
   place::Placement placement =
       placer.run({}, &result.place_trajectory);
+  times.place_ms += ms_since(stage_start);
+
+  // HPWL wire estimate, shared by timing-driven placement and useful-skew
+  // CTS (computed at most once per placement instead of once per use).
+  std::vector<double> est_wl;
+  bool est_wl_valid = false;
+  const auto placement_est_wl = [&]() -> const std::vector<double>& {
+    if (!est_wl_valid) {
+      est_wl.resize(static_cast<std::size_t>(nl.net_count()));
+      for (int net = 0; net < nl.net_count(); ++net) {
+        est_wl[static_cast<std::size_t>(net)] = placement.net_hpwl(nl, net);
+      }
+      est_wl_valid = true;
+    }
+    return est_wl;
+  };
+
   if (knobs.timing_driven_place) {
     // Estimate wire lengths from HPWL, derive net criticalities, re-place.
-    std::vector<double> est_wl(static_cast<std::size_t>(nl.net_count()));
-    for (int net = 0; net < nl.net_count(); ++net) {
-      est_wl[static_cast<std::size_t>(net)] = placement.net_hpwl(nl, net);
-    }
-    const sta::TimingAnalyzer pre_sta{nl};
-    const auto pre_report = pre_sta.analyze(est_wl, {}, t_opt);
+    const auto& pre_report = analyze(placement_est_wl(), {});
+    stage_start = Clock::now();
     place::Placer td_placer{nl, knobs.place, traits.seed ^ 0x9e38ULL};
     place::PlaceTrajectory td_traj;
     placement = td_placer.run(pre_report.net_criticality, &td_traj);
+    est_wl_valid = false;  // the re-place moved every cell
+    times.place_ms += ms_since(stage_start);
     // Keep the richer (second) trajectory for insights.
     result.place_trajectory = td_traj;
   }
@@ -87,44 +147,60 @@ FlowResult Flow::run(const RecipeSet& recipes) const {
   cts_knobs.clock_frequency_ghz = freq_ghz;
   std::vector<double> pre_cts_slack;
   if (cts_knobs.useful_skew) {
-    std::vector<double> est_wl(static_cast<std::size_t>(nl.net_count()));
-    for (int net = 0; net < nl.net_count(); ++net) {
-      est_wl[static_cast<std::size_t>(net)] = placement.net_hpwl(nl, net);
-    }
-    const sta::TimingAnalyzer pre_sta{nl};
-    pre_cts_slack = pre_sta.analyze(est_wl, {}, t_opt).cell_slack;
+    pre_cts_slack = analyze(placement_est_wl(), {}).cell_slack;
   }
+  stage_start = Clock::now();
   const cts::ClockTreeSynthesizer cts_engine{nl, placement, cts_knobs,
                                              traits.seed ^ 0xc75ULL};
   result.clock = cts_engine.run(pre_cts_slack);
+  times.cts_ms += ms_since(stage_start);
 
   // ----- Global routing -----
+  stage_start = Clock::now();
   route::GlobalRouter router{nl, placement, knobs.route,
                              traits.seed ^ 0x707eULL};
   result.routing = router.run();
+  times.route_ms += ms_since(stage_start);
   std::vector<double> net_wl = result.routing.net_length;
 
   // ----- Post-route STA -----
-  auto run_sta = [&](const netlist::Netlist& current) {
+  // One clock-arrival vector, extended with 0.0 for cells created by hold
+  // fixing (bitwise identical to re-copying result.clock.arrival per call,
+  // since the base entries never change).
+  std::vector<double> clk_arrival = result.clock.arrival;
+  auto run_sta = [&](const netlist::Netlist& current)
+      -> const sta::TimingReport& {
     // Nets created by hold fixing get a short local wire.
     net_wl.resize(static_cast<std::size_t>(current.net_count()),
                   0.3 / std::max(1, placement.grid));
-    const sta::TimingAnalyzer analyzer{current};
-    std::vector<double> clk = result.clock.arrival;
-    clk.resize(static_cast<std::size_t>(current.cell_count()), 0.0);
-    return analyzer.analyze(net_wl, clk, t_opt);
+    clk_arrival.resize(static_cast<std::size_t>(current.cell_count()), 0.0);
+    return analyze(net_wl, clk_arrival);
   };
   result.pre_opt_timing = run_sta(nl);
 
   // ----- Optimization: setup -> hold -> power -> leakage -> gating -----
   opt::OptEngine engine{nl, placement, knobs.opt, traits.seed ^ 0x0b7ULL};
-  auto report = result.pre_opt_timing;
-  if (engine.fix_setup(report) > 0) report = run_sta(nl);
-  if (engine.fix_hold(report) > 0) report = run_sta(nl);
-  if (engine.recover_power(report) > 0) report = run_sta(nl);
-  if (engine.recover_leakage(report) > 0) report = run_sta(nl);
+  const sta::TimingReport* report = &result.pre_opt_timing;
+  stage_start = Clock::now();
+  int changed = engine.fix_setup(*report);
+  times.opt_ms += ms_since(stage_start);
+  if (changed > 0) report = &run_sta(nl);
+  stage_start = Clock::now();
+  changed = engine.fix_hold(*report);
+  times.opt_ms += ms_since(stage_start);
+  if (changed > 0) report = &run_sta(nl);
+  stage_start = Clock::now();
+  changed = engine.recover_power(*report);
+  times.opt_ms += ms_since(stage_start);
+  if (changed > 0) report = &run_sta(nl);
+  stage_start = Clock::now();
+  changed = engine.recover_leakage(*report);
+  times.opt_ms += ms_since(stage_start);
+  if (changed > 0) report = &run_sta(nl);
+  stage_start = Clock::now();
   std::vector<std::uint8_t> gated;
   engine.apply_clock_gating(gated);
+  times.opt_ms += ms_since(stage_start);
   result.opt_stats = engine.stats();
   result.final_cell_count = nl.cell_count();
 
@@ -139,11 +215,13 @@ FlowResult Flow::run(const RecipeSet& recipes) const {
   result.final_timing = run_sta(nl);
 
   // ----- Signoff power -----
+  stage_start = Clock::now();
   sta::PowerOptions p_opt;
   p_opt.wire_cap_per_unit = wire.cap_per_unit;
   p_opt.frequency_ghz = freq_ghz;
   const sta::PowerAnalyzer power{nl};
   result.power = power.analyze(net_wl, result.clock.clock_power, gated, p_opt);
+  times.power_ms += ms_since(stage_start);
 
   // ----- QoR assembly (with tiny deterministic process noise) -----
   util::Rng noise{util::hash_combine(traits.seed, recipes.to_u64())};
@@ -155,6 +233,7 @@ FlowResult Flow::run(const RecipeSet& recipes) const {
   qor.power = result.power.total * (1.0 + noise.normal(0.0, 0.004));
   qor.area = nl.total_area();
   qor.drcs = result.routing.drc_violations;
+  times.total_ms = ms_since(run_start);
   return result;
 }
 

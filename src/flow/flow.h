@@ -35,6 +35,20 @@ struct Qor {
   int drcs = 0;           // routing DRC estimate
 };
 
+/// Wall-clock milliseconds per flow stage. Pure observability: stage
+/// times never feed back into any QoR computation, so runs stay
+/// deterministic. STA time includes analyzer construction; the remainder
+/// up to total_ms is untimed glue (knob resolution, netlist copy, ...).
+struct StageTimes {
+  double place_ms = 0.0;
+  double cts_ms = 0.0;
+  double route_ms = 0.0;
+  double sta_ms = 0.0;
+  double opt_ms = 0.0;
+  double power_ms = 0.0;
+  double total_ms = 0.0;
+};
+
 /// Everything observable about one flow run (for insight extraction).
 struct FlowResult {
   Qor qor;
@@ -49,6 +63,7 @@ struct FlowResult {
   sta::PowerReport power;
   opt::OptStats opt_stats;
   int final_cell_count = 0;
+  StageTimes stage_times;
 };
 
 /// A benchmark design: immutable traits + the generated golden netlist.
@@ -75,13 +90,22 @@ class Flow {
  public:
   explicit Flow(const Design& design) : design_(design) {}
 
-  /// Runs the full flow with the given recipe set. Deterministic.
+  /// Runs the full flow with the given recipe set. Deterministic. STA
+  /// calls share one persistent sta::IncrementalTimer, bitwise-identical
+  /// to the from-scratch analyzer (see docs/flow_perf.md).
   [[nodiscard]] FlowResult run(const RecipeSet& recipes) const;
+
+  /// Same flow with a fresh sta::TimingAnalyzer per STA call — the
+  /// equivalence oracle for run() and the baseline in BENCH_flow.json.
+  [[nodiscard]] FlowResult run_reference(const RecipeSet& recipes) const;
 
   /// Knobs after applying `recipes` to the defaults (exposed for tests).
   [[nodiscard]] FlowKnobs resolve_knobs(const RecipeSet& recipes) const;
 
  private:
+  [[nodiscard]] FlowResult run_impl(const RecipeSet& recipes,
+                                    bool incremental_sta) const;
+
   const Design& design_;
 };
 

@@ -94,6 +94,14 @@ void write_text_report(const Design& design, const RecipeSet& recipes,
      << " | leakage fraction "
      << util::fmt(result.power.leakage_fraction(), 3) << '\n';
 
+  os << "\n-- Runtime --\n";
+  const StageTimes& st = result.stage_times;
+  os << "total " << util::fmt(st.total_ms, 1) << " ms = place "
+     << util::fmt(st.place_ms, 1) << " + cts " << util::fmt(st.cts_ms, 1)
+     << " + route " << util::fmt(st.route_ms, 1) << " + sta "
+     << util::fmt(st.sta_ms, 1) << " + opt " << util::fmt(st.opt_ms, 1)
+     << " + power " << util::fmt(st.power_ms, 1) << " + glue\n";
+
   os << "\n-- Headline QoR --\n";
   os << "power " << util::fmt(result.qor.power, 3) << " mW | TNS "
      << util::fmt(result.qor.tns, 3) << " ns | hold TNS "
@@ -170,6 +178,16 @@ util::Json to_json(const Design& design, const RecipeSet& recipes,
   opt["hold_buffers"] = result.opt_stats.hold_buffers;
   opt["gated_ffs"] = result.opt_stats.gated_ffs;
   root["optimization"] = std::move(opt);
+
+  util::Json runtime = util::Json::object();
+  runtime["total_ms"] = result.stage_times.total_ms;
+  runtime["place_ms"] = result.stage_times.place_ms;
+  runtime["cts_ms"] = result.stage_times.cts_ms;
+  runtime["route_ms"] = result.stage_times.route_ms;
+  runtime["sta_ms"] = result.stage_times.sta_ms;
+  runtime["opt_ms"] = result.stage_times.opt_ms;
+  runtime["power_ms"] = result.stage_times.power_ms;
+  root["runtime_ms"] = std::move(runtime);
 
   util::Json qor = util::Json::object();
   qor["power_mw"] = result.qor.power;

@@ -7,18 +7,34 @@
 
 namespace vpr::opt {
 
-namespace {
-/// Cells sorted by slack ascending (most critical first).
-std::vector<int> cells_by_slack(const sta::TimingReport& report) {
+std::vector<int> cells_by_slack_prefix(const sta::TimingReport& report,
+                                       std::size_t k, bool ascending) {
   std::vector<int> order(report.cell_slack.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return report.cell_slack[static_cast<std::size_t>(a)] <
-           report.cell_slack[static_cast<std::size_t>(b)];
-  });
+  k = std::min(k, order.size());
+  const auto& slack = report.cell_slack;
+  if (ascending) {
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&](int a, int b) {
+                        const double sa = slack[static_cast<std::size_t>(a)];
+                        const double sb = slack[static_cast<std::size_t>(b)];
+                        if (sa != sb) return sa < sb;
+                        return a < b;  // stable_sort keeps ids ascending
+                      });
+  } else {
+    // Reversing a stable ascending sort leaves equal-slack ids in
+    // descending order, so the descending tie-break is also descending.
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&](int a, int b) {
+                        const double sa = slack[static_cast<std::size_t>(a)];
+                        const double sb = slack[static_cast<std::size_t>(b)];
+                        if (sa != sb) return sa > sb;
+                        return a > b;
+                      });
+  }
+  order.resize(k);
   return order;
 }
-}  // namespace
 
 OptEngine::OptEngine(netlist::Netlist& nl, place::Placement& placement,
                      OptKnobs knobs, std::uint64_t seed)
@@ -41,14 +57,20 @@ int OptEngine::fix_setup(const sta::TimingReport& report) {
   }
   const auto& lib = nl_.library();
   const double threshold = knobs_.setup_margin;
-  const auto order = cells_by_slack(report);
-  // Budget: effort controls how deep into the critical set we go.
+  // Budget: effort controls how deep into the critical set we go. Only
+  // sub-threshold cells are ever visited, so sorting that prefix suffices.
   const int budget = static_cast<int>(
       std::lround(knobs_.setup_effort * 0.25 * nl_.cell_count()));
+  std::size_t eligible = 0;
+  for (const double s : report.cell_slack) {
+    if (s < threshold) ++eligible;
+  }
+  const auto order =
+      cells_by_slack_prefix(report, budget > 0 ? eligible : 0,
+                            /*ascending=*/true);
   int changed = 0;
   for (const int c : order) {
     if (changed >= budget) break;
-    if (report.cell_slack[static_cast<std::size_t>(c)] >= threshold) break;
     if (nl_.total_area() >
         initial_area_ * (1.0 + knobs_.max_area_growth)) {
       break;
@@ -115,15 +137,19 @@ int OptEngine::recover_power(const sta::TimingReport& report) {
   const double needed =
       knobs_.slack_guard + (1.0 - knobs_.power_effort) * 0.15 *
                                nl_.clock_period();
-  auto order = cells_by_slack(report);
-  std::reverse(order.begin(), order.end());  // highest slack first
   const int budget = static_cast<int>(
       std::lround(knobs_.power_effort * 0.30 * nl_.cell_count()));
+  // Only cells with at least `needed` slack are visited (highest first).
+  std::size_t eligible = 0;
+  for (const double s : report.cell_slack) {
+    if (s >= needed) ++eligible;
+  }
+  const auto order =
+      cells_by_slack_prefix(report, budget > 0 ? eligible : 0,
+                            /*ascending=*/false);
   int changed = 0;
   for (const int c : order) {
     if (changed >= budget) break;
-    if (c >= static_cast<int>(report.cell_slack.size())) continue;
-    if (report.cell_slack[static_cast<std::size_t>(c)] < needed) break;
     if (nl_.is_flip_flop(c)) continue;
     if (const auto down = lib.downsized(nl_.cell(c).type)) {
       nl_.retype_cell(c, *down);
@@ -140,15 +166,18 @@ int OptEngine::recover_leakage(const sta::TimingReport& report) {
   const double needed =
       knobs_.slack_guard + (1.0 - knobs_.leakage_effort) * 0.20 *
                                nl_.clock_period();
-  auto order = cells_by_slack(report);
-  std::reverse(order.begin(), order.end());
   const int budget = static_cast<int>(
       std::lround(knobs_.leakage_effort * 0.35 * nl_.cell_count()));
+  std::size_t eligible = 0;
+  for (const double s : report.cell_slack) {
+    if (s >= needed) ++eligible;
+  }
+  const auto order =
+      cells_by_slack_prefix(report, budget > 0 ? eligible : 0,
+                            /*ascending=*/false);
   int changed = 0;
   for (const int c : order) {
     if (changed >= budget) break;
-    if (c >= static_cast<int>(report.cell_slack.size())) continue;
-    if (report.cell_slack[static_cast<std::size_t>(c)] < needed) break;
     if (const auto slow = lib.slower_vt(nl_.cell(c).type)) {
       nl_.retype_cell(c, *slow);
       ++stats_.vt_relaxed;

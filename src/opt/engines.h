@@ -18,6 +18,14 @@
 
 namespace vpr::opt {
 
+/// First `k` cell ids ordered by slack — ascending (most critical first)
+/// or descending (most comfortable first) — with an explicit index
+/// tie-break that reproduces the visit order of a full stable_sort (and
+/// its reversal), so the engines can partial_sort only the cells their
+/// effort budget can reach. Exposed for the order-equivalence tests.
+[[nodiscard]] std::vector<int> cells_by_slack_prefix(
+    const sta::TimingReport& report, std::size_t k, bool ascending);
+
 struct OptKnobs {
   double setup_effort = 0.5;    // 0..1: fraction of critical cells attacked
   bool setup_use_lvt = false;   // allow VT acceleration during setup fixing

@@ -49,11 +49,13 @@ int GlobalRouter::bin_y(int cell) const {
       0, grid_ - 1);
 }
 
-double GlobalRouter::path_cost_and_commit(int x0, int y0, int x1, int y1,
-                                          int xm, int ym, bool commit,
-                                          double penalty, double* length) {
+double GlobalRouter::path_cost(int x0, int y0, int x1, int y1, int xm, int ym,
+                               double penalty, double* length,
+                               std::vector<std::uint32_t>& edges) {
   // Path: (x0,y0) -H-> (xm,y0) -V-> (xm,ym) -H-> (x1,ym) -V-> (x1,y1).
-  // With xm==x1 or ym==y1 this degenerates to Z and L shapes.
+  // With xm==x1 or ym==y1 this degenerates to Z and L shapes. A detour
+  // path can traverse the same edge twice; the recording keeps duplicates
+  // so a replay-commit adds the same usage as the walk costed.
   double cost = 0.0;
   double len = 0.0;
   const auto h_seg = [&](int y, int xa, int xb) {
@@ -63,7 +65,7 @@ double GlobalRouter::path_cost_and_commit(int x0, int y0, int x1, int y1,
       const std::size_t e = static_cast<std::size_t>(y) * (grid_ - 1) + x;
       cost += edge_cost(h_usage_[e], h_history_[e], capacity_, penalty);
       len += 1.0;
-      if (commit) h_usage_[e] += 1.0;
+      edges.push_back(static_cast<std::uint32_t>(e) << 1);
     }
   };
   const auto v_seg = [&](int x, int ya, int yb) {
@@ -73,7 +75,7 @@ double GlobalRouter::path_cost_and_commit(int x0, int y0, int x1, int y1,
       const std::size_t e = static_cast<std::size_t>(x) * (grid_ - 1) + y;
       cost += edge_cost(v_usage_[e], v_history_[e], capacity_, penalty);
       len += 1.0;
-      if (commit) v_usage_[e] += 1.0;
+      edges.push_back((static_cast<std::uint32_t>(e) << 1) | 1u);
     }
   };
   h_seg(y0, x0, xm);
@@ -86,12 +88,9 @@ double GlobalRouter::path_cost_and_commit(int x0, int y0, int x1, int y1,
 
 double GlobalRouter::route_two_pin(const TwoPin& pin, bool commit,
                                    double penalty) {
-  struct Candidate {
-    int xm, ym;
-  };
-  std::vector<Candidate> candidates;
-  candidates.push_back({pin.x1, pin.y0});  // L: horizontal then vertical
-  candidates.push_back({pin.x0, pin.y1});  // L: vertical then horizontal
+  candidates_.clear();
+  candidates_.push_back({pin.x1, pin.y0});  // L: horizontal then vertical
+  candidates_.push_back({pin.x0, pin.y1});  // L: vertical then horizontal
   if (knobs_.congestion_effort > 0.0) {
     // Z / detour candidates: midpoints inside (and slightly beyond) the
     // bounding box, more of them at higher effort.
@@ -106,26 +105,39 @@ double GlobalRouter::route_two_pin(const TwoPin& pin, bool commit,
     for (int k = 1; k <= extra; ++k) {
       const int xm = lo_x + (hi_x - lo_x) * k / (extra + 1);
       const int ym = lo_y + (hi_y - lo_y) * k / (extra + 1);
-      candidates.push_back({xm, pin.y1});
-      candidates.push_back({pin.x0, ym});
-      candidates.push_back({xm, ym});
+      candidates_.push_back({xm, pin.y1});
+      candidates_.push_back({pin.x0, ym});
+      candidates_.push_back({xm, ym});
     }
   }
+  // Single walk per candidate: cost and record, then commit the winner by
+  // replaying its recorded edges instead of re-walking the geometry (the
+  // winner's usage updates cannot change its own already-summed cost).
   double best_cost = 1e300;
-  Candidate best = candidates.front();
-  for (const auto& cand : candidates) {
-    const double cost = path_cost_and_commit(
-        pin.x0, pin.y0, pin.x1, pin.y1, cand.xm, cand.ym,
-        /*commit=*/false, penalty, nullptr);
+  double best_length = 0.0;
+  best_edges_.clear();
+  for (const auto& cand : candidates_) {
+    cand_edges_.clear();
+    double length = 0.0;
+    const double cost = path_cost(pin.x0, pin.y0, pin.x1, pin.y1, cand.xm,
+                                  cand.ym, penalty, &length, cand_edges_);
     if (cost < best_cost) {
       best_cost = cost;
-      best = cand;
+      best_length = length;
+      std::swap(best_edges_, cand_edges_);
     }
   }
-  double length = 0.0;
-  path_cost_and_commit(pin.x0, pin.y0, pin.x1, pin.y1, best.xm, best.ym,
-                       commit, penalty, &length);
-  return length;
+  if (commit) {
+    for (const std::uint32_t enc : best_edges_) {
+      const std::size_t e = enc >> 1;
+      if ((enc & 1u) != 0) {
+        v_usage_[e] += 1.0;
+      } else {
+        h_usage_[e] += 1.0;
+      }
+    }
+  }
+  return best_length;
 }
 
 RoutingResult GlobalRouter::run() {

@@ -57,9 +57,15 @@ class GlobalRouter {
   [[nodiscard]] int bin_y(int cell) const;
   /// Routes one two-pin connection, optionally committing edge usage;
   /// returns the path length (in bin steps) via the cheapest candidate.
+  /// Each candidate is walked exactly once: the walk records its edges,
+  /// and the winner is committed by replaying the recorded list.
   double route_two_pin(const TwoPin& pin, bool commit, double penalty);
-  double path_cost_and_commit(int x0, int y0, int x1, int y1, int xm, int ym,
-                              bool commit, double penalty, double* length);
+  /// Costs the path through midpoint (xm, ym), appending each traversed
+  /// edge (encoded (index << 1) | is_vertical, duplicates preserved) to
+  /// `edges`; returns the cost and writes the step count to *length.
+  double path_cost(int x0, int y0, int x1, int y1, int xm, int ym,
+                   double penalty, double* length,
+                   std::vector<std::uint32_t>& edges);
 
   const netlist::Netlist& nl_;
   const place::Placement& placement_;
@@ -71,6 +77,14 @@ class GlobalRouter {
   std::vector<double> v_usage_;  // edge (x,y)->(x,y+1): index x*(grid-1)+y
   std::vector<double> h_history_;  // PathFinder-style overflow memory
   std::vector<double> v_history_;
+  // Per-pin scratch, hoisted out of the route loops (route_two_pin runs
+  // once per pin per round; reallocating these dominated its cost).
+  struct Candidate {
+    int xm, ym;
+  };
+  std::vector<Candidate> candidates_;
+  std::vector<std::uint32_t> cand_edges_;  // edges of the candidate walked
+  std::vector<std::uint32_t> best_edges_;  // edges of the cheapest so far
 };
 
 }  // namespace vpr::route

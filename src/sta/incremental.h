@@ -1,0 +1,177 @@
+#pragma once
+// Incremental static timing analysis. TimingAnalyzer rebuilds its topo
+// order and reallocates every working vector per analyze() call; the flow
+// calls STA up to eight times per run while the optimization engines only
+// retype cells (topology-preserving) or append hold-buffer cells/nets
+// (topology-appending). IncrementalTimer keeps the topo order, the arrival/
+// required arenas and the last report alive across calls, diffs its inputs
+// (cell types, wirelengths, clock arrivals, structure) against the previous
+// call, and re-propagates only the dirty fanout/fanin cones in topological
+// position order, pruning where a recomputed value is bitwise equal to the
+// stored one.
+//
+// Results are bit-for-bit identical to TimingAnalyzer::analyze on the same
+// netlist/inputs (the retained oracle): min/max reductions are evaluated in
+// the same pin order, every stored quantity is a pure function of its final
+// fanins, and pruning only stops propagation where the recomputed value
+// equals the stored one. See docs/flow_perf.md for the algorithm.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sta/sta.h"
+
+namespace vpr::sta {
+
+class IncrementalTimer {
+ public:
+  /// Work counters for tests and BENCH_flow.json (how incremental the
+  /// calls actually were).
+  struct Stats {
+    std::uint64_t analyze_calls = 0;
+    std::uint64_t full_passes = 0;       // calls that recomputed everything
+    std::uint64_t unchanged_calls = 0;   // calls short-circuited entirely
+    std::uint64_t forward_updates = 0;   // cell arrival recomputations
+    std::uint64_t required_updates = 0;  // net required-time recomputations
+  };
+
+  /// Builds the combinational topo order once; throws std::logic_error on
+  /// a combinational loop (same contract as TimingAnalyzer).
+  explicit IncrementalTimer(const netlist::Netlist& nl);
+
+  /// Same inputs and semantics as TimingAnalyzer::analyze. The returned
+  /// reference stays valid (and is overwritten) until the next call.
+  const TimingReport& analyze(std::span<const double> net_wirelength,
+                              std::span<const double> clock_arrival,
+                              const TimingOptions& options);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<int>& topological_order() const noexcept {
+    return topo_;
+  }
+
+ private:
+  void rebuild_topology();
+  /// Rebuilds the flat adjacency (CSR) and cached per-cell library
+  /// parameters from the netlist. The hot sweeps read these instead of the
+  /// netlist's bounds-checked accessors and per-cell vectors.
+  void rebuild_flat();
+  void refresh_cell_params(int cell);
+  /// Extends topo/ff bookkeeping for cells and nets appended since the
+  /// last call and marks their dirt. Returns false when the appended
+  /// structure cannot be extended in place (e.g. a new cell feeds an
+  /// existing combinational cell), which forces rebuild + full pass.
+  bool sync_appended(int old_cells, int old_nets);
+  void resize_state(int n_cells, int n_nets);
+  void clear_dirt();
+
+  void diff_inputs(std::span<const double> net_wirelength,
+                   std::span<const double> clock_arrival);
+  void update_loads(const TimingOptions& options);
+  void update_stage_delays(const TimingOptions& options);
+  void update_launches();
+  void forward_sweep();
+  void full_refresh(std::span<const double> net_wirelength,
+                    std::span<const double> clock_arrival,
+                    const TimingOptions& options);
+  void endpoint_pass(const TimingOptions& options, bool full);
+  void backward_full();
+  void backward_incremental();
+  void metrics_pass(const TimingOptions& options, bool full);
+  /// Recomputes cell_slack/net_criticality for one net and maintains the
+  /// near-critical counters via near_flag_.
+  void refresh_net_metrics(int net, double crit_threshold);
+
+  void mark_load_dirty(int net);
+  void mark_delay_dirty(int cell);
+  void mark_launch_dirty(int cell);
+  void mark_fwd_dirty(int cell);
+  void mark_req_dirty(int net);
+  void mark_slack_dirty(int net);
+  /// Backward-sweep scan position: the net's driver's topo position, or
+  /// -1 for source nets (FF- or PI-driven), which drain last.
+  [[nodiscard]] int req_pos(int net) const;
+
+  const netlist::Netlist& nl_;
+
+  // Topology (persistent; extended in place on append).
+  std::vector<int> topo_;      // combinational cells in dependency order
+  std::vector<int> topo_pos_;  // cell -> index in topo_, -1 for flip-flops
+  std::vector<int> topo_out_;  // topo position -> driven net (backward scan)
+  std::vector<std::uint8_t> is_ff_;
+  std::vector<int> ff_list_;  // flip-flops, ascending id (endpoint order)
+  int known_cells_ = 0;
+  int known_nets_ = 0;
+
+  // Flat connectivity (CSR) mirroring the netlist, patched on appends and
+  // same-length pin rewires; a structural change it cannot mirror falls
+  // back to rebuild_flat().
+  std::vector<int> fanin_start_, fanin_flat_;  // per cell, pin order
+  std::vector<int> sink_start_, sink_flat_;    // per net, netlist order
+  std::vector<int> out_net_;                   // per cell: driven net
+  std::vector<int> driver_;                    // per net: driver or -1
+  std::vector<std::uint8_t> po_flag_;          // per net: primary output
+  // Cached library parameters per cell (refreshed on retype/append).
+  std::vector<double> cap_in_, res_drive_, delay_int_, ctq_;
+  std::vector<double> setup_t_, hold_t_;
+  std::vector<std::uint8_t> drive1_;  // weakest drive strength
+  std::vector<int> d_net_;            // per FF: D-pin net (endpoint)
+  bool flat_dirty_ = true;
+  std::uint64_t type_version_ = 0;  // netlist retype counter, for diffing
+
+  // Input snapshot from the previous call (for diffing).
+  std::vector<int> type_;    // per-cell library type
+  std::vector<double> wl_;   // per-net effective wirelength
+  std::vector<double> clk_;  // per-cell effective clock arrival
+  TimingOptions options_{};
+  bool clk_empty_ = true;
+  bool has_result_ = false;
+
+  // Retained analysis state (the scratch arena).
+  std::vector<double> net_load_;
+  std::vector<double> stage_delay_;  // combinational cells only
+  std::vector<double> at_max_;
+  std::vector<double> at_min_;
+  std::vector<double> required_;
+  std::vector<double> seed_req_;      // endpoint-seeded required per net
+  std::vector<double> seed_scratch_;  // kBigSlack outside endpoint_pass
+  std::vector<int> prev_endpoint_nets_;
+  std::vector<int> cur_endpoint_nets_;
+  std::vector<std::uint8_t> ep_flag_;
+
+  // Dirty sets (flag array + list per kind; lists drained every call).
+  std::vector<std::uint8_t> load_flag_, delay_flag_, launch_flag_;
+  std::vector<std::uint8_t> fwd_flag_, req_flag_, slack_flag_;
+  std::vector<int> load_list_, delay_list_, launch_list_;
+  std::vector<int> fwd_list_, req_list_, slack_list_;
+  // Incremental metrics state: per-cell near-critical contribution
+  // (0 = not near, 1 = near, 2 = near and weakest-drive) backing the
+  // persistent counters, and whether any arrival moved this call (gates
+  // the max_arrival rescan).
+  std::vector<std::uint8_t> near_flag_;
+  int near_critical_ = 0;
+  int weak_near_critical_ = 0;
+  bool at_changed_ = false;
+  // Endpoint rebuild gates. The endpoint list and its required-time seeds
+  // only move when a clock arrival / FF type changes (seed) or the
+  // structure grows (struct); otherwise endpoint_pass patches the retained
+  // report_.endpoints in place and re-reduces wns/tns.
+  bool ep_seed_dirty_ = false;
+  bool ep_struct_dirty_ = false;
+  // Sweep bounds over topo positions. The forward sweep only ever marks
+  // cells at strictly larger positions than the one being processed, and
+  // the backward sweep only strictly smaller ones, so each sweep is a
+  // single bounded linear scan instead of a heap. Source nets (no
+  // combinational driver) have no position; the backward sweep drains them
+  // last from req_src_list_ (they never propagate further).
+  int fwd_lo_ = 0, fwd_hi_ = -1;
+  int req_lo_ = 0, req_hi_ = -1;
+  std::vector<int> req_src_list_;
+
+  TimingReport report_;
+  Stats stats_;
+};
+
+}  // namespace vpr::sta

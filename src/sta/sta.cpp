@@ -217,14 +217,11 @@ TimingReport TimingAnalyzer::analyze(std::span<const double> net_wirelength,
   int near_critical_cells = 0;
   int weak_near_critical = 0;
   for (int c = 0; c < n_cells; ++c) {
+    // A flip-flop's launching slack is its Q net's slack, the same
+    // expression as for a combinational cell.
     const int out = nl_.cell(c).fanout_net;
-    double slack = required[static_cast<std::size_t>(out)] -
-                   at_max[static_cast<std::size_t>(out)];
-    if (nl_.is_flip_flop(c)) {
-      // A flip-flop's launching slack is its Q net's slack.
-      slack = required[static_cast<std::size_t>(out)] -
-              at_max[static_cast<std::size_t>(out)];
-    }
+    const double slack = required[static_cast<std::size_t>(out)] -
+                         at_max[static_cast<std::size_t>(out)];
     report.cell_slack[static_cast<std::size_t>(c)] = slack;
     if (slack < crit_threshold) {
       ++near_critical_cells;

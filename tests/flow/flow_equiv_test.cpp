@@ -1,0 +1,100 @@
+// Flow::run (persistent IncrementalTimer) vs Flow::run_reference (fresh
+// TimingAnalyzer per STA call) must produce bit-for-bit identical results:
+// the incremental timer and the single-walk router are pure optimizations.
+// Also sanity-checks the per-stage wall-clock timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/flow.h"
+#include "flow/recipe.h"
+#include "netlist/suite.h"
+#include "util/rng.h"
+
+namespace vpr::flow {
+namespace {
+
+void expect_qor_equal(const Qor& a, const Qor& b, const std::string& what) {
+  EXPECT_EQ(a.wns, b.wns) << what;
+  EXPECT_EQ(a.tns, b.tns) << what;
+  EXPECT_EQ(a.hold_tns, b.hold_tns) << what;
+  EXPECT_EQ(a.power, b.power) << what;
+  EXPECT_EQ(a.area, b.area) << what;
+  EXPECT_EQ(a.drcs, b.drcs) << what;
+}
+
+/// Deterministic sample of `count` recipe sets spanning empty, dense and
+/// random subsets (seeded per caller so designs see different sets).
+std::vector<RecipeSet> sample_recipe_sets(int count, std::uint64_t seed) {
+  std::vector<RecipeSet> sets;
+  sets.emplace_back();  // default flow
+  util::Rng rng{seed};
+  while (static_cast<int>(sets.size()) < count) {
+    std::vector<int> bits(kNumRecipes, 0);
+    const int picks = rng.uniform_int(1, 6);
+    for (int j = 0; j < picks; ++j) {
+      bits[static_cast<std::size_t>(rng.uniform_int(0, kNumRecipes - 1))] = 1;
+    }
+    sets.push_back(RecipeSet::from_bits(bits));
+  }
+  return sets;
+}
+
+TEST(FlowEquiv, SmallDesignManyRecipeSets) {
+  netlist::DesignTraits t;
+  t.name = "equiv";
+  t.target_cells = 700;
+  t.clock_period_ns = 1.1;
+  t.logic_depth = 11;
+  t.hold_sensitivity = 0.4;  // exercise hold buffering (netlist appends)
+  t.seed = 0xfa57ULL;
+  const Design design{t};
+  const Flow flow{design};
+  for (const RecipeSet& rs : sample_recipe_sets(24, 0x5a3eULL)) {
+    const FlowResult fast = flow.run(rs);
+    const FlowResult ref = flow.run_reference(rs);
+    expect_qor_equal(fast.qor, ref.qor, "recipes=" + rs.to_string());
+    // The full signoff report must agree too, not just the QoR scalars.
+    EXPECT_EQ(fast.final_timing.wns, ref.final_timing.wns);
+    EXPECT_EQ(fast.final_timing.hold_wns, ref.final_timing.hold_wns);
+    EXPECT_EQ(fast.final_timing.max_arrival, ref.final_timing.max_arrival);
+    EXPECT_EQ(fast.pre_opt_timing.tns, ref.pre_opt_timing.tns);
+    EXPECT_EQ(fast.final_cell_count, ref.final_cell_count);
+    EXPECT_EQ(fast.routing.total_wirelength, ref.routing.total_wirelength);
+  }
+}
+
+TEST(FlowEquiv, AllSuiteDesignsSampledRecipeSets) {
+  for (int k = 1; k <= netlist::kSuiteSize; ++k) {
+    const Design design{netlist::suite_design(k)};
+    const Flow flow{design};
+    for (const RecipeSet& rs :
+         sample_recipe_sets(2, 0xd00dULL + static_cast<std::uint64_t>(k))) {
+      expect_qor_equal(flow.run(rs).qor, flow.run_reference(rs).qor,
+                       design.name() + " recipes=" + rs.to_string());
+    }
+  }
+}
+
+TEST(FlowEquiv, StageTimersArePopulated) {
+  const Design design{netlist::suite_design(11)};
+  const Flow flow{design};
+  const FlowResult r = flow.run(RecipeSet::from_ids({1, 10}));
+  const StageTimes& t = r.stage_times;
+  EXPECT_GT(t.total_ms, 0.0);
+  EXPECT_GT(t.place_ms, 0.0);
+  EXPECT_GT(t.cts_ms, 0.0);
+  EXPECT_GT(t.route_ms, 0.0);
+  EXPECT_GT(t.sta_ms, 0.0);
+  EXPECT_GE(t.opt_ms, 0.0);
+  EXPECT_GE(t.power_ms, 0.0);
+  // The stages partition a subset of the run: their sum cannot exceed the
+  // total (up to timer granularity).
+  const double sum = t.place_ms + t.cts_ms + t.route_ms + t.sta_ms +
+                     t.opt_ms + t.power_ms;
+  EXPECT_LE(sum, t.total_ms + 1.0);
+}
+
+}  // namespace
+}  // namespace vpr::flow

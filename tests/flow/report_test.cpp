@@ -38,7 +38,7 @@ TEST(TextReport, ContainsAllSections) {
   for (const char* section :
        {"Flow report: report", "-- Placement --", "-- Clock tree --",
         "-- Routing --", "-- Timing --", "-- Optimization --", "-- Power --",
-        "-- Headline QoR --"}) {
+        "-- Runtime --", "-- Headline QoR --"}) {
     EXPECT_NE(text.find(section), std::string::npos) << section;
   }
   // Selected recipes are listed by name.
@@ -54,6 +54,8 @@ TEST(JsonReport, StructureAndValues) {
   ASSERT_TRUE(obj.contains("design"));
   ASSERT_TRUE(obj.contains("qor"));
   ASSERT_TRUE(obj.contains("recipes"));
+  ASSERT_TRUE(obj.contains("runtime_ms"));
+  EXPECT_TRUE(obj.at("runtime_ms").as_object().contains("sta_ms"));
   EXPECT_EQ(obj.at("design").as_object().at("name").as_string(), "report");
   EXPECT_DOUBLE_EQ(obj.at("qor").as_object().at("power_mw").as_number(),
                    fx.result.qor.power);

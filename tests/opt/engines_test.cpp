@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "netlist/generator.h"
 #include "place/placer.h"
 #include "sta/power.h"
@@ -181,6 +184,56 @@ TEST(OptEngine, StatsAccumulateAcrossPasses) {
   const int down = engine.recover_power(fx.timing());
   EXPECT_EQ(engine.stats().upsized, up);
   EXPECT_EQ(engine.stats().downsized, down);
+}
+
+/// Reference order: full stable_sort ascending by slack (what the seed's
+/// engines did), reversed for descending.
+std::vector<int> stable_order(const std::vector<double>& slack,
+                              bool ascending) {
+  std::vector<int> order(slack.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return slack[static_cast<std::size_t>(a)] <
+           slack[static_cast<std::size_t>(b)];
+  });
+  if (!ascending) std::reverse(order.begin(), order.end());
+  return order;
+}
+
+TEST(CellsBySlackPrefix, MatchesStableSortPrefixWithDuplicates) {
+  sta::TimingReport report;
+  // Duplicate slacks force the tie-break to matter.
+  report.cell_slack = {0.5, -0.2, 0.5, 0.1, -0.2, 0.1, 0.1, 0.9, -0.2, 0.0};
+  for (const bool ascending : {true, false}) {
+    const auto ref = stable_order(report.cell_slack, ascending);
+    for (std::size_t k = 0; k <= report.cell_slack.size() + 2; ++k) {
+      const auto got = cells_by_slack_prefix(report, k, ascending);
+      const std::size_t n = std::min(k, report.cell_slack.size());
+      ASSERT_EQ(got.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], ref[i])
+            << "ascending=" << ascending << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(CellsBySlackPrefix, MatchesStableSortOnRealTiming) {
+  Fixture fx{0.6};
+  const auto report = fx.timing();
+  for (const bool ascending : {true, false}) {
+    const auto ref = stable_order(report.cell_slack, ascending);
+    const auto got =
+        cells_by_slack_prefix(report, report.cell_slack.size(), ascending);
+    EXPECT_EQ(got, ref) << "ascending=" << ascending;
+  }
+}
+
+TEST(CellsBySlackPrefix, ZeroKIsEmpty) {
+  sta::TimingReport report;
+  report.cell_slack = {1.0, 2.0};
+  EXPECT_TRUE(cells_by_slack_prefix(report, 0, true).empty());
+  EXPECT_TRUE(cells_by_slack_prefix(report, 0, false).empty());
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// Bitwise equivalence of sta::IncrementalTimer against the from-scratch
+// TimingAnalyzer oracle across the mutation kinds the optimization engines
+// perform (retypes, hold-buffer appends) and the input changes the flow
+// makes (wirelengths, clock arrivals, options), plus the work counters
+// that prove the incremental path actually short-circuits.
+
+#include "sta/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/generator.h"
+#include "sta/sta.h"
+#include "util/rng.h"
+
+namespace vpr::sta {
+namespace {
+
+using netlist::Func;
+using netlist::Netlist;
+using netlist::Vt;
+
+TimingOptions flow_options() {
+  TimingOptions o;
+  o.wire_cap_per_unit = 0.15;
+  o.wire_delay_per_unit = 0.08;
+  o.clock_uncertainty = 0.02;
+  return o;
+}
+
+netlist::DesignTraits small_traits(std::uint64_t seed = 0x51a11ULL) {
+  netlist::DesignTraits t;
+  t.name = "inc";
+  t.target_cells = 420;
+  t.clock_period_ns = 0.9;  // tight: nonzero TNS and criticalities
+  t.logic_depth = 10;
+  t.seed = seed;
+  return t;
+}
+
+/// Every field of the two reports must be bitwise identical (== on
+/// doubles, no tolerance).
+void expect_reports_equal(const TimingReport& a, const TimingReport& b) {
+  EXPECT_EQ(a.wns, b.wns);
+  EXPECT_EQ(a.tns, b.tns);
+  EXPECT_EQ(a.hold_wns, b.hold_wns);
+  EXPECT_EQ(a.hold_tns, b.hold_tns);
+  EXPECT_EQ(a.setup_violations, b.setup_violations);
+  EXPECT_EQ(a.hold_violations, b.hold_violations);
+  EXPECT_EQ(a.max_arrival, b.max_arrival);
+  EXPECT_EQ(a.critical_weak_fraction, b.critical_weak_fraction);
+  EXPECT_EQ(a.harmful_skew_endpoints, b.harmful_skew_endpoints);
+  ASSERT_EQ(a.endpoints.size(), b.endpoints.size());
+  for (std::size_t i = 0; i < a.endpoints.size(); ++i) {
+    EXPECT_EQ(a.endpoints[i].cell, b.endpoints[i].cell);
+    EXPECT_EQ(a.endpoints[i].net, b.endpoints[i].net);
+    EXPECT_EQ(a.endpoints[i].setup_slack, b.endpoints[i].setup_slack);
+    EXPECT_EQ(a.endpoints[i].hold_slack, b.endpoints[i].hold_slack);
+  }
+  ASSERT_EQ(a.cell_slack.size(), b.cell_slack.size());
+  for (std::size_t i = 0; i < a.cell_slack.size(); ++i) {
+    EXPECT_EQ(a.cell_slack[i], b.cell_slack[i]) << "cell " << i;
+  }
+  ASSERT_EQ(a.net_criticality.size(), b.net_criticality.size());
+  for (std::size_t i = 0; i < a.net_criticality.size(); ++i) {
+    EXPECT_EQ(a.net_criticality[i], b.net_criticality[i]) << "net " << i;
+  }
+}
+
+/// One oracle-vs-incremental comparison on the current netlist state.
+void check_against_oracle(IncrementalTimer& inc, const Netlist& nl,
+                          std::span<const double> wl,
+                          std::span<const double> clk,
+                          const TimingOptions& opt) {
+  const TimingAnalyzer oracle{nl};
+  const TimingReport expected = oracle.analyze(wl, clk, opt);
+  const TimingReport& actual = inc.analyze(wl, clk, opt);
+  expect_reports_equal(actual, expected);
+}
+
+TEST(IncrementalTimer, FirstCallMatchesOracle) {
+  const Netlist nl = netlist::generate(small_traits());
+  IncrementalTimer inc{nl};
+  check_against_oracle(inc, nl, {}, {}, flow_options());
+  EXPECT_EQ(inc.stats().analyze_calls, 1u);
+  EXPECT_EQ(inc.stats().full_passes, 1u);
+}
+
+TEST(IncrementalTimer, RepeatedCallShortCircuits) {
+  const Netlist nl = netlist::generate(small_traits());
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  EXPECT_EQ(inc.stats().analyze_calls, 3u);
+  EXPECT_EQ(inc.stats().full_passes, 1u);
+  EXPECT_EQ(inc.stats().unchanged_calls, 2u);
+}
+
+TEST(IncrementalTimer, RetypeRoundsMatchOracle) {
+  Netlist nl = netlist::generate(small_traits(0x52a22ULL));
+  const auto& lib = nl.library();
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  util::Rng rng{11};
+  for (int round = 0; round < 6; ++round) {
+    for (int j = 0; j < 10; ++j) {
+      const int cell = rng.uniform_int(0, nl.cell_count() - 1);
+      const int type = nl.cell(cell).type;
+      if (const auto up = lib.upsized(type)) {
+        nl.retype_cell(cell, *up);
+      } else if (const auto down = lib.downsized(type)) {
+        nl.retype_cell(cell, *down);
+      } else if (const auto fv = lib.faster_vt(type)) {
+        nl.retype_cell(cell, *fv);
+      }
+    }
+    check_against_oracle(inc, nl, wl, {}, opt);
+  }
+  // Retypes must not trigger full rebuilds.
+  EXPECT_EQ(inc.stats().full_passes, 1u);
+}
+
+TEST(IncrementalTimer, BufferAppendsMatchOracle) {
+  Netlist nl = netlist::generate(small_traits(0x53a33ULL));
+  const auto& lib = nl.library();
+  const int buf = lib.find(Func::kBuf, 1, Vt::kStandard);
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  const std::vector<int> ffs = nl.flip_flops();
+  ASSERT_FALSE(ffs.empty());
+  util::Rng rng{22};
+  for (int round = 0; round < 4; ++round) {
+    for (int j = 0; j < 3; ++j) {
+      const int ff = ffs[rng.index(ffs.size())];
+      (void)nl.insert_buffer_before(ff, 0, buf);
+    }
+    wl.resize(static_cast<std::size_t>(nl.net_count()), 0.004);
+    check_against_oracle(inc, nl, wl, {}, opt);
+  }
+}
+
+TEST(IncrementalTimer, BufferChainBeforeSameFlopMatchesOracle) {
+  // Repeated insertion before the same D pin builds a buffer chain whose
+  // fanin driver is a cell appended one call earlier — the in-place topo
+  // extension path.
+  Netlist nl = netlist::generate(small_traits(0x54a44ULL));
+  const int buf = nl.library().find(Func::kBuf, 1, Vt::kStandard);
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  const int ff = nl.flip_flops().front();
+  for (int i = 0; i < 4; ++i) {
+    (void)nl.insert_buffer_before(ff, 0, buf);
+    (void)nl.insert_buffer_before(ff, 0, buf);
+    wl.resize(static_cast<std::size_t>(nl.net_count()), 0.004);
+    check_against_oracle(inc, nl, wl, {}, opt);
+  }
+}
+
+TEST(IncrementalTimer, WirelengthChangesMatchOracle) {
+  const Netlist nl = netlist::generate(small_traits(0x55a55ULL));
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  // Perturb a few nets.
+  util::Rng rng{33};
+  for (int j = 0; j < 8; ++j) {
+    wl[rng.index(wl.size())] *= 1.7;
+  }
+  check_against_oracle(inc, nl, wl, {}, opt);
+  // Global stretch (the legalization-feedback pattern in Flow::run).
+  for (auto& w : wl) w *= 1.23;
+  check_against_oracle(inc, nl, wl, {}, opt);
+  // Default-estimate mode (empty span) after explicit wirelengths.
+  check_against_oracle(inc, nl, {}, {}, opt);
+}
+
+TEST(IncrementalTimer, ClockArrivalChangesMatchOracle) {
+  const Netlist nl = netlist::generate(small_traits(0x56a66ULL));
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  check_against_oracle(inc, nl, wl, {}, opt);
+  // Ideal clock -> skewed clock flips the harmful-skew gating too.
+  std::vector<double> clk(static_cast<std::size_t>(nl.cell_count()), 0.0);
+  util::Rng rng{44};
+  for (const int ff : nl.flip_flops()) {
+    clk[static_cast<std::size_t>(ff)] = rng.uniform(0.0, 0.08);
+  }
+  check_against_oracle(inc, nl, wl, clk, opt);
+  // Back to an all-zero vector: values match the ideal clock but the
+  // harmful-skew section is computed, unlike with an empty span.
+  std::fill(clk.begin(), clk.end(), 0.0);
+  check_against_oracle(inc, nl, wl, clk, opt);
+  check_against_oracle(inc, nl, wl, {}, opt);
+}
+
+TEST(IncrementalTimer, OptionChangeForcesFullPass) {
+  const Netlist nl = netlist::generate(small_traits(0x57a77ULL));
+  IncrementalTimer inc{nl};
+  TimingOptions opt = flow_options();
+  check_against_oracle(inc, nl, {}, {}, opt);
+  opt.clock_uncertainty = 0.05;
+  check_against_oracle(inc, nl, {}, {}, opt);
+  EXPECT_EQ(inc.stats().full_passes, 2u);
+}
+
+TEST(IncrementalTimer, MixedFlowLikeSequenceMatchesOracle) {
+  // The shape of Flow::run's STA usage: pre-place estimate, routed
+  // wirelengths + CTS arrivals, opt-loop mutations, global stretch.
+  Netlist nl = netlist::generate(small_traits(0x58a88ULL));
+  const auto& lib = nl.library();
+  const int buf = lib.find(Func::kBuf, 1, Vt::kStandard);
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  check_against_oracle(inc, nl, {}, {}, opt);
+
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.0);
+  util::Rng rng{55};
+  for (auto& w : wl) w = rng.uniform(0.005, 0.06);
+  std::vector<double> clk(static_cast<std::size_t>(nl.cell_count()), 0.0);
+  for (const int ff : nl.flip_flops()) {
+    clk[static_cast<std::size_t>(ff)] = rng.uniform(0.0, 0.05);
+  }
+  check_against_oracle(inc, nl, wl, clk, opt);
+
+  const std::vector<int> ffs = nl.flip_flops();
+  for (int round = 0; round < 5; ++round) {
+    for (int j = 0; j < 6; ++j) {
+      const int cell = rng.uniform_int(0, nl.cell_count() - 1);
+      const int type = nl.cell(cell).type;
+      if (const auto up = lib.upsized(type)) nl.retype_cell(cell, *up);
+    }
+    if (round % 2 == 1) {
+      (void)nl.insert_buffer_before(ffs[rng.index(ffs.size())], 0, buf);
+      wl.resize(static_cast<std::size_t>(nl.net_count()), 0.004);
+      clk.resize(static_cast<std::size_t>(nl.cell_count()), 0.0);
+    }
+    check_against_oracle(inc, nl, wl, clk, opt);
+  }
+  for (auto& w : wl) w *= 1.1;
+  check_against_oracle(inc, nl, wl, clk, opt);
+}
+
+TEST(IncrementalTimer, IncrementalDoesLessWorkThanFull) {
+  Netlist nl = netlist::generate(small_traits(0x59a99ULL));
+  const auto& lib = nl.library();
+  IncrementalTimer inc{nl};
+  const TimingOptions opt = flow_options();
+  std::vector<double> wl(static_cast<std::size_t>(nl.net_count()), 0.02);
+  (void)inc.analyze(wl, {}, opt);
+  const std::uint64_t fwd_before = inc.stats().forward_updates;
+  // Retyping one cell near the end of the topo order dirties only a small
+  // cone (its own recompute plus its fanin drivers' cones), far from the
+  // full-design sweep a fresh analyzer pays.
+  const auto& topo = inc.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if (const auto up = lib.upsized(nl.cell(*it).type)) {
+      nl.retype_cell(*it, *up);
+      break;
+    }
+  }
+  (void)inc.analyze(wl, {}, opt);
+  const std::uint64_t fwd_delta = inc.stats().forward_updates - fwd_before;
+  EXPECT_LT(fwd_delta, static_cast<std::uint64_t>(nl.cell_count()) / 2);
+}
+
+TEST(IncrementalTimer, SizeMismatchThrows) {
+  const Netlist nl = netlist::generate(small_traits());
+  IncrementalTimer inc{nl};
+  std::vector<double> bad_wl(3, 0.01);
+  EXPECT_THROW((void)inc.analyze(bad_wl, {}, flow_options()),
+               std::invalid_argument);
+  std::vector<double> bad_clk(2, 0.0);
+  EXPECT_THROW((void)inc.analyze({}, bad_clk, flow_options()),
+               std::invalid_argument);
+}
+
+TEST(IncrementalTimer, DetectsCombinationalLoop) {
+  Netlist nl{"loop", netlist::CellLibrary::make({"45nm", 45.0}), 1.0};
+  const int inv = nl.library().find(Func::kInv, 2, Vt::kStandard);
+  const int a = nl.add_net();
+  const int b = nl.add_net();
+  nl.add_cell(inv, {a}, b);
+  nl.add_cell(inv, {b}, a);
+  EXPECT_THROW(IncrementalTimer{nl}, std::logic_error);
+}
+
+TEST(IncrementalTimer, TopoOrderCoversAllCombCells) {
+  const Netlist nl = netlist::generate(small_traits());
+  const IncrementalTimer inc{nl};
+  int comb = 0;
+  for (int c = 0; c < nl.cell_count(); ++c) {
+    if (!nl.is_flip_flop(c)) ++comb;
+  }
+  EXPECT_EQ(static_cast<int>(inc.topological_order().size()), comb);
+}
+
+}  // namespace
+}  // namespace vpr::sta
