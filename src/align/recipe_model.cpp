@@ -185,20 +185,30 @@ DecodeSession::DecodeSession(const RecipeModel& model,
   }
   const std::size_t d = static_cast<std::size_t>(d_);
   memory_.resize(d);
-  model.insight_embed_.infer(insight.data(), 1, memory_.data());
   cross_k_.resize(static_cast<std::size_t>(layers_) * d);
   cross_v_.resize(static_cast<std::size_t>(layers_) * d);
-  for (int l = 0; l < layers_; ++l) {
-    model.decoder_stack_[static_cast<std::size_t>(l)]->infer_cross_kv(
-        memory_.data(), 1, cross_k_.data() + static_cast<std::size_t>(l) * d,
-        cross_v_.data() + static_cast<std::size_t>(l) * d);
-  }
   const std::size_t lane_cache = static_cast<std::size_t>(n_) * d;
   self_k_.resize(static_cast<std::size_t>(layers_) * max_lanes_ * lane_cache);
   self_v_.resize(self_k_.size());
   len_.assign(static_cast<std::size_t>(max_lanes_), 0);
   x_row_.resize(d);
   y_row_.resize(d);
+  rebind(insight);
+}
+
+void DecodeSession::rebind(std::span<const double> insight) {
+  if (insight.size() !=
+      static_cast<std::size_t>(model_->config().insight_dim)) {
+    throw std::invalid_argument("DecodeSession: insight dimension mismatch");
+  }
+  const std::size_t d = static_cast<std::size_t>(d_);
+  model_->insight_embed_.infer(insight.data(), 1, memory_.data());
+  for (int l = 0; l < layers_; ++l) {
+    model_->decoder_stack_[static_cast<std::size_t>(l)]->infer_cross_kv(
+        memory_.data(), 1, cross_k_.data() + static_cast<std::size_t>(l) * d,
+        cross_v_.data() + static_cast<std::size_t>(l) * d);
+  }
+  std::fill(len_.begin(), len_.end(), 0);
 }
 
 double* DecodeSession::self_k(int layer, int lane) {
@@ -242,19 +252,22 @@ void DecodeSession::copy_lane(int dst, int src) {
   len_[static_cast<std::size_t>(dst)] = rows;
 }
 
-double DecodeSession::step(int lane, int prev_decision) {
+int DecodeSession::step_token(int lane, int prev_decision) const {
   check_lane(lane);
   const int t = len_[static_cast<std::size_t>(lane)];
   if (t >= n_) {
     throw std::invalid_argument("DecodeSession: lane already complete");
   }
-  int token = kTokenSos;
-  if (t > 0) {
-    if (prev_decision != 0 && prev_decision != 1) {
-      throw std::invalid_argument("DecodeSession: decisions must be 0/1");
-    }
-    token = prev_decision == 1 ? kTokenSelected : kTokenNotSelected;
+  if (t == 0) return kTokenSos;
+  if (prev_decision != 0 && prev_decision != 1) {
+    throw std::invalid_argument("DecodeSession: decisions must be 0/1");
   }
+  return prev_decision == 1 ? kTokenSelected : kTokenNotSelected;
+}
+
+double DecodeSession::step(int lane, int prev_decision) {
+  const int token = step_token(lane, prev_decision);
+  const int t = len_[static_cast<std::size_t>(lane)];
   model_->token_embed_.infer_row(token, x_row_.data());
   model_->pos_enc_.infer_add_row(t, x_row_.data());
   const std::size_t d = static_cast<std::size_t>(d_);
@@ -269,6 +282,74 @@ double DecodeSession::step(int lane, int prev_decision) {
   model_->head_.infer(x_row_.data(), 1, &z);
   len_[static_cast<std::size_t>(lane)] = t + 1;
   return nn::infer::stable_sigmoid(z);
+}
+
+void DecodeSession::step_batch(std::span<const BatchStep> steps,
+                               double* probs_out) {
+  const int rows = static_cast<int>(steps.size());
+  if (rows == 0) return;
+  const RecipeModel* model = steps[0].session->model_;
+  for (const BatchStep& s : steps) {
+    if (s.session == nullptr || s.session->model_ != model) {
+      throw std::invalid_argument(
+          "DecodeSession::step_batch: sessions must share one model");
+    }
+  }
+  DecodeSession& lead = *steps[0].session;
+  const int d = lead.d_;
+  const int layers = lead.layers_;
+  const std::size_t size = static_cast<std::size_t>(rows) * d;
+
+  thread_local std::vector<double> x;
+  thread_local std::vector<double> y;
+  thread_local std::vector<int> pos;
+  thread_local std::vector<double*> k_ptrs;
+  thread_local std::vector<double*> v_ptrs;
+  thread_local std::vector<const double*> ck_ptrs;
+  thread_local std::vector<const double*> cv_ptrs;
+  thread_local std::vector<double> z;
+  x.resize(size);
+  y.resize(size);
+  pos.resize(static_cast<std::size_t>(rows));
+  k_ptrs.resize(static_cast<std::size_t>(rows));
+  v_ptrs.resize(static_cast<std::size_t>(rows));
+  ck_ptrs.resize(static_cast<std::size_t>(rows));
+  cv_ptrs.resize(static_cast<std::size_t>(rows));
+  z.resize(static_cast<std::size_t>(rows));
+
+  // Stack the lane input rows: token embedding + positional encoding.
+  for (int i = 0; i < rows; ++i) {
+    const BatchStep& s = steps[static_cast<std::size_t>(i)];
+    const int token = s.session->step_token(s.lane, s.prev_decision);
+    const int t = s.session->len_[static_cast<std::size_t>(s.lane)];
+    pos[static_cast<std::size_t>(i)] = t;
+    double* row = x.data() + static_cast<std::size_t>(i) * d;
+    model->token_embed_.infer_row(token, row);
+    model->pos_enc_.infer_add_row(t, row);
+  }
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < rows; ++i) {
+      const BatchStep& s = steps[static_cast<std::size_t>(i)];
+      k_ptrs[static_cast<std::size_t>(i)] = s.session->self_k(l, s.lane);
+      v_ptrs[static_cast<std::size_t>(i)] = s.session->self_v(l, s.lane);
+      ck_ptrs[static_cast<std::size_t>(i)] =
+          s.session->cross_k_.data() + static_cast<std::size_t>(l) * d;
+      cv_ptrs[static_cast<std::size_t>(i)] =
+          s.session->cross_v_.data() + static_cast<std::size_t>(l) * d;
+    }
+    model->decoder_stack_[static_cast<std::size_t>(l)]->infer_step_batch(
+        x.data(), rows, pos.data(), k_ptrs.data(), v_ptrs.data(),
+        ck_ptrs.data(), cv_ptrs.data(), 1, y.data());
+    x.swap(y);
+  }
+  model->head_.infer(x.data(), rows, z.data());
+  for (int i = 0; i < rows; ++i) {
+    const BatchStep& s = steps[static_cast<std::size_t>(i)];
+    s.session->len_[static_cast<std::size_t>(s.lane)] =
+        pos[static_cast<std::size_t>(i)] + 1;
+    probs_out[i] =
+        nn::infer::stable_sigmoid(z[static_cast<std::size_t>(i)]);
+  }
 }
 
 std::vector<nn::Tensor> RecipeModel::parameters() const {

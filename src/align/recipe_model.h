@@ -39,6 +39,16 @@ struct ModelConfig {
 };
 
 class RecipeModel;
+class DecodeSession;
+
+/// One lane-step of a cross-session micro-batch: advance `lane` of
+/// `session` by one position, feeding `prev_decision` as the input token
+/// (ignored at position 0). See DecodeSession::step_batch.
+struct BatchStep {
+  DecodeSession* session = nullptr;
+  int lane = 0;
+  int prev_decision = 0;
+};
 
 /// KV-cached incremental decoding over a fixed insight (tape-free).
 ///
@@ -63,6 +73,26 @@ class DecodeSession {
   /// Number of positions decoded so far in this lane.
   [[nodiscard]] int length(int lane) const;
   [[nodiscard]] int lanes() const noexcept { return max_lanes_; }
+  /// Max positions per lane (the model's num_recipes).
+  [[nodiscard]] int positions() const noexcept { return n_; }
+  /// The model this session decodes with.
+  [[nodiscard]] const RecipeModel& model() const noexcept { return *model_; }
+
+  /// Re-target the session at a new insight without reallocating: recomputes
+  /// the insight embedding and per-layer cross-attention K/V and resets all
+  /// lanes. The serve-layer session arena uses this to recycle KV buffers
+  /// across requests; after rebind the session is bitwise indistinguishable
+  /// from a freshly constructed one over the same insight.
+  void rebind(std::span<const double> insight);
+
+  /// Advance a batch of independent lanes — possibly spread across several
+  /// sessions (all over the same model) — by one position each, stacking
+  /// the lane rows into single blocked-matmul forwards (see
+  /// TransformerDecoderLayer::infer_step_batch). probs_out[i] receives
+  /// P(r_t = 1) for steps[i], bitwise identical to steps[i].session->
+  /// step(lane, prev_decision). Lanes must be distinct across the batch;
+  /// sessions may repeat (one entry per beam lane).
+  static void step_batch(std::span<const BatchStep> steps, double* probs_out);
 
  private:
   friend class RecipeModel;
@@ -72,6 +102,9 @@ class DecodeSession {
   [[nodiscard]] double* self_k(int layer, int lane);
   [[nodiscard]] double* self_v(int layer, int lane);
   void check_lane(int lane) const;
+  /// Validates lane/prev and returns the input token for the lane's next
+  /// position (shared by step and step_batch).
+  [[nodiscard]] int step_token(int lane, int prev_decision) const;
 
   const RecipeModel* model_;
   int max_lanes_;

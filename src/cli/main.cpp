@@ -19,14 +19,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 
 #include "align/cache.h"
 #include "align/pipeline.h"
+#include "cli/options.h"
 #include "flow/report.h"
 #include "flow/runtime_model.h"
 #include "insight/insight.h"
 #include "netlist/suite.h"
+#include "serve/bench.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -45,32 +46,15 @@ using namespace vpr;
       "  align --designs A-B [--points N] [--epochs N] [--cells N]\n"
       "        --model FILE --dataset FILE\n"
       "  recommend --model FILE --dataset FILE --design K [--k K] [--cells N]\n"
-      "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n";
+      "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n"
+      "  serve-bench [--requests N] [--concurrency N] [--width K]\n"
+      "              [--sweeps N] [--json FILE]\n";
   std::exit(2);
 }
 
-/// "1,8,24" -> {1,8,24}
-std::vector<int> parse_int_list(const std::string& text) {
-  std::vector<int> out;
-  std::istringstream is{text};
-  std::string token;
-  while (std::getline(is, token, ',')) {
-    if (!token.empty()) out.push_back(std::stoi(token));
-  }
-  return out;
-}
-
-/// "1-6" -> {1,...,6}; "3" -> {3}; "1,4,7" -> {1,4,7}
-std::vector<int> parse_design_spec(const std::string& text) {
-  const auto dash = text.find('-');
-  if (dash != std::string::npos) {
-    const int lo = std::stoi(text.substr(0, dash));
-    const int hi = std::stoi(text.substr(dash + 1));
-    std::vector<int> out;
-    for (int k = lo; k <= hi; ++k) out.push_back(k);
-    return out;
-  }
-  return parse_int_list(text);
+/// Suite indices run 1..17.
+int max_design_index() {
+  return static_cast<int>(netlist::benchmark_suite().size());
 }
 
 flow::Design make_design(int index, int cells_cap) {
@@ -107,11 +91,11 @@ int cmd_recipes() {
 }
 
 int cmd_run(const util::Args& args) {
-  const int design_index = args.get_int("design", 0);
-  if (design_index < 1) usage("run: --design 1..17 required");
+  const int design_index =
+      cli::parse_design_index(args, "run", max_design_index());
   const auto design = make_design(design_index, args.get_int("cells", 0));
   flow::RecipeSet recipes;
-  for (const int id : parse_int_list(args.get_or("recipes", ""))) {
+  for (const int id : cli::parse_int_list(args.get_or("recipes", ""))) {
     recipes.set(id);
   }
   const flow::Flow flow{design};
@@ -126,8 +110,8 @@ int cmd_run(const util::Args& args) {
 }
 
 int cmd_probe(const util::Args& args) {
-  const int design_index = args.get_int("design", 0);
-  if (design_index < 1) usage("probe: --design 1..17 required");
+  const int design_index =
+      cli::parse_design_index(args, "probe", max_design_index());
   const auto design = make_design(design_index, args.get_int("cells", 0));
   const flow::Flow flow{design};
   const auto probe = flow.run(flow::RecipeSet{});
@@ -163,7 +147,7 @@ int cmd_align(const util::Args& args) {
   }
   std::vector<std::unique_ptr<flow::Design>> owned;
   std::vector<const flow::Design*> designs;
-  for (const int k : parse_design_spec(*spec)) {
+  for (const int k : cli::parse_design_spec(*spec)) {
     owned.push_back(std::make_unique<flow::Design>(
         make_design(k, args.get_int("cells", 2000))));
     designs.push_back(owned.back().get());
@@ -197,6 +181,8 @@ align::Pipeline restored_pipeline(const util::Args& args) {
   if (!model_path || !dataset_path) {
     usage("--model and --dataset required");
   }
+  cli::require_readable(*dataset_path, "dataset");
+  cli::require_readable(*model_path, "model");
   auto dataset = align::load_dataset(*dataset_path);
   if (!dataset.has_value()) usage("cannot read dataset " + *dataset_path);
   std::ifstream is{*model_path, std::ios::binary};
@@ -207,8 +193,8 @@ align::Pipeline restored_pipeline(const util::Args& args) {
 }
 
 int cmd_recommend(const util::Args& args) {
-  const int design_index = args.get_int("design", 0);
-  if (design_index < 1) usage("recommend: --design 1..17 required");
+  const int design_index =
+      cli::parse_design_index(args, "recommend", max_design_index());
   auto pipeline = restored_pipeline(args);
   const auto design = make_design(design_index, args.get_int("cells", 2000));
   const auto recs = pipeline.recommend(design, args.get_int("k", 5));
@@ -225,9 +211,25 @@ int cmd_recommend(const util::Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const util::Args& args) {
+  serve::ServeBenchOptions opts;
+  opts.requests = args.get_int("requests", opts.requests);
+  opts.concurrency = args.get_int("concurrency", opts.concurrency);
+  opts.beam_width = args.get_int("width", opts.beam_width);
+  opts.sweeps = args.get_int("sweeps", opts.sweeps);
+  opts.json_path = args.get_or("json", opts.json_path);
+  if (opts.requests < 1 || opts.concurrency < 1 || opts.beam_width < 1 ||
+      opts.sweeps < 1) {
+    throw cli::UsageError(
+        "serve-bench: --requests/--concurrency/--width/--sweeps must be "
+        ">= 1");
+  }
+  return serve::run_serve_bench(opts);
+}
+
 int cmd_tune(const util::Args& args) {
-  const int design_index = args.get_int("design", 0);
-  if (design_index < 1) usage("tune: --design 1..17 required");
+  const int design_index =
+      cli::parse_design_index(args, "tune", max_design_index());
   auto pipeline = restored_pipeline(args);
   const auto design = make_design(design_index, args.get_int("cells", 2000));
   align::OnlineConfig oc;
@@ -257,15 +259,27 @@ int main(int argc, char** argv) {
   try {
     const util::Args args{argc, argv};
     if (args.positional().empty()) usage();
-    const std::string& command = args.positional().front();
-    if (command == "suite") return cmd_suite();
-    if (command == "recipes") return cmd_recipes();
-    if (command == "run") return cmd_run(args);
-    if (command == "probe") return cmd_probe(args);
-    if (command == "align") return cmd_align(args);
-    if (command == "recommend") return cmd_recommend(args);
-    if (command == "tune") return cmd_tune(args);
-    usage("unknown command '" + command + "'");
+    switch (cli::parse_command(args.positional().front())) {
+      case cli::Command::kSuite:
+        return cmd_suite();
+      case cli::Command::kRecipes:
+        return cmd_recipes();
+      case cli::Command::kRun:
+        return cmd_run(args);
+      case cli::Command::kProbe:
+        return cmd_probe(args);
+      case cli::Command::kAlign:
+        return cmd_align(args);
+      case cli::Command::kRecommend:
+        return cmd_recommend(args);
+      case cli::Command::kTune:
+        return cmd_tune(args);
+      case cli::Command::kServeBench:
+        return cmd_serve_bench(args);
+    }
+    usage();
+  } catch (const cli::UsageError& e) {
+    usage(e.what());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

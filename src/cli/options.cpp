@@ -1,0 +1,84 @@
+#include "cli/options.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace vpr::cli {
+
+namespace {
+
+int parse_strict_int(const std::string& token, const std::string& context) {
+  int value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw UsageError("bad integer '" + token + "' in " + context);
+  }
+  return value;
+}
+
+}  // namespace
+
+Command parse_command(const std::string& name) {
+  if (name == "suite") return Command::kSuite;
+  if (name == "recipes") return Command::kRecipes;
+  if (name == "run") return Command::kRun;
+  if (name == "probe") return Command::kProbe;
+  if (name == "align") return Command::kAlign;
+  if (name == "recommend") return Command::kRecommend;
+  if (name == "tune") return Command::kTune;
+  if (name == "serve-bench") return Command::kServeBench;
+  throw UsageError("unknown command '" + name + "'");
+}
+
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::istringstream is{text};
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (!token.empty()) {
+      out.push_back(parse_strict_int(token, "list '" + text + "'"));
+    }
+  }
+  return out;
+}
+
+std::vector<int> parse_design_spec(const std::string& text) {
+  const auto dash = text.find('-');
+  if (dash != std::string::npos) {
+    const int lo =
+        parse_strict_int(text.substr(0, dash), "range '" + text + "'");
+    const int hi =
+        parse_strict_int(text.substr(dash + 1), "range '" + text + "'");
+    if (lo > hi) throw UsageError("empty design range '" + text + "'");
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(hi - lo + 1));
+    for (int k = lo; k <= hi; ++k) out.push_back(k);
+    return out;
+  }
+  return parse_int_list(text);
+}
+
+int parse_design_index(const util::Args& args, const std::string& command,
+                       int max_design) {
+  int index = 0;
+  try {
+    index = args.get_int("design", 0);
+  } catch (const std::invalid_argument&) {
+    throw UsageError(command + ": --design must be an integer");
+  }
+  if (index < 1 || index > max_design) {
+    throw UsageError(command + ": --design 1.." +
+                     std::to_string(max_design) + " required");
+  }
+  return index;
+}
+
+void require_readable(const std::string& path, const std::string& what) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw UsageError("cannot read " + what + " " + path);
+}
+
+}  // namespace vpr::cli

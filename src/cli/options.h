@@ -1,0 +1,55 @@
+#pragma once
+// Argument validation helpers behind the insightalign binary, split out of
+// main.cpp so the usage paths (bad range specs, unknown commands,
+// unreadable paths) are unit-testable without spawning the binary: the
+// helpers throw UsageError, which main() turns into the usage text and
+// exit code 2.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/args.h"
+
+namespace vpr::cli {
+
+/// Invalid command-line input; main() prints usage and exits 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Command {
+  kSuite,
+  kRecipes,
+  kRun,
+  kProbe,
+  kAlign,
+  kRecommend,
+  kTune,
+  kServeBench,
+};
+
+/// Maps the first positional argument to a Command; throws UsageError on
+/// an unknown name.
+[[nodiscard]] Command parse_command(const std::string& name);
+
+/// "1,8,24" -> {1,8,24}. Strict: a non-integer token throws UsageError
+/// (the seed parser silently let std::stoi truncate "8x" to 8).
+[[nodiscard]] std::vector<int> parse_int_list(const std::string& text);
+
+/// "1-6" -> {1,...,6}; "3" -> {3}; "1,4,7" -> {1,4,7}. Throws UsageError
+/// on malformed bounds or an empty range like "6-1".
+[[nodiscard]] std::vector<int> parse_design_spec(const std::string& text);
+
+/// --design as a suite index in [1, max_design]; throws UsageError when
+/// missing, unparseable, or out of range. `command` prefixes the message.
+[[nodiscard]] int parse_design_index(const util::Args& args,
+                                     const std::string& command,
+                                     int max_design);
+
+/// Throws UsageError ("cannot read <what> <path>") unless `path` opens for
+/// reading. Used for --model / --dataset before any expensive work.
+void require_readable(const std::string& path, const std::string& what);
+
+}  // namespace vpr::cli

@@ -1,20 +1,70 @@
 #include "nn/kernels.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace vpr::nn::kern {
 
 namespace {
 
 // Tile sizes chosen for the model's working set (matrices up to ~72 wide):
-// a full (tile_i x k) A-panel plus a (tile_j x k) slice of B^T stays in L1.
+// a full (tile_i x k) A-panel plus a (tile_j x k) slice of B stays in L1.
 constexpr int kTileI = 32;
 constexpr int kTileJ = 48;
 
-// Below this row count the k*n cost of transposing B dominates the product
-// itself (the incremental decode path is all m == 1 matvecs).
+// Below this row count the batched saxpy path's row grouping buys nothing
+// (the incremental decode path is all m == 1 matvecs).
 constexpr int kTransposeMinRows = 4;
+
+// Register-tile width: one tile computes kTileCols accumulators per C row,
+// held in registers across the whole p sweep (the fixed trip count plus
+// -funroll-loops — see src/nn/CMakeLists.txt — is what lets GCC promote
+// the acc arrays out of memory).
+constexpr int kTileCols = 16;
+
+// A (rows x kTileCols) register tile of C: acc[r][jj] accumulates
+// a[i+r][p] * b[p][j0+jj] with p ascending, one accumulator per element —
+// the same multiply/add sequence as the m == 1 strided dot, so results are
+// bitwise identical; only the memory traffic changes (each loaded B row
+// feeds `rows` C rows, and C is written once at the end instead of being
+// reloaded every p).
+template <int Rows>
+void tile_rows(const double* a, const double* b, double* c, int i, int j0,
+               int k, int n) {
+  double acc[Rows][kTileCols];
+  for (int r = 0; r < Rows; ++r) {
+    for (int jj = 0; jj < kTileCols; ++jj) acc[r][jj] = 0.0;
+  }
+  const double* bp = b + j0;
+  for (int p = 0; p < k; ++p, bp += n) {
+    for (int r = 0; r < Rows; ++r) {
+      const double av = a[static_cast<std::size_t>(i + r) * k + p];
+      for (int jj = 0; jj < kTileCols; ++jj) acc[r][jj] += av * bp[jj];
+    }
+  }
+  for (int r = 0; r < Rows; ++r) {
+    double* crow = c + static_cast<std::size_t>(i + r) * n + j0;
+    for (int jj = 0; jj < kTileCols; ++jj) crow[jj] = acc[r][jj];
+  }
+}
+
+// Strided single-accumulator dots for columns [j0, n) of rows [0, m) —
+// the reference element order, used for column counts below a full tile
+// (notably the n == 1 recipe-head matmul, where it collapses to
+// contiguous dots).
+void dot_cols(const double* a, const double* b, double* c, int m, int k,
+              int n, int j0) {
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<std::size_t>(i) * k;
+    double* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = j0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        acc += arow[p] * b[static_cast<std::size_t>(p) * n + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
 
 }  // namespace
 
@@ -27,41 +77,30 @@ void matmul(const double* a, const double* b, double* c, int m, int k,
     return;
   }
   if (m < kTransposeMinRows) {
-    for (int i = 0; i < m; ++i) {
-      const double* arow = a + static_cast<std::size_t>(i) * k;
-      double* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        double acc = 0.0;
-        for (int p = 0; p < k; ++p) {
-          acc += arow[p] * b[static_cast<std::size_t>(p) * n + j];
-        }
-        crow[j] = acc;
-      }
-    }
+    dot_cols(a, b, c, m, k, n, 0);
     return;
   }
-  // Transpose B once so every dot product reads both operands sequentially,
-  // then tile the output so the B^T slice is reused across a row block.
-  thread_local std::vector<double> bt;
-  bt.resize(static_cast<std::size_t>(n) * k);
-  for (int p = 0; p < k; ++p) {
-    for (int j = 0; j < n; ++j) {
-      bt[static_cast<std::size_t>(j) * k + p] =
-          b[static_cast<std::size_t>(p) * n + j];
-    }
+  // Batched path: register-tiled accumulation, two C rows x kTileCols
+  // columns per tile. Every C element still sums with a single accumulator
+  // in ascending p order — identical multiply/add sequences to the m == 1
+  // strided path — but the accumulators live in registers for the whole
+  // p sweep and each loaded B row feeds both tile rows, so the fixed-width
+  // inner loops vectorize with no C-row store/reload traffic. This is
+  // where the cross-request batched decode gets its single-core speedup
+  // over row-at-a-time decoding.
+  int j0 = 0;
+  for (; j0 + kTileCols <= n; j0 += kTileCols) {
+    int i = 0;
+    for (; i + 2 <= m; i += 2) tile_rows<2>(a, b, c, i, j0, k, n);
+    for (; i < m; ++i) tile_rows<1>(a, b, c, i, j0, k, n);
   }
-  for (int i0 = 0; i0 < m; i0 += kTileI) {
-    const int i1 = std::min(m, i0 + kTileI);
-    for (int j0 = 0; j0 < n; j0 += kTileJ) {
-      const int j1 = std::min(n, j0 + kTileJ);
-      for (int i = i0; i < i1; ++i) {
-        const double* arow = a + static_cast<std::size_t>(i) * k;
-        double* crow = c + static_cast<std::size_t>(i) * n;
-        for (int j = j0; j < j1; ++j) {
-          crow[j] = dot(arow, bt.data() + static_cast<std::size_t>(j) * k, k);
-        }
-      }
-    }
+  if (j0 < n) dot_cols(a, b, c, m, k, n, j0);
+}
+
+void scatter_rows(const double* src, int rows, int dim, double* const* dst) {
+  for (int i = 0; i < rows; ++i) {
+    const double* row = src + static_cast<std::size_t>(i) * dim;
+    std::copy_n(row, dim, dst[i]);
   }
 }
 

@@ -13,10 +13,19 @@
 
 namespace vpr::nn::kern {
 
-/// C(m x n) = A(m x k) * B(k x n). Overwrites C. Large shapes go through a
-/// thread-local transposed copy of B (sequential loads in the dot products)
-/// with i/j tiling; small row counts use strided dots directly.
+/// C(m x n) = A(m x k) * B(k x n). Overwrites C. Large row counts go
+/// through a vectorized register-tile path — 2 x 16 output accumulators
+/// kept in registers across the shared-operand sweep of B — which is what
+/// the cross-request batched decode step leans on: stacking lanes into one
+/// m > 1 call replaces the m == 1 strided dots with full-width SIMD
+/// without changing any element's summation order. Small row counts and
+/// sub-tile column remainders use strided dots directly.
 void matmul(const double* a, const double* b, double* c, int m, int k, int n);
+
+/// Scatter `rows` contiguous (dim)-rows of `src` to per-row destinations:
+/// dst[i] receives src row i. Used by the batched decode step to fan a
+/// stacked K/V projection back out into per-lane cache slots.
+void scatter_rows(const double* src, int rows, int dim, double* const* dst);
 
 /// C(m x n) += A(m x k) * B^T, with B stored row-major as (n x k):
 /// C[i][j] += sum_p A[i][p] * B[j][p]. This is the naturally "transposed"

@@ -253,21 +253,18 @@ void SingleHeadAttention::infer_q(const double* x, int rows,
   kern::matmul(x, wq_.data().data(), q, rows, dim_, dim_);
 }
 
-void SingleHeadAttention::infer_attend(const double* q_row,
-                                       const double* k_rows,
-                                       const double* v_rows, int len,
-                                       double* out_row) const {
+void SingleHeadAttention::infer_ctx(const double* q_row, const double* k_rows,
+                                    const double* v_rows, int len,
+                                    double* ctx_row) const {
   // Mirrors the tape exactly: scores = (q . k_j) * 1/sqrt(d), row softmax,
-  // context = sum_j attn_j v_j (ascending j), then the Wo projection. The
-  // tape's additive -1e9 causal mask drives exp() to exactly 0.0 for masked
-  // columns, and adding those zero terms to the softmax denominator and the
-  // context accumulator leaves every bit unchanged — so attending over only
-  // the visible `len` rows reproduces the masked full-row arithmetic.
+  // context = sum_j attn_j v_j (ascending j). The tape's additive -1e9
+  // causal mask drives exp() to exactly 0.0 for masked columns, and adding
+  // those zero terms to the softmax denominator and the context accumulator
+  // leaves every bit unchanged — so attending over only the visible `len`
+  // rows reproduces the masked full-row arithmetic.
   const double s = 1.0 / std::sqrt(static_cast<double>(dim_));
   thread_local std::vector<double> scores;
-  thread_local std::vector<double> ctx;
   scores.resize(static_cast<std::size_t>(len));
-  ctx.resize(static_cast<std::size_t>(dim_));
   for (int j = 0; j < len; ++j) {
     scores[static_cast<std::size_t>(j)] =
         kern::dot(q_row, k_rows + static_cast<std::size_t>(j) * dim_, dim_) *
@@ -280,9 +277,36 @@ void SingleHeadAttention::infer_attend(const double* q_row,
       acc += scores[static_cast<std::size_t>(j)] *
              v_rows[static_cast<std::size_t>(j) * dim_ + c];
     }
-    ctx[static_cast<std::size_t>(c)] = acc;
+    ctx_row[c] = acc;
   }
+}
+
+void SingleHeadAttention::infer_attend(const double* q_row,
+                                       const double* k_rows,
+                                       const double* v_rows, int len,
+                                       double* out_row) const {
+  thread_local std::vector<double> ctx;
+  ctx.resize(static_cast<std::size_t>(dim_));
+  infer_ctx(q_row, k_rows, v_rows, len, ctx.data());
   kern::matmul(ctx.data(), wo_.data().data(), out_row, 1, dim_, dim_);
+}
+
+void SingleHeadAttention::infer_attend_batch(const double* q_rows, int rows,
+                                             const double* const* k_rows,
+                                             const double* const* v_rows,
+                                             const int* lens,
+                                             double* out_rows) const {
+  // The context mix is inherently per-lane (ragged lens), but the Wo
+  // projection of the stacked context rows is one blocked matmul; the
+  // kernel's per-element summation-order invariant keeps each row bitwise
+  // equal to the m == 1 projection infer_attend performs.
+  thread_local std::vector<double> ctx;
+  ctx.resize(static_cast<std::size_t>(rows) * dim_);
+  for (int i = 0; i < rows; ++i) {
+    infer_ctx(q_rows + static_cast<std::size_t>(i) * dim_, k_rows[i],
+              v_rows[i], lens[i], ctx.data() + static_cast<std::size_t>(i) * dim_);
+  }
+  kern::matmul(ctx.data(), wo_.data().data(), out_rows, rows, dim_, dim_);
 }
 
 void SingleHeadAttention::infer(const double* query, int lq,
@@ -419,6 +443,73 @@ void TransformerDecoderLayer::infer_step(const double* x_row, int pos,
         row_b[static_cast<std::size_t>(j)] + row_a[static_cast<std::size_t>(j)];
   }
   norm3_.infer(out_row, 1, out_row);
+}
+
+void TransformerDecoderLayer::infer_step_batch(
+    const double* x_rows, int rows, const int* pos, double* const* self_k,
+    double* const* self_v, const double* const* cross_k,
+    const double* const* cross_v, int mem_rows, double* out_rows) const {
+  const int d = dim();
+  const std::size_t size = static_cast<std::size_t>(rows) * d;
+  thread_local std::vector<double> q;
+  thread_local std::vector<double> kv_k;
+  thread_local std::vector<double> kv_v;
+  thread_local std::vector<double> attn;
+  thread_local std::vector<double> h1;
+  thread_local std::vector<double*> kv_dst;
+  thread_local std::vector<const double*> att_k;
+  thread_local std::vector<const double*> att_v;
+  thread_local std::vector<int> lens;
+  q.resize(size);
+  kv_k.resize(size);
+  kv_v.resize(size);
+  attn.resize(size);
+  h1.resize(size);
+  kv_dst.resize(static_cast<std::size_t>(rows));
+  att_k.resize(static_cast<std::size_t>(rows));
+  att_v.resize(static_cast<std::size_t>(rows));
+  lens.resize(static_cast<std::size_t>(rows));
+  double** dst = kv_dst.data();
+
+  // Self-attention: one stacked Q and K/V projection, scatter the fresh
+  // K/V rows into each lane's cache slot, then attend each lane over its
+  // own pos[i] + 1 visible rows.
+  self_attn_.infer_q(x_rows, rows, q.data());
+  self_attn_.infer_kv(x_rows, rows, kv_k.data(), kv_v.data());
+  for (int i = 0; i < rows; ++i) {
+    dst[i] = self_k[i] + static_cast<std::size_t>(pos[i]) * d;
+  }
+  kern::scatter_rows(kv_k.data(), rows, d, dst);
+  for (int i = 0; i < rows; ++i) {
+    dst[i] = self_v[i] + static_cast<std::size_t>(pos[i]) * d;
+  }
+  kern::scatter_rows(kv_v.data(), rows, d, dst);
+  for (int i = 0; i < rows; ++i) {
+    att_k[static_cast<std::size_t>(i)] = self_k[i];
+    att_v[static_cast<std::size_t>(i)] = self_v[i];
+    lens[static_cast<std::size_t>(i)] = pos[i] + 1;
+  }
+  self_attn_.infer_attend_batch(q.data(), rows, att_k.data(), att_v.data(),
+                                lens.data(), attn.data());
+  for (std::size_t i = 0; i < size; ++i) h1[i] = x_rows[i] + attn[i];
+  norm1_.infer(h1.data(), rows, h1.data());
+
+  // Cross-attention over each lane's precomputed memory projection.
+  cross_attn_.infer_q(h1.data(), rows, q.data());
+  for (int i = 0; i < rows; ++i) {
+    att_k[static_cast<std::size_t>(i)] = cross_k[i];
+    att_v[static_cast<std::size_t>(i)] = cross_v[i];
+    lens[static_cast<std::size_t>(i)] = mem_rows;
+  }
+  cross_attn_.infer_attend_batch(q.data(), rows, att_k.data(), att_v.data(),
+                                 lens.data(), attn.data());
+  for (std::size_t i = 0; i < size; ++i) attn[i] = h1[i] + attn[i];
+  norm2_.infer(attn.data(), rows, attn.data());  // attn = h2
+
+  // Feed-forward (already a stacked-rows path) + final residual/norm.
+  ffn_.infer(attn.data(), rows, h1.data());
+  for (std::size_t i = 0; i < size; ++i) out_rows[i] = attn[i] + h1[i];
+  norm3_.infer(out_rows, rows, out_rows);
 }
 
 std::vector<Tensor> TransformerDecoderLayer::parameters() const {

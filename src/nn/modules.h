@@ -137,10 +137,22 @@ class SingleHeadAttention final : public Module {
   /// row of forward().
   void infer_attend(const double* q_row, const double* k_rows,
                     const double* v_rows, int len, double* out_row) const;
+  /// Batched infer_attend over `rows` independent lanes: row i attends its
+  /// projected query over lens[i] cached rows at k_rows[i]/v_rows[i]. The
+  /// per-lane context rows are stacked and output-projected with a single
+  /// blocked matmul; each output row is bitwise identical to infer_attend.
+  void infer_attend_batch(const double* q_rows, int rows,
+                          const double* const* k_rows,
+                          const double* const* v_rows, const int* lens,
+                          double* out_rows) const;
   [[nodiscard]] int dim() const noexcept { return dim_; }
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 
  private:
+  /// Scores + softmax + value mix of one query row (no Wo projection).
+  void infer_ctx(const double* q_row, const double* k_rows,
+                 const double* v_rows, int len, double* ctx_row) const;
+
   int dim_;
   Tensor wq_, wk_, wv_, wo_;
 };
@@ -183,6 +195,18 @@ class TransformerDecoderLayer final : public Module {
                   double* self_v, const double* cross_k,
                   const double* cross_v, int mem_rows,
                   double* out_row) const;
+  /// Cross-lane batched infer_step: row i of x_rows is the input of an
+  /// independent lane at position pos[i] with its own K/V cache base
+  /// (self_k[i]/self_v[i]) and cross-attention memory projection
+  /// (cross_k[i]/cross_v[i], each mem_rows x dim). All lane projections
+  /// (Q/K/V, Wo, FFN) run as single blocked matmuls over the stacked rows;
+  /// out_rows may not alias x_rows. Row i is bitwise identical to
+  /// infer_step on the same lane.
+  void infer_step_batch(const double* x_rows, int rows, const int* pos,
+                        double* const* self_k, double* const* self_v,
+                        const double* const* cross_k,
+                        const double* const* cross_v, int mem_rows,
+                        double* out_rows) const;
   [[nodiscard]] int dim() const noexcept { return self_attn_.dim(); }
   [[nodiscard]] std::vector<Tensor> parameters() const override;
 

@@ -1,0 +1,190 @@
+#include "serve/bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "align/beam.h"
+#include "align/recipe_model.h"
+#include "serve/service.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace vpr::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSuiteDesigns = 17;
+
+/// One synthetic insight vector per suite design, seeded by design index:
+/// the same spread (normal * 0.5) the decode tests use, with the bias
+/// feature pinned to 1.0 like real extracted insight vectors.
+std::vector<std::vector<double>> suite_insights(int insight_dim) {
+  std::vector<std::vector<double>> insights;
+  insights.reserve(kSuiteDesigns);
+  for (int design = 1; design <= kSuiteDesigns; ++design) {
+    util::Rng rng{util::hash_combine(0x5e27eb43ULL,
+                                     static_cast<std::uint64_t>(design))};
+    std::vector<double> iv(static_cast<std::size_t>(insight_dim));
+    for (double& v : iv) v = rng.normal() * 0.5;
+    iv.back() = 1.0;
+    insights.push_back(std::move(iv));
+  }
+  return insights;
+}
+
+bool candidates_bitwise_equal(const std::vector<align::BeamCandidate>& a,
+                              const std::vector<align::BeamCandidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].recipes.to_u64() != b[i].recipes.to_u64()) return false;
+    if (a[i].log_prob != b[i].log_prob) return false;
+  }
+  return true;
+}
+
+/// `key value` per line; '#' starts a comment. Missing file => empty map
+/// (first run, no warnings). Same candidate-path scheme as the flow
+/// baseline: ctest runs benchmarks from build subdirectories.
+std::unordered_map<std::string, double> read_serve_baseline() {
+  std::unordered_map<std::string, double> baseline;
+  for (const char* candidate :
+       {"bench/BENCH_serve_baseline.txt", "../bench/BENCH_serve_baseline.txt",
+        "../../bench/BENCH_serve_baseline.txt", "BENCH_serve_baseline.txt"}) {
+    std::ifstream is{candidate};
+    if (!is) continue;
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls{line};
+      std::string key;
+      double value = 0.0;
+      if (ls >> key >> value) baseline[key] = value;
+    }
+    break;
+  }
+  return baseline;
+}
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int run_serve_bench(const ServeBenchOptions& opts) {
+  util::Rng rng{7};
+  const align::RecipeModel model{align::ModelConfig{}, rng};
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  // Per-design oracle: a fresh, lone beam_search. Every serial and batched
+  // response must match it bitwise.
+  std::vector<std::vector<align::BeamCandidate>> expected;
+  expected.reserve(insights.size());
+  for (const auto& iv : insights) {
+    expected.push_back(align::beam_search(model, iv, opts.beam_width));
+  }
+
+  bool bitwise_match = true;
+
+  // --- serial baseline: one request at a time, fresh session each --------
+  double serial_ms = 0.0;
+  for (int sweep = 0; sweep < opts.sweeps; ++sweep) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < opts.requests; ++i) {
+      const int k = i % kSuiteDesigns;
+      const auto out = align::beam_search(model, insights[k], opts.beam_width);
+      bitwise_match = bitwise_match && candidates_bitwise_equal(out, expected[k]);
+    }
+    const double sweep_ms = ms_since(t0);
+    if (sweep == 0 || sweep_ms < serial_ms) serial_ms = sweep_ms;
+  }
+
+  // --- batched: all requests in flight through the micro-batcher ---------
+  double batched_ms = 0.0;
+  ServiceCounters counters;
+  for (int sweep = 0; sweep < opts.sweeps; ++sweep) {
+    ServiceConfig config;
+    config.max_inflight = opts.concurrency;
+    config.max_beam_width = opts.beam_width;
+    config.queue_capacity =
+        static_cast<std::size_t>(std::max(opts.requests, 1));
+    RecommendService service{model, config};
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<std::size_t>(opts.requests));
+    const auto t0 = Clock::now();
+    for (int i = 0; i < opts.requests; ++i) {
+      futures.push_back(
+          service.submit(insights[i % kSuiteDesigns], opts.beam_width));
+    }
+    for (int i = 0; i < opts.requests; ++i) {
+      const Response response = futures[static_cast<std::size_t>(i)].get();
+      bitwise_match = bitwise_match && response.status == Status::kOk &&
+                      candidates_bitwise_equal(response.candidates,
+                                               expected[i % kSuiteDesigns]);
+    }
+    const double sweep_ms = ms_since(t0);
+    if (sweep == 0 || sweep_ms < batched_ms) batched_ms = sweep_ms;
+    counters = service.counters();
+    service.stop();
+  }
+
+  const double serial_qps = 1000.0 * opts.requests / serial_ms;
+  const double batched_qps = 1000.0 * opts.requests / batched_ms;
+  const double speedup = serial_ms / batched_ms;
+
+  util::Json root = util::Json::object();
+  root["requests"] = opts.requests;
+  root["concurrency"] = opts.concurrency;
+  root["beam_width"] = opts.beam_width;
+  root["suite_designs"] = kSuiteDesigns;
+  root["sweeps"] = opts.sweeps;
+  root["serial_ms"] = serial_ms;
+  root["batched_ms"] = batched_ms;
+  root["serial_qps"] = serial_qps;
+  root["batched_qps"] = batched_qps;
+  root["speedup"] = speedup;
+  root["bitwise_match"] = bitwise_match;
+  root["service"] = counters.to_json();
+
+  const auto baseline = read_serve_baseline();
+  const auto warn_slower = [&](const std::string& key, double current_qps) {
+    const auto it = baseline.find(key);
+    if (it == baseline.end()) return;
+    if (current_qps < it->second / 1.25) {
+      std::fprintf(stderr,
+                   "WARNING: BENCH_serve regression: %s = %.2f req/s vs "
+                   "baseline %.2f req/s (<1/1.25x)\n",
+                   key.c_str(), current_qps, it->second);
+    }
+  };
+  warn_slower("serve_batched_qps", batched_qps);
+  warn_slower("serve_serial_qps", serial_qps);
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: BENCH_serve: batched/serial speedup %.2fx is "
+                 "below the 2x acceptance bar\n",
+                 speedup);
+  }
+  if (!bitwise_match) {
+    std::fprintf(stderr,
+                 "ERROR: BENCH_serve: batched responses are not bitwise "
+                 "identical to per-request beam_search\n");
+  }
+
+  std::ofstream os{opts.json_path};
+  root.write(os);
+  os << '\n';
+  std::printf("wrote %s\n%s\n", opts.json_path.c_str(), root.dump().c_str());
+  return bitwise_match ? 0 : 1;
+}
+
+}  // namespace vpr::serve

@@ -1,0 +1,30 @@
+#pragma once
+// Serving-throughput benchmark behind `insightalign serve-bench`: replays N
+// concurrent synthetic recommend requests over the 17 suite designs through
+// RecommendService (cross-request batched) and through a serial
+// per-request beam_search loop, verifies the batched responses are bitwise
+// identical to fresh per-request decodes, and emits BENCH_serve.json.
+
+#include <string>
+
+namespace vpr::serve {
+
+struct ServeBenchOptions {
+  /// Total requests per sweep, round-robined over the 17 suite insights.
+  int requests = 34;
+  /// Concurrent in-flight requests (service max_inflight). The acceptance
+  /// bar (>= 2x batched-vs-serial) is stated at >= 8 concurrency.
+  int concurrency = 12;
+  int beam_width = 5;
+  /// Best-of sweeps for both variants (cancels scheduler noise).
+  int sweeps = 3;
+  std::string json_path = "BENCH_serve.json";
+};
+
+/// Runs the benchmark, writes opts.json_path, prints it to stdout, and
+/// warns (stderr, never fails) on baseline regressions and on a speedup
+/// below the 2x acceptance bar. Returns 0 on success, 1 when the batched
+/// responses are not bitwise identical to the per-request oracle.
+int run_serve_bench(const ServeBenchOptions& opts);
+
+}  // namespace vpr::serve

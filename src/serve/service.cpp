@@ -1,0 +1,348 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace vpr::serve {
+
+namespace {
+
+double ms_between(RecommendService::Clock::time_point from,
+                  RecommendService::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kTimedOut:
+      return "timed_out";
+    case Status::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+util::Json ServiceCounters::to_json() const {
+  util::Json j = util::Json::object();
+  j["submitted"] = static_cast<double>(submitted);
+  j["completed"] = static_cast<double>(completed);
+  j["rejected"] = static_cast<double>(rejected);
+  j["timed_out"] = static_cast<double>(timed_out);
+  j["ticks"] = static_cast<double>(ticks);
+  j["batched_lanes"] = static_cast<double>(batched_lanes);
+  j["mean_batch_lanes"] = mean_batch_lanes;
+  j["peak_inflight"] = static_cast<double>(peak_inflight);
+  j["queue_depth"] = static_cast<double>(queue_depth);
+  j["p50_latency_ms"] = p50_latency_ms;
+  j["p95_latency_ms"] = p95_latency_ms;
+  j["qps"] = qps;
+  j["sessions_created"] = static_cast<double>(sessions_created);
+  j["session_reuses"] = static_cast<double>(session_reuses);
+  return j;
+}
+
+RecommendService::RecommendService(const align::RecipeModel& model,
+                                   ServiceConfig config)
+    : model_(&model),
+      config_(config),
+      arena_(model, std::max(1, config.max_inflight),
+             2 * std::max(1, config.max_beam_width)),
+      queue_(config.queue_capacity) {
+  if (config_.max_inflight < 1) {
+    throw std::invalid_argument("RecommendService: max_inflight < 1");
+  }
+  if (config_.max_beam_width < 1) {
+    throw std::invalid_argument("RecommendService: max_beam_width < 1");
+  }
+  if (config_.queue_capacity < 1) {
+    throw std::invalid_argument("RecommendService: queue_capacity < 1");
+  }
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+RecommendService::~RecommendService() { stop(); }
+
+std::future<Response> RecommendService::submit(
+    std::vector<double> insight, int beam_width,
+    std::chrono::milliseconds deadline) {
+  const auto dim = static_cast<std::size_t>(model_->config().insight_dim);
+  if (insight.size() != dim) {
+    throw std::invalid_argument(
+        "RecommendService::submit: insight dimension mismatch");
+  }
+  if (beam_width < 1 || beam_width > config_.max_beam_width) {
+    throw std::invalid_argument(
+        "RecommendService::submit: beam width out of range");
+  }
+
+  Request request;
+  request.insight = std::move(insight);
+  request.beam_width = beam_width;
+  request.submitted_at = Clock::now();
+  request.deadline = deadline == kNoDeadline
+                         ? Clock::time_point::max()
+                         : request.submitted_at + deadline;
+  std::future<Response> future = request.promise.get_future();
+
+  {
+    std::lock_guard lock(counters_mutex_);
+    ++counters_.submitted;
+    if (!any_submitted_) {
+      any_submitted_ = true;
+      first_submit_ = request.submitted_at;
+    }
+  }
+
+  if (queue_.closed()) {
+    respond(request, Status::kShutdown, {}, {});
+    return future;
+  }
+  if (!queue_.try_push(std::move(request))) {
+    // A failed try_push leaves `request` (and its promise) untouched.
+    // Counter before promise, as in admit()/finish().
+    {
+      std::lock_guard lock(counters_mutex_);
+      ++counters_.rejected;
+    }
+    respond(request, Status::kRejected, {}, {});
+  }
+  return future;
+}
+
+Response RecommendService::recommend(std::vector<double> insight,
+                                     int beam_width,
+                                     std::chrono::milliseconds deadline) {
+  return submit(std::move(insight), beam_width, deadline).get();
+}
+
+void RecommendService::pause() {
+  std::lock_guard lock(pause_mutex_);
+  paused_ = true;
+}
+
+void RecommendService::resume() {
+  {
+    std::lock_guard lock(pause_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void RecommendService::stop() {
+  bool join = false;
+  {
+    std::lock_guard lock(pause_mutex_);
+    if (!stopped_) {
+      stopped_ = true;
+      paused_ = false;
+      join = true;
+    }
+  }
+  if (!join) return;
+  pause_cv_.notify_all();
+  queue_.close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+ServiceCounters RecommendService::counters() const {
+  std::lock_guard lock(counters_mutex_);
+  ServiceCounters snapshot = counters_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.mean_batch_lanes =
+      snapshot.ticks > 0 ? static_cast<double>(snapshot.batched_lanes) /
+                               static_cast<double>(snapshot.ticks)
+                         : 0.0;
+  if (!latencies_ms_.empty()) {
+    snapshot.p50_latency_ms = util::percentile(latencies_ms_, 50.0);
+    snapshot.p95_latency_ms = util::percentile(latencies_ms_, 95.0);
+  }
+  if (snapshot.completed > 0 && last_complete_ > first_submit_) {
+    snapshot.qps = static_cast<double>(snapshot.completed) /
+                   std::chrono::duration<double>(last_complete_ - first_submit_)
+                       .count();
+  }
+  return snapshot;
+}
+
+void RecommendService::respond(Request& request, Status status,
+                               std::vector<align::BeamCandidate> candidates,
+                               Clock::time_point admitted_at) {
+  const auto now = Clock::now();
+  Response response;
+  response.status = status;
+  response.candidates = std::move(candidates);
+  response.total_ms = ms_between(request.submitted_at, now);
+  response.queue_ms = admitted_at == Clock::time_point{}
+                          ? response.total_ms
+                          : ms_between(request.submitted_at, admitted_at);
+  request.promise.set_value(std::move(response));
+}
+
+void RecommendService::admit(Request&& request,
+                             std::vector<Inflight>& inflight) {
+  const auto now = Clock::now();
+  // Counters update before respond() fulfills the promise, so a caller
+  // that .get()s the response and immediately snapshots counters() sees
+  // its own outcome reflected.
+  if (now >= request.deadline) {
+    {
+      std::lock_guard lock(counters_mutex_);
+      ++counters_.timed_out;
+    }
+    respond(request, Status::kTimedOut, {}, now);
+    return;
+  }
+  align::DecodeSession* session = arena_.acquire(request.insight);
+  if (session == nullptr) {
+    // Unreachable while max_inflight == arena capacity; kept as a guard.
+    {
+      std::lock_guard lock(counters_mutex_);
+      ++counters_.rejected;
+    }
+    respond(request, Status::kRejected, {}, now);
+    return;
+  }
+  Inflight flight;
+  flight.request = std::move(request);
+  flight.session = session;
+  flight.decoder = std::make_unique<align::BeamDecoder>(
+      *session, flight.request.beam_width);
+  flight.admitted_at = now;
+  inflight.push_back(std::move(flight));
+  std::lock_guard lock(counters_mutex_);
+  counters_.sessions_created = arena_.created();
+  counters_.session_reuses = arena_.reuses();
+  counters_.peak_inflight =
+      std::max<std::uint64_t>(counters_.peak_inflight, inflight.size());
+}
+
+void RecommendService::finish(Inflight& flight, Status status) {
+  std::vector<align::BeamCandidate> candidates;
+  if (status == Status::kOk) candidates = flight.decoder->result();
+
+  // Update the counters before fulfilling the promise: a caller that
+  // .get()s the final response and immediately snapshots counters() must
+  // see its own completion reflected.
+  {
+    std::lock_guard lock(counters_mutex_);
+    if (status == Status::kOk) {
+      ++counters_.completed;
+      last_complete_ = Clock::now();
+      latencies_ms_.push_back(
+          ms_between(flight.request.submitted_at, last_complete_));
+    } else if (status == Status::kTimedOut) {
+      ++counters_.timed_out;
+    }
+  }
+
+  respond(flight.request, status, std::move(candidates), flight.admitted_at);
+  arena_.release(flight.session);
+  flight.session = nullptr;
+}
+
+void RecommendService::forward_batch(std::span<const align::BatchStep> steps,
+                                     double* probs) {
+  const auto grain = static_cast<std::size_t>(std::max(1, config_.batch_grain));
+  if (config_.batch_workers == 1 || steps.size() <= grain) {
+    align::DecodeSession::step_batch(steps, probs);
+  } else {
+    // Lanes are independent and chunking does not change any per-element
+    // accumulation order, so a parallel chunked forward stays bitwise
+    // identical to the single-call one.
+    const std::size_t chunks = (steps.size() + grain - 1) / grain;
+    util::ThreadPool::shared().parallel_for(
+        chunks,
+        [&](std::size_t c) {
+          const std::size_t begin = c * grain;
+          const std::size_t end = std::min(steps.size(), begin + grain);
+          align::DecodeSession::step_batch(steps.subspan(begin, end - begin),
+                                           probs + begin);
+        },
+        config_.batch_workers);
+  }
+  std::lock_guard lock(counters_mutex_);
+  ++counters_.ticks;
+  counters_.batched_lanes += steps.size();
+}
+
+void RecommendService::batcher_loop() {
+  std::vector<Inflight> inflight;
+  std::vector<align::BatchStep> steps;
+  std::vector<std::size_t> slice_begin;
+  std::vector<double> probs;
+
+  const auto wait_if_paused = [this] {
+    std::unique_lock lock(pause_mutex_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  };
+
+  while (true) {
+    wait_if_paused();
+
+    Request request;
+    while (static_cast<int>(inflight.size()) < config_.max_inflight &&
+           queue_.try_pop(request)) {
+      admit(std::move(request), inflight);
+    }
+    if (inflight.empty()) {
+      if (!queue_.pop(request)) break;  // closed and drained
+      // Re-check the pause flag so pause() freezes admission too; the
+      // request's deadline keeps running while held here.
+      wait_if_paused();
+      admit(std::move(request), inflight);
+      continue;
+    }
+
+    // Expire deadlines between ticks.
+    const auto now = Clock::now();
+    std::erase_if(inflight, [&](Inflight& flight) {
+      if (now < flight.request.deadline) return false;
+      finish(flight, Status::kTimedOut);
+      return true;
+    });
+    if (inflight.empty()) continue;
+
+    // Gather every in-flight decoder's pending lane queries into one batch.
+    steps.clear();
+    slice_begin.clear();
+    for (const Inflight& flight : inflight) {
+      slice_begin.push_back(steps.size());
+      for (const align::BeamDecoder::StepRef& ref :
+           flight.decoder->pending()) {
+        steps.push_back({flight.session, ref.lane, ref.prev_decision});
+      }
+    }
+    probs.resize(steps.size());
+    forward_batch(steps, probs.data());
+
+    // Scatter probability slices back and advance each beam.
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+      const std::size_t begin = slice_begin[i];
+      const std::size_t end =
+          i + 1 < slice_begin.size() ? slice_begin[i + 1] : steps.size();
+      inflight[i].decoder->apply(
+          std::span<const double>(probs).subspan(begin, end - begin));
+    }
+
+    std::erase_if(inflight, [&](Inflight& flight) {
+      if (!flight.decoder->done()) return false;
+      finish(flight, Status::kOk);
+      return true;
+    });
+  }
+
+  // Queue closed and drained; inflight is empty here by construction (the
+  // loop only reaches the blocking pop when nothing is in flight).
+}
+
+}  // namespace vpr::serve

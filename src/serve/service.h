@@ -1,0 +1,181 @@
+#pragma once
+// Long-lived recommendation service with cross-request micro-batching.
+//
+// Callers submit (insight, beam width, deadline) and get a future. A single
+// batcher thread owns all decode state: each tick it admits queued requests
+// (up to max_inflight), gathers the pending beam-lane queries of every
+// in-flight BeamDecoder into one std::vector<BatchStep>, runs them as one
+// batched forward (DecodeSession::step_batch stacks the lane rows into
+// blocked matmuls), then scatters the probability slices back into each
+// decoder's apply(). Lanes from different requests therefore share the
+// per-step weight traffic that a serial per-request decode pays once per
+// lane.
+//
+// Because every kernel accumulates each output element in one ascending
+// chain regardless of batch rows, a batched response is bitwise identical
+// to running beam_search() alone for the same insight — see
+// docs/serving.md for the full argument.
+//
+// Deadline semantics: a request's deadline is checked at admission and
+// between ticks; once decoding of a tick's batch has started it runs to
+// the end of the tick. Expired requests complete with kTimedOut. A full
+// admission queue rejects immediately with kRejected (backpressure is
+// surfaced to the caller, never buffered unboundedly).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "align/beam.h"
+#include "align/recipe_model.h"
+#include "serve/arena.h"
+#include "util/json.h"
+#include "util/mpmc_queue.h"
+
+namespace vpr::serve {
+
+enum class Status {
+  kOk = 0,
+  kRejected,  // admission queue full
+  kTimedOut,  // deadline expired before completion
+  kShutdown,  // submitted after stop()
+};
+
+[[nodiscard]] const char* to_string(Status status) noexcept;
+
+struct ServiceConfig {
+  /// Requests decoded concurrently (also the session-arena capacity).
+  int max_inflight = 8;
+  /// Largest admissible per-request beam width.
+  int max_beam_width = 8;
+  /// Admission queue bound; try_push beyond it rejects.
+  std::size_t queue_capacity = 256;
+  /// Thread-pool participants for the batched forward (1 = run inline on
+  /// the batcher thread, 0 = every pool participant). Chunking preserves
+  /// bitwise results, so this only trades latency for parallelism.
+  unsigned batch_workers = 1;
+  /// Lanes per parallel chunk when batch_workers != 1.
+  int batch_grain = 16;
+};
+
+struct Response {
+  Status status = Status::kShutdown;
+  /// Top-K candidates, best first (empty unless status == kOk).
+  std::vector<align::BeamCandidate> candidates;
+  double queue_ms = 0.0;  // submit -> admission
+  double total_ms = 0.0;  // submit -> completion
+};
+
+struct ServiceCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t batched_lanes = 0;  // sum of batch sizes over all ticks
+  std::uint64_t peak_inflight = 0;
+  std::uint64_t queue_depth = 0;  // at snapshot time
+  /// Mean lanes per batched forward (batch occupancy).
+  double mean_batch_lanes = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  /// Completed requests per second, first submit -> last completion.
+  double qps = 0.0;
+  long sessions_created = 0;
+  long session_reuses = 0;
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class RecommendService {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Deadline value meaning "no deadline".
+  static constexpr std::chrono::milliseconds kNoDeadline{0};
+
+  explicit RecommendService(const align::RecipeModel& model,
+                            ServiceConfig config = {});
+  ~RecommendService();
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  /// Enqueue a request. The future resolves with kOk and the candidates,
+  /// or with kRejected (queue full) / kTimedOut (deadline expired) /
+  /// kShutdown (service stopped). Throws std::invalid_argument for a bad
+  /// insight dimension or beam width — malformed input is a caller bug,
+  /// not a load condition.
+  [[nodiscard]] std::future<Response> submit(
+      std::vector<double> insight, int beam_width,
+      std::chrono::milliseconds deadline = kNoDeadline);
+
+  /// Blocking submit().get().
+  [[nodiscard]] Response recommend(
+      std::vector<double> insight, int beam_width,
+      std::chrono::milliseconds deadline = kNoDeadline);
+
+  /// Hold the batcher before its next tick (deterministic backpressure /
+  /// deadline tests). Queued requests stay queued; deadlines keep running.
+  void pause();
+  void resume();
+
+  /// Drain: close admission, finish everything queued and in flight, join
+  /// the batcher. Idempotent; also called by the destructor. Requests
+  /// submitted after stop() resolve immediately with kShutdown.
+  void stop();
+
+  [[nodiscard]] ServiceCounters counters() const;
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Request {
+    std::vector<double> insight;
+    int beam_width = 0;
+    Clock::time_point submitted_at{};
+    Clock::time_point deadline{};  // time_point::max() == no deadline
+    std::promise<Response> promise;
+  };
+  struct Inflight {
+    Request request;
+    align::DecodeSession* session = nullptr;
+    std::unique_ptr<align::BeamDecoder> decoder;
+    Clock::time_point admitted_at{};
+  };
+
+  void batcher_loop();
+  void admit(Request&& request, std::vector<Inflight>& inflight);
+  void forward_batch(std::span<const align::BatchStep> steps, double* probs);
+  void finish(Inflight& flight, Status status);
+  static void respond(Request& request, Status status,
+                      std::vector<align::BeamCandidate> candidates,
+                      Clock::time_point admitted_at);
+
+  const align::RecipeModel* model_;
+  ServiceConfig config_;
+  SessionArena arena_;
+  util::MpmcQueue<Request> queue_;
+
+  mutable std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  mutable std::mutex counters_mutex_;
+  ServiceCounters counters_;
+  std::vector<double> latencies_ms_;
+  Clock::time_point first_submit_{};
+  Clock::time_point last_complete_{};
+  bool any_submitted_ = false;
+
+  bool stopped_ = false;  // guarded by pause_mutex_
+  std::thread batcher_;
+};
+
+}  // namespace vpr::serve

@@ -1,0 +1,85 @@
+#pragma once
+// Bounded multi-producer/multi-consumer queue with blocking pop and
+// non-blocking push. Producers that hit the capacity bound get an
+// immediate `false` instead of blocking, which is the admission-control
+// behaviour the serve layer wants: a full queue means the service is
+// saturated and the request should be rejected, not buffered forever.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace vpr::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Enqueue unless the queue is full or closed. Never blocks.
+  [[nodiscard]] bool try_push(T&& value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, blocking until an item arrives or the queue is closed.
+  /// Returns false only when closed and drained.
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Dequeue if an item is immediately available. Never blocks.
+  [[nodiscard]] bool try_pop(T& out) {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Reject future pushes and wake every blocked pop. Items already queued
+  /// remain poppable (drain-then-stop semantics).
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace vpr::util

@@ -1,0 +1,130 @@
+// Cross-session batched decoding (DecodeSession::step_batch) vs per-lane
+// step(): the batched forward stacks lane rows into blocked matmuls, and
+// the serving layer's correctness rests on the two being bitwise
+// identical. Exact equality is the contract, not a tolerance.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "align/recipe_model.h"
+
+namespace vpr::align {
+namespace {
+
+std::vector<double> test_insight(util::Rng& rng) {
+  std::vector<double> iv(72);
+  for (double& v : iv) v = rng.normal() * 0.5;
+  iv.back() = 1.0;
+  return iv;
+}
+
+TEST(StepBatch, MatchesPerLaneStepExactly) {
+  // Two identical sessions over the same insight: one advances its lanes
+  // through step_batch, the other lane by lane. Every probability and the
+  // entire downstream decode must agree bitwise at every position.
+  util::Rng rng{61};
+  const RecipeModel model{ModelConfig{}, rng};
+  const auto iv = test_insight(rng);
+  constexpr int kLanes = 6;
+  DecodeSession batched = model.decode(iv, kLanes);
+  DecodeSession serial = model.decode(iv, kLanes);
+
+  std::vector<int> prev(kLanes, 0);
+  std::vector<BatchStep> steps;
+  std::vector<double> probs(kLanes);
+  for (int t = 0; t < model.config().num_recipes; ++t) {
+    steps.clear();
+    for (int lane = 0; lane < kLanes; ++lane) {
+      steps.push_back({&batched, lane, prev[static_cast<std::size_t>(lane)]});
+    }
+    DecodeSession::step_batch(steps, probs.data());
+    for (int lane = 0; lane < kLanes; ++lane) {
+      const double expect =
+          serial.step(lane, prev[static_cast<std::size_t>(lane)]);
+      ASSERT_DOUBLE_EQ(probs[static_cast<std::size_t>(lane)], expect)
+          << "lane " << lane << " step " << t;
+      // Diverging per-lane decisions exercise distinct prefixes.
+      prev[static_cast<std::size_t>(lane)] = (t + lane) % 2;
+    }
+  }
+}
+
+TEST(StepBatch, MixedLaneLengthsAndCrossSessionBatch) {
+  // Lanes at different positions, spread across two sessions with
+  // different insights, batched together — the serving layer's steady
+  // state. Each result must equal the corresponding serial step.
+  util::Rng rng{62};
+  const RecipeModel model{ModelConfig{}, rng};
+  const auto iv_a = test_insight(rng);
+  const auto iv_b = test_insight(rng);
+  DecodeSession a = model.decode(iv_a, 2);
+  DecodeSession b = model.decode(iv_b, 2);
+  DecodeSession a_ref = model.decode(iv_a, 2);
+  DecodeSession b_ref = model.decode(iv_b, 2);
+
+  // Stagger the lanes: a.lane0 at t=3, a.lane1 at t=1, b.lane0 at t=0.
+  for (int t = 0; t < 3; ++t) {
+    (void)a.step(0, t % 2);
+    (void)a_ref.step(0, t % 2);
+  }
+  (void)a.step(1, 0);
+  (void)a_ref.step(1, 0);
+
+  const std::vector<BatchStep> steps{{&a, 0, 1}, {&a, 1, 1}, {&b, 0, 0}};
+  double probs[3] = {};
+  DecodeSession::step_batch(steps, probs);
+  EXPECT_DOUBLE_EQ(probs[0], a_ref.step(0, 1));
+  EXPECT_DOUBLE_EQ(probs[1], a_ref.step(1, 1));
+  EXPECT_DOUBLE_EQ(probs[2], b_ref.step(0, 0));
+  EXPECT_EQ(a.length(0), 4);
+  EXPECT_EQ(a.length(1), 2);
+  EXPECT_EQ(b.length(0), 1);
+}
+
+TEST(StepBatch, EmptyBatchIsANoOp) {
+  DecodeSession::step_batch({}, nullptr);
+}
+
+TEST(StepBatch, RejectsSessionsFromDifferentModels) {
+  util::Rng rng_a{63};
+  util::Rng rng_b{64};
+  const RecipeModel model_a{ModelConfig{}, rng_a};
+  const RecipeModel model_b{ModelConfig{}, rng_b};
+  util::Rng rng{65};
+  const auto iv = test_insight(rng);
+  DecodeSession a = model_a.decode(iv, 1);
+  DecodeSession b = model_b.decode(iv, 1);
+  const std::vector<BatchStep> steps{{&a, 0, 0}, {&b, 0, 0}};
+  double probs[2] = {};
+  EXPECT_THROW(DecodeSession::step_batch(steps, probs),
+               std::invalid_argument);
+  const std::vector<BatchStep> with_null{{&a, 0, 0}, {nullptr, 0, 0}};
+  EXPECT_THROW(DecodeSession::step_batch(with_null, probs),
+               std::invalid_argument);
+}
+
+TEST(DecodeSession, RebindMatchesFreshSession) {
+  // The serve arena recycles sessions via rebind(); a rebound session must
+  // be bitwise indistinguishable from a freshly constructed one.
+  util::Rng rng{66};
+  const RecipeModel model{ModelConfig{}, rng};
+  const auto iv_first = test_insight(rng);
+  const auto iv_second = test_insight(rng);
+
+  DecodeSession recycled = model.decode(iv_first, 2);
+  for (int t = 0; t < 5; ++t) (void)recycled.step(0, t % 2);
+  recycled.rebind(iv_second);
+  EXPECT_EQ(recycled.length(0), 0);
+  EXPECT_EQ(recycled.length(1), 0);
+
+  DecodeSession fresh = model.decode(iv_second, 2);
+  for (int t = 0; t < model.config().num_recipes; ++t) {
+    ASSERT_DOUBLE_EQ(recycled.step(0, t % 2), fresh.step(0, t % 2))
+        << "step " << t;
+  }
+}
+
+}  // namespace
+}  // namespace vpr::align

@@ -1,0 +1,109 @@
+// The insightalign binary's argument-validation helpers (cli/options.h),
+// exercised in-process — these are the usage() exit-code-2 paths that the
+// CLI smoke tests can only observe end to end. The strictness assertions
+// pin the fix for the seed parser's silent std::stoi truncation ("8x" used
+// to parse as 8).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cli/options.h"
+#include "util/args.h"
+
+namespace vpr::cli {
+namespace {
+
+util::Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "insightalign");
+  return util::Args{static_cast<int>(argv.size()), argv.data()};
+}
+
+std::string usage_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const UsageError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ParseCommand, MapsEveryKnownCommand) {
+  EXPECT_EQ(parse_command("suite"), Command::kSuite);
+  EXPECT_EQ(parse_command("recipes"), Command::kRecipes);
+  EXPECT_EQ(parse_command("run"), Command::kRun);
+  EXPECT_EQ(parse_command("probe"), Command::kProbe);
+  EXPECT_EQ(parse_command("align"), Command::kAlign);
+  EXPECT_EQ(parse_command("recommend"), Command::kRecommend);
+  EXPECT_EQ(parse_command("tune"), Command::kTune);
+  EXPECT_EQ(parse_command("serve-bench"), Command::kServeBench);
+}
+
+TEST(ParseCommand, UnknownCommandNamesTheOffender) {
+  EXPECT_THROW((void)parse_command("serve"), UsageError);
+  const std::string message =
+      usage_message([] { (void)parse_command("frobnicate"); });
+  EXPECT_NE(message.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(ParseIntList, ParsesAndRejectsStrictly) {
+  EXPECT_EQ(parse_int_list("1,8,24"), (std::vector<int>{1, 8, 24}));
+  EXPECT_EQ(parse_int_list("7"), (std::vector<int>{7}));
+  EXPECT_TRUE(parse_int_list("").empty());
+  // The regression this parser exists for: "8x" must not truncate to 8.
+  EXPECT_THROW((void)parse_int_list("1,8x,24"), UsageError);
+  EXPECT_THROW((void)parse_int_list("a"), UsageError);
+  EXPECT_THROW((void)parse_int_list("1, 2"), UsageError);  // stray space
+}
+
+TEST(ParseDesignSpec, RangesListsAndErrors) {
+  EXPECT_EQ(parse_design_spec("1-4"), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(parse_design_spec("3"), (std::vector<int>{3}));
+  EXPECT_EQ(parse_design_spec("1,4,7"), (std::vector<int>{1, 4, 7}));
+  EXPECT_EQ(parse_design_spec("5-5"), (std::vector<int>{5}));
+  EXPECT_THROW((void)parse_design_spec("6-1"), UsageError);  // empty range
+  EXPECT_THROW((void)parse_design_spec("1-"), UsageError);
+  EXPECT_THROW((void)parse_design_spec("-3"), UsageError);
+  EXPECT_THROW((void)parse_design_spec("1-3x"), UsageError);
+}
+
+TEST(ParseDesignIndex, ValidatesPresenceTypeAndRange) {
+  EXPECT_EQ(parse_design_index(make_args({"--design", "5"}), "run", 17), 5);
+  // Missing flag falls through to the range check (0 is never valid).
+  EXPECT_THROW((void)parse_design_index(make_args({}), "run", 17),
+               UsageError);
+  EXPECT_THROW(
+      (void)parse_design_index(make_args({"--design", "18"}), "run", 17),
+      UsageError);
+  EXPECT_THROW(
+      (void)parse_design_index(make_args({"--design", "zero"}), "probe", 17),
+      UsageError);
+  const std::string message = usage_message([&] {
+    (void)parse_design_index(make_args({"--design", "99"}), "probe", 17);
+  });
+  EXPECT_NE(message.find("probe"), std::string::npos);
+  EXPECT_NE(message.find("1..17"), std::string::npos);
+}
+
+TEST(RequireReadable, AcceptsExistingRejectsMissing) {
+  const std::string path = ::testing::TempDir() + "options_test_model.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("x", f);
+    std::fclose(f);
+  }
+  EXPECT_NO_THROW(require_readable(path, "model"));
+  std::remove(path.c_str());
+  EXPECT_THROW(require_readable(path, "model"), UsageError);
+  const std::string message = usage_message(
+      [&] { require_readable("/nonexistent/model.bin", "model"); });
+  EXPECT_NE(message.find("cannot read model /nonexistent/model.bin"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpr::cli

@@ -1,0 +1,230 @@
+// RecommendService: cross-request batched serving must be bitwise
+// identical to per-request beam_search (and, transitively, to the tape
+// reference oracle), and the service-level behaviours — admission
+// backpressure, deadlines, drain-on-stop, arena reuse — must be
+// deterministic enough to assert. pause()/resume() freeze the batcher
+// between ticks, which is what makes the queue-full and deadline cases
+// reproducible on one core.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "align/beam.h"
+#include "serve/arena.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace vpr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+align::RecipeModel test_model() {
+  util::Rng rng{7};
+  return align::RecipeModel{align::ModelConfig{}, rng};
+}
+
+// The 17 benchmark-suite insights the serve bench replays; same derivation
+// as src/serve/bench.cpp so the equivalence coverage matches the
+// acceptance criterion's "all suite designs".
+std::vector<std::vector<double>> suite_insights(int dim) {
+  std::vector<std::vector<double>> out;
+  for (int design = 1; design <= 17; ++design) {
+    util::Rng rng{util::hash_combine(0x5e27eb43ULL,
+                                     static_cast<std::uint64_t>(design))};
+    std::vector<double> iv(static_cast<std::size_t>(dim));
+    for (double& v : iv) v = rng.normal() * 0.5;
+    iv.back() = 1.0;
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+TEST(RecommendService, BatchedMatchesPerRequestBeamSearchAllSuiteDesigns) {
+  // The PR's acceptance bar: every batched response — decoded concurrently
+  // with up to 7 other requests sharing each forward — is bitwise equal to
+  // a fresh single-request beam_search over the same insight, across all
+  // 17 suite designs. One design is also checked against the tape-driven
+  // reference oracle, closing the chain batched == serial == tape.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  constexpr int kWidth = 4;
+
+  ServiceConfig config;
+  config.max_inflight = 8;
+  config.queue_capacity = 32;
+  RecommendService service{model, config};
+  std::vector<std::future<Response>> futures;
+  futures.reserve(insights.size());
+  for (const auto& iv : insights) {
+    futures.push_back(service.submit(iv, kWidth));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response response = futures[i].get();
+    ASSERT_EQ(response.status, Status::kOk) << "design " << i + 1;
+    const auto expected = align::beam_search(model, insights[i], kWidth);
+    ASSERT_EQ(response.candidates.size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(response.candidates[r].recipes, expected[r].recipes)
+          << "design " << i + 1 << " rank " << r;
+      EXPECT_DOUBLE_EQ(response.candidates[r].log_prob, expected[r].log_prob)
+          << "design " << i + 1 << " rank " << r;
+    }
+    EXPECT_GE(response.total_ms, response.queue_ms);
+  }
+
+  const auto oracle = align::beam_search_reference(model, insights[0], kWidth);
+  const Response again = service.recommend(insights[0], kWidth);
+  ASSERT_EQ(again.status, Status::kOk);
+  ASSERT_EQ(again.candidates.size(), oracle.size());
+  for (std::size_t r = 0; r < oracle.size(); ++r) {
+    EXPECT_EQ(again.candidates[r].recipes, oracle[r].recipes);
+    EXPECT_DOUBLE_EQ(again.candidates[r].log_prob, oracle[r].log_prob);
+  }
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, insights.size() + 1);
+  EXPECT_EQ(counters.completed, insights.size() + 1);
+  EXPECT_GT(counters.ticks, 0U);
+  EXPECT_GT(counters.mean_batch_lanes, 1.0);
+  EXPECT_LE(counters.peak_inflight, 8U);
+}
+
+TEST(RecommendService, RejectsWhenAdmissionQueueIsFull) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  ServiceConfig config;
+  config.max_inflight = 1;
+  config.queue_capacity = 2;
+  RecommendService service{model, config};
+  service.pause();  // freeze the batcher so nothing drains
+
+  // capacity + 2 submissions while paused: at most max_inflight may have
+  // been admitted before the pause landed, so at least one submission must
+  // overflow the queue and reject immediately.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(insights[0], 2));
+  }
+  int rejected = 0;
+  for (auto& f : futures) {
+    // Rejected futures resolve without the batcher running.
+    if (f.wait_for(0s) == std::future_status::ready &&
+        f.get().status == Status::kRejected) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  EXPECT_GE(service.counters().rejected, 1U);
+  service.resume();
+}
+
+TEST(RecommendService, DeadlineExpiresToTimedOut) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  RecommendService service{model, ServiceConfig{}};
+  service.pause();
+  auto doomed = service.submit(insights[0], 2, 5ms);
+  std::this_thread::sleep_for(20ms);  // deadline passes while frozen
+  service.resume();
+  EXPECT_EQ(doomed.get().status, Status::kTimedOut);
+  EXPECT_GE(service.counters().timed_out, 1U);
+
+  // A generous deadline still completes.
+  const Response ok = service.recommend(insights[1], 2, 10'000ms);
+  EXPECT_EQ(ok.status, Status::kOk);
+}
+
+TEST(RecommendService, StopDrainsAndShutsDownFurtherSubmissions) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  RecommendService service{model, ServiceConfig{}};
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(service.submit(insights[static_cast<std::size_t>(i)], 3));
+  }
+  service.stop();  // drains everything queued and in flight
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  EXPECT_EQ(service.counters().completed, 5U);
+
+  auto late = service.submit(insights[0], 3);
+  EXPECT_EQ(late.get().status, Status::kShutdown);
+  service.stop();  // idempotent
+}
+
+TEST(RecommendService, RejectsMalformedRequests) {
+  const auto model = test_model();
+  RecommendService service{model, ServiceConfig{}};
+  EXPECT_THROW((void)service.submit(std::vector<double>(3, 0.0), 2),
+               std::invalid_argument);
+  const auto insights = suite_insights(model.config().insight_dim);
+  EXPECT_THROW((void)service.submit(insights[0], 0), std::invalid_argument);
+  EXPECT_THROW(
+      (void)service.submit(insights[0], service.config().max_beam_width + 1),
+      std::invalid_argument);
+
+  EXPECT_THROW((RecommendService{model, ServiceConfig{.max_inflight = 0}}),
+               std::invalid_argument);
+  EXPECT_THROW((RecommendService{model, ServiceConfig{.max_beam_width = 0}}),
+               std::invalid_argument);
+}
+
+TEST(RecommendService, ArenaRecyclesSessionsAcrossRequests) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  ServiceConfig config;
+  config.max_inflight = 2;
+  RecommendService service{model, config};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const Response r =
+          service.recommend(insights[static_cast<std::size_t>(i)], 2);
+      ASSERT_EQ(r.status, Status::kOk);
+    }
+  }
+  const ServiceCounters counters = service.counters();
+  // At most max_inflight sessions are ever constructed; everything after
+  // the pool fills is served by rebind().
+  EXPECT_LE(counters.sessions_created, 2);
+  EXPECT_EQ(counters.sessions_created + counters.session_reuses, 12);
+}
+
+TEST(SessionArena, AcquireReleaseAndExhaustion) {
+  const auto model = test_model();
+  util::Rng rng{99};
+  std::vector<double> iv(
+      static_cast<std::size_t>(model.config().insight_dim));
+  for (double& v : iv) v = rng.normal() * 0.5;
+  iv.back() = 1.0;
+
+  SessionArena arena{model, 2, 4};
+  align::DecodeSession* a = arena.acquire(iv);
+  align::DecodeSession* b = arena.acquire(iv);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(arena.in_use(), 2);
+  EXPECT_EQ(arena.acquire(iv), nullptr);  // exhausted
+  arena.release(a);
+  align::DecodeSession* c = arena.acquire(iv);
+  EXPECT_EQ(c, a);  // recycled, not reconstructed
+  EXPECT_EQ(arena.created(), 2);
+  EXPECT_EQ(arena.reuses(), 1);
+  EXPECT_EQ(c->lanes(), 4);
+  arena.release(b);
+  arena.release(c);
+  EXPECT_EQ(arena.in_use(), 0);
+}
+
+}  // namespace
+}  // namespace vpr::serve
