@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "nn/infer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vpr::align {
 
@@ -288,6 +290,12 @@ void DecodeSession::step_batch(std::span<const BatchStep> steps,
                                double* probs_out) {
   const int rows = static_cast<int>(steps.size());
   if (rows == 0) return;
+  VPR_TRACE_SPAN("decode.step_batch", "nn",
+                 obs::TraceArgs{{"rows", rows}});
+  static obs::Counter& step_rows_counter =
+      obs::MetricsRegistry::instance().counter(
+          "decode.step_rows", "lane-steps executed via step_batch");
+  step_rows_counter.inc(static_cast<std::uint64_t>(rows));
   const RecipeModel* model = steps[0].session->model_;
   for (const BatchStep& s : steps) {
     if (s.session == nullptr || s.session->model_ != model) {

@@ -7,6 +7,8 @@
 
 #include "align/losses.h"
 #include "nn/optim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -148,8 +150,13 @@ TrainMetrics AlignmentTrainer::train(
   }
 
   const auto minibatch = static_cast<std::size_t>(config_.minibatch);
+  static obs::Counter& minibatch_counter =
+      obs::MetricsRegistry::instance().counter(
+          "train.minibatches", "MDPO minibatches processed");
   std::vector<PairEval> evals;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    VPR_TRACE_SPAN("train.epoch", "train",
+                   obs::TraceArgs{{"epoch", epoch}});
     const auto pairs =
         sample_pairs(dataset, train_designs, config_.pairs_per_design,
                      config_.min_score_gap, rng);
@@ -160,33 +167,42 @@ TrainMetrics AlignmentTrainer::train(
     int correct = 0;
     for (std::size_t start = 0; start < pairs.size(); start += minibatch) {
       const std::size_t count = std::min(minibatch, pairs.size() - start);
+      minibatch_counter.inc();
       evals.clear();
       evals.resize(count);
-      if (config_.workers == 0) {
-        for (std::size_t i = 0; i < count; ++i) {
-          evals[i] = eval_pair(model_, pairs[start + i]);
+      {
+        VPR_TRACE_SPAN("train.minibatch", "train",
+                       obs::TraceArgs{{"pairs", count}});
+        if (config_.workers == 0) {
+          for (std::size_t i = 0; i < count; ++i) {
+            evals[i] = eval_pair(model_, pairs[start + i]);
+          }
+        } else {
+          const auto snapshot = model_.state();
+          for (std::size_t i = 0; i < count; ++i) {
+            replicas[i]->load_state(snapshot);
+          }
+          util::ThreadPool::shared().parallel_for(
+              count,
+              [&](std::size_t i) {
+                evals[i] = eval_pair(*replicas[i], pairs[start + i]);
+              },
+              static_cast<unsigned>(config_.workers));
         }
-      } else {
-        const auto snapshot = model_.state();
-        for (std::size_t i = 0; i < count; ++i) {
-          replicas[i]->load_state(snapshot);
+      }
+      {
+        VPR_TRACE_SPAN("train.grad_reduce", "train",
+                       obs::TraceArgs{{"pairs", count}});
+        // Deterministic reduction: per-pair gradients summed in pair order.
+        model_.zero_grad();
+        for (const auto& eval : evals) {
+          model_.accumulate_gradients(eval.grad);
+          loss_sum += eval.loss;
+          if (eval.correct) ++correct;
         }
-        util::ThreadPool::shared().parallel_for(
-            count,
-            [&](std::size_t i) {
-              evals[i] = eval_pair(*replicas[i], pairs[start + i]);
-            },
-            static_cast<unsigned>(config_.workers));
+        optimizer.clip_grad_norm(config_.grad_clip);
+        optimizer.step();
       }
-      // Deterministic reduction: per-pair gradients summed in pair order.
-      model_.zero_grad();
-      for (const auto& eval : evals) {
-        model_.accumulate_gradients(eval.grad);
-        loss_sum += eval.loss;
-        if (eval.correct) ++correct;
-      }
-      optimizer.clip_grad_norm(config_.grad_clip);
-      optimizer.step();
       ++metrics.optimizer_steps;
     }
     metrics.epoch_loss.push_back(loss_sum / static_cast<double>(pairs.size()));

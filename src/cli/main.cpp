@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "align/cache.h"
 #include "align/pipeline.h"
@@ -27,6 +28,8 @@
 #include "flow/runtime_model.h"
 #include "insight/insight.h"
 #include "netlist/suite.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/bench.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -48,7 +51,12 @@ using namespace vpr;
       "  recommend --model FILE --dataset FILE --design K [--k K] [--cells N]\n"
       "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n"
       "  serve-bench [--requests N] [--concurrency N] [--width K]\n"
-      "              [--sweeps N] [--json FILE]\n";
+      "              [--sweeps N] [--json FILE]\n"
+      "  metrics [--format json|prometheus]   dump the metrics registry\n"
+      "global flags (any command):\n"
+      "  --trace-out=FILE    record a Perfetto/Chrome trace of the run\n"
+      "  --metrics-out=FILE  dump the metrics registry on exit\n"
+      "                      (.prom/.txt => Prometheus text, else JSON)\n";
   std::exit(2);
 }
 
@@ -76,7 +84,9 @@ int cmd_suite() {
                        .total_hours,
                    1)});
   }
-  table.print(std::cout);
+  std::ostringstream out;
+  table.print(out);
+  std::cout << out.str() << std::flush;
   return 0;
 }
 
@@ -86,7 +96,9 @@ int cmd_recipes() {
     table.add_row({std::to_string(r.id), flow::category_name(r.category),
                    r.name, r.description});
   }
-  table.print(std::cout);
+  std::ostringstream out;
+  table.print(out);
+  std::cout << out.str() << std::flush;
   return 0;
 }
 
@@ -100,12 +112,14 @@ int cmd_run(const util::Args& args) {
   }
   const flow::Flow flow{design};
   const auto result = flow.run(recipes);
-  flow::write_text_report(design, recipes, result, std::cout);
+  std::ostringstream out;
+  flow::write_text_report(design, recipes, result, out);
   if (const auto json_path = args.get("json")) {
     std::ofstream os{*json_path};
     flow::to_json(design, recipes, result).write(os);
-    std::cout << "\nJSON report written to " << *json_path << '\n';
+    out << "\nJSON report written to " << *json_path << '\n';
   }
+  std::cout << out.str() << std::flush;
   return 0;
 }
 
@@ -123,7 +137,9 @@ int cmd_probe(const util::Args& args) {
                    descriptors[static_cast<std::size_t>(i)].description,
                    util::fmt(iv[static_cast<std::size_t>(i)], 3)});
   }
-  table.print(std::cout);
+  std::ostringstream out;
+  table.print(out);
+  std::cout << out.str() << std::flush;
   return 0;
 }
 
@@ -207,7 +223,9 @@ int cmd_recommend(const util::Args& args) {
                    util::fmt_adaptive(r.tns),
                    r.score.has_value() ? util::fmt(*r.score, 3) : "n/a"});
   }
-  table.print(std::cout);
+  std::ostringstream out;
+  table.print(out);
+  std::cout << out.str() << std::flush;
   return 0;
 }
 
@@ -227,6 +245,20 @@ int cmd_serve_bench(const util::Args& args) {
   return serve::run_serve_bench(opts);
 }
 
+int cmd_metrics(const util::Args& args) {
+  const cli::MetricsFormat format = cli::parse_metrics_format(args);
+  auto& registry = obs::MetricsRegistry::instance();
+  std::ostringstream out;
+  if (format == cli::MetricsFormat::kPrometheus) {
+    registry.write_prometheus(out);
+  } else {
+    registry.to_json().write(out);
+    out << '\n';
+  }
+  std::cout << out.str() << std::flush;
+  return 0;
+}
+
 int cmd_tune(const util::Args& args) {
   const int design_index =
       cli::parse_design_index(args, "tune", max_design_index());
@@ -244,13 +276,39 @@ int cmd_tune(const util::Args& args) {
                    util::fmt_adaptive(it.best_tns_so_far),
                    util::fmt(it.best_score_so_far, 3)});
   }
-  table.print(std::cout);
+  std::ostringstream out;
+  table.print(out);
   if (const auto model_path = args.get("model-out")) {
     std::ofstream os{*model_path, std::ios::binary};
     pipeline.save_model(os);
-    std::cout << "Tuned model saved to " << *model_path << '\n';
+    out << "Tuned model saved to " << *model_path << '\n';
   }
+  std::cout << out.str() << std::flush;
   return 0;
+}
+
+int run_command(cli::Command command, const util::Args& args) {
+  switch (command) {
+    case cli::Command::kSuite:
+      return cmd_suite();
+    case cli::Command::kRecipes:
+      return cmd_recipes();
+    case cli::Command::kRun:
+      return cmd_run(args);
+    case cli::Command::kProbe:
+      return cmd_probe(args);
+    case cli::Command::kAlign:
+      return cmd_align(args);
+    case cli::Command::kRecommend:
+      return cmd_recommend(args);
+    case cli::Command::kTune:
+      return cmd_tune(args);
+    case cli::Command::kServeBench:
+      return cmd_serve_bench(args);
+    case cli::Command::kMetrics:
+      return cmd_metrics(args);
+  }
+  usage();
 }
 
 }  // namespace
@@ -259,25 +317,29 @@ int main(int argc, char** argv) {
   try {
     const util::Args args{argc, argv};
     if (args.positional().empty()) usage();
-    switch (cli::parse_command(args.positional().front())) {
-      case cli::Command::kSuite:
-        return cmd_suite();
-      case cli::Command::kRecipes:
-        return cmd_recipes();
-      case cli::Command::kRun:
-        return cmd_run(args);
-      case cli::Command::kProbe:
-        return cmd_probe(args);
-      case cli::Command::kAlign:
-        return cmd_align(args);
-      case cli::Command::kRecommend:
-        return cmd_recommend(args);
-      case cli::Command::kTune:
-        return cmd_tune(args);
-      case cli::Command::kServeBench:
-        return cmd_serve_bench(args);
+    const cli::Command command = cli::parse_command(args.positional().front());
+    // Observability flags, valid on every subcommand. Tracing is switched
+    // on before any work runs so the whole invocation lands in the trace.
+    const auto trace_out = cli::parse_output_path(args, "trace-out");
+    const auto metrics_out = cli::parse_output_path(args, "metrics-out");
+    if (trace_out) obs::TraceRecorder::instance().set_enabled(true);
+
+    int rc = run_command(command, args);
+
+    if (trace_out) {
+      auto& recorder = obs::TraceRecorder::instance();
+      recorder.set_enabled(false);
+      if (!recorder.write_json_file(*trace_out)) {
+        std::cerr << "error: cannot write trace " << *trace_out << '\n';
+        rc = rc == 0 ? 1 : rc;
+      }
     }
-    usage();
+    if (metrics_out &&
+        !obs::MetricsRegistry::instance().write_file(*metrics_out)) {
+      std::cerr << "error: cannot write metrics " << *metrics_out << '\n';
+      rc = rc == 0 ? 1 : rc;
+    }
+    return rc;
   } catch (const cli::UsageError& e) {
     usage(e.what());
   } catch (const std::exception& e) {

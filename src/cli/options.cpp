@@ -30,6 +30,7 @@ Command parse_command(const std::string& name) {
   if (name == "recommend") return Command::kRecommend;
   if (name == "tune") return Command::kTune;
   if (name == "serve-bench") return Command::kServeBench;
+  if (name == "metrics") return Command::kMetrics;
   throw UsageError("unknown command '" + name + "'");
 }
 
@@ -79,6 +80,26 @@ int parse_design_index(const util::Args& args, const std::string& command,
 void require_readable(const std::string& path, const std::string& what) {
   std::ifstream is{path, std::ios::binary};
   if (!is) throw UsageError("cannot read " + what + " " + path);
+}
+
+std::optional<std::string> parse_output_path(const util::Args& args,
+                                             const std::string& flag) {
+  if (!args.has(flag)) return std::nullopt;
+  const auto value = args.get(flag);
+  if (!value.has_value() || value->empty()) {
+    throw UsageError("--" + flag + " requires a file path");
+  }
+  return value;
+}
+
+MetricsFormat parse_metrics_format(const util::Args& args) {
+  const std::string format = args.get_or("format", "json");
+  if (format == "json") return MetricsFormat::kJson;
+  if (format == "prometheus" || format == "prom") {
+    return MetricsFormat::kPrometheus;
+  }
+  throw UsageError("metrics: --format must be json or prometheus, got '" +
+                   format + "'");
 }
 
 }  // namespace vpr::cli

@@ -5,6 +5,7 @@
 // helpers throw UsageError, which main() turns into the usage text and
 // exit code 2.
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@ enum class Command {
   kRecommend,
   kTune,
   kServeBench,
+  kMetrics,
 };
 
 /// Maps the first positional argument to a Command; throws UsageError on
@@ -51,5 +53,17 @@ enum class Command {
 /// Throws UsageError ("cannot read <what> <path>") unless `path` opens for
 /// reading. Used for --model / --dataset before any expensive work.
 void require_readable(const std::string& path, const std::string& what);
+
+/// Output-file flag shared by every subcommand (--trace-out, --metrics-out):
+/// nullopt when the flag is absent; UsageError when it is present without a
+/// value (a bare "--trace-out" would otherwise silently drop the trace).
+[[nodiscard]] std::optional<std::string> parse_output_path(
+    const util::Args& args, const std::string& flag);
+
+enum class MetricsFormat { kJson, kPrometheus };
+
+/// --format for `insightalign metrics`: "json" (default) or "prometheus";
+/// anything else throws UsageError.
+[[nodiscard]] MetricsFormat parse_metrics_format(const util::Args& args);
 
 }  // namespace vpr::cli

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/table.h"
@@ -27,13 +29,96 @@ double seconds_since(Clock::time_point t0) {
 constexpr std::uint32_t kEvalMagic = 0x1a5e7e0aU;
 constexpr std::uint32_t kEvalVersion = 1;
 
-void accumulate_stage_times(FlowEvalStats& stats, const StageTimes& t) {
-  stats.place_seconds += t.place_ms / 1e3;
-  stats.cts_seconds += t.cts_ms / 1e3;
-  stats.route_seconds += t.route_ms / 1e3;
-  stats.sta_seconds += t.sta_ms / 1e3;
-  stats.opt_seconds += t.opt_ms / 1e3;
-  stats.power_seconds += t.power_ms / 1e3;
+/// The process-wide flow.eval.* series every FlowEval instance feeds.
+/// Registered once; updates are relaxed atomic RMWs (no lock beside the
+/// entry/shard locks the cache itself takes).
+struct EvalMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& probe_hits;
+  obs::Counter& probe_misses;
+  obs::CounterD& eval_seconds;
+  obs::CounterD& lookup_seconds;
+  obs::CounterD& io_seconds;
+  obs::CounterD& place_seconds;
+  obs::CounterD& cts_seconds;
+  obs::CounterD& route_seconds;
+  obs::CounterD& sta_seconds;
+  obs::CounterD& opt_seconds;
+  obs::CounterD& power_seconds;
+  obs::HistogramMetric& eval_ms;
+
+  static EvalMetrics& get() {
+    static auto& r = obs::MetricsRegistry::instance();
+    static EvalMetrics m{
+        r.counter("flow.eval.hits", "QoR lookups served from memory"),
+        r.counter("flow.eval.misses", "QoR lookups that ran the flow"),
+        r.counter("flow.eval.probe_hits", "probing-run lookups from memory"),
+        r.counter("flow.eval.probe_misses", "probing runs executed"),
+        r.counter_d("flow.eval.eval_seconds", "wall time inside Flow::run"),
+        r.counter_d("flow.eval.lookup_seconds", "wall time on warm hits"),
+        r.counter_d("flow.eval.io_seconds", "wall time in disk spill I/O"),
+        r.counter_d("flow.eval.stage.place_seconds", ""),
+        r.counter_d("flow.eval.stage.cts_seconds", ""),
+        r.counter_d("flow.eval.stage.route_seconds", ""),
+        r.counter_d("flow.eval.stage.sta_seconds", ""),
+        r.counter_d("flow.eval.stage.opt_seconds", ""),
+        r.counter_d("flow.eval.stage.power_seconds", ""),
+        r.histogram("flow.eval.eval_ms", 0.0, 2000.0, 40,
+                    "per-evaluation Flow::run wall milliseconds"),
+    };
+    return m;
+  }
+};
+
+/// Current registry values as a FlowEvalStats (the "now" side of the
+/// instance views).
+FlowEvalStats registry_stats() {
+  EvalMetrics& m = EvalMetrics::get();
+  FlowEvalStats s;
+  s.hits = m.hits.value();
+  s.misses = m.misses.value();
+  s.probe_hits = m.probe_hits.value();
+  s.probe_misses = m.probe_misses.value();
+  s.eval_seconds = m.eval_seconds.value();
+  s.lookup_seconds = m.lookup_seconds.value();
+  s.io_seconds = m.io_seconds.value();
+  s.place_seconds = m.place_seconds.value();
+  s.cts_seconds = m.cts_seconds.value();
+  s.route_seconds = m.route_seconds.value();
+  s.sta_seconds = m.sta_seconds.value();
+  s.opt_seconds = m.opt_seconds.value();
+  s.power_seconds = m.power_seconds.value();
+  return s;
+}
+
+FlowEvalStats stats_delta(const FlowEvalStats& now,
+                          const FlowEvalStats& baseline) {
+  FlowEvalStats d;
+  d.hits = now.hits - baseline.hits;
+  d.misses = now.misses - baseline.misses;
+  d.probe_hits = now.probe_hits - baseline.probe_hits;
+  d.probe_misses = now.probe_misses - baseline.probe_misses;
+  d.eval_seconds = now.eval_seconds - baseline.eval_seconds;
+  d.lookup_seconds = now.lookup_seconds - baseline.lookup_seconds;
+  d.io_seconds = now.io_seconds - baseline.io_seconds;
+  d.place_seconds = now.place_seconds - baseline.place_seconds;
+  d.cts_seconds = now.cts_seconds - baseline.cts_seconds;
+  d.route_seconds = now.route_seconds - baseline.route_seconds;
+  d.sta_seconds = now.sta_seconds - baseline.sta_seconds;
+  d.opt_seconds = now.opt_seconds - baseline.opt_seconds;
+  d.power_seconds = now.power_seconds - baseline.power_seconds;
+  return d;
+}
+
+void accumulate_stage_times(const StageTimes& t) {
+  EvalMetrics& m = EvalMetrics::get();
+  m.place_seconds.add(t.place_ms / 1e3);
+  m.cts_seconds.add(t.cts_ms / 1e3);
+  m.route_seconds.add(t.route_ms / 1e3);
+  m.sta_seconds.add(t.sta_ms / 1e3);
+  m.opt_seconds.add(t.opt_ms / 1e3);
+  m.power_seconds.add(t.power_ms / 1e3);
 }
 
 }  // namespace
@@ -69,7 +154,7 @@ struct FlowEval::Shard {
       map;
 };
 
-FlowEval::FlowEval(std::size_t shards) {
+FlowEval::FlowEval(std::size_t shards) : baseline_(registry_stats()) {
   shards_.reserve(std::max<std::size_t>(1, shards));
   for (std::size_t s = 0; s < std::max<std::size_t>(1, shards); ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -133,26 +218,26 @@ Qor FlowEval::eval(const Design& design, const RecipeSet& recipes) {
   // arrive runs the flow, concurrent requesters for the same key block
   // here and wake up to a warm hit.
   std::unique_lock elk{entry->m};
+  EvalMetrics& metrics = EvalMetrics::get();
   if (entry->ready) {
-    const double lookup = seconds_since(t0);
-    std::lock_guard sk{stats_mutex_};
-    ++stats_.hits;
-    stats_.lookup_seconds += lookup;
+    metrics.hits.inc();
+    metrics.lookup_seconds.add(seconds_since(t0));
     return entry->qor;
   }
 
+  VPR_TRACE_SPAN("flow.eval.miss", "flow",
+                 obs::TraceArgs{{"design", design.name()},
+                                {"recipes", recipes.to_string()}});
   const auto e0 = Clock::now();
   const Flow flow{design};
   const FlowResult run_result = flow.run(recipes);
   entry->qor = run_result.qor;
   entry->ready = true;
   const double elapsed = seconds_since(e0);
-  {
-    std::lock_guard sk{stats_mutex_};
-    ++stats_.misses;
-    stats_.eval_seconds += elapsed;
-    accumulate_stage_times(stats_, run_result.stage_times);
-  }
+  metrics.misses.inc();
+  metrics.eval_seconds.add(elapsed);
+  metrics.eval_ms.observe(elapsed * 1e3);
+  accumulate_stage_times(run_result.stage_times);
   return entry->qor;
 }
 
@@ -166,21 +251,21 @@ const FlowResult& FlowEval::probe(const Design& design) {
     entry = slot;
   }
   std::unique_lock elk{entry->m};
+  EvalMetrics& metrics = EvalMetrics::get();
   if (entry->result) {
-    std::lock_guard sk{stats_mutex_};
-    ++stats_.probe_hits;
+    metrics.probe_hits.inc();
     return *entry->result;
   }
+  VPR_TRACE_SPAN("flow.eval.probe", "flow",
+                 obs::TraceArgs{{"design", design.name()}});
   const auto e0 = Clock::now();
   const Flow flow{design};
   entry->result = std::make_unique<FlowResult>(flow.run(RecipeSet{}));
   const double elapsed = seconds_since(e0);
-  {
-    std::lock_guard sk{stats_mutex_};
-    ++stats_.probe_misses;
-    stats_.eval_seconds += elapsed;
-    accumulate_stage_times(stats_, entry->result->stage_times);
-  }
+  metrics.probe_misses.inc();
+  metrics.eval_seconds.add(elapsed);
+  metrics.eval_ms.observe(elapsed * 1e3);
+  accumulate_stage_times(entry->result->stage_times);
   return *entry->result;
 }
 
@@ -194,13 +279,13 @@ void FlowEval::eval_many(
 }
 
 FlowEvalStats FlowEval::stats() const {
-  std::lock_guard sk{stats_mutex_};
-  return stats_;
+  std::lock_guard lk{baseline_mutex_};
+  return stats_delta(registry_stats(), baseline_);
 }
 
 void FlowEval::reset_stats() {
-  std::lock_guard sk{stats_mutex_};
-  stats_ = FlowEvalStats{};
+  std::lock_guard lk{baseline_mutex_};
+  const_cast<FlowEvalStats&>(baseline_) = registry_stats();
 }
 
 void FlowEval::clear() {
@@ -269,10 +354,7 @@ bool FlowEval::save_disk(const std::string& path) const {
   }
   os.flush();
   const bool ok = os.good();
-  {
-    std::lock_guard sk{stats_mutex_};
-    stats_.io_seconds += seconds_since(t0);
-  }
+  EvalMetrics::get().io_seconds.add(seconds_since(t0));
   return ok;
 }
 
@@ -307,10 +389,7 @@ bool FlowEval::load_disk(const std::string& path) {
       slot->ready = true;
     }
   }
-  {
-    std::lock_guard sk{stats_mutex_};
-    stats_.io_seconds += seconds_since(t0);
-  }
+  EvalMetrics::get().io_seconds.add(seconds_since(t0));
   return true;
 }
 

@@ -14,10 +14,14 @@
 // kept for insight extraction) have a dedicated cache keyed by fingerprint.
 //
 // Observability: hit/miss/evaluation counters and wall-time per service
-// stage (lookup, evaluation, disk I/O), queryable as FlowEvalStats and
-// printable as a util::TablePrinter table. An optional binary spill layer
-// persists the QoR entries under INSIGHTALIGN_CACHE_DIR so later processes
-// start warm (see docs/flow_eval.md).
+// stage (lookup, evaluation, disk I/O) live in the process-wide
+// obs::MetricsRegistry (flow.eval.* series, exported by `--metrics-out` /
+// `insightalign metrics`); FlowEvalStats is a *view* over those series —
+// each FlowEval snapshots the registry at construction (and reset_stats())
+// and stats() reports the delta, so per-instance numbers in tests keep
+// working while the process exports one monotone series. An optional
+// binary spill layer persists the QoR entries under INSIGHTALIGN_CACHE_DIR
+// so later processes start warm (see docs/flow_eval.md).
 
 #include <cstdint>
 #include <functional>
@@ -121,8 +125,10 @@ class FlowEval {
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex probe_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ProbeEntry>> probes_;
-  mutable std::mutex stats_mutex_;
-  mutable FlowEvalStats stats_;  // save_disk (const) accounts io_seconds
+  // Registry (flow.eval.*) values at construction / reset_stats();
+  // stats() = registry now - baseline.
+  mutable std::mutex baseline_mutex_;
+  FlowEvalStats baseline_;
 };
 
 }  // namespace vpr::flow

@@ -6,6 +6,8 @@
 #include <optional>
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/engines.h"
 #include "sta/incremental.h"
 #include "util/rng.h"
@@ -16,8 +18,20 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+/// Elapsed milliseconds from `t0`, recorded as a trace span over the same
+/// interval when tracing is enabled: the span boundaries and the StageTimes
+/// accumulation come from the same two clock reads, so the trace and the
+/// stage table can never disagree.
+double stage_ms(const char* name, Clock::time_point t0,
+                obs::TraceArgs args = {}) {
+  const auto t1 = Clock::now();
+  auto& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    const std::int64_t ts = obs::TraceRecorder::to_us(t0);
+    recorder.complete(name, "flow", ts, obs::TraceRecorder::to_us(t1) - ts,
+                      std::move(args));
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 /// Technology-derived wire parasitics (per normalized die unit). Advanced
@@ -58,6 +72,9 @@ FlowResult Flow::run_reference(const RecipeSet& recipes) const {
 FlowResult Flow::run_impl(const RecipeSet& recipes,
                           bool incremental_sta) const {
   const auto run_start = Clock::now();
+  static obs::Counter& runs_counter = obs::MetricsRegistry::instance().counter(
+      "flow.runs", "Flow::run executions (incremental + reference)");
+  runs_counter.inc();
   const auto& traits = design_.traits();
   FlowResult result;
   StageTimes& times = result.stage_times;
@@ -93,7 +110,7 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
       scratch_report = analyzer.analyze(wl, clk, t_opt);
       rep = &scratch_report;
     }
-    times.sta_ms += ms_since(t0);
+    times.sta_ms += stage_ms("flow.sta", t0);
     return *rep;
   };
 
@@ -102,7 +119,7 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   place::Placer placer{nl, knobs.place, traits.seed ^ 0x9e37ULL};
   place::Placement placement =
       placer.run({}, &result.place_trajectory);
-  times.place_ms += ms_since(stage_start);
+  times.place_ms += stage_ms("flow.place", stage_start);
 
   // HPWL wire estimate, shared by timing-driven placement and useful-skew
   // CTS (computed at most once per placement instead of once per use).
@@ -127,7 +144,7 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
     place::PlaceTrajectory td_traj;
     placement = td_placer.run(pre_report.net_criticality, &td_traj);
     est_wl_valid = false;  // the re-place moved every cell
-    times.place_ms += ms_since(stage_start);
+    times.place_ms += stage_ms("flow.place.timing_driven", stage_start);
     // Keep the richer (second) trajectory for insights.
     result.place_trajectory = td_traj;
   }
@@ -153,14 +170,14 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   const cts::ClockTreeSynthesizer cts_engine{nl, placement, cts_knobs,
                                              traits.seed ^ 0xc75ULL};
   result.clock = cts_engine.run(pre_cts_slack);
-  times.cts_ms += ms_since(stage_start);
+  times.cts_ms += stage_ms("flow.cts", stage_start);
 
   // ----- Global routing -----
   stage_start = Clock::now();
   route::GlobalRouter router{nl, placement, knobs.route,
                              traits.seed ^ 0x707eULL};
   result.routing = router.run();
-  times.route_ms += ms_since(stage_start);
+  times.route_ms += stage_ms("flow.route", stage_start);
   std::vector<double> net_wl = result.routing.net_length;
 
   // ----- Post-route STA -----
@@ -183,24 +200,24 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   const sta::TimingReport* report = &result.pre_opt_timing;
   stage_start = Clock::now();
   int changed = engine.fix_setup(*report);
-  times.opt_ms += ms_since(stage_start);
+  times.opt_ms += stage_ms("flow.opt.setup", stage_start);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.fix_hold(*report);
-  times.opt_ms += ms_since(stage_start);
+  times.opt_ms += stage_ms("flow.opt.hold", stage_start);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.recover_power(*report);
-  times.opt_ms += ms_since(stage_start);
+  times.opt_ms += stage_ms("flow.opt.power_recovery", stage_start);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.recover_leakage(*report);
-  times.opt_ms += ms_since(stage_start);
+  times.opt_ms += stage_ms("flow.opt.leakage", stage_start);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   std::vector<std::uint8_t> gated;
   engine.apply_clock_gating(gated);
-  times.opt_ms += ms_since(stage_start);
+  times.opt_ms += stage_ms("flow.opt.clock_gating", stage_start);
   result.opt_stats = engine.stats();
   result.final_cell_count = nl.cell_count();
 
@@ -221,7 +238,7 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   p_opt.frequency_ghz = freq_ghz;
   const sta::PowerAnalyzer power{nl};
   result.power = power.analyze(net_wl, result.clock.clock_power, gated, p_opt);
-  times.power_ms += ms_since(stage_start);
+  times.power_ms += stage_ms("flow.power", stage_start);
 
   // ----- QoR assembly (with tiny deterministic process noise) -----
   util::Rng noise{util::hash_combine(traits.seed, recipes.to_u64())};
@@ -233,7 +250,12 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   qor.power = result.power.total * (1.0 + noise.normal(0.0, 0.004));
   qor.area = nl.total_area();
   qor.drcs = result.routing.drc_violations;
-  times.total_ms = ms_since(run_start);
+  times.total_ms = stage_ms(
+      "flow.run", run_start,
+      {{"design", traits.name},
+       {"recipes", recipes.to_string()},
+       {"incremental_sta", incremental_sta ? std::int64_t{1} : std::int64_t{0}},
+       {"cells", result.final_cell_count}});
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace vpr::nn {
 
 double Optimizer::clip_grad_norm(double max_norm) {
@@ -56,6 +58,7 @@ Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
 }
 
 void Adam::step() {
+  VPR_TRACE_SPAN("nn.adam.step", "train");
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));

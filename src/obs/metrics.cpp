@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vpr::obs {
+
+long HistogramMetric::total() const noexcept {
+  long n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+util::Histogram HistogramMetric::snapshot() const {
+  util::Histogram h{geometry_.lo(), geometry_.hi(), geometry_.bins()};
+  for (int b = 0; b < bins(); ++b) {
+    const long c = bucket_count(b);
+    // Representative sample at the bin's lower edge lands back in bin b.
+    const double x = geometry_.bin_lo(b);
+    for (long i = 0; i < c; ++i) h.add(x);
+  }
+  return h;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::fetch(const std::string& name,
+                                                Metric::Kind kind,
+                                                const std::string& help) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  Metric& metric = it->second;
+  if (inserted) {
+    metric.kind = kind;
+    metric.help = help;
+  } else if (metric.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as a different kind");
+  }
+  return metric;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Metric& metric = fetch(name, Metric::Kind::kCounter, help);
+  if (!metric.counter) metric.counter.reset(new Counter());
+  return *metric.counter;
+}
+
+CounterD& MetricsRegistry::counter_d(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Metric& metric = fetch(name, Metric::Kind::kCounterD, help);
+  if (!metric.counter_d) metric.counter_d.reset(new CounterD());
+  return *metric.counter_d;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Metric& metric = fetch(name, Metric::Kind::kGauge, help);
+  if (!metric.gauge) metric.gauge.reset(new Gauge());
+  return *metric.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double lo, double hi, int bins,
+                                            const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Metric& metric = fetch(name, Metric::Kind::kHistogram, help);
+  if (!metric.histogram) {
+    metric.histogram.reset(new HistogramMetric(lo, hi, bins));
+  } else if (metric.histogram->bins() != bins ||
+             metric.histogram->bin_lo(0) != lo ||
+             metric.histogram->bin_hi(bins - 1) != hi) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' re-registered with different geometry");
+  }
+  return *metric.histogram;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::Json root = util::Json::object();
+  for (const auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case Metric::Kind::kCounter:
+        root[name] = static_cast<double>(metric.counter->value());
+        break;
+      case Metric::Kind::kCounterD:
+        root[name] = metric.counter_d->value();
+        break;
+      case Metric::Kind::kGauge:
+        root[name] = metric.gauge->value();
+        break;
+      case Metric::Kind::kHistogram: {
+        const HistogramMetric& h = *metric.histogram;
+        util::Json buckets = util::Json::array();
+        for (int b = 0; b < h.bins(); ++b) {
+          util::Json bucket = util::Json::object();
+          bucket["lo"] = h.bin_lo(b);
+          bucket["hi"] = h.bin_hi(b);
+          bucket["count"] = static_cast<double>(h.bucket_count(b));
+          buckets.push_back(std::move(bucket));
+        }
+        util::Json obj = util::Json::object();
+        obj["buckets"] = std::move(buckets);
+        obj["count"] = static_cast<double>(h.total());
+        obj["sum"] = h.sum();
+        root[name] = std::move(obj);
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+std::string MetricsRegistry::sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, metric] : metrics_) {
+    const std::string prom = sanitize_name(name);
+    if (!metric.help.empty()) {
+      os << "# HELP " << prom << ' ' << metric.help << '\n';
+    }
+    switch (metric.kind) {
+      case Metric::Kind::kCounter:
+        os << "# TYPE " << prom << " counter\n"
+           << prom << ' ' << metric.counter->value() << '\n';
+        break;
+      case Metric::Kind::kCounterD:
+        os << "# TYPE " << prom << " counter\n"
+           << prom << ' ' << metric.counter_d->value() << '\n';
+        break;
+      case Metric::Kind::kGauge:
+        os << "# TYPE " << prom << " gauge\n"
+           << prom << ' ' << metric.gauge->value() << '\n';
+        break;
+      case Metric::Kind::kHistogram: {
+        const HistogramMetric& h = *metric.histogram;
+        os << "# TYPE " << prom << " histogram\n";
+        long cumulative = 0;
+        for (int b = 0; b < h.bins(); ++b) {
+          cumulative += h.bucket_count(b);
+          os << prom << "_bucket{le=\"" << h.bin_hi(b) << "\"} "
+             << cumulative << '\n';
+        }
+        os << prom << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+           << prom << "_sum " << h.sum() << '\n'
+           << prom << "_count " << cumulative << '\n';
+        break;
+      }
+    }
+  }
+}
+
+bool MetricsRegistry::write_file(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) return false;
+  const bool prom = path.size() >= 5 && (path.rfind(".prom") == path.size() - 5);
+  const bool txt = path.size() >= 4 && (path.rfind(".txt") == path.size() - 4);
+  if (prom || txt) {
+    write_prometheus(os);
+  } else {
+    to_json().write(os);
+    os << '\n';
+  }
+  os.flush();
+  return os.good();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, metric] : metrics_) {
+    switch (metric.kind) {
+      case Metric::Kind::kCounter:
+        metric.counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Metric::Kind::kCounterD:
+        metric.counter_d->value_.store(0.0, std::memory_order_relaxed);
+        break;
+      case Metric::Kind::kGauge:
+        metric.gauge->value_.store(0.0, std::memory_order_relaxed);
+        break;
+      case Metric::Kind::kHistogram:
+        for (auto& c : metric.histogram->counts_) {
+          c.store(0, std::memory_order_relaxed);
+        }
+        metric.histogram->sum_.store(0.0, std::memory_order_relaxed);
+        break;
+    }
+  }
+}
+
+}  // namespace vpr::obs

@@ -1,0 +1,178 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, registered once and updated through cheap atomic handles.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and is meant
+// to happen once per call site — constructors, static init — returning a
+// stable reference whose updates are single relaxed atomic RMWs with no
+// lock. The registry dumps as JSON (`--metrics-out=FILE`, `insightalign
+// metrics`) and as Prometheus text exposition for scraping.
+//
+// Series are process-wide and monotone, Prometheus-style: two FlowEval or
+// RecommendService instances in one process share the same series, and a
+// component that wants instance-local numbers (tests do) snapshots a
+// baseline and reports deltas — see FlowEval::stats() and
+// RecommendService::counters(), which are exactly such views.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/json.h"
+
+namespace vpr::obs {
+
+/// Monotone integer counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Monotone double accumulator (wall-seconds totals and the like).
+class CounterD {
+ public:
+  void add(double x) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + x,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  CounterD() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Instantaneous value (queue depth, in-flight requests, ...).
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  /// Raise-to-maximum (peak gauges). Relaxed CAS.
+  void max(double x) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < x && !value_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: the bucket geometry of util::Histogram
+/// (equal-width [lo, hi) bins, out-of-range samples clamped into the
+/// first/last bin) with per-bucket atomic counts so observe() is lock-free.
+class HistogramMetric {
+ public:
+  void observe(double x) noexcept {
+    counts_[static_cast<std::size_t>(geometry_.bucket_for(x))].fetch_add(
+        1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] int bins() const noexcept { return geometry_.bins(); }
+  [[nodiscard]] double bin_lo(int b) const { return geometry_.bin_lo(b); }
+  [[nodiscard]] double bin_hi(int b) const { return geometry_.bin_hi(b); }
+  [[nodiscard]] long bucket_count(int b) const {
+    return counts_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] long total() const noexcept;
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Materialize the atomic counts into a plain util::Histogram (for the
+  /// ASCII renderer and tests).
+  [[nodiscard]] util::Histogram snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(double lo, double hi, int bins)
+      : geometry_(lo, hi, bins),
+        counts_(static_cast<std::size_t>(bins)) {}
+
+  util::Histogram geometry_;  // counts unused; geometry only
+  std::vector<std::atomic<long>> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the CLI dumps.
+  static MetricsRegistry& instance();
+  /// Tests may own private registries.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register-or-fetch by name. Repeated calls return the same handle;
+  /// `help` is kept from the first registration. Registering an existing
+  /// name as a different kind (or a histogram with different geometry)
+  /// throws std::invalid_argument.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  CounterD& counter_d(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             int bins, const std::string& help = "");
+
+  /// Flat {"name": value, ...} object; histograms expand to an object with
+  /// buckets/sum/count.
+  [[nodiscard]] util::Json to_json() const;
+  /// Prometheus text exposition (# HELP / # TYPE + samples). Metric names
+  /// are sanitized ('.' and other invalid characters become '_').
+  void write_prometheus(std::ostream& os) const;
+  /// write_prometheus when `path` ends in .prom or .txt, JSON otherwise;
+  /// false when the file cannot be written.
+  bool write_file(const std::string& path) const;
+
+  /// Zero every value (tests). Handles stay valid.
+  void reset();
+
+  [[nodiscard]] static std::string sanitize_name(const std::string& name);
+
+ private:
+  struct Metric {
+    enum class Kind { kCounter, kCounterD, kGauge, kHistogram } kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<CounterD> counter_d;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Metric& fetch(const std::string& name, Metric::Kind kind,
+                const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric> metrics_;  // sorted => stable dumps
+};
+
+}  // namespace vpr::obs

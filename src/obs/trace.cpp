@@ -1,0 +1,291 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace vpr::obs {
+
+namespace {
+
+/// Events per buffer chunk. Chunks are appended, never freed or moved, so
+/// a reader can walk the chain while the owner keeps publishing.
+constexpr std::size_t kChunkEvents = 256;
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+}  // namespace
+
+struct TraceRecorder::ThreadBuffer {
+  struct Chunk {
+    std::array<TraceEvent, kChunkEvents> events;
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  Chunk head;
+  Chunk* tail = &head;          // owner thread only
+  std::size_t tail_base = 0;    // index of tail->events[0], owner only
+  /// Total published events; release-stored after the slot is fully
+  /// written, acquire-loaded by readers.
+  std::atomic<std::size_t> count{0};
+  std::uint32_t tid = 0;
+  std::string thread_name;  // guarded by the recorder's register_mutex_
+
+  void push(TraceEvent&& event) {
+    const std::size_t n = count.load(std::memory_order_relaxed);
+    if (n - tail_base == kChunkEvents) {
+      auto* chunk = new Chunk();  // freed only by clear-at-exit (never)
+      tail->next.store(chunk, std::memory_order_release);
+      tail = chunk;
+      tail_base = n;
+    }
+    tail->events[n - tail_base] = std::move(event);
+    count.store(n + 1, std::memory_order_release);
+  }
+
+  template <typename Fn>
+  void for_each_published(Fn&& fn) const {
+    const std::size_t n = count.load(std::memory_order_acquire);
+    const Chunk* chunk = &head;
+    for (std::size_t base = 0; base < n; base += kChunkEvents) {
+      const std::size_t upto = std::min(kChunkEvents, n - base);
+      for (std::size_t i = 0; i < upto; ++i) fn(chunk->events[i]);
+      if (base + kChunkEvents < n) {
+        chunk = chunk->next.load(std::memory_order_acquire);
+      }
+    }
+  }
+};
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+// The singleton is never destroyed (function-local static with leaked
+// buffers), so thread_local cached buffer pointers stay valid for the
+// process lifetime even during static destruction.
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::set_enabled(bool enabled) noexcept {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t TraceRecorder::now_us() {
+  return to_us(std::chrono::steady_clock::now());
+}
+
+std::int64_t TraceRecorder::to_us(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t - instance().epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::buffer_for_this_thread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto* fresh = new ThreadBuffer();  // lives until process exit
+    std::lock_guard lock(register_mutex_);
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    buffer = fresh;
+  }
+  return *buffer;
+}
+
+void TraceRecorder::record(TraceEvent&& event) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  event.tid = buffer.tid;
+  buffer.push(std::move(event));
+}
+
+void TraceRecorder::complete(std::string name, std::string category,
+                             std::int64_t ts_us, std::int64_t dur_us,
+                             TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::instant(std::string name, std::string category,
+                            TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::async_begin(std::string name, std::string category,
+                                std::uint64_t id, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'b';
+  event.ts_us = now_us();
+  event.id = id;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::async_instant(std::string name, std::string category,
+                                  std::uint64_t id, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'n';
+  event.ts_us = now_us();
+  event.id = id;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::async_end(std::string name, std::string category,
+                              std::uint64_t id, TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'e';
+  event.ts_us = now_us();
+  event.id = id;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard lock(register_mutex_);
+  buffer.thread_name = std::move(name);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard lock(register_mutex_);
+    buffers.assign(buffers_.begin(), buffers_.end());
+  }
+  std::vector<TraceEvent> events;
+  for (const ThreadBuffer* buffer : buffers) {
+    buffer->for_each_published(
+        [&](const TraceEvent& event) { events.push_back(event); });
+  }
+  return events;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(register_mutex_);
+  std::size_t total = 0;
+  for (const ThreadBuffer* buffer : buffers_) {
+    total += buffer->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(register_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    // Requires quiescence: the owner thread must not be mid-push. Chunks
+    // are kept (they will be overwritten), only the published count drops.
+    buffer->tail = &buffer->head;
+    buffer->tail_base = 0;
+    buffer->count.store(0, std::memory_order_release);
+  }
+}
+
+std::uint64_t TraceRecorder::next_id() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  util::Json events = util::Json::array();
+
+  // Thread-name metadata first, so Perfetto labels the tracks.
+  {
+    std::lock_guard lock(register_mutex_);
+    for (const ThreadBuffer* buffer : buffers_) {
+      if (buffer->thread_name.empty()) continue;
+      util::Json meta = util::Json::object();
+      meta["name"] = "thread_name";
+      meta["ph"] = "M";
+      meta["pid"] = 1;
+      meta["tid"] = static_cast<std::size_t>(buffer->tid);
+      util::Json args = util::Json::object();
+      args["name"] = buffer->thread_name;
+      meta["args"] = std::move(args);
+      events.push_back(std::move(meta));
+    }
+  }
+
+  for (const TraceEvent& event : snapshot()) {
+    util::Json j = util::Json::object();
+    j["name"] = event.name;
+    j["cat"] = event.category;
+    j["ph"] = std::string(1, event.phase);
+    j["pid"] = 1;
+    j["tid"] = static_cast<std::size_t>(event.tid);
+    j["ts"] = static_cast<double>(event.ts_us);
+    if (event.phase == 'X') j["dur"] = static_cast<double>(event.dur_us);
+    if (event.id != 0) {
+      char buf[2 + 16 + 1];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(event.id));
+      j["id"] = std::string(buf);
+    }
+    if (!event.args.empty()) {
+      util::Json args = util::Json::object();
+      for (const TraceArg& arg : event.args) {
+        if (const auto* i = std::get_if<std::int64_t>(&arg.value)) {
+          args[arg.key] = static_cast<double>(*i);
+        } else if (const auto* d = std::get_if<double>(&arg.value)) {
+          args[arg.key] = *d;
+        } else {
+          args[arg.key] = std::get<std::string>(arg.value);
+        }
+      }
+      j["args"] = std::move(args);
+    }
+    events.push_back(std::move(j));
+  }
+
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  root.write(os, /*indent=*/-1);
+  os << '\n';
+}
+
+bool TraceRecorder::write_json_file(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) return false;
+  write_json(os);
+  os.flush();
+  return os.good();
+}
+
+void TraceSpan::close() {
+  const std::int64_t end_us = TraceRecorder::now_us();
+  TraceRecorder::instance().complete(name_, category_, start_us_,
+                                     end_us - start_us_, std::move(args_));
+  start_us_ = kDisabled;
+}
+
+}  // namespace vpr::obs

@@ -14,6 +14,7 @@
 #include "align/recipe_model.h"
 #include "serve/service.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace vpr::serve {
@@ -155,35 +156,38 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   root["bitwise_match"] = bitwise_match;
   root["service"] = counters.to_json();
 
+  // Diagnostics go through the logger (whole lines, serialized) instead of
+  // raw fprintf, so they cannot shear the stdout report or each other.
   const auto baseline = read_serve_baseline();
   const auto warn_slower = [&](const std::string& key, double current_qps) {
     const auto it = baseline.find(key);
     if (it == baseline.end()) return;
     if (current_qps < it->second / 1.25) {
-      std::fprintf(stderr,
-                   "WARNING: BENCH_serve regression: %s = %.2f req/s vs "
-                   "baseline %.2f req/s (<1/1.25x)\n",
-                   key.c_str(), current_qps, it->second);
+      VPR_LOG(Warn) << "BENCH_serve regression: " << key << " = "
+                    << current_qps << " req/s vs baseline " << it->second
+                    << " req/s (<1/1.25x)";
     }
   };
   warn_slower("serve_batched_qps", batched_qps);
   warn_slower("serve_serial_qps", serial_qps);
   if (speedup < 2.0) {
-    std::fprintf(stderr,
-                 "WARNING: BENCH_serve: batched/serial speedup %.2fx is "
-                 "below the 2x acceptance bar\n",
-                 speedup);
+    VPR_LOG(Warn) << "BENCH_serve: batched/serial speedup " << speedup
+                  << "x is below the 2x acceptance bar";
   }
   if (!bitwise_match) {
-    std::fprintf(stderr,
-                 "ERROR: BENCH_serve: batched responses are not bitwise "
-                 "identical to per-request beam_search\n");
+    VPR_LOG(Error) << "BENCH_serve: batched responses are not bitwise "
+                      "identical to per-request beam_search";
   }
 
   std::ofstream os{opts.json_path};
   root.write(os);
   os << '\n';
-  std::printf("wrote %s\n%s\n", opts.json_path.c_str(), root.dump().c_str());
+  // One preassembled stdout write: concurrent logger lines on stderr can
+  // land between stdout writes, so keep the report to a single write.
+  const std::string report =
+      "wrote " + opts.json_path + "\n" + root.dump() + "\n";
+  std::fputs(report.c_str(), stdout);
+  std::fflush(stdout);
   return bitwise_match ? 0 : 1;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -14,6 +16,49 @@ namespace {
 double ms_between(RecommendService::Clock::time_point from,
                   RecommendService::Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// The process-wide serve.* series every RecommendService feeds. Updates
+/// are relaxed atomic RMWs; each "count then fulfil the promise" pair
+/// still guarantees the caller sees its own outcome, because the fetch_add
+/// is sequenced before promise::set_value and future::get synchronizes
+/// with it.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& rejected;
+  obs::Counter& timed_out;
+  obs::Counter& ticks;
+  obs::Counter& batched_lanes;
+  obs::HistogramMetric& latency_ms;
+
+  static ServeMetrics& get() {
+    static auto& r = obs::MetricsRegistry::instance();
+    static ServeMetrics m{
+        r.counter("serve.submitted", "requests accepted by submit()"),
+        r.counter("serve.completed", "requests finished with kOk"),
+        r.counter("serve.rejected", "requests rejected (queue full)"),
+        r.counter("serve.timed_out", "requests expired before completion"),
+        r.counter("serve.ticks", "batched forward passes"),
+        r.counter("serve.batched_lanes", "sum of batch sizes over ticks"),
+        r.histogram("serve.latency_ms", 0.0, 500.0, 50,
+                    "submit -> completion wall milliseconds (kOk only)"),
+    };
+    return m;
+  }
+};
+
+/// Registry values for the fields ServiceCounters mirrors.
+ServiceCounters registry_counters() {
+  ServeMetrics& m = ServeMetrics::get();
+  ServiceCounters c;
+  c.submitted = m.submitted.value();
+  c.completed = m.completed.value();
+  c.rejected = m.rejected.value();
+  c.timed_out = m.timed_out.value();
+  c.ticks = m.ticks.value();
+  c.batched_lanes = m.batched_lanes.value();
+  return c;
 }
 
 }  // namespace
@@ -58,6 +103,7 @@ RecommendService::RecommendService(const align::RecipeModel& model,
       arena_(model, std::max(1, config.max_inflight),
              2 * std::max(1, config.max_beam_width)),
       queue_(config.queue_capacity) {
+  baseline_ = registry_counters();
   if (config_.max_inflight < 1) {
     throw std::invalid_argument("RecommendService: max_inflight < 1");
   }
@@ -88,15 +134,25 @@ std::future<Response> RecommendService::submit(
   Request request;
   request.insight = std::move(insight);
   request.beam_width = beam_width;
+  request.trace_id = obs::TraceRecorder::next_id();
   request.submitted_at = Clock::now();
   request.deadline = deadline == kNoDeadline
                          ? Clock::time_point::max()
                          : request.submitted_at + deadline;
   std::future<Response> future = request.promise.get_future();
 
+  auto& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.async_begin(
+        "serve.request", "serve", request.trace_id,
+        {{"beam_width", beam_width},
+         {"deadline_ms",
+          deadline == kNoDeadline ? std::int64_t{0} : deadline.count()}});
+  }
+
+  ServeMetrics::get().submitted.inc();
   {
     std::lock_guard lock(counters_mutex_);
-    ++counters_.submitted;
     if (!any_submitted_) {
       any_submitted_ = true;
       first_submit_ = request.submitted_at;
@@ -110,10 +166,7 @@ std::future<Response> RecommendService::submit(
   if (!queue_.try_push(std::move(request))) {
     // A failed try_push leaves `request` (and its promise) untouched.
     // Counter before promise, as in admit()/finish().
-    {
-      std::lock_guard lock(counters_mutex_);
-      ++counters_.rejected;
-    }
+    ServeMetrics::get().rejected.inc();
     respond(request, Status::kRejected, {}, {});
   }
   return future;
@@ -156,7 +209,17 @@ void RecommendService::stop() {
 
 ServiceCounters RecommendService::counters() const {
   std::lock_guard lock(counters_mutex_);
-  ServiceCounters snapshot = counters_;
+  ServiceCounters now = registry_counters();
+  ServiceCounters snapshot;
+  snapshot.submitted = now.submitted - baseline_.submitted;
+  snapshot.completed = now.completed - baseline_.completed;
+  snapshot.rejected = now.rejected - baseline_.rejected;
+  snapshot.timed_out = now.timed_out - baseline_.timed_out;
+  snapshot.ticks = now.ticks - baseline_.ticks;
+  snapshot.batched_lanes = now.batched_lanes - baseline_.batched_lanes;
+  snapshot.peak_inflight = peak_inflight_;
+  snapshot.sessions_created = arena_.created();
+  snapshot.session_reuses = arena_.reuses();
   snapshot.queue_depth = queue_.size();
   snapshot.mean_batch_lanes =
       snapshot.ticks > 0 ? static_cast<double>(snapshot.batched_lanes) /
@@ -181,10 +244,16 @@ void RecommendService::respond(Request& request, Status status,
   Response response;
   response.status = status;
   response.candidates = std::move(candidates);
+  response.trace_id = request.trace_id;
   response.total_ms = ms_between(request.submitted_at, now);
   response.queue_ms = admitted_at == Clock::time_point{}
                           ? response.total_ms
                           : ms_between(request.submitted_at, admitted_at);
+  auto& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.async_end("serve.finish", "serve", request.trace_id,
+                       {{"status", to_string(status)}});
+  }
   request.promise.set_value(std::move(response));
 }
 
@@ -195,22 +264,22 @@ void RecommendService::admit(Request&& request,
   // that .get()s the response and immediately snapshots counters() sees
   // its own outcome reflected.
   if (now >= request.deadline) {
-    {
-      std::lock_guard lock(counters_mutex_);
-      ++counters_.timed_out;
-    }
+    ServeMetrics::get().timed_out.inc();
     respond(request, Status::kTimedOut, {}, now);
     return;
   }
   align::DecodeSession* session = arena_.acquire(request.insight);
   if (session == nullptr) {
     // Unreachable while max_inflight == arena capacity; kept as a guard.
-    {
-      std::lock_guard lock(counters_mutex_);
-      ++counters_.rejected;
-    }
+    ServeMetrics::get().rejected.inc();
     respond(request, Status::kRejected, {}, now);
     return;
+  }
+  auto& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.async_instant(
+        "serve.admit", "serve", request.trace_id,
+        {{"queue_ms", ms_between(request.submitted_at, now)}});
   }
   Inflight flight;
   flight.request = std::move(request);
@@ -220,10 +289,7 @@ void RecommendService::admit(Request&& request,
   flight.admitted_at = now;
   inflight.push_back(std::move(flight));
   std::lock_guard lock(counters_mutex_);
-  counters_.sessions_created = arena_.created();
-  counters_.session_reuses = arena_.reuses();
-  counters_.peak_inflight =
-      std::max<std::uint64_t>(counters_.peak_inflight, inflight.size());
+  peak_inflight_ = std::max<std::uint64_t>(peak_inflight_, inflight.size());
 }
 
 void RecommendService::finish(Inflight& flight, Status status) {
@@ -233,16 +299,17 @@ void RecommendService::finish(Inflight& flight, Status status) {
   // Update the counters before fulfilling the promise: a caller that
   // .get()s the final response and immediately snapshots counters() must
   // see its own completion reflected.
-  {
+  if (status == Status::kOk) {
+    ServeMetrics& metrics = ServeMetrics::get();
+    metrics.completed.inc();
+    const auto done = Clock::now();
+    const double latency = ms_between(flight.request.submitted_at, done);
+    metrics.latency_ms.observe(latency);
     std::lock_guard lock(counters_mutex_);
-    if (status == Status::kOk) {
-      ++counters_.completed;
-      last_complete_ = Clock::now();
-      latencies_ms_.push_back(
-          ms_between(flight.request.submitted_at, last_complete_));
-    } else if (status == Status::kTimedOut) {
-      ++counters_.timed_out;
-    }
+    last_complete_ = done;
+    latencies_ms_.push_back(latency);
+  } else if (status == Status::kTimedOut) {
+    ServeMetrics::get().timed_out.inc();
   }
 
   respond(flight.request, status, std::move(candidates), flight.admitted_at);
@@ -270,12 +337,13 @@ void RecommendService::forward_batch(std::span<const align::BatchStep> steps,
         },
         config_.batch_workers);
   }
-  std::lock_guard lock(counters_mutex_);
-  ++counters_.ticks;
-  counters_.batched_lanes += steps.size();
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.ticks.inc();
+  metrics.batched_lanes.inc(steps.size());
 }
 
 void RecommendService::batcher_loop() {
+  obs::TraceRecorder::instance().set_thread_name("batcher");
   std::vector<Inflight> inflight;
   std::vector<align::BatchStep> steps;
   std::vector<std::size_t> slice_begin;
@@ -323,15 +391,31 @@ void RecommendService::batcher_loop() {
       }
     }
     probs.resize(steps.size());
-    forward_batch(steps, probs.data());
+    {
+      VPR_TRACE_SPAN("serve.tick", "serve",
+                     obs::TraceArgs{{"lanes", steps.size()},
+                                    {"inflight", inflight.size()}});
+      auto& recorder = obs::TraceRecorder::instance();
+      if (recorder.enabled()) {
+        // One marker per in-flight request, on its own correlation track.
+        for (std::size_t i = 0; i < inflight.size(); ++i) {
+          const std::size_t end =
+              i + 1 < slice_begin.size() ? slice_begin[i + 1] : steps.size();
+          recorder.async_instant(
+              "serve.batch", "serve", inflight[i].request.trace_id,
+              {{"lanes", end - slice_begin[i]}});
+        }
+      }
+      forward_batch(steps, probs.data());
 
-    // Scatter probability slices back and advance each beam.
-    for (std::size_t i = 0; i < inflight.size(); ++i) {
-      const std::size_t begin = slice_begin[i];
-      const std::size_t end =
-          i + 1 < slice_begin.size() ? slice_begin[i + 1] : steps.size();
-      inflight[i].decoder->apply(
-          std::span<const double>(probs).subspan(begin, end - begin));
+      // Scatter probability slices back and advance each beam.
+      for (std::size_t i = 0; i < inflight.size(); ++i) {
+        const std::size_t begin = slice_begin[i];
+        const std::size_t end =
+            i + 1 < slice_begin.size() ? slice_begin[i + 1] : steps.size();
+        inflight[i].decoder->apply(
+            std::span<const double>(probs).subspan(begin, end - begin));
+      }
     }
 
     std::erase_if(inflight, [&](Inflight& flight) {

@@ -71,8 +71,16 @@ struct Response {
   std::vector<align::BeamCandidate> candidates;
   double queue_ms = 0.0;  // submit -> admission
   double total_ms = 0.0;  // submit -> completion
+  /// Correlation id assigned at submit(); every trace event this request
+  /// produced (serve.request / serve.admit / serve.batch / end) carries it.
+  std::uint64_t trace_id = 0;
 };
 
+/// Snapshot of the service's load counters. The monotone event counts
+/// (submitted .. batched_lanes) are *views* over the process-wide
+/// obs::MetricsRegistry serve.* series: the service snapshots the registry
+/// at construction and counters() reports the delta, so per-instance
+/// numbers stay correct while the process exports one monotone series.
 struct ServiceCounters {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -139,6 +147,7 @@ class RecommendService {
   struct Request {
     std::vector<double> insight;
     int beam_width = 0;
+    std::uint64_t trace_id = 0;
     Clock::time_point submitted_at{};
     Clock::time_point deadline{};  // time_point::max() == no deadline
     std::promise<Response> promise;
@@ -167,9 +176,13 @@ class RecommendService {
   std::condition_variable pause_cv_;
   bool paused_ = false;
 
+  // Instance-local observability state; the monotone counts live in the
+  // process-wide registry (serve.* series) and counters() reports deltas
+  // against baseline_.
   mutable std::mutex counters_mutex_;
-  ServiceCounters counters_;
+  ServiceCounters baseline_;
   std::vector<double> latencies_ms_;
+  std::uint64_t peak_inflight_ = 0;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};
   bool any_submitted_ = false;

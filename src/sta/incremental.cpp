@@ -5,6 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace vpr::sta {
 
 namespace {
@@ -977,6 +980,12 @@ const TimingReport& IncrementalTimer::analyze(
     throw std::invalid_argument("analyze: clock_arrival size mismatch");
   }
   ++stats_.analyze_calls;
+  static obs::Counter& analyze_counter =
+      obs::MetricsRegistry::instance().counter(
+          "sta.incremental.analyze_calls",
+          "IncrementalTimer::analyze invocations");
+  analyze_counter.inc();
+  VPR_TRACE_SPAN("sta.incremental.analyze", "sta");
 
   bool full = !has_result_ || !same_options(options, options_);
   const bool shrunk = n_cells < known_cells_ || n_nets < known_nets_;
@@ -1010,6 +1019,11 @@ const TimingReport& IncrementalTimer::analyze(
         clk_empty == clk_empty_) {
       // Bitwise-identical inputs: the retained report is already the answer.
       ++stats_.unchanged_calls;
+      static obs::Counter& unchanged_counter =
+          obs::MetricsRegistry::instance().counter(
+              "sta.incremental.unchanged_calls",
+              "analyze calls short-circuited on identical inputs");
+      unchanged_counter.inc();
       return report_;
     }
     // When most of the design moved (routed wirelengths replacing the HPWL
@@ -1024,6 +1038,12 @@ const TimingReport& IncrementalTimer::analyze(
   if (full) {
     clear_dirt();
     ++stats_.full_passes;
+    static obs::Counter& full_counter =
+        obs::MetricsRegistry::instance().counter(
+            "sta.incremental.full_passes",
+            "analyze calls that recomputed the whole design");
+    full_counter.inc();
+    VPR_TRACE_SPAN("sta.incremental.full_refresh", "sta");
     full_refresh(net_wirelength, clock_arrival, options);
     options_ = options;
     clk_empty_ = clk_empty;
@@ -1033,11 +1053,15 @@ const TimingReport& IncrementalTimer::analyze(
     has_result_ = true;
     return report_;
   }
-  update_loads(options);
-  update_stage_delays(options);
-  update_launches();
-  forward_sweep();
+  {
+    VPR_TRACE_SPAN("sta.incremental.forward", "sta");
+    update_loads(options);
+    update_stage_delays(options);
+    update_launches();
+    forward_sweep();
+  }
   clk_empty_ = clk_empty;
+  VPR_TRACE_SPAN("sta.incremental.backward", "sta");
   endpoint_pass(options, /*full=*/false);
   backward_incremental();
   metrics_pass(options, /*full=*/false);

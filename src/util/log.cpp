@@ -1,14 +1,61 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+#include <utility>
+
+#include "util/json.h"
 
 namespace vpr::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+/// Serializes sink invocations and guards the sink pointer swap.
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& current_sink() {
+  static LogSink sink;  // null => default stderr text
+  return sink;
+}
+
+std::uint32_t next_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// "[12:34:56.789 t03 INFO] message" — one preformatted string handed to
+/// the stream in a single write, so concurrent emitters cannot interleave
+/// mid-line even if the stream itself is shared.
+std::string format_text(const LogRecord& record) {
+  const std::time_t secs =
+      static_cast<std::time_t>(record.unix_ms / 1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix,
+                "[%02d:%02d:%02d.%03d t%02" PRIu32 " %s] ", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(record.unix_ms % 1000), record.tid,
+                log_level_name(record.level));
+  std::string line{prefix};
+  line += record.message;
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -18,15 +65,52 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
-namespace detail {
-void emit(LogLevel level, const std::string& message) {
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(emit_mutex());
+  current_sink() = std::move(sink);
 }
+
+LogSink json_lines_sink(std::ostream& os) {
+  return [&os](const LogRecord& record) {
+    // Invoked under the emit mutex; build the full line first so the
+    // stream sees exactly one write per record.
+    Json j = Json::object();
+    j["ts_ms"] = static_cast<double>(record.unix_ms);
+    j["level"] = std::string(log_level_name(record.level));
+    j["tid"] = static_cast<std::size_t>(record.tid);
+    j["msg"] = record.message;
+    os << j.dump(/*indent=*/-1) + "\n";
+    os.flush();
+  };
+}
+
+std::uint32_t log_thread_id() {
+  thread_local std::uint32_t id = next_thread_id();
+  return id;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  LogRecord record;
+  record.level = level;
+  record.message = message;
+  record.tid = log_thread_id();
+  record.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard lock(emit_mutex());
+  if (current_sink()) {
+    current_sink()(record);
+  } else {
+    std::cerr << format_text(record) << std::flush;
+  }
+}
+
 }  // namespace detail
 
 }  // namespace vpr::util

@@ -2,7 +2,16 @@
 // Tiny leveled logger. The flow engines log stage progress at Info and
 // per-engine details at Debug; experiment binaries default to Warn so that
 // table output stays clean.
+//
+// Each line carries a wall-clock timestamp and a small per-thread id, and
+// the whole line is emitted as one serialized write, so concurrent threads
+// (the serve batcher, pool workers) never shear each other's output. An
+// opt-in sink (set_log_sink) redirects records — e.g. json_lines_sink for
+// machine-readable JSON-lines — instead of the default stderr text.
 
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -13,29 +22,60 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global threshold; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// One emitted log statement, as handed to sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  /// Small sequential id of the emitting thread (1 = first to log).
+  std::uint32_t tid = 0;
+  /// Wall-clock milliseconds since the Unix epoch.
+  std::int64_t unix_ms = 0;
+};
+
+/// Receives every record at or above the threshold. Invocations are
+/// serialized by the logger, so a sink needs no locking of its own.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replace the default stderr text sink; a null sink restores it.
+void set_log_sink(LogSink sink);
+
+/// Sink writing one compact JSON object per line to `os`:
+///   {"ts_ms":1738000000123,"level":"INFO","tid":1,"msg":"..."}
+/// `os` must outlive the sink.
+[[nodiscard]] LogSink json_lines_sink(std::ostream& os);
+
+/// The calling thread's log id (assigned on first use; exposed for tests).
+[[nodiscard]] std::uint32_t log_thread_id();
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);
 }
 
 /// Stream-style log statement: LOG(Info) << "placed " << n << " cells";
+/// The threshold is evaluated once, at construction: a level change while
+/// the statement is streaming cannot emit a partially-built message (or
+/// drop a fully-built one halfway through).
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(level >= log_level()) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
   ~LogLine() {
-    if (level_ >= log_level()) detail::emit(level_, os_.str());
+    if (enabled_) detail::emit(level_, os_.str());
   }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    if (level_ >= log_level()) os_ << value;
+    if (enabled_) os_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream os_;
 };
 

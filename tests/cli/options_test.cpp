@@ -40,6 +40,44 @@ TEST(ParseCommand, MapsEveryKnownCommand) {
   EXPECT_EQ(parse_command("recommend"), Command::kRecommend);
   EXPECT_EQ(parse_command("tune"), Command::kTune);
   EXPECT_EQ(parse_command("serve-bench"), Command::kServeBench);
+  EXPECT_EQ(parse_command("metrics"), Command::kMetrics);
+}
+
+TEST(ParseOutputPath, AbsentPresentAndValueless) {
+  EXPECT_FALSE(
+      parse_output_path(make_args({"run"}), "trace-out").has_value());
+  const auto path = parse_output_path(
+      make_args({"run", "--trace-out=trace.json"}), "trace-out");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "trace.json");
+  // Space-separated form works through util::Args too.
+  EXPECT_EQ(*parse_output_path(
+                make_args({"run", "--metrics-out", "m.prom"}), "metrics-out"),
+            "m.prom");
+  // A bare flag must be an error, not a silently dropped output.
+  EXPECT_THROW(
+      (void)parse_output_path(make_args({"run", "--trace-out"}), "trace-out"),
+      UsageError);
+  const std::string message = usage_message([] {
+    (void)parse_output_path(make_args({"run", "--trace-out"}), "trace-out");
+  });
+  EXPECT_NE(message.find("--trace-out requires a file path"),
+            std::string::npos);
+}
+
+TEST(ParseMetricsFormat, StrictJsonOrPrometheus) {
+  EXPECT_EQ(parse_metrics_format(make_args({"metrics"})),
+            MetricsFormat::kJson);
+  EXPECT_EQ(parse_metrics_format(make_args({"metrics", "--format=json"})),
+            MetricsFormat::kJson);
+  EXPECT_EQ(
+      parse_metrics_format(make_args({"metrics", "--format=prometheus"})),
+      MetricsFormat::kPrometheus);
+  EXPECT_EQ(parse_metrics_format(make_args({"metrics", "--format=prom"})),
+            MetricsFormat::kPrometheus);
+  EXPECT_THROW(
+      (void)parse_metrics_format(make_args({"metrics", "--format=xml"})),
+      UsageError);
 }
 
 TEST(ParseCommand, UnknownCommandNamesTheOffender) {

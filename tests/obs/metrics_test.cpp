@@ -1,0 +1,170 @@
+// MetricsRegistry: handle registration semantics, histogram bucket math
+// against util::Histogram, and the JSON / Prometheus dumps.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace vpr::obs {
+namespace {
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("reqs", "requests");
+  Counter& b = registry.counter("reqs", "ignored second help");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.counter_d("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x", 0.0, 1.0, 4), std::invalid_argument);
+  registry.histogram("h", 0.0, 10.0, 5);
+  EXPECT_THROW(registry.histogram("h", 0.0, 10.0, 6),
+               std::invalid_argument);
+  EXPECT_THROW(registry.histogram("h", 0.0, 20.0, 5),
+               std::invalid_argument);
+  // Same geometry is fine.
+  EXPECT_NO_THROW(registry.histogram("h", 0.0, 10.0, 5));
+}
+
+TEST(MetricsRegistryTest, CounterDAndGauge) {
+  MetricsRegistry registry;
+  CounterD& seconds = registry.counter_d("busy_seconds");
+  seconds.add(0.25);
+  seconds.add(0.5);
+  EXPECT_DOUBLE_EQ(seconds.value(), 0.75);
+
+  Gauge& depth = registry.gauge("depth");
+  depth.set(3.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 3.0);
+  depth.max(5.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 5.0);
+  depth.max(2.0);  // max() never lowers
+  EXPECT_DOUBLE_EQ(depth.value(), 5.0);
+}
+
+TEST(MetricsRegistryTest, HistogramMatchesUtilHistogramBucketMath) {
+  MetricsRegistry registry;
+  HistogramMetric& metric = registry.histogram("lat", 0.0, 100.0, 10);
+  util::Histogram reference{0.0, 100.0, 10};
+  // In-range, edge, and out-of-range (clamped) samples.
+  const std::vector<double> samples = {-5.0, 0.0,  9.99, 10.0,  55.5,
+                                       99.9, 100.0, 250.0, 42.0, 0.1};
+  for (const double x : samples) {
+    metric.observe(x);
+    reference.add(x);
+  }
+  ASSERT_EQ(metric.bins(), reference.bins());
+  for (int b = 0; b < metric.bins(); ++b) {
+    EXPECT_EQ(metric.bucket_count(b), reference.count(b)) << "bin " << b;
+    EXPECT_DOUBLE_EQ(metric.bin_lo(b), reference.bin_lo(b));
+    EXPECT_DOUBLE_EQ(metric.bin_hi(b), reference.bin_hi(b));
+  }
+  EXPECT_EQ(metric.total(), static_cast<long>(samples.size()));
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  EXPECT_DOUBLE_EQ(metric.sum(), sum);
+  EXPECT_EQ(metric.snapshot().total(), reference.total());
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("hits");
+  HistogramMetric& h = registry.histogram("obs", 0.0, 1.0, 4);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        hits.inc();
+        h.observe(0.5);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(hits.value(), static_cast<std::uint64_t>(kThreads * kEach));
+  EXPECT_EQ(h.total(), static_cast<long>(kThreads * kEach));
+}
+
+TEST(MetricsRegistryTest, JsonDumpContainsEverySeries) {
+  MetricsRegistry registry;
+  registry.counter("a.count").inc(7);
+  registry.gauge("b.gauge").set(1.5);
+  registry.histogram("c.hist", 0.0, 4.0, 2).observe(1.0);
+  std::ostringstream os;
+  registry.to_json().write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"b.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("serve.requests", "total requests").inc(3);
+  registry.gauge("queue.depth").set(2.0);
+  HistogramMetric& h =
+      registry.histogram("latency.ms", 0.0, 10.0, 2, "latency");
+  h.observe(1.0);
+  h.observe(9.0);
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  // Names are sanitized: '.' is not legal in a Prometheus metric name.
+  EXPECT_EQ(text.find("serve.requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP serve_requests total requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_requests 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="5" sees 1 sample, le="+Inf" both.
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_sum 10"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SanitizeName) {
+  EXPECT_EQ(MetricsRegistry::sanitize_name("flow.eval.hits"),
+            "flow_eval_hits");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("ok_name:x9"), "ok_name:x9");
+  EXPECT_EQ(MetricsRegistry::sanitize_name("weird name!"), "weird_name_");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  HistogramMetric& h = registry.histogram("h", 0.0, 1.0, 2);
+  c.inc(5);
+  h.observe(0.3);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.total(), 0L);
+  c.inc();  // handle still live
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ProcessInstanceIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+}  // namespace
+}  // namespace vpr::obs

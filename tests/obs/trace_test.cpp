@@ -1,0 +1,201 @@
+// TraceRecorder / TraceSpan: event well-formedness, span nesting, thread
+// attribution, disabled-path behavior, and the exported JSON.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace vpr::obs {
+namespace {
+
+/// Every test runs against the process-wide recorder, so each starts from
+/// a clean, disabled slate and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+const TraceEvent* find_event(const std::vector<TraceEvent>& events,
+                             const std::string& name) {
+  const auto it = std::find_if(
+      events.begin(), events.end(),
+      [&](const TraceEvent& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    VPR_TRACE_SPAN("never.seen");
+    TraceRecorder::instance().instant("also.never", "test");
+  }
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  {
+    VPR_TRACE_SPAN("outer", "test",
+                   TraceArgs{{"n", 3}, {"ratio", 0.5}, {"tag", "x"}});
+  }
+  recorder.set_enabled(false);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& e = events[0];
+  EXPECT_EQ(e.name, "outer");
+  EXPECT_EQ(e.category, "test");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GE(e.ts_us, 0);
+  EXPECT_GE(e.dur_us, 0);
+  EXPECT_NE(e.tid, 0u);
+  ASSERT_EQ(e.args.size(), 3u);
+  EXPECT_EQ(e.args[0].key, "n");
+  EXPECT_EQ(std::get<std::int64_t>(e.args[0].value), 3);
+  EXPECT_DOUBLE_EQ(std::get<double>(e.args[1].value), 0.5);
+  EXPECT_EQ(std::get<std::string>(e.args[2].value), "x");
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  {
+    VPR_TRACE_SPAN("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      VPR_TRACE_SPAN("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  recorder.set_enabled(false);
+  const auto events = recorder.snapshot();
+  const TraceEvent* outer = find_event(events, "outer");
+  const TraceEvent* inner = find_event(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The inner span's [ts, ts+dur] interval nests inside the outer's, and
+  // both land on the same thread track.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+  EXPECT_LT(inner->dur_us, outer->dur_us);
+  EXPECT_EQ(inner->tid, outer->tid);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&recorder, t] {
+      recorder.set_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < kSpansEach; ++i) {
+        VPR_TRACE_SPAN("work", "test");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  recorder.set_enabled(false);
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kSpansEach));
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, AsyncEventsShareOneId) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  const std::uint64_t id = TraceRecorder::next_id();
+  ASSERT_NE(id, 0u);
+  EXPECT_NE(TraceRecorder::next_id(), id);
+  recorder.async_begin("req", "test", id);
+  recorder.async_instant("req.step", "test", id);
+  recorder.async_end("req", "test", id);
+  recorder.set_enabled(false);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  std::string phases;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.id, id);
+    phases += e.phase;
+  }
+  std::sort(phases.begin(), phases.end());
+  EXPECT_EQ(phases, "ben");
+}
+
+TEST_F(TraceTest, JsonIsWellFormedTraceEventFormat) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_thread_name("main-test");
+  recorder.set_enabled(true);
+  { VPR_TRACE_SPAN("a", "test", TraceArgs{{"k", "v\"with\nescapes"}}); }
+  recorder.instant("mark", "test");
+  recorder.async_begin("r", "test", TraceRecorder::next_id());
+  recorder.set_enabled(false);
+
+  std::ostringstream os;
+  recorder.write_json(os);
+  const std::string json = os.str();
+  // Structural spot checks (util::Json has no parser; CI runs the exported
+  // file through python -m json.tool).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("main-test"), std::string::npos);
+  // Raw control characters must never reach the output: the message's
+  // embedded newline is escaped, leaving only the trailing one.
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+  // Balanced braces/brackets => structurally sound for this escaped text.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  { VPR_TRACE_SPAN("a", "test"); }
+  recorder.set_enabled(false);
+  EXPECT_EQ(recorder.event_count(), 1u);
+  recorder.clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST_F(TraceTest, CompleteUsesCallerTimestamps) {
+  auto& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(1234);
+  const std::int64_t ts = TraceRecorder::to_us(t0);
+  recorder.complete("stage", "test", ts, TraceRecorder::to_us(t1) - ts);
+  recorder.set_enabled(false);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts_us, ts);
+  EXPECT_EQ(events[0].dur_us, 1234);
+}
+
+}  // namespace
+}  // namespace vpr::obs

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "align/beam.h"
+#include "obs/trace.h"
 #include "serve/arena.h"
 #include "serve/service.h"
 #include "util/rng.h"
@@ -198,6 +199,81 @@ TEST(RecommendService, ArenaRecyclesSessionsAcrossRequests) {
   // the pool fills is served by rebind().
   EXPECT_LE(counters.sessions_created, 2);
   EXPECT_EQ(counters.sessions_created + counters.session_reuses, 12);
+}
+
+TEST(RecommendService, TraceIdConnectsAdmissionBatchAndFinish) {
+  // The PR's tracing acceptance bar: the correlation id handed back in
+  // Response.trace_id appears on the request's async begin (submit), the
+  // serve.admit marker, at least one per-tick serve.batch marker, and the
+  // closing serve.finish event — one connected track in Perfetto.
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.set_enabled(false);
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  Response first;
+  Response second;
+  {
+    RecommendService service{model, {}};
+    first = service.recommend(insights[0], 4);
+    second = service.recommend(insights[1], 4);
+  }
+  recorder.set_enabled(false);
+
+  ASSERT_EQ(first.status, Status::kOk);
+  ASSERT_EQ(second.status, Status::kOk);
+  ASSERT_NE(first.trace_id, 0u);
+  ASSERT_NE(second.trace_id, 0u);
+  EXPECT_NE(first.trace_id, second.trace_id);
+
+  int begins = 0, admits = 0, batches = 0, ends = 0;
+  std::uint32_t begin_tid = 0, batch_tid = 0;
+  for (const obs::TraceEvent& e : recorder.snapshot()) {
+    if (e.id != first.trace_id) continue;
+    if (e.phase == 'b' && e.name == "serve.request") {
+      ++begins;
+      begin_tid = e.tid;
+    } else if (e.phase == 'n' && e.name == "serve.admit") {
+      ++admits;
+    } else if (e.phase == 'n' && e.name == "serve.batch") {
+      ++batches;
+      batch_tid = e.tid;
+    } else if (e.phase == 'e') {
+      ++ends;
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(admits, 1);
+  EXPECT_GE(batches, 1);  // one marker per tick the request was decoded in
+  EXPECT_EQ(ends, 1);
+  // submit() runs on the caller, the batch markers on the batcher thread:
+  // the id is what stitches them into one track.
+  EXPECT_NE(begin_tid, batch_tid);
+  recorder.clear();
+}
+
+TEST(RecommendService, CountersAreViewsOverSharedRegistry) {
+  // Two services in one process: each instance's counters() must report
+  // only its own traffic even though both feed the same process-wide
+  // serve.* registry series.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  RecommendService a{model, {}};
+  ASSERT_EQ(a.recommend(insights[0], 2).status, Status::kOk);
+  ASSERT_EQ(a.recommend(insights[1], 2).status, Status::kOk);
+
+  RecommendService b{model, {}};
+  ASSERT_EQ(b.recommend(insights[2], 2).status, Status::kOk);
+
+  const ServiceCounters ca = a.counters();
+  const ServiceCounters cb = b.counters();
+  EXPECT_EQ(ca.submitted, 3u);  // b's request came after a's baseline
+  EXPECT_EQ(ca.completed, 3u);
+  EXPECT_EQ(cb.submitted, 1u);
+  EXPECT_EQ(cb.completed, 1u);
+  EXPECT_GE(ca.ticks, cb.ticks);
 }
 
 TEST(SessionArena, AcquireReleaseAndExhaustion) {

@@ -1,0 +1,129 @@
+// util::log: level gating, the constructor-time threshold capture, sink
+// redirection, and the JSON-lines sink.
+
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vpr::util {
+namespace {
+
+/// Restores the global level and sink after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_level(LogLevel::kWarn); }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+};
+
+/// Captures records in-process instead of writing to stderr.
+std::vector<LogRecord>& capture() {
+  static std::vector<LogRecord> records;
+  return records;
+}
+
+void install_capture() {
+  capture().clear();
+  set_log_sink([](const LogRecord& r) { capture().push_back(r); });
+}
+
+TEST_F(LogTest, BelowThresholdIsDropped) {
+  install_capture();
+  set_log_level(LogLevel::kWarn);
+  VPR_LOG(Info) << "quiet";
+  VPR_LOG(Warn) << "loud";
+  ASSERT_EQ(capture().size(), 1u);
+  EXPECT_EQ(capture()[0].message, "loud");
+  EXPECT_EQ(capture()[0].level, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, RecordCarriesThreadIdAndTimestamp) {
+  install_capture();
+  set_log_level(LogLevel::kInfo);
+  VPR_LOG(Info) << "stamped";
+  ASSERT_EQ(capture().size(), 1u);
+  EXPECT_EQ(capture()[0].tid, log_thread_id());
+  EXPECT_GT(capture()[0].unix_ms, 0);
+  std::uint32_t other = 0;
+  std::thread t{[&] { other = log_thread_id(); }};
+  t.join();
+  EXPECT_NE(other, log_thread_id());
+}
+
+/// A streamed value whose operator<< raises the global threshold — the
+/// regression shape for the old double-evaluation bug: LogLine used to
+/// re-check log_level() in the destructor, so a level change mid-statement
+/// could drop a message that passed the check at construction.
+struct RaisesLevelWhenStreamed {
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const RaisesLevelWhenStreamed&) {
+    set_log_level(LogLevel::kOff);
+    return os << "payload";
+  }
+};
+
+TEST_F(LogTest, ThresholdIsCapturedAtConstruction) {
+  install_capture();
+  set_log_level(LogLevel::kInfo);
+  // Enabled at construction => must emit even though the level flips to
+  // kOff while the message is being built.
+  VPR_LOG(Info) << RaisesLevelWhenStreamed{} << " tail";
+  ASSERT_EQ(capture().size(), 1u);
+  EXPECT_EQ(capture()[0].message, "payload tail");
+
+  // Mirror image: disabled at construction stays disabled even if the
+  // level drops mid-statement.
+  capture().clear();
+  set_log_level(LogLevel::kOff);
+  VPR_LOG(Error) << [] {
+    set_log_level(LogLevel::kDebug);
+    return "late";
+  }();
+  EXPECT_TRUE(capture().empty());
+}
+
+TEST_F(LogTest, NullSinkRestoresDefault) {
+  install_capture();
+  set_log_level(LogLevel::kInfo);
+  set_log_sink(nullptr);  // back to stderr; capture() must stay empty
+  VPR_LOG(Info) << "to stderr";
+  EXPECT_TRUE(capture().empty());
+}
+
+TEST_F(LogTest, JsonLinesSink) {
+  std::ostringstream os;
+  set_log_sink(json_lines_sink(os));
+  set_log_level(LogLevel::kInfo);
+  VPR_LOG(Info) << "first";
+  VPR_LOG(Warn) << "second \"quoted\"";
+  const std::string text = os.str();
+  // One JSON object per line.
+  ASSERT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  const std::string line1 = text.substr(0, text.find('\n'));
+  EXPECT_EQ(line1.front(), '{');
+  EXPECT_EQ(line1.back(), '}');
+  EXPECT_NE(line1.find("\"level\":\"INFO\""), std::string::npos);
+  EXPECT_NE(line1.find("\"msg\":\"first\""), std::string::npos);
+  EXPECT_NE(line1.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line1.find("\"tid\":"), std::string::npos);
+  // Quotes in the message are escaped, keeping each line one JSON object.
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace vpr::util
