@@ -16,13 +16,17 @@
 //
 // Designs are suite indices 1..17 (optionally capped with --cells).
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "align/cache.h"
 #include "align/pipeline.h"
+#include "align/recipe_model.h"
 #include "cli/options.h"
 #include "flow/report.h"
 #include "flow/runtime_model.h"
@@ -31,7 +35,11 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/bench.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "util/args.h"
+#include "util/json.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
@@ -50,8 +58,15 @@ using namespace vpr;
       "        --model FILE --dataset FILE\n"
       "  recommend --model FILE --dataset FILE --design K [--k K] [--cells N]\n"
       "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n"
+      "  serve --listen PORT [--host ADDR] [--replicas N] [--max-inflight N]\n"
+      "        [--queue-cap N] [--width K]   TCP recommend server (SIGTERM\n"
+      "                                      drains in-flight work, then exits)\n"
       "  serve-bench [--requests N] [--concurrency N] [--width K]\n"
-      "              [--sweeps N] [--json FILE]\n"
+      "              [--sweeps N] [--replicas N] [--json FILE]\n"
+      "  serve-bench --connect [HOST:]PORT [--connections N] [--window N]\n"
+      "              [--requests N] [--width K] [--deadline MS]\n"
+      "              [--priority interactive|normal|batch] [--no-verify]\n"
+      "              [--json FILE]           network load generator\n"
       "  metrics [--format json|prometheus]   dump the metrics registry\n"
       "global flags (any command):\n"
       "  --trace-out=FILE    record a Perfetto/Chrome trace of the run\n"
@@ -229,20 +244,118 @@ int cmd_recommend(const util::Args& args) {
   return 0;
 }
 
+serve::Priority parse_priority(const std::string& name) {
+  if (name == "interactive") return serve::Priority::kInteractive;
+  if (name == "normal") return serve::Priority::kNormal;
+  if (name == "batch") return serve::Priority::kBatch;
+  throw cli::UsageError(
+      "serve-bench: --priority must be interactive, normal or batch, got '" +
+      name + "'");
+}
+
 int cmd_serve_bench(const util::Args& args) {
+  if (const auto connect = args.get("connect")) {
+    const auto endpoint =
+        cli::parse_host_port(*connect, "serve-bench --connect");
+    serve::ClientBenchOptions opts;
+    opts.host = endpoint.host;
+    opts.port = endpoint.port;
+    opts.connections = args.get_int("connections", opts.connections);
+    opts.window = args.get_int("window", opts.window);
+    opts.requests = args.get_int("requests", opts.requests);
+    opts.beam_width = args.get_int("width", opts.beam_width);
+    const int deadline = args.get_int("deadline", 0);
+    if (deadline < 0) {
+      throw cli::UsageError("serve-bench: --deadline must be >= 0 ms");
+    }
+    opts.deadline_ms = static_cast<std::uint32_t>(deadline);
+    opts.priority = parse_priority(args.get_or("priority", "normal"));
+    opts.verify = !args.has("no-verify");
+    opts.json_path = args.get_or("json", "");
+    if (opts.connections < 1 || opts.window < 1 || opts.requests < 1 ||
+        opts.beam_width < 1) {
+      throw cli::UsageError(
+          "serve-bench: --connections/--window/--requests/--width must be "
+          ">= 1");
+    }
+    return serve::run_client_bench(opts);
+  }
   serve::ServeBenchOptions opts;
   opts.requests = args.get_int("requests", opts.requests);
   opts.concurrency = args.get_int("concurrency", opts.concurrency);
   opts.beam_width = args.get_int("width", opts.beam_width);
   opts.sweeps = args.get_int("sweeps", opts.sweeps);
+  opts.replicas = args.get_int("replicas", opts.replicas);
   opts.json_path = args.get_or("json", opts.json_path);
   if (opts.requests < 1 || opts.concurrency < 1 || opts.beam_width < 1 ||
-      opts.sweeps < 1) {
+      opts.sweeps < 1 || opts.replicas < 1) {
     throw cli::UsageError(
-        "serve-bench: --requests/--concurrency/--width/--sweeps must be "
-        ">= 1");
+        "serve-bench: --requests/--concurrency/--width/--sweeps/--replicas "
+        "must be >= 1");
   }
   return serve::run_serve_bench(opts);
+}
+
+/// SIGINT/SIGTERM set this; the serve loop polls it and drains. A flag is
+/// all a signal handler may touch — Server::stop() joins threads, so the
+/// actual drain runs on the main thread.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void on_serve_signal(int /*signum*/) { g_serve_stop = 1; }
+
+int cmd_serve(const util::Args& args) {
+  const auto listen = args.get("listen");
+  if (!listen.has_value()) {
+    throw cli::UsageError("serve: --listen PORT required");
+  }
+  serve::ServerConfig config;
+  config.port = cli::parse_port(*listen, "serve --listen");
+  config.host = args.get_or("host", config.host);
+  config.router.replicas = args.get_int("replicas", config.router.replicas);
+  config.router.replica.max_inflight =
+      args.get_int("max-inflight", config.router.replica.max_inflight);
+  const int queue_cap = args.get_int(
+      "queue-cap", static_cast<int>(config.router.replica.queue_capacity));
+  config.router.replica.max_beam_width =
+      args.get_int("width", config.router.replica.max_beam_width);
+  if (config.router.replicas < 1 ||
+      config.router.replica.max_inflight < 1 || queue_cap < 1 ||
+      config.router.replica.max_beam_width < 1) {
+    throw cli::UsageError(
+        "serve: --replicas/--max-inflight/--queue-cap/--width must be >= 1");
+  }
+  config.router.replica.queue_capacity =
+      static_cast<std::size_t>(queue_cap);
+
+  // The same seeded model every serve bench and test replays against, so
+  // remote clients can bitwise-verify responses out of the box.
+  util::Rng rng{7};
+  const align::RecipeModel model{align::ModelConfig{}, rng};
+  serve::Server server{model, config};
+
+  std::signal(SIGINT, on_serve_signal);
+  std::signal(SIGTERM, on_serve_signal);
+  std::cout << "insightalign serve: listening on " << config.host << ':'
+            << server.port() << " (" << config.router.replicas
+            << " replicas, max-inflight "
+            << config.router.replica.max_inflight << "/replica, queue-cap "
+            << queue_cap << "/replica)" << std::endl;
+
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cerr << "insightalign serve: signal received, draining...\n";
+  server.stop();
+
+  const auto stats = server.stats();
+  util::Json summary = util::Json::object();
+  summary["connections"] = static_cast<double>(stats.connections);
+  summary["requests"] = static_cast<double>(stats.requests);
+  summary["protocol_errors"] = static_cast<double>(stats.protocol_errors);
+  summary["bad_requests"] = static_cast<double>(stats.bad_requests);
+  summary["router"] = server.router().counters().to_json();
+  std::cout << summary.dump() << std::endl;
+  return 0;
 }
 
 int cmd_metrics(const util::Args& args) {
@@ -303,6 +416,8 @@ int run_command(cli::Command command, const util::Args& args) {
       return cmd_recommend(args);
     case cli::Command::kTune:
       return cmd_tune(args);
+    case cli::Command::kServe:
+      return cmd_serve(args);
     case cli::Command::kServeBench:
       return cmd_serve_bench(args);
     case cli::Command::kMetrics:

@@ -29,9 +29,34 @@ Command parse_command(const std::string& name) {
   if (name == "align") return Command::kAlign;
   if (name == "recommend") return Command::kRecommend;
   if (name == "tune") return Command::kTune;
+  if (name == "serve") return Command::kServe;
   if (name == "serve-bench") return Command::kServeBench;
   if (name == "metrics") return Command::kMetrics;
   throw UsageError("unknown command '" + name + "'");
+}
+
+int parse_port(const std::string& text, const std::string& context) {
+  const int port = parse_strict_int(text, context);
+  if (port < 1 || port > 65535) {
+    throw UsageError(context + ": port " + text + " out of range 1..65535");
+  }
+  return port;
+}
+
+HostPort parse_host_port(const std::string& text,
+                         const std::string& context) {
+  HostPort hp;
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    hp.port = parse_port(text, context);  // bare port, loopback default
+    return hp;
+  }
+  hp.host = text.substr(0, colon);
+  if (hp.host.empty()) {
+    throw UsageError(context + ": empty host in '" + text + "'");
+  }
+  hp.port = parse_port(text.substr(colon + 1), context);
+  return hp;
 }
 
 std::vector<int> parse_int_list(const std::string& text) {

@@ -28,6 +28,7 @@ enum class Command {
   kAlign,
   kRecommend,
   kTune,
+  kServe,
   kServeBench,
   kMetrics,
 };
@@ -35,6 +36,23 @@ enum class Command {
 /// Maps the first positional argument to a Command; throws UsageError on
 /// an unknown name.
 [[nodiscard]] Command parse_command(const std::string& name);
+
+/// TCP endpoint parsed from --connect; host defaults to loopback when the
+/// spec is a bare port.
+struct HostPort {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Strict TCP port in [1, 65535]; throws UsageError otherwise. `context`
+/// prefixes the message ("serve --listen", ...).
+[[nodiscard]] int parse_port(const std::string& text,
+                             const std::string& context);
+
+/// "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1). Throws
+/// UsageError on a bad port or an empty host like ":9000".
+[[nodiscard]] HostPort parse_host_port(const std::string& text,
+                                       const std::string& context);
 
 /// "1,8,24" -> {1,8,24}. Strict: a non-integer token throws UsageError
 /// (the seed parser silently let std::stoi truncate "8x" to 8).

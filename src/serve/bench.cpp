@@ -12,10 +12,12 @@
 
 #include "align/beam.h"
 #include "align/recipe_model.h"
+#include "serve/router.h"
 #include "serve/service.h"
 #include "util/json.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace vpr::serve {
 
@@ -23,24 +25,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr int kSuiteDesigns = 17;
-
-/// One synthetic insight vector per suite design, seeded by design index:
-/// the same spread (normal * 0.5) the decode tests use, with the bias
-/// feature pinned to 1.0 like real extracted insight vectors.
-std::vector<std::vector<double>> suite_insights(int insight_dim) {
-  std::vector<std::vector<double>> insights;
-  insights.reserve(kSuiteDesigns);
-  for (int design = 1; design <= kSuiteDesigns; ++design) {
-    util::Rng rng{util::hash_combine(0x5e27eb43ULL,
-                                     static_cast<std::uint64_t>(design))};
-    std::vector<double> iv(static_cast<std::size_t>(insight_dim));
-    for (double& v : iv) v = rng.normal() * 0.5;
-    iv.back() = 1.0;
-    insights.push_back(std::move(iv));
-  }
-  return insights;
-}
+constexpr int kSuiteDesigns = kBenchSuiteDesigns;
 
 bool candidates_bitwise_equal(const std::vector<align::BeamCandidate>& a,
                               const std::vector<align::BeamCandidate>& b) {
@@ -81,10 +66,26 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
+/// The same spread (normal * 0.5) the decode tests use, with the bias
+/// feature pinned to 1.0 like real extracted insight vectors.
+std::vector<std::vector<double>> bench_suite_insights(int insight_dim) {
+  std::vector<std::vector<double>> insights;
+  insights.reserve(kSuiteDesigns);
+  for (int design = 1; design <= kSuiteDesigns; ++design) {
+    util::Rng rng{util::hash_combine(0x5e27eb43ULL,
+                                     static_cast<std::uint64_t>(design))};
+    std::vector<double> iv(static_cast<std::size_t>(insight_dim));
+    for (double& v : iv) v = rng.normal() * 0.5;
+    iv.back() = 1.0;
+    insights.push_back(std::move(iv));
+  }
+  return insights;
+}
+
 int run_serve_bench(const ServeBenchOptions& opts) {
   util::Rng rng{7};
   const align::RecipeModel model{align::ModelConfig{}, rng};
-  const auto insights = suite_insights(model.config().insight_dim);
+  const auto insights = bench_suite_insights(model.config().insight_dim);
 
   // Per-design oracle: a fresh, lone beam_search. Every serial and batched
   // response must match it bitwise.
@@ -142,6 +143,94 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   const double batched_qps = 1000.0 * opts.requests / batched_ms;
   const double speedup = serial_ms / batched_ms;
 
+  // --- sharded: N replicas behind the router, at matching total load ----
+  // Each replica runs the single-service concurrency, so the fleet carries
+  // replicas x the in-flight load; aggregate QPS scales with physical
+  // cores (each replica owns a batcher thread).
+  const int router_requests = opts.requests * opts.replicas;
+  double router_ms = 0.0;
+  RouterCounters router_counters;
+  for (int sweep = 0; sweep < opts.sweeps; ++sweep) {
+    RouterConfig rc;
+    rc.replicas = opts.replicas;
+    rc.replica.max_inflight = opts.concurrency;
+    rc.replica.max_beam_width = opts.beam_width;
+    rc.replica.queue_capacity =
+        static_cast<std::size_t>(std::max(router_requests, 1));
+    Router router{model, rc};
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<std::size_t>(router_requests));
+    const auto t0 = Clock::now();
+    for (int i = 0; i < router_requests; ++i) {
+      futures.push_back(router.submit(insights[i % kSuiteDesigns],
+                                      opts.beam_width, Router::kNoDeadline,
+                                      Priority::kInteractive));
+    }
+    for (int i = 0; i < router_requests; ++i) {
+      const Response response = futures[static_cast<std::size_t>(i)].get();
+      bitwise_match = bitwise_match && response.status == Status::kOk &&
+                      candidates_bitwise_equal(response.candidates,
+                                               expected[i % kSuiteDesigns]);
+    }
+    const double sweep_ms = ms_since(t0);
+    if (sweep == 0 || sweep_ms < router_ms) router_ms = sweep_ms;
+    router.rebalance();  // final occupancy/drain-rate snapshot
+    router_counters = router.counters();
+    router.stop();
+  }
+  const double router_qps = 1000.0 * router_requests / router_ms;
+
+  // --- overload: burst 2x aggregate queue capacity of mixed-priority ----
+  // traffic through small queues; sheds must resolve immediately (before
+  // the batchers even tick) while accepted interactive work completes
+  // with a bounded p99.
+  std::uint64_t overload_shed = 0;
+  std::uint64_t overload_ok = 0;
+  std::uint64_t shed_resolved_immediately = 0;
+  double mean_retry_after_ms = 0.0;
+  double accepted_p99_ms = 0.0;
+  int overload_requests = 0;
+  {
+    RouterConfig rc;
+    rc.replicas = opts.replicas;
+    rc.replica.max_inflight = opts.concurrency;
+    rc.replica.max_beam_width = opts.beam_width;
+    rc.replica.queue_capacity = 8;  // tiny on purpose
+    Router router{model, rc};
+    overload_requests = 2 * opts.replicas * 8;
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<std::size_t>(overload_requests));
+    for (int i = 0; i < overload_requests; ++i) {
+      // Cycle the classes so every shed threshold is exercised.
+      const auto priority = static_cast<Priority>(i % 3);
+      futures.push_back(router.submit(insights[i % kSuiteDesigns],
+                                      opts.beam_width, Router::kNoDeadline,
+                                      priority));
+      if (futures.back().wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        ++shed_resolved_immediately;
+      }
+    }
+    std::vector<double> accepted_ms;
+    for (auto& f : futures) {
+      const Response response = f.get();
+      if (response.status == Status::kOk) {
+        ++overload_ok;
+        accepted_ms.push_back(response.total_ms);
+      } else if (response.status == Status::kRejected) {
+        ++overload_shed;
+        mean_retry_after_ms += response.retry_after_ms;
+      }
+    }
+    if (overload_shed > 0) {
+      mean_retry_after_ms /= static_cast<double>(overload_shed);
+    }
+    if (!accepted_ms.empty()) {
+      accepted_p99_ms = util::percentile(accepted_ms, 99.0);
+    }
+    router.stop();
+  }
+
   util::Json root = util::Json::object();
   root["requests"] = opts.requests;
   root["concurrency"] = opts.concurrency;
@@ -155,6 +244,25 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   root["speedup"] = speedup;
   root["bitwise_match"] = bitwise_match;
   root["service"] = counters.to_json();
+
+  util::Json router_json = util::Json::object();
+  router_json["replicas"] = opts.replicas;
+  router_json["requests"] = router_requests;
+  router_json["router_ms"] = router_ms;
+  router_json["router_qps"] = router_qps;
+  router_json["qps_vs_serial"] = router_qps / serial_qps;
+  router_json["qps_vs_single_replica"] = router_qps / batched_qps;
+  router_json["counters"] = router_counters.to_json();
+  util::Json overload = util::Json::object();
+  overload["requests"] = overload_requests;
+  overload["ok"] = static_cast<double>(overload_ok);
+  overload["shed"] = static_cast<double>(overload_shed);
+  overload["shed_resolved_immediately"] =
+      static_cast<double>(shed_resolved_immediately);
+  overload["mean_retry_after_ms"] = mean_retry_after_ms;
+  overload["accepted_p99_ms"] = accepted_p99_ms;
+  router_json["overload"] = std::move(overload);
+  root["router"] = std::move(router_json);
 
   // Diagnostics go through the logger (whole lines, serialized) instead of
   // raw fprintf, so they cannot shear the stdout report or each other.
@@ -170,6 +278,7 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   };
   warn_slower("serve_batched_qps", batched_qps);
   warn_slower("serve_serial_qps", serial_qps);
+  warn_slower("serve_router_qps", router_qps);
   if (speedup < 2.0) {
     VPR_LOG(Warn) << "BENCH_serve: batched/serial speedup " << speedup
                   << "x is below the 2x acceptance bar";

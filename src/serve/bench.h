@@ -6,8 +6,19 @@
 // identical to fresh per-request decodes, and emits BENCH_serve.json.
 
 #include <string>
+#include <vector>
 
 namespace vpr::serve {
+
+/// Number of benchmark-suite designs the serve benchmarks replay over.
+inline constexpr int kBenchSuiteDesigns = 17;
+
+/// One synthetic insight vector per suite design (seeded per design, bias
+/// feature pinned to 1.0) — shared by the in-process bench, the network
+/// load generator, and the tests so every driver replays identical
+/// traffic and can verify against the same local beam_search oracle.
+[[nodiscard]] std::vector<std::vector<double>> bench_suite_insights(
+    int insight_dim);
 
 struct ServeBenchOptions {
   /// Total requests per sweep, round-robined over the 17 suite insights.
@@ -18,6 +29,9 @@ struct ServeBenchOptions {
   int beam_width = 5;
   /// Best-of sweeps for both variants (cancels scheduler noise).
   int sweeps = 3;
+  /// Replicas for the sharded-router sweep (each gets its own batcher
+  /// thread; aggregate throughput scales with physical cores).
+  int replicas = 4;
   std::string json_path = "BENCH_serve.json";
 };
 

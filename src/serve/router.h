@@ -1,0 +1,155 @@
+#pragma once
+// Sharded multi-replica serving: N RecommendService replicas — each with
+// its own batcher thread, admission queue and SessionArena — behind one
+// Router that places requests and sheds load.
+//
+// Placement is depth-based: every submit scores each replica by its
+// current backlog (queued + decoding) normalized by an estimated drain
+// rate, and the request goes to the cheapest replica. The drain-rate
+// estimates are refreshed by a periodic rebalance pass (every
+// rebalance_interval placements) that measures each replica's completion
+// throughput since the previous pass and folds it into an EWMA — the
+// solve/assign/rebalance cadence of epa-ng's pipeline scheduler, applied
+// to replica weights instead of pipeline stages. A replica that stalls
+// (slow tick, long requests) sees its weight decay and stops attracting
+// traffic until it drains.
+//
+// Overload policy: requests carry a Priority class. When aggregate queue
+// utilization crosses a class's shed threshold, the router refuses the
+// request *immediately* with kRejected plus a Retry-After-style hint
+// (estimated backlog drain time) instead of letting it queue — batch
+// traffic sheds first, interactive traffic last, and nothing is ever
+// buffered unboundedly. A request whose deadline is shorter than the
+// estimated wait is likewise shed up front (deadline slack admission):
+// decoding it would only steal capacity from requests that can still make
+// their deadlines.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace vpr::serve {
+
+/// Scheduling class, best service first. Lower value = higher priority.
+enum class Priority {
+  kInteractive = 0,  // shed only when every queue is full
+  kNormal = 1,
+  kBatch = 2,  // shed first under load
+};
+
+[[nodiscard]] const char* to_string(Priority priority) noexcept;
+
+struct RouterConfig {
+  /// Number of replicas (each owns a batcher thread + SessionArena).
+  int replicas = 2;
+  /// Per-replica service configuration.
+  ServiceConfig replica;
+  /// Aggregate queue utilization in [0, 1] above which kNormal / kBatch
+  /// submissions are shed. kInteractive sheds only when placement finds
+  /// every queue full.
+  double shed_normal = 0.75;
+  double shed_batch = 0.50;
+  /// Placements between drain-rate refresh passes.
+  std::uint64_t rebalance_interval = 64;
+  /// Shed a deadline-carrying request up front when its remaining slack is
+  /// below `deadline_slack_factor` x the estimated queue wait (it would
+  /// time out anyway). 0 disables slack admission.
+  double deadline_slack_factor = 1.0;
+};
+
+/// Router-level load counters plus a per-replica ServiceCounters snapshot.
+struct RouterCounters {
+  std::uint64_t routed = 0;      // placed on a replica
+  std::uint64_t shed = 0;        // refused by the overload policy
+  std::uint64_t rebalances = 0;  // drain-rate refresh passes run
+  std::vector<ServiceCounters> replica;
+
+  /// Sums over the per-replica snapshots.
+  [[nodiscard]] std::uint64_t total_completed() const;
+  [[nodiscard]] std::uint64_t total_rejected() const;
+  [[nodiscard]] util::Json to_json() const;
+};
+
+class Router {
+ public:
+  using Clock = RecommendService::Clock;
+  static constexpr std::chrono::milliseconds kNoDeadline =
+      RecommendService::kNoDeadline;
+
+  Router(const align::RecipeModel& model, RouterConfig config);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Place the request on the least-loaded replica, or shed it (kRejected
+  /// with Response::retry_after_ms set) under the overload policy. Throws
+  /// std::invalid_argument for malformed input, like
+  /// RecommendService::submit.
+  [[nodiscard]] std::future<Response> submit(
+      std::vector<double> insight, int beam_width,
+      std::chrono::milliseconds deadline = kNoDeadline,
+      Priority priority = Priority::kNormal);
+
+  /// Blocking submit().get().
+  [[nodiscard]] Response recommend(
+      std::vector<double> insight, int beam_width,
+      std::chrono::milliseconds deadline = kNoDeadline,
+      Priority priority = Priority::kNormal);
+
+  /// Refresh per-replica drain-rate estimates and the exported
+  /// serve.replica.<i>.* gauges now (also runs automatically every
+  /// rebalance_interval placements).
+  void rebalance();
+
+  /// Stop every replica (drain, then join). Idempotent.
+  void stop();
+
+  [[nodiscard]] RouterCounters counters() const;
+  [[nodiscard]] int replicas() const noexcept {
+    return static_cast<int>(fleet_.size());
+  }
+  /// Direct replica access for tests (pause/resume, counters).
+  [[nodiscard]] RecommendService& replica(int i) {
+    return *fleet_.at(static_cast<std::size_t>(i)).service;
+  }
+  [[nodiscard]] const RouterConfig& config() const noexcept {
+    return config_;
+  }
+  /// Aggregate queued / aggregate queue capacity, in [0, 1].
+  [[nodiscard]] double utilization() const;
+  /// Estimated milliseconds to drain the current backlog at the measured
+  /// completion rate — the Retry-After hint attached to shed responses.
+  [[nodiscard]] double estimated_drain_ms() const;
+
+ private:
+  struct ReplicaState {
+    std::unique_ptr<RecommendService> service;
+    /// EWMA of completions per second, refreshed by rebalance().
+    double drain_rate = 0.0;
+    std::uint64_t last_finished = 0;
+    Clock::time_point last_refresh{};
+  };
+
+  [[nodiscard]] double shed_threshold(Priority priority) const noexcept;
+  void shed(std::vector<double>&& insight, Priority priority,
+            std::promise<Response>& promise, double retry_after_ms);
+  /// Replica indices sorted by ascending load score.
+  [[nodiscard]] std::vector<int> placement_order() const;
+
+  RouterConfig config_;
+  std::size_t insight_dim_ = 0;
+  std::vector<ReplicaState> fleet_;
+  mutable std::mutex rebalance_mutex_;
+  std::atomic<std::uint64_t> routed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace vpr::serve

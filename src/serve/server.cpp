@@ -1,0 +1,243 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/wire.h"
+#include "util/log.h"
+
+namespace vpr::serve {
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter& connections;
+  obs::Counter& requests;
+  obs::Counter& protocol_errors;
+  obs::Counter& bad_requests;
+
+  static NetMetrics& get() {
+    static auto& r = obs::MetricsRegistry::instance();
+    static NetMetrics m{
+        r.counter("serve.net.connections", "TCP connections accepted"),
+        r.counter("serve.net.requests", "request frames decoded"),
+        r.counter("serve.net.protocol_errors",
+                  "connections dropped for malformed framing"),
+        r.counter("serve.net.bad_requests",
+                  "well-framed requests with invalid contents "
+                  "(answered kBadRequest)"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Server::Server(const align::RecipeModel& model, ServerConfig config)
+    : config_(std::move(config)), router_(model, config_.router) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("Server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("Server: invalid bind address " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error("Server: cannot listen on " + config_.host +
+                             ":" + std::to_string(config_.port) + " (" +
+                             std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = connections_total_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::accept_loop() {
+  obs::TraceRecorder::instance().set_thread_name("acceptor");
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop()) or unrecoverable
+    }
+    if (closing_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    // Responses are small; never trade their latency for coalescing.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().connections.inc();
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->pending = std::make_unique<util::MpmcQueue<Pending>>(kMaxPipelined);
+    Connection& ref = *conn;
+    {
+      std::lock_guard lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    ref.writer = std::thread([this, &ref] { writer_loop(ref); });
+    reap_finished();
+  }
+}
+
+void Server::reader_loop(Connection& conn) {
+  obs::TraceRecorder::instance().set_thread_name("conn-reader");
+  std::vector<std::uint8_t> payload;
+  while (wire::read_frame(conn.fd, payload)) {
+    auto request = wire::decode_request(payload);
+    if (!request.has_value()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().protocol_errors.inc();
+      break;  // framing is broken; nothing on this stream is trustworthy
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().requests.inc();
+
+    Pending pending;
+    pending.client_tag = request->client_tag;
+    try {
+      pending.future = router_.submit(
+          std::move(request->insight), request->beam_width,
+          std::chrono::milliseconds(request->deadline_ms),
+          request->priority);
+    } catch (const std::invalid_argument&) {
+      // Malformed contents from a remote peer are traffic, not a server
+      // bug: answer kBadRequest and keep the connection.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().bad_requests.inc();
+      std::promise<Response> failed;
+      Response response;
+      response.status = Status::kBadRequest;
+      failed.set_value(std::move(response));
+      pending.future = failed.get_future();
+    }
+    // A full pending queue means kMaxPipelined responses are unwritten;
+    // stall the reader (socket backpressure) rather than queue unboundedly.
+    while (conn.pending->push(std::move(pending)) ==
+           util::PushResult::kFull) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // EOF or broken framing: no more submissions. close() lets the writer
+  // drain everything already admitted, then exit.
+  conn.pending->close();
+  conn.exited.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Server::writer_loop(Connection& conn) {
+  obs::TraceRecorder::instance().set_thread_name("conn-writer");
+  std::vector<std::uint8_t> encoded;
+  Pending pending;
+  bool write_ok = true;
+  while (conn.pending->pop(pending)) {
+    Response response = pending.future.get();
+    if (!write_ok) continue;  // peer gone; keep draining futures
+    wire::ResponseFrame frame;
+    frame.status = response.status;
+    frame.client_tag = pending.client_tag;
+    frame.trace_id = response.trace_id;
+    frame.queue_ms = response.queue_ms;
+    frame.total_ms = response.total_ms;
+    frame.retry_after_ms = response.retry_after_ms;
+    frame.candidates = std::move(response.candidates);
+    encoded.clear();
+    wire::encode(frame, encoded);
+    if (!wire::write_frame(conn.fd, encoded)) {
+      write_ok = false;
+      // Wake the reader out of read_frame so the connection tears down.
+      ::shutdown(conn.fd, SHUT_RDWR);
+    }
+  }
+  ::shutdown(conn.fd, SHUT_RDWR);
+  conn.exited.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Server::reap_finished() {
+  std::lock_guard lock(connections_mutex_);
+  std::erase_if(connections_, [](std::unique_ptr<Connection>& conn) {
+    if (conn->exited.load(std::memory_order_acquire) != 2) return false;
+    conn->reader.join();
+    conn->writer.join();
+    ::close(conn->fd);
+    return true;
+  });
+}
+
+void Server::stop() {
+  // Serialized: a second stop() (destructor racing a signal handler's
+  // stop, say) blocks here until the first finishes its drain, then
+  // no-ops — it must never join the same threads concurrently.
+  std::lock_guard stop_lock(stop_mutex_);
+  if (closing_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  // 1. Stop accepting: shutdown() wakes the blocking accept(), close()
+  //    releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. EOF every connection's read side. Readers stop admitting; writers
+  //    drain all responses already in flight before exiting.
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // 3. Join and close everything.
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->writer.joinable()) conn->writer.join();
+      ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+  // 4. Drain the replicas.
+  router_.stop();
+}
+
+}  // namespace vpr::serve

@@ -1,0 +1,112 @@
+#pragma once
+// TCP front door for the sharded serving tier: accepts connections on a
+// listening socket, decodes length-prefixed request frames (serve::wire),
+// places them through a serve::Router, and streams the responses back.
+//
+// Threading: one accept thread plus two threads per live connection — a
+// reader that parses frames and submits to the router, and a writer that
+// resolves the submission futures in FIFO order and sends the response
+// frames. FIFO resolution means responses go out in request order per
+// connection (client_tag still lets clients match out-of-order if the
+// protocol ever relaxes this), and a slow decode simply delays the
+// writer, never the router. A connection may pipeline up to
+// kMaxPipelined requests; beyond that the reader stops reading, pushing
+// backpressure into the kernel socket buffer and ultimately the client.
+//
+// Shutdown (stop(), also the destructor): close the listener, shut down
+// every connection's read side so readers see EOF and stop admitting,
+// let writers drain every response already in flight, join, then stop
+// the router (which drains its replicas). Nothing submitted before
+// stop() is dropped — the CI smoke asserts a clean SIGTERM drain.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/router.h"
+
+namespace vpr::serve {
+
+struct ServerConfig {
+  RouterConfig router;
+  /// IPv4 dotted-quad bind address. Loopback by default: exposing the
+  /// recommender beyond the host is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (tests); port() reports the actual one.
+  int port = 0;
+  int backlog = 64;
+};
+
+/// Per-server traffic totals (process-wide counterparts live in the
+/// metrics registry as serve.net.*).
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t bad_requests = 0;
+};
+
+class Server {
+ public:
+  /// Requests a connection may have in flight before its reader stops
+  /// reading (socket-buffer backpressure).
+  static constexpr std::size_t kMaxPipelined = 1024;
+
+  /// Binds and starts accepting immediately; throws std::runtime_error
+  /// when the socket cannot be bound.
+  Server(const align::RecipeModel& model, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel-assigned one).
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] Router& router() noexcept { return router_; }
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Graceful drain; idempotent, thread-safe (the CLI calls it from the
+  /// SIGTERM path).
+  void stop();
+
+ private:
+  struct Pending {
+    std::uint64_t client_tag = 0;
+    std::future<Response> future;
+  };
+  struct Connection {
+    int fd = -1;
+    std::unique_ptr<util::MpmcQueue<Pending>> pending;
+    std::thread reader;
+    std::thread writer;
+    /// Threads that have finished (2 = safe to join + reap).
+    std::atomic<int> exited{0};
+  };
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  /// Join and erase connections whose threads have both exited.
+  void reap_finished();
+
+  ServerConfig config_;
+  Router router_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> closing_{false};
+  std::mutex stop_mutex_;  // serializes concurrent stop() calls
+  std::thread acceptor_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+};
+
+}  // namespace vpr::serve

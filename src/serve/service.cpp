@@ -27,6 +27,7 @@ struct ServeMetrics {
   obs::Counter& submitted;
   obs::Counter& completed;
   obs::Counter& rejected;
+  obs::Counter& shutdown_refused;
   obs::Counter& timed_out;
   obs::Counter& ticks;
   obs::Counter& batched_lanes;
@@ -35,9 +36,12 @@ struct ServeMetrics {
   static ServeMetrics& get() {
     static auto& r = obs::MetricsRegistry::instance();
     static ServeMetrics m{
-        r.counter("serve.submitted", "requests accepted by submit()"),
+        r.counter("serve.submitted",
+                  "requests accepted into the admission queue"),
         r.counter("serve.completed", "requests finished with kOk"),
         r.counter("serve.rejected", "requests rejected (queue full)"),
+        r.counter("serve.shutdown_refused",
+                  "submissions refused because the service was stopping"),
         r.counter("serve.timed_out", "requests expired before completion"),
         r.counter("serve.ticks", "batched forward passes"),
         r.counter("serve.batched_lanes", "sum of batch sizes over ticks"),
@@ -47,19 +51,6 @@ struct ServeMetrics {
     return m;
   }
 };
-
-/// Registry values for the fields ServiceCounters mirrors.
-ServiceCounters registry_counters() {
-  ServeMetrics& m = ServeMetrics::get();
-  ServiceCounters c;
-  c.submitted = m.submitted.value();
-  c.completed = m.completed.value();
-  c.rejected = m.rejected.value();
-  c.timed_out = m.timed_out.value();
-  c.ticks = m.ticks.value();
-  c.batched_lanes = m.batched_lanes.value();
-  return c;
-}
 
 }  // namespace
 
@@ -73,6 +64,8 @@ const char* to_string(Status status) noexcept {
       return "timed_out";
     case Status::kShutdown:
       return "shutdown";
+    case Status::kBadRequest:
+      return "bad_request";
   }
   return "unknown";
 }
@@ -82,6 +75,7 @@ util::Json ServiceCounters::to_json() const {
   j["submitted"] = static_cast<double>(submitted);
   j["completed"] = static_cast<double>(completed);
   j["rejected"] = static_cast<double>(rejected);
+  j["shutdown_refused"] = static_cast<double>(shutdown_refused);
   j["timed_out"] = static_cast<double>(timed_out);
   j["ticks"] = static_cast<double>(ticks);
   j["batched_lanes"] = static_cast<double>(batched_lanes);
@@ -90,6 +84,7 @@ util::Json ServiceCounters::to_json() const {
   j["queue_depth"] = static_cast<double>(queue_depth);
   j["p50_latency_ms"] = p50_latency_ms;
   j["p95_latency_ms"] = p95_latency_ms;
+  j["p99_latency_ms"] = p99_latency_ms;
   j["qps"] = qps;
   j["sessions_created"] = static_cast<double>(sessions_created);
   j["session_reuses"] = static_cast<double>(session_reuses);
@@ -100,10 +95,11 @@ RecommendService::RecommendService(const align::RecipeModel& model,
                                    ServiceConfig config)
     : model_(&model),
       config_(config),
-      arena_(model, std::max(1, config.max_inflight),
+      arena_(model,
+             config.arena_capacity > 0 ? config.arena_capacity
+                                       : std::max(1, config.max_inflight),
              2 * std::max(1, config.max_beam_width)),
       queue_(config.queue_capacity) {
-  baseline_ = registry_counters();
   if (config_.max_inflight < 1) {
     throw std::invalid_argument("RecommendService: max_inflight < 1");
   }
@@ -113,6 +109,10 @@ RecommendService::RecommendService(const align::RecipeModel& model,
   if (config_.queue_capacity < 1) {
     throw std::invalid_argument("RecommendService: queue_capacity < 1");
   }
+  if (config_.arena_capacity < 0) {
+    throw std::invalid_argument("RecommendService: arena_capacity < 0");
+  }
+  latencies_ms_.reserve(kLatencyWindow);
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
@@ -150,24 +150,37 @@ std::future<Response> RecommendService::submit(
           deadline == kNoDeadline ? std::int64_t{0} : deadline.count()}});
   }
 
-  ServeMetrics::get().submitted.inc();
-  {
-    std::lock_guard lock(counters_mutex_);
-    if (!any_submitted_) {
-      any_submitted_ = true;
-      first_submit_ = request.submitted_at;
+  const auto submitted_at = request.submitted_at;  // survives the move
+  // The push result is decided under the queue's single lock acquisition,
+  // so a submit racing with stop() sees exactly one of kPushed (it will be
+  // drained and completed), kClosed (kShutdown), or kFull (kRejected —
+  // genuine backpressure). The old boolean try_push collapsed the last two
+  // and could misreport a shutdown-refused request as rejected.
+  switch (queue_.push(std::move(request))) {
+    case util::PushResult::kPushed: {
+      // Counted only on acceptance: serve.submitted means "admitted into
+      // the queue", so completed + timed_out never exceeds it.
+      ServeMetrics::get().submitted.inc();
+      n_submitted_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard lock(counters_mutex_);
+      if (!any_submitted_) {
+        any_submitted_ = true;
+        first_submit_ = submitted_at;
+      }
+      break;
     }
-  }
-
-  if (queue_.closed()) {
-    respond(request, Status::kShutdown, {}, {});
-    return future;
-  }
-  if (!queue_.try_push(std::move(request))) {
-    // A failed try_push leaves `request` (and its promise) untouched.
-    // Counter before promise, as in admit()/finish().
-    ServeMetrics::get().rejected.inc();
-    respond(request, Status::kRejected, {}, {});
+    case util::PushResult::kFull:
+      // A failed push leaves `request` (and its promise) untouched.
+      // Counter before promise, as in admit()/finish().
+      ServeMetrics::get().rejected.inc();
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      respond(request, Status::kRejected, {}, {});
+      break;
+    case util::PushResult::kClosed:
+      ServeMetrics::get().shutdown_refused.inc();
+      n_shutdown_refused_.fetch_add(1, std::memory_order_relaxed);
+      respond(request, Status::kShutdown, {}, {});
+      break;
   }
   return future;
 }
@@ -209,14 +222,15 @@ void RecommendService::stop() {
 
 ServiceCounters RecommendService::counters() const {
   std::lock_guard lock(counters_mutex_);
-  ServiceCounters now = registry_counters();
   ServiceCounters snapshot;
-  snapshot.submitted = now.submitted - baseline_.submitted;
-  snapshot.completed = now.completed - baseline_.completed;
-  snapshot.rejected = now.rejected - baseline_.rejected;
-  snapshot.timed_out = now.timed_out - baseline_.timed_out;
-  snapshot.ticks = now.ticks - baseline_.ticks;
-  snapshot.batched_lanes = now.batched_lanes - baseline_.batched_lanes;
+  snapshot.submitted = n_submitted_.load(std::memory_order_relaxed);
+  snapshot.completed = n_completed_.load(std::memory_order_relaxed);
+  snapshot.rejected = n_rejected_.load(std::memory_order_relaxed);
+  snapshot.shutdown_refused =
+      n_shutdown_refused_.load(std::memory_order_relaxed);
+  snapshot.timed_out = n_timed_out_.load(std::memory_order_relaxed);
+  snapshot.ticks = n_ticks_.load(std::memory_order_relaxed);
+  snapshot.batched_lanes = n_batched_lanes_.load(std::memory_order_relaxed);
   snapshot.peak_inflight = peak_inflight_;
   snapshot.sessions_created = arena_.created();
   snapshot.session_reuses = arena_.reuses();
@@ -228,6 +242,7 @@ ServiceCounters RecommendService::counters() const {
   if (!latencies_ms_.empty()) {
     snapshot.p50_latency_ms = util::percentile(latencies_ms_, 50.0);
     snapshot.p95_latency_ms = util::percentile(latencies_ms_, 95.0);
+    snapshot.p99_latency_ms = util::percentile(latencies_ms_, 99.0);
   }
   if (snapshot.completed > 0 && last_complete_ > first_submit_) {
     snapshot.qps = static_cast<double>(snapshot.completed) /
@@ -265,13 +280,18 @@ void RecommendService::admit(Request&& request,
   // its own outcome reflected.
   if (now >= request.deadline) {
     ServeMetrics::get().timed_out.inc();
+    n_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    finished_.fetch_add(1, std::memory_order_relaxed);
     respond(request, Status::kTimedOut, {}, now);
     return;
   }
   align::DecodeSession* session = arena_.acquire(request.insight);
   if (session == nullptr) {
-    // Unreachable while max_inflight == arena capacity; kept as a guard.
+    // Reachable only when arena_capacity is configured below max_inflight
+    // (tests do this deliberately); rejected as admission backpressure.
     ServeMetrics::get().rejected.inc();
+    n_rejected_.fetch_add(1, std::memory_order_relaxed);
+    finished_.fetch_add(1, std::memory_order_relaxed);
     respond(request, Status::kRejected, {}, now);
     return;
   }
@@ -288,6 +308,8 @@ void RecommendService::admit(Request&& request,
       *session, flight.request.beam_width);
   flight.admitted_at = now;
   inflight.push_back(std::move(flight));
+  inflight_now_.store(static_cast<int>(inflight.size()),
+                      std::memory_order_relaxed);
   std::lock_guard lock(counters_mutex_);
   peak_inflight_ = std::max<std::uint64_t>(peak_inflight_, inflight.size());
 }
@@ -302,15 +324,25 @@ void RecommendService::finish(Inflight& flight, Status status) {
   if (status == Status::kOk) {
     ServeMetrics& metrics = ServeMetrics::get();
     metrics.completed.inc();
+    n_completed_.fetch_add(1, std::memory_order_relaxed);
     const auto done = Clock::now();
     const double latency = ms_between(flight.request.submitted_at, done);
     metrics.latency_ms.observe(latency);
     std::lock_guard lock(counters_mutex_);
     last_complete_ = done;
-    latencies_ms_.push_back(latency);
+    // Bounded ring: overwrite the oldest sample once the window is full.
+    // Percentiles don't care about order, so no rotation is needed.
+    if (latencies_ms_.size() < kLatencyWindow) {
+      latencies_ms_.push_back(latency);
+    } else {
+      latencies_ms_[latency_next_] = latency;
+    }
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
   } else if (status == Status::kTimedOut) {
     ServeMetrics::get().timed_out.inc();
+    n_timed_out_.fetch_add(1, std::memory_order_relaxed);
   }
+  finished_.fetch_add(1, std::memory_order_relaxed);
 
   respond(flight.request, status, std::move(candidates), flight.admitted_at);
   arena_.release(flight.session);
@@ -340,6 +372,8 @@ void RecommendService::forward_batch(std::span<const align::BatchStep> steps,
   ServeMetrics& metrics = ServeMetrics::get();
   metrics.ticks.inc();
   metrics.batched_lanes.inc(steps.size());
+  n_ticks_.fetch_add(1, std::memory_order_relaxed);
+  n_batched_lanes_.fetch_add(steps.size(), std::memory_order_relaxed);
 }
 
 void RecommendService::batcher_loop() {
@@ -378,6 +412,8 @@ void RecommendService::batcher_loop() {
       finish(flight, Status::kTimedOut);
       return true;
     });
+    inflight_now_.store(static_cast<int>(inflight.size()),
+                        std::memory_order_relaxed);
     if (inflight.empty()) continue;
 
     // Gather every in-flight decoder's pending lane queries into one batch.
@@ -423,6 +459,8 @@ void RecommendService::batcher_loop() {
       finish(flight, Status::kOk);
       return true;
     });
+    inflight_now_.store(static_cast<int>(inflight.size()),
+                        std::memory_order_relaxed);
   }
 
   // Queue closed and drained; inflight is empty here by construction (the

@@ -22,6 +22,7 @@
 // admission queue rejects immediately with kRejected (backpressure is
 // surfaced to the caller, never buffered unboundedly).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -43,20 +44,26 @@ namespace vpr::serve {
 
 enum class Status {
   kOk = 0,
-  kRejected,  // admission queue full
-  kTimedOut,  // deadline expired before completion
-  kShutdown,  // submitted after stop()
+  kRejected,    // admission queue full, or shed by the router
+  kTimedOut,    // deadline expired before completion
+  kShutdown,    // submitted after stop()
+  kBadRequest,  // malformed remote request (wire server only; in-process
+                // callers get std::invalid_argument instead)
 };
 
 [[nodiscard]] const char* to_string(Status status) noexcept;
 
 struct ServiceConfig {
-  /// Requests decoded concurrently (also the session-arena capacity).
+  /// Requests decoded concurrently.
   int max_inflight = 8;
   /// Largest admissible per-request beam width.
   int max_beam_width = 8;
-  /// Admission queue bound; try_push beyond it rejects.
+  /// Admission queue bound; pushes beyond it reject with kRejected.
   std::size_t queue_capacity = 256;
+  /// Session-arena capacity; 0 means max_inflight (the only configuration
+  /// where admission can never hit arena exhaustion). Settable below
+  /// max_inflight so tests can exercise the admit() exhaustion guard.
+  int arena_capacity = 0;
   /// Thread-pool participants for the batched forward (1 = run inline on
   /// the batcher thread, 0 = every pool participant). Chunking preserves
   /// bitwise results, so this only trades latency for parallelism.
@@ -74,17 +81,25 @@ struct Response {
   /// Correlation id assigned at submit(); every trace event this request
   /// produced (serve.request / serve.admit / serve.batch / end) carries it.
   std::uint64_t trace_id = 0;
+  /// For kRejected only: the router's Retry-After-style hint — how long a
+  /// client should back off before retrying, from estimated drain time.
+  /// 0 when not rejected (or when no estimate is available).
+  double retry_after_ms = 0.0;
 };
 
-/// Snapshot of the service's load counters. The monotone event counts
-/// (submitted .. batched_lanes) are *views* over the process-wide
-/// obs::MetricsRegistry serve.* series: the service snapshots the registry
-/// at construction and counters() reports the delta, so per-instance
-/// numbers stay correct while the process exports one monotone series.
+/// Snapshot of one service instance's load counters. The monotone event
+/// counts (submitted .. batched_lanes) are instance-local atomics — with
+/// several replicas in one process (serve::Router) each replica reports
+/// only its own traffic — while the process still exports one aggregate
+/// monotone serve.* series through obs::MetricsRegistry.
 struct ServiceCounters {
+  /// Requests accepted into the admission queue (excludes rejected and
+  /// shutdown-refused submissions).
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;
+  /// Submissions refused because the service was stopped or stopping.
+  std::uint64_t shutdown_refused = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t ticks = 0;
   std::uint64_t batched_lanes = 0;  // sum of batch sizes over all ticks
@@ -92,8 +107,11 @@ struct ServiceCounters {
   std::uint64_t queue_depth = 0;  // at snapshot time
   /// Mean lanes per batched forward (batch occupancy).
   double mean_batch_lanes = 0.0;
+  /// Percentiles over the most recent kLatencyWindow completions (a fixed
+  /// ring, not the full history — memory stays flat under sustained load).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   /// Completed requests per second, first submit -> last completion.
   double qps = 0.0;
   long sessions_created = 0;
@@ -143,6 +161,21 @@ class RecommendService {
     return config_;
   }
 
+  /// Cheap load probes for an external placer (serve::Router): requests
+  /// waiting in the admission queue and requests currently decoding.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int inflight() const noexcept {
+    return inflight_now_.load(std::memory_order_relaxed);
+  }
+  /// Completions since construction (all statuses), for drain-rate
+  /// estimation without a registry round-trip.
+  [[nodiscard]] std::uint64_t finished() const noexcept {
+    return finished_.load(std::memory_order_relaxed);
+  }
+
+  /// Completions kept for the p50/p95/p99 snapshot in counters().
+  static constexpr std::size_t kLatencyWindow = 2048;
+
  private:
   struct Request {
     std::vector<double> insight;
@@ -176,16 +209,30 @@ class RecommendService {
   std::condition_variable pause_cv_;
   bool paused_ = false;
 
-  // Instance-local observability state; the monotone counts live in the
-  // process-wide registry (serve.* series) and counters() reports deltas
-  // against baseline_.
+  // Instance-local observability state. Every event also feeds the
+  // process-wide registry (serve.* series), but counters() reads these
+  // atomics so each replica in a multi-replica fleet reports its own
+  // traffic rather than the process aggregate.
+  std::atomic<std::uint64_t> n_submitted_{0};
+  std::atomic<std::uint64_t> n_completed_{0};
+  std::atomic<std::uint64_t> n_rejected_{0};
+  std::atomic<std::uint64_t> n_shutdown_refused_{0};
+  std::atomic<std::uint64_t> n_timed_out_{0};
+  std::atomic<std::uint64_t> n_ticks_{0};
+  std::atomic<std::uint64_t> n_batched_lanes_{0};
   mutable std::mutex counters_mutex_;
-  ServiceCounters baseline_;
+  /// Fixed-size ring of the most recent completion latencies. Bounded by
+  /// kLatencyWindow: a service completing requests forever must not grow
+  /// memory (the full distribution lives in the serve.latency_ms
+  /// histogram; this ring only backs the recent-window percentiles).
   std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;
   std::uint64_t peak_inflight_ = 0;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};
   bool any_submitted_ = false;
+  std::atomic<int> inflight_now_{0};
+  std::atomic<std::uint64_t> finished_{0};
 
   bool stopped_ = false;  // guarded by pause_mutex_
   std::thread batcher_;

@@ -1,0 +1,212 @@
+#include "serve/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vpr::serve::wire {
+
+namespace {
+
+// Little-endian scalar append/read. memcpy keeps this alignment-safe and
+// (on the LE targets this builds for) compiles to plain loads/stores;
+// doubles travel as their raw IEEE-754 bits so values round-trip exactly.
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+/// Cursor over a payload; any over-read marks it failed and every later
+/// read returns zeros, so decoders can validate once at the end.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  template <typename T>
+  T get() {
+    T value{};
+    if (pos + sizeof(T) > bytes.size()) {
+      ok = false;
+      return value;
+    }
+    std::memcpy(&value, bytes.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] bool done() const { return ok && pos == bytes.size(); }
+};
+
+}  // namespace
+
+void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t payload =
+      1 + 1 + 2 + 4 + 8 + 4 + sizeof(double) * frame.insight.size();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
+  put<std::uint8_t>(out, kRequestFrame);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(frame.priority));
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(frame.beam_width));
+  put<std::uint32_t>(out, frame.deadline_ms);
+  put<std::uint64_t>(out, frame.client_tag);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.insight.size()));
+  for (const double v : frame.insight) put<double>(out, v);
+}
+
+void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t payload =
+      1 + 1 + 8 + 8 + 3 * sizeof(double) + 4 +
+      (8 + sizeof(double)) * frame.candidates.size();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
+  put<std::uint8_t>(out, kResponseFrame);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(frame.status));
+  put<std::uint64_t>(out, frame.client_tag);
+  put<std::uint64_t>(out, frame.trace_id);
+  put<double>(out, frame.queue_ms);
+  put<double>(out, frame.total_ms);
+  put<double>(out, frame.retry_after_ms);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.candidates.size()));
+  for (const align::BeamCandidate& c : frame.candidates) {
+    put<std::uint64_t>(out, c.recipes.to_u64());
+    put<double>(out, c.log_prob);
+  }
+}
+
+std::optional<RequestFrame> decode_request(
+    std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kRequestFrame) return std::nullopt;
+  RequestFrame frame;
+  const auto priority = r.get<std::uint8_t>();
+  if (priority > static_cast<std::uint8_t>(Priority::kBatch)) {
+    return std::nullopt;
+  }
+  frame.priority = static_cast<Priority>(priority);
+  frame.beam_width = r.get<std::uint16_t>();
+  frame.deadline_ms = r.get<std::uint32_t>();
+  frame.client_tag = r.get<std::uint64_t>();
+  const auto dim = r.get<std::uint32_t>();
+  // The remaining bytes must hold exactly `dim` doubles; this also bounds
+  // the allocation by the (already length-checked) payload size.
+  if (!r.ok || payload.size() - r.pos != sizeof(double) * dim) {
+    return std::nullopt;
+  }
+  frame.insight.resize(dim);
+  for (double& v : frame.insight) v = r.get<double>();
+  if (!r.done()) return std::nullopt;
+  return frame;
+}
+
+std::optional<ResponseFrame> decode_response(
+    std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kResponseFrame) return std::nullopt;
+  ResponseFrame frame;
+  const auto status = r.get<std::uint8_t>();
+  if (status > static_cast<std::uint8_t>(Status::kBadRequest)) {
+    return std::nullopt;
+  }
+  frame.status = static_cast<Status>(status);
+  frame.client_tag = r.get<std::uint64_t>();
+  frame.trace_id = r.get<std::uint64_t>();
+  frame.queue_ms = r.get<double>();
+  frame.total_ms = r.get<double>();
+  frame.retry_after_ms = r.get<double>();
+  const auto count = r.get<std::uint32_t>();
+  if (!r.ok ||
+      payload.size() - r.pos != (8 + sizeof(double)) * count) {
+    return std::nullopt;
+  }
+  frame.candidates.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    align::BeamCandidate c;
+    c.recipes = flow::RecipeSet::from_u64(r.get<std::uint64_t>());
+    c.log_prob = r.get<double>();
+    frame.candidates.push_back(c);
+  }
+  if (!r.done()) return std::nullopt;
+  return frame;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (corrupt_) return;
+  // Compact lazily: drop fully-consumed bytes before appending, so the
+  // buffer stays proportional to the unparsed tail, not the stream.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameReader::next(std::vector<std::uint8_t>& payload) {
+  if (corrupt_) return false;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return false;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, 4);
+  if (length == 0 || length > max_frame_) {
+    corrupt_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(length)) return false;
+  payload.assign(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + length));
+  consumed_ += 4 + length;
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+namespace {
+
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::read(fd, data, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-message
+    data += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::span<const std::uint8_t> encoded) {
+  return write_all(fd, encoded.data(), encoded.size());
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                std::size_t max_frame) {
+  std::uint8_t prefix[4];
+  if (!read_all(fd, prefix, 4)) return false;
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, 4);
+  if (length == 0 || length > max_frame) return false;
+  payload.resize(length);
+  return read_all(fd, payload.data(), length);
+}
+
+}  // namespace vpr::serve::wire

@@ -1,0 +1,106 @@
+#pragma once
+// Length-prefixed binary wire protocol for the serving front door, shared
+// by `insightalign serve --listen` and the `serve-bench --connect` client
+// so the two sides cannot drift.
+//
+// Framing: every message is
+//
+//   u32  payload length in bytes, little-endian (prefix excluded)
+//   u8   frame type (kRequestFrame / kResponseFrame)
+//   ...  type-specific payload, little-endian, raw IEEE-754 bits for
+//        doubles (the bitwise-equivalence guarantee survives the wire:
+//        log probabilities arrive exactly as the server computed them)
+//
+// Request payload:  u8 priority, u16 beam_width, u32 deadline_ms
+//                   (0 = none), u64 client_tag, u32 insight_dim,
+//                   f64[insight_dim] insight
+// Response payload: u8 status, u64 client_tag (echoed), u64 trace_id,
+//                   f64 queue_ms, f64 total_ms, f64 retry_after_ms,
+//                   u32 candidate count, then per candidate
+//                   u64 recipe-set bits + f64 log_prob
+//
+// The client_tag is caller-chosen and echoed verbatim, so a connection can
+// pipeline many requests and match responses without ordering assumptions.
+// Frames above kMaxFrameBytes are treated as protocol corruption and kill
+// the connection — a length prefix must never make the peer allocate
+// unboundedly.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "serve/router.h"
+#include "serve/service.h"
+
+namespace vpr::serve::wire {
+
+inline constexpr std::uint8_t kRequestFrame = 1;
+inline constexpr std::uint8_t kResponseFrame = 2;
+/// Upper bound on a single frame's payload (type byte included).
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+struct RequestFrame {
+  Priority priority = Priority::kNormal;
+  int beam_width = 1;
+  /// Milliseconds until the deadline; 0 means no deadline.
+  std::uint32_t deadline_ms = 0;
+  /// Caller correlation id, echoed in the response.
+  std::uint64_t client_tag = 0;
+  std::vector<double> insight;
+};
+
+struct ResponseFrame {
+  Status status = Status::kShutdown;
+  std::uint64_t client_tag = 0;
+  std::uint64_t trace_id = 0;
+  double queue_ms = 0.0;
+  double total_ms = 0.0;
+  double retry_after_ms = 0.0;
+  std::vector<align::BeamCandidate> candidates;
+};
+
+/// Append one framed message (length prefix included) to `out`.
+void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out);
+
+/// Decode a payload (the bytes after the length prefix, type byte first).
+/// nullopt on wrong type byte, truncation, trailing garbage, or an
+/// out-of-range enum value — the caller should drop the connection.
+[[nodiscard]] std::optional<RequestFrame> decode_request(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<ResponseFrame> decode_response(
+    std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembler for stream transports: feed() arbitrary
+/// chunks as they arrive, next() yields complete payloads in order.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void feed(std::span<const std::uint8_t> bytes);
+  /// Move the next complete payload into `payload`; false when more bytes
+  /// are needed (or the stream is corrupt).
+  [[nodiscard]] bool next(std::vector<std::uint8_t>& payload);
+  /// A length prefix exceeded max_frame: the stream is unrecoverable.
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+/// Blocking POSIX helpers shared by server and client (retry on EINTR and
+/// short transfers). write_frame sends an already-encoded frame — encode()
+/// output, length prefix included; read_frame strips the prefix and fills
+/// `payload`. Both return false on EOF, error, or an oversized frame.
+[[nodiscard]] bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+[[nodiscard]] bool write_frame(int fd, std::span<const std::uint8_t> encoded);
+[[nodiscard]] bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                              std::size_t max_frame = kMaxFrameBytes);
+
+}  // namespace vpr::serve::wire

@@ -1,9 +1,12 @@
 #pragma once
 // Bounded multi-producer/multi-consumer queue with blocking pop and
 // non-blocking push. Producers that hit the capacity bound get an
-// immediate `false` instead of blocking, which is the admission-control
-// behaviour the serve layer wants: a full queue means the service is
-// saturated and the request should be rejected, not buffered forever.
+// immediate PushResult::kFull instead of blocking, which is the
+// admission-control behaviour the serve layer wants: a full queue means
+// the service is saturated and the request should be rejected, not
+// buffered forever. A closed queue reports kClosed from the same lock
+// acquisition, so producers can distinguish saturation from shutdown
+// without a second racy probe.
 
 #include <condition_variable>
 #include <cstddef>
@@ -13,6 +16,16 @@
 
 namespace vpr::util {
 
+/// Outcome of a non-blocking push. kFull and kClosed are distinct on
+/// purpose: the serve layer maps them to different client-visible statuses
+/// (kRejected with a retry hint vs kShutdown), and a boolean push cannot
+/// tell them apart without a second, racy closed() probe.
+enum class PushResult {
+  kPushed = 0,
+  kFull,    // at capacity; retry later is meaningful
+  kClosed,  // close() happened; no push will ever succeed again
+};
+
 template <typename T>
 class MpmcQueue {
  public:
@@ -21,15 +34,24 @@ class MpmcQueue {
   MpmcQueue(const MpmcQueue&) = delete;
   MpmcQueue& operator=(const MpmcQueue&) = delete;
 
-  /// Enqueue unless the queue is full or closed. Never blocks.
-  [[nodiscard]] bool try_push(T&& value) {
+  /// Enqueue unless the queue is full or closed. Never blocks. The
+  /// full/closed distinction is decided under the same lock acquisition
+  /// that would have enqueued, so it cannot misreport a concurrent close()
+  /// as backpressure. On kFull/kClosed `value` is left untouched.
+  [[nodiscard]] PushResult push(T&& value) {
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(value));
     }
     ready_.notify_one();
-    return true;
+    return PushResult::kPushed;
+  }
+
+  /// Boolean push() for callers that treat full and closed alike.
+  [[nodiscard]] bool try_push(T&& value) {
+    return push(std::move(value)) == PushResult::kPushed;
   }
 
   /// Dequeue, blocking until an item arrives or the queue is closed.

@@ -39,6 +39,7 @@ TEST(ParseCommand, MapsEveryKnownCommand) {
   EXPECT_EQ(parse_command("align"), Command::kAlign);
   EXPECT_EQ(parse_command("recommend"), Command::kRecommend);
   EXPECT_EQ(parse_command("tune"), Command::kTune);
+  EXPECT_EQ(parse_command("serve"), Command::kServe);
   EXPECT_EQ(parse_command("serve-bench"), Command::kServeBench);
   EXPECT_EQ(parse_command("metrics"), Command::kMetrics);
 }
@@ -81,10 +82,44 @@ TEST(ParseMetricsFormat, StrictJsonOrPrometheus) {
 }
 
 TEST(ParseCommand, UnknownCommandNamesTheOffender) {
-  EXPECT_THROW((void)parse_command("serve"), UsageError);
+  EXPECT_THROW((void)parse_command("server"), UsageError);
   const std::string message =
       usage_message([] { (void)parse_command("frobnicate"); });
   EXPECT_NE(message.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST(ParsePort, StrictRange) {
+  EXPECT_EQ(parse_port("9000", "serve --listen"), 9000);
+  EXPECT_EQ(parse_port("1", "serve --listen"), 1);
+  EXPECT_EQ(parse_port("65535", "serve --listen"), 65535);
+  EXPECT_THROW((void)parse_port("0", "serve --listen"), UsageError);
+  EXPECT_THROW((void)parse_port("65536", "serve --listen"), UsageError);
+  EXPECT_THROW((void)parse_port("-1", "serve --listen"), UsageError);
+  EXPECT_THROW((void)parse_port("9000x", "serve --listen"), UsageError);
+  EXPECT_THROW((void)parse_port("", "serve --listen"), UsageError);
+  const std::string message = usage_message(
+      [] { (void)parse_port("70000", "serve --listen"); });
+  EXPECT_NE(message.find("serve --listen"), std::string::npos);
+  EXPECT_NE(message.find("out of range"), std::string::npos);
+}
+
+TEST(ParseHostPort, BarePortHostColonPortAndErrors) {
+  const HostPort bare = parse_host_port("9000", "serve-bench --connect");
+  EXPECT_EQ(bare.host, "127.0.0.1");  // loopback default
+  EXPECT_EQ(bare.port, 9000);
+  const HostPort full =
+      parse_host_port("10.0.0.7:443", "serve-bench --connect");
+  EXPECT_EQ(full.host, "10.0.0.7");
+  EXPECT_EQ(full.port, 443);
+  EXPECT_THROW(
+      (void)parse_host_port(":9000", "serve-bench --connect"),  // empty host
+      UsageError);
+  EXPECT_THROW((void)parse_host_port("host:", "serve-bench --connect"),
+               UsageError);
+  EXPECT_THROW((void)parse_host_port("host:0", "serve-bench --connect"),
+               UsageError);
+  EXPECT_THROW((void)parse_host_port("just-a-host", "serve-bench --connect"),
+               UsageError);
 }
 
 TEST(ParseIntList, ParsesAndRejectsStrictly) {

@@ -1,0 +1,233 @@
+// serve::Server — the TCP front door, exercised end-to-end over loopback
+// with an ephemeral port. Responses must stay bitwise identical to
+// beam_search after a round trip through the wire, pipelined requests
+// must all come back (matched by client_tag), malformed-but-well-framed
+// requests must answer kBadRequest without dropping the connection,
+// corrupt framing must drop it, and stop() must drain every response
+// already admitted — the SIGTERM guarantee the CI smoke relies on.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "align/beam.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+
+namespace vpr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+align::RecipeModel test_model() {
+  util::Rng rng{7};
+  return align::RecipeModel{align::ModelConfig{}, rng};
+}
+
+std::vector<std::vector<double>> suite_insights(int dim) {
+  std::vector<std::vector<double>> out;
+  for (int design = 1; design <= 17; ++design) {
+    util::Rng rng{util::hash_combine(0x5e27eb43ULL,
+                                     static_cast<std::uint64_t>(design))};
+    std::vector<double> iv(static_cast<std::size_t>(dim));
+    for (double& v : iv) v = rng.normal() * 0.5;
+    iv.back() = 1.0;
+    out.push_back(std::move(iv));
+  }
+  return out;
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+bool send_request(int fd, const std::vector<double>& insight, int width,
+                  std::uint64_t tag,
+                  Priority priority = Priority::kInteractive) {
+  wire::RequestFrame request;
+  request.priority = priority;
+  request.beam_width = width;
+  request.client_tag = tag;
+  request.insight = insight;
+  std::vector<std::uint8_t> encoded;
+  wire::encode(request, encoded);
+  return wire::write_frame(fd, encoded);
+}
+
+std::optional<wire::ResponseFrame> recv_response(int fd) {
+  std::vector<std::uint8_t> payload;
+  if (!wire::read_frame(fd, payload)) return std::nullopt;
+  return wire::decode_response(payload);
+}
+
+TEST(Server, PipelinedRoundTripMatchesBeamSearchBitwise) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  constexpr int kWidth = 4;
+
+  ServerConfig config;
+  config.router.replicas = 2;
+  Server server{model, config};
+  ASSERT_GT(server.port(), 0);
+
+  const int fd = connect_loopback(server.port());
+  // Pipeline all 17 without reading a single response first.
+  for (std::size_t i = 0; i < insights.size(); ++i) {
+    ASSERT_TRUE(send_request(fd, insights[i], kWidth,
+                             static_cast<std::uint64_t>(i)));
+  }
+  std::set<std::uint64_t> tags_seen;
+  for (std::size_t i = 0; i < insights.size(); ++i) {
+    const auto response = recv_response(fd);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_EQ(response->status, Status::kOk);
+    ASSERT_TRUE(tags_seen.insert(response->client_tag).second)
+        << "duplicate tag " << response->client_tag;
+    const auto& insight =
+        insights[static_cast<std::size_t>(response->client_tag)];
+    const auto expected = align::beam_search(model, insight, kWidth);
+    ASSERT_EQ(response->candidates.size(), expected.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      EXPECT_EQ(response->candidates[r].recipes.to_u64(),
+                expected[r].recipes.to_u64());
+      EXPECT_EQ(response->candidates[r].log_prob, expected[r].log_prob);
+    }
+    EXPECT_GE(response->total_ms, response->queue_ms);
+    EXPECT_NE(response->trace_id, 0U);
+  }
+  EXPECT_EQ(tags_seen.size(), insights.size());
+  ::close(fd);
+
+  // All 17 responses arrived, so all 17 frames were decoded and counted.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.connections, 1U);
+  EXPECT_EQ(stats.requests, insights.size());
+  EXPECT_EQ(stats.protocol_errors, 0U);
+  server.stop();
+}
+
+TEST(Server, BadContentsAnswerKBadRequestAndKeepConnection) {
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  // Well-framed but wrong insight dimension: traffic, not a protocol
+  // violation — answered kBadRequest, connection stays up.
+  ASSERT_TRUE(send_request(fd, std::vector<double>(3, 0.5), 2, 11));
+  const auto bad = recv_response(fd);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, Status::kBadRequest);
+  EXPECT_EQ(bad->client_tag, 11U);
+
+  // Beam width out of range takes the same path.
+  ASSERT_TRUE(send_request(fd, insights[0], 10'000, 12));
+  const auto wide = recv_response(fd);
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(wide->status, Status::kBadRequest);
+
+  // The connection still serves valid work afterwards.
+  ASSERT_TRUE(send_request(fd, insights[0], 2, 13));
+  const auto ok = recv_response(fd);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, Status::kOk);
+  EXPECT_EQ(ok->client_tag, 13U);
+
+  EXPECT_EQ(server.stats().bad_requests, 2U);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Server, CorruptFramingDropsTheConnection) {
+  const auto model = test_model();
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  // A length prefix beyond kMaxFrameBytes: the server must refuse to
+  // allocate and drop the connection (read side sees EOF/reset).
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_TRUE(wire::write_all(fd, huge, sizeof(huge)));
+  EXPECT_FALSE(recv_response(fd).has_value());
+  ::close(fd);
+
+  // A well-framed payload that fails to decode (bad type byte) is counted
+  // as a protocol error and also drops the connection.
+  const int fd2 = connect_loopback(server.port());
+  const std::uint8_t bogus[5] = {1, 0, 0, 0, 0xEE};
+  ASSERT_TRUE(wire::write_all(fd2, bogus, sizeof(bogus)));
+  EXPECT_FALSE(recv_response(fd2).has_value());
+  ::close(fd2);
+
+  // Give the reader threads a beat to record the error.
+  for (int i = 0; i < 100 && server.stats().protocol_errors < 1; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(server.stats().protocol_errors, 1U);
+  server.stop();
+}
+
+TEST(Server, StopDrainsEveryAdmittedResponse) {
+  // The SIGTERM guarantee: requests the server has admitted before stop()
+  // all produce responses; the client reads every one of them even though
+  // the listener and the read sides are already gone.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  constexpr int kRequests = 12;
+
+  ServerConfig config;
+  config.router.replicas = 2;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(send_request(fd, insights[static_cast<std::size_t>(i % 17)],
+                             3, static_cast<std::uint64_t>(i)));
+  }
+  // Wait until every frame has been decoded and submitted, so the drain
+  // has a deterministic amount of admitted work to flush.
+  for (int i = 0; i < 2000 && server.stats().requests < kRequests; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(server.stats().requests, static_cast<std::uint64_t>(kRequests));
+
+  std::thread stopper{[&] { server.stop(); }};
+  int received = 0;
+  while (const auto response = recv_response(fd)) {
+    EXPECT_EQ(response->status, Status::kOk);
+    ++received;
+  }
+  stopper.join();
+  EXPECT_EQ(received, kRequests);
+  ::close(fd);
+
+  // After the drain the router is stopped too.
+  auto late = server.router().submit(insights[0], 2, Router::kNoDeadline,
+                                     Priority::kInteractive);
+  EXPECT_EQ(late.get().status, Status::kShutdown);
+}
+
+}  // namespace
+}  // namespace vpr::serve

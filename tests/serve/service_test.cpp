@@ -254,10 +254,11 @@ TEST(RecommendService, TraceIdConnectsAdmissionBatchAndFinish) {
   recorder.clear();
 }
 
-TEST(RecommendService, CountersAreViewsOverSharedRegistry) {
+TEST(RecommendService, CountersArePerInstance) {
   // Two services in one process: each instance's counters() must report
   // only its own traffic even though both feed the same process-wide
-  // serve.* registry series.
+  // serve.* registry series. (The router's per-replica occupancy report
+  // depends on this: replicas live side by side in one process.)
   const auto model = test_model();
   const auto insights = suite_insights(model.config().insight_dim);
   RecommendService a{model, {}};
@@ -269,11 +270,136 @@ TEST(RecommendService, CountersAreViewsOverSharedRegistry) {
 
   const ServiceCounters ca = a.counters();
   const ServiceCounters cb = b.counters();
-  EXPECT_EQ(ca.submitted, 3u);  // b's request came after a's baseline
-  EXPECT_EQ(ca.completed, 3u);
+  // The old registry-delta scheme leaked b's traffic into a's snapshot
+  // (a reported 3 submitted); instance atomics isolate them completely.
+  EXPECT_EQ(ca.submitted, 2u);
+  EXPECT_EQ(ca.completed, 2u);
   EXPECT_EQ(cb.submitted, 1u);
   EXPECT_EQ(cb.completed, 1u);
   EXPECT_GE(ca.ticks, cb.ticks);
+}
+
+TEST(RecommendService, ShutdownRaceNeverMisreportsRejection) {
+  // Regression for the submit-vs-stop race: try_push returned false both
+  // when the queue was full and when it was closed, so a submission that
+  // lost the race against stop() was reported kRejected ("retry later")
+  // instead of kShutdown. With a queue that can never fill, every refused
+  // submission must be kShutdown and the rejected counter must stay 0.
+  // Run under TSan to check the tri-state push's locking too.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  for (int round = 0; round < 8; ++round) {
+    ServiceConfig config;
+    config.max_inflight = 4;
+    config.queue_capacity = 4096;  // cannot fill: any kRejected is a bug
+    RecommendService service{model, config};
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 16;
+    std::vector<std::vector<std::future<Response>>> futures(kThreads);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          futures[static_cast<std::size_t>(t)].push_back(
+              service.submit(insights[static_cast<std::size_t>(i % 17)], 2));
+        }
+      });
+    }
+    service.stop();  // races the submitters
+    for (auto& thread : submitters) thread.join();
+
+    int ok = 0;
+    int shutdown = 0;
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) {
+        const Status status = f.get().status;
+        EXPECT_TRUE(status == Status::kOk || status == Status::kShutdown)
+            << "status " << to_string(status);
+        if (status == Status::kOk) ++ok;
+        if (status == Status::kShutdown) ++shutdown;
+      }
+    }
+    EXPECT_EQ(ok + shutdown, kThreads * kPerThread);
+
+    const ServiceCounters counters = service.counters();
+    EXPECT_EQ(counters.rejected, 0U);
+    EXPECT_EQ(counters.submitted, static_cast<std::uint64_t>(ok));
+    EXPECT_EQ(counters.completed, static_cast<std::uint64_t>(ok));
+    EXPECT_EQ(counters.shutdown_refused,
+              static_cast<std::uint64_t>(shutdown));
+  }
+}
+
+TEST(RecommendService, ArenaExhaustionRejectsAtAdmission) {
+  // arena_capacity below max_inflight starves admit() of sessions: the
+  // overflow must resolve as kRejected (admission backpressure), never
+  // deadlock or crash, and the arena must still recycle for later work.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  ServiceConfig config;
+  config.max_inflight = 4;
+  config.arena_capacity = 1;
+  config.queue_capacity = 16;
+  RecommendService service{model, config};
+  service.pause();  // queue all four, then admit them in one burst
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(insights[static_cast<std::size_t>(i)], 2));
+  }
+  service.resume();
+
+  int ok = 0;
+  int rejected = 0;
+  for (auto& f : futures) {
+    const Status status = f.get().status;
+    if (status == Status::kOk) ++ok;
+    if (status == Status::kRejected) ++rejected;
+  }
+  // The one session decodes at least one request; the burst's overflow
+  // (admitted while that session was held) rejects.
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(ok + rejected, 4);
+
+  // The arena recovered: a fresh request completes.
+  EXPECT_EQ(service.recommend(insights[0], 2).status, Status::kOk);
+}
+
+TEST(RecommendService, SubmittedCountsOnlyAcceptedRequests) {
+  // serve.submitted means "accepted into the admission queue": rejected
+  // and shutdown-refused submissions must not inflate it, so
+  // completed + timed_out can never exceed submitted.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+
+  ServiceConfig config;
+  config.max_inflight = 1;
+  config.queue_capacity = 2;
+  RecommendService service{model, config};
+  service.pause();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.submit(insights[0], 2));
+  }
+  service.resume();
+  int rejected = 0;
+  for (auto& f : futures) {
+    if (f.get().status == Status::kRejected) ++rejected;
+  }
+  EXPECT_GE(rejected, 1);  // 6 submissions into inflight 1 + queue 2
+
+  service.stop();
+  auto late = service.submit(insights[0], 2);
+  EXPECT_EQ(late.get().status, Status::kShutdown);
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, static_cast<std::uint64_t>(6 - rejected));
+  EXPECT_EQ(counters.rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(counters.shutdown_refused, 1U);
+  EXPECT_EQ(counters.completed + counters.timed_out, counters.submitted);
 }
 
 TEST(SessionArena, AcquireReleaseAndExhaustion) {

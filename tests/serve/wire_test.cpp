@@ -1,0 +1,168 @@
+// serve::wire — the length-prefixed protocol both `insightalign serve`
+// and `serve-bench --connect` speak. Roundtrips must preserve doubles
+// bitwise (the serving layer's equivalence guarantee has to survive the
+// wire), malformed payloads must decode to nullopt rather than throw or
+// over-read, and the incremental FrameReader must reassemble frames from
+// arbitrary chunkings and flag oversized prefixes as corruption.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace vpr::serve::wire {
+namespace {
+
+/// The bytes after the 4-byte length prefix — what decode_* consumes.
+std::span<const std::uint8_t> payload_of(
+    const std::vector<std::uint8_t>& encoded) {
+  return std::span<const std::uint8_t>(encoded).subspan(4);
+}
+
+RequestFrame sample_request() {
+  RequestFrame request;
+  request.priority = Priority::kBatch;
+  request.beam_width = 5;
+  request.deadline_ms = 250;
+  request.client_tag = 0xDEADBEEFCAFEF00DULL;
+  // Values with busy mantissas; equality below is exact, not approximate.
+  request.insight = {0.1, -2.5e-3, 1.0 / 3.0, -0.0, 7e300};
+  return request;
+}
+
+TEST(Wire, RequestRoundtripPreservesEveryFieldBitwise) {
+  const RequestFrame request = sample_request();
+  std::vector<std::uint8_t> encoded;
+  encode(request, encoded);
+
+  const auto decoded = decode_request(payload_of(encoded));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->priority, request.priority);
+  EXPECT_EQ(decoded->beam_width, request.beam_width);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded->client_tag, request.client_tag);
+  ASSERT_EQ(decoded->insight.size(), request.insight.size());
+  for (std::size_t i = 0; i < request.insight.size(); ++i) {
+    std::uint64_t sent = 0;
+    std::uint64_t got = 0;
+    std::memcpy(&sent, &request.insight[i], sizeof(sent));
+    std::memcpy(&got, &decoded->insight[i], sizeof(got));
+    EXPECT_EQ(got, sent) << "insight[" << i << "]";
+  }
+}
+
+TEST(Wire, ResponseRoundtripPreservesCandidates) {
+  ResponseFrame response;
+  response.status = Status::kOk;
+  response.client_tag = 42;
+  response.trace_id = 7777;
+  response.queue_ms = 0.125;
+  response.total_ms = 3.875;
+  response.retry_after_ms = 0.0;
+  align::BeamCandidate first;
+  first.recipes = flow::RecipeSet::from_u64(0x123456789ULL);
+  first.log_prob = -1.0 / 7.0;
+  align::BeamCandidate second;
+  second.recipes = flow::RecipeSet::from_u64(0x1ULL);
+  second.log_prob = -2.25;
+  response.candidates = {first, second};
+
+  std::vector<std::uint8_t> encoded;
+  encode(response, encoded);
+  const auto decoded = decode_response(payload_of(encoded));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, Status::kOk);
+  EXPECT_EQ(decoded->client_tag, 42U);
+  EXPECT_EQ(decoded->trace_id, 7777U);
+  EXPECT_EQ(decoded->queue_ms, 0.125);
+  EXPECT_EQ(decoded->total_ms, 3.875);
+  ASSERT_EQ(decoded->candidates.size(), 2U);
+  EXPECT_EQ(decoded->candidates[0].recipes.to_u64(), 0x123456789ULL);
+  EXPECT_EQ(decoded->candidates[0].log_prob, -1.0 / 7.0);
+  EXPECT_EQ(decoded->candidates[1].recipes.to_u64(), 0x1ULL);
+  EXPECT_EQ(decoded->candidates[1].log_prob, -2.25);
+}
+
+TEST(Wire, DecodeRejectsMalformedPayloads) {
+  std::vector<std::uint8_t> encoded;
+  encode(sample_request(), encoded);
+  const auto payload = payload_of(encoded);
+
+  // Wrong frame type for the decoder.
+  EXPECT_FALSE(decode_response(payload).has_value());
+
+  // Truncated and trailing-garbage payloads.
+  EXPECT_FALSE(decode_request(payload.subspan(0, payload.size() - 1))
+                   .has_value());
+  EXPECT_FALSE(decode_request(payload.subspan(0, 3)).has_value());
+  EXPECT_FALSE(decode_request({}).has_value());
+  std::vector<std::uint8_t> padded(payload.begin(), payload.end());
+  padded.push_back(0);
+  EXPECT_FALSE(decode_request(padded).has_value());
+
+  // Out-of-range priority enum.
+  std::vector<std::uint8_t> bad_priority(payload.begin(), payload.end());
+  bad_priority[1] = 9;  // [0] is the type byte, [1] the priority
+  EXPECT_FALSE(decode_request(bad_priority).has_value());
+
+  // Out-of-range status enum on the response side.
+  ResponseFrame response;
+  response.status = Status::kOk;
+  std::vector<std::uint8_t> encoded_response;
+  encode(response, encoded_response);
+  std::vector<std::uint8_t> bad_status(payload_of(encoded_response).begin(),
+                                       payload_of(encoded_response).end());
+  bad_status[1] = 200;
+  EXPECT_FALSE(decode_response(bad_status).has_value());
+}
+
+TEST(Wire, FrameReaderReassemblesByteAtATime) {
+  // Three frames, delivered one byte per feed(): next() must produce all
+  // three payloads in order, each decodable, no matter how the stream is
+  // chunked.
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    RequestFrame request = sample_request();
+    request.client_tag = static_cast<std::uint64_t>(i);
+    encode(request, stream);
+  }
+
+  FrameReader reader;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t expected_tag = 0;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(std::span<const std::uint8_t>(&byte, 1));
+    while (reader.next(payload)) {
+      const auto decoded = decode_request(payload);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->client_tag, expected_tag++);
+    }
+  }
+  EXPECT_EQ(expected_tag, 3U);
+  EXPECT_FALSE(reader.corrupt());
+  EXPECT_FALSE(reader.next(payload));  // drained
+}
+
+TEST(Wire, FrameReaderFlagsOversizedPrefixAsCorrupt) {
+  // A length prefix above the frame bound must not trigger a giant
+  // allocation; the stream is marked corrupt and yields nothing.
+  FrameReader reader{64};
+  const std::uint8_t huge_prefix[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  reader.feed(huge_prefix);
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(reader.next(payload));
+  EXPECT_TRUE(reader.corrupt());
+
+  // Corruption is sticky: later valid bytes don't resurrect the stream.
+  std::vector<std::uint8_t> valid;
+  encode(sample_request(), valid);
+  reader.feed(valid);
+  EXPECT_FALSE(reader.next(payload));
+  EXPECT_TRUE(reader.corrupt());
+}
+
+}  // namespace
+}  // namespace vpr::serve::wire

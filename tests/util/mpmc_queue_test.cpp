@@ -46,6 +46,24 @@ TEST(MpmcQueue, PushRejectsWhenFullOrClosed) {
   EXPECT_FALSE(queue.try_push(5));  // closed: reject
 }
 
+TEST(MpmcQueue, PushDistinguishesFullFromClosed) {
+  // The serving layer maps kFull to kRejected (backpressure) and kClosed
+  // to kShutdown; the boolean try_push collapsed the two, which let a
+  // submit racing with stop() misreport shutdown as rejection. The
+  // tri-state result is decided under one lock acquisition.
+  MpmcQueue<int> queue{1};
+  EXPECT_EQ(queue.push(1), PushResult::kPushed);
+  EXPECT_EQ(queue.push(2), PushResult::kFull);
+  int out = 0;
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(queue.push(3), PushResult::kPushed);
+  queue.close();
+  // Closed wins over full *and* over available space: both report kClosed.
+  EXPECT_EQ(queue.push(4), PushResult::kClosed);
+  EXPECT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(queue.push(5), PushResult::kClosed);
+}
+
 TEST(MpmcQueue, CloseDrainsThenStops) {
   MpmcQueue<int> queue{4};
   EXPECT_TRUE(queue.try_push(7));
