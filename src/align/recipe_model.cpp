@@ -213,7 +213,7 @@ void DecodeSession::rebind(std::span<const double> insight) {
   std::fill(len_.begin(), len_.end(), 0);
 }
 
-double* DecodeSession::self_k(int layer, int lane) {
+double* DecodeSession::self_kt(int layer, int lane) {
   const std::size_t lane_cache = static_cast<std::size_t>(n_) * d_;
   return self_k_.data() +
          (static_cast<std::size_t>(layer) * max_lanes_ + lane) * lane_cache;
@@ -248,7 +248,14 @@ void DecodeSession::copy_lane(int dst, int src) {
   const int rows = len_[static_cast<std::size_t>(src)];
   const std::size_t used = static_cast<std::size_t>(rows) * d_;
   for (int l = 0; l < layers_; ++l) {
-    std::copy_n(self_k(l, src), used, self_k(l, dst));
+    // K^T is feature-major: the `rows` used positions are a rows-long
+    // prefix of each of the d feature lanes (stride n_ between lanes).
+    const double* src_kt = self_kt(l, src);
+    double* dst_kt = self_kt(l, dst);
+    for (int c = 0; c < d_; ++c) {
+      std::copy_n(src_kt + static_cast<std::size_t>(c) * n_, rows,
+                  dst_kt + static_cast<std::size_t>(c) * n_);
+    }
     std::copy_n(self_v(l, src), used, self_v(l, dst));
   }
   len_[static_cast<std::size_t>(dst)] = rows;
@@ -275,7 +282,7 @@ double DecodeSession::step(int lane, int prev_decision) {
   const std::size_t d = static_cast<std::size_t>(d_);
   for (int l = 0; l < layers_; ++l) {
     model_->decoder_stack_[static_cast<std::size_t>(l)]->infer_step(
-        x_row_.data(), t, self_k(l, lane), self_v(l, lane),
+        x_row_.data(), t, self_kt(l, lane), n_, self_v(l, lane),
         cross_k_.data() + static_cast<std::size_t>(l) * d,
         cross_v_.data() + static_cast<std::size_t>(l) * d, 1, y_row_.data());
     std::swap(x_row_, y_row_);
@@ -338,7 +345,7 @@ void DecodeSession::step_batch(std::span<const BatchStep> steps,
   for (int l = 0; l < layers; ++l) {
     for (int i = 0; i < rows; ++i) {
       const BatchStep& s = steps[static_cast<std::size_t>(i)];
-      k_ptrs[static_cast<std::size_t>(i)] = s.session->self_k(l, s.lane);
+      k_ptrs[static_cast<std::size_t>(i)] = s.session->self_kt(l, s.lane);
       v_ptrs[static_cast<std::size_t>(i)] = s.session->self_v(l, s.lane);
       ck_ptrs[static_cast<std::size_t>(i)] =
           s.session->cross_k_.data() + static_cast<std::size_t>(l) * d;
@@ -346,7 +353,7 @@ void DecodeSession::step_batch(std::span<const BatchStep> steps,
           s.session->cross_v_.data() + static_cast<std::size_t>(l) * d;
     }
     model->decoder_stack_[static_cast<std::size_t>(l)]->infer_step_batch(
-        x.data(), rows, pos.data(), k_ptrs.data(), v_ptrs.data(),
+        x.data(), rows, pos.data(), k_ptrs.data(), lead.n_, v_ptrs.data(),
         ck_ptrs.data(), cv_ptrs.data(), 1, y.data());
     x.swap(y);
   }

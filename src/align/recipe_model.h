@@ -99,7 +99,11 @@ class DecodeSession {
   DecodeSession(const RecipeModel& model, std::span<const double> insight,
                 int max_lanes);
 
-  [[nodiscard]] double* self_k(int layer, int lane);
+  /// Base of a lane's feature-major self-attention key cache (d x n,
+  /// leading dimension n: feature c of position t lives at [c * n + t], so
+  /// the attention score sweep over positions is unit-stride).
+  [[nodiscard]] double* self_kt(int layer, int lane);
+  /// Base of a lane's row-major self-attention value cache (n x d).
   [[nodiscard]] double* self_v(int layer, int lane);
   void check_lane(int lane) const;
   /// Validates lane/prev and returns the input token for the lane's next
@@ -112,9 +116,12 @@ class DecodeSession {
   int d_;       // d_model
   int layers_;  // decoder stack depth
   std::vector<double> memory_;   // (1 x d) insight embedding
-  std::vector<double> cross_k_;  // layers x (1 x d)
+  // Cross-attention key projection, feature-major (d x mem_rows with
+  // mem_rows == 1, so the storage coincides with the old (1 x d) row).
+  std::vector<double> cross_k_;  // layers x (d x 1)
   std::vector<double> cross_v_;  // layers x (1 x d)
-  std::vector<double> self_k_;   // layers x lanes x (n x d)
+  // Self-attention caches, SoA: keys feature-major (K^T), values row-major.
+  std::vector<double> self_k_;   // layers x lanes x (d x n) K^T
   std::vector<double> self_v_;   // layers x lanes x (n x d)
   std::vector<int> len_;         // per-lane decoded length
   std::vector<double> x_row_;    // (d) scratch: layer input row

@@ -1,8 +1,22 @@
-#include "nn/kernels.h"
+// Scalar (oracle) kernel implementations plus the runtime dispatch table.
+//
+// The scalar kernels are the retained reference: register-tiled loops that
+// GCC autovectorizes for the baseline ISA (see src/nn/CMakeLists.txt for
+// the pinned flags). The dispatcher probes the CPU once at static-init
+// time and installs the AVX2 table when available; INSIGHTALIGN_KERNELS
+// overrides the probe (scalar|avx2|auto), and force_isa()/set_mode() flip
+// tables at runtime for tests and benchmarks.
+
+#include "nn/kernels_impl.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace vpr::nn::kern {
+
+namespace scalar {
 
 namespace {
 
@@ -104,6 +118,31 @@ void scatter_rows(const double* src, int rows, int dim, double* const* dst) {
   }
 }
 
+void scatter_cols(const double* src, int rows, int dim, double* const* dst,
+                  int ld) {
+  for (int i = 0; i < rows; ++i) {
+    const double* row = src + static_cast<std::size_t>(i) * dim;
+    double* col = dst[i];
+    for (int c = 0; c < dim; ++c) {
+      col[static_cast<std::size_t>(c) * ld] = row[c];
+    }
+  }
+}
+
+void attn_scores(const double* q, const double* kt, int d, int len, int ld,
+                 double scale, double* out) {
+  // Reference element order: out[j] sums q[c] * kt[c][j] with c ascending
+  // in a single accumulator, then scales — exactly kern::dot over the
+  // row-major K row followed by the * scale the caller used to perform.
+  for (int j = 0; j < len; ++j) {
+    double acc = 0.0;
+    for (int c = 0; c < d; ++c) {
+      acc += q[c] * kt[static_cast<std::size_t>(c) * ld + j];
+    }
+    out[j] = acc * scale;
+  }
+}
+
 void matmul_nt_acc(const double* a, const double* b, double* c, int m, int k,
                    int n) {
   for (int i0 = 0; i0 < m; i0 += kTileI) {
@@ -133,6 +172,112 @@ void matmul_tn_acc(const double* a, const double* b, double* c, int m, int k,
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
+}
+
+}  // namespace scalar
+
+// ----- Runtime dispatch -----
+
+namespace {
+
+constexpr Kernels kScalarTable{
+    scalar::matmul,       scalar::matmul_nt_acc, scalar::matmul_tn_acc,
+    scalar::scatter_rows, scalar::scatter_cols,  scalar::attn_scores,
+};
+
+std::atomic<Isa> g_isa{Isa::kScalar};
+std::atomic<KernelMode> g_mode{KernelMode::kExact};
+
+bool cpu_has_avx2() {
+#if defined(VPR_KERN_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Install the tables implied by (g_isa, g_mode). The exact table never
+/// depends on the mode; only the backward table swaps.
+void apply_dispatch() {
+#if defined(VPR_KERN_HAVE_AVX2)
+  if (g_isa.load(std::memory_order_relaxed) == Isa::kAvx2) {
+    detail::active.store(&avx2::exact_table(), std::memory_order_relaxed);
+    detail::active_bwd.store(g_mode.load(std::memory_order_relaxed) ==
+                                     KernelMode::kFast
+                                 ? &avx2::fast_table()
+                                 : &avx2::exact_table(),
+                             std::memory_order_relaxed);
+    return;
+  }
+#endif
+  detail::active.store(&kScalarTable, std::memory_order_relaxed);
+  // Scalar has no reassociated variants: kFast degrades to exact.
+  detail::active_bwd.store(&kScalarTable, std::memory_order_relaxed);
+}
+
+/// One-time startup selection: INSIGHTALIGN_KERNELS env override, else
+/// cpuid. Runs as a dynamic initializer of this TU; any kernel call that
+/// beats it (static init in another TU) safely gets the scalar table the
+/// atomics are statically initialized with.
+struct DispatchInit {
+  DispatchInit() {
+    Isa isa = cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+    if (const char* env = std::getenv("INSIGHTALIGN_KERNELS")) {
+      const std::string_view v{env};
+      if (v == "scalar") {
+        isa = Isa::kScalar;
+      } else if (v == "avx2") {
+        if (!cpu_has_avx2()) {
+          std::fprintf(stderr,
+                       "insightalign: INSIGHTALIGN_KERNELS=avx2 requested "
+                       "but unsupported on this host/build; using scalar "
+                       "kernels\n");
+          isa = Isa::kScalar;
+        } else {
+          isa = Isa::kAvx2;
+        }
+      } else if (v != "auto" && !v.empty()) {
+        std::fprintf(stderr,
+                     "insightalign: unknown INSIGHTALIGN_KERNELS value "
+                     "'%s' (want scalar|avx2|auto); using auto\n",
+                     env);
+      }
+    }
+    g_isa.store(isa, std::memory_order_relaxed);
+    apply_dispatch();
+  }
+};
+const DispatchInit g_dispatch_init;
+
+}  // namespace
+
+namespace detail {
+// constinit so any pre-main kernel call observes a valid (scalar) table
+// regardless of TU initialization order.
+constinit std::atomic<const Kernels*> active{&kScalarTable};
+constinit std::atomic<const Kernels*> active_bwd{&kScalarTable};
+}  // namespace detail
+
+Isa active_isa() { return g_isa.load(std::memory_order_relaxed); }
+
+bool avx2_supported() { return cpu_has_avx2(); }
+
+bool force_isa(Isa isa) {
+  if (isa == Isa::kAvx2 && !cpu_has_avx2()) return false;
+  g_isa.store(isa, std::memory_order_relaxed);
+  apply_dispatch();
+  return true;
+}
+
+KernelMode mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_mode(KernelMode mode) {
+  g_mode.store(mode, std::memory_order_relaxed);
+  apply_dispatch();
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
 }
 
 }  // namespace vpr::nn::kern

@@ -2,50 +2,163 @@
 // Dense row-major matrix kernels shared by the autograd tape (tensor.cpp)
 // and the tape-free inference path (modules.cpp / recipe_model.cpp).
 //
-// Every kernel accumulates each output element with a single accumulator
-// over the inner index in ascending order. That invariant is load-bearing:
-// the tape forward (full matrices) and the KV-cached incremental decode
-// (single rows) must produce bit-identical values, so the m == 1 fast case
-// and the blocked/transposed m > 1 case are required to perform the same
-// additions in the same order — only the memory access pattern differs.
+// Every exact kernel accumulates each output element with a single
+// accumulator over the inner index in ascending order. That invariant is
+// load-bearing: the tape forward (full matrices) and the KV-cached
+// incremental decode (single rows) must produce bit-identical values, so
+// the m == 1 fast case and the blocked m > 1 case are required to perform
+// the same additions in the same order — only the memory access pattern
+// differs.
+//
+// Kernels are dispatched at runtime through a function-pointer table
+// selected once at startup (cpuid probe): a portable scalar table — the
+// retained oracle — and, on x86-64 with AVX2, an explicit-SIMD table that
+// vectorizes ACROSS output elements (broadcast A operand, unit-stride B
+// rows, mul-then-add without FMA contraction). Because each output element
+// keeps its own accumulator and the inner index still advances in scalar
+// order, the AVX2 exact kernels are bitwise identical to the scalar ones
+// for every shape. Reductions that would need reassociation to vectorize
+// (the backward dA = dC * B^T dots) only get a SIMD variant under
+// KernelMode::kFast, which the inference paths never consult.
+//
+// Selection order: INSIGHTALIGN_KERNELS=scalar|avx2|auto (env), then
+// cpuid. force_isa()/set_mode() override at runtime (tests, benches).
 
+#include <atomic>
 #include <cstddef>
 
 namespace vpr::nn::kern {
 
-/// C(m x n) = A(m x k) * B(k x n). Overwrites C. Large row counts go
-/// through a vectorized register-tile path — 2 x 16 output accumulators
-/// kept in registers across the shared-operand sweep of B — which is what
-/// the cross-request batched decode step leans on: stacking lanes into one
-/// m > 1 call replaces the m == 1 strided dots with full-width SIMD
-/// without changing any element's summation order. Small row counts and
-/// sub-tile column remainders use strided dots directly.
-void matmul(const double* a, const double* b, double* c, int m, int k, int n);
+enum class Isa { kScalar = 0, kAvx2 = 1 };
+
+/// kExact: every kernel keeps the ascending-index single-accumulator
+/// contract (bitwise identical across ISAs). kFast: the backward
+/// accumulator kernels (kern::bwd::*) may reassociate into blocked FMA
+/// reductions — faster, tolerance-tested, never bitwise. Forward/inference
+/// entry points ignore the mode entirely.
+enum class KernelMode { kExact = 0, kFast = 1 };
+
+/// Function-pointer table for one (isa, variant) combination.
+struct Kernels {
+  void (*matmul)(const double* a, const double* b, double* c, int m, int k,
+                 int n);
+  void (*matmul_nt_acc)(const double* a, const double* b, double* c, int m,
+                        int k, int n);
+  void (*matmul_tn_acc)(const double* a, const double* b, double* c, int m,
+                        int k, int n);
+  void (*scatter_rows)(const double* src, int rows, int dim,
+                       double* const* dst);
+  void (*scatter_cols)(const double* src, int rows, int dim,
+                       double* const* dst, int ld);
+  void (*attn_scores)(const double* q, const double* kt, int d, int len,
+                      int ld, double scale, double* out);
+};
+
+namespace detail {
+/// Active exact table (isa-selected; always exact-contract kernels).
+extern std::atomic<const Kernels*> active;
+/// Active backward table (exact by default; kFast swaps in reassociated
+/// FMA variants for the gradient accumulators only).
+extern std::atomic<const Kernels*> active_bwd;
+}  // namespace detail
+
+/// C(m x n) = A(m x k) * B(k x n). Overwrites C. Each output element is a
+/// single accumulator over p ascending; the batched decode step leans on
+/// the m > 1 path (stacked lanes -> full-width SIMD over B rows) without
+/// changing any element's summation order.
+inline void matmul(const double* a, const double* b, double* c, int m, int k,
+                   int n) {
+  detail::active.load(std::memory_order_relaxed)->matmul(a, b, c, m, k, n);
+}
 
 /// Scatter `rows` contiguous (dim)-rows of `src` to per-row destinations:
 /// dst[i] receives src row i. Used by the batched decode step to fan a
-/// stacked K/V projection back out into per-lane cache slots.
-void scatter_rows(const double* src, int rows, int dim, double* const* dst);
+/// stacked V projection back out into per-lane cache slots.
+inline void scatter_rows(const double* src, int rows, int dim,
+                         double* const* dst) {
+  detail::active.load(std::memory_order_relaxed)
+      ->scatter_rows(src, rows, dim, dst);
+}
+
+/// Scatter `rows` contiguous (dim)-rows of `src` into per-row destination
+/// COLUMNS: element (i, c) lands at dst[i][c * ld]. Used by the batched
+/// decode step to append each lane's fresh K row as column `pos` of its
+/// feature-major (SoA) K cache.
+inline void scatter_cols(const double* src, int rows, int dim,
+                         double* const* dst, int ld) {
+  detail::active.load(std::memory_order_relaxed)
+      ->scatter_cols(src, rows, dim, dst, ld);
+}
+
+/// Attention score sweep over a feature-major (transposed, SoA) key cache:
+/// out[j] = (sum_c q[c] * kt[c * ld + j]) * scale for j in [0, len).
+/// Each score is a single accumulator over c ascending — the same
+/// summation order as kern::dot over a row-major K row — but the SoA
+/// layout makes the sweep unit-stride across j, so the SIMD path stays
+/// bitwise identical while vectorizing the hot loop.
+inline void attn_scores(const double* q, const double* kt, int d, int len,
+                        int ld, double scale, double* out) {
+  detail::active.load(std::memory_order_relaxed)
+      ->attn_scores(q, kt, d, len, ld, scale, out);
+}
 
 /// C(m x n) += A(m x k) * B^T, with B stored row-major as (n x k):
 /// C[i][j] += sum_p A[i][p] * B[j][p]. This is the naturally "transposed"
 /// product (both operands walk rows) used for dA = dC * B^T in backward.
-void matmul_nt_acc(const double* a, const double* b, double* c, int m, int k,
-                   int n);
+inline void matmul_nt_acc(const double* a, const double* b, double* c, int m,
+                          int k, int n) {
+  detail::active.load(std::memory_order_relaxed)
+      ->matmul_nt_acc(a, b, c, m, k, n);
+}
 
 /// C(k x n) += A^T * B, with A stored row-major as (m x k) and B as (m x n):
 /// C[p][j] += sum_i A[i][p] * B[i][j]. Used for dB = A^T * dC in backward;
 /// skips zero A entries (sparse activations after ReLU / one-hot gathers).
-void matmul_tn_acc(const double* a, const double* b, double* c, int m, int k,
-                   int n);
+inline void matmul_tn_acc(const double* a, const double* b, double* c, int m,
+                          int k, int n) {
+  detail::active.load(std::memory_order_relaxed)
+      ->matmul_tn_acc(a, b, c, m, k, n);
+}
 
-/// Ascending-index single-accumulator dot product — the same summation
-/// order the matmul kernels use internally, exposed for the row-wise
-/// attention score loop.
+namespace bwd {
+/// Gradient-accumulator entry points used by the autograd tape's matmul
+/// backward. Under the default KernelMode::kExact they are the same exact
+/// kernels as kern::matmul_*_acc; under kFast they may use blocked FMA
+/// reductions (reassociated — tolerance-tested, not bitwise). Inference
+/// never routes through these.
+inline void matmul_nt_acc(const double* a, const double* b, double* c, int m,
+                          int k, int n) {
+  detail::active_bwd.load(std::memory_order_relaxed)
+      ->matmul_nt_acc(a, b, c, m, k, n);
+}
+inline void matmul_tn_acc(const double* a, const double* b, double* c, int m,
+                          int k, int n) {
+  detail::active_bwd.load(std::memory_order_relaxed)
+      ->matmul_tn_acc(a, b, c, m, k, n);
+}
+}  // namespace bwd
+
+/// Ascending-index single-accumulator dot product — the reference
+/// summation order every exact kernel preserves per output element. A lone
+/// dot is a reduction over the inner index, so it cannot vectorize without
+/// reassociation; batched callers (the attention score loop) go through
+/// the dispatched attn_scores sweep instead.
 [[nodiscard]] inline double dot(const double* a, const double* b, int n) {
   double acc = 0.0;
   for (int i = 0; i < n; ++i) acc += a[i] * b[i];
   return acc;
 }
+
+/// ISA currently installed for the exact kernel family.
+[[nodiscard]] Isa active_isa();
+/// True when the CPU (and this build) can run the AVX2 kernel table.
+[[nodiscard]] bool avx2_supported();
+/// Install the kernel table for `isa`. Returns false (and leaves the
+/// dispatch unchanged) when the ISA is unsupported on this host/build.
+bool force_isa(Isa isa);
+/// Mode consulted by the kern::bwd entry points only.
+[[nodiscard]] KernelMode mode();
+void set_mode(KernelMode mode);
+[[nodiscard]] const char* isa_name(Isa isa);
 
 }  // namespace vpr::nn::kern

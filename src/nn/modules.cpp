@@ -248,51 +248,60 @@ void SingleHeadAttention::infer_kv(const double* x, int rows, double* k,
   kern::matmul(x, wv_.data().data(), v, rows, dim_, dim_);
 }
 
+void SingleHeadAttention::infer_kv_t(const double* x, int rows, double* kt,
+                                     int kt_ld, double* v) const {
+  thread_local std::vector<double> k;
+  thread_local std::vector<double*> cols;
+  k.resize(static_cast<std::size_t>(rows) * dim_);
+  cols.resize(static_cast<std::size_t>(rows));
+  kern::matmul(x, wk_.data().data(), k.data(), rows, dim_, dim_);
+  kern::matmul(x, wv_.data().data(), v, rows, dim_, dim_);
+  // Transpose the fresh K rows into the feature-major cache: row i becomes
+  // column i. A pure data movement — bitwise trivially.
+  for (int i = 0; i < rows; ++i) cols[static_cast<std::size_t>(i)] = kt + i;
+  kern::scatter_cols(k.data(), rows, dim_, cols.data(), kt_ld);
+}
+
 void SingleHeadAttention::infer_q(const double* x, int rows,
                                   double* q) const {
   kern::matmul(x, wq_.data().data(), q, rows, dim_, dim_);
 }
 
-void SingleHeadAttention::infer_ctx(const double* q_row, const double* k_rows,
-                                    const double* v_rows, int len,
+void SingleHeadAttention::infer_ctx(const double* q_row, const double* kt,
+                                    int kt_ld, const double* v_rows, int len,
                                     double* ctx_row) const {
   // Mirrors the tape exactly: scores = (q . k_j) * 1/sqrt(d), row softmax,
   // context = sum_j attn_j v_j (ascending j). The tape's additive -1e9
   // causal mask drives exp() to exactly 0.0 for masked columns, and adding
   // those zero terms to the softmax denominator and the context accumulator
   // leaves every bit unchanged — so attending over only the visible `len`
-  // rows reproduces the masked full-row arithmetic.
+  // positions reproduces the masked full-row arithmetic.
+  //
+  // Both halves are dispatched kernels over the SoA key cache: the score
+  // sweep is unit-stride across positions (attn_scores keeps the ascending
+  // feature-index accumulator of the old per-row kern::dot), and the value
+  // mix is the m == 1 matmul scores(1 x len) * V(len x dim) — the same
+  // ascending-j summation per output feature as the old strided loop.
   const double s = 1.0 / std::sqrt(static_cast<double>(dim_));
   thread_local std::vector<double> scores;
   scores.resize(static_cast<std::size_t>(len));
-  for (int j = 0; j < len; ++j) {
-    scores[static_cast<std::size_t>(j)] =
-        kern::dot(q_row, k_rows + static_cast<std::size_t>(j) * dim_, dim_) *
-        s;
-  }
+  kern::attn_scores(q_row, kt, dim_, len, kt_ld, s, scores.data());
   infer::softmax_row(scores.data(), len);
-  for (int c = 0; c < dim_; ++c) {
-    double acc = 0.0;
-    for (int j = 0; j < len; ++j) {
-      acc += scores[static_cast<std::size_t>(j)] *
-             v_rows[static_cast<std::size_t>(j) * dim_ + c];
-    }
-    ctx_row[c] = acc;
-  }
+  kern::matmul(scores.data(), v_rows, ctx_row, 1, len, dim_);
 }
 
-void SingleHeadAttention::infer_attend(const double* q_row,
-                                       const double* k_rows,
-                                       const double* v_rows, int len,
-                                       double* out_row) const {
+void SingleHeadAttention::infer_attend(const double* q_row, const double* kt,
+                                       int kt_ld, const double* v_rows,
+                                       int len, double* out_row) const {
   thread_local std::vector<double> ctx;
   ctx.resize(static_cast<std::size_t>(dim_));
-  infer_ctx(q_row, k_rows, v_rows, len, ctx.data());
+  infer_ctx(q_row, kt, kt_ld, v_rows, len, ctx.data());
   kern::matmul(ctx.data(), wo_.data().data(), out_row, 1, dim_, dim_);
 }
 
 void SingleHeadAttention::infer_attend_batch(const double* q_rows, int rows,
-                                             const double* const* k_rows,
+                                             const double* const* kt,
+                                             int kt_ld,
                                              const double* const* v_rows,
                                              const int* lens,
                                              double* out_rows) const {
@@ -303,8 +312,9 @@ void SingleHeadAttention::infer_attend_batch(const double* q_rows, int rows,
   thread_local std::vector<double> ctx;
   ctx.resize(static_cast<std::size_t>(rows) * dim_);
   for (int i = 0; i < rows; ++i) {
-    infer_ctx(q_rows + static_cast<std::size_t>(i) * dim_, k_rows[i],
-              v_rows[i], lens[i], ctx.data() + static_cast<std::size_t>(i) * dim_);
+    infer_ctx(q_rows + static_cast<std::size_t>(i) * dim_, kt[i], kt_ld,
+              v_rows[i], lens[i],
+              ctx.data() + static_cast<std::size_t>(i) * dim_);
   }
   kern::matmul(ctx.data(), wo_.data().data(), out_rows, rows, dim_, dim_);
 }
@@ -313,17 +323,17 @@ void SingleHeadAttention::infer(const double* query, int lq,
                                 const double* memory, int lk, bool causal,
                                 double* out) const {
   thread_local std::vector<double> q;
-  thread_local std::vector<double> k;
+  thread_local std::vector<double> kt;
   thread_local std::vector<double> v;
   q.resize(static_cast<std::size_t>(lq) * dim_);
-  k.resize(static_cast<std::size_t>(lk) * dim_);
+  kt.resize(static_cast<std::size_t>(lk) * dim_);
   v.resize(static_cast<std::size_t>(lk) * dim_);
   infer_q(query, lq, q.data());
-  infer_kv(memory, lk, k.data(), v.data());
+  infer_kv_t(memory, lk, kt.data(), lk, v.data());
   for (int i = 0; i < lq; ++i) {
     const int len = causal ? std::min(i + 1, lk) : lk;
-    infer_attend(q.data() + static_cast<std::size_t>(i) * dim_, k.data(),
-                 v.data(), len, out + static_cast<std::size_t>(i) * dim_);
+    infer_attend(q.data() + static_cast<std::size_t>(i) * dim_, kt.data(),
+                 lk, v.data(), len, out + static_cast<std::size_t>(i) * dim_);
   }
 }
 
@@ -403,14 +413,15 @@ void TransformerDecoderLayer::infer(const double* x, int rows,
 }
 
 void TransformerDecoderLayer::infer_cross_kv(const double* memory,
-                                             int mem_rows, double* k,
-                                             double* v) const {
-  cross_attn_.infer_kv(memory, mem_rows, k, v);
+                                             int mem_rows, double* cross_kt,
+                                             double* cross_v) const {
+  cross_attn_.infer_kv_t(memory, mem_rows, cross_kt, mem_rows, cross_v);
 }
 
 void TransformerDecoderLayer::infer_step(const double* x_row, int pos,
-                                         double* self_k, double* self_v,
-                                         const double* cross_k,
+                                         double* self_kt, int self_kt_ld,
+                                         double* self_v,
+                                         const double* cross_kt,
                                          const double* cross_v, int mem_rows,
                                          double* out_row) const {
   const int d = dim();
@@ -420,17 +431,19 @@ void TransformerDecoderLayer::infer_step(const double* x_row, int pos,
   q.resize(static_cast<std::size_t>(d));
   row_a.resize(static_cast<std::size_t>(d));
   row_b.resize(static_cast<std::size_t>(d));
-  const std::size_t cache_off = static_cast<std::size_t>(pos) * d;
-  // Self-attention: extend the K/V cache with this position, attend over
-  // the pos+1 visible rows.
+  // Self-attention: extend the cache with this position (K as column `pos`
+  // of the feature-major cache, V as row `pos`), attend over the pos+1
+  // visible positions.
   self_attn_.infer_q(x_row, 1, q.data());
-  self_attn_.infer_kv(x_row, 1, self_k + cache_off, self_v + cache_off);
-  self_attn_.infer_attend(q.data(), self_k, self_v, pos + 1, row_a.data());
+  self_attn_.infer_kv_t(x_row, 1, self_kt + pos, self_kt_ld,
+                        self_v + static_cast<std::size_t>(pos) * d);
+  self_attn_.infer_attend(q.data(), self_kt, self_kt_ld, self_v, pos + 1,
+                          row_a.data());
   for (int j = 0; j < d; ++j) row_a[static_cast<std::size_t>(j)] += x_row[j];
   norm1_.infer(row_a.data(), 1, row_a.data());  // row_a = h1
   // Cross-attention over the precomputed memory projection.
   cross_attn_.infer_q(row_a.data(), 1, q.data());
-  cross_attn_.infer_attend(q.data(), cross_k, cross_v, mem_rows,
+  cross_attn_.infer_attend(q.data(), cross_kt, mem_rows, cross_v, mem_rows,
                            row_b.data());
   for (int j = 0; j < d; ++j) {
     row_b[static_cast<std::size_t>(j)] += row_a[static_cast<std::size_t>(j)];
@@ -446,8 +459,8 @@ void TransformerDecoderLayer::infer_step(const double* x_row, int pos,
 }
 
 void TransformerDecoderLayer::infer_step_batch(
-    const double* x_rows, int rows, const int* pos, double* const* self_k,
-    double* const* self_v, const double* const* cross_k,
+    const double* x_rows, int rows, const int* pos, double* const* self_kt,
+    int self_kt_ld, double* const* self_v, const double* const* cross_kt,
     const double* const* cross_v, int mem_rows, double* out_rows) const {
   const int d = dim();
   const std::size_t size = static_cast<std::size_t>(rows) * d;
@@ -471,38 +484,39 @@ void TransformerDecoderLayer::infer_step_batch(
   lens.resize(static_cast<std::size_t>(rows));
   double** dst = kv_dst.data();
 
-  // Self-attention: one stacked Q and K/V projection, scatter the fresh
-  // K/V rows into each lane's cache slot, then attend each lane over its
-  // own pos[i] + 1 visible rows.
+  // Self-attention: one stacked Q and K/V projection; the fresh K rows
+  // scatter as column pos[i] of each lane's feature-major cache, the V
+  // rows as row pos[i]. Then attend each lane over its own pos[i] + 1
+  // visible positions.
   self_attn_.infer_q(x_rows, rows, q.data());
   self_attn_.infer_kv(x_rows, rows, kv_k.data(), kv_v.data());
   for (int i = 0; i < rows; ++i) {
-    dst[i] = self_k[i] + static_cast<std::size_t>(pos[i]) * d;
+    dst[i] = self_kt[i] + pos[i];
   }
-  kern::scatter_rows(kv_k.data(), rows, d, dst);
+  kern::scatter_cols(kv_k.data(), rows, d, dst, self_kt_ld);
   for (int i = 0; i < rows; ++i) {
     dst[i] = self_v[i] + static_cast<std::size_t>(pos[i]) * d;
   }
   kern::scatter_rows(kv_v.data(), rows, d, dst);
   for (int i = 0; i < rows; ++i) {
-    att_k[static_cast<std::size_t>(i)] = self_k[i];
+    att_k[static_cast<std::size_t>(i)] = self_kt[i];
     att_v[static_cast<std::size_t>(i)] = self_v[i];
     lens[static_cast<std::size_t>(i)] = pos[i] + 1;
   }
-  self_attn_.infer_attend_batch(q.data(), rows, att_k.data(), att_v.data(),
-                                lens.data(), attn.data());
+  self_attn_.infer_attend_batch(q.data(), rows, att_k.data(), self_kt_ld,
+                                att_v.data(), lens.data(), attn.data());
   for (std::size_t i = 0; i < size; ++i) h1[i] = x_rows[i] + attn[i];
   norm1_.infer(h1.data(), rows, h1.data());
 
   // Cross-attention over each lane's precomputed memory projection.
   cross_attn_.infer_q(h1.data(), rows, q.data());
   for (int i = 0; i < rows; ++i) {
-    att_k[static_cast<std::size_t>(i)] = cross_k[i];
+    att_k[static_cast<std::size_t>(i)] = cross_kt[i];
     att_v[static_cast<std::size_t>(i)] = cross_v[i];
     lens[static_cast<std::size_t>(i)] = mem_rows;
   }
-  cross_attn_.infer_attend_batch(q.data(), rows, att_k.data(), att_v.data(),
-                                 lens.data(), attn.data());
+  cross_attn_.infer_attend_batch(q.data(), rows, att_k.data(), mem_rows,
+                                 att_v.data(), lens.data(), attn.data());
   for (std::size_t i = 0; i < size; ++i) attn[i] = h1[i] + attn[i];
   norm2_.infer(attn.data(), rows, attn.data());  // attn = h2
 

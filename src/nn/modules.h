@@ -126,23 +126,32 @@ class SingleHeadAttention final : public Module {
   /// Tape-free forward over full matrices, bitwise identical to forward().
   void infer(const double* query, int lq, const double* memory, int lk,
              bool causal, double* out) const;
-  /// K/V projection of `rows` source rows (for decode-session caches):
+  /// K/V projection of `rows` source rows (row-major caches):
   /// k = x Wk, v = x Wv, each (rows x dim).
   void infer_kv(const double* x, int rows, double* k, double* v) const;
+  /// K/V projection into a feature-major (SoA, transposed) key cache:
+  /// kt[c * kt_ld + i] = (x Wk)[i][c] for i in [0, rows), c in [0, dim);
+  /// v stays row-major (rows x dim). kt_ld >= rows. The SoA key layout is
+  /// what makes the decode attention score sweep unit-stride (see
+  /// kern::attn_scores).
+  void infer_kv_t(const double* x, int rows, double* kt, int kt_ld,
+                  double* v) const;
   /// Query projection of `rows` rows: q = x Wq.
   void infer_q(const double* x, int rows, double* q) const;
-  /// Attend one projected query row over `len` cached K/V rows (causal by
-  /// construction: the caller passes only the visible rows), writing the
-  /// output-projected result row. Bitwise identical to the corresponding
-  /// row of forward().
-  void infer_attend(const double* q_row, const double* k_rows,
+  /// Attend one projected query row over `len` cached source positions
+  /// (causal by construction: the caller passes only the visible columns),
+  /// with the keys feature-major (kt, leading dimension kt_ld) and the
+  /// values row-major, writing the output-projected result row. Bitwise
+  /// identical to the corresponding row of forward().
+  void infer_attend(const double* q_row, const double* kt, int kt_ld,
                     const double* v_rows, int len, double* out_row) const;
   /// Batched infer_attend over `rows` independent lanes: row i attends its
-  /// projected query over lens[i] cached rows at k_rows[i]/v_rows[i]. The
-  /// per-lane context rows are stacked and output-projected with a single
-  /// blocked matmul; each output row is bitwise identical to infer_attend.
+  /// projected query over lens[i] cached positions at kt[i] (feature-major,
+  /// shared leading dimension kt_ld) / v_rows[i] (row-major). The per-lane
+  /// context rows are stacked and output-projected with a single blocked
+  /// matmul; each output row is bitwise identical to infer_attend.
   void infer_attend_batch(const double* q_rows, int rows,
-                          const double* const* k_rows,
+                          const double* const* kt, int kt_ld,
                           const double* const* v_rows, const int* lens,
                           double* out_rows) const;
   [[nodiscard]] int dim() const noexcept { return dim_; }
@@ -150,7 +159,8 @@ class SingleHeadAttention final : public Module {
 
  private:
   /// Scores + softmax + value mix of one query row (no Wo projection).
-  void infer_ctx(const double* q_row, const double* k_rows,
+  /// Keys feature-major (kt, leading dimension kt_ld), values row-major.
+  void infer_ctx(const double* q_row, const double* kt, int kt_ld,
                  const double* v_rows, int len, double* ctx_row) const;
 
   int dim_;
@@ -182,29 +192,33 @@ class TransformerDecoderLayer final : public Module {
   /// Tape-free full-sequence forward, bitwise identical to forward().
   void infer(const double* x, int rows, const double* memory, int mem_rows,
              double* out) const;
-  /// Precompute the cross-attention K/V projection of a fixed memory
-  /// (each mem_rows x dim) for reuse across decode steps.
-  void infer_cross_kv(const double* memory, int mem_rows, double* k,
-                      double* v) const;
+  /// Precompute the cross-attention K/V projection of a fixed memory for
+  /// reuse across decode steps: cross_kt is feature-major (dim x mem_rows,
+  /// leading dimension mem_rows), cross_v row-major (mem_rows x dim).
+  void infer_cross_kv(const double* memory, int mem_rows, double* cross_kt,
+                      double* cross_v) const;
   /// KV-cached incremental step for position `pos`: appends this position's
-  /// self-attention K/V rows into self_k/self_v (each at least
-  /// (pos+1) x dim, rows [0, pos) already filled by prior steps) and writes
-  /// the layer output row. Bitwise identical to row `pos` of forward() over
-  /// the same prefix.
-  void infer_step(const double* x_row, int pos, double* self_k,
-                  double* self_v, const double* cross_k,
+  /// self-attention K as column `pos` of the feature-major cache self_kt
+  /// (dim x capacity, leading dimension self_kt_ld > pos) and its V row at
+  /// self_v + pos * dim (columns/rows [0, pos) already filled by prior
+  /// steps), then writes the layer output row. Bitwise identical to row
+  /// `pos` of forward() over the same prefix.
+  void infer_step(const double* x_row, int pos, double* self_kt,
+                  int self_kt_ld, double* self_v, const double* cross_kt,
                   const double* cross_v, int mem_rows,
                   double* out_row) const;
   /// Cross-lane batched infer_step: row i of x_rows is the input of an
   /// independent lane at position pos[i] with its own K/V cache base
-  /// (self_k[i]/self_v[i]) and cross-attention memory projection
-  /// (cross_k[i]/cross_v[i], each mem_rows x dim). All lane projections
-  /// (Q/K/V, Wo, FFN) run as single blocked matmuls over the stacked rows;
-  /// out_rows may not alias x_rows. Row i is bitwise identical to
-  /// infer_step on the same lane.
+  /// (self_kt[i] feature-major with shared leading dimension self_kt_ld,
+  /// self_v[i] row-major) and cross-attention memory projection
+  /// (cross_kt[i] feature-major with leading dimension mem_rows,
+  /// cross_v[i] row-major). All lane projections (Q/K/V, Wo, FFN) run as
+  /// single blocked matmuls over the stacked rows; out_rows may not alias
+  /// x_rows. Row i is bitwise identical to infer_step on the same lane.
   void infer_step_batch(const double* x_rows, int rows, const int* pos,
-                        double* const* self_k, double* const* self_v,
-                        const double* const* cross_k,
+                        double* const* self_kt, int self_kt_ld,
+                        double* const* self_v,
+                        const double* const* cross_kt,
                         const double* const* cross_v, int mem_rows,
                         double* out_rows) const;
   [[nodiscard]] int dim() const noexcept { return self_attn_.dim(); }

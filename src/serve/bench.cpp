@@ -279,6 +279,18 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   warn_slower("serve_batched_qps", batched_qps);
   warn_slower("serve_serial_qps", serial_qps);
   warn_slower("serve_router_qps", router_qps);
+  // Echo the committed baseline into the JSON so a before/after is
+  // machine-readable from the artifact alone (kernel-dispatch PRs compare
+  // single-replica QPS against the pre-change number recorded here).
+  if (!baseline.empty()) {
+    util::Json before = util::Json::object();
+    for (const auto& [key, value] : baseline) before[key] = value;
+    root["baseline"] = std::move(before);
+    const auto it = baseline.find("serve_batched_qps");
+    if (it != baseline.end() && it->second > 0.0) {
+      root["batched_qps_vs_baseline"] = batched_qps / it->second;
+    }
+  }
   if (speedup < 2.0) {
     VPR_LOG(Warn) << "BENCH_serve: batched/serial speedup " << speedup
                   << "x is below the 2x acceptance bar";

@@ -126,5 +126,40 @@ TEST(DecodeSession, RebindMatchesFreshSession) {
   }
 }
 
+TEST(DecodeSession, RebindAndCopyLaneIgnoreStaleSoAColumns) {
+  // The K cache is feature-major (K^T): each feature lane holds one value
+  // per position, so a lane that previously decoded further leaves stale
+  // values INTERLEAVED between live columns rather than past a contiguous
+  // row prefix. After rebind + copy_lane from a shorter prefix, those
+  // stale columns must never enter attention: the recycled lanes must be
+  // bitwise identical to a fresh session, including a survivor copy from
+  // a lane whose destination previously ran longer.
+  util::Rng rng{67};
+  const RecipeModel model{ModelConfig{}, rng};
+  const auto iv_first = test_insight(rng);
+  const auto iv_second = test_insight(rng);
+
+  DecodeSession recycled = model.decode(iv_first, 2);
+  // Fill lane 1's caches much deeper than anything the second decode will
+  // copy over, so stale columns survive into the recycled buffers.
+  for (int t = 0; t < 20; ++t) (void)recycled.step(1, t % 2);
+  for (int t = 0; t < 3; ++t) (void)recycled.step(0, 1);
+  recycled.rebind(iv_second);
+
+  DecodeSession fresh = model.decode(iv_second, 2);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_DOUBLE_EQ(recycled.step(0, t % 2), fresh.step(0, t % 2));
+  }
+  // Survivor copy into the lane with the deep stale cache: only the
+  // 4-position per-feature prefixes may come across.
+  recycled.copy_lane(1, 0);
+  fresh.copy_lane(1, 0);
+  EXPECT_EQ(recycled.length(1), fresh.length(1));
+  for (int t = 4; t < model.config().num_recipes; ++t) {
+    ASSERT_DOUBLE_EQ(recycled.step(1, t % 2), fresh.step(1, t % 2))
+        << "step " << t;
+  }
+}
+
 }  // namespace
 }  // namespace vpr::align

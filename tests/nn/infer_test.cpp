@@ -132,12 +132,13 @@ TEST(InferPath, DecoderLayerStepMatchesBulk) {
   std::vector<double> cross_k(d);
   std::vector<double> cross_v(d);
   layer.infer_cross_kv(mem.data().data(), 1, cross_k.data(), cross_v.data());
-  std::vector<double> self_k(static_cast<std::size_t>(len) * d);
+  // Self K cache is feature-major (d x len, leading dimension len).
+  std::vector<double> self_kt(static_cast<std::size_t>(len) * d);
   std::vector<double> self_v(static_cast<std::size_t>(len) * d);
   std::vector<double> row(d);
   for (int t = 0; t < len; ++t) {
     layer.infer_step(x.data().data() + static_cast<std::size_t>(t) * d, t,
-                     self_k.data(), self_v.data(), cross_k.data(),
+                     self_kt.data(), len, self_v.data(), cross_k.data(),
                      cross_v.data(), 1, row.data());
     for (int j = 0; j < d; ++j) {
       EXPECT_DOUBLE_EQ(bulk[static_cast<std::size_t>(t) * d + j],
