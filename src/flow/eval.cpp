@@ -154,6 +154,44 @@ struct FlowEval::Shard {
       map;
 };
 
+/// A design's persistent Flow. Owns a Design copy (regenerated from the
+/// traits, which is deterministic) so the cached Flow never dangles on a
+/// caller-owned Design that goes away between evaluations.
+struct FlowEval::FlowHolder {
+  explicit FlowHolder(const Design& d) : design(d.traits()), flow(design) {}
+  Design design;
+  Flow flow;
+  std::uint64_t tick = 0;
+};
+
+namespace {
+/// Flows kept warm at once. Eviction is LRU; an evicted holder stays alive
+/// (shared_ptr) until in-flight evaluations on it finish.
+constexpr std::size_t kMaxWarmFlows = 12;
+}  // namespace
+
+std::shared_ptr<FlowEval::FlowHolder> FlowEval::flow_for(const Design& design,
+                                                         std::uint64_t fp) {
+  std::lock_guard lk{flows_mutex_};
+  std::shared_ptr<FlowHolder>& slot = flows_[fp];
+  if (!slot) {
+    if (flows_.size() > kMaxWarmFlows) {
+      auto oldest = flows_.end();
+      for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+        if (it->second &&
+            (oldest == flows_.end() ||
+             it->second->tick < oldest->second->tick)) {
+          oldest = it;
+        }
+      }
+      if (oldest != flows_.end()) flows_.erase(oldest);
+    }
+    slot = std::make_shared<FlowHolder>(design);
+  }
+  slot->tick = ++flow_tick_;
+  return slot;
+}
+
 FlowEval::FlowEval(std::size_t shards) : baseline_(registry_stats()) {
   shards_.reserve(std::max<std::size_t>(1, shards));
   for (std::size_t s = 0; s < std::max<std::size_t>(1, shards); ++s) {
@@ -229,8 +267,8 @@ Qor FlowEval::eval(const Design& design, const RecipeSet& recipes) {
                  obs::TraceArgs{{"design", design.name()},
                                 {"recipes", recipes.to_string()}});
   const auto e0 = Clock::now();
-  const Flow flow{design};
-  const FlowResult run_result = flow.run(recipes);
+  const std::shared_ptr<FlowHolder> holder = flow_for(design, fp);
+  const FlowResult run_result = holder->flow.run(recipes);
   entry->qor = run_result.qor;
   entry->ready = true;
   const double elapsed = seconds_since(e0);
@@ -259,8 +297,8 @@ const FlowResult& FlowEval::probe(const Design& design) {
   VPR_TRACE_SPAN("flow.eval.probe", "flow",
                  obs::TraceArgs{{"design", design.name()}});
   const auto e0 = Clock::now();
-  const Flow flow{design};
-  entry->result = std::make_unique<FlowResult>(flow.run(RecipeSet{}));
+  const std::shared_ptr<FlowHolder> holder = flow_for(design, fp);
+  entry->result = std::make_unique<FlowResult>(holder->flow.run(RecipeSet{}));
   const double elapsed = seconds_since(e0);
   metrics.probe_misses.inc();
   metrics.eval_seconds.add(elapsed);
@@ -296,6 +334,10 @@ void FlowEval::clear() {
   {
     std::lock_guard lk{probe_mutex_};
     probes_.clear();
+  }
+  {
+    std::lock_guard lk{flows_mutex_};
+    flows_.clear();
   }
   reset_stats();
 }

@@ -119,12 +119,22 @@ class FlowEval {
   struct Entry;
   struct ProbeEntry;
   struct Shard;
+  struct FlowHolder;
 
   Shard& shard_for(std::uint64_t fp, std::uint64_t rs) const;
+  /// The persistent Flow for `design` (owning its own Design copy so the
+  /// caller's may die), creating/LRU-evicting as needed. Keeping Flows
+  /// alive across evaluations is what lets the incremental router and the
+  /// placement cache amortize work across recipe sets on one design.
+  std::shared_ptr<FlowHolder> flow_for(const Design& design,
+                                       std::uint64_t fp);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex probe_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ProbeEntry>> probes_;
+  mutable std::mutex flows_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<FlowHolder>> flows_;
+  std::uint64_t flow_tick_ = 0;
   // Registry (flow.eval.*) values at construction / reset_stats();
   // stats() = registry now - baseline.
   mutable std::mutex baseline_mutex_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <optional>
 #include <span>
 
@@ -17,6 +20,27 @@ namespace vpr::flow {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Placer parallelism from INSIGHTALIGN_PLACE_WORKERS, read once per
+/// process. 0 (the default) lets the shared pool pick; the placement is
+/// bit-identical for every value, so this is purely a throughput knob.
+int place_workers() {
+  static const int workers = [] {
+    const char* env = std::getenv("INSIGHTALIGN_PLACE_WORKERS");
+    if (env == nullptr || *env == '\0') return 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0 || v > 4096) {
+      std::fprintf(stderr,
+                   "insightalign: ignoring invalid "
+                   "INSIGHTALIGN_PLACE_WORKERS=%s (want 0..4096)\n",
+                   env);
+      return 0;
+    }
+    return static_cast<int>(v);
+  }();
+  return workers;
+}
 
 /// Elapsed milliseconds from `t0`, recorded as a trace span over the same
 /// interval when tracing is enabled: the span boundaries and the StageTimes
@@ -55,6 +79,38 @@ WireParams wire_params(const netlist::TechNode& node) {
 Design::Design(netlist::DesignTraits traits)
     : traits_(std::move(traits)), netlist_(netlist::generate(traits_)) {}
 
+/// Engines and caches that outlive a single run() on the same Flow. A
+/// try-lock guards the whole structure: the winner of a concurrent race
+/// runs warm, losers take the cold path (identical results, fresh
+/// engines). Placements are memoized because most recipe sets leave the
+/// placer knobs at their defaults, so successive runs on one design
+/// re-place identically; entries are evicted LRU.
+struct Flow::Scratch {
+  std::mutex mu;
+  route::IncrementalRouter router;
+
+  struct CachedPlacement {
+    place::PlacerKnobs knobs;
+    std::uint64_t salt = 0;  // seed salt (initial vs timing-driven pass)
+    std::vector<double> weights;
+    place::Placement placement;
+    place::PlaceTrajectory trajectory;
+    std::uint64_t tick = 0;
+  };
+  static constexpr std::size_t kMaxPlacements = 8;
+  std::vector<CachedPlacement> placements;
+  std::uint64_t tick = 0;
+};
+
+Flow::Flow(const Design& design)
+    : design_(design), scratch_(std::make_unique<Scratch>()) {}
+
+Flow::~Flow() = default;
+
+const route::IncrementalRouter& Flow::incremental_router() const {
+  return scratch_->router;
+}
+
 FlowKnobs Flow::resolve_knobs(const RecipeSet& recipes) const {
   FlowKnobs knobs;  // engine defaults
   recipes.apply(knobs);
@@ -62,16 +118,22 @@ FlowKnobs Flow::resolve_knobs(const RecipeSet& recipes) const {
 }
 
 FlowResult Flow::run(const RecipeSet& recipes) const {
-  return run_impl(recipes, /*incremental_sta=*/true);
+  return run_impl(recipes, /*incremental=*/true);
 }
 
 FlowResult Flow::run_reference(const RecipeSet& recipes) const {
-  return run_impl(recipes, /*incremental_sta=*/false);
+  return run_impl(recipes, /*incremental=*/false);
 }
 
-FlowResult Flow::run_impl(const RecipeSet& recipes,
-                          bool incremental_sta) const {
+FlowResult Flow::run_impl(const RecipeSet& recipes, bool incremental) const {
   const auto run_start = Clock::now();
+  // Warm path: exclusive use of the persistent engines. If another thread
+  // already holds them, this run proceeds cold — same results either way.
+  std::unique_lock<std::mutex> scratch_lk;
+  if (incremental) {
+    scratch_lk = std::unique_lock{scratch_->mu, std::try_to_lock};
+  }
+  const bool warm = incremental && scratch_lk.owns_lock();
   static obs::Counter& runs_counter = obs::MetricsRegistry::instance().counter(
       "flow.runs", "Flow::run executions (incremental + reference)");
   runs_counter.inc();
@@ -102,7 +164,7 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
       -> const sta::TimingReport& {
     const auto t0 = Clock::now();
     const sta::TimingReport* rep;
-    if (incremental_sta) {
+    if (incremental) {
       if (!inc_timer) inc_timer.emplace(nl);
       rep = &inc_timer->analyze(wl, clk, t_opt);
     } else {
@@ -115,10 +177,45 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   };
 
   // ----- Placement -----
+  // On the warm path placements are memoized per (knobs, seed salt,
+  // weights): the placer is deterministic, so a cached placement is
+  // bitwise what a fresh run would produce. The cache hands out copies —
+  // hold fixing appends buffer locations to the run's placement.
+  const auto make_placement =
+      [&](std::uint64_t salt, std::span<const double> weights,
+          place::PlaceTrajectory& traj) -> place::Placement {
+    if (warm) {
+      for (auto& e : scratch_->placements) {
+        if (e.salt == salt && e.knobs == knobs.place &&
+            std::equal(e.weights.begin(), e.weights.end(), weights.begin(),
+                       weights.end())) {
+          e.tick = ++scratch_->tick;
+          traj = e.trajectory;
+          return e.placement;
+        }
+      }
+    }
+    place::Placer placer{nl, knobs.place, traits.seed ^ salt,
+                         incremental ? place_workers() : 1};
+    place::Placement p = placer.run(weights, &traj);
+    if (warm) {
+      if (scratch_->placements.size() >= Scratch::kMaxPlacements) {
+        auto oldest = scratch_->placements.begin();
+        for (auto it = oldest; it != scratch_->placements.end(); ++it) {
+          if (it->tick < oldest->tick) oldest = it;
+        }
+        scratch_->placements.erase(oldest);
+      }
+      scratch_->placements.push_back(
+          {knobs.place, salt, {weights.begin(), weights.end()}, p, traj,
+           ++scratch_->tick});
+    }
+    return p;
+  };
+
   auto stage_start = Clock::now();
-  place::Placer placer{nl, knobs.place, traits.seed ^ 0x9e37ULL};
   place::Placement placement =
-      placer.run({}, &result.place_trajectory);
+      make_placement(0x9e37ULL, {}, result.place_trajectory);
   times.place_ms += stage_ms("flow.place", stage_start);
 
   // HPWL wire estimate, shared by timing-driven placement and useful-skew
@@ -140,9 +237,9 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
     // Estimate wire lengths from HPWL, derive net criticalities, re-place.
     const auto& pre_report = analyze(placement_est_wl(), {});
     stage_start = Clock::now();
-    place::Placer td_placer{nl, knobs.place, traits.seed ^ 0x9e38ULL};
     place::PlaceTrajectory td_traj;
-    placement = td_placer.run(pre_report.net_criticality, &td_traj);
+    placement =
+        make_placement(0x9e38ULL, pre_report.net_criticality, td_traj);
     est_wl_valid = false;  // the re-place moved every cell
     times.place_ms += stage_ms("flow.place.timing_driven", stage_start);
     // Keep the richer (second) trajectory for insights.
@@ -173,11 +270,25 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   times.cts_ms += stage_ms("flow.cts", stage_start);
 
   // ----- Global routing -----
+  // Warm path: the persistent IncrementalRouter rips up and reroutes only
+  // what changed since the previous run on this Flow (bitwise-identical
+  // to the from-scratch router). INSIGHTALIGN_ROUTER=full forces the
+  // oracle; run_reference always uses it.
   stage_start = Clock::now();
-  route::GlobalRouter router{nl, placement, knobs.route,
-                             traits.seed ^ 0x707eULL};
-  result.routing = router.run();
-  times.route_ms += stage_ms("flow.route", stage_start);
+  const bool route_incremental =
+      warm && route::router_mode() != route::RouterMode::kFull;
+  if (route_incremental) {
+    result.routing =
+        scratch_->router.route(nl, placement, knobs.route,
+                               traits.seed ^ 0x707eULL);
+  } else {
+    route::GlobalRouter router{nl, placement, knobs.route,
+                               traits.seed ^ 0x707eULL};
+    result.routing = router.run();
+  }
+  times.route_ms += stage_ms(
+      "flow.route", stage_start,
+      {{"incremental", route_incremental ? std::int64_t{1} : std::int64_t{0}}});
   std::vector<double> net_wl = result.routing.net_length;
 
   // ----- Post-route STA -----
@@ -198,26 +309,31 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
   // ----- Optimization: setup -> hold -> power -> leakage -> gating -----
   opt::OptEngine engine{nl, placement, knobs.opt, traits.seed ^ 0x0b7ULL};
   const sta::TimingReport* report = &result.pre_opt_timing;
+  const auto opt_stage = [&](const char* span, double& slot) {
+    const double ms = stage_ms(span, stage_start);
+    slot += ms;
+    times.opt_ms += ms;
+  };
   stage_start = Clock::now();
   int changed = engine.fix_setup(*report);
-  times.opt_ms += stage_ms("flow.opt.setup", stage_start);
+  opt_stage("flow.opt.setup", times.opt_setup_ms);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.fix_hold(*report);
-  times.opt_ms += stage_ms("flow.opt.hold", stage_start);
+  opt_stage("flow.opt.hold", times.opt_hold_ms);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.recover_power(*report);
-  times.opt_ms += stage_ms("flow.opt.power_recovery", stage_start);
+  opt_stage("flow.opt.power_recovery", times.opt_power_recovery_ms);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   changed = engine.recover_leakage(*report);
-  times.opt_ms += stage_ms("flow.opt.leakage", stage_start);
+  opt_stage("flow.opt.leakage", times.opt_leakage_ms);
   if (changed > 0) report = &run_sta(nl);
   stage_start = Clock::now();
   std::vector<std::uint8_t> gated;
   engine.apply_clock_gating(gated);
-  times.opt_ms += stage_ms("flow.opt.clock_gating", stage_start);
+  opt_stage("flow.opt.clock_gating", times.opt_clock_gating_ms);
   result.opt_stats = engine.stats();
   result.final_cell_count = nl.cell_count();
 
@@ -254,7 +370,8 @@ FlowResult Flow::run_impl(const RecipeSet& recipes,
       "flow.run", run_start,
       {{"design", traits.name},
        {"recipes", recipes.to_string()},
-       {"incremental_sta", incremental_sta ? std::int64_t{1} : std::int64_t{0}},
+       {"incremental", incremental ? std::int64_t{1} : std::int64_t{0}},
+       {"warm", warm ? std::int64_t{1} : std::int64_t{0}},
        {"cells", result.final_cell_count}});
   return result;
 }

@@ -19,6 +19,7 @@
 #include "netlist/generator.h"
 #include "netlist/netlist.h"
 #include "place/placer.h"
+#include "route/incremental.h"
 #include "route/router.h"
 #include "sta/power.h"
 #include "sta/sta.h"
@@ -44,9 +45,15 @@ struct StageTimes {
   double cts_ms = 0.0;
   double route_ms = 0.0;
   double sta_ms = 0.0;
-  double opt_ms = 0.0;
+  double opt_ms = 0.0;  // sum of the per-engine opt_* fields below
   double power_ms = 0.0;
   double total_ms = 0.0;
+  // Per-engine breakdown of opt_ms, in execution order.
+  double opt_setup_ms = 0.0;
+  double opt_hold_ms = 0.0;
+  double opt_power_recovery_ms = 0.0;
+  double opt_leakage_ms = 0.0;
+  double opt_clock_gating_ms = 0.0;
 };
 
 /// Everything observable about one flow run (for insight extraction).
@@ -88,25 +95,43 @@ class Design {
 
 class Flow {
  public:
-  explicit Flow(const Design& design) : design_(design) {}
+  explicit Flow(const Design& design);
+  ~Flow();
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
 
-  /// Runs the full flow with the given recipe set. Deterministic. STA
-  /// calls share one persistent sta::IncrementalTimer, bitwise-identical
-  /// to the from-scratch analyzer (see docs/flow_perf.md).
+  /// Runs the full flow with the given recipe set. Deterministic. The fast
+  /// engines persist across calls on the same Flow object and are all
+  /// bitwise-identical to their from-scratch oracles (docs/flow_perf.md):
+  ///  - STA shares one sta::IncrementalTimer;
+  ///  - routing shares one route::IncrementalRouter (unless
+  ///    INSIGHTALIGN_ROUTER=full);
+  ///  - placements are memoized per (placer knobs, seed salt, net weights).
+  /// Thread-safe: concurrent run() calls on one Flow contend on a
+  /// try-lock; losers take the cold (reference-engine) path and still
+  /// return identical results.
   [[nodiscard]] FlowResult run(const RecipeSet& recipes) const;
 
-  /// Same flow with a fresh sta::TimingAnalyzer per STA call — the
-  /// equivalence oracle for run() and the baseline in BENCH_flow.json.
+  /// Same flow with a fresh sta::TimingAnalyzer per STA call, a
+  /// from-scratch GlobalRouter, and no placement reuse — the equivalence
+  /// oracle for run() and the baseline in BENCH_flow.json.
   [[nodiscard]] FlowResult run_reference(const RecipeSet& recipes) const;
 
   /// Knobs after applying `recipes` to the defaults (exposed for tests).
   [[nodiscard]] FlowKnobs resolve_knobs(const RecipeSet& recipes) const;
 
+  /// The persistent router behind run(), for stats inspection in tests
+  /// and benches. Do not call while another thread is inside run().
+  [[nodiscard]] const route::IncrementalRouter& incremental_router() const;
+
  private:
+  struct Scratch;  // persistent engines + placement cache (flow.cpp)
+
   [[nodiscard]] FlowResult run_impl(const RecipeSet& recipes,
-                                    bool incremental_sta) const;
+                                    bool incremental) const;
 
   const Design& design_;
+  mutable std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace vpr::flow

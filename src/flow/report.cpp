@@ -101,6 +101,11 @@ void write_text_report(const Design& design, const RecipeSet& recipes,
      << " + route " << util::fmt(st.route_ms, 1) << " + sta "
      << util::fmt(st.sta_ms, 1) << " + opt " << util::fmt(st.opt_ms, 1)
      << " + power " << util::fmt(st.power_ms, 1) << " + glue\n";
+  os << "opt breakdown: setup " << util::fmt(st.opt_setup_ms, 2)
+     << " + hold " << util::fmt(st.opt_hold_ms, 2) << " + power-recovery "
+     << util::fmt(st.opt_power_recovery_ms, 2) << " + leakage "
+     << util::fmt(st.opt_leakage_ms, 2) << " + clock-gating "
+     << util::fmt(st.opt_clock_gating_ms, 2) << " ms\n";
 
   os << "\n-- Headline QoR --\n";
   os << "power " << util::fmt(result.qor.power, 3) << " mW | TNS "
@@ -186,6 +191,11 @@ util::Json to_json(const Design& design, const RecipeSet& recipes,
   runtime["route_ms"] = result.stage_times.route_ms;
   runtime["sta_ms"] = result.stage_times.sta_ms;
   runtime["opt_ms"] = result.stage_times.opt_ms;
+  runtime["opt_setup_ms"] = result.stage_times.opt_setup_ms;
+  runtime["opt_hold_ms"] = result.stage_times.opt_hold_ms;
+  runtime["opt_power_recovery_ms"] = result.stage_times.opt_power_recovery_ms;
+  runtime["opt_leakage_ms"] = result.stage_times.opt_leakage_ms;
+  runtime["opt_clock_gating_ms"] = result.stage_times.opt_clock_gating_ms;
   runtime["power_ms"] = result.stage_times.power_ms;
   root["runtime_ms"] = std::move(runtime);
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace vpr::opt {
 
 std::vector<int> cells_by_slack_prefix(const sta::TimingReport& report,
@@ -51,6 +53,7 @@ OptEngine::OptEngine(netlist::Netlist& nl, place::Placement& placement,
 }
 
 int OptEngine::fix_setup(const sta::TimingReport& report) {
+  VPR_TRACE_SPAN("opt.fix_setup", "opt");
   if (knobs_.setup_effort <= 0.0) return 0;
   if (report.cell_slack.size() != static_cast<std::size_t>(nl_.cell_count())) {
     throw std::invalid_argument("fix_setup: stale timing report");
@@ -92,6 +95,7 @@ int OptEngine::fix_setup(const sta::TimingReport& report) {
 }
 
 int OptEngine::fix_hold(const sta::TimingReport& report) {
+  VPR_TRACE_SPAN("opt.fix_hold", "opt");
   if (knobs_.hold_effort <= 0.0) return 0;
   const auto& lib = nl_.library();
   // Weak SVT buffer: maximum delay per unit of area/power.
@@ -131,6 +135,7 @@ int OptEngine::fix_hold(const sta::TimingReport& report) {
 }
 
 int OptEngine::recover_power(const sta::TimingReport& report) {
+  VPR_TRACE_SPAN("opt.recover_power", "opt");
   if (knobs_.power_effort <= 0.0) return 0;
   const auto& lib = nl_.library();
   // Positive-slack threshold shrinks as effort rises (more cells eligible).
@@ -161,6 +166,7 @@ int OptEngine::recover_power(const sta::TimingReport& report) {
 }
 
 int OptEngine::recover_leakage(const sta::TimingReport& report) {
+  VPR_TRACE_SPAN("opt.recover_leakage", "opt");
   if (knobs_.leakage_effort <= 0.0) return 0;
   const auto& lib = nl_.library();
   const double needed =
@@ -188,6 +194,7 @@ int OptEngine::recover_leakage(const sta::TimingReport& report) {
 }
 
 int OptEngine::apply_clock_gating(std::vector<std::uint8_t>& gated) {
+  VPR_TRACE_SPAN("opt.apply_clock_gating", "opt");
   gated.resize(static_cast<std::size_t>(nl_.cell_count()), 0);
   if (knobs_.clock_gating <= 0.0) return 0;
   // Gate the lowest-activity flip-flops first.

@@ -1,13 +1,30 @@
 #include "place/placer.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/trace.h"
 
 namespace vpr::place {
 
 namespace {
 constexpr double kMinSpan = 1e-4;  // minimum net bbox span for RUDY
+
+// Stream tags separating the per-cell RNG families (seed_initial jitter,
+// force-step perturbation, spread-step nudges). Each cell draws from
+// Rng{hash_combine(hash_combine(seed, tag-or-step), cell)} — a counter-based
+// stream that is identical no matter which worker processes the cell.
+constexpr std::uint64_t kSeedJitterTag = 0x51eed0f1ac3d11ULL;
+constexpr std::uint64_t kForceTag = 0xf02cede11aULL;
+constexpr std::uint64_t kSpreadTag = 0x52b3adce77ULL;
+
+/// Unit ch of kChunks covers [n*ch/kChunks, n*(ch+1)/kChunks).
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n, std::size_t ch,
+                                                std::size_t chunks) {
+  return {n * ch / chunks, n * (ch + 1) / chunks};
+}
 
 /// Bounding box of a net (driver + sinks).
 struct Bbox {
@@ -46,8 +63,9 @@ double Placement::net_hpwl(const netlist::Netlist& nl, int net) const {
 }
 
 Placer::Placer(const netlist::Netlist& netlist, PlacerKnobs knobs,
-               std::uint64_t seed)
-    : nl_(netlist), knobs_(knobs), seed_(seed) {
+               std::uint64_t seed, int workers, util::ThreadPool* pool)
+    : nl_(netlist), knobs_(knobs), seed_(seed), workers_(workers),
+      pool_(pool) {
   if (knobs_.iterations < 1) {
     throw std::invalid_argument("PlacerKnobs.iterations must be >= 1");
   }
@@ -82,6 +100,20 @@ Placer::Placer(const netlist::Netlist& netlist, PlacerKnobs knobs,
   routing_capacity_ = 1.35 + 0.75 * node_scale;
 }
 
+void Placer::for_units(std::size_t n,
+                       const std::function<void(std::size_t)>& body) const {
+  // Units write disjoint state and draw counter-hashed RNG streams, so
+  // which thread runs a unit is irrelevant to the result — only whether
+  // the units run at all. workers_ == 1 stays off the pool entirely.
+  if (workers_ == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  util::ThreadPool& pool = pool_ != nullptr ? *pool_ : util::ThreadPool::shared();
+  pool.parallel_for(n, body,
+                    workers_ > 0 ? static_cast<unsigned>(workers_) : 0);
+}
+
 bool Placer::in_blockage(double x, double y) const {
   for (const auto& b : nl_.blockages()) {
     if (x >= b.x0 && x <= b.x1 && y >= b.y0 && y <= b.y1) return true;
@@ -95,134 +127,182 @@ int Placer::bin_of(double x, double y) const {
   return by * grid_ + bx;
 }
 
-void Placer::seed_initial(Placement& p, util::Rng& rng) const {
+int Placer::tile_of_bin(int bx, int by) const noexcept {
+  return (by * kTileSide / grid_) * kTileSide + (bx * kTileSide / grid_);
+}
+
+void Placer::seed_initial(Placement& p) const {
   const int n = nl_.cell_count();
   p.x.assign(static_cast<std::size_t>(n), 0.5);
   p.y.assign(static_cast<std::size_t>(n), 0.5);
   p.grid = grid_;
-  // Cluster centers on a jittered ring/grid layout.
+  // Cluster centers on a jittered ring/grid layout. Few of them — placed
+  // sequentially from one dedicated stream.
   const int n_clusters = std::max(1, nl_.cluster_count());
   std::vector<double> cx(static_cast<std::size_t>(n_clusters));
   std::vector<double> cy(static_cast<std::size_t>(n_clusters));
   const int side = std::max(1, static_cast<int>(std::ceil(std::sqrt(
                                     static_cast<double>(n_clusters)))));
+  util::Rng cluster_rng{util::hash_combine(seed_, 0xc7a51e12ULL)};
   for (int c = 0; c < n_clusters; ++c) {
     const int gx = c % side;
     const int gy = c / side;
-    cx[static_cast<std::size_t>(c)] =
-        std::clamp((gx + 0.5) / side + rng.normal(0.0, 0.05), 0.02, 0.98);
-    cy[static_cast<std::size_t>(c)] =
-        std::clamp((gy + 0.5) / side + rng.normal(0.0, 0.05), 0.02, 0.98);
+    cx[static_cast<std::size_t>(c)] = std::clamp(
+        (gx + 0.5) / side + cluster_rng.normal(0.0, 0.05), 0.02, 0.98);
+    cy[static_cast<std::size_t>(c)] = std::clamp(
+        (gy + 0.5) / side + cluster_rng.normal(0.0, 0.05), 0.02, 0.98);
   }
-  for (int i = 0; i < n; ++i) {
-    const int c = std::clamp(nl_.cell(i).cluster, 0, n_clusters - 1);
-    for (int attempt = 0; attempt < 8; ++attempt) {
-      const double x = std::clamp(
-          cx[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
-          0.999);
-      const double y = std::clamp(
-          cy[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
-          0.999);
-      p.x[static_cast<std::size_t>(i)] = x;
-      p.y[static_cast<std::size_t>(i)] = y;
-      if (!in_blockage(x, y)) break;
+  const std::uint64_t jitter_base = util::hash_combine(seed_, kSeedJitterTag);
+  for_units(kChunks, [&](std::size_t ch) {
+    const auto [begin, end] =
+        chunk_range(static_cast<std::size_t>(n), ch, kChunks);
+    for (std::size_t i = begin; i < end; ++i) {
+      const int c =
+          std::clamp(nl_.cell(static_cast<int>(i)).cluster, 0, n_clusters - 1);
+      util::Rng rng{util::hash_combine(jitter_base, i)};
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double x = std::clamp(
+            cx[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
+            0.999);
+        const double y = std::clamp(
+            cy[static_cast<std::size_t>(c)] + rng.normal(0.0, 0.12), 0.001,
+            0.999);
+        p.x[i] = x;
+        p.y[i] = y;
+        if (!in_blockage(x, y)) break;
+      }
     }
-  }
+  });
 }
 
 void Placer::force_step(Placement& p, std::span<const double> net_weights,
-                        double temperature, util::Rng& rng) const {
+                        double temperature, int iteration) const {
   const int n = nl_.cell_count();
-  // Net centroids (cheap star model).
-  std::vector<double> net_cx(static_cast<std::size_t>(nl_.net_count()), 0.0);
-  std::vector<double> net_cy(static_cast<std::size_t>(nl_.net_count()), 0.0);
-  std::vector<int> net_pins(static_cast<std::size_t>(nl_.net_count()), 0);
-  for (int c = 0; c < n; ++c) {
-    const auto& cell = nl_.cell(c);
-    const auto touch = [&](int net) {
-      net_cx[static_cast<std::size_t>(net)] += p.x[static_cast<std::size_t>(c)];
-      net_cy[static_cast<std::size_t>(net)] += p.y[static_cast<std::size_t>(c)];
-      ++net_pins[static_cast<std::size_t>(net)];
-    };
-    touch(cell.fanout_net);
-    for (const int f : cell.fanin_nets) touch(f);
-  }
-  for (int net = 0; net < nl_.net_count(); ++net) {
-    if (net_pins[static_cast<std::size_t>(net)] > 0) {
-      net_cx[static_cast<std::size_t>(net)] /=
-          net_pins[static_cast<std::size_t>(net)];
-      net_cy[static_cast<std::size_t>(net)] /=
-          net_pins[static_cast<std::size_t>(net)];
-    }
-  }
-  // Move each cell toward the weighted centroid of its nets' centroids.
-  const double step = 0.35;
-  for (int c = 0; c < n; ++c) {
-    const auto& cell = nl_.cell(c);
-    double tx = 0.0;
-    double ty = 0.0;
-    double wsum = 0.0;
-    const auto pull = [&](int net) {
-      // High-fanout nets pull weakly (star model degenerates otherwise).
-      const int pins = net_pins[static_cast<std::size_t>(net)];
-      double w = 1.0 / std::max(1.0, std::sqrt(static_cast<double>(pins)));
-      if (!net_weights.empty()) {
-        w *= 1.0 + knobs_.timing_weight * 4.0 *
-                       net_weights[static_cast<std::size_t>(net)];
+  const int nets = nl_.net_count();
+  // Net centroids (cheap star model), accumulated net-major: each net sums
+  // its driver then its sinks, so a net's centroid is one unit of work and
+  // the FP order is fixed regardless of how many nets run concurrently.
+  std::vector<double> net_cx(static_cast<std::size_t>(nets), 0.0);
+  std::vector<double> net_cy(static_cast<std::size_t>(nets), 0.0);
+  std::vector<int> net_pins(static_cast<std::size_t>(nets), 0);
+  for_units(kChunks, [&](std::size_t ch) {
+    const auto [begin, end] =
+        chunk_range(static_cast<std::size_t>(nets), ch, kChunks);
+    for (std::size_t net = begin; net < end; ++net) {
+      const auto& info = nl_.net(static_cast<int>(net));
+      double sx = 0.0;
+      double sy = 0.0;
+      int pins = 0;
+      if (info.driver_cell != netlist::kNoDriver) {
+        sx += p.x[static_cast<std::size_t>(info.driver_cell)];
+        sy += p.y[static_cast<std::size_t>(info.driver_cell)];
+        ++pins;
       }
-      tx += w * net_cx[static_cast<std::size_t>(net)];
-      ty += w * net_cy[static_cast<std::size_t>(net)];
-      wsum += w;
-    };
-    pull(cell.fanout_net);
-    for (const int f : cell.fanin_nets) pull(f);
-    if (wsum <= 0.0) continue;
-    tx /= wsum;
-    ty /= wsum;
-    double nx = p.x[static_cast<std::size_t>(c)] +
-                step * (tx - p.x[static_cast<std::size_t>(c)]) +
-                rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
-    double ny = p.y[static_cast<std::size_t>(c)] +
-                step * (ty - p.y[static_cast<std::size_t>(c)]) +
-                rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
-    nx = std::clamp(nx, 0.001, 0.999);
-    ny = std::clamp(ny, 0.001, 0.999);
-    if (!in_blockage(nx, ny)) {
-      p.x[static_cast<std::size_t>(c)] = nx;
-      p.y[static_cast<std::size_t>(c)] = ny;
+      for (const int s : info.sink_cells) {
+        sx += p.x[static_cast<std::size_t>(s)];
+        sy += p.y[static_cast<std::size_t>(s)];
+        ++pins;
+      }
+      if (pins > 0) {
+        net_cx[net] = sx / pins;
+        net_cy[net] = sy / pins;
+      }
+      net_pins[net] = pins;
     }
-  }
+  });
+  // Move each cell toward the weighted centroid of its nets' centroids.
+  // Reads: its own coordinates + the frozen centroid arrays. Writes: its
+  // own coordinates. Fully parallel, per-cell RNG stream for the jitter.
+  const double step = 0.35;
+  const std::uint64_t move_base = util::hash_combine(
+      util::hash_combine(seed_, kForceTag), static_cast<std::uint64_t>(iteration));
+  for_units(kChunks, [&](std::size_t ch) {
+    const auto [begin, end] =
+        chunk_range(static_cast<std::size_t>(n), ch, kChunks);
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& cell = nl_.cell(static_cast<int>(i));
+      double tx = 0.0;
+      double ty = 0.0;
+      double wsum = 0.0;
+      const auto pull = [&](int net) {
+        // High-fanout nets pull weakly (star model degenerates otherwise).
+        const int pins = net_pins[static_cast<std::size_t>(net)];
+        double w = 1.0 / std::max(1.0, std::sqrt(static_cast<double>(pins)));
+        if (!net_weights.empty()) {
+          w *= 1.0 + knobs_.timing_weight * 4.0 *
+                         net_weights[static_cast<std::size_t>(net)];
+        }
+        tx += w * net_cx[static_cast<std::size_t>(net)];
+        ty += w * net_cy[static_cast<std::size_t>(net)];
+        wsum += w;
+      };
+      pull(cell.fanout_net);
+      for (const int f : cell.fanin_nets) pull(f);
+      if (wsum <= 0.0) continue;
+      tx /= wsum;
+      ty /= wsum;
+      util::Rng rng{util::hash_combine(move_base, i)};
+      double nx = p.x[i] + step * (tx - p.x[i]) +
+                  rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
+      double ny = p.y[i] + step * (ty - p.y[i]) +
+                  rng.normal(0.0, 0.02 * temperature * knobs_.perturbation);
+      nx = std::clamp(nx, 0.001, 0.999);
+      ny = std::clamp(ny, 0.001, 0.999);
+      if (!in_blockage(nx, ny)) {
+        p.x[i] = nx;
+        p.y[i] = ny;
+      }
+    }
+  });
 }
 
 void Placer::update_maps(Placement& p) const {
   const std::size_t bins = static_cast<std::size_t>(grid_) * grid_;
+  // Per-chunk partial maps, merged in fixed chunk order: the FP sums are
+  // independent of worker count.
+  std::array<std::vector<double>, kChunks> util_part;
+  std::array<std::vector<double>, kChunks> demand_part;
+  for_units(kChunks, [&](std::size_t ch) {
+    auto& util = util_part[ch];
+    auto& demand = demand_part[ch];
+    util.assign(bins, 0.0);
+    demand.assign(bins, 0.0);
+    const auto [cb, ce] = chunk_range(
+        static_cast<std::size_t>(nl_.cell_count()), ch, kChunks);
+    for (std::size_t c = cb; c < ce; ++c) {
+      util[static_cast<std::size_t>(bin_of(p.x[c], p.y[c]))] +=
+          nl_.cell_type(static_cast<int>(c)).area;
+    }
+    // RUDY-style demand: each net spreads its half-perimeter wirelength
+    // uniformly over the bins its bounding box covers.
+    const auto [nb, ne] = chunk_range(
+        static_cast<std::size_t>(nl_.net_count()), ch, kChunks);
+    for (std::size_t net = nb; net < ne; ++net) {
+      const Bbox bb = net_bbox(nl_, p, static_cast<int>(net));
+      if (bb.pins < 2) continue;
+      const double d = std::max(bb.hpwl(), kMinSpan);
+      const int bx0 = std::clamp(static_cast<int>(bb.x0 * grid_), 0, grid_ - 1);
+      const int bx1 = std::clamp(static_cast<int>(bb.x1 * grid_), 0, grid_ - 1);
+      const int by0 = std::clamp(static_cast<int>(bb.y0 * grid_), 0, grid_ - 1);
+      const int by1 = std::clamp(static_cast<int>(bb.y1 * grid_), 0, grid_ - 1);
+      const double per_bin = d / ((bx1 - bx0 + 1) * (by1 - by0 + 1));
+      for (int by = by0; by <= by1; ++by) {
+        for (int bx = bx0; bx <= bx1; ++bx) {
+          demand[static_cast<std::size_t>(by) * grid_ + bx] += per_bin;
+        }
+      }
+    }
+  });
   p.bin_utilization.assign(bins, 0.0);
   p.routing_demand.assign(bins, 0.0);
-  for (int c = 0; c < nl_.cell_count(); ++c) {
-    p.bin_utilization[static_cast<std::size_t>(
-        bin_of(p.x[static_cast<std::size_t>(c)],
-               p.y[static_cast<std::size_t>(c)]))] += nl_.cell_type(c).area;
+  for (std::size_t ch = 0; ch < kChunks; ++ch) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      p.bin_utilization[b] += util_part[ch][b];
+      p.routing_demand[b] += demand_part[ch][b];
+    }
   }
   for (std::size_t b = 0; b < bins; ++b) {
     p.bin_utilization[b] /= std::max(bin_cap_[b], 1e-12);
-  }
-  // RUDY-style demand: each net spreads its half-perimeter wirelength
-  // uniformly over the bins its bounding box covers.
-  for (int net = 0; net < nl_.net_count(); ++net) {
-    const Bbox bb = net_bbox(nl_, p, net);
-    if (bb.pins < 2) continue;
-    const double demand = std::max(bb.hpwl(), kMinSpan);
-    const int bx0 = std::clamp(static_cast<int>(bb.x0 * grid_), 0, grid_ - 1);
-    const int bx1 = std::clamp(static_cast<int>(bb.x1 * grid_), 0, grid_ - 1);
-    const int by0 = std::clamp(static_cast<int>(bb.y0 * grid_), 0, grid_ - 1);
-    const int by1 = std::clamp(static_cast<int>(bb.y1 * grid_), 0, grid_ - 1);
-    const double per_bin =
-        demand / ((bx1 - bx0 + 1) * (by1 - by0 + 1));
-    for (int by = by0; by <= by1; ++by) {
-      for (int bx = bx0; bx <= bx1; ++bx) {
-        p.routing_demand[static_cast<std::size_t>(by) * grid_ + bx] += per_bin;
-      }
-    }
   }
   // Normalize to capacity units (1.0 == at capacity). The routing fabric is
   // sized against mean demand: routing_capacity_ is the headroom multiplier
@@ -239,21 +319,32 @@ void Placer::update_maps(Placement& p) const {
   }
 }
 
-void Placer::spread_step(Placement& p, util::Rng& rng) const {
+void Placer::spread_step(Placement& p, int iteration) const {
   update_maps(p);
   const int passes =
       1 + static_cast<int>(std::lround(2.0 * knobs_.congestion_effort));
+  constexpr int kTiles = kTileSide * kTileSide;
+  std::array<std::vector<int>, kTiles> tile_cells;
+  std::vector<int> boundary_cells;
   for (int pass = 0; pass < passes; ++pass) {
-    for (int c = 0; c < nl_.cell_count(); ++c) {
-      const double x = p.x[static_cast<std::size_t>(c)];
-      const double y = p.y[static_cast<std::size_t>(c)];
+    const std::uint64_t nudge_base = util::hash_combine(
+        util::hash_combine(seed_, kSpreadTag),
+        (static_cast<std::uint64_t>(iteration) << 8) |
+            static_cast<std::uint64_t>(pass));
+    // Moves one cell toward the least-loaded bin of its 3x3 neighborhood,
+    // keeping the in-flight utilization map current. The landing position
+    // is clamped INSIDE the chosen bin, so a move only ever writes bins in
+    // the 3x3 neighborhood — the guarantee tile disjointness rests on.
+    const auto process_cell = [&](int c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const double x = p.x[ci];
+      const double y = p.y[ci];
       const std::size_t b = static_cast<std::size_t>(bin_of(x, y));
       const bool too_dense = p.bin_utilization[b] > knobs_.density_target;
       const bool too_congested =
           knobs_.congestion_effort > 0.0 &&
           p.routing_demand[b] > 1.0 - 0.4 * knobs_.congestion_effort;
-      if (!too_dense && !too_congested) continue;
-      // Nudge toward the least-loaded neighboring bin center.
+      if (!too_dense && !too_congested) return;
       const int bx = static_cast<int>(b) % grid_;
       const int by = static_cast<int>(b) / grid_;
       double best_score = 1e18;
@@ -275,32 +366,88 @@ void Placer::spread_step(Placement& p, util::Rng& rng) const {
           }
         }
       }
-      if (best_bx == bx && best_by == by) continue;
+      if (best_bx == bx && best_by == by) return;
+      util::Rng rng{util::hash_combine(nudge_base, static_cast<std::uint64_t>(c))};
+      const double lo_x = (best_bx + 1e-3) / grid_;
+      const double hi_x = (best_bx + 1.0 - 1e-3) / grid_;
+      const double lo_y = (best_by + 1e-3) / grid_;
+      const double hi_y = (best_by + 1.0 - 1e-3) / grid_;
       const double nxp = std::clamp(
-          (best_bx + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_), 0.001,
-          0.999);
+          std::clamp((best_bx + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_),
+                     lo_x, hi_x),
+          0.001, 0.999);
       const double nyp = std::clamp(
-          (best_by + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_), 0.001,
-          0.999);
+          std::clamp((best_by + 0.5) / grid_ + rng.normal(0.0, 0.2 / grid_),
+                     lo_y, hi_y),
+          0.001, 0.999);
       if (!in_blockage(nxp, nyp)) {
-        p.x[static_cast<std::size_t>(c)] = nxp;
-        p.y[static_cast<std::size_t>(c)] = nyp;
+        p.x[ci] = nxp;
+        p.y[ci] = nyp;
         // Keep the utilization map roughly current while spreading.
         const double area = nl_.cell_type(c).area;
         p.bin_utilization[b] -= area / std::max(bin_cap_[b], 1e-12);
         const std::size_t nb = static_cast<std::size_t>(bin_of(nxp, nyp));
         p.bin_utilization[nb] += area / std::max(bin_cap_[nb], 1e-12);
       }
+    };
+    // Partition: a cell is tile-interior when every in-grid bin of its 3x3
+    // neighborhood maps to its own tile — then its reads and writes stay
+    // inside that tile and tiles can run concurrently without interacting.
+    // Everything else is a boundary cell, fixed up sequentially (in cell
+    // order) after the tiles finish.
+    for (auto& t : tile_cells) t.clear();
+    boundary_cells.clear();
+    for (int c = 0; c < nl_.cell_count(); ++c) {
+      const int b = bin_of(p.x[static_cast<std::size_t>(c)],
+                           p.y[static_cast<std::size_t>(c)]);
+      const int bx = b % grid_;
+      const int by = b / grid_;
+      const int tile = tile_of_bin(bx, by);
+      bool interior = true;
+      for (int dy = -1; dy <= 1 && interior; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = bx + dx;
+          const int ny = by + dy;
+          if (nx < 0 || ny < 0 || nx >= grid_ || ny >= grid_) continue;
+          if (tile_of_bin(nx, ny) != tile) {
+            interior = false;
+            break;
+          }
+        }
+      }
+      if (interior) {
+        tile_cells[static_cast<std::size_t>(tile)].push_back(c);
+      } else {
+        boundary_cells.push_back(c);
+      }
     }
+    {
+      VPR_TRACE_SPAN("place.spread.tiles", "place",
+                     obs::TraceArgs{{"pass", static_cast<std::int64_t>(pass)},
+                                    {"boundary", static_cast<std::int64_t>(
+                                                     boundary_cells.size())}});
+      for_units(kTiles, [&](std::size_t tile) {
+        for (const int c : tile_cells[tile]) process_cell(c);
+      });
+    }
+    for (const int c : boundary_cells) process_cell(c);
     update_maps(p);
   }
 }
 
 double Placer::total_hpwl(const Placement& p) const {
+  std::array<double, kChunks> partial{};
+  for_units(kChunks, [&](std::size_t ch) {
+    const auto [begin, end] = chunk_range(
+        static_cast<std::size_t>(nl_.net_count()), ch, kChunks);
+    double total = 0.0;
+    for (std::size_t net = begin; net < end; ++net) {
+      total += net_bbox(nl_, p, static_cast<int>(net)).hpwl();
+    }
+    partial[ch] = total;
+  });
   double total = 0.0;
-  for (int net = 0; net < nl_.net_count(); ++net) {
-    total += net_bbox(nl_, p, net).hpwl();
-  }
+  for (const double t : partial) total += t;
   return total;
 }
 
@@ -310,15 +457,25 @@ Placement Placer::run(std::span<const double> net_weights,
       net_weights.size() != static_cast<std::size_t>(nl_.net_count())) {
     throw std::invalid_argument("Placer::run: net_weights size mismatch");
   }
-  util::Rng rng{seed_};
+  VPR_TRACE_SPAN("place.run", "place",
+                 obs::TraceArgs{{"cells", static_cast<std::int64_t>(
+                                              nl_.cell_count())},
+                                {"workers", static_cast<std::int64_t>(
+                                                workers_)}});
   Placement p;
-  seed_initial(p, rng);
+  seed_initial(p);
   update_maps(p);
   for (int it = 0; it < knobs_.iterations; ++it) {
     const double temperature =
         1.0 - static_cast<double>(it) / knobs_.iterations;
-    force_step(p, net_weights, temperature, rng);
-    spread_step(p, rng);
+    {
+      VPR_TRACE_SPAN("place.force", "place");
+      force_step(p, net_weights, temperature, it);
+    }
+    {
+      VPR_TRACE_SPAN("place.spread", "place");
+      spread_step(p, it);
+    }
     if (trajectory != nullptr) {
       int overflowed = 0;
       double excess = 0.0;

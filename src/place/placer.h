@@ -5,6 +5,22 @@
 // half-perimeter wirelength, a density map, and a per-step trajectory
 // (congestion / overflow / HPWL at each refinement step) that the insight
 // analyzers consume ("congestion level during placement step X").
+//
+// The engine is partitioned for parallel execution with a bit-identical
+// guarantee: results are the same for ANY worker count (1, 2, 4, ...),
+// because every parallel phase is decomposed into a fixed number of units
+// (cell/net chunks, spatial tiles) that write disjoint state, consume
+// per-cell RNG streams derived by counter hashing (never a shared
+// sequential stream), and merge partial reductions in fixed unit order.
+// Worker count only decides how many units run concurrently.
+//
+//  - force step: per-net centroids then per-cell moves, both embarrassingly
+//    parallel over fixed chunks;
+//  - spread step: cells whose 3x3 bin neighborhood lies inside one spatial
+//    tile are processed tile-parallel (each tile owns its bins, so the
+//    in-flight utilization updates never cross tiles); cells on tile
+//    boundaries are deferred to a sequential fixup pass in cell order;
+//  - density/RUDY maps and HPWL: per-chunk partials merged in chunk order.
 
 #include <cstdint>
 #include <span>
@@ -12,6 +28,7 @@
 
 #include "netlist/netlist.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace vpr::place {
 
@@ -21,6 +38,8 @@ struct PlacerKnobs {
   double congestion_effort = 0.3; // routing-congestion-driven spreading
   double perturbation = 0.3;      // annealing jitter scale
   int iterations = 5;             // refinement steps
+
+  friend bool operator==(const PlacerKnobs&, const PlacerKnobs&) = default;
 };
 
 struct Placement {
@@ -43,8 +62,14 @@ struct PlaceTrajectory {
 
 class Placer {
  public:
+  /// `workers` is the parallelism cap: 1 (the default) runs every unit
+  /// inline on the calling thread; 0 lets the pool pick; any value yields
+  /// bit-identical placements. `pool` overrides the shared pool (tests use
+  /// a private pool so multi-worker runs make real threads on small
+  /// hosts); ignored when workers == 1.
   Placer(const netlist::Netlist& netlist, PlacerKnobs knobs,
-         std::uint64_t seed);
+         std::uint64_t seed, int workers = 1,
+         util::ThreadPool* pool = nullptr);
 
   /// Runs placement. `net_weights` (optional, size net_count) biases the
   /// force model toward timing-critical nets; pass {} for wirelength-only.
@@ -55,18 +80,27 @@ class Placer {
   [[nodiscard]] int grid() const noexcept { return grid_; }
 
  private:
-  void seed_initial(Placement& p, util::Rng& rng) const;
+  // Fixed decomposition: results must not depend on worker count, so the
+  // unit count never derives from it.
+  static constexpr int kChunks = 16;    // cell/net chunks for reductions
+  static constexpr int kTileSide = 4;   // spatial tile grid (kTileSide^2)
+
+  void for_units(std::size_t n, const std::function<void(std::size_t)>& body) const;
+  void seed_initial(Placement& p) const;
   void force_step(Placement& p, std::span<const double> net_weights,
-                  double temperature, util::Rng& rng) const;
-  void spread_step(Placement& p, util::Rng& rng) const;
+                  double temperature, int iteration) const;
+  void spread_step(Placement& p, int iteration) const;
   void update_maps(Placement& p) const;
   [[nodiscard]] double total_hpwl(const Placement& p) const;
   [[nodiscard]] bool in_blockage(double x, double y) const;
   [[nodiscard]] int bin_of(double x, double y) const;
+  [[nodiscard]] int tile_of_bin(int bx, int by) const noexcept;
 
   const netlist::Netlist& nl_;
   PlacerKnobs knobs_;
   std::uint64_t seed_;
+  int workers_;
+  util::ThreadPool* pool_;
   int grid_;
   double bin_capacity_;            // area units per bin at 100% utilization
   std::vector<double> bin_cap_;    // per-bin capacity (blockage-derated)

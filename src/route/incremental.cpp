@@ -1,0 +1,350 @@
+#include "route/incremental.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace vpr::route {
+
+namespace {
+std::atomic<int> g_forced_mode{-1};
+
+RouterMode mode_from_env() {
+  const char* v = std::getenv("INSIGHTALIGN_ROUTER");
+  if (v == nullptr || *v == '\0') return RouterMode::kAuto;
+  const std::string s(v);
+  if (s == "full") return RouterMode::kFull;
+  if (s == "incremental") return RouterMode::kIncremental;
+  if (s == "auto") return RouterMode::kAuto;
+  std::fprintf(stderr,
+               "insightalign: unknown INSIGHTALIGN_ROUTER value '%s' "
+               "(want full|incremental|auto); using auto\n",
+               v);
+  return RouterMode::kAuto;
+}
+}  // namespace
+
+RouterMode router_mode() {
+  const int forced = g_forced_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<RouterMode>(forced);
+  static const RouterMode env_mode = mode_from_env();
+  return env_mode;
+}
+
+void force_router_mode(RouterMode mode) {
+  g_forced_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void clear_forced_router_mode() {
+  g_forced_mode.store(-1, std::memory_order_relaxed);
+}
+
+const char* router_mode_name(RouterMode mode) {
+  switch (mode) {
+    case RouterMode::kFull:
+      return "full";
+    case RouterMode::kIncremental:
+      return "incremental";
+    case RouterMode::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+const RoutingResult& IncrementalRouter::route(const netlist::Netlist& nl,
+                                              const place::Placement& placement,
+                                              RouterKnobs knobs,
+                                              std::uint64_t seed) {
+  ++stats_.route_calls;
+  if (placement.x.size() != static_cast<std::size_t>(nl.cell_count())) {
+    throw std::invalid_argument("IncrementalRouter: placement size mismatch");
+  }
+  const RouterKnobs clamped = detail::clamp_knobs(knobs);
+  const int grid = placement.grid > 0 ? placement.grid : 16;
+  detail::decompose(nl, placement, grid, new_pins_);
+  // The netlist can only grow (appended buffers/nets); a shrink means a
+  // different design entirely, so retained state is useless.
+  const bool fingerprint_same = has_result_ && clamped == knobs_ &&
+                                seed == seed_ && grid == grid_ &&
+                                nl.net_count() >= net_count_;
+  if (fingerprint_same && nl.net_count() == net_count_ &&
+      new_pins_ == pins_ && px_ == placement.x && py_ == placement.y) {
+    // Bitwise-identical inputs: the router reads nothing else (cell types
+    // never enter the cost model), so the retained result is the answer.
+    ++stats_.unchanged_calls;
+    return result_;
+  }
+  knobs_ = clamped;
+  seed_ = seed;
+  grid_ = grid;
+  run_pass(nl, placement, /*allow_reuse=*/fingerprint_same);
+  return result_;
+}
+
+void IncrementalRouter::mark_edges_dirty(
+    const std::vector<std::uint32_t>& edges) {
+  const int g1 = grid_ - 1;
+  for (const std::uint32_t enc : edges) {
+    const int e = static_cast<int>(enc >> 1);
+    int x0, y0, x1, y1;
+    if ((enc & 1u) != 0) {  // vertical (x,y)->(x,y+1): index x*(grid-1)+y
+      const int x = e / g1;
+      const int y = e % g1;
+      x0 = x1 = x;
+      y0 = y;
+      y1 = y + 1;
+    } else {  // horizontal (x,y)->(x+1,y): index y*(grid-1)+x
+      const int y = e / g1;
+      const int x = e % g1;
+      y0 = y1 = y;
+      x0 = x;
+      x1 = x + 1;
+    }
+    if (!any_dirty_) {
+      any_dirty_ = true;
+      dirty_x0_ = x0;
+      dirty_x1_ = x1;
+      dirty_y0_ = y0;
+      dirty_y1_ = y1;
+    } else {
+      dirty_x0_ = std::min(dirty_x0_, x0);
+      dirty_x1_ = std::max(dirty_x1_, x1);
+      dirty_y0_ = std::min(dirty_y0_, y0);
+      dirty_y1_ = std::max(dirty_y1_, y1);
+    }
+  }
+}
+
+bool IncrementalRouter::region_clean(const detail::TwoPin& pin,
+                                     int margin) const noexcept {
+  if (!any_dirty_) return true;
+  // Every edge a candidate of this pin can traverse lies inside its
+  // margin-expanded bounding box (route/walk.h clamps midpoints the same
+  // way); if that box misses the dirty region, no candidate cost moved.
+  const int rx0 = std::max(0, std::min(pin.x0, pin.x1) - margin);
+  const int rx1 = std::min(grid_ - 1, std::max(pin.x0, pin.x1) + margin);
+  const int ry0 = std::max(0, std::min(pin.y0, pin.y1) - margin);
+  const int ry1 = std::min(grid_ - 1, std::max(pin.y0, pin.y1) + margin);
+  return rx1 < dirty_x0_ || rx0 > dirty_x1_ || ry1 < dirty_y0_ ||
+         ry0 > dirty_y1_;
+}
+
+void IncrementalRouter::run_pass(const netlist::Netlist& nl,
+                                 const place::Placement& placement,
+                                 bool allow_reuse) {
+  VPR_TRACE_SPAN("route.incremental", "route",
+                 obs::TraceArgs{{"reuse", allow_reuse ? 1 : 0}});
+  const int grid = grid_;
+  const int rounds = knobs_.rounds;
+  const int new_nets = nl.net_count();
+  const std::size_t n_pins = new_pins_.size();
+
+  // Per-net contiguous pin segments (pins are net-major, ascending).
+  new_seg_.assign(static_cast<std::size_t>(new_nets) + 1, 0);
+  {
+    std::size_t p = 0;
+    for (int net = 0; net < new_nets; ++net) {
+      new_seg_[static_cast<std::size_t>(net)] = p;
+      while (p < n_pins && new_pins_[p].net == net) ++p;
+    }
+    new_seg_[static_cast<std::size_t>(new_nets)] = p;
+  }
+
+  // Net-level dirt: a net is clean iff its pin segment is unchanged from
+  // the previous call (same bins, same order — sink appends, pin moves and
+  // spliced buffers all perturb the segment; pure retypes do not).
+  stored_idx_.assign(n_pins, -1);
+  removed_old_pins_.clear();
+  if (allow_reuse) {
+    ++stats_.incremental_calls;
+    std::uint64_t dirty_net_count = 0;
+    for (int net = 0; net < new_nets; ++net) {
+      const std::size_t nb = new_seg_[static_cast<std::size_t>(net)];
+      const std::size_t ne = new_seg_[static_cast<std::size_t>(net) + 1];
+      std::size_t ob = 0, oe = 0;
+      bool clean = net < net_count_;
+      if (clean) {
+        ob = net_seg_[static_cast<std::size_t>(net)];
+        oe = net_seg_[static_cast<std::size_t>(net) + 1];
+        clean = (oe - ob) == (ne - nb) &&
+                std::equal(new_pins_.begin() + static_cast<std::ptrdiff_t>(nb),
+                           new_pins_.begin() + static_cast<std::ptrdiff_t>(ne),
+                           pins_.begin() + static_cast<std::ptrdiff_t>(ob));
+      }
+      if (clean) {
+        for (std::size_t k = 0; k < ne - nb; ++k) {
+          stored_idx_[nb + k] = static_cast<int>(ob + k);
+        }
+      } else {
+        if (ne != nb || oe != ob) ++dirty_net_count;
+        for (std::size_t o = ob; o < oe; ++o) removed_old_pins_.push_back(o);
+      }
+    }
+    stats_.dirty_nets += dirty_net_count;
+  } else {
+    ++stats_.full_runs;
+  }
+
+  detail::shortest_first_order(new_pins_, order_);
+  walker_.reset(grid, knobs_);
+
+  slots_prev_.swap(slots_);
+  slots_.resize(static_cast<std::size_t>(rounds) + 1);
+  for (auto& s : slots_) {
+    s.edges.resize(n_pins);
+    s.length.assign(n_pins, 0.0);
+  }
+  last_rerouted_per_slot_.assign(static_cast<std::size_t>(rounds) + 1, 0);
+  if (h_history_snap_.size() !=
+      static_cast<std::size_t>(std::max(0, rounds - 1))) {
+    h_history_snap_.assign(static_cast<std::size_t>(std::max(0, rounds - 1)),
+                           {});
+    v_history_snap_.assign(static_cast<std::size_t>(std::max(0, rounds - 1)),
+                           {});
+  }
+
+  const int margin =
+      detail::EdgeWalker::candidate_margin(knobs_.congestion_effort);
+
+  // Walks one slot (the calibration pre-pass or one negotiated round) in
+  // oracle order: replay retained routes for clean pins whose candidate
+  // region missed the dirty box, re-walk the rest, and grow the dirty box
+  // with every route that differs from (or has no counterpart in) the
+  // previous call. The maintained usage arrays stay bitwise equal to the
+  // oracle's at every pin's processing point.
+  const auto process_slot = [&](std::size_t slot, double penalty,
+                                double capacity, bool reuse_ok) {
+    std::uint64_t rerouted = 0;
+    std::uint64_t reused = 0;
+    auto& cur = slots_[slot];
+    if (reuse_ok) {
+      auto& prev = slots_prev_[slot];
+      // Old pins with no counterpart stop contributing usage; everything
+      // they touched is suspect from the start of the slot.
+      for (const std::size_t o : removed_old_pins_) {
+        mark_edges_dirty(prev.edges[o]);
+      }
+    }
+    for (const std::size_t i : order_) {
+      const detail::TwoPin& pin = new_pins_[i];
+      const int prev_idx = stored_idx_[i];
+      if (reuse_ok && prev_idx >= 0 && region_clean(pin, margin)) {
+        auto& prev = slots_prev_[slot];
+        auto& stored = prev.edges[static_cast<std::size_t>(prev_idx)];
+        walker_.commit_edges(stored);
+        cur.length[i] = prev.length[static_cast<std::size_t>(prev_idx)];
+        cur.edges[i] = std::move(stored);
+        ++reused;
+        continue;
+      }
+      cur.length[i] = walker_.route_two_pin(pin, /*commit=*/true, penalty,
+                                            capacity);
+      cur.edges[i] = walker_.best_edges();
+      ++rerouted;
+      if (reuse_ok) {
+        if (prev_idx >= 0) {
+          const auto& old =
+              slots_prev_[slot].edges[static_cast<std::size_t>(prev_idx)];
+          if (old != cur.edges[i]) {
+            mark_edges_dirty(old);
+            mark_edges_dirty(cur.edges[i]);
+          }
+        } else {
+          mark_edges_dirty(cur.edges[i]);
+        }
+      }
+    }
+    last_rerouted_per_slot_[slot] = rerouted;
+    stats_.pins_rerouted += rerouted;
+    stats_.pins_reused += reused;
+  };
+
+  // --- Calibration pre-pass (unconstrained capacity, no penalty) ---
+  any_dirty_ = false;
+  process_slot(0, 0.0, 1e18, allow_reuse);
+  const double capacity_new = detail::calibrate_capacity(
+      nl, knobs_, walker_.h_usage(), walker_.v_usage());
+  bool rounds_reuse = allow_reuse;
+  // Bitwise compare, deliberately: capacity feeds every edge cost, so the
+  // tiniest drift invalidates all retained round routes — the wide-dirt
+  // fallback re-walks every round oracle-shaped (and re-stores, so the
+  // next call can go incremental again).
+  if (allow_reuse && capacity_new != capacity_) {
+    rounds_reuse = false;
+    ++stats_.capacity_refits;
+  }
+  capacity_ = capacity_new;
+
+  // --- Negotiated rounds ---
+  result_.round_overflow_edges.clear();
+  result_.grid = grid;
+  for (int round = 0; round < rounds; ++round) {
+    VPR_TRACE_SPAN("route.round", "route",
+                   obs::TraceArgs{{"round", static_cast<std::int64_t>(round)}});
+    any_dirty_ = false;
+    if (round >= 1) {
+      auto& hs = h_history_snap_[static_cast<std::size_t>(round - 1)];
+      auto& vs = v_history_snap_[static_cast<std::size_t>(round - 1)];
+      if (rounds_reuse) {
+        // Edges whose history moved since the previous call cost
+        // differently this round even if no route near them changed.
+        const auto& h = walker_.h_history();
+        const auto& v = walker_.v_history();
+        if (hs.size() != h.size() || vs.size() != v.size()) {
+          // Cannot happen while the fingerprint matches; full-dirty to be
+          // safe rather than replaying against stale snapshots.
+          any_dirty_ = true;
+          dirty_x0_ = dirty_y0_ = 0;
+          dirty_x1_ = dirty_y1_ = grid - 1;
+        } else {
+          std::vector<std::uint32_t> moved;
+          for (std::size_t e = 0; e < h.size(); ++e) {
+            if (h[e] != hs[e]) {
+              moved.push_back(static_cast<std::uint32_t>(e) << 1);
+            }
+            if (v[e] != vs[e]) {
+              moved.push_back((static_cast<std::uint32_t>(e) << 1) | 1u);
+            }
+          }
+          mark_edges_dirty(moved);
+        }
+      }
+      hs = walker_.h_history();
+      vs = walker_.v_history();
+    }
+    walker_.zero_usage();
+    const double penalty =
+        (1.0 + 2.0 * knobs_.congestion_effort) * (round + 1);
+    process_slot(static_cast<std::size_t>(round) + 1, penalty, capacity_,
+                 rounds_reuse);
+    const detail::RoundOverflow over = detail::account_overflow(
+        walker_.h_usage(), walker_.v_usage(), capacity_);
+    const double history_gain = 0.5 + knobs_.congestion_effort;
+    detail::bump_history(walker_.h_history(), walker_.v_history(),
+                         walker_.h_usage(), walker_.v_usage(), history_gain,
+                         capacity_);
+    result_.round_overflow_edges.push_back(over.over_edges);
+    result_.overflow_edges = over.over_edges;
+    result_.total_overflow = over.total_over;
+    result_.max_utilization = over.max_util;
+  }
+
+  detail::finalize_result(nl, placement, grid, new_pins_,
+                          slots_[static_cast<std::size_t>(rounds)].length,
+                          result_);
+
+  // Retain this call's inputs as the next call's baseline.
+  pins_.swap(new_pins_);
+  net_seg_.swap(new_seg_);
+  px_ = placement.x;
+  py_ = placement.y;
+  net_count_ = new_nets;
+  has_result_ = true;
+}
+
+}  // namespace vpr::route

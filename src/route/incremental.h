@@ -1,0 +1,150 @@
+#pragma once
+// Persistent incremental rip-up-and-reroute global routing.
+//
+// IncrementalRouter keeps the previous call's full routing state alive —
+// the two-pin decomposition, every pin's winning edge list for the
+// calibration pre-pass and for each negotiated round, the per-round
+// history snapshots, and the calibrated capacity — and on the next call
+// rips up and re-walks only the pins whose answer could have changed:
+// pins of connectivity-dirtied nets (hold-buffer splices, appended cells,
+// moved pins — detected by comparing per-net pin segments), plus any pin
+// whose candidate region intersects the region where edge costs moved
+// (tracked as a dirty bounding box fed by changed routes, removed routes
+// and round-history deltas). Everything else is committed by replaying the
+// retained edge list, which is bit-for-bit what the oracle would have
+// walked.
+//
+// Contract: route() returns a result bitwise identical to
+// `GlobalRouter(nl, placement, knobs, seed).run()` on the same inputs —
+// raw-double identical, not approximately equal. The guarantees stack up
+// as:
+//   * the walk arithmetic is shared code (route/walk.h), so a re-walked
+//     pin and an oracle pin sum costs in the same order;
+//   * usage commits are exact (+1.0 on integral doubles), so replaying a
+//     retained route reproduces the oracle's usage arrays exactly;
+//   * a pin is only replayed when no edge its candidates can touch has a
+//     dirtied cost, so its winner could not have changed;
+//   * the calibrated capacity is recomputed every call in the oracle's
+//     summation order and compared bitwise — if it moved, every
+//     negotiated round falls back to a full oracle-shaped sweep (the
+//     wide-dirt fallback, mirroring sta::IncrementalTimer);
+//   * identical inputs short-circuit to the retained result without
+//     touching the grid.
+// tests/route/incremental_test.cpp and the FlowEquiv suite enforce this
+// against the retained GlobalRouter oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "route/walk.h"
+
+namespace vpr::route {
+
+/// Which router Flow::run uses. kAuto (the default) and kIncremental both
+/// select the persistent IncrementalRouter (it is bitwise-exact, so there
+/// is no accuracy reason to avoid it); kFull forces the from-scratch
+/// GlobalRouter on every run — the debugging/CI escape hatch.
+/// Flow::run_reference always uses GlobalRouter regardless of mode.
+enum class RouterMode { kFull, kIncremental, kAuto };
+
+/// Mode from the INSIGHTALIGN_ROUTER env var ("full" | "incremental" |
+/// "auto"), read once per process; unknown values warn once on stderr and
+/// fall back to kAuto. A force_router_mode() override wins over the env.
+[[nodiscard]] RouterMode router_mode();
+/// Test hook: pin the mode regardless of environment.
+void force_router_mode(RouterMode mode);
+/// Test hook: drop the force_router_mode override (back to the env value).
+void clear_forced_router_mode();
+[[nodiscard]] const char* router_mode_name(RouterMode mode);
+
+class IncrementalRouter {
+ public:
+  struct Stats {
+    std::uint64_t route_calls = 0;
+    /// First call, or knob/seed/grid/shrunk-netlist change: everything
+    /// re-walked from scratch (still stored for the next call).
+    std::uint64_t full_runs = 0;
+    /// Inputs bitwise identical to the previous call: retained result
+    /// returned untouched.
+    std::uint64_t unchanged_calls = 0;
+    /// Calls that replayed retained routes for at least part of the work.
+    std::uint64_t incremental_calls = 0;
+    /// Negotiated rounds where the recalibrated capacity moved bitwise,
+    /// forcing full oracle-shaped sweeps for every round of that call.
+    std::uint64_t capacity_refits = 0;
+    std::uint64_t dirty_nets = 0;     // across all incremental calls
+    std::uint64_t pins_rerouted = 0;  // candidate re-walks, all slots
+    std::uint64_t pins_reused = 0;    // replayed retained routes, all slots
+  };
+
+  IncrementalRouter() = default;
+  IncrementalRouter(const IncrementalRouter&) = delete;
+  IncrementalRouter& operator=(const IncrementalRouter&) = delete;
+
+  /// Routes (nl, placement) under `knobs`/`seed`, reusing retained routes
+  /// where the inputs are unchanged. The returned reference stays valid
+  /// until the next route() call.
+  const RoutingResult& route(const netlist::Netlist& nl,
+                             const place::Placement& placement,
+                             RouterKnobs knobs, std::uint64_t seed);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Pins re-walked in the most recent non-short-circuited call, one entry
+  /// per slot (entry 0 = calibration pre-pass, then one per round).
+  [[nodiscard]] const std::vector<std::uint64_t>& last_rerouted_per_slot()
+      const noexcept {
+    return last_rerouted_per_slot_;
+  }
+
+ private:
+  /// Per-slot retained routes: one slot for the calibration pre-pass and
+  /// one per negotiated round. `edges[pin]` is the winning recorded edge
+  /// list; `length[pin]` the walked step count.
+  struct SlotRoutes {
+    std::vector<std::vector<std::uint32_t>> edges;
+    std::vector<double> length;
+  };
+
+  void run_pass(const netlist::Netlist& nl, const place::Placement& placement,
+                bool allow_reuse);
+  void mark_edges_dirty(const std::vector<std::uint32_t>& edges);
+  [[nodiscard]] bool region_clean(const detail::TwoPin& pin,
+                                  int margin) const noexcept;
+
+  // ----- Retained fingerprint + state from the previous call -----
+  bool has_result_ = false;
+  RouterKnobs knobs_;  // clamped
+  std::uint64_t seed_ = 0;
+  int grid_ = 0;
+  int net_count_ = 0;
+  double capacity_ = 0.0;
+  std::vector<double> px_, py_;  // placement snapshot (exact coords)
+  std::vector<detail::TwoPin> pins_;
+  std::vector<std::size_t> net_seg_;  // pins_ segment start per net (+1)
+  std::vector<SlotRoutes> slots_;     // slot 0 = calibration, 1+r = round r
+  // History at the start of round r+1 (i.e. after round r's bump), for
+  // r+1 in [1, rounds): the next call diffs these to find cost-dirty
+  // edges before replaying that round.
+  std::vector<std::vector<double>> h_history_snap_, v_history_snap_;
+  RoutingResult result_;
+  Stats stats_;
+  std::vector<std::uint64_t> last_rerouted_per_slot_;
+
+  // ----- Per-call scratch -----
+  detail::EdgeWalker walker_;
+  std::vector<detail::TwoPin> new_pins_;
+  std::vector<std::size_t> new_seg_;
+  std::vector<std::size_t> order_;
+  std::vector<double> pin_length_;
+  std::vector<int> stored_idx_;  // new pin -> previous pin index, or -1
+  std::vector<std::size_t> removed_old_pins_;  // old pins of dirty nets
+  std::vector<SlotRoutes> slots_prev_;
+  // Dirty cost region, in bin coordinates (inclusive), per slot pass.
+  bool any_dirty_ = false;
+  int dirty_x0_ = 0, dirty_x1_ = 0, dirty_y0_ = 0, dirty_y1_ = 0;
+};
+
+}  // namespace vpr::route

@@ -1,258 +1,83 @@
 #include "route/router.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "util/rng.h"
+#include "obs/trace.h"
+#include "route/walk.h"
 
 namespace vpr::route {
-
-namespace {
-/// Per-edge cost: unit base, smooth pressure below capacity, steep
-/// negotiated penalty above it. `history` carries overflow memory across
-/// rounds (PathFinder-style).
-double edge_cost(double usage, double history, double capacity,
-                 double penalty) {
-  const double pressure = 0.25 * usage / capacity;
-  const double over = std::max(0.0, usage + 1.0 - capacity);
-  return 1.0 + pressure + history + penalty * over;
-}
-}  // namespace
 
 GlobalRouter::GlobalRouter(const netlist::Netlist& nl,
                            const place::Placement& placement,
                            RouterKnobs knobs, std::uint64_t seed)
-    : nl_(nl), placement_(placement), knobs_(knobs), seed_(seed) {
+    : nl_(nl),
+      placement_(placement),
+      knobs_(detail::clamp_knobs(knobs)),
+      seed_(seed) {
   if (placement.x.size() != static_cast<std::size_t>(nl.cell_count())) {
     throw std::invalid_argument("GlobalRouter: placement size mismatch");
   }
-  knobs_.congestion_effort = std::clamp(knobs_.congestion_effort, 0.0, 1.0);
-  knobs_.capacity_derate = std::clamp(knobs_.capacity_derate, 0.5, 1.3);
-  knobs_.rounds = std::clamp(knobs_.rounds, 1, 10);
   grid_ = placement.grid > 0 ? placement.grid : 16;
   // Capacity is finalized in run(): the fabric is sized against the mean
   // demand of an uncongested pre-pass (a real router's track supply is
   // matched to typical utilization), with less headroom at advanced nodes.
   capacity_ = 1.0;
+  walker_ = std::make_unique<detail::EdgeWalker>();
 }
 
-int GlobalRouter::bin_x(int cell) const {
-  return std::clamp(
-      static_cast<int>(placement_.x[static_cast<std::size_t>(cell)] * grid_),
-      0, grid_ - 1);
-}
-
-int GlobalRouter::bin_y(int cell) const {
-  return std::clamp(
-      static_cast<int>(placement_.y[static_cast<std::size_t>(cell)] * grid_),
-      0, grid_ - 1);
-}
-
-double GlobalRouter::path_cost(int x0, int y0, int x1, int y1, int xm, int ym,
-                               double penalty, double* length,
-                               std::vector<std::uint32_t>& edges) {
-  // Path: (x0,y0) -H-> (xm,y0) -V-> (xm,ym) -H-> (x1,ym) -V-> (x1,y1).
-  // With xm==x1 or ym==y1 this degenerates to Z and L shapes. A detour
-  // path can traverse the same edge twice; the recording keeps duplicates
-  // so a replay-commit adds the same usage as the walk costed.
-  double cost = 0.0;
-  double len = 0.0;
-  const auto h_seg = [&](int y, int xa, int xb) {
-    const int lo = std::min(xa, xb);
-    const int hi = std::max(xa, xb);
-    for (int x = lo; x < hi; ++x) {
-      const std::size_t e = static_cast<std::size_t>(y) * (grid_ - 1) + x;
-      cost += edge_cost(h_usage_[e], h_history_[e], capacity_, penalty);
-      len += 1.0;
-      edges.push_back(static_cast<std::uint32_t>(e) << 1);
-    }
-  };
-  const auto v_seg = [&](int x, int ya, int yb) {
-    const int lo = std::min(ya, yb);
-    const int hi = std::max(ya, yb);
-    for (int y = lo; y < hi; ++y) {
-      const std::size_t e = static_cast<std::size_t>(x) * (grid_ - 1) + y;
-      cost += edge_cost(v_usage_[e], v_history_[e], capacity_, penalty);
-      len += 1.0;
-      edges.push_back((static_cast<std::uint32_t>(e) << 1) | 1u);
-    }
-  };
-  h_seg(y0, x0, xm);
-  v_seg(xm, y0, ym);
-  h_seg(ym, xm, x1);
-  v_seg(x1, ym, y1);
-  if (length != nullptr) *length = len;
-  return cost;
-}
-
-double GlobalRouter::route_two_pin(const TwoPin& pin, bool commit,
-                                   double penalty) {
-  candidates_.clear();
-  candidates_.push_back({pin.x1, pin.y0});  // L: horizontal then vertical
-  candidates_.push_back({pin.x0, pin.y1});  // L: vertical then horizontal
-  if (knobs_.congestion_effort > 0.0) {
-    // Z / detour candidates: midpoints inside (and slightly beyond) the
-    // bounding box, more of them at higher effort.
-    const int extra =
-        1 + static_cast<int>(std::lround(4.0 * knobs_.congestion_effort));
-    const int margin =
-        knobs_.congestion_effort > 0.6 ? 2 : (knobs_.congestion_effort > 0.3 ? 1 : 0);
-    const int lo_x = std::max(0, std::min(pin.x0, pin.x1) - margin);
-    const int hi_x = std::min(grid_ - 1, std::max(pin.x0, pin.x1) + margin);
-    const int lo_y = std::max(0, std::min(pin.y0, pin.y1) - margin);
-    const int hi_y = std::min(grid_ - 1, std::max(pin.y0, pin.y1) + margin);
-    for (int k = 1; k <= extra; ++k) {
-      const int xm = lo_x + (hi_x - lo_x) * k / (extra + 1);
-      const int ym = lo_y + (hi_y - lo_y) * k / (extra + 1);
-      candidates_.push_back({xm, pin.y1});
-      candidates_.push_back({pin.x0, ym});
-      candidates_.push_back({xm, ym});
-    }
-  }
-  // Single walk per candidate: cost and record, then commit the winner by
-  // replaying its recorded edges instead of re-walking the geometry (the
-  // winner's usage updates cannot change its own already-summed cost).
-  double best_cost = 1e300;
-  double best_length = 0.0;
-  best_edges_.clear();
-  for (const auto& cand : candidates_) {
-    cand_edges_.clear();
-    double length = 0.0;
-    const double cost = path_cost(pin.x0, pin.y0, pin.x1, pin.y1, cand.xm,
-                                  cand.ym, penalty, &length, cand_edges_);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_length = length;
-      std::swap(best_edges_, cand_edges_);
-    }
-  }
-  if (commit) {
-    for (const std::uint32_t enc : best_edges_) {
-      const std::size_t e = enc >> 1;
-      if ((enc & 1u) != 0) {
-        v_usage_[e] += 1.0;
-      } else {
-        h_usage_[e] += 1.0;
-      }
-    }
-  }
-  return best_length;
-}
+GlobalRouter::~GlobalRouter() = default;
 
 RoutingResult GlobalRouter::run() {
-  const std::size_t h_edges = static_cast<std::size_t>(grid_) * (grid_ - 1);
-  h_history_.assign(h_edges, 0.0);
-  v_history_.assign(h_edges, 0.0);
+  VPR_TRACE_SPAN("route.full", "route");
+  detail::EdgeWalker& walker = *walker_;
+  walker.reset(grid_, knobs_);
 
-  // Two-pin decomposition: driver to each sink bin (dedup same-bin pins).
-  std::vector<TwoPin> pins;
-  std::vector<std::vector<std::size_t>> net_pins(
-      static_cast<std::size_t>(nl_.net_count()));
-  for (int net = 0; net < nl_.net_count(); ++net) {
-    const auto& n = nl_.net(net);
-    if (n.driver_cell == netlist::kNoDriver || n.sink_cells.empty()) continue;
-    const int sx = bin_x(n.driver_cell);
-    const int sy = bin_y(n.driver_cell);
-    for (const int sink : n.sink_cells) {
-      const int tx = bin_x(sink);
-      const int ty = bin_y(sink);
-      if (tx == sx && ty == sy) continue;
-      net_pins[static_cast<std::size_t>(net)].push_back(pins.size());
-      pins.push_back({net, sx, sy, tx, ty});
-    }
-  }
-  // Short connections first: long nets then negotiate around them.
-  std::vector<std::size_t> order(pins.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     const auto manhattan = [&](const TwoPin& p) {
-                       return std::abs(p.x1 - p.x0) + std::abs(p.y1 - p.y0);
-                     };
-                     return manhattan(pins[a]) < manhattan(pins[b]);
-                   });
+  std::vector<detail::TwoPin> pins;
+  detail::decompose(nl_, placement_, grid_, pins);
+  std::vector<std::size_t> order;
+  detail::shortest_first_order(pins, order);
 
   RoutingResult result;
   result.grid = grid_;
-  result.net_length.assign(static_cast<std::size_t>(nl_.net_count()), 0.0);
   std::vector<double> pin_length(pins.size(), 0.0);
 
   // Calibration pre-pass: route everything greedily with no penalty, then
-  // size edge capacity as headroom over the mean edge usage. Advanced
-  // nodes get less headroom, so their hotspots overflow sooner.
-  h_usage_.assign(h_edges, 0.0);
-  v_usage_.assign(h_edges, 0.0);
-  capacity_ = 1e18;  // unconstrained during calibration
-  for (const std::size_t i : order) {
-    route_two_pin(pins[i], /*commit=*/true, 0.0);
+  // size edge capacity as headroom over the mean edge usage.
+  {
+    VPR_TRACE_SPAN("route.calibrate", "route",
+                   obs::TraceArgs{{"pins", static_cast<std::int64_t>(pins.size())}});
+    capacity_ = 1e18;  // unconstrained during calibration
+    for (const std::size_t i : order) {
+      walker.route_two_pin(pins[i], /*commit=*/true, 0.0, capacity_);
+    }
+    capacity_ = detail::calibrate_capacity(nl_, knobs_, walker.h_usage(),
+                                           walker.v_usage());
   }
-  double mean_usage = 0.0;
-  for (std::size_t e = 0; e < h_edges; ++e) {
-    mean_usage += h_usage_[e] + v_usage_[e];
-  }
-  mean_usage /= std::max<std::size_t>(1, 2 * h_edges);
-  const double node_scale =
-      std::clamp(nl_.library().node().feature_nm / 45.0, 0.1, 1.0);
-  capacity_ = std::max(2.0, (1.08 + 0.55 * node_scale) * mean_usage *
-                                knobs_.capacity_derate);
 
   for (int round = 0; round < knobs_.rounds; ++round) {
-    h_usage_.assign(h_edges, 0.0);
-    v_usage_.assign(h_edges, 0.0);
+    VPR_TRACE_SPAN("route.round", "route",
+                   obs::TraceArgs{{"round", static_cast<std::int64_t>(round)}});
+    walker.zero_usage();
     const double penalty =
         (1.0 + 2.0 * knobs_.congestion_effort) * (round + 1);
     for (const std::size_t i : order) {
-      pin_length[i] = route_two_pin(pins[i], /*commit=*/true, penalty);
+      pin_length[i] = walker.route_two_pin(pins[i], /*commit=*/true, penalty,
+                                           capacity_);
     }
     // Overflow accounting + history update for the next round.
-    int over_edges = 0;
-    double total_over = 0.0;
-    double max_util = 0.0;
-    for (std::size_t e = 0; e < h_edges; ++e) {
-      for (const auto* usage : {&h_usage_, &v_usage_}) {
-        const double u = (*usage)[e];
-        max_util = std::max(max_util, u / capacity_);
-        if (u > capacity_) {
-          ++over_edges;
-          total_over += u - capacity_;
-        }
-      }
-    }
+    const detail::RoundOverflow over =
+        detail::account_overflow(walker.h_usage(), walker.v_usage(), capacity_);
     const double history_gain = 0.5 + knobs_.congestion_effort;
-    for (std::size_t e = 0; e < h_edges; ++e) {
-      h_history_[e] +=
-          history_gain * std::max(0.0, h_usage_[e] - capacity_) / capacity_;
-      v_history_[e] +=
-          history_gain * std::max(0.0, v_usage_[e] - capacity_) / capacity_;
-    }
-    result.round_overflow_edges.push_back(over_edges);
-    result.overflow_edges = over_edges;
-    result.total_overflow = total_over;
-    result.max_utilization = max_util;
+    detail::bump_history(walker.h_history(), walker.v_history(),
+                         walker.h_usage(), walker.v_usage(), history_gain,
+                         capacity_);
+    result.round_overflow_edges.push_back(over.over_edges);
+    result.overflow_edges = over.over_edges;
+    result.total_overflow = over.total_over;
+    result.max_utilization = over.max_util;
   }
 
-  // Net lengths (normalized: one bin step = 1/grid) and detours.
-  const double step = 1.0 / grid_;
-  result.detour_factor.assign(static_cast<std::size_t>(nl_.net_count()), 1.0);
-  for (int net = 0; net < nl_.net_count(); ++net) {
-    double len = 0.0;
-    for (const std::size_t i : net_pins[static_cast<std::size_t>(net)]) {
-      len += pin_length[i] * step;
-    }
-    // Local (same-bin) nets still have some wire.
-    const double hpwl = placement_.net_hpwl(nl_, net);
-    len = std::max(len, 0.3 * step);
-    result.net_length[static_cast<std::size_t>(net)] = std::max(len, hpwl);
-    result.detour_factor[static_cast<std::size_t>(net)] =
-        hpwl > 1e-9 ? result.net_length[static_cast<std::size_t>(net)] / hpwl
-                    : 1.0;
-    result.total_wirelength +=
-        result.net_length[static_cast<std::size_t>(net)];
-  }
-  // DRC estimate: unresolved overflow turns into shorts/spacing violations.
-  result.drc_violations = static_cast<int>(
-      std::lround(2.0 * result.total_overflow + 0.5 * result.overflow_edges));
+  detail::finalize_result(nl_, placement_, grid_, pins, pin_length, result);
   return result;
 }
 

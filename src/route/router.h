@@ -6,8 +6,14 @@
 // routed length per net (which feeds wire caps back into STA and power),
 // overflow/DRC estimates, and a per-round overflow trajectory for the
 // insight analyzers.
+//
+// GlobalRouter is the from-scratch oracle; the shared walk/cost/ordering
+// mechanics live in route/walk.h and are also driven by the persistent
+// route::IncrementalRouter (route/incremental.h), which must stay bitwise
+// identical to this router on every input.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -19,6 +25,8 @@ struct RouterKnobs {
   double congestion_effort = 0.4;  // 0..1: detour willingness + penalty ramp
   double capacity_derate = 1.0;    // usable track fraction (0.6..1.2)
   int rounds = 3;                  // rip-up & reroute rounds
+
+  friend bool operator==(const RouterKnobs&, const RouterKnobs&) = default;
 };
 
 struct RoutingResult {
@@ -37,10 +45,16 @@ struct RoutingResult {
   }
 };
 
+namespace detail {
+class EdgeWalker;
+struct TwoPin;
+}  // namespace detail
+
 class GlobalRouter {
  public:
   GlobalRouter(const netlist::Netlist& nl, const place::Placement& placement,
                RouterKnobs knobs, std::uint64_t seed);
+  ~GlobalRouter();
 
   [[nodiscard]] RoutingResult run();
 
@@ -48,43 +62,13 @@ class GlobalRouter {
   [[nodiscard]] double edge_capacity() const noexcept { return capacity_; }
 
  private:
-  struct TwoPin {
-    int net = 0;
-    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
-  };
-
-  [[nodiscard]] int bin_x(int cell) const;
-  [[nodiscard]] int bin_y(int cell) const;
-  /// Routes one two-pin connection, optionally committing edge usage;
-  /// returns the path length (in bin steps) via the cheapest candidate.
-  /// Each candidate is walked exactly once: the walk records its edges,
-  /// and the winner is committed by replaying the recorded list.
-  double route_two_pin(const TwoPin& pin, bool commit, double penalty);
-  /// Costs the path through midpoint (xm, ym), appending each traversed
-  /// edge (encoded (index << 1) | is_vertical, duplicates preserved) to
-  /// `edges`; returns the cost and writes the step count to *length.
-  double path_cost(int x0, int y0, int x1, int y1, int xm, int ym,
-                   double penalty, double* length,
-                   std::vector<std::uint32_t>& edges);
-
   const netlist::Netlist& nl_;
   const place::Placement& placement_;
   RouterKnobs knobs_;
   std::uint64_t seed_;
   int grid_;
   double capacity_;
-  std::vector<double> h_usage_;  // edge (x,y)->(x+1,y): index y*(grid-1)+x
-  std::vector<double> v_usage_;  // edge (x,y)->(x,y+1): index x*(grid-1)+y
-  std::vector<double> h_history_;  // PathFinder-style overflow memory
-  std::vector<double> v_history_;
-  // Per-pin scratch, hoisted out of the route loops (route_two_pin runs
-  // once per pin per round; reallocating these dominated its cost).
-  struct Candidate {
-    int xm, ym;
-  };
-  std::vector<Candidate> candidates_;
-  std::vector<std::uint32_t> cand_edges_;  // edges of the candidate walked
-  std::vector<std::uint32_t> best_edges_;  // edges of the cheapest so far
+  std::unique_ptr<detail::EdgeWalker> walker_;
 };
 
 }  // namespace vpr::route

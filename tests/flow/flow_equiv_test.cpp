@@ -66,15 +66,61 @@ TEST(FlowEquiv, SmallDesignManyRecipeSets) {
 }
 
 TEST(FlowEquiv, AllSuiteDesignsSampledRecipeSets) {
+  // Pin the incremental router on (it is also the kAuto default) so this
+  // suite-wide sweep is explicitly the rip-up-and-reroute equivalence
+  // gate: successive recipe sets on one Flow hit the warm path, and every
+  // warm result must match the cold run_reference oracle bit-for-bit.
+  route::force_router_mode(route::RouterMode::kIncremental);
   for (int k = 1; k <= netlist::kSuiteSize; ++k) {
     const Design design{netlist::suite_design(k)};
     const Flow flow{design};
     for (const RecipeSet& rs :
-         sample_recipe_sets(2, 0xd00dULL + static_cast<std::uint64_t>(k))) {
-      expect_qor_equal(flow.run(rs).qor, flow.run_reference(rs).qor,
+         sample_recipe_sets(3, 0xd00dULL + static_cast<std::uint64_t>(k))) {
+      const FlowResult fast = flow.run(rs);
+      const FlowResult ref = flow.run_reference(rs);
+      expect_qor_equal(fast.qor, ref.qor,
                        design.name() + " recipes=" + rs.to_string());
+      EXPECT_EQ(fast.routing.total_wirelength, ref.routing.total_wirelength);
+      EXPECT_EQ(fast.routing.overflow_edges, ref.routing.overflow_edges);
+      EXPECT_EQ(fast.final_cell_count, ref.final_cell_count);
     }
+    // The warm path really engaged: every run() on this Flow went through
+    // the persistent router.
+    EXPECT_GE(flow.incremental_router().stats().route_calls, 3u)
+        << design.name();
   }
+  route::clear_forced_router_mode();
+}
+
+TEST(FlowEquiv, ForcedFullRouterMatchesToo) {
+  // The INSIGHTALIGN_ROUTER=full escape hatch routes from scratch every
+  // run; results must not move.
+  const Design design{netlist::suite_design(5)};
+  const Flow flow{design};
+  const RecipeSet rs = RecipeSet::from_ids({2, 7});
+  route::force_router_mode(route::RouterMode::kIncremental);
+  const FlowResult warm = flow.run(rs);
+  route::force_router_mode(route::RouterMode::kFull);
+  const FlowResult full = flow.run(rs);
+  route::clear_forced_router_mode();
+  expect_qor_equal(warm.qor, full.qor, "full-vs-incremental");
+  EXPECT_EQ(warm.routing.total_wirelength, full.routing.total_wirelength);
+}
+
+TEST(FlowEquiv, WarmRepeatShortCircuitsRouting) {
+  route::force_router_mode(route::RouterMode::kIncremental);
+  const Design design{netlist::suite_design(3)};
+  const Flow flow{design};
+  const RecipeSet rs = RecipeSet::from_ids({1});
+  const FlowResult first = flow.run(rs);
+  const FlowResult second = flow.run(rs);
+  expect_qor_equal(first.qor, second.qor, "warm repeat");
+  const auto& stats = flow.incremental_router().stats();
+  EXPECT_EQ(stats.route_calls, 2u);
+  EXPECT_EQ(stats.full_runs, 1u);
+  // Identical inputs: the retained result is returned untouched.
+  EXPECT_GE(stats.unchanged_calls, 1u);
+  route::clear_forced_router_mode();
 }
 
 TEST(FlowEquiv, StageTimersArePopulated) {
@@ -94,6 +140,14 @@ TEST(FlowEquiv, StageTimersArePopulated) {
   const double sum = t.place_ms + t.cts_ms + t.route_ms + t.sta_ms +
                      t.opt_ms + t.power_ms;
   EXPECT_LE(sum, t.total_ms + 1.0);
+  // The per-engine fields partition opt_ms exactly (same clock reads).
+  const double opt_sum = t.opt_setup_ms + t.opt_hold_ms +
+                         t.opt_power_recovery_ms + t.opt_leakage_ms +
+                         t.opt_clock_gating_ms;
+  EXPECT_NEAR(opt_sum, t.opt_ms, 1e-9);
+  EXPECT_GE(t.opt_setup_ms, 0.0);
+  EXPECT_GE(t.opt_hold_ms, 0.0);
+  EXPECT_GE(t.opt_clock_gating_ms, 0.0);
 }
 
 }  // namespace

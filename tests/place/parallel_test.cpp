@@ -1,0 +1,102 @@
+// Worker-count independence of the partitioned placer: the placement is
+// bit-identical for workers = 1 / 2 / 4 on every suite design. The
+// multi-worker runs inject a private ThreadPool so the comparison
+// exercises real threads even on single-core CI hosts.
+#include "place/placer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/generator.h"
+#include "netlist/suite.h"
+#include "util/thread_pool.h"
+
+namespace vpr::place {
+namespace {
+
+void expect_identical(const Placement& a, const Placement& b,
+                      const PlaceTrajectory& ta, const PlaceTrajectory& tb) {
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.grid, b.grid);
+  EXPECT_EQ(a.hpwl, b.hpwl);
+  EXPECT_EQ(a.bin_utilization, b.bin_utilization);
+  EXPECT_EQ(a.routing_demand, b.routing_demand);
+  EXPECT_EQ(ta.step_congestion, tb.step_congestion);
+  EXPECT_EQ(ta.step_overflow, tb.step_overflow);
+  EXPECT_EQ(ta.step_hpwl, tb.step_hpwl);
+}
+
+TEST(PlacerParallel, BitIdenticalAcrossWorkerCountsOnEverySuiteDesign) {
+  util::ThreadPool pool{3};
+  for (int k = 1; k <= netlist::kSuiteSize; ++k) {
+    SCOPED_TRACE("design D" + std::to_string(k));
+    const auto nl = netlist::generate(netlist::suite_design(k));
+    PlacerKnobs knobs;
+    knobs.iterations = 4;
+    knobs.congestion_effort = 0.6;
+    knobs.timing_weight = 0.4;
+    std::vector<double> weights(static_cast<std::size_t>(nl.net_count()));
+    for (std::size_t n = 0; n < weights.size(); ++n) {
+      weights[n] = (n % 7) / 7.0;
+    }
+    Placement base;
+    PlaceTrajectory base_traj;
+    for (const int workers : {1, 2, 4}) {
+      Placer placer{nl, knobs, 1234 + static_cast<std::uint64_t>(k), workers,
+                    &pool};
+      PlaceTrajectory traj;
+      Placement p = placer.run(weights, &traj);
+      if (workers == 1) {
+        base = std::move(p);
+        base_traj = std::move(traj);
+      } else {
+        expect_identical(base, p, base_traj, traj);
+      }
+    }
+  }
+}
+
+TEST(PlacerParallel, BitIdenticalAcrossKnobCorners) {
+  util::ThreadPool pool{3};
+  netlist::DesignTraits traits;
+  traits.target_cells = 1500;
+  traits.logic_depth = 9;
+  traits.macro_ratio = 0.15;
+  traits.congestion_propensity = 0.7;
+  traits.seed = 77;
+  const auto nl = netlist::generate(traits);
+  const PlacerKnobs corners[] = {
+      {.density_target = 0.4, .congestion_effort = 0.0, .perturbation = 1.0,
+       .iterations = 6},
+      {.density_target = 0.98, .timing_weight = 1.0, .congestion_effort = 1.0,
+       .perturbation = 0.0, .iterations = 3},
+      {.density_target = 0.7, .timing_weight = 0.5, .congestion_effort = 0.5,
+       .perturbation = 0.5, .iterations = 5},
+  };
+  for (std::size_t c = 0; c < std::size(corners); ++c) {
+    SCOPED_TRACE("corner " + std::to_string(c));
+    Placer serial{nl, corners[c], 42};
+    Placer wide{nl, corners[c], 42, 4, &pool};
+    PlaceTrajectory ts, tw;
+    const Placement ps = serial.run({}, &ts);
+    const Placement pw = wide.run({}, &tw);
+    expect_identical(ps, pw, ts, tw);
+  }
+}
+
+TEST(PlacerParallel, WorkersZeroUsesPoolDefaultAndStaysIdentical) {
+  const auto nl = netlist::generate(netlist::suite_design(3));
+  util::ThreadPool pool{2};
+  Placer serial{nl, PlacerKnobs{}, 7};
+  Placer auto_width{nl, PlacerKnobs{}, 7, /*workers=*/0, &pool};
+  const Placement ps = serial.run();
+  const Placement pa = auto_width.run();
+  EXPECT_EQ(ps.x, pa.x);
+  EXPECT_EQ(ps.y, pa.y);
+  EXPECT_EQ(ps.hpwl, pa.hpwl);
+}
+
+}  // namespace
+}  // namespace vpr::place

@@ -1,0 +1,278 @@
+#include "route/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/generator.h"
+#include "place/placer.h"
+#include "route/router.h"
+#include "util/rng.h"
+
+namespace vpr::route {
+namespace {
+
+netlist::Netlist make_design(int cells, double congestion, std::uint64_t seed) {
+  netlist::DesignTraits t;
+  t.target_cells = cells;
+  t.logic_depth = 6;
+  t.congestion_propensity = congestion;
+  t.seed = seed;
+  return netlist::generate(t);
+}
+
+place::Placement make_placement(const netlist::Netlist& nl,
+                                std::uint64_t seed) {
+  place::Placer placer{nl, place::PlacerKnobs{}, seed};
+  return placer.run();
+}
+
+/// Raw-double equality on every result field: the incremental router's
+/// contract is bitwise, not approximate.
+void expect_route_equal(const RoutingResult& got, const RoutingResult& want) {
+  EXPECT_EQ(got.net_length, want.net_length);
+  EXPECT_EQ(got.detour_factor, want.detour_factor);
+  EXPECT_EQ(got.total_wirelength, want.total_wirelength);
+  EXPECT_EQ(got.overflow_edges, want.overflow_edges);
+  EXPECT_EQ(got.total_overflow, want.total_overflow);
+  EXPECT_EQ(got.max_utilization, want.max_utilization);
+  EXPECT_EQ(got.drc_violations, want.drc_violations);
+  EXPECT_EQ(got.grid, want.grid);
+  EXPECT_EQ(got.round_overflow_edges, want.round_overflow_edges);
+}
+
+RoutingResult oracle(const netlist::Netlist& nl,
+                     const place::Placement& placement, RouterKnobs knobs,
+                     std::uint64_t seed) {
+  GlobalRouter router{nl, placement, knobs, seed};
+  return router.run();
+}
+
+/// Moves `cell` to normalized coordinates (x, y).
+void move_cell(place::Placement& placement, int cell, double x, double y) {
+  placement.x[static_cast<std::size_t>(cell)] = x;
+  placement.y[static_cast<std::size_t>(cell)] = y;
+}
+
+TEST(IncrementalRouter, FirstCallMatchesOracleBitwise) {
+  for (const double congestion : {0.2, 0.8}) {
+    const auto nl = make_design(900, congestion, 101);
+    const auto placement = make_placement(nl, 101);
+    for (const double effort : {0.0, 0.4, 1.0}) {
+      RouterKnobs knobs;
+      knobs.congestion_effort = effort;
+      IncrementalRouter inc;
+      const auto& got = inc.route(nl, placement, knobs, 7);
+      expect_route_equal(got, oracle(nl, placement, knobs, 7));
+      EXPECT_EQ(inc.stats().full_runs, 1u);
+      EXPECT_EQ(inc.stats().incremental_calls, 0u);
+    }
+  }
+}
+
+TEST(IncrementalRouter, IdenticalRepeatShortCircuits) {
+  const auto nl = make_design(800, 0.5, 33);
+  const auto placement = make_placement(nl, 33);
+  IncrementalRouter inc;
+  const auto& first = inc.route(nl, placement, RouterKnobs{}, 3);
+  const RoutingResult copy = first;  // the reference is reused below
+  const auto& second = inc.route(nl, placement, RouterKnobs{}, 3);
+  EXPECT_EQ(inc.stats().unchanged_calls, 1u);
+  EXPECT_EQ(inc.stats().full_runs, 1u);
+  EXPECT_EQ(&first, &second);  // retained result, not a recompute
+  expect_route_equal(second, copy);
+}
+
+TEST(IncrementalRouter, RetypeShortCircuits) {
+  auto nl = make_design(800, 0.5, 44);
+  const auto placement = make_placement(nl, 44);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 3);
+  // Retypes change cell types, never connectivity or placement: the router
+  // reads neither, so the retained result must be returned untouched.
+  for (int c = 0; c < nl.cell_count(); c += 7) {
+    const int type = nl.cell(c).type;
+    nl.retype_cell(c, type);  // same-type retype still bumps the log
+  }
+  const auto& got = inc.route(nl, placement, RouterKnobs{}, 3);
+  EXPECT_EQ(inc.stats().unchanged_calls, 1u);
+  expect_route_equal(got, oracle(nl, placement, RouterKnobs{}, 3));
+}
+
+TEST(IncrementalRouter, PinMoveReroutesIncrementallyAndMatchesOracle) {
+  const auto nl = make_design(1500, 0.5, 55);
+  auto placement = make_placement(nl, 55);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 9);
+  // A localized move: one cell to the far corner of its neighborhood.
+  move_cell(placement, 10, 0.02, 0.03);
+  move_cell(placement, 11, 0.97, 0.96);
+  const auto& got = inc.route(nl, placement, RouterKnobs{}, 9);
+  expect_route_equal(got, oracle(nl, placement, RouterKnobs{}, 9));
+  EXPECT_EQ(inc.stats().incremental_calls, 1u);
+  EXPECT_GT(inc.stats().dirty_nets, 0u);
+}
+
+TEST(IncrementalRouter, SubBinMoveKeepsRoutesButUpdatesHpwl) {
+  const auto nl = make_design(700, 0.4, 66);
+  auto placement = make_placement(nl, 66);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 1);
+  // Nudge one cell within its bin: the two-pin decomposition is unchanged
+  // (no net is dirty) but net HPWLs move, so the result must be recomputed
+  // from the retained routes rather than short-circuited.
+  const double nudge = 0.4 / placement.grid;
+  const int cell = 5;
+  const double x = placement.x[cell];
+  placement.x[cell] =
+      x + nudge < 1.0 && static_cast<int>((x + nudge) * placement.grid) ==
+                             static_cast<int>(x * placement.grid)
+          ? x + nudge
+          : x - nudge;
+  const auto& got = inc.route(nl, placement, RouterKnobs{}, 1);
+  expect_route_equal(got, oracle(nl, placement, RouterKnobs{}, 1));
+  EXPECT_EQ(inc.stats().incremental_calls, 1u);
+  EXPECT_EQ(inc.stats().dirty_nets, 0u);
+  EXPECT_EQ(inc.stats().unchanged_calls, 0u);
+}
+
+TEST(IncrementalRouter, HoldBufferAppendMatchesOracle) {
+  auto nl = make_design(900, 0.6, 77);
+  auto placement = make_placement(nl, 77);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 2);
+  // Splice buffers the way opt::fix_hold does, placing each at its sink.
+  int buffer_type = -1;
+  for (int t = 0; t < nl.library().size(); ++t) {
+    if (nl.library().cell(t).kind == netlist::CellKind::kBuffer) {
+      buffer_type = t;
+      break;
+    }
+  }
+  ASSERT_GE(buffer_type, 0);
+  int spliced = 0;
+  for (int c = 0; c < nl.cell_count() && spliced < 5; ++c) {
+    if (nl.cell(c).fanin_nets.empty()) continue;
+    const int buf = nl.insert_buffer_before(c, 0, buffer_type);
+    placement.x.push_back(placement.x[static_cast<std::size_t>(c)]);
+    placement.y.push_back(placement.y[static_cast<std::size_t>(c)]);
+    ASSERT_EQ(buf, nl.cell_count() - 1);
+    ++spliced;
+  }
+  const auto& got = inc.route(nl, placement, RouterKnobs{}, 2);
+  expect_route_equal(got, oracle(nl, placement, RouterKnobs{}, 2));
+  EXPECT_EQ(inc.stats().incremental_calls, 1u);
+  EXPECT_GT(inc.stats().dirty_nets, 0u);
+}
+
+TEST(IncrementalRouter, OverflowHotspotRipupMatchesOracle) {
+  // Congested design, then pile cells into one bin to force overflow and
+  // history churn around the hotspot; the capacity refit fallback and the
+  // history-dirty tracking both get exercised.
+  const auto nl = make_design(1200, 0.9, 88);
+  auto placement = make_placement(nl, 88);
+  RouterKnobs knobs;
+  knobs.congestion_effort = 0.9;
+  knobs.capacity_derate = 0.6;
+  knobs.rounds = 4;
+  IncrementalRouter inc;
+  inc.route(nl, placement, knobs, 4);
+  for (int c = 40; c < 80; ++c) {
+    move_cell(placement, c, 0.51, 0.52);
+  }
+  const auto& got = inc.route(nl, placement, knobs, 4);
+  expect_route_equal(got, oracle(nl, placement, knobs, 4));
+  EXPECT_EQ(inc.stats().incremental_calls, 1u);
+}
+
+TEST(IncrementalRouter, KnobOrSeedChangeFallsBackToFullRun) {
+  const auto nl = make_design(700, 0.5, 99);
+  const auto placement = make_placement(nl, 99);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 1);
+  RouterKnobs other;
+  other.congestion_effort = 0.7;
+  const auto& got = inc.route(nl, placement, other, 1);
+  expect_route_equal(got, oracle(nl, placement, other, 1));
+  EXPECT_EQ(inc.stats().full_runs, 2u);
+  // Seed is part of the fingerprint even though the walk ignores it.
+  inc.route(nl, placement, other, 2);
+  EXPECT_EQ(inc.stats().full_runs, 3u);
+  EXPECT_EQ(inc.stats().incremental_calls, 0u);
+}
+
+TEST(IncrementalRouter, ReusesMostPinsOnLocalizedChange) {
+  const auto nl = make_design(2000, 0.4, 111);
+  auto placement = make_placement(nl, 111);
+  IncrementalRouter inc;
+  inc.route(nl, placement, RouterKnobs{}, 5);
+  const auto before = inc.stats();
+  move_cell(placement, 3, 0.05, 0.05);
+  inc.route(nl, placement, RouterKnobs{}, 5);
+  const auto& st = inc.stats();
+  ASSERT_EQ(st.incremental_calls, 1u);
+  if (st.capacity_refits == 0) {
+    // The whole point: a one-cell move must not re-walk the world.
+    EXPECT_GT(st.pins_reused - before.pins_reused,
+              st.pins_rerouted - before.pins_rerouted);
+  }
+  EXPECT_EQ(inc.last_rerouted_per_slot().size(),
+            static_cast<std::size_t>(RouterKnobs{}.rounds) + 1);
+}
+
+TEST(IncrementalRouter, RandomMutationSweepStaysBitwiseEqual) {
+  auto nl = make_design(1000, 0.6, 123);
+  auto placement = make_placement(nl, 123);
+  RouterKnobs knobs;
+  knobs.congestion_effort = 0.6;
+  knobs.rounds = 3;
+  IncrementalRouter inc;
+  util::Rng rng{2024};
+  int buffer_type = -1;
+  for (int t = 0; t < nl.library().size(); ++t) {
+    if (nl.library().cell(t).kind == netlist::CellKind::kBuffer) {
+      buffer_type = t;
+      break;
+    }
+  }
+  ASSERT_GE(buffer_type, 0);
+  for (int step = 0; step < 12; ++step) {
+    const double kind = rng.uniform();
+    if (kind < 0.5) {
+      const int cell = rng.uniform_int(0, nl.cell_count() - 1);
+      move_cell(placement, cell, rng.uniform(), rng.uniform());
+    } else if (kind < 0.8) {
+      for (int k = 0; k < 10; ++k) {
+        const int cell = rng.uniform_int(0, nl.cell_count() - 1);
+        move_cell(placement, cell, rng.uniform(), rng.uniform());
+      }
+    } else {
+      const int sink = rng.uniform_int(0, nl.cell_count() - 1);
+      if (!nl.cell(sink).fanin_nets.empty()) {
+        nl.insert_buffer_before(sink, 0, buffer_type);
+        placement.x.push_back(placement.x[static_cast<std::size_t>(sink)]);
+        placement.y.push_back(placement.y[static_cast<std::size_t>(sink)]);
+      }
+    }
+    const auto& got = inc.route(nl, placement, knobs, 6);
+    expect_route_equal(got, oracle(nl, placement, knobs, 6));
+  }
+  EXPECT_EQ(inc.stats().route_calls, 12u);
+  EXPECT_EQ(inc.stats().full_runs, 1u);
+}
+
+TEST(RouterMode, ForceAndNameRoundTrip) {
+  clear_forced_router_mode();
+  force_router_mode(RouterMode::kFull);
+  EXPECT_EQ(router_mode(), RouterMode::kFull);
+  force_router_mode(RouterMode::kIncremental);
+  EXPECT_EQ(router_mode(), RouterMode::kIncremental);
+  clear_forced_router_mode();
+  EXPECT_STREQ(router_mode_name(RouterMode::kFull), "full");
+  EXPECT_STREQ(router_mode_name(RouterMode::kIncremental), "incremental");
+  EXPECT_STREQ(router_mode_name(RouterMode::kAuto), "auto");
+}
+
+}  // namespace
+}  // namespace vpr::route
