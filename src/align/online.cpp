@@ -185,6 +185,15 @@ OnlineResult OnlineTuner::run() {
     for (std::size_t i = 0; i < top_n; ++i) top_sum += sorted[i]->score;
     record.top5_mean_score_so_far = top_sum / static_cast<double>(top_n);
 
+    if (config_.on_iteration) {
+      OnlineSnapshot snapshot;
+      snapshot.iteration = iter + 1;
+      snapshot.best_score_so_far = record.best_score_so_far;
+      snapshot.mean_loss = record.mean_loss;
+      snapshot.state = model_.state();
+      config_.on_iteration(snapshot);
+    }
+
     result.iterations.push_back(std::move(record));
   }
   return result;

@@ -7,6 +7,7 @@
 // newly evaluated samples.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "align/dataset.h"
@@ -14,6 +15,17 @@
 #include "flow/flow.h"
 
 namespace vpr::align {
+
+/// Refined weights after one closed-loop iteration, handed to
+/// OnlineConfig::on_iteration. `state` is the model's full state() vector
+/// — what a serve::ModelRegistry publish() expects — so tuning runs are
+/// resumable and auditable round by round.
+struct OnlineSnapshot {
+  int iteration = 0;  // 1-based
+  double best_score_so_far = 0.0;
+  double mean_loss = 0.0;
+  std::vector<double> state;
+};
 
 struct OnlineConfig {
   int iterations = 8;
@@ -28,6 +40,11 @@ struct OnlineConfig {
   double grad_clip = 5.0;
   std::uint64_t seed = 0x0417eULL;
   bool blind_insights = false;
+  /// Called after each iteration's update with the refined weights. The
+  /// align layer stays below serve, so registry publication is wired here
+  /// as a sink by the caller (the CLI's tune --registry-dir does exactly
+  /// that). Exceptions propagate and abort the tuning loop.
+  std::function<void(const OnlineSnapshot&)> on_iteration;
 };
 
 /// One closed-loop iteration's outcome.

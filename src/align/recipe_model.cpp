@@ -213,6 +213,18 @@ void DecodeSession::rebind(std::span<const double> insight) {
   std::fill(len_.begin(), len_.end(), 0);
 }
 
+void DecodeSession::rebind(const RecipeModel& model,
+                           std::span<const double> insight) {
+  const ModelConfig& config = model.config();
+  if (config.num_recipes != n_ || config.d_model != d_ ||
+      static_cast<int>(model.decoder_stack_.size()) != layers_) {
+    throw std::invalid_argument(
+        "DecodeSession: cannot rebind across architectures");
+  }
+  model_ = &model;
+  rebind(insight);
+}
+
 double* DecodeSession::self_kt(int layer, int lane) {
   const std::size_t lane_cache = static_cast<std::size_t>(n_) * d_;
   return self_k_.data() +

@@ -85,6 +85,16 @@ class DecodeSession {
   /// from a freshly constructed one over the same insight.
   void rebind(std::span<const double> insight);
 
+  /// Re-target the session at a *different model* over the same
+  /// architecture (num_recipes / d_model / decoder depth must match) and
+  /// a new insight. The serving hot-swap path uses this so pooled KV
+  /// buffers survive a model-version swap without reallocation; after the
+  /// call the session is bitwise indistinguishable from one freshly
+  /// constructed on `model`. Throws std::invalid_argument when the
+  /// architectures differ. Never reads the previously bound model, so it
+  /// is safe even after that model has been retired and destroyed.
+  void rebind(const RecipeModel& model, std::span<const double> insight);
+
   /// Advance a batch of independent lanes — possibly spread across several
   /// sessions (all over the same model) — by one position each, stacking
   /// the lane rows into single blocked-matmul forwards (see

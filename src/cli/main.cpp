@@ -36,6 +36,7 @@
 #include "obs/trace.h"
 #include "serve/bench.h"
 #include "serve/client.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "util/args.h"
 #include "util/json.h"
@@ -58,11 +59,19 @@ using namespace vpr;
       "        --model FILE --dataset FILE\n"
       "  recommend --model FILE --dataset FILE --design K [--k K] [--cells N]\n"
       "  tune --model FILE --dataset FILE --design K [--iterations N] [--cells N]\n"
+      "       [--registry-dir DIR]           publish each round's refined\n"
+      "                                      weights as a registry version\n"
       "  serve --listen PORT [--host ADDR] [--replicas N] [--max-inflight N]\n"
       "        [--queue-cap N] [--width K]   TCP recommend server (SIGTERM\n"
       "                                      drains in-flight work, then exits)\n"
+      "        [--registry-dir DIR]          serve from a model registry and\n"
+      "                                      hot-swap versions published there\n"
+      "  publish --registry-dir DIR --model FILE [--meta TEXT]\n"
+      "                                      publish aligned weights as the\n"
+      "                                      next registry version\n"
       "  serve-bench [--requests N] [--concurrency N] [--width K]\n"
-      "              [--sweeps N] [--replicas N] [--json FILE]\n"
+      "              [--sweeps N] [--replicas N] [--publish-every N]\n"
+      "              [--json FILE]\n"
       "  serve-bench --connect [HOST:]PORT [--connections N] [--window N]\n"
       "              [--requests N] [--width K] [--deadline MS]\n"
       "              [--priority interactive|normal|batch] [--no-verify]\n"
@@ -286,12 +295,18 @@ int cmd_serve_bench(const util::Args& args) {
   opts.beam_width = args.get_int("width", opts.beam_width);
   opts.sweeps = args.get_int("sweeps", opts.sweeps);
   opts.replicas = args.get_int("replicas", opts.replicas);
+  opts.publish_every = args.get_int("publish-every", opts.publish_every);
   opts.json_path = args.get_or("json", opts.json_path);
   if (opts.requests < 1 || opts.concurrency < 1 || opts.beam_width < 1 ||
       opts.sweeps < 1 || opts.replicas < 1) {
     throw cli::UsageError(
         "serve-bench: --requests/--concurrency/--width/--sweeps/--replicas "
         "must be >= 1");
+  }
+  if (opts.publish_every < 0) {
+    throw cli::UsageError(
+        "serve-bench: --publish-every must be >= 0 (0 disables the hotswap "
+        "sweep)");
   }
   return serve::run_serve_bench(opts);
 }
@@ -331,30 +346,90 @@ int cmd_serve(const util::Args& args) {
   // remote clients can bitwise-verify responses out of the box.
   util::Rng rng{7};
   const align::RecipeModel model{align::ModelConfig{}, rng};
-  serve::Server server{model, config};
+
+  // --registry-dir serves from a versioned registry instead: highest
+  // persisted snapshot at startup (the seeded model is published as v1
+  // into an empty registry), then hot-swap on every version that lands in
+  // the directory — `insightalign publish` from another process.
+  std::shared_ptr<serve::ModelRegistry> registry;
+  if (const auto dir = args.get("registry-dir")) {
+    serve::RegistryConfig rc;
+    rc.dir = *dir;
+    registry =
+        std::make_shared<serve::ModelRegistry>(align::ModelConfig{}, rc);
+    if (registry->current_version() == 0) {
+      registry->publish(model.state(), "seed model (serve startup)");
+    }
+  }
+  std::unique_ptr<serve::Server> server =
+      registry != nullptr
+          ? std::make_unique<serve::Server>(registry, config)
+          : std::make_unique<serve::Server>(model, config);
 
   std::signal(SIGINT, on_serve_signal);
   std::signal(SIGTERM, on_serve_signal);
   std::cout << "insightalign serve: listening on " << config.host << ':'
-            << server.port() << " (" << config.router.replicas
+            << server->port() << " (" << config.router.replicas
             << " replicas, max-inflight "
             << config.router.replica.max_inflight << "/replica, queue-cap "
-            << queue_cap << "/replica)" << std::endl;
+            << queue_cap << "/replica"
+            << (registry != nullptr
+                    ? ", registry v" +
+                          std::to_string(registry->current_version())
+                    : std::string{})
+            << ")" << std::endl;
 
+  int ticks = 0;
   while (g_serve_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Poll the registry directory about once a second; replicas adopt new
+    // versions at their next batch boundary.
+    if (registry != nullptr && ++ticks % 20 == 0) registry->scan_dir();
   }
   std::cerr << "insightalign serve: signal received, draining...\n";
-  server.stop();
+  server->stop();
 
-  const auto stats = server.stats();
+  const auto stats = server->stats();
   util::Json summary = util::Json::object();
   summary["connections"] = static_cast<double>(stats.connections);
   summary["requests"] = static_cast<double>(stats.requests);
   summary["protocol_errors"] = static_cast<double>(stats.protocol_errors);
   summary["bad_requests"] = static_cast<double>(stats.bad_requests);
-  summary["router"] = server.router().counters().to_json();
+  summary["router"] = server->router().counters().to_json();
+  if (registry != nullptr) {
+    summary["model_version"] =
+        static_cast<double>(registry->current_version());
+    summary["registry"] = registry->to_json();
+  }
   std::cout << summary.dump() << std::endl;
+  return 0;
+}
+
+int cmd_publish(const util::Args& args) {
+  const auto dir = args.get("registry-dir");
+  const auto model_path = args.get("model");
+  if (!dir || !model_path) {
+    throw cli::UsageError("publish: --registry-dir and --model required");
+  }
+  cli::require_readable(*model_path, "model");
+  std::ifstream is{*model_path, std::ios::binary};
+  util::Rng rng{7};
+  align::RecipeModel model{align::ModelConfig{}, rng};
+  model.load(is);  // throws on count mismatch / truncation
+
+  serve::RegistryConfig rc;
+  rc.dir = *dir;
+  serve::ModelRegistry registry{align::ModelConfig{}, rc};
+  const std::uint64_t version =
+      registry.publish(model.state(), "published from " + *model_path +
+                                          (args.has("meta")
+                                               ? ": " + args.get_or("meta", "")
+                                               : std::string{}));
+  const auto published = registry.version(version);
+  std::cout << "published " << *model_path << " as v" << version
+            << " (checksum "
+            << (published != nullptr ? published->checksum() : 0)
+            << ") into " << *dir << std::endl;
   return 0;
 }
 
@@ -379,6 +454,26 @@ int cmd_tune(const util::Args& args) {
   const auto design = make_design(design_index, args.get_int("cells", 2000));
   align::OnlineConfig oc;
   oc.iterations = args.get_int("iterations", 6);
+  // --registry-dir persists each round's refined weights as a registry
+  // version: the tuning run becomes resumable/auditable, and a running
+  // `insightalign serve --registry-dir` on the same directory hot-swaps
+  // to every round.
+  std::shared_ptr<serve::ModelRegistry> registry;
+  if (const auto dir = args.get("registry-dir")) {
+    serve::RegistryConfig rc;
+    rc.dir = *dir;
+    registry = std::make_shared<serve::ModelRegistry>(
+        pipeline.model().config(), rc);
+    oc.on_iteration = [&registry,
+                       design_index](const align::OnlineSnapshot& snapshot) {
+      registry->publish(snapshot.state,
+                        "tune design " + std::to_string(design_index) +
+                            " iteration " +
+                            std::to_string(snapshot.iteration) +
+                            " best_score " +
+                            util::fmt(snapshot.best_score_so_far, 4));
+    };
+  }
   const auto result = pipeline.tune(design, oc);
   util::TablePrinter table(
       {"Iter", "Best Power (mW)", "Best TNS (ns)", "Best QoR"});
@@ -391,6 +486,11 @@ int cmd_tune(const util::Args& args) {
   }
   std::ostringstream out;
   table.print(out);
+  if (registry != nullptr) {
+    out << "Published " << registry->published_total()
+        << " versions (current v" << registry->current_version()
+        << ") into " << args.get_or("registry-dir", "") << '\n';
+  }
   if (const auto model_path = args.get("model-out")) {
     std::ofstream os{*model_path, std::ios::binary};
     pipeline.save_model(os);
@@ -420,6 +520,8 @@ int run_command(cli::Command command, const util::Args& args) {
       return cmd_serve(args);
     case cli::Command::kServeBench:
       return cmd_serve_bench(args);
+    case cli::Command::kPublish:
+      return cmd_publish(args);
     case cli::Command::kMetrics:
       return cmd_metrics(args);
   }

@@ -31,6 +31,7 @@ Command parse_command(const std::string& name) {
   if (name == "tune") return Command::kTune;
   if (name == "serve") return Command::kServe;
   if (name == "serve-bench") return Command::kServeBench;
+  if (name == "publish") return Command::kPublish;
   if (name == "metrics") return Command::kMetrics;
   throw UsageError("unknown command '" + name + "'");
 }

@@ -30,6 +30,7 @@ enum class Command {
   kTune,
   kServe,
   kServeBench,
+  kPublish,
   kMetrics,
 };
 

@@ -121,10 +121,27 @@ Tensor Tensor::from(std::vector<double> data, int rows, int cols,
   return t;
 }
 
+namespace {
+thread_local bool g_defer_parameter_init = false;
+}  // namespace
+
+DeferParameterInit::DeferParameterInit() noexcept
+    : prev_(g_defer_parameter_init) {
+  g_defer_parameter_init = true;
+}
+
+DeferParameterInit::~DeferParameterInit() {
+  g_defer_parameter_init = prev_;
+}
+
+bool DeferParameterInit::active() noexcept { return g_defer_parameter_init; }
+
 Tensor Tensor::randn(int rows, int cols, util::Rng& rng, double scale,
                      bool requires_grad) {
   Tensor t = zeros(rows, cols, requires_grad);
-  for (auto& v : t.impl()->value) v = rng.normal(0.0, scale);
+  if (!DeferParameterInit::active()) {
+    for (auto& v : t.impl()->value) v = rng.normal(0.0, scale);
+  }
   return t;
 }
 

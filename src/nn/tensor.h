@@ -27,6 +27,25 @@ namespace detail {
 struct TensorImpl;
 }
 
+/// RAII: while an instance is alive on this thread, Tensor::randn returns
+/// zeros instead of drawing from the rng (and does not advance it). For
+/// constructing module shells whose parameters are immediately overwritten
+/// by load_state() — e.g. installing a published snapshot into a model
+/// registry — where the Gaussian init is pure wasted work on the
+/// publish path. Nests correctly; never hold one across code that relies
+/// on the rng stream position.
+class DeferParameterInit {
+ public:
+  DeferParameterInit() noexcept;
+  ~DeferParameterInit();
+  DeferParameterInit(const DeferParameterInit&) = delete;
+  DeferParameterInit& operator=(const DeferParameterInit&) = delete;
+  [[nodiscard]] static bool active() noexcept;
+
+ private:
+  bool prev_;
+};
+
 class Tensor {
  public:
   /// Empty (0x0) tensor; valid only as a placeholder.

@@ -21,7 +21,10 @@ align::DecodeSession* SessionArena::acquire(std::span<const double> insight) {
   if (!free_.empty()) {
     align::DecodeSession* session = free_.back();
     free_.pop_back();
-    session->rebind(insight);
+    // The model-taking rebind covers hot swap: a free session may still
+    // reference a retired (even destroyed) model version, which rebind
+    // never dereferences.
+    session->rebind(*model_, insight);
     ++reuses_;
     ++in_use_;
     return session;

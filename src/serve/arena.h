@@ -31,6 +31,20 @@ class SessionArena {
   [[nodiscard]] align::DecodeSession* acquire(std::span<const double> insight);
   void release(align::DecodeSession* session);
 
+  /// Re-target the arena at a new model version (the serving hot-swap
+  /// path): sessions acquired from now on decode with `model`; free
+  /// sessions are re-bound lazily on acquire, and sessions currently
+  /// checked out keep the weights they were acquired with until released.
+  /// The architecture must match the construction-time one
+  /// (DecodeSession::rebind enforces it). Like everything here, batcher-
+  /// thread only.
+  void set_model(const align::RecipeModel& model) noexcept {
+    model_ = &model;
+  }
+  [[nodiscard]] const align::RecipeModel& model() const noexcept {
+    return *model_;
+  }
+
   [[nodiscard]] int capacity() const noexcept { return capacity_; }
   [[nodiscard]] int lanes_per_session() const noexcept { return lanes_; }
   [[nodiscard]] int in_use() const noexcept { return in_use_; }

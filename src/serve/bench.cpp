@@ -2,16 +2,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "align/beam.h"
 #include "align/recipe_model.h"
+#include "serve/registry.h"
 #include "serve/router.h"
 #include "serve/service.h"
 #include "util/json.h"
@@ -231,6 +239,165 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     router.stop();
   }
 
+  // --- hotswap: registry-backed service under publish churn --------------
+  // The same traffic runs twice through a registry-backed service: once on
+  // one published version (steady) and once with a fresh version published
+  // every publish_every completions (churn). Every response is verified
+  // bitwise against a beam_search oracle on the exact version that served
+  // it — the version-pinning guarantee on real traffic — and churn QPS is
+  // compared against steady QPS (the acceptance bar is within 10%).
+  double hotswap_steady_ms = 0.0;
+  double hotswap_churn_ms = 0.0;
+  std::uint64_t hotswap_publishes = 0;
+  std::uint64_t hotswap_swaps = 0;
+  std::size_t hotswap_versions_served = 0;
+  double hotswap_mean_swap_ms = 0.0;
+  double hotswap_max_swap_ms = 0.0;
+  bool hotswap_bitwise = true;
+  util::Json hotswap_registry_json = util::Json::object();
+  if (opts.publish_every > 0) {
+    // Deterministic per-version weights: version v is the seeded model for
+    // seed h(v), so the oracle can be rebuilt from the version id alone.
+    const auto version_state = [](std::uint64_t v) {
+      util::Rng vrng{util::hash_combine(0xa11c3a7ULL, v)};
+      const align::RecipeModel vm{align::ModelConfig{}, vrng};
+      return vm.state();
+    };
+    // Bench-side pins keep every published version alive for the lazy
+    // oracle (real replicas pin through in-flight requests instead).
+    std::map<std::uint64_t, std::shared_ptr<const ModelVersion>> pinned;
+    std::map<std::pair<std::uint64_t, int>,
+             std::vector<align::BeamCandidate>>
+        oracle;
+    const auto expect =
+        [&](std::uint64_t v,
+            int k) -> const std::vector<align::BeamCandidate>& {
+      const auto key = std::make_pair(v, k);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        it = oracle
+                 .emplace(key, align::beam_search(pinned.at(v)->model(),
+                                                  insights[static_cast<
+                                                      std::size_t>(k)],
+                                                  opts.beam_width))
+                 .first;
+      }
+      return it->second;
+    };
+
+    // The steady-vs-churn ratio compares two ~10 ms runs, so a single
+    // scheduler hiccup moves it by several points; min-of-N on both sides
+    // cancels that noise while the real churn cost (publishes and swaps
+    // landing mid-run) stays in every churn sweep.
+    const int hotswap_sweeps = std::max(opts.sweeps, 5);
+    for (int sweep = 0; sweep < hotswap_sweeps; ++sweep) {
+      for (const bool churn : {false, true}) {
+        auto registry = std::make_shared<ModelRegistry>(align::ModelConfig{});
+        const auto publish_next = [&](const std::vector<double>& state) {
+          const std::uint64_t v = registry->publish(state, "bench");
+          pinned.emplace(v, registry->version(v));
+        };
+        // Generating a version's weight vector is bench harness work, not
+        // publish cost: build every state before the clock starts (on one
+        // core a mid-run RecipeModel construction would be charged to the
+        // churn number).
+        const int publish_targets =
+            churn ? opts.requests / opts.publish_every : 0;
+        std::vector<std::vector<double>> states;
+        states.reserve(static_cast<std::size_t>(publish_targets) + 1);
+        for (int v = 1; v <= publish_targets + 1; ++v) {
+          states.push_back(version_state(static_cast<std::uint64_t>(v)));
+        }
+        publish_next(states.front());  // v1: the steady-state weights
+        ServiceConfig config;
+        config.max_inflight = opts.concurrency;
+        config.max_beam_width = opts.beam_width;
+        config.queue_capacity =
+            static_cast<std::size_t>(std::max(opts.requests, 1));
+        RecommendService service{registry, config};
+        std::vector<std::future<Response>> futures;
+        futures.reserve(static_cast<std::size_t>(opts.requests));
+        std::set<std::uint64_t> served;
+        // Churn publishes ride a separate thread, gated on the drain
+        // counter — the shape of a real deployment, where a tuner process
+        // publishes alongside the server. The publisher sleeps on a
+        // condition variable between targets (a polling wait would steal
+        // batcher timeslices on a single-core machine and be charged to
+        // churn_ms as scheduler noise, not swap cost).
+        std::mutex drain_mutex;
+        std::condition_variable drain_cv;
+        int drained = 0;
+        std::thread publisher;
+        if (churn) {
+          publisher = std::thread([&] {
+            for (int k = 1; k <= publish_targets; ++k) {
+              {
+                std::unique_lock lock(drain_mutex);
+                drain_cv.wait(lock, [&] {
+                  return drained >= k * opts.publish_every;
+                });
+              }
+              publish_next(states[static_cast<std::size_t>(k)]);
+            }
+          });
+        }
+        const auto t0 = Clock::now();
+        for (int i = 0; i < opts.requests; ++i) {
+          futures.push_back(
+              service.submit(insights[i % kSuiteDesigns], opts.beam_width));
+        }
+        std::vector<Response> responses;
+        responses.reserve(static_cast<std::size_t>(opts.requests));
+        for (int i = 0; i < opts.requests; ++i) {
+          responses.push_back(futures[static_cast<std::size_t>(i)].get());
+          // Later requests pin newer versions while earlier ones are
+          // still decoding.
+          int drained_now = 0;
+          {
+            std::lock_guard lock(drain_mutex);
+            drained_now = ++drained;
+          }
+          // Only wake the publisher at an actual publish boundary — a
+          // notify per completion would context-switch it awake 34 times
+          // on one core just to re-check the predicate and sleep again.
+          if (churn && drained_now % opts.publish_every == 0) {
+            drain_cv.notify_one();
+          }
+        }
+        const double sweep_ms = ms_since(t0);
+        if (publisher.joinable()) publisher.join();
+        // Verify outside the timed region (the lazy oracle decodes are
+        // bench bookkeeping, not serving work).
+        for (int i = 0; i < opts.requests; ++i) {
+          const Response& response = responses[static_cast<std::size_t>(i)];
+          served.insert(response.model_version);
+          hotswap_bitwise =
+              hotswap_bitwise && response.status == Status::kOk &&
+              response.model_version != 0 &&
+              candidates_bitwise_equal(
+                  response.candidates,
+                  expect(response.model_version, i % kSuiteDesigns));
+        }
+        if (churn) {
+          if (sweep == 0 || sweep_ms < hotswap_churn_ms) {
+            hotswap_churn_ms = sweep_ms;
+          }
+          const ServiceCounters sc = service.counters();
+          hotswap_swaps = sc.swaps;
+          hotswap_mean_swap_ms = sc.mean_swap_ms;
+          hotswap_max_swap_ms = sc.max_swap_ms;
+          hotswap_publishes = registry->published_total();
+          hotswap_versions_served = served.size();
+          hotswap_registry_json = registry->to_json();
+        } else if (sweep == 0 || sweep_ms < hotswap_steady_ms) {
+          hotswap_steady_ms = sweep_ms;
+        }
+        service.stop();
+      }
+    }
+    bitwise_match = bitwise_match && hotswap_bitwise;
+  }
+
   util::Json root = util::Json::object();
   root["requests"] = opts.requests;
   root["concurrency"] = opts.concurrency;
@@ -264,6 +431,42 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   router_json["overload"] = std::move(overload);
   root["router"] = std::move(router_json);
 
+  if (opts.publish_every > 0) {
+    const double hotswap_steady_qps =
+        hotswap_steady_ms > 0.0 ? 1000.0 * opts.requests / hotswap_steady_ms
+                                : 0.0;
+    const double hotswap_churn_qps =
+        hotswap_churn_ms > 0.0 ? 1000.0 * opts.requests / hotswap_churn_ms
+                               : 0.0;
+    const double qps_ratio = hotswap_steady_qps > 0.0
+                                 ? hotswap_churn_qps / hotswap_steady_qps
+                                 : 0.0;
+    util::Json hotswap = util::Json::object();
+    hotswap["publish_every"] = opts.publish_every;
+    hotswap["steady_ms"] = hotswap_steady_ms;
+    hotswap["churn_ms"] = hotswap_churn_ms;
+    hotswap["steady_qps"] = hotswap_steady_qps;
+    hotswap["churn_qps"] = hotswap_churn_qps;
+    hotswap["qps_ratio"] = qps_ratio;
+    hotswap["publishes"] = static_cast<double>(hotswap_publishes);
+    hotswap["swaps"] = static_cast<double>(hotswap_swaps);
+    hotswap["versions_served"] =
+        static_cast<double>(hotswap_versions_served);
+    hotswap["mean_swap_ms"] = hotswap_mean_swap_ms;
+    hotswap["max_swap_ms"] = hotswap_max_swap_ms;
+    hotswap["bitwise_match"] = hotswap_bitwise;
+    hotswap["registry"] = std::move(hotswap_registry_json);
+    root["hotswap"] = std::move(hotswap);
+    if (qps_ratio < 0.9) {
+      VPR_LOG(Warn) << "BENCH_serve hotswap: churn QPS is " << qps_ratio
+                    << "x steady-state (acceptance bar: within 10%)";
+    }
+    if (!hotswap_bitwise) {
+      VPR_LOG(Error) << "BENCH_serve hotswap: responses are not bitwise "
+                        "identical to the per-version beam_search oracle";
+    }
+  }
+
   // Diagnostics go through the logger (whole lines, serialized) instead of
   // raw fprintf, so they cannot shear the stdout report or each other.
   const auto baseline = read_serve_baseline();
@@ -279,6 +482,10 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   warn_slower("serve_batched_qps", batched_qps);
   warn_slower("serve_serial_qps", serial_qps);
   warn_slower("serve_router_qps", router_qps);
+  if (opts.publish_every > 0 && hotswap_churn_ms > 0.0) {
+    warn_slower("serve_hotswap_churn_qps",
+                1000.0 * opts.requests / hotswap_churn_ms);
+  }
   // Echo the committed baseline into the JSON so a before/after is
   // machine-readable from the artifact alone (kernel-dispatch PRs compare
   // single-replica QPS against the pre-change number recorded here).

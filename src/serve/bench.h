@@ -32,6 +32,11 @@ struct ServeBenchOptions {
   /// Replicas for the sharded-router sweep (each gets its own batcher
   /// thread; aggregate throughput scales with physical cores).
   int replicas = 4;
+  /// Hotswap churn sweep: publish a fresh model version into the registry
+  /// every N completions while the service drains, and verify every
+  /// response bitwise against a beam_search oracle on the version that
+  /// served it. 0 disables the sweep.
+  int publish_every = 8;
   std::string json_path = "BENCH_serve.json";
 };
 

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -71,6 +72,9 @@ struct ConnStats {
   std::vector<double> ok_latency_ms;
   double rejected_ms_sum = 0.0;
   double retry_after_sum = 0.0;
+  std::uint64_t server_version = 0;
+  std::uint64_t server_swaps = 0;
+  std::set<std::uint64_t> versions_seen;
 };
 
 }  // namespace
@@ -92,6 +96,13 @@ util::Json ClientBenchResult::to_json() const {
   j["mean_rejected_ms"] = mean_rejected_ms;
   j["mean_retry_after_ms"] = mean_retry_after_ms;
   j["bitwise_match"] = bitwise_match;
+  j["server_version"] = static_cast<double>(server_version);
+  j["server_swaps"] = static_cast<double>(server_swaps);
+  util::Json versions = util::Json::array();
+  for (const std::uint64_t v : versions_seen) {
+    versions.push_back(static_cast<double>(v));
+  }
+  j["versions_seen"] = std::move(versions);
   return j;
 }
 
@@ -135,6 +146,29 @@ int run_client_bench(const ClientBenchOptions& opts,
       std::vector<std::pair<std::uint64_t, Clock::time_point>> inflight;
       std::vector<std::uint8_t> encoded;
       std::vector<std::uint8_t> payload;
+
+      // Probe the serving version before any request is in flight, so the
+      // very next frame on this connection must be the version info.
+      {
+        wire::VersionQueryFrame query;
+        query.client_tag = static_cast<std::uint64_t>(c);
+        encoded.clear();
+        wire::encode(query, encoded);
+        if (!wire::write_frame(fd, encoded) ||
+            !wire::read_frame(fd, payload)) {
+          s.transport_error = true;
+          ::close(fd);
+          return;
+        }
+        const auto info = wire::decode_version_info(payload);
+        if (!info.has_value()) {
+          s.transport_error = true;
+          ::close(fd);
+          return;
+        }
+        s.server_version = info->model_version;
+        s.server_swaps = info->swaps;
+      }
 
       const auto send_one = [&]() -> bool {
         const std::uint64_t tag =
@@ -185,6 +219,9 @@ int run_client_bench(const ClientBenchOptions& opts,
           case Status::kOk:
             ++s.ok;
             s.ok_latency_ms.push_back(rtt_ms);
+            if (response->model_version != 0) {
+              s.versions_seen.insert(response->model_version);
+            }
             if (opts.verify &&
                 !candidates_bitwise_equal(
                     response->candidates,
@@ -231,6 +268,7 @@ int run_client_bench(const ClientBenchOptions& opts,
 
   ClientBenchResult result;
   std::vector<double> latencies;
+  std::set<std::uint64_t> versions_seen;
   for (const ConnStats& s : stats) {
     result.sent += s.sent;
     result.ok += s.ok;
@@ -244,7 +282,11 @@ int run_client_bench(const ClientBenchOptions& opts,
                      s.ok_latency_ms.end());
     result.mean_rejected_ms += s.rejected_ms_sum;
     result.mean_retry_after_ms += s.retry_after_sum;
+    result.server_version = std::max(result.server_version, s.server_version);
+    result.server_swaps = std::max(result.server_swaps, s.server_swaps);
+    versions_seen.insert(s.versions_seen.begin(), s.versions_seen.end());
   }
+  result.versions_seen.assign(versions_seen.begin(), versions_seen.end());
   result.wall_ms = wall_ms;
   if (result.ok > 0 && wall_ms > 0.0) {
     result.qps = 1000.0 * static_cast<double>(result.ok) / wall_ms;

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/registry.h"
 
 namespace vpr::serve {
 
@@ -86,8 +87,18 @@ util::Json RouterCounters::to_json() const {
 }
 
 Router::Router(const align::RecipeModel& model, RouterConfig config)
-    : config_(config),
-      insight_dim_(static_cast<std::size_t>(model.config().insight_dim)) {
+    : Router(config, &model, nullptr) {}
+
+Router::Router(std::shared_ptr<ModelRegistry> registry, RouterConfig config)
+    : Router(config, nullptr, std::move(registry)) {}
+
+Router::Router(RouterConfig config, const align::RecipeModel* fixed,
+               std::shared_ptr<ModelRegistry> registry)
+    : registry_(std::move(registry)),
+      config_(config),
+      insight_dim_(static_cast<std::size_t>(
+          (fixed != nullptr ? fixed->config() : registry_->model_config())
+              .insight_dim)) {
   if (config_.replicas < 1) {
     throw std::invalid_argument("Router: replicas < 1");
   }
@@ -103,7 +114,9 @@ Router::Router(const align::RecipeModel& model, RouterConfig config)
   for (int i = 0; i < config_.replicas; ++i) {
     ReplicaState state;
     state.service =
-        std::make_unique<RecommendService>(model, config_.replica);
+        fixed != nullptr
+            ? std::make_unique<RecommendService>(*fixed, config_.replica)
+            : std::make_unique<RecommendService>(registry_, config_.replica);
     state.last_refresh = Clock::now();
     fleet_.push_back(std::move(state));
   }

@@ -83,6 +83,12 @@ class Router {
       RecommendService::kNoDeadline;
 
   Router(const align::RecipeModel& model, RouterConfig config);
+  /// Registry-backed fleet: every replica starts on registry->current()
+  /// and hot-swaps independently at its own batch boundaries (replicas
+  /// may briefly serve different versions mid-rollout; each response
+  /// reports the version that decoded it). Throws std::invalid_argument
+  /// when the registry has no published version.
+  Router(std::shared_ptr<ModelRegistry> registry, RouterConfig config);
   ~Router();
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -126,6 +132,12 @@ class Router {
   /// Estimated milliseconds to drain the current backlog at the measured
   /// completion rate — the Retry-After hint attached to shed responses.
   [[nodiscard]] double estimated_drain_ms() const;
+  /// The registry behind a registry-backed fleet (nullptr for the
+  /// fixed-model constructor).
+  [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry()
+      const noexcept {
+    return registry_;
+  }
 
  private:
   struct ReplicaState {
@@ -136,12 +148,18 @@ class Router {
     Clock::time_point last_refresh{};
   };
 
+  /// Both public constructors delegate here; exactly one of `fixed` /
+  /// `registry` is set.
+  Router(RouterConfig config, const align::RecipeModel* fixed,
+         std::shared_ptr<ModelRegistry> registry);
+
   [[nodiscard]] double shed_threshold(Priority priority) const noexcept;
   void shed(std::vector<double>&& insight, Priority priority,
             std::promise<Response>& promise, double retry_after_ms);
   /// Replica indices sorted by ascending load score.
   [[nodiscard]] std::vector<int> placement_order() const;
 
+  std::shared_ptr<ModelRegistry> registry_;  // null = fixed model
   RouterConfig config_;
   std::size_t insight_dim_ = 0;
   std::vector<ReplicaState> fleet_;

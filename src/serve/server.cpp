@@ -14,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/registry.h"
 #include "serve/wire.h"
 #include "util/log.h"
 
@@ -46,6 +47,16 @@ struct NetMetrics {
 
 Server::Server(const align::RecipeModel& model, ServerConfig config)
     : config_(std::move(config)), router_(model, config_.router) {
+  start_listening();
+}
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config)
+    : config_(std::move(config)),
+      router_(std::move(registry), config_.router) {
+  start_listening();
+}
+
+void Server::start_listening() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("Server: socket() failed");
@@ -125,6 +136,24 @@ void Server::reader_loop(Connection& conn) {
   obs::TraceRecorder::instance().set_thread_name("conn-reader");
   std::vector<std::uint8_t> payload;
   while (wire::read_frame(conn.fd, payload)) {
+    if (!payload.empty() && payload.front() == wire::kVersionQueryFrame) {
+      auto query = wire::decode_version_query(payload);
+      if (!query.has_value()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::get().protocol_errors.inc();
+        break;
+      }
+      // Answered without touching the decode queue, but routed through
+      // the pending queue so the response keeps pipeline order.
+      Pending probe;
+      probe.client_tag = query->client_tag;
+      probe.version_query = true;
+      while (conn.pending->push(std::move(probe)) ==
+             util::PushResult::kFull) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
     auto request = wire::decode_request(payload);
     if (!request.has_value()) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -171,12 +200,35 @@ void Server::writer_loop(Connection& conn) {
   Pending pending;
   bool write_ok = true;
   while (conn.pending->pop(pending)) {
+    if (pending.version_query) {
+      if (!write_ok) continue;
+      wire::VersionInfoFrame info;
+      info.client_tag = pending.client_tag;
+      const auto& registry = router_.registry();
+      if (registry != nullptr) {
+        info.model_version = registry->current_version();
+        if (auto current = registry->current()) {
+          info.checksum = current->checksum();
+        }
+        for (int i = 0; i < router_.replicas(); ++i) {
+          info.swaps += router_.replica(i).swaps();
+        }
+      }
+      encoded.clear();
+      wire::encode(info, encoded);
+      if (!wire::write_frame(conn.fd, encoded)) {
+        write_ok = false;
+        ::shutdown(conn.fd, SHUT_RDWR);
+      }
+      continue;
+    }
     Response response = pending.future.get();
     if (!write_ok) continue;  // peer gone; keep draining futures
     wire::ResponseFrame frame;
     frame.status = response.status;
     frame.client_tag = pending.client_tag;
     frame.trace_id = response.trace_id;
+    frame.model_version = response.model_version;
     frame.queue_ms = response.queue_ms;
     frame.total_ms = response.total_ms;
     frame.retry_after_ms = response.retry_after_ms;

@@ -59,6 +59,10 @@ class Server {
   /// Binds and starts accepting immediately; throws std::runtime_error
   /// when the socket cannot be bound.
   Server(const align::RecipeModel& model, ServerConfig config);
+  /// Registry-backed server: the fleet hot-swaps to published versions
+  /// and connections can probe the serving version with a
+  /// wire::VersionQueryFrame (answered immediately, in pipeline order).
+  Server(std::shared_ptr<ModelRegistry> registry, ServerConfig config);
   ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -76,6 +80,10 @@ class Server {
   struct Pending {
     std::uint64_t client_tag = 0;
     std::future<Response> future;
+    /// Version probe: answered from `version_info` (no future involved),
+    /// but still routed through the pending queue so responses keep
+    /// pipeline order.
+    bool version_query = false;
   };
   struct Connection {
     int fd = -1;
@@ -91,6 +99,8 @@ class Server {
   void writer_loop(Connection& conn);
   /// Join and erase connections whose threads have both exited.
   void reap_finished();
+  /// Bind + listen + start the acceptor (shared ctor tail).
+  void start_listening();
 
   ServerConfig config_;
   Router router_;

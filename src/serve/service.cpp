@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/registry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -32,6 +33,8 @@ struct ServeMetrics {
   obs::Counter& ticks;
   obs::Counter& batched_lanes;
   obs::HistogramMetric& latency_ms;
+  obs::Counter& swaps;
+  obs::HistogramMetric& swap_ms;
 
   static ServeMetrics& get() {
     static auto& r = obs::MetricsRegistry::instance();
@@ -47,10 +50,24 @@ struct ServeMetrics {
         r.counter("serve.batched_lanes", "sum of batch sizes over ticks"),
         r.histogram("serve.latency_ms", 0.0, 500.0, 50,
                     "submit -> completion wall milliseconds (kOk only)"),
+        r.counter("serve.swaps", "model-version hot swaps adopted"),
+        r.histogram("serve.swap_ms", 0.0, 250.0, 50,
+                    "publish -> batcher adoption wall milliseconds"),
     };
     return m;
   }
 };
+
+/// Registry-backed construction requires a published version: a service
+/// cannot admit traffic before any weights exist.
+const align::RecipeModel* checked_model(
+    const std::shared_ptr<const ModelVersion>& active) {
+  if (active == nullptr) {
+    throw std::invalid_argument(
+        "RecommendService: registry has no published version");
+  }
+  return &active->model();
+}
 
 }  // namespace
 
@@ -88,14 +105,30 @@ util::Json ServiceCounters::to_json() const {
   j["qps"] = qps;
   j["sessions_created"] = static_cast<double>(sessions_created);
   j["session_reuses"] = static_cast<double>(session_reuses);
+  j["model_version"] = static_cast<double>(model_version);
+  j["swaps"] = static_cast<double>(swaps);
+  j["mean_swap_ms"] = mean_swap_ms;
+  j["max_swap_ms"] = max_swap_ms;
   return j;
 }
 
 RecommendService::RecommendService(const align::RecipeModel& model,
                                    ServiceConfig config)
-    : model_(&model),
+    : RecommendService(config, &model, nullptr) {}
+
+RecommendService::RecommendService(std::shared_ptr<ModelRegistry> registry,
+                                   ServiceConfig config)
+    : RecommendService(config, nullptr, std::move(registry)) {}
+
+RecommendService::RecommendService(ServiceConfig config,
+                                   const align::RecipeModel* fixed,
+                                   std::shared_ptr<ModelRegistry> registry)
+    : registry_(std::move(registry)),
+      active_(registry_ != nullptr ? registry_->current() : nullptr),
+      model_(fixed != nullptr ? fixed : checked_model(active_)),
       config_(config),
-      arena_(model,
+      insight_dim_(model_->config().insight_dim),
+      arena_(*model_,
              config.arena_capacity > 0 ? config.arena_capacity
                                        : std::max(1, config.max_inflight),
              2 * std::max(1, config.max_beam_width)),
@@ -112,6 +145,9 @@ RecommendService::RecommendService(const align::RecipeModel& model,
   if (config_.arena_capacity < 0) {
     throw std::invalid_argument("RecommendService: arena_capacity < 0");
   }
+  if (active_ != nullptr) {
+    active_version_.store(active_->version(), std::memory_order_relaxed);
+  }
   latencies_ms_.reserve(kLatencyWindow);
   batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -121,7 +157,7 @@ RecommendService::~RecommendService() { stop(); }
 std::future<Response> RecommendService::submit(
     std::vector<double> insight, int beam_width,
     std::chrono::milliseconds deadline) {
-  const auto dim = static_cast<std::size_t>(model_->config().insight_dim);
+  const auto dim = static_cast<std::size_t>(insight_dim_);
   if (insight.size() != dim) {
     throw std::invalid_argument(
         "RecommendService::submit: insight dimension mismatch");
@@ -249,17 +285,26 @@ ServiceCounters RecommendService::counters() const {
                    std::chrono::duration<double>(last_complete_ - first_submit_)
                        .count();
   }
+  snapshot.model_version = active_version_.load(std::memory_order_relaxed);
+  snapshot.swaps = n_swaps_.load(std::memory_order_relaxed);
+  if (snapshot.swaps > 0) {
+    snapshot.mean_swap_ms =
+        swap_ms_sum_ / static_cast<double>(snapshot.swaps);
+    snapshot.max_swap_ms = swap_ms_max_;
+  }
   return snapshot;
 }
 
 void RecommendService::respond(Request& request, Status status,
                                std::vector<align::BeamCandidate> candidates,
-                               Clock::time_point admitted_at) {
+                               Clock::time_point admitted_at,
+                               std::uint64_t model_version) {
   const auto now = Clock::now();
   Response response;
   response.status = status;
   response.candidates = std::move(candidates);
   response.trace_id = request.trace_id;
+  response.model_version = model_version;
   response.total_ms = ms_between(request.submitted_at, now);
   response.queue_ms = admitted_at == Clock::time_point{}
                           ? response.total_ms
@@ -307,6 +352,9 @@ void RecommendService::admit(Request&& request,
   flight.decoder = std::make_unique<align::BeamDecoder>(
       *session, flight.request.beam_width);
   flight.admitted_at = now;
+  // Pin the version this request decodes on: even if the batcher swaps
+  // next tick and the registry GCs, the weights outlive this flight.
+  flight.pin = active_;
   inflight.push_back(std::move(flight));
   inflight_now_.store(static_cast<int>(inflight.size()),
                       std::memory_order_relaxed);
@@ -317,6 +365,12 @@ void RecommendService::admit(Request&& request,
 void RecommendService::finish(Inflight& flight, Status status) {
   std::vector<align::BeamCandidate> candidates;
   if (status == Status::kOk) candidates = flight.decoder->result();
+  const std::uint64_t served_version =
+      flight.pin != nullptr ? flight.pin->version() : 0;
+  if (status == Status::kOk && registry_ != nullptr && flight.pin != nullptr &&
+      !candidates.empty()) {
+    registry_->record_outcome(served_version, candidates.front().log_prob);
+  }
 
   // Update the counters before fulfilling the promise: a caller that
   // .get()s the final response and immediately snapshots counters() must
@@ -344,9 +398,36 @@ void RecommendService::finish(Inflight& flight, Status status) {
   }
   finished_.fetch_add(1, std::memory_order_relaxed);
 
-  respond(flight.request, status, std::move(candidates), flight.admitted_at);
+  respond(flight.request, status, std::move(candidates), flight.admitted_at,
+          served_version);
   arena_.release(flight.session);
   flight.session = nullptr;
+  // The pin drops with the Inflight; a retired version's last pin makes it
+  // GC-eligible on the registry's next publish/gc pass.
+}
+
+void RecommendService::maybe_swap() {
+  if (registry_ == nullptr) return;
+  if (registry_->current_version() ==
+      active_version_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::shared_ptr<const ModelVersion> next = registry_->current();
+  if (next == nullptr || (active_ != nullptr && next == active_)) return;
+  VPR_TRACE_SPAN("registry.swap", "serve",
+                 obs::TraceArgs{{"version", next->version()}});
+  const double adoption_ms = ms_between(next->published_at(), Clock::now());
+  active_ = std::move(next);
+  model_ = &active_->model();
+  arena_.set_model(*model_);
+  active_version_.store(active_->version(), std::memory_order_relaxed);
+  n_swaps_.fetch_add(1, std::memory_order_relaxed);
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.swaps.inc();
+  metrics.swap_ms.observe(adoption_ms);
+  std::lock_guard lock(counters_mutex_);
+  swap_ms_sum_ += adoption_ms;
+  swap_ms_max_ = std::max(swap_ms_max_, adoption_ms);
 }
 
 void RecommendService::forward_batch(std::span<const align::BatchStep> steps,
@@ -381,6 +462,7 @@ void RecommendService::batcher_loop() {
   std::vector<Inflight> inflight;
   std::vector<align::BatchStep> steps;
   std::vector<std::size_t> slice_begin;
+  std::vector<std::size_t> group_begin;
   std::vector<double> probs;
 
   const auto wait_if_paused = [this] {
@@ -390,6 +472,9 @@ void RecommendService::batcher_loop() {
 
   while (true) {
     wait_if_paused();
+    // Batch boundary: adopt a newly published version before admitting
+    // anything, so every request in this tick's admissions pins it.
+    maybe_swap();
 
     Request request;
     while (static_cast<int>(inflight.size()) < config_.max_inflight &&
@@ -401,6 +486,7 @@ void RecommendService::batcher_loop() {
       // Re-check the pause flag so pause() freezes admission too; the
       // request's deadline keeps running while held here.
       wait_if_paused();
+      maybe_swap();
       admit(std::move(request), inflight);
       continue;
     }
@@ -419,8 +505,19 @@ void RecommendService::batcher_loop() {
     // Gather every in-flight decoder's pending lane queries into one batch.
     steps.clear();
     slice_begin.clear();
+    group_begin.clear();
+    const ModelVersion* group_pin = nullptr;
     for (const Inflight& flight : inflight) {
       slice_begin.push_back(steps.size());
+      // A tick right after a swap can hold lanes pinned to different
+      // versions (the old cohort still draining, fresh admissions on the
+      // new weights). step_batch requires one model per call, so mark the
+      // boundaries; pins are monotone in admission order, so equal pins
+      // are always contiguous.
+      if (group_begin.empty() || flight.pin.get() != group_pin) {
+        group_begin.push_back(steps.size());
+        group_pin = flight.pin.get();
+      }
       for (const align::BeamDecoder::StepRef& ref :
            flight.decoder->pending()) {
         steps.push_back({flight.session, ref.lane, ref.prev_decision});
@@ -442,7 +539,19 @@ void RecommendService::batcher_loop() {
               {{"lanes", end - slice_begin[i]}});
         }
       }
-      forward_batch(steps, probs.data());
+      // One batched forward per same-version group (one group outside a
+      // swap window, so the common case is a single full-width call).
+      for (std::size_t g = 0; g < group_begin.size(); ++g) {
+        const std::size_t begin = group_begin[g];
+        const std::size_t end =
+            g + 1 < group_begin.size() ? group_begin[g + 1] : steps.size();
+        if (end > begin) {
+          forward_batch(
+              std::span<const align::BatchStep>(steps).subspan(begin,
+                                                               end - begin),
+              probs.data() + begin);
+        }
+      }
 
       // Scatter probability slices back and advance each beam.
       for (std::size_t i = 0; i < inflight.size(); ++i) {

@@ -21,6 +21,15 @@
 // the end of the tick. Expired requests complete with kTimedOut. A full
 // admission queue rejects immediately with kRejected (backpressure is
 // surfaced to the caller, never buffered unboundedly).
+//
+// Hot swap: a service constructed over a serve::ModelRegistry polls the
+// registry's current version at every batch boundary and swaps RCU-style
+// — the batcher adopts the new shared_ptr, the arena re-targets future
+// admissions, and every in-flight request keeps a pin on the version it
+// was admitted under, so it finishes bitwise on the weights it started
+// with even if several publishes land mid-decode. Retired versions are
+// destroyed once the registry GC window passes them *and* their last
+// pinned request drains. See docs/model_registry.md.
 
 #include <atomic>
 #include <chrono>
@@ -41,6 +50,9 @@
 #include "util/mpmc_queue.h"
 
 namespace vpr::serve {
+
+class ModelRegistry;
+class ModelVersion;
 
 enum class Status {
   kOk = 0,
@@ -85,6 +97,10 @@ struct Response {
   /// client should back off before retrying, from estimated drain time.
   /// 0 when not rejected (or when no estimate is available).
   double retry_after_ms = 0.0;
+  /// Registry version this request decoded on (the version pinned at
+  /// admission, not whatever was current at completion). 0 for services
+  /// on a fixed model or for requests refused before admission.
+  std::uint64_t model_version = 0;
 };
 
 /// Snapshot of one service instance's load counters. The monotone event
@@ -116,6 +132,13 @@ struct ServiceCounters {
   double qps = 0.0;
   long sessions_created = 0;
   long session_reuses = 0;
+  /// Hot-swap telemetry (0 on fixed-model services): version currently
+  /// serving new admissions, swaps adopted, and publish->adoption
+  /// latency over those swaps.
+  std::uint64_t model_version = 0;
+  std::uint64_t swaps = 0;
+  double mean_swap_ms = 0.0;
+  double max_swap_ms = 0.0;
 
   [[nodiscard]] util::Json to_json() const;
 };
@@ -127,6 +150,12 @@ class RecommendService {
   static constexpr std::chrono::milliseconds kNoDeadline{0};
 
   explicit RecommendService(const align::RecipeModel& model,
+                            ServiceConfig config = {});
+  /// Registry-backed service: starts on registry->current() and hot-swaps
+  /// to each newly published version at a batch boundary (in-flight
+  /// requests finish on their pinned version). Throws
+  /// std::invalid_argument when the registry has no published version.
+  explicit RecommendService(std::shared_ptr<ModelRegistry> registry,
                             ServiceConfig config = {});
   ~RecommendService();
   RecommendService(const RecommendService&) = delete;
@@ -173,6 +202,15 @@ class RecommendService {
     return finished_.load(std::memory_order_relaxed);
   }
 
+  /// Version serving new admissions (0 on a fixed-model service).
+  [[nodiscard]] std::uint64_t model_version() const noexcept {
+    return active_version_.load(std::memory_order_relaxed);
+  }
+  /// Swaps adopted by the batcher so far.
+  [[nodiscard]] std::uint64_t swaps() const noexcept {
+    return n_swaps_.load(std::memory_order_relaxed);
+  }
+
   /// Completions kept for the p50/p95/p99 snapshot in counters().
   static constexpr std::size_t kLatencyWindow = 2048;
 
@@ -190,18 +228,38 @@ class RecommendService {
     align::DecodeSession* session = nullptr;
     std::unique_ptr<align::BeamDecoder> decoder;
     Clock::time_point admitted_at{};
+    /// Version pinned at admission: keeps the weights alive until this
+    /// request drains, whatever the registry publishes meanwhile.
+    std::shared_ptr<const ModelVersion> pin;
   };
 
+  /// Both public constructors delegate here; exactly one of `fixed` /
+  /// `registry` is set.
+  RecommendService(ServiceConfig config, const align::RecipeModel* fixed,
+                   std::shared_ptr<ModelRegistry> registry);
+
   void batcher_loop();
+  /// Adopt the registry's current version if it moved (batcher thread,
+  /// batch boundaries only). No-op on fixed-model services.
+  void maybe_swap();
   void admit(Request&& request, std::vector<Inflight>& inflight);
   void forward_batch(std::span<const align::BatchStep> steps, double* probs);
   void finish(Inflight& flight, Status status);
   static void respond(Request& request, Status status,
                       std::vector<align::BeamCandidate> candidates,
-                      Clock::time_point admitted_at);
+                      Clock::time_point admitted_at,
+                      std::uint64_t model_version = 0);
 
+  std::shared_ptr<ModelRegistry> registry_;  // null = fixed model
+  /// Version serving new admissions. Owned by the batcher thread after
+  /// construction; declared before arena_ so the arena can bind to its
+  /// model in the initializer list.
+  std::shared_ptr<const ModelVersion> active_;
   const align::RecipeModel* model_;
   ServiceConfig config_;
+  /// Insight dimension, immutable copy for submit-side validation (the
+  /// live model pointer belongs to the batcher once swaps can happen).
+  int insight_dim_;
   SessionArena arena_;
   util::MpmcQueue<Request> queue_;
 
@@ -233,6 +291,11 @@ class RecommendService {
   bool any_submitted_ = false;
   std::atomic<int> inflight_now_{0};
   std::atomic<std::uint64_t> finished_{0};
+  std::atomic<std::uint64_t> active_version_{0};
+  std::atomic<std::uint64_t> n_swaps_{0};
+  /// Publish->adoption latency accumulators, guarded by counters_mutex_.
+  double swap_ms_sum_ = 0.0;
+  double swap_ms_max_ = 0.0;
 
   bool stopped_ = false;  // guarded by pause_mutex_
   std::thread batcher_;

@@ -59,13 +59,14 @@ void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out) {
 
 void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out) {
   const std::size_t payload =
-      1 + 1 + 8 + 8 + 3 * sizeof(double) + 4 +
+      1 + 1 + 8 + 8 + 8 + 3 * sizeof(double) + 4 +
       (8 + sizeof(double)) * frame.candidates.size();
   put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
   put<std::uint8_t>(out, kResponseFrame);
   put<std::uint8_t>(out, static_cast<std::uint8_t>(frame.status));
   put<std::uint64_t>(out, frame.client_tag);
   put<std::uint64_t>(out, frame.trace_id);
+  put<std::uint64_t>(out, frame.model_version);
   put<double>(out, frame.queue_ms);
   put<double>(out, frame.total_ms);
   put<double>(out, frame.retry_after_ms);
@@ -113,6 +114,7 @@ std::optional<ResponseFrame> decode_response(
   frame.status = static_cast<Status>(status);
   frame.client_tag = r.get<std::uint64_t>();
   frame.trace_id = r.get<std::uint64_t>();
+  frame.model_version = r.get<std::uint64_t>();
   frame.queue_ms = r.get<double>();
   frame.total_ms = r.get<double>();
   frame.retry_after_ms = r.get<double>();
@@ -128,6 +130,44 @@ std::optional<ResponseFrame> decode_response(
     c.log_prob = r.get<double>();
     frame.candidates.push_back(c);
   }
+  if (!r.done()) return std::nullopt;
+  return frame;
+}
+
+void encode(const VersionQueryFrame& frame, std::vector<std::uint8_t>& out) {
+  put<std::uint32_t>(out, 1 + 8);
+  put<std::uint8_t>(out, kVersionQueryFrame);
+  put<std::uint64_t>(out, frame.client_tag);
+}
+
+void encode(const VersionInfoFrame& frame, std::vector<std::uint8_t>& out) {
+  put<std::uint32_t>(out, 1 + 4 * 8);
+  put<std::uint8_t>(out, kVersionInfoFrame);
+  put<std::uint64_t>(out, frame.client_tag);
+  put<std::uint64_t>(out, frame.model_version);
+  put<std::uint64_t>(out, frame.checksum);
+  put<std::uint64_t>(out, frame.swaps);
+}
+
+std::optional<VersionQueryFrame> decode_version_query(
+    std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kVersionQueryFrame) return std::nullopt;
+  VersionQueryFrame frame;
+  frame.client_tag = r.get<std::uint64_t>();
+  if (!r.done()) return std::nullopt;
+  return frame;
+}
+
+std::optional<VersionInfoFrame> decode_version_info(
+    std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kVersionInfoFrame) return std::nullopt;
+  VersionInfoFrame frame;
+  frame.client_tag = r.get<std::uint64_t>();
+  frame.model_version = r.get<std::uint64_t>();
+  frame.checksum = r.get<std::uint64_t>();
+  frame.swaps = r.get<std::uint64_t>();
   if (!r.done()) return std::nullopt;
   return frame;
 }

@@ -15,9 +15,17 @@
 //                   (0 = none), u64 client_tag, u32 insight_dim,
 //                   f64[insight_dim] insight
 // Response payload: u8 status, u64 client_tag (echoed), u64 trace_id,
-//                   f64 queue_ms, f64 total_ms, f64 retry_after_ms,
-//                   u32 candidate count, then per candidate
-//                   u64 recipe-set bits + f64 log_prob
+//                   u64 model_version (registry version that decoded the
+//                   request; 0 on fixed-model servers), f64 queue_ms,
+//                   f64 total_ms, f64 retry_after_ms, u32 candidate
+//                   count, then per candidate u64 recipe-set bits +
+//                   f64 log_prob
+// Version query:    u64 client_tag — answered out of band by the server
+//                   (no decode work), so clients can watch hot swaps.
+// Version info:     u64 client_tag (echoed), u64 model_version,
+//                   u64 checksum (registry checksum of that version, 0
+//                   on fixed-model servers), u64 swaps (hot swaps the
+//                   answering replica has adopted)
 //
 // The client_tag is caller-chosen and echoed verbatim, so a connection can
 // pipeline many requests and match responses without ordering assumptions.
@@ -38,6 +46,8 @@ namespace vpr::serve::wire {
 
 inline constexpr std::uint8_t kRequestFrame = 1;
 inline constexpr std::uint8_t kResponseFrame = 2;
+inline constexpr std::uint8_t kVersionQueryFrame = 3;
+inline constexpr std::uint8_t kVersionInfoFrame = 4;
 /// Upper bound on a single frame's payload (type byte included).
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 
@@ -55,15 +65,35 @@ struct ResponseFrame {
   Status status = Status::kShutdown;
   std::uint64_t client_tag = 0;
   std::uint64_t trace_id = 0;
+  /// Registry version that served the request; 0 on fixed-model servers.
+  std::uint64_t model_version = 0;
   double queue_ms = 0.0;
   double total_ms = 0.0;
   double retry_after_ms = 0.0;
   std::vector<align::BeamCandidate> candidates;
 };
 
+/// Client-initiated probe: "which model version are you serving?"
+/// Answered immediately (no decode queue round-trip).
+struct VersionQueryFrame {
+  std::uint64_t client_tag = 0;
+};
+
+struct VersionInfoFrame {
+  std::uint64_t client_tag = 0;
+  std::uint64_t model_version = 0;
+  /// Registry checksum of that version (0 on fixed-model servers), so a
+  /// client can assert two replicas really hold identical weights.
+  std::uint64_t checksum = 0;
+  /// Hot swaps the answering replica has adopted so far.
+  std::uint64_t swaps = 0;
+};
+
 /// Append one framed message (length prefix included) to `out`.
 void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out);
 void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const VersionQueryFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const VersionInfoFrame& frame, std::vector<std::uint8_t>& out);
 
 /// Decode a payload (the bytes after the length prefix, type byte first).
 /// nullopt on wrong type byte, truncation, trailing garbage, or an
@@ -71,6 +101,10 @@ void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<RequestFrame> decode_request(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] std::optional<ResponseFrame> decode_response(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<VersionQueryFrame> decode_version_query(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<VersionInfoFrame> decode_version_info(
     std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembler for stream transports: feed() arbitrary

@@ -238,5 +238,36 @@ TEST(Tensor, LayerNormRowsNormalizes) {
   }
 }
 
+TEST(Tensor, DeferParameterInitSkipsRandnWithoutAdvancingTheRng) {
+  util::Rng deferred_rng{7};
+  util::Rng fresh_rng{7};
+  {
+    const DeferParameterInit defer;
+    EXPECT_TRUE(DeferParameterInit::active());
+    const Tensor t = Tensor::randn(3, 4, deferred_rng, 1.0);
+    for (const double v : t.data()) EXPECT_EQ(v, 0.0);
+  }
+  EXPECT_FALSE(DeferParameterInit::active());
+  // The guard is scoped, and the deferred randn must not have consumed
+  // any draws: both rngs are still at the same stream position.
+  const Tensor a = Tensor::randn(2, 5, deferred_rng, 1.0);
+  const Tensor b = Tensor::randn(2, 5, fresh_rng, 1.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Tensor, DeferParameterInitNests) {
+  util::Rng rng{11};
+  const DeferParameterInit outer;
+  {
+    const DeferParameterInit inner;
+    EXPECT_TRUE(DeferParameterInit::active());
+  }
+  EXPECT_TRUE(DeferParameterInit::active());
+  const Tensor t = Tensor::randn(1, 3, rng, 1.0);
+  for (const double v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
 }  // namespace
 }  // namespace vpr::nn

@@ -86,6 +86,90 @@ TEST(Wire, ResponseRoundtripPreservesCandidates) {
   EXPECT_EQ(decoded->candidates[1].log_prob, -2.25);
 }
 
+TEST(Wire, ResponseCarriesTheServingModelVersion) {
+  // The hot-swap A/B contract on the wire: a response reports the registry
+  // version that decoded it, and the field survives the round trip next to
+  // the candidates.
+  ResponseFrame response;
+  response.status = Status::kOk;
+  response.client_tag = 7;
+  response.model_version = 0x0102030405060708ULL;
+  align::BeamCandidate top;
+  top.recipes = flow::RecipeSet::from_u64(0x2AULL);
+  top.log_prob = -0.5;
+  response.candidates = {top};
+
+  std::vector<std::uint8_t> encoded;
+  encode(response, encoded);
+  const auto decoded = decode_response(payload_of(encoded));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->model_version, 0x0102030405060708ULL);
+  ASSERT_EQ(decoded->candidates.size(), 1U);
+  EXPECT_EQ(decoded->candidates[0].recipes.to_u64(), 0x2AULL);
+
+  // Default (fixed-model server): version 0 round-trips too.
+  ResponseFrame fixed;
+  fixed.status = Status::kOk;
+  std::vector<std::uint8_t> encoded_fixed;
+  encode(fixed, encoded_fixed);
+  const auto decoded_fixed = decode_response(payload_of(encoded_fixed));
+  ASSERT_TRUE(decoded_fixed.has_value());
+  EXPECT_EQ(decoded_fixed->model_version, 0U);
+}
+
+TEST(Wire, VersionQueryAndInfoRoundtrip) {
+  VersionQueryFrame query;
+  query.client_tag = 0xFEEDFACE0ULL;
+  std::vector<std::uint8_t> encoded_query;
+  encode(query, encoded_query);
+  const auto decoded_query = decode_version_query(payload_of(encoded_query));
+  ASSERT_TRUE(decoded_query.has_value());
+  EXPECT_EQ(decoded_query->client_tag, 0xFEEDFACE0ULL);
+
+  VersionInfoFrame info;
+  info.client_tag = 0xFEEDFACE0ULL;
+  info.model_version = 12;
+  info.checksum = 0xDEADBEEFDEADBEEFULL;
+  info.swaps = 11;
+  std::vector<std::uint8_t> encoded_info;
+  encode(info, encoded_info);
+  const auto decoded_info = decode_version_info(payload_of(encoded_info));
+  ASSERT_TRUE(decoded_info.has_value());
+  EXPECT_EQ(decoded_info->client_tag, 0xFEEDFACE0ULL);
+  EXPECT_EQ(decoded_info->model_version, 12U);
+  EXPECT_EQ(decoded_info->checksum, 0xDEADBEEFDEADBEEFULL);
+  EXPECT_EQ(decoded_info->swaps, 11U);
+}
+
+TEST(Wire, VersionFramesRejectMalformedPayloads) {
+  VersionQueryFrame query;
+  std::vector<std::uint8_t> encoded_query;
+  encode(query, encoded_query);
+  const auto query_payload = payload_of(encoded_query);
+  VersionInfoFrame info;
+  std::vector<std::uint8_t> encoded_info;
+  encode(info, encoded_info);
+  const auto info_payload = payload_of(encoded_info);
+
+  // Cross-decoding: each decoder rejects the other frame's type byte.
+  EXPECT_FALSE(decode_version_info(query_payload).has_value());
+  EXPECT_FALSE(decode_version_query(info_payload).has_value());
+  EXPECT_FALSE(decode_request(query_payload).has_value());
+
+  // Truncation and trailing garbage.
+  EXPECT_FALSE(
+      decode_version_query(query_payload.subspan(0, query_payload.size() - 1))
+          .has_value());
+  EXPECT_FALSE(
+      decode_version_info(info_payload.subspan(0, info_payload.size() - 1))
+          .has_value());
+  EXPECT_FALSE(decode_version_query({}).has_value());
+  std::vector<std::uint8_t> padded(query_payload.begin(),
+                                   query_payload.end());
+  padded.push_back(0);
+  EXPECT_FALSE(decode_version_query(padded).has_value());
+}
+
 TEST(Wire, DecodeRejectsMalformedPayloads) {
   std::vector<std::uint8_t> encoded;
   encode(sample_request(), encoded);
