@@ -34,6 +34,7 @@
 #include "netlist/suite.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "serve/bench.h"
 #include "serve/client.h"
 #include "serve/registry.h"
@@ -66,6 +67,9 @@ using namespace vpr;
       "                                      drains in-flight work, then exits)\n"
       "        [--registry-dir DIR]          serve from a model registry and\n"
       "                                      hot-swap versions published there\n"
+      "        [--admin-port PORT]           HTTP admin plane on the same host:\n"
+      "                                      /metrics /healthz /statusz\n"
+      "                                      (0 = ephemeral; printed at startup)\n"
       "  publish --registry-dir DIR --model FILE [--meta TEXT]\n"
       "                                      publish aligned weights as the\n"
       "                                      next registry version\n"
@@ -77,6 +81,9 @@ using namespace vpr;
       "              [--priority interactive|normal|batch] [--no-verify]\n"
       "              [--json FILE]           network load generator\n"
       "  metrics [--format json|prometheus]   dump the metrics registry\n"
+      "  trace-merge FILE... --out MERGED  fuse trace dumps from several\n"
+      "                                    processes (server + clients) into\n"
+      "                                    one Perfetto timeline\n"
       "global flags (any command):\n"
       "  --trace-out=FILE    record a Perfetto/Chrome trace of the run\n"
       "  --metrics-out=FILE  dump the metrics registry on exit\n"
@@ -264,6 +271,7 @@ serve::Priority parse_priority(const std::string& name) {
 
 int cmd_serve_bench(const util::Args& args) {
   if (const auto connect = args.get("connect")) {
+    obs::TraceRecorder::instance().set_process_name("insightalign-client");
     const auto endpoint =
         cli::parse_host_port(*connect, "serve-bench --connect");
     serve::ClientBenchOptions opts;
@@ -323,9 +331,16 @@ int cmd_serve(const util::Args& args) {
   if (!listen.has_value()) {
     throw cli::UsageError("serve: --listen PORT required");
   }
+  obs::TraceRecorder::instance().set_process_name("insightalign-serve");
   serve::ServerConfig config;
   config.port = cli::parse_port(*listen, "serve --listen");
   config.host = args.get_or("host", config.host);
+  // --admin-port 0 binds an ephemeral port (the startup line prints the
+  // real one); absent leaves the admin plane off.
+  config.admin_port = args.get_int("admin-port", -1);
+  if (config.admin_port < -1 || config.admin_port > 65535) {
+    throw cli::UsageError("serve: --admin-port out of range 0..65535");
+  }
   config.router.replicas = args.get_int("replicas", config.router.replicas);
   config.router.replica.max_inflight =
       args.get_int("max-inflight", config.router.replica.max_inflight);
@@ -376,6 +391,9 @@ int cmd_serve(const util::Args& args) {
             << (registry != nullptr
                     ? ", registry v" +
                           std::to_string(registry->current_version())
+                    : std::string{})
+            << (server->admin_port() >= 0
+                    ? ", admin " + std::to_string(server->admin_port())
                     : std::string{})
             << ")" << std::endl;
 
@@ -430,6 +448,25 @@ int cmd_publish(const util::Args& args) {
             << " (checksum "
             << (published != nullptr ? published->checksum() : 0)
             << ") into " << *dir << std::endl;
+  return 0;
+}
+
+int cmd_trace_merge(const util::Args& args) {
+  const auto& positional = args.positional();
+  const std::vector<std::string> files(positional.begin() + 1,
+                                       positional.end());
+  const auto out = args.get("out");
+  if (files.empty() || !out.has_value()) {
+    throw cli::UsageError("trace-merge: FILE... and --out MERGED required");
+  }
+  std::string error;
+  if (!obs::trace_merge_files(files, *out, &error)) {
+    std::cerr << "error: trace-merge: " << error << '\n';
+    return 1;
+  }
+  std::cout << "merged " << files.size() << " trace file"
+            << (files.size() == 1 ? "" : "s") << " into " << *out
+            << std::endl;
   return 0;
 }
 
@@ -524,6 +561,8 @@ int run_command(cli::Command command, const util::Args& args) {
       return cmd_publish(args);
     case cli::Command::kMetrics:
       return cmd_metrics(args);
+    case cli::Command::kTraceMerge:
+      return cmd_trace_merge(args);
   }
   usage();
 }

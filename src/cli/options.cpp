@@ -33,6 +33,7 @@ Command parse_command(const std::string& name) {
   if (name == "serve-bench") return Command::kServeBench;
   if (name == "publish") return Command::kPublish;
   if (name == "metrics") return Command::kMetrics;
+  if (name == "trace-merge") return Command::kTraceMerge;
   throw UsageError("unknown command '" + name + "'");
 }
 

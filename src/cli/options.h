@@ -32,6 +32,7 @@ enum class Command {
   kServeBench,
   kPublish,
   kMetrics,
+  kTraceMerge,
 };
 
 /// Maps the first positional argument to a Command; throws UsageError on

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace vpr::obs {
@@ -130,38 +131,109 @@ std::string MetricsRegistry::sanitize_name(const std::string& name) {
   return out;
 }
 
-void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  std::lock_guard lock(mutex_);
-  for (const auto& [name, metric] : metrics_) {
-    const std::string prom = sanitize_name(name);
-    if (!metric.help.empty()) {
-      os << "# HELP " << prom << ' ' << metric.help << '\n';
+std::string MetricsRegistry::escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
     }
-    switch (metric.kind) {
+  }
+  return out;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  // Snapshot under the lock, format outside it: a scrape stalled on a slow
+  // socket must never block counter()/gauge() registration on the serving
+  // path. The atomics themselves are relaxed reads either way.
+  struct HistBucket {
+    double le;
+    long cumulative;
+  };
+  struct Sample {
+    std::string prom;
+    std::string help;
+    Metric::Kind kind;
+    double value = 0.0;           // counter / gauge
+    std::uint64_t count_i = 0;    // integer counter
+    std::vector<HistBucket> buckets;
+    double sum = 0.0;             // histogram
+    long total = 0;               // histogram
+  };
+
+  std::vector<Sample> samples;
+  {
+    std::lock_guard lock(mutex_);
+    samples.reserve(metrics_.size());
+    for (const auto& [name, metric] : metrics_) {
+      Sample s;
+      s.prom = sanitize_name(name);
+      // Exposition convention: every series gets a # HELP line; fall back
+      // to the metric name so scrapers never see a bare # TYPE.
+      s.help = metric.help.empty() ? name : metric.help;
+      s.kind = metric.kind;
+      switch (metric.kind) {
+        case Metric::Kind::kCounter:
+          s.count_i = metric.counter->value();
+          break;
+        case Metric::Kind::kCounterD:
+          s.value = metric.counter_d->value();
+          break;
+        case Metric::Kind::kGauge:
+          s.value = metric.gauge->value();
+          break;
+        case Metric::Kind::kHistogram: {
+          const HistogramMetric& h = *metric.histogram;
+          long cumulative = 0;
+          for (int b = 0; b < h.bins(); ++b) {
+            cumulative += h.bucket_count(b);
+            s.buckets.push_back(HistBucket{h.bin_hi(b), cumulative});
+          }
+          s.sum = h.sum();
+          s.total = cumulative;
+          break;
+        }
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+
+  for (const Sample& s : samples) {
+    // HELP text shares label-value escaping rules (\\ and \n).
+    std::string help;
+    for (const char c : s.help) {
+      if (c == '\\') help += "\\\\";
+      else if (c == '\n') help += "\\n";
+      else help += c;
+    }
+    os << "# HELP " << s.prom << ' ' << help << '\n';
+    switch (s.kind) {
       case Metric::Kind::kCounter:
-        os << "# TYPE " << prom << " counter\n"
-           << prom << ' ' << metric.counter->value() << '\n';
+        os << "# TYPE " << s.prom << " counter\n"
+           << s.prom << ' ' << s.count_i << '\n';
         break;
       case Metric::Kind::kCounterD:
-        os << "# TYPE " << prom << " counter\n"
-           << prom << ' ' << metric.counter_d->value() << '\n';
+        os << "# TYPE " << s.prom << " counter\n"
+           << s.prom << ' ' << s.value << '\n';
         break;
       case Metric::Kind::kGauge:
-        os << "# TYPE " << prom << " gauge\n"
-           << prom << ' ' << metric.gauge->value() << '\n';
+        os << "# TYPE " << s.prom << " gauge\n"
+           << s.prom << ' ' << s.value << '\n';
         break;
       case Metric::Kind::kHistogram: {
-        const HistogramMetric& h = *metric.histogram;
-        os << "# TYPE " << prom << " histogram\n";
-        long cumulative = 0;
-        for (int b = 0; b < h.bins(); ++b) {
-          cumulative += h.bucket_count(b);
-          os << prom << "_bucket{le=\"" << h.bin_hi(b) << "\"} "
-             << cumulative << '\n';
+        os << "# TYPE " << s.prom << " histogram\n";
+        for (const HistBucket& bucket : s.buckets) {
+          std::ostringstream le;
+          le << bucket.le;
+          os << s.prom << "_bucket{le=\"" << escape_label_value(le.str())
+             << "\"} " << bucket.cumulative << '\n';
         }
-        os << prom << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
-           << prom << "_sum " << h.sum() << '\n'
-           << prom << "_count " << cumulative << '\n';
+        os << s.prom << "_bucket{le=\"+Inf\"} " << s.total << '\n'
+           << s.prom << "_sum " << s.sum << '\n'
+           << s.prom << "_count " << s.total << '\n';
         break;
       }
     }

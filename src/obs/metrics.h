@@ -146,8 +146,12 @@ class MetricsRegistry {
   /// Flat {"name": value, ...} object; histograms expand to an object with
   /// buckets/sum/count.
   [[nodiscard]] util::Json to_json() const;
-  /// Prometheus text exposition (# HELP / # TYPE + samples). Metric names
-  /// are sanitized ('.' and other invalid characters become '_').
+  /// Prometheus text exposition. Metric names are sanitized ('.' and
+  /// other invalid characters become '_'); every series gets a # TYPE and
+  /// a # HELP line (the metric name when no help was registered); label
+  /// values are escaped per the exposition format. Values are snapshotted
+  /// under the registration mutex and formatted after it is released, so
+  /// a slow scrape never stalls hot-path registration.
   void write_prometheus(std::ostream& os) const;
   /// write_prometheus when `path` ends in .prom or .txt, JSON otherwise;
   /// false when the file cannot be written.
@@ -157,6 +161,9 @@ class MetricsRegistry {
   void reset();
 
   [[nodiscard]] static std::string sanitize_name(const std::string& name);
+  /// Prometheus label-value escaping: backslash, double quote and newline
+  /// become \\, \" and \n (exposition-format rules). Exposed for tests.
+  [[nodiscard]] static std::string escape_label_value(const std::string& v);
 
  private:
   struct Metric {

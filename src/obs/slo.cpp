@@ -1,0 +1,84 @@
+#include "obs/slo.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vpr::obs {
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  if (!(config_.objective > 0.0) || config_.objective > 1.0) {
+    throw std::invalid_argument("SloTracker: objective must be in (0, 1]");
+  }
+  if (config_.fast_window > config_.slow_window) {
+    throw std::invalid_argument(
+        "SloTracker: fast_window must not exceed slow_window");
+  }
+}
+
+void SloTracker::record(bool good, TimePoint now) {
+  prune(now);
+  events_.push_back(Event{now, good});
+  ++total_events_;
+}
+
+void SloTracker::prune(TimePoint now) {
+  const TimePoint cutoff = now - config_.slow_window;
+  while (!events_.empty() && events_.front().at < cutoff) {
+    events_.pop_front();
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> SloTracker::window_counts(
+    std::chrono::milliseconds window, TimePoint now) const {
+  const TimePoint cutoff = now - window;
+  std::uint64_t bad = 0;
+  std::uint64_t total = 0;
+  // Newest events are at the back; walk from there and stop at the cutoff.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->at < cutoff) break;
+    ++total;
+    if (!it->good) ++bad;
+  }
+  return {bad, total};
+}
+
+double SloTracker::burn_rate(std::chrono::milliseconds window,
+                             TimePoint now) const {
+  const auto [bad, total] = window_counts(window, now);
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / config_.objective;
+}
+
+bool SloTracker::breached(TimePoint now) const {
+  const auto [fast_bad, fast_total] = window_counts(config_.fast_window, now);
+  const auto [slow_bad, slow_total] = window_counts(config_.slow_window, now);
+  if (fast_total < config_.min_events || slow_total < config_.min_events) {
+    return false;
+  }
+  const double fast_burn = static_cast<double>(fast_bad) /
+                           static_cast<double>(fast_total) /
+                           config_.objective;
+  const double slow_burn = static_cast<double>(slow_bad) /
+                           static_cast<double>(slow_total) /
+                           config_.objective;
+  return fast_burn >= config_.burn_threshold &&
+         slow_burn >= config_.burn_threshold;
+}
+
+void SloTracker::reset() {
+  events_.clear();
+  total_events_ = 0;
+}
+
+util::Json SloTracker::to_json(TimePoint now) const {
+  util::Json j = util::Json::object();
+  j["fast_burn"] = burn_rate(config_.fast_window, now);
+  j["slow_burn"] = burn_rate(config_.slow_window, now);
+  j["breached"] = breached(now);
+  j["events"] = static_cast<double>(total_events_);
+  return j;
+}
+
+}  // namespace vpr::obs

@@ -1,0 +1,79 @@
+#pragma once
+// Multi-window SLO burn-rate tracking, the signal behind automatic model
+// rollback in serve::ModelRegistry.
+//
+// An SLO of "at most `objective` fraction of requests may be bad" burns at
+// rate 1.0 when exactly that fraction is bad. A burn rate of 2.0 means the
+// error budget is being consumed twice as fast as allowed. Alerting on the
+// instantaneous rate is noisy (one slow request after a quiet spell spikes
+// it) and alerting on a long average is slow (a freshly published broken
+// model keeps serving for minutes), so SloTracker follows the standard
+// multi-window recipe: a breach requires BOTH a short window (fast
+// detection) and a longer window (sustained evidence) to exceed the
+// threshold, each with a minimum event count so a single datapoint can
+// never trip a rollback.
+//
+// Not thread-safe; ModelRegistry drives it under its stats mutex.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+
+#include "util/json.h"
+
+namespace vpr::obs {
+
+struct SloConfig {
+  std::chrono::milliseconds fast_window{2000};
+  std::chrono::milliseconds slow_window{10000};
+  /// Allowed bad fraction (0.1 = up to 10% of events may be bad).
+  double objective = 0.1;
+  /// Both windows must burn at >= this multiple of the objective.
+  double burn_threshold = 2.0;
+  /// Minimum events per window before its burn rate counts as evidence.
+  std::uint64_t min_events = 8;
+};
+
+class SloTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  explicit SloTracker(SloConfig config = {});
+
+  /// Record one event outcome. `now` is injectable for tests.
+  void record(bool good, TimePoint now = Clock::now());
+
+  /// Bad-fraction / objective over the trailing `window`; 0 when the
+  /// window holds no events.
+  [[nodiscard]] double burn_rate(std::chrono::milliseconds window,
+                                 TimePoint now = Clock::now()) const;
+
+  /// True when BOTH windows exceed burn_threshold with >= min_events each.
+  [[nodiscard]] bool breached(TimePoint now = Clock::now()) const;
+
+  [[nodiscard]] std::uint64_t total_events() const { return total_events_; }
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+  void reset();
+
+  /// {"fast_burn":..,"slow_burn":..,"breached":..,"events":..}
+  [[nodiscard]] util::Json to_json(TimePoint now = Clock::now()) const;
+
+ private:
+  struct Event {
+    TimePoint at;
+    bool good;
+  };
+
+  void prune(TimePoint now);
+  /// (bad, total) over the trailing window.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window_counts(
+      std::chrono::milliseconds window, TimePoint now) const;
+
+  SloConfig config_;
+  std::deque<Event> events_;  // trailing slow_window only, pruned on record
+  std::uint64_t total_events_ = 0;
+};
+
+}  // namespace vpr::obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <random>
 #include <utility>
 
 #include "util/json.h"
@@ -17,7 +18,18 @@ namespace {
 /// a reader can walk the chain while the owner keeps publishing.
 constexpr std::size_t kChunkEvents = 256;
 
-std::atomic<std::uint64_t> g_next_id{1};
+/// Correlation-id source: a per-process random 32-bit salt in the high
+/// half (nonzero, so ids are never 0) and a counter in the low half.
+/// Client and server each mint ids from their own salt, so a merged
+/// cross-process trace never aliases two unrelated request tracks.
+std::uint64_t id_salt() {
+  std::random_device rd;
+  std::uint32_t salt = rd();
+  if (salt == 0) salt = 1;
+  return static_cast<std::uint64_t>(salt) << 32;
+}
+
+std::atomic<std::uint64_t> g_next_id{id_salt() + 1};
 
 }  // namespace
 
@@ -62,7 +74,11 @@ struct TraceRecorder::ThreadBuffer {
   }
 };
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()),
+      epoch_unix_us_(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count()) {}
 
 // The singleton is never destroyed (function-local static with leaked
 // buffers), so thread_local cached buffer pointers stay valid for the
@@ -177,6 +193,11 @@ void TraceRecorder::set_thread_name(std::string name) {
   buffer.thread_name = std::move(name);
 }
 
+void TraceRecorder::set_process_name(std::string name) {
+  std::lock_guard lock(register_mutex_);
+  process_name_ = std::move(name);
+}
+
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
   std::vector<const ThreadBuffer*> buffers;
   {
@@ -217,10 +238,23 @@ std::uint64_t TraceRecorder::next_id() {
 
 void TraceRecorder::write_json(std::ostream& os) const {
   util::Json events = util::Json::array();
+  std::string process_name;
 
-  // Thread-name metadata first, so Perfetto labels the tracks.
+  // Process/thread-name metadata first, so Perfetto labels the tracks.
   {
     std::lock_guard lock(register_mutex_);
+    process_name = process_name_;
+    if (!process_name_.empty()) {
+      util::Json meta = util::Json::object();
+      meta["name"] = "process_name";
+      meta["ph"] = "M";
+      meta["pid"] = 1;
+      meta["tid"] = 0;
+      util::Json args = util::Json::object();
+      args["name"] = process_name_;
+      meta["args"] = std::move(args);
+      events.push_back(std::move(meta));
+    }
     for (const ThreadBuffer* buffer : buffers_) {
       if (buffer->thread_name.empty()) continue;
       util::Json meta = util::Json::object();
@@ -269,6 +303,13 @@ void TraceRecorder::write_json(std::ostream& os) const {
   util::Json root = util::Json::object();
   root["traceEvents"] = std::move(events);
   root["displayTimeUnit"] = "ms";
+  // Cross-process anchor: trace_merge shifts each file's ts by the delta
+  // between its epoch and the earliest one, putting every process on one
+  // wall-clock-consistent timeline. Perfetto ignores otherData.
+  util::Json other = util::Json::object();
+  other["epoch_unix_us"] = static_cast<double>(epoch_unix_us_);
+  if (!process_name.empty()) other["process_name"] = process_name;
+  root["otherData"] = std::move(other);
   root.write(os, /*indent=*/-1);
   os << '\n';
 }

@@ -20,6 +20,17 @@
 // clear() resets the published counts; it requires event-recording
 // quiescence (no thread inside a span), which tests get by joining their
 // worker threads first.
+//
+// Cross-process story: timestamps are steady-clock microseconds since this
+// process's recorder epoch, so two processes' traces don't share a time
+// base. The exporter therefore embeds a wall-clock anchor
+// (otherData.epoch_unix_us = system_clock at recorder construction) and a
+// process name; obs::trace_merge uses the anchors to shift every file onto
+// the earliest process's timeline and re-assigns pids so one client
+// request — correlated by the trace id carried in serve/wire.h frames —
+// renders as a single end-to-end track in Perfetto. next_id() is salted
+// with per-process entropy in its high 32 bits so ids originated by
+// different processes never collide in a merged trace.
 
 #include <atomic>
 #include <chrono>
@@ -107,6 +118,16 @@ class TraceRecorder {
   /// "worker-3", ...). Cheap; callable before enabling.
   void set_thread_name(std::string name);
 
+  /// Names this process in the exported trace ("serve", "client-bench");
+  /// shows up as Perfetto's process label and survives trace_merge.
+  void set_process_name(std::string name);
+
+  /// Wall-clock time (unix microseconds, system_clock) at recorder
+  /// construction — the anchor trace_merge aligns cross-process files by.
+  [[nodiscard]] std::int64_t epoch_unix_us() const noexcept {
+    return epoch_unix_us_;
+  }
+
   /// Every published event, across all threads. Safe to call while other
   /// threads record (they keep appending past the snapshot).
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
@@ -122,7 +143,9 @@ class TraceRecorder {
   /// no thread is concurrently recording.
   void clear();
 
-  /// Fresh nonzero correlation id for async_* events (process-unique).
+  /// Fresh nonzero correlation id for async_* events. High 32 bits are a
+  /// per-process random salt, low 32 a counter — unique within the
+  /// process and collision-free across processes in merged traces.
   [[nodiscard]] static std::uint64_t next_id();
 
   TraceRecorder(const TraceRecorder&) = delete;
@@ -138,10 +161,12 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
+  std::int64_t epoch_unix_us_ = 0;
 
   mutable std::mutex register_mutex_;  // buffer registration + name edits
   std::vector<ThreadBuffer*> buffers_;  // leaked at exit by design
   std::uint32_t next_tid_ = 1;
+  std::string process_name_;  // guarded by register_mutex_
 
   friend class TraceSpan;
 };

@@ -1,0 +1,162 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace vpr::obs {
+
+namespace {
+
+struct ParsedFile {
+  util::Json doc;
+  std::int64_t epoch_unix_us = 0;
+  std::string process_name;
+};
+
+void set_error(std::string* error, std::string what) {
+  if (error != nullptr) *error = std::move(what);
+}
+
+const util::Json* find(const util::Json& obj, const std::string& key) {
+  if (!obj.is_object()) return nullptr;
+  const auto it = obj.as_object().find(key);
+  return it == obj.as_object().end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::optional<util::Json> trace_merge(const std::vector<std::string>& texts,
+                                      std::string* error) {
+  if (texts.empty()) {
+    set_error(error, "trace_merge: no inputs");
+    return std::nullopt;
+  }
+
+  std::vector<ParsedFile> files;
+  files.reserve(texts.size());
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    std::string parse_error;
+    std::optional<util::Json> doc = util::Json::parse(texts[i], &parse_error);
+    if (!doc.has_value()) {
+      set_error(error, "trace_merge: input " + std::to_string(i) + ": " +
+                           parse_error);
+      return std::nullopt;
+    }
+    const util::Json* events = find(*doc, "traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      set_error(error, "trace_merge: input " + std::to_string(i) +
+                           ": missing traceEvents array");
+      return std::nullopt;
+    }
+    ParsedFile file;
+    if (const util::Json* other = find(*doc, "otherData")) {
+      if (const util::Json* anchor = find(*other, "epoch_unix_us");
+          anchor != nullptr && anchor->is_number()) {
+        file.epoch_unix_us = static_cast<std::int64_t>(anchor->as_number());
+      }
+      if (const util::Json* name = find(*other, "process_name");
+          name != nullptr && name->is_string()) {
+        file.process_name = name->as_string();
+      }
+    }
+    file.doc = std::move(*doc);
+    files.push_back(std::move(file));
+  }
+
+  // Align every file onto the earliest process's timeline. Files without
+  // an anchor (epoch 0, e.g. hand-written fixtures) keep their own ts.
+  std::int64_t min_epoch = 0;
+  bool have_epoch = false;
+  for (const ParsedFile& file : files) {
+    if (file.epoch_unix_us == 0) continue;
+    min_epoch = have_epoch ? std::min(min_epoch, file.epoch_unix_us)
+                           : file.epoch_unix_us;
+    have_epoch = true;
+  }
+
+  util::Json merged_events = util::Json::array();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const ParsedFile& file = files[i];
+    const auto pid = static_cast<double>(i + 1);
+    const std::int64_t shift =
+        file.epoch_unix_us != 0 ? file.epoch_unix_us - min_epoch : 0;
+
+    // A labelled process track even when the source file had no
+    // process_name metadata of its own.
+    {
+      util::Json meta = util::Json::object();
+      meta["name"] = "process_name";
+      meta["ph"] = "M";
+      meta["pid"] = pid;
+      meta["tid"] = 0;
+      util::Json args = util::Json::object();
+      args["name"] = file.process_name.empty()
+                         ? "process-" + std::to_string(i + 1)
+                         : file.process_name;
+      meta["args"] = std::move(args);
+      merged_events.push_back(std::move(meta));
+    }
+
+    for (const util::Json& event : find(file.doc, "traceEvents")->as_array()) {
+      if (!event.is_object()) continue;
+      // Skip source process_name metadata — replaced by the entry above
+      // (the original would fight the reassigned pid).
+      if (const util::Json* name = find(event, "name");
+          name != nullptr && name->is_string() &&
+          name->as_string() == "process_name") {
+        continue;
+      }
+      util::Json out = util::Json::object();
+      for (const auto& [key, value] : event.as_object()) {
+        if (key == "pid") continue;
+        if (key == "ts" && value.is_number()) {
+          out["ts"] = value.as_number() + static_cast<double>(shift);
+          continue;
+        }
+        out[key] = value;
+      }
+      out["pid"] = pid;
+      merged_events.push_back(std::move(out));
+    }
+  }
+
+  util::Json root = util::Json::object();
+  root["traceEvents"] = std::move(merged_events);
+  root["displayTimeUnit"] = "ms";
+  util::Json other = util::Json::object();
+  other["epoch_unix_us"] = static_cast<double>(min_epoch);
+  other["merged_files"] = files.size();
+  root["otherData"] = std::move(other);
+  return root;
+}
+
+bool trace_merge_files(const std::vector<std::string>& paths,
+                       const std::string& out_path, std::string* error) {
+  std::vector<std::string> texts;
+  texts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream is{path};
+    if (!is) {
+      set_error(error, "trace_merge: cannot read " + path);
+      return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    texts.push_back(std::move(buf).str());
+  }
+  std::optional<util::Json> merged = trace_merge(texts, error);
+  if (!merged.has_value()) return false;
+  std::ofstream os{out_path};
+  if (!os) {
+    set_error(error, "trace_merge: cannot write " + out_path);
+    return false;
+  }
+  merged->write(os, /*indent=*/-1);
+  os << '\n';
+  os.flush();
+  return os.good();
+}
+
+}  // namespace vpr::obs

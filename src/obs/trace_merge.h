@@ -1,0 +1,39 @@
+#pragma once
+// Cross-process trace fusion: combine trace_event JSON files written by
+// separate processes (client + server, or several replicas' hosts) into
+// one Perfetto-loadable timeline.
+//
+// Each TraceRecorder export carries otherData.epoch_unix_us — the
+// wall-clock instant its steady-clock timestamps count from — and an
+// optional process name. trace_merge parses every input with
+// util::Json::parse, assigns each file a distinct pid (1..N, input
+// order), shifts its event timestamps by the delta between its anchor and
+// the earliest anchor, and concatenates. Async events that share a trace
+// id across files (the id the serving wire protocol propagates) then line
+// up as one causally-connected request track spanning processes.
+//
+// Used by the `insightalign trace-merge` CLI subcommand and by tests that
+// verify the end-to-end trace acceptance criterion.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace vpr::obs {
+
+/// Merge parsed-from-text trace documents. Inputs must each be a JSON
+/// object with a "traceEvents" array (exactly what TraceRecorder
+/// write_json emits). Returns the merged document, or nullopt with a
+/// diagnostic in `error` (input index + parse/shape problem).
+[[nodiscard]] std::optional<util::Json> trace_merge(
+    const std::vector<std::string>& texts, std::string* error = nullptr);
+
+/// File-path convenience wrapper: reads each input, merges, writes the
+/// result to `out_path` (compact, one line, like write_json).
+[[nodiscard]] bool trace_merge_files(const std::vector<std::string>& paths,
+                                     const std::string& out_path,
+                                     std::string* error = nullptr);
+
+}  // namespace vpr::obs

@@ -1,0 +1,212 @@
+#include "serve/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace vpr::serve {
+
+namespace {
+
+void set_socket_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_response(int fd, int status, const std::string& content_type,
+                    const std::string& body) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 404 ? "Not Found"
+                       : status == 503 ? "Service Unavailable"
+                                       : "Bad Request";
+  std::string head = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  return send_all(fd, head.data(), head.size()) &&
+         send_all(fd, body.data(), body.size());
+}
+
+/// Parse "GET <path> ..." out of the request head; empty on anything else.
+std::string request_path(const std::string& head) {
+  if (head.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = head.find_first_of(" \r\n?", start);
+  if (end == std::string::npos || end == start) return {};
+  return head.substr(start, end - start);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(std::string host, int port, AdminHandlers handlers)
+    : handlers_(std::move(handlers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("AdminServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdminServer: invalid bind address " + host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    throw std::runtime_error("AdminServer: cannot listen on " + host + ":" +
+                             std::to_string(port) + " (" +
+                             std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::stop() {
+  if (closing_.exchange(true, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve_loop() {
+  obs::TraceRecorder::instance().set_thread_name("admin");
+  while (!closing_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop()) or unrecoverable
+    }
+    if (closing_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle(int fd) {
+  set_socket_timeouts(fd, std::chrono::milliseconds(2000));
+  // Read until the end-of-headers marker; the body (there is none for
+  // GET) and any overlong head are simply ignored past 8 KiB.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::string path = request_path(head);
+  VPR_TRACE_SPAN("admin.request");
+
+  if (path == "/metrics" && handlers_.metrics_text) {
+    write_response(fd, 200, "text/plain; version=0.0.4; charset=utf-8",
+                   handlers_.metrics_text());
+  } else if (path == "/healthz" && handlers_.healthz_json) {
+    const bool draining = handlers_.draining && handlers_.draining();
+    write_response(fd, draining ? 503 : 200, "application/json",
+                   handlers_.healthz_json());
+  } else if (path == "/statusz" && handlers_.statusz_json) {
+    write_response(fd, 200, "application/json", handlers_.statusz_json());
+  } else if (path.empty()) {
+    write_response(fd, 400, "text/plain", "bad request\n");
+  } else {
+    write_response(fd, 404, "text/plain", "not found\n");
+  }
+}
+
+std::optional<HttpResponse> http_get(const std::string& host, int port,
+                                     const std::string& path,
+                                     std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  set_socket_timeouts(fd, timeout);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!send_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 <status> ...\r\n<headers>\r\n\r\n<body>"
+  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return std::nullopt;
+  HttpResponse response;
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  const std::string headers = raw.substr(0, header_end);
+  const std::size_t ct = headers.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    const std::size_t eol = headers.find("\r\n", ct);
+    response.content_type =
+        headers.substr(ct + 14, (eol == std::string::npos ? headers.size()
+                                                          : eol) -
+                                    ct - 14);
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace vpr::serve

@@ -1,0 +1,78 @@
+#pragma once
+// Out-of-band HTTP admin plane for the serving front door: a tiny
+// HTTP/1.0 listener (own port, own thread) exposing the operational
+// surface a fleet scraper needs —
+//
+//   /metrics  Prometheus text exposition of the process metrics registry
+//   /healthz  drain / overload state as JSON (503 while draining, so a
+//             load balancer stops sending traffic before the drain ends)
+//   /statusz  the full status document: replica occupancy, registry
+//             versions + A/B table, router counters (same JSON the
+//             in-band wire::StatsFrame carries)
+//
+// The handlers are injected as closures so the listener has no knowledge
+// of Server/Router internals and tests can stand one up against canned
+// strings. Connections are handled sequentially on the accept thread
+// with send/receive timeouts: a scrape endpoint never needs concurrency,
+// and a stuck peer can only stall other scrapers, never the serving
+// path — the handlers themselves snapshot under their own locks.
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace vpr::serve {
+
+/// Endpoint bodies, produced per request. Any unset handler 404s.
+struct AdminHandlers {
+  std::function<std::string()> metrics_text;  // text/plain; version=0.0.4
+  std::function<std::string()> healthz_json;  // application/json
+  std::function<std::string()> statusz_json;  // application/json
+  /// When set and returning true, /healthz answers 503 (draining) instead
+  /// of 200 — the body still comes from healthz_json.
+  std::function<bool()> draining;
+};
+
+class AdminServer {
+ public:
+  /// Binds `host:port` (port 0 = ephemeral; port() reports the real one)
+  /// and starts answering immediately. Throws std::runtime_error when the
+  /// socket cannot be bound.
+  AdminServer(std::string host, int port, AdminHandlers handlers);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  /// Close the listener and join the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+  /// Read one request off `fd`, dispatch, write the response. Bounded by
+  /// socket timeouts; never throws.
+  void handle(int fd);
+
+  AdminHandlers handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> closing_{false};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP GET for tests and the bench scraper thread (not
+/// a general client: HTTP/1.0, no redirects, no chunked encoding).
+struct HttpResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+[[nodiscard]] std::optional<HttpResponse> http_get(
+    const std::string& host, int port, const std::string& path,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(2000));
+
+}  // namespace vpr::serve

@@ -1,6 +1,7 @@
 #include "serve/bench.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -19,8 +20,11 @@
 
 #include "align/beam.h"
 #include "align/recipe_model.h"
+#include "serve/admin.h"
+#include "serve/client.h"
 #include "serve/registry.h"
 #include "serve/router.h"
+#include "serve/server.h"
 #include "serve/service.h"
 #include "util/json.h"
 #include "util/log.h"
@@ -398,12 +402,218 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     bitwise_match = bitwise_match && hotswap_bitwise;
   }
 
+  // --- rollback: SLO burn-rate rollback under a poisoned publish ---------
+  // Warm a good version past the baseline-traffic floor, then publish a
+  // deliberately degraded version (all-zero weights: every step decodes
+  // the uniform distribution, so its top log pi is provably below any
+  // seeded model's best path) and replay the same traffic. The registry's
+  // burn-rate engine must quarantine the bad version and swap back to the
+  // good one exactly once, while every response — including the ones that
+  // finished pinned to the bad version — stays bitwise faithful to a
+  // beam_search oracle on the exact version that served it.
+  std::uint64_t rollback_rollbacks = 0;
+  std::uint64_t rollback_served_on_bad = 0;
+  bool rollback_exactly_one = true;
+  bool rollback_bitwise = true;
+  util::Json rollback_json = util::Json::object();
+  if (opts.publish_every > 0) {
+    RegistryConfig reg_config;
+    reg_config.rollback.enabled = true;
+    reg_config.rollback.min_requests = 16;
+    reg_config.rollback.quality_drop = 0.01;
+    auto registry =
+        std::make_shared<ModelRegistry>(align::ModelConfig{}, reg_config);
+    const std::uint64_t good_v = registry->publish(model.state(), "good");
+    std::map<std::uint64_t, std::shared_ptr<const ModelVersion>> pinned;
+    pinned.emplace(good_v, registry->version(good_v));
+    std::map<std::pair<std::uint64_t, int>,
+             std::vector<align::BeamCandidate>>
+        oracle;
+    const auto expect =
+        [&](std::uint64_t v,
+            int k) -> const std::vector<align::BeamCandidate>& {
+      const auto key = std::make_pair(v, k);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        it = oracle
+                 .emplace(key,
+                          align::beam_search(
+                              pinned.at(v)->model(),
+                              insights[static_cast<std::size_t>(k)],
+                              opts.beam_width))
+                 .first;
+      }
+      return it->second;
+    };
+
+    ServiceConfig config;
+    config.max_inflight = opts.concurrency;
+    config.max_beam_width = opts.beam_width;
+    config.queue_capacity =
+        static_cast<std::size_t>(std::max(2 * opts.requests, 32));
+    RecommendService service{registry, config};
+    // The baseline floor must be reachable with the configured traffic.
+    const int warm_requests =
+        std::max(opts.requests,
+                 static_cast<int>(reg_config.rollback.min_requests));
+    const auto run_phase = [&](int n) {
+      std::vector<std::future<Response>> futures;
+      futures.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        futures.push_back(
+            service.submit(insights[i % kSuiteDesigns], opts.beam_width));
+      }
+      std::vector<Response> responses;
+      responses.reserve(futures.size());
+      for (auto& f : futures) responses.push_back(f.get());
+      for (int i = 0; i < n; ++i) {
+        const Response& response = responses[static_cast<std::size_t>(i)];
+        rollback_bitwise =
+            rollback_bitwise && response.status == Status::kOk &&
+            response.model_version != 0 &&
+            candidates_bitwise_equal(
+                response.candidates,
+                expect(response.model_version, i % kSuiteDesigns));
+      }
+      return responses;
+    };
+    run_phase(warm_requests);  // good_v accumulates its baseline stats
+    const std::vector<double> poisoned(registry->expected_params(), 0.0);
+    const std::uint64_t bad_v = registry->publish(poisoned, "poisoned");
+    pinned.emplace(bad_v, registry->version(bad_v));
+    const auto after = run_phase(std::max(opts.requests, 32));
+    for (const Response& response : after) {
+      if (response.model_version == bad_v) ++rollback_served_on_bad;
+    }
+    service.stop();
+
+    rollback_rollbacks = registry->rollbacks();
+    const auto quarantined = registry->quarantined();
+    rollback_exactly_one =
+        rollback_rollbacks == 1 &&
+        registry->current_version() == good_v &&
+        quarantined.size() == 1 && quarantined.front() == bad_v;
+    bitwise_match = bitwise_match && rollback_bitwise;
+
+    rollback_json["good_version"] = static_cast<double>(good_v);
+    rollback_json["poisoned_version"] = static_cast<double>(bad_v);
+    rollback_json["warm_requests"] = warm_requests;
+    rollback_json["served_on_poisoned"] =
+        static_cast<double>(rollback_served_on_bad);
+    rollback_json["rollbacks"] = static_cast<double>(rollback_rollbacks);
+    rollback_json["current_after"] =
+        static_cast<double>(registry->current_version());
+    util::Json qjson = util::Json::array();
+    for (const std::uint64_t v : quarantined) {
+      qjson.push_back(static_cast<double>(v));
+    }
+    rollback_json["quarantined"] = std::move(qjson);
+    rollback_json["bitwise_match"] = rollback_bitwise;
+    rollback_json["rollback_exactly_one"] = rollback_exactly_one;
+    if (!rollback_exactly_one) {
+      VPR_LOG(Error) << "BENCH_serve rollback: expected exactly one "
+                        "automatic rollback to v" << good_v << ", got "
+                     << rollback_rollbacks << " (current v"
+                     << registry->current_version() << ")";
+    }
+    if (!rollback_bitwise) {
+      VPR_LOG(Error) << "BENCH_serve rollback: responses are not bitwise "
+                        "identical to the per-version beam_search oracle";
+    }
+  }
+
+  // --- admin: live scrape overhead ---------------------------------------
+  // Stand up a real TCP server with the admin plane on ephemeral ports and
+  // run the network load generator twice at identical settings — idle, and
+  // with a scraper thread polling /metrics + /healthz every 25 ms (still
+  // hundreds of times hotter than a production scrape interval). The
+  // admin plane must cost the serving path under 1% QPS; on a single-core
+  // machine the scraper necessarily steals decode cycles, so the gate is
+  // a warning, not a failure.
+  double admin_idle_qps = 0.0;
+  double admin_scraped_qps = 0.0;
+  double admin_overhead_fraction = 0.0;
+  std::atomic<std::uint64_t> admin_scrapes{0};
+  std::atomic<bool> admin_ok{true};
+  {
+    ServerConfig server_config;
+    server_config.router.replicas = 2;
+    server_config.router.replica.max_inflight = opts.concurrency;
+    server_config.router.replica.max_beam_width = opts.beam_width;
+    server_config.router.replica.queue_capacity = 256;
+    server_config.port = 0;
+    server_config.admin_port = 0;
+    Server server{model, server_config};
+
+    ClientBenchOptions cb;
+    cb.port = server.port();
+    cb.connections = 4;
+    cb.window = 8;
+    cb.requests = std::max(128, 2 * opts.requests);
+    cb.beam_width = opts.beam_width;
+    cb.verify = false;  // bitwise faithfulness is proven by the sweeps above
+    cb.quiet = true;
+    const auto best_qps = [&](bool scraped) {
+      double best = 0.0;
+      for (int sweep = 0; sweep < opts.sweeps; ++sweep) {
+        std::atomic<bool> stop_scraper{false};
+        std::thread scraper;
+        if (scraped) {
+          scraper = std::thread([&] {
+            while (!stop_scraper.load(std::memory_order_acquire)) {
+              const auto metrics =
+                  http_get("127.0.0.1", server.admin_port(), "/metrics");
+              const auto health =
+                  http_get("127.0.0.1", server.admin_port(), "/healthz");
+              if (!metrics.has_value() || metrics->status != 200 ||
+                  metrics->body.find("# TYPE") == std::string::npos ||
+                  !health.has_value() || health->status != 200) {
+                admin_ok = false;
+              }
+              ++admin_scrapes;
+              std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            }
+          });
+        }
+        ClientBenchResult result;
+        if (run_client_bench(cb, &result) != 0 || result.ok == 0) {
+          admin_ok = false;
+        }
+        if (scraped) {
+          stop_scraper.store(true, std::memory_order_release);
+          scraper.join();
+        }
+        best = std::max(best, result.qps);
+      }
+      return best;
+    };
+    admin_idle_qps = best_qps(false);
+    admin_scraped_qps = best_qps(true);
+    if (admin_idle_qps > 0.0) {
+      admin_overhead_fraction =
+          std::max(0.0, 1.0 - admin_scraped_qps / admin_idle_qps);
+    }
+    server.stop();
+    if (!admin_ok) {
+      VPR_LOG(Warn) << "BENCH_serve admin: scrape or load-generator probe "
+                       "failed during the overhead sweep";
+    }
+    if (admin_overhead_fraction > 0.01) {
+      VPR_LOG(Warn) << "BENCH_serve admin: scraping cost "
+                    << 100.0 * admin_overhead_fraction
+                    << "% QPS (acceptance bar: under 1%)";
+    }
+  }
+
   util::Json root = util::Json::object();
   root["requests"] = opts.requests;
   root["concurrency"] = opts.concurrency;
   root["beam_width"] = opts.beam_width;
   root["suite_designs"] = kSuiteDesigns;
   root["sweeps"] = opts.sweeps;
+  // QPS numbers are only comparable across machines with this alongside.
+  root["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
   root["serial_ms"] = serial_ms;
   root["batched_ms"] = batched_ms;
   root["serial_qps"] = serial_qps;
@@ -465,7 +675,17 @@ int run_serve_bench(const ServeBenchOptions& opts) {
       VPR_LOG(Error) << "BENCH_serve hotswap: responses are not bitwise "
                         "identical to the per-version beam_search oracle";
     }
+    root["rollback"] = std::move(rollback_json);
   }
+
+  util::Json admin_json = util::Json::object();
+  admin_json["idle_qps"] = admin_idle_qps;
+  admin_json["scraped_qps"] = admin_scraped_qps;
+  admin_json["overhead_fraction"] = admin_overhead_fraction;
+  admin_json["scrapes"] =
+      static_cast<double>(admin_scrapes.load(std::memory_order_relaxed));
+  admin_json["ok"] = admin_ok.load(std::memory_order_relaxed);
+  root["admin"] = std::move(admin_json);
 
   // Diagnostics go through the logger (whole lines, serialized) instead of
   // raw fprintf, so they cannot shear the stdout report or each other.
@@ -516,7 +736,7 @@ int run_serve_bench(const ServeBenchOptions& opts) {
       "wrote " + opts.json_path + "\n" + root.dump() + "\n";
   std::fputs(report.c_str(), stdout);
   std::fflush(stdout);
-  return bitwise_match ? 0 : 1;
+  return (bitwise_match && rollback_exactly_one) ? 0 : 1;
 }
 
 }  // namespace vpr::serve

@@ -35,15 +35,18 @@ struct ServeBenchOptions {
   /// Hotswap churn sweep: publish a fresh model version into the registry
   /// every N completions while the service drains, and verify every
   /// response bitwise against a beam_search oracle on the version that
-  /// served it. 0 disables the sweep.
+  /// served it. 0 disables the sweep (and the SLO rollback sweep, which
+  /// shares the gate).
   int publish_every = 8;
   std::string json_path = "BENCH_serve.json";
 };
 
 /// Runs the benchmark, writes opts.json_path, prints it to stdout, and
-/// warns (stderr, never fails) on baseline regressions and on a speedup
-/// below the 2x acceptance bar. Returns 0 on success, 1 when the batched
-/// responses are not bitwise identical to the per-request oracle.
+/// warns (stderr, never fails) on baseline regressions, on a speedup
+/// below the 2x acceptance bar, and on admin-scrape overhead above 1%
+/// QPS. Returns 0 on success, 1 when responses are not bitwise identical
+/// to the per-request oracle or when the SLO rollback sweep does not
+/// observe exactly one automatic rollback.
 int run_serve_bench(const ServeBenchOptions& opts);
 
 }  // namespace vpr::serve

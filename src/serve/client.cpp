@@ -19,6 +19,8 @@
 
 #include "align/beam.h"
 #include "align/recipe_model.h"
+#include "obs/quantile.h"
+#include "obs/trace.h"
 #include "serve/bench.h"
 #include "serve/wire.h"
 #include "util/log.h"
@@ -70,6 +72,9 @@ struct ConnStats {
   bool transport_error = false;
   bool bitwise_match = true;
   std::vector<double> ok_latency_ms;
+  /// Same observations as ok_latency_ms, sketched: merged across
+  /// connections at the end for the mergeable-tail report.
+  obs::QuantileSketch sketch;
   double rejected_ms_sum = 0.0;
   double retry_after_sum = 0.0;
   std::uint64_t server_version = 0;
@@ -93,6 +98,8 @@ util::Json ClientBenchResult::to_json() const {
   j["p50_ms"] = p50_ms;
   j["p95_ms"] = p95_ms;
   j["p99_ms"] = p99_ms;
+  j["sketch_p99_ms"] = sketch_p99_ms;
+  j["sketch_p999_ms"] = sketch_p999_ms;
   j["mean_rejected_ms"] = mean_rejected_ms;
   j["mean_retry_after_ms"] = mean_retry_after_ms;
   j["bitwise_match"] = bitwise_match;
@@ -142,8 +149,14 @@ int run_client_bench(const ClientBenchOptions& opts,
         s.transport_error = true;
         return;
       }
-      // tag -> send time for every request this connection has in flight.
-      std::vector<std::pair<std::uint64_t, Clock::time_point>> inflight;
+      // Every request this connection has in flight: tag for matching the
+      // response, trace id for closing the client.request async span.
+      struct InFlight {
+        std::uint64_t tag = 0;
+        std::uint64_t trace_id = 0;
+        Clock::time_point sent_at;
+      };
+      std::vector<InFlight> inflight;
       std::vector<std::uint8_t> encoded;
       std::vector<std::uint8_t> payload;
 
@@ -179,15 +192,24 @@ int run_client_bench(const ClientBenchOptions& opts,
         request.beam_width = opts.beam_width;
         request.deadline_ms = opts.deadline_ms;
         request.client_tag = tag;
+        // Originate the cross-process trace id here: the server continues
+        // it through admit/batch/finish, and trace_merge later fuses the
+        // two processes' dumps into one per-request track.
+        request.trace_id = obs::TraceRecorder::next_id();
         request.insight =
             insights[static_cast<std::size_t>(tag % insights.size())];
         encoded.clear();
         wire::encode(request, encoded);
+        auto& recorder = obs::TraceRecorder::instance();
+        if (recorder.enabled()) {
+          recorder.async_begin("client.request", "serve", request.trace_id,
+                               {{"tag", tag}});
+        }
         if (!wire::write_frame(fd, encoded)) {
           s.transport_error = true;
           return false;
         }
-        inflight.emplace_back(tag, Clock::now());
+        inflight.push_back({tag, request.trace_id, Clock::now()});
         ++s.sent;
         return true;
       };
@@ -205,20 +227,27 @@ int run_client_bench(const ClientBenchOptions& opts,
         const auto done = Clock::now();
         const auto it = std::find_if(
             inflight.begin(), inflight.end(),
-            [&](const auto& p) { return p.first == response->client_tag; });
+            [&](const auto& p) { return p.tag == response->client_tag; });
         if (it == inflight.end()) {
           s.transport_error = true;  // response to a request never sent
           return false;
         }
         const double rtt_ms =
-            std::chrono::duration<double, std::milli>(done - it->second)
+            std::chrono::duration<double, std::milli>(done - it->sent_at)
                 .count();
-        const std::uint64_t tag = it->first;
+        const std::uint64_t tag = it->tag;
+        auto& recorder = obs::TraceRecorder::instance();
+        if (recorder.enabled()) {
+          recorder.async_end("client.request", "serve", it->trace_id,
+                             {{"status", to_string(response->status)},
+                              {"rtt_ms", rtt_ms}});
+        }
         inflight.erase(it);
         switch (response->status) {
           case Status::kOk:
             ++s.ok;
             s.ok_latency_ms.push_back(rtt_ms);
+            s.sketch.observe(rtt_ms);
             if (response->model_version != 0) {
               s.versions_seen.insert(response->model_version);
             }
@@ -268,8 +297,10 @@ int run_client_bench(const ClientBenchOptions& opts,
 
   ClientBenchResult result;
   std::vector<double> latencies;
+  obs::QuantileSketch merged_sketch;
   std::set<std::uint64_t> versions_seen;
   for (const ConnStats& s : stats) {
+    merged_sketch.merge(s.sketch);
     result.sent += s.sent;
     result.ok += s.ok;
     result.rejected += s.rejected;
@@ -296,6 +327,10 @@ int run_client_bench(const ClientBenchOptions& opts,
     result.p95_ms = util::percentile(latencies, 95.0);
     result.p99_ms = util::percentile(latencies, 99.0);
   }
+  if (merged_sketch.count() > 0) {
+    result.sketch_p99_ms = merged_sketch.quantile(0.99);
+    result.sketch_p999_ms = merged_sketch.quantile(0.999);
+  }
   if (result.rejected > 0) {
     result.mean_rejected_ms /= static_cast<double>(result.rejected);
     result.mean_retry_after_ms /= static_cast<double>(result.rejected);
@@ -307,9 +342,11 @@ int run_client_bench(const ClientBenchOptions& opts,
     j.write(os);
     os << '\n';
   }
-  const std::string report = j.dump() + "\n";
-  std::fputs(report.c_str(), stdout);
-  std::fflush(stdout);
+  if (!opts.quiet) {
+    const std::string report = j.dump() + "\n";
+    std::fputs(report.c_str(), stdout);
+    std::fflush(stdout);
+  }
 
   if (out != nullptr) *out = result;
   if (!result.bitwise_match) {

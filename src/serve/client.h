@@ -6,6 +6,12 @@
 // insights, and reports aggregate QPS, latency percentiles, shed
 // behaviour, and — when the server runs the default seeded model — a
 // bitwise check of every kOk response against a local beam_search oracle.
+//
+// Every request originates a cross-process trace id
+// (obs::TraceRecorder::next_id()) carried in the request frame and
+// recorded as a client.request async span, so a client trace dump and the
+// server's trace dump merge (obs::trace_merge) into one causally-linked
+// Perfetto timeline per request.
 
 #include <cstdint>
 #include <string>
@@ -33,6 +39,9 @@ struct ClientBenchOptions {
   bool verify = true;
   /// Optional JSON report path ("" = don't write).
   std::string json_path;
+  /// Suppress the stdout report (embedding callers — the rollback sweep in
+  /// serve-bench — read the ClientBenchResult instead).
+  bool quiet = false;
 };
 
 struct ClientBenchResult {
@@ -50,6 +59,12 @@ struct ClientBenchResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Tail percentiles from the merged per-connection obs::QuantileSketch —
+  /// the same mergeable-sketch estimate the server reports, so client-side
+  /// and fleet-side tails are comparable (and p99.9 stays honest at counts
+  /// where an exact sample percentile would just be the max).
+  double sketch_p99_ms = 0.0;
+  double sketch_p999_ms = 0.0;
   /// Mean round-trip of rejected (shed) responses — the "rejected fast"
   /// acceptance bar: shedding must cost far less than decoding.
   double mean_rejected_ms = 0.0;

@@ -80,6 +80,9 @@ util::Json RouterCounters::to_json() const {
   j["routed"] = static_cast<double>(routed);
   j["shed"] = static_cast<double>(shed);
   j["rebalances"] = static_cast<double>(rebalances);
+  j["fleet_p99_ms"] = fleet_p99_ms;
+  j["fleet_p999_ms"] = fleet_p999_ms;
+  j["fleet_latency_count"] = static_cast<double>(fleet_latency_count);
   util::Json arr = util::Json::array();
   for (const ServiceCounters& c : replica) arr.push_back(c.to_json());
   j["replicas"] = std::move(arr);
@@ -183,14 +186,16 @@ std::vector<int> Router::placement_order() const {
 }
 
 void Router::shed(std::vector<double>&& insight, Priority priority,
-                  std::promise<Response>& promise, double retry_after_ms) {
+                  std::promise<Response>& promise, double retry_after_ms,
+                  std::uint64_t trace_id) {
   insight.clear();  // the request is not going anywhere
   shed_.fetch_add(1, std::memory_order_relaxed);
   RouterMetrics::get().shed.inc();
   Response response;
   response.status = Status::kRejected;
   response.retry_after_ms = std::max(1.0, retry_after_ms);
-  response.trace_id = obs::TraceRecorder::next_id();
+  response.trace_id =
+      trace_id != 0 ? trace_id : obs::TraceRecorder::next_id();
   auto& recorder = obs::TraceRecorder::instance();
   if (recorder.enabled()) {
     recorder.async_instant("serve.shed", "serve", response.trace_id,
@@ -203,7 +208,8 @@ void Router::shed(std::vector<double>&& insight, Priority priority,
 std::future<Response> Router::submit(std::vector<double> insight,
                                      int beam_width,
                                      std::chrono::milliseconds deadline,
-                                     Priority priority) {
+                                     Priority priority,
+                                     std::uint64_t trace_id) {
   // Validate before placement so malformed input throws (a caller bug)
   // rather than consuming shed/queue budget.
   if (insight.size() != insight_dim_) {
@@ -229,7 +235,8 @@ std::future<Response> Router::submit(std::vector<double> insight,
   if (util >= shed_threshold(priority)) {
     std::promise<Response> promise;
     auto future = promise.get_future();
-    shed(std::move(insight), priority, promise, estimated_drain_ms());
+    shed(std::move(insight), priority, promise, estimated_drain_ms(),
+         trace_id);
     return future;
   }
   if (deadline != kNoDeadline && config_.deadline_slack_factor > 0.0) {
@@ -238,7 +245,7 @@ std::future<Response> Router::submit(std::vector<double> insight,
         config_.deadline_slack_factor * wait_ms) {
       std::promise<Response> promise;
       auto future = promise.get_future();
-      shed(std::move(insight), priority, promise, wait_ms);
+      shed(std::move(insight), priority, promise, wait_ms, trace_id);
       return future;
     }
   }
@@ -248,7 +255,8 @@ std::future<Response> Router::submit(std::vector<double> insight,
   for (const int idx : placement_order()) {
     ReplicaState& r = fleet_[static_cast<std::size_t>(idx)];
     if (r.service->queue_depth() >= config_.replica.queue_capacity) continue;
-    auto future = r.service->submit(std::move(insight), beam_width, deadline);
+    auto future =
+        r.service->submit(std::move(insight), beam_width, deadline, trace_id);
     const std::uint64_t placed =
         routed_.fetch_add(1, std::memory_order_relaxed) + 1;
     RouterMetrics::get().routed.inc();
@@ -260,8 +268,16 @@ std::future<Response> Router::submit(std::vector<double> insight,
   // unbounded buffering, which the serve layer never does).
   std::promise<Response> promise;
   auto future = promise.get_future();
-  shed(std::move(insight), priority, promise, estimated_drain_ms());
+  shed(std::move(insight), priority, promise, estimated_drain_ms(), trace_id);
   return future;
+}
+
+obs::QuantileSketch Router::fleet_latency_sketch() const {
+  obs::QuantileSketch fleet;
+  for (const ReplicaState& r : fleet_) {
+    fleet.merge(r.service->latency_sketch());
+  }
+  return fleet;
 }
 
 Response Router::recommend(std::vector<double> insight, int beam_width,
@@ -314,6 +330,12 @@ RouterCounters Router::counters() const {
   c.replica.reserve(fleet_.size());
   for (const ReplicaState& r : fleet_) {
     c.replica.push_back(r.service->counters());
+  }
+  const obs::QuantileSketch fleet = fleet_latency_sketch();
+  if (fleet.count() > 0) {
+    c.fleet_p99_ms = fleet.quantile(0.99);
+    c.fleet_p999_ms = fleet.quantile(0.999);
+    c.fleet_latency_count = fleet.count();
   }
   return c;
 }

@@ -68,6 +68,12 @@ struct RouterCounters {
   std::uint64_t routed = 0;      // placed on a replica
   std::uint64_t shed = 0;        // refused by the overload policy
   std::uint64_t rebalances = 0;  // drain-rate refresh passes run
+  /// Fleet tail latency from merging every replica's QuantileSketch — the
+  /// honest cross-replica p99/p99.9 (a mean of per-replica p99s is not a
+  /// fleet p99). fleet_latency_count is the merged observation count.
+  double fleet_p99_ms = 0.0;
+  double fleet_p999_ms = 0.0;
+  std::uint64_t fleet_latency_count = 0;
   std::vector<ServiceCounters> replica;
 
   /// Sums over the per-replica snapshots.
@@ -97,10 +103,13 @@ class Router {
   /// with Response::retry_after_ms set) under the overload policy. Throws
   /// std::invalid_argument for malformed input, like
   /// RecommendService::submit.
+  /// `trace_id` 0 originates a fresh correlation id; a nonzero id (e.g.
+  /// from a remote client's request frame) is continued through the
+  /// placed replica's serve.* trace events — see RecommendService::submit.
   [[nodiscard]] std::future<Response> submit(
       std::vector<double> insight, int beam_width,
       std::chrono::milliseconds deadline = kNoDeadline,
-      Priority priority = Priority::kNormal);
+      Priority priority = Priority::kNormal, std::uint64_t trace_id = 0);
 
   /// Blocking submit().get().
   [[nodiscard]] Response recommend(
@@ -129,6 +138,9 @@ class Router {
   }
   /// Aggregate queued / aggregate queue capacity, in [0, 1].
   [[nodiscard]] double utilization() const;
+  /// Merge of every replica's full-history latency sketch: the fleet tail
+  /// distribution (cross-replica p99/p99.9 with relative-error bounds).
+  [[nodiscard]] obs::QuantileSketch fleet_latency_sketch() const;
   /// Estimated milliseconds to drain the current backlog at the measured
   /// completion rate — the Retry-After hint attached to shed responses.
   [[nodiscard]] double estimated_drain_ms() const;
@@ -155,7 +167,8 @@ class Router {
 
   [[nodiscard]] double shed_threshold(Priority priority) const noexcept;
   void shed(std::vector<double>&& insight, Priority priority,
-            std::promise<Response>& promise, double retry_after_ms);
+            std::promise<Response>& promise, double retry_after_ms,
+            std::uint64_t trace_id);
   /// Replica indices sorted by ascending load score.
   [[nodiscard]] std::vector<int> placement_order() const;
 

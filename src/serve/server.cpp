@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +17,7 @@
 #include "obs/trace.h"
 #include "serve/registry.h"
 #include "serve/wire.h"
+#include "util/json.h"
 #include "util/log.h"
 
 namespace vpr::serve {
@@ -85,6 +87,27 @@ void Server::start_listening() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  if (config_.admin_port >= 0) {
+    AdminHandlers handlers;
+    handlers.metrics_text = [] {
+      std::ostringstream os;
+      obs::MetricsRegistry::instance().write_prometheus(os);
+      return os.str();
+    };
+    handlers.healthz_json = [this] { return healthz_json(); };
+    handlers.statusz_json = [this] { return statusz_json(); };
+    handlers.draining = [this] {
+      return closing_.load(std::memory_order_acquire);
+    };
+    try {
+      admin_ = std::make_unique<AdminServer>(
+          config_.host, config_.admin_port, std::move(handlers));
+    } catch (...) {
+      ::close(listen_fd_);  // acceptor not started yet; don't leak the fd
+      throw;
+    }
+  }
+
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -97,6 +120,41 @@ ServerStats Server::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::string Server::healthz_json() const {
+  const bool draining = closing_.load(std::memory_order_acquire);
+  const double utilization = router_.utilization();
+  const bool overloaded = utilization >= config_.router.shed_normal;
+  auto doc = util::Json::object();
+  doc["status"] = draining      ? "draining"
+                  : overloaded  ? "overloaded"
+                                : "ok";
+  doc["draining"] = draining;
+  doc["overloaded"] = overloaded;
+  doc["utilization"] = utilization;
+  doc["replicas"] = router_.replicas();
+  doc["port"] = port_;
+  return doc.dump(-1);
+}
+
+std::string Server::statusz_json() const {
+  auto doc = util::Json::object();
+  auto server = util::Json::object();
+  const ServerStats s = stats();
+  server["connections"] = s.connections;
+  server["requests"] = s.requests;
+  server["protocol_errors"] = s.protocol_errors;
+  server["bad_requests"] = s.bad_requests;
+  server["port"] = port_;
+  server["draining"] = closing_.load(std::memory_order_acquire);
+  doc["server"] = std::move(server);
+  doc["router"] = router_.counters().to_json();
+  doc["utilization"] = router_.utilization();
+  if (const auto& registry = router_.registry(); registry != nullptr) {
+    doc["registry"] = registry->to_json();
+  }
+  return doc.dump(-1);
 }
 
 void Server::accept_loop() {
@@ -136,19 +194,63 @@ void Server::reader_loop(Connection& conn) {
   obs::TraceRecorder::instance().set_thread_name("conn-reader");
   std::vector<std::uint8_t> payload;
   while (wire::read_frame(conn.fd, payload)) {
-    if (!payload.empty() && payload.front() == wire::kVersionQueryFrame) {
-      auto query = wire::decode_version_query(payload);
-      if (!query.has_value()) {
+    if (payload.empty()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().protocol_errors.inc();
+      break;  // a zero-length frame carries no type byte: corruption
+    }
+    const std::uint8_t type = payload.front();
+    if (type == wire::kVersionQueryFrame ||
+        type == wire::kStatsQueryFrame) {
+      // Probes are answered without touching the decode queue, but
+      // routed through the pending queue so responses keep pipeline
+      // order.
+      Pending probe;
+      bool decoded = false;
+      if (type == wire::kVersionQueryFrame) {
+        if (auto query = wire::decode_version_query(payload)) {
+          probe.kind = Pending::Kind::kVersionQuery;
+          probe.client_tag = query->client_tag;
+          decoded = true;
+        }
+      } else {
+        if (auto query = wire::decode_stats_query(payload)) {
+          probe.kind = Pending::Kind::kStatsQuery;
+          probe.client_tag = query->client_tag;
+          decoded = true;
+        }
+      }
+      if (!decoded) {
+        // A known type byte with a malformed body is corruption.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         NetMetrics::get().protocol_errors.inc();
         break;
       }
-      // Answered without touching the decode queue, but routed through
-      // the pending queue so the response keeps pipeline order.
-      Pending probe;
-      probe.client_tag = query->client_tag;
-      probe.version_query = true;
       while (conn.pending->push(std::move(probe)) ==
+             util::PushResult::kFull) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    if (type != wire::kRequestFrame) {
+      // Unknown-but-well-framed type: the peer speaks a newer protocol,
+      // the stream itself is intact. Answer kBadRequest in-band and keep
+      // the connection alive. Best effort on the tag: echo the u64 after
+      // the type byte when the payload has one (where this protocol's
+      // frames keep their correlation tag); tag 0 still lets a
+      // pipelining client count responses.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().bad_requests.inc();
+      Pending rejected;
+      if (payload.size() >= 9) {
+        std::memcpy(&rejected.client_tag, payload.data() + 1, 8);
+      }
+      std::promise<Response> failed;
+      Response response;
+      response.status = Status::kBadRequest;
+      failed.set_value(std::move(response));
+      rejected.future = failed.get_future();
+      while (conn.pending->push(std::move(rejected)) ==
              util::PushResult::kFull) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
@@ -169,7 +271,7 @@ void Server::reader_loop(Connection& conn) {
       pending.future = router_.submit(
           std::move(request->insight), request->beam_width,
           std::chrono::milliseconds(request->deadline_ms),
-          request->priority);
+          request->priority, request->trace_id);
     } catch (const std::invalid_argument&) {
       // Malformed contents from a remote peer are traffic, not a server
       // bug: answer kBadRequest and keep the connection.
@@ -200,7 +302,7 @@ void Server::writer_loop(Connection& conn) {
   Pending pending;
   bool write_ok = true;
   while (conn.pending->pop(pending)) {
-    if (pending.version_query) {
+    if (pending.kind == Pending::Kind::kVersionQuery) {
       if (!write_ok) continue;
       wire::VersionInfoFrame info;
       info.client_tag = pending.client_tag;
@@ -216,6 +318,19 @@ void Server::writer_loop(Connection& conn) {
       }
       encoded.clear();
       wire::encode(info, encoded);
+      if (!wire::write_frame(conn.fd, encoded)) {
+        write_ok = false;
+        ::shutdown(conn.fd, SHUT_RDWR);
+      }
+      continue;
+    }
+    if (pending.kind == Pending::Kind::kStatsQuery) {
+      if (!write_ok) continue;
+      wire::StatsFrame stats_frame;
+      stats_frame.client_tag = pending.client_tag;
+      stats_frame.json = statusz_json();
+      encoded.clear();
+      wire::encode(stats_frame, encoded);
       if (!wire::write_frame(conn.fd, encoded)) {
         write_ok = false;
         ::shutdown(conn.fd, SHUT_RDWR);
@@ -290,6 +405,12 @@ void Server::stop() {
   }
   // 4. Drain the replicas.
   router_.stop();
+  // 5. Stop the admin plane last: throughout the drain /healthz kept
+  //    answering 503 "draining", so an external health checker sees the
+  //    shutdown instead of an instant connection refusal. The handlers
+  //    only read state that outlives this method (counters, registry),
+  //    so late scrapes are safe.
+  if (admin_ != nullptr) admin_->stop();
 }
 
 }  // namespace vpr::serve

@@ -13,11 +13,21 @@
 // kMaxPipelined requests; beyond that the reader stops reading, pushing
 // backpressure into the kernel socket buffer and ultimately the client.
 //
-// Shutdown (stop(), also the destructor): close the listener, shut down
-// every connection's read side so readers see EOF and stop admitting,
-// let writers drain every response already in flight, join, then stop
-// the router (which drains its replicas). Nothing submitted before
-// stop() is dropped — the CI smoke asserts a clean SIGTERM drain.
+// Admin surface: stats-query frames (wire::kStatsQueryFrame) are
+// answered off the decode queue — like version probes — with the JSON
+// status document, and `admin_port >= 0` additionally starts an
+// AdminServer exposing the same document plus Prometheus /metrics and
+// /healthz over HTTP. An unknown-but-well-framed frame type is answered
+// in-band with kBadRequest and the connection survives; only genuine
+// framing corruption (bad length prefix, truncated payload of a known
+// type) kills the stream.
+//
+// Shutdown (stop(), also the destructor): stop the admin listener, close
+// the listener, shut down every connection's read side so readers see
+// EOF and stop admitting, let writers drain every response already in
+// flight, join, then stop the router (which drains its replicas).
+// Nothing submitted before stop() is dropped — the CI smoke asserts a
+// clean SIGTERM drain.
 
 #include <atomic>
 #include <cstdint>
@@ -27,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/admin.h"
 #include "serve/router.h"
 
 namespace vpr::serve {
@@ -39,6 +50,9 @@ struct ServerConfig {
   /// 0 binds an ephemeral port (tests); port() reports the actual one.
   int port = 0;
   int backlog = 64;
+  /// HTTP admin listener port on `host`: -1 disables it, 0 binds an
+  /// ephemeral port (admin_port() reports the actual one).
+  int admin_port = -1;
 };
 
 /// Per-server traffic totals (process-wide counterparts live in the
@@ -69,8 +83,20 @@ class Server {
 
   /// The bound port (resolves port 0 to the kernel-assigned one).
   [[nodiscard]] int port() const noexcept { return port_; }
+  /// The admin listener's bound port, or -1 when disabled.
+  [[nodiscard]] int admin_port() const noexcept {
+    return admin_ != nullptr ? admin_->port() : -1;
+  }
   [[nodiscard]] Router& router() noexcept { return router_; }
   [[nodiscard]] ServerStats stats() const;
+
+  /// The /healthz document: drain + overload state. {"status": "ok" |
+  /// "overloaded" | "draining", utilization, replicas, ...}.
+  [[nodiscard]] std::string healthz_json() const;
+  /// The /statusz document (also the wire::StatsFrame payload): server
+  /// totals, router counters with per-replica occupancy, and — on
+  /// registry-backed fleets — registry versions + the A/B table.
+  [[nodiscard]] std::string statusz_json() const;
 
   /// Graceful drain; idempotent, thread-safe (the CLI calls it from the
   /// SIGTERM path).
@@ -78,12 +104,12 @@ class Server {
 
  private:
   struct Pending {
+    /// Probes (version / stats) are answered without a future, but still
+    /// routed through the pending queue so responses keep pipeline order.
+    enum class Kind { kRequest, kVersionQuery, kStatsQuery };
+    Kind kind = Kind::kRequest;
     std::uint64_t client_tag = 0;
     std::future<Response> future;
-    /// Version probe: answered from `version_info` (no future involved),
-    /// but still routed through the pending queue so responses keep
-    /// pipeline order.
-    bool version_query = false;
   };
   struct Connection {
     int fd = -1;
@@ -104,6 +130,7 @@ class Server {
 
   ServerConfig config_;
   Router router_;
+  std::unique_ptr<AdminServer> admin_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> closing_{false};

@@ -102,6 +102,8 @@ util::Json ServiceCounters::to_json() const {
   j["p50_latency_ms"] = p50_latency_ms;
   j["p95_latency_ms"] = p95_latency_ms;
   j["p99_latency_ms"] = p99_latency_ms;
+  j["sketch_p99_ms"] = sketch_p99_ms;
+  j["sketch_p999_ms"] = sketch_p999_ms;
   j["qps"] = qps;
   j["sessions_created"] = static_cast<double>(sessions_created);
   j["session_reuses"] = static_cast<double>(session_reuses);
@@ -156,7 +158,7 @@ RecommendService::~RecommendService() { stop(); }
 
 std::future<Response> RecommendService::submit(
     std::vector<double> insight, int beam_width,
-    std::chrono::milliseconds deadline) {
+    std::chrono::milliseconds deadline, std::uint64_t trace_id) {
   const auto dim = static_cast<std::size_t>(insight_dim_);
   if (insight.size() != dim) {
     throw std::invalid_argument(
@@ -170,7 +172,10 @@ std::future<Response> RecommendService::submit(
   Request request;
   request.insight = std::move(insight);
   request.beam_width = beam_width;
-  request.trace_id = obs::TraceRecorder::next_id();
+  // Continue a caller-provided (cross-process) trace id; originate one
+  // only for callers that have none.
+  request.trace_id =
+      trace_id != 0 ? trace_id : obs::TraceRecorder::next_id();
   request.submitted_at = Clock::now();
   request.deadline = deadline == kNoDeadline
                          ? Clock::time_point::max()
@@ -256,6 +261,11 @@ void RecommendService::stop() {
   if (batcher_.joinable()) batcher_.join();
 }
 
+obs::QuantileSketch RecommendService::latency_sketch() const {
+  std::lock_guard lock(counters_mutex_);
+  return latency_sketch_;
+}
+
 ServiceCounters RecommendService::counters() const {
   std::lock_guard lock(counters_mutex_);
   ServiceCounters snapshot;
@@ -279,6 +289,10 @@ ServiceCounters RecommendService::counters() const {
     snapshot.p50_latency_ms = util::percentile(latencies_ms_, 50.0);
     snapshot.p95_latency_ms = util::percentile(latencies_ms_, 95.0);
     snapshot.p99_latency_ms = util::percentile(latencies_ms_, 99.0);
+  }
+  if (latency_sketch_.count() > 0) {
+    snapshot.sketch_p99_ms = latency_sketch_.quantile(0.99);
+    snapshot.sketch_p999_ms = latency_sketch_.quantile(0.999);
   }
   if (snapshot.completed > 0 && last_complete_ > first_submit_) {
     snapshot.qps = static_cast<double>(snapshot.completed) /
@@ -367,9 +381,14 @@ void RecommendService::finish(Inflight& flight, Status status) {
   if (status == Status::kOk) candidates = flight.decoder->result();
   const std::uint64_t served_version =
       flight.pin != nullptr ? flight.pin->version() : 0;
+  // Latency is measured before the registry sees the outcome, so the SLO
+  // engine judges the same number the client will be told.
+  const auto done = Clock::now();
+  const double latency = ms_between(flight.request.submitted_at, done);
   if (status == Status::kOk && registry_ != nullptr && flight.pin != nullptr &&
       !candidates.empty()) {
-    registry_->record_outcome(served_version, candidates.front().log_prob);
+    registry_->record_outcome(served_version, candidates.front().log_prob,
+                              latency);
   }
 
   // Update the counters before fulfilling the promise: a caller that
@@ -379,11 +398,10 @@ void RecommendService::finish(Inflight& flight, Status status) {
     ServeMetrics& metrics = ServeMetrics::get();
     metrics.completed.inc();
     n_completed_.fetch_add(1, std::memory_order_relaxed);
-    const auto done = Clock::now();
-    const double latency = ms_between(flight.request.submitted_at, done);
     metrics.latency_ms.observe(latency);
     std::lock_guard lock(counters_mutex_);
     last_complete_ = done;
+    latency_sketch_.observe(latency);
     // Bounded ring: overwrite the oldest sample once the window is full.
     // Percentiles don't care about order, so no rotation is needed.
     if (latencies_ms_.size() < kLatencyWindow) {

@@ -45,6 +45,7 @@
 
 #include "align/beam.h"
 #include "align/recipe_model.h"
+#include "obs/quantile.h"
 #include "serve/arena.h"
 #include "util/json.h"
 #include "util/mpmc_queue.h"
@@ -128,6 +129,12 @@ struct ServiceCounters {
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
+  /// Sketch-derived tail percentiles over the FULL completion history
+  /// (obs::QuantileSketch, 1% relative error) — the honest numbers bench
+  /// emitters report, immune to the ring window and mergeable across
+  /// replicas for fleet tails.
+  double sketch_p99_ms = 0.0;
+  double sketch_p999_ms = 0.0;
   /// Completed requests per second, first submit -> last completion.
   double qps = 0.0;
   long sessions_created = 0;
@@ -165,10 +172,15 @@ class RecommendService {
   /// or with kRejected (queue full) / kTimedOut (deadline expired) /
   /// kShutdown (service stopped). Throws std::invalid_argument for a bad
   /// insight dimension or beam width — malformed input is a caller bug,
-  /// not a load condition.
+  /// not a load condition. `trace_id` 0 (the in-process default) makes the
+  /// service originate a correlation id; a nonzero id — e.g. one a remote
+  /// client minted and sent over the wire — is continued instead, so the
+  /// request's serve.* trace events line up with the client's own span in
+  /// a merged cross-process trace.
   [[nodiscard]] std::future<Response> submit(
       std::vector<double> insight, int beam_width,
-      std::chrono::milliseconds deadline = kNoDeadline);
+      std::chrono::milliseconds deadline = kNoDeadline,
+      std::uint64_t trace_id = 0);
 
   /// Blocking submit().get().
   [[nodiscard]] Response recommend(
@@ -189,6 +201,11 @@ class RecommendService {
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
   }
+
+  /// Copy of the full-history latency sketch (kOk completions). Mergeable
+  /// with other replicas' sketches — serve::Router::counters() does
+  /// exactly that for fleet p99/p99.9.
+  [[nodiscard]] obs::QuantileSketch latency_sketch() const;
 
   /// Cheap load probes for an external placer (serve::Router): requests
   /// waiting in the admission queue and requests currently decoding.
@@ -285,6 +302,9 @@ class RecommendService {
   /// histogram; this ring only backs the recent-window percentiles).
   std::vector<double> latencies_ms_;
   std::size_t latency_next_ = 0;
+  /// Full-history mergeable tail sketch (guarded by counters_mutex_, like
+  /// the ring): one observe per kOk completion, never windowed.
+  obs::QuantileSketch latency_sketch_;
   std::uint64_t peak_inflight_ = 0;
   Clock::time_point first_submit_{};
   Clock::time_point last_complete_{};

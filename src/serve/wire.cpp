@@ -46,13 +46,14 @@ struct Reader {
 
 void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out) {
   const std::size_t payload =
-      1 + 1 + 2 + 4 + 8 + 4 + sizeof(double) * frame.insight.size();
+      1 + 1 + 2 + 4 + 8 + 8 + 4 + sizeof(double) * frame.insight.size();
   put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
   put<std::uint8_t>(out, kRequestFrame);
   put<std::uint8_t>(out, static_cast<std::uint8_t>(frame.priority));
   put<std::uint16_t>(out, static_cast<std::uint16_t>(frame.beam_width));
   put<std::uint32_t>(out, frame.deadline_ms);
   put<std::uint64_t>(out, frame.client_tag);
+  put<std::uint64_t>(out, frame.trace_id);
   put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.insight.size()));
   for (const double v : frame.insight) put<double>(out, v);
 }
@@ -90,6 +91,7 @@ std::optional<RequestFrame> decode_request(
   frame.beam_width = r.get<std::uint16_t>();
   frame.deadline_ms = r.get<std::uint32_t>();
   frame.client_tag = r.get<std::uint64_t>();
+  frame.trace_id = r.get<std::uint64_t>();
   const auto dim = r.get<std::uint32_t>();
   // The remaining bytes must hold exactly `dim` doubles; this also bounds
   // the allocation by the (already length-checked) payload size.
@@ -147,6 +149,45 @@ void encode(const VersionInfoFrame& frame, std::vector<std::uint8_t>& out) {
   put<std::uint64_t>(out, frame.model_version);
   put<std::uint64_t>(out, frame.checksum);
   put<std::uint64_t>(out, frame.swaps);
+}
+
+void encode(const StatsQueryFrame& frame, std::vector<std::uint8_t>& out) {
+  put<std::uint32_t>(out, 1 + 8);
+  put<std::uint8_t>(out, kStatsQueryFrame);
+  put<std::uint64_t>(out, frame.client_tag);
+}
+
+void encode(const StatsFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t payload = 1 + 8 + 4 + frame.json.size();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload));
+  put<std::uint8_t>(out, kStatsFrame);
+  put<std::uint64_t>(out, frame.client_tag);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.json.size()));
+  const auto old = out.size();
+  out.resize(old + frame.json.size());
+  std::memcpy(out.data() + old, frame.json.data(), frame.json.size());
+}
+
+std::optional<StatsQueryFrame> decode_stats_query(
+    std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kStatsQueryFrame) return std::nullopt;
+  StatsQueryFrame frame;
+  frame.client_tag = r.get<std::uint64_t>();
+  if (!r.done()) return std::nullopt;
+  return frame;
+}
+
+std::optional<StatsFrame> decode_stats(std::span<const std::uint8_t> payload) {
+  Reader r{payload};
+  if (r.get<std::uint8_t>() != kStatsFrame) return std::nullopt;
+  StatsFrame frame;
+  frame.client_tag = r.get<std::uint64_t>();
+  const auto length = r.get<std::uint32_t>();
+  if (!r.ok || payload.size() - r.pos != length) return std::nullopt;
+  frame.json.assign(reinterpret_cast<const char*>(payload.data()) + r.pos,
+                    length);
+  return frame;
 }
 
 std::optional<VersionQueryFrame> decode_version_query(

@@ -12,8 +12,12 @@
 //        log probabilities arrive exactly as the server computed them)
 //
 // Request payload:  u8 priority, u16 beam_width, u32 deadline_ms
-//                   (0 = none), u64 client_tag, u32 insight_dim,
-//                   f64[insight_dim] insight
+//                   (0 = none), u64 client_tag, u64 trace_id (0 = let the
+//                   server originate one; nonzero ids are minted by
+//                   obs::TraceRecorder::next_id() on the client and
+//                   continued through admit/batch/finish on the server,
+//                   so obs::trace_merge can fuse both processes' traces),
+//                   u32 insight_dim, f64[insight_dim] insight
 // Response payload: u8 status, u64 client_tag (echoed), u64 trace_id,
 //                   u64 model_version (registry version that decoded the
 //                   request; 0 on fixed-model servers), f64 queue_ms,
@@ -26,17 +30,26 @@
 //                   u64 checksum (registry checksum of that version, 0
 //                   on fixed-model servers), u64 swaps (hot swaps the
 //                   answering replica has adopted)
+// Stats query:      u64 client_tag — the in-band admin plane: answered
+//                   off the decode queue like version queries.
+// Stats:            u64 client_tag (echoed), u32 byte length, then that
+//                   many bytes of UTF-8 JSON (the server's /statusz
+//                   document: occupancy, registry versions, A/B table).
 //
 // The client_tag is caller-chosen and echoed verbatim, so a connection can
 // pipeline many requests and match responses without ordering assumptions.
 // Frames above kMaxFrameBytes are treated as protocol corruption and kill
 // the connection — a length prefix must never make the peer allocate
-// unboundedly.
+// unboundedly. An *unknown but well-framed* type byte is NOT corruption:
+// the framing layer delivers it like any other payload and the server
+// answers in-band with Status::kBadRequest, so an old client survives a
+// peer that speaks newer admin frames.
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "serve/router.h"
@@ -48,6 +61,8 @@ inline constexpr std::uint8_t kRequestFrame = 1;
 inline constexpr std::uint8_t kResponseFrame = 2;
 inline constexpr std::uint8_t kVersionQueryFrame = 3;
 inline constexpr std::uint8_t kVersionInfoFrame = 4;
+inline constexpr std::uint8_t kStatsQueryFrame = 5;
+inline constexpr std::uint8_t kStatsFrame = 6;
 /// Upper bound on a single frame's payload (type byte included).
 inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
 
@@ -58,6 +73,11 @@ struct RequestFrame {
   std::uint32_t deadline_ms = 0;
   /// Caller correlation id, echoed in the response.
   std::uint64_t client_tag = 0;
+  /// Cross-process trace id; 0 lets the server originate one. The id (from
+  /// the client's obs::TraceRecorder::next_id()) is carried through the
+  /// server's admit/batch/finish async events and echoed in the response,
+  /// so merged traces show one causally-linked request track.
+  std::uint64_t trace_id = 0;
   std::vector<double> insight;
 };
 
@@ -89,11 +109,27 @@ struct VersionInfoFrame {
   std::uint64_t swaps = 0;
 };
 
+/// In-band admin probe: "dump your live stats". Same out-of-band answer
+/// path as version queries — no decode-queue round trip, so a scrape
+/// cannot be stuck behind a full admission queue.
+struct StatsQueryFrame {
+  std::uint64_t client_tag = 0;
+};
+
+/// The server's status document as a JSON string (same content as the
+/// HTTP /statusz endpoint). Arbitrary-length up to kMaxFrameBytes.
+struct StatsFrame {
+  std::uint64_t client_tag = 0;
+  std::string json;
+};
+
 /// Append one framed message (length prefix included) to `out`.
 void encode(const RequestFrame& frame, std::vector<std::uint8_t>& out);
 void encode(const ResponseFrame& frame, std::vector<std::uint8_t>& out);
 void encode(const VersionQueryFrame& frame, std::vector<std::uint8_t>& out);
 void encode(const VersionInfoFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const StatsQueryFrame& frame, std::vector<std::uint8_t>& out);
+void encode(const StatsFrame& frame, std::vector<std::uint8_t>& out);
 
 /// Decode a payload (the bytes after the length prefix, type byte first).
 /// nullopt on wrong type byte, truncation, trailing garbage, or an
@@ -105,6 +141,10 @@ void encode(const VersionInfoFrame& frame, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<VersionQueryFrame> decode_version_query(
     std::span<const std::uint8_t> payload);
 [[nodiscard]] std::optional<VersionInfoFrame> decode_version_info(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<StatsQueryFrame> decode_stats_query(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<StatsFrame> decode_stats(
     std::span<const std::uint8_t> payload);
 
 /// Incremental frame reassembler for stream transports: feed() arbitrary

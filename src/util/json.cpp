@@ -49,7 +49,10 @@ void write_number(std::ostream& os, double d) {
     os << "null";  // JSON has no Inf/NaN
     return;
   }
-  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+  // Every integer a double can represent exactly (|d| < 2^53) prints as
+  // one — unix-microsecond trace anchors (~1.8e15 in 2026) must survive a
+  // dump/parse round trip bit-exactly.
+  if (d == std::floor(d) && std::fabs(d) < 9007199254740992.0) {
     os << static_cast<long long>(d);
   } else {
     std::ostringstream tmp;
@@ -106,6 +109,238 @@ void Json::write_impl(std::ostream& os, int indent, int depth) const {
     }
     os << close_pad << '}';
   }
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-bounded so a hostile
+/// "[[[[..." cannot overflow the stack; every failure records the byte
+/// offset once (the first error wins).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> value = parse_value(0);
+    skip_ws();
+    if (value.has_value() && pos_ != text_.size()) {
+      fail("trailing garbage after document");
+      value.reset();
+    }
+    if (!value.has_value() && error != nullptr) {
+      *error = error_.empty() ? "malformed JSON" : error_;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth));
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (literal("null")) return Json{nullptr};
+        fail("bad literal");
+        return std::nullopt;
+      case 't':
+        if (literal("true")) return Json{true};
+        fail("bad literal");
+        return std::nullopt;
+      case 'f':
+        if (literal("false")) return Json{false};
+        fail("bad literal");
+        return std::nullopt;
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Json{value};
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json{std::move(out)};
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    consume('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      std::optional<Json> element = parse_value(depth + 1);
+      if (!element.has_value()) return std::nullopt;
+      arr.push_back(std::move(*element));
+      skip_ws();
+      if (consume(']')) return arr;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    consume('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::optional<Json> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      obj[key->as_string()] = std::move(*value);
+      skip_ws();
+      if (consume('}')) return obj;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser{text}.run(error);
 }
 
 void Json::write(std::ostream& os, int indent) const {

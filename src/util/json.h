@@ -1,13 +1,16 @@
 #pragma once
 // Minimal JSON value + serializer for machine-readable flow reports and
-// experiment exports. Write-oriented: builds a tree and pretty-prints it;
-// no parser (nothing in the system consumes JSON).
+// experiment exports, plus a strict recursive-descent parser — the
+// cross-process trace merger (obs::trace_merge) consumes the trace JSON
+// chunks other processes wrote, so the format must round-trip.
 
 #include <initializer_list>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -56,6 +59,14 @@ class Json {
   /// Serialize; indent < 0 => compact single line.
   void write(std::ostream& os, int indent = 2) const;
   [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Strict parse of one JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). nullopt on malformed input; when
+  /// `error` is non-null it receives a one-line diagnostic with the byte
+  /// offset. Round-trips everything write() emits, including \uXXXX
+  /// escapes (decoded to UTF-8).
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
 
   /// JSON string escaping (exposed for tests).
   static std::string escape(const std::string& s);

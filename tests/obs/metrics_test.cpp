@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -164,6 +165,55 @@ TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
 
 TEST(MetricsRegistryTest, ProcessInstanceIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+TEST(MetricsRegistryTest, HelpTextEscapesBackslashesAndNewlines) {
+  // Exposition hardening: a raw newline in HELP text would split the
+  // comment line and corrupt the whole scrape; backslashes must be
+  // doubled per the text-format escaping rules.
+  MetricsRegistry registry;
+  registry.counter("tricky", "path C:\\tmp\nsecond line").inc();
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP tricky path C:\\\\tmp\\nsecond line"),
+            std::string::npos);
+  // Exactly the expected physical lines: HELP, TYPE, sample.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(MetricsRegistryTest, EscapeLabelValue) {
+  EXPECT_EQ(MetricsRegistry::escape_label_value("plain"), "plain");
+  EXPECT_EQ(MetricsRegistry::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(MetricsRegistry::escape_label_value("back\\slash"),
+            "back\\\\slash");
+  EXPECT_EQ(MetricsRegistry::escape_label_value("line\nbreak"),
+            "line\\nbreak");
+}
+
+TEST(MetricsRegistryTest, EveryTypeLineHasAHelpLine) {
+  // Even help-less registrations get a HELP line (falling back to the
+  // metric name) so scrapers never see a bare # TYPE.
+  MetricsRegistry registry;
+  registry.counter("no.help.counter").inc();
+  registry.gauge("no.help.gauge").set(1.0);
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string text = os.str();
+  std::size_t types = 0, helps = 0, pos = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    ++types;
+    pos += 7;
+  }
+  pos = 0;
+  while ((pos = text.find("# HELP ", pos)) != std::string::npos) {
+    ++helps;
+    pos += 7;
+  }
+  EXPECT_EQ(types, 2u);
+  EXPECT_EQ(helps, types);
+  EXPECT_NE(text.find("# HELP no_help_counter no.help.counter"),
+            std::string::npos);
 }
 
 }  // namespace

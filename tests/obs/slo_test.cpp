@@ -1,0 +1,147 @@
+// obs::SloTracker — the multi-window burn-rate engine behind automatic
+// model rollback. All timestamps are injected, so every property is
+// deterministic: burn rate is (bad fraction / objective) over the
+// trailing window, a breach needs BOTH windows hot with at least
+// min_events each (one bad datapoint can never trip a rollback), and
+// events older than the slow window are pruned on record.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace vpr::obs {
+namespace {
+
+using namespace std::chrono_literals;
+using TimePoint = SloTracker::TimePoint;
+
+/// A fixed origin; tests place events at explicit offsets from it.
+TimePoint t0() { return TimePoint{} + std::chrono::hours(1); }
+
+SloConfig test_config() {
+  SloConfig config;
+  config.fast_window = 2000ms;
+  config.slow_window = 10000ms;
+  config.objective = 0.1;
+  config.burn_threshold = 2.0;
+  config.min_events = 8;
+  return config;
+}
+
+TEST(SloTracker, ConfigValidation) {
+  SloConfig bad_objective = test_config();
+  bad_objective.objective = 0.0;
+  EXPECT_THROW(SloTracker{bad_objective}, std::invalid_argument);
+  bad_objective.objective = 1.5;
+  EXPECT_THROW(SloTracker{bad_objective}, std::invalid_argument);
+
+  SloConfig inverted = test_config();
+  inverted.fast_window = 20000ms;
+  EXPECT_THROW(SloTracker{inverted}, std::invalid_argument);
+}
+
+TEST(SloTracker, EmptyTrackerNeverBreaches) {
+  SloTracker tracker{test_config()};
+  EXPECT_EQ(tracker.burn_rate(2000ms, t0()), 0.0);
+  EXPECT_FALSE(tracker.breached(t0()));
+  EXPECT_EQ(tracker.total_events(), 0u);
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverObjective) {
+  SloTracker tracker{test_config()};
+  // 10 events, 5 bad: bad fraction 0.5, objective 0.1 -> burn rate 5.
+  for (int i = 0; i < 10; ++i) {
+    tracker.record(i % 2 == 0, t0() + std::chrono::milliseconds(i));
+  }
+  const TimePoint now = t0() + 100ms;
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(2000ms, now), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(10000ms, now), 5.0);
+  EXPECT_EQ(tracker.total_events(), 10u);
+}
+
+TEST(SloTracker, MinEventsGuardsAgainstSingleDatapoints) {
+  SloTracker tracker{test_config()};
+  // 7 consecutive failures burn at rate 10 in both windows, but neither
+  // window has min_events yet: no breach.
+  for (int i = 0; i < 7; ++i) {
+    tracker.record(false, t0() + std::chrono::milliseconds(i));
+  }
+  EXPECT_FALSE(tracker.breached(t0() + 10ms));
+  // The 8th failure satisfies min_events in both windows: breach.
+  tracker.record(false, t0() + 8ms);
+  EXPECT_TRUE(tracker.breached(t0() + 10ms));
+}
+
+TEST(SloTracker, FastWindowAloneIsNotABreach) {
+  SloTracker tracker{test_config()};
+  // A long healthy history: 92 good events spread over the slow window.
+  for (int i = 0; i < 92; ++i) {
+    tracker.record(true, t0() + std::chrono::milliseconds(i * 85));
+  }
+  // Then a burst of 8 failures inside the fast window. Fast burn is 10
+  // (all bad), but the slow window sees 8/100 bad = burn 0.8 < 2.0: the
+  // sustained-evidence window vetoes the alert.
+  const TimePoint burst = t0() + 9000ms;
+  for (int i = 0; i < 8; ++i) {
+    tracker.record(false, burst + std::chrono::milliseconds(i));
+  }
+  const TimePoint now = burst + 100ms;
+  EXPECT_GE(tracker.burn_rate(2000ms, now), 2.0);
+  EXPECT_LT(tracker.burn_rate(10000ms, now), 2.0);
+  EXPECT_FALSE(tracker.breached(now));
+
+  // Keep failing: once enough failures accumulate, the slow window burns
+  // too and the breach fires.
+  for (int i = 0; i < 24; ++i) {
+    tracker.record(false, now + std::chrono::milliseconds(i));
+  }
+  EXPECT_TRUE(tracker.breached(now + 100ms));
+}
+
+TEST(SloTracker, EventsOutsideTheSlowWindowArePruned) {
+  SloTracker tracker{test_config()};
+  for (int i = 0; i < 20; ++i) {
+    tracker.record(false, t0() + std::chrono::milliseconds(i));
+  }
+  // 11 seconds later every one of those failures is stale; the window
+  // only holds the single fresh good event.
+  const TimePoint later = t0() + 11000ms;
+  tracker.record(true, later);
+  EXPECT_EQ(tracker.burn_rate(10000ms, later), 0.0);
+  EXPECT_FALSE(tracker.breached(later));
+  // total_events counts lifetime, not the retained window.
+  EXPECT_EQ(tracker.total_events(), 21u);
+}
+
+TEST(SloTracker, ResetClearsTheWindow) {
+  SloTracker tracker{test_config()};
+  for (int i = 0; i < 16; ++i) {
+    tracker.record(false, t0() + std::chrono::milliseconds(i));
+  }
+  ASSERT_TRUE(tracker.breached(t0() + 20ms));
+  tracker.reset();
+  EXPECT_FALSE(tracker.breached(t0() + 20ms));
+  EXPECT_EQ(tracker.total_events(), 0u);
+}
+
+TEST(SloTracker, JsonReportsBothBurnsAndTheVerdict) {
+  SloTracker tracker{test_config()};
+  for (int i = 0; i < 16; ++i) {
+    tracker.record(false, t0() + std::chrono::milliseconds(i));
+  }
+  const util::Json j = tracker.to_json(t0() + 20ms);
+  ASSERT_TRUE(j.is_object());
+  const auto& fields = j.as_object();
+  EXPECT_DOUBLE_EQ(fields.at("fast_burn").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(fields.at("slow_burn").as_number(), 10.0);
+  EXPECT_TRUE(fields.at("breached").as_bool());
+  EXPECT_EQ(fields.at("events").as_number(), 16.0);
+}
+
+}  // namespace
+}  // namespace vpr::obs

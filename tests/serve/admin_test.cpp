@@ -1,0 +1,219 @@
+// serve::AdminServer — the out-of-band HTTP scrape plane. Against canned
+// handlers: each endpoint returns its body with the right content type,
+// /healthz flips to 503 the moment draining() says so, unknown paths and
+// unset handlers 404, and the listener survives garbage requests. Against
+// a real Server with --admin-port: /healthz and /statusz reflect live
+// state (drain flips healthz during stop) and /metrics speaks Prometheus
+// text exposition.
+
+#include "serve/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/recipe_model.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace vpr::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+AdminHandlers canned_handlers(std::atomic<bool>* draining = nullptr) {
+  AdminHandlers handlers;
+  handlers.metrics_text = [] {
+    return "# TYPE up gauge\nup 1\n";
+  };
+  handlers.healthz_json = [] { return R"({"status":"ok"})"; };
+  handlers.statusz_json = [] { return R"({"replicas":2})"; };
+  if (draining != nullptr) {
+    handlers.draining = [draining] { return draining->load(); };
+  }
+  return handlers;
+}
+
+TEST(AdminServer, ServesAllThreeEndpointsWithContentTypes) {
+  AdminServer admin{"127.0.0.1", 0, canned_handlers()};
+  ASSERT_GT(admin.port(), 0);
+
+  const auto metrics = http_get("127.0.0.1", admin.port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_EQ(metrics->content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(metrics->body, "# TYPE up gauge\nup 1\n");
+
+  const auto healthz = http_get("127.0.0.1", admin.port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 200);
+  EXPECT_EQ(healthz->content_type, "application/json");
+  EXPECT_EQ(healthz->body, R"({"status":"ok"})");
+
+  const auto statusz = http_get("127.0.0.1", admin.port(), "/statusz");
+  ASSERT_TRUE(statusz.has_value());
+  EXPECT_EQ(statusz->status, 200);
+  EXPECT_EQ(statusz->body, R"({"replicas":2})");
+
+  const auto missing = http_get("127.0.0.1", admin.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+  admin.stop();
+}
+
+TEST(AdminServer, HealthzAnswers503WhileDraining) {
+  std::atomic<bool> draining{false};
+  AdminServer admin{"127.0.0.1", 0, canned_handlers(&draining)};
+
+  auto healthz = http_get("127.0.0.1", admin.port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 200);
+
+  draining.store(true);
+  healthz = http_get("127.0.0.1", admin.port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 503);
+  // The body is still the handler's document — a load balancer can log
+  // why the instance left rotation.
+  EXPECT_EQ(healthz->body, R"({"status":"ok"})");
+  admin.stop();
+}
+
+TEST(AdminServer, UnsetHandlers404AndStopIsIdempotent) {
+  AdminServer admin{"127.0.0.1", 0, AdminHandlers{}};
+  const auto metrics = http_get("127.0.0.1", admin.port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 404);
+  admin.stop();
+  admin.stop();  // second stop must be a no-op, not a crash
+  // The listener is gone: a fresh GET fails outright.
+  EXPECT_FALSE(http_get("127.0.0.1", admin.port(), "/metrics").has_value());
+}
+
+TEST(AdminServer, SurvivesGarbageRequests) {
+  AdminServer admin{"127.0.0.1", 0, canned_handlers()};
+  // A non-GET and a pathless request line are each delivered raw; the
+  // accept loop must answer (or drop) them without dying.
+  for (const char* junk : {"POST /metrics HTTP/1.0\r\n\r\n", "\r\n\r\n"}) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(admin.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_EQ(::send(fd, junk, std::strlen(junk), MSG_NOSIGNAL),
+              static_cast<ssize_t>(std::strlen(junk)));
+    char buf[256];
+    (void)::recv(fd, buf, sizeof(buf), 0);  // whatever it answers is fine
+    ::close(fd);
+  }
+  // The listener is still alive after both broken exchanges.
+  const auto after = http_get("127.0.0.1", admin.port(), "/metrics");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, 200);
+  admin.stop();
+}
+
+align::RecipeModel admin_test_model() {
+  util::Rng rng{7};
+  return align::RecipeModel{align::ModelConfig{}, rng};
+}
+
+TEST(AdminServer, LiveServerExposesHealthStatusAndMetrics) {
+  const auto model = admin_test_model();
+  ServerConfig config;
+  config.router.replicas = 2;
+  config.admin_port = 0;  // ephemeral
+  Server server{model, config};
+  ASSERT_GT(server.admin_port(), 0);
+  ASSERT_NE(server.admin_port(), server.port());
+
+  const auto healthz =
+      http_get("127.0.0.1", server.admin_port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_EQ(healthz->status, 200);
+  const auto health_doc = util::Json::parse(healthz->body);
+  ASSERT_TRUE(health_doc.has_value()) << healthz->body;
+  EXPECT_EQ(health_doc->as_object().at("status").as_string(), "ok");
+  EXPECT_FALSE(health_doc->as_object().at("draining").as_bool());
+  EXPECT_EQ(health_doc->as_object().at("replicas").as_number(), 2.0);
+
+  const auto statusz =
+      http_get("127.0.0.1", server.admin_port(), "/statusz");
+  ASSERT_TRUE(statusz.has_value());
+  EXPECT_EQ(statusz->status, 200);
+  const auto status_doc = util::Json::parse(statusz->body);
+  ASSERT_TRUE(status_doc.has_value()) << statusz->body;
+  EXPECT_EQ(status_doc->as_object().count("server"), 1U);
+  EXPECT_EQ(status_doc->as_object().count("router"), 1U);
+  EXPECT_EQ(status_doc->as_object().count("utilization"), 1U);
+
+  // /metrics serves the process-wide registry. It may legitimately be
+  // empty before any traffic, so drive one request through first.
+  {
+    wire::RequestFrame request;
+    request.beam_width = 2;
+    request.client_tag = 1;
+    request.insight.assign(
+        static_cast<std::size_t>(model.config().insight_dim), 0.1);
+    request.insight.back() = 1.0;
+    std::vector<std::uint8_t> encoded;
+    wire::encode(request, encoded);
+    // Loopback via the wire helpers used across the serve tests.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(wire::write_frame(fd, encoded));
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(wire::read_frame(fd, payload));
+    ::close(fd);
+  }
+
+  const auto metrics =
+      http_get("127.0.0.1", server.admin_port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_EQ(metrics->content_type,
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics->body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics->body.find("# HELP"), std::string::npos);
+  EXPECT_NE(metrics->body.find("serve_net_requests"), std::string::npos);
+
+  const int admin_port = server.admin_port();
+  server.stop();
+  // stop() shuts the admin plane down last; afterwards it is gone.
+  EXPECT_FALSE(http_get("127.0.0.1", admin_port, "/healthz").has_value());
+}
+
+TEST(AdminServer, DisabledByDefault) {
+  const auto model = admin_test_model();
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  EXPECT_EQ(server.admin_port(), -1);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace vpr::serve

@@ -2,9 +2,13 @@
 // with an ephemeral port. Responses must stay bitwise identical to
 // beam_search after a round trip through the wire, pipelined requests
 // must all come back (matched by client_tag), malformed-but-well-framed
-// requests must answer kBadRequest without dropping the connection,
-// corrupt framing must drop it, and stop() must drain every response
-// already admitted — the SIGTERM guarantee the CI smoke relies on.
+// requests and unknown frame types must answer kBadRequest without
+// dropping the connection, corrupt framing must drop it, admin probes
+// (version/stats) interleaved mid-stream must preserve pipeline order,
+// client-originated trace ids must survive into the server's exported
+// trace (the cross-process merge acceptance), and stop() must drain
+// every response already admitted — the SIGTERM guarantee the CI smoke
+// relies on.
 
 #include <gtest/gtest.h>
 
@@ -13,15 +17,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "align/beam.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "serve/server.h"
 #include "serve/wire.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace vpr::serve {
@@ -62,14 +73,32 @@ int connect_loopback(int port) {
 
 bool send_request(int fd, const std::vector<double>& insight, int width,
                   std::uint64_t tag,
-                  Priority priority = Priority::kInteractive) {
+                  Priority priority = Priority::kInteractive,
+                  std::uint64_t trace_id = 0) {
   wire::RequestFrame request;
   request.priority = priority;
   request.beam_width = width;
   request.client_tag = tag;
+  request.trace_id = trace_id;
   request.insight = insight;
   std::vector<std::uint8_t> encoded;
   wire::encode(request, encoded);
+  return wire::write_frame(fd, encoded);
+}
+
+bool send_version_query(int fd, std::uint64_t tag) {
+  wire::VersionQueryFrame query;
+  query.client_tag = tag;
+  std::vector<std::uint8_t> encoded;
+  wire::encode(query, encoded);
+  return wire::write_frame(fd, encoded);
+}
+
+bool send_stats_query(int fd, std::uint64_t tag) {
+  wire::StatsQueryFrame query;
+  query.client_tag = tag;
+  std::vector<std::uint8_t> encoded;
+  wire::encode(query, encoded);
   return wire::write_frame(fd, encoded);
 }
 
@@ -174,10 +203,13 @@ TEST(Server, CorruptFramingDropsTheConnection) {
   EXPECT_FALSE(recv_response(fd).has_value());
   ::close(fd);
 
-  // A well-framed payload that fails to decode (bad type byte) is counted
-  // as a protocol error and also drops the connection.
+  // A *known* type byte with a malformed body is corruption too: a
+  // version query is exactly 9 payload bytes, so 5 means the stream is
+  // not what it claims to be. Counted as a protocol error, connection
+  // dropped.
   const int fd2 = connect_loopback(server.port());
-  const std::uint8_t bogus[5] = {1, 0, 0, 0, 0xEE};
+  const std::uint8_t bogus[9] = {5, 0, 0, 0, wire::kVersionQueryFrame,
+                                 1,  2, 3, 4};
   ASSERT_TRUE(wire::write_all(fd2, bogus, sizeof(bogus)));
   EXPECT_FALSE(recv_response(fd2).has_value());
   ::close(fd2);
@@ -227,6 +259,221 @@ TEST(Server, StopDrainsEveryAdmittedResponse) {
   auto late = server.router().submit(insights[0], 2, Router::kNoDeadline,
                                      Priority::kInteractive);
   EXPECT_EQ(late.get().status, Status::kShutdown);
+}
+
+TEST(Server, UnknownFrameTypeAnswersBadRequestAndKeepsConnection) {
+  // A well-framed frame with a type byte this server has never heard of
+  // is a peer speaking a newer protocol, not stream corruption: the
+  // answer is an in-band kBadRequest (tag echoed best-effort from the
+  // u64 after the type byte) and the connection keeps serving.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  const std::uint64_t tag = 0x1122334455667788ULL;
+  std::vector<std::uint8_t> frame = {9, 0, 0, 0, 0xEE};
+  frame.resize(4 + 9);
+  std::memcpy(frame.data() + 5, &tag, sizeof(tag));
+  ASSERT_TRUE(wire::write_all(fd, frame.data(), frame.size()));
+
+  const auto rejected = recv_response(fd);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, Status::kBadRequest);
+  EXPECT_EQ(rejected->client_tag, tag);
+
+  // An unknown frame too short to carry a tag still gets a response
+  // (tag 0), so a pipelining client can keep counting.
+  const std::uint8_t tiny[5] = {1, 0, 0, 0, 0x7F};
+  ASSERT_TRUE(wire::write_all(fd, tiny, sizeof(tiny)));
+  const auto anonymous = recv_response(fd);
+  ASSERT_TRUE(anonymous.has_value());
+  EXPECT_EQ(anonymous->status, Status::kBadRequest);
+  EXPECT_EQ(anonymous->client_tag, 0U);
+
+  // The stream is intact: real work still round-trips afterwards.
+  ASSERT_TRUE(send_request(fd, insights[0], 2, 99));
+  const auto ok = recv_response(fd);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, Status::kOk);
+  EXPECT_EQ(ok->client_tag, 99U);
+
+  EXPECT_EQ(server.stats().bad_requests, 2U);
+  EXPECT_EQ(server.stats().protocol_errors, 0U);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Server, InterleavedAdminProbesKeepPipelineOrder) {
+  // Version and stats probes pipelined between requests, nothing read
+  // until everything is sent: responses must come back in submission
+  // order with the right frame types — probes are answered off the
+  // decode queue but must never jump the per-connection pipeline.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  ServerConfig config;
+  config.router.replicas = 2;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  ASSERT_TRUE(send_request(fd, insights[0], 3, 1));
+  ASSERT_TRUE(send_version_query(fd, 2));
+  ASSERT_TRUE(send_stats_query(fd, 3));
+  ASSERT_TRUE(send_request(fd, insights[1], 3, 4));
+  ASSERT_TRUE(send_stats_query(fd, 5));
+  ASSERT_TRUE(send_request(fd, insights[2], 3, 6));
+
+  const std::vector<std::uint8_t> expected_types = {
+      wire::kResponseFrame, wire::kVersionInfoFrame, wire::kStatsFrame,
+      wire::kResponseFrame, wire::kStatsFrame,       wire::kResponseFrame};
+  for (std::size_t i = 0; i < expected_types.size(); ++i) {
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(wire::read_frame(fd, payload)) << "frame " << i;
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload.front(), expected_types[i]) << "frame " << i;
+    if (payload.front() == wire::kStatsFrame) {
+      const auto stats = wire::decode_stats(payload);
+      ASSERT_TRUE(stats.has_value());
+      EXPECT_EQ(stats->client_tag, i == 2 ? 3U : 5U);
+      // The payload is the live /statusz document: valid JSON with the
+      // server and router sections.
+      const auto doc = util::Json::parse(stats->json);
+      ASSERT_TRUE(doc.has_value()) << stats->json;
+      ASSERT_TRUE(doc->is_object());
+      EXPECT_EQ(doc->as_object().count("server"), 1U);
+      EXPECT_EQ(doc->as_object().count("router"), 1U);
+    } else if (payload.front() == wire::kVersionInfoFrame) {
+      const auto info = wire::decode_version_info(payload);
+      ASSERT_TRUE(info.has_value());
+      EXPECT_EQ(info->client_tag, 2U);
+    } else {
+      const auto response = wire::decode_response(payload);
+      ASSERT_TRUE(response.has_value());
+      EXPECT_EQ(response->status, Status::kOk);
+    }
+  }
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Server, DribbledBytesReassembleAcrossPartialReads) {
+  // One request plus one stats probe, delivered in tiny bursts with
+  // pauses between them: the server's blocking frame reader must
+  // reassemble both and answer in order.
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  std::vector<std::uint8_t> stream;
+  wire::RequestFrame request;
+  request.beam_width = 3;
+  request.client_tag = 21;
+  request.insight = insights[0];
+  wire::encode(request, stream);
+  wire::StatsQueryFrame probe;
+  probe.client_tag = 22;
+  wire::encode(probe, stream);
+
+  for (std::size_t offset = 0; offset < stream.size(); offset += 7) {
+    const std::size_t n = std::min<std::size_t>(7, stream.size() - offset);
+    ASSERT_TRUE(wire::write_all(fd, stream.data() + offset, n));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  const auto response = recv_response(fd);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+  EXPECT_EQ(response->client_tag, 21U);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(wire::read_frame(fd, payload));
+  const auto stats = wire::decode_stats(payload);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->client_tag, 22U);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Server, ClientTraceIdSpansProcessesAfterMerge) {
+  // The tentpole acceptance: a client-minted trace id rides the request
+  // frame, the server continues it through admit/batch/finish, and
+  // trace_merge fuses the two processes' exports into one causally
+  // linked async track. The "client process" here is a fixture document
+  // carrying the same id with its own wall-clock anchor — exactly what
+  // serve-bench --trace-out writes from a real remote client.
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.set_enabled(false);
+  recorder.clear();
+
+  const auto model = test_model();
+  const auto insights = suite_insights(model.config().insight_dim);
+  ServerConfig config;
+  config.router.replicas = 1;
+  Server server{model, config};
+  const int fd = connect_loopback(server.port());
+
+  recorder.set_enabled(true);
+  const std::uint64_t trace_id = obs::TraceRecorder::next_id();
+  ASSERT_NE(trace_id, 0U);
+  ASSERT_TRUE(send_request(fd, insights[0], 3, 77, Priority::kInteractive,
+                           trace_id));
+  const auto response = recv_response(fd);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, Status::kOk);
+  // The server echoes the id it actually traced under.
+  EXPECT_EQ(response->trace_id, trace_id);
+  ::close(fd);
+  server.stop();  // joins every recording thread: export is quiescent
+  recorder.set_enabled(false);
+
+  std::ostringstream server_trace;
+  recorder.write_json(server_trace);
+  recorder.clear();
+
+  char id_hex[2 + 16 + 1];
+  std::snprintf(id_hex, sizeof id_hex, "0x%llx",
+                static_cast<unsigned long long>(trace_id));
+
+  // The server-side export already carries the client's id.
+  ASSERT_NE(server_trace.str().find(id_hex), std::string::npos);
+
+  const std::string client_trace =
+      std::string(R"({"traceEvents":[)") +
+      R"({"name":"client.request","cat":"serve","ph":"b","pid":1,"tid":1,)" +
+      R"("ts":100,"id":")" + id_hex + R"("},)" +
+      R"({"name":"client.request","cat":"serve","ph":"e","pid":1,"tid":1,)" +
+      R"("ts":90000000,"id":")" + id_hex + R"("}],)" +
+      R"("otherData":{"epoch_unix_us":1,"process_name":"client"}})";
+
+  std::string error;
+  const auto merged = obs::trace_merge({client_trace, server_trace.str()},
+                                       &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+
+  // The shared id appears under both pids — one request, one track,
+  // two processes.
+  std::set<double> pids_with_id;
+  std::size_t server_events = 0;
+  for (const util::Json& e :
+       merged->as_object().at("traceEvents").as_array()) {
+    const auto& fields = e.as_object();
+    const auto it = fields.find("id");
+    if (it == fields.end() || !it->second.is_string() ||
+        it->second.as_string() != id_hex) {
+      continue;
+    }
+    const double pid = fields.at("pid").as_number();
+    pids_with_id.insert(pid);
+    if (pid == 2.0) ++server_events;
+  }
+  EXPECT_EQ(pids_with_id, (std::set<double>{1.0, 2.0}));
+  // admit/batch/finish at minimum: the server really continued the span
+  // rather than just echoing the id.
+  EXPECT_GE(server_events, 3U);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <vector>
@@ -246,6 +247,142 @@ TEST(Wire, FrameReaderFlagsOversizedPrefixAsCorrupt) {
   reader.feed(valid);
   EXPECT_FALSE(reader.next(payload));
   EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(Wire, StatsQueryAndStatsRoundtrip) {
+  StatsQueryFrame query;
+  query.client_tag = 0x0123456789ABCDEFULL;
+  std::vector<std::uint8_t> encoded;
+  encode(query, encoded);
+  const auto decoded_query = decode_stats_query(payload_of(encoded));
+  ASSERT_TRUE(decoded_query.has_value());
+  EXPECT_EQ(decoded_query->client_tag, query.client_tag);
+
+  StatsFrame stats;
+  stats.client_tag = 42;
+  // Arbitrary UTF-8 passes through byte-exact (the payload is opaque
+  // bytes on the wire; only the HTTP layer cares that it is JSON).
+  stats.json = R"({"server":{"requests":7},"note":"p99 ≤ 5ms — ok"})";
+  encoded.clear();
+  encode(stats, encoded);
+  const auto decoded_stats = decode_stats(payload_of(encoded));
+  ASSERT_TRUE(decoded_stats.has_value());
+  EXPECT_EQ(decoded_stats->client_tag, 42U);
+  EXPECT_EQ(decoded_stats->json, stats.json);
+
+  // An empty document is legal (a server with nothing to report).
+  StatsFrame empty;
+  encoded.clear();
+  encode(empty, encoded);
+  const auto decoded_empty = decode_stats(payload_of(encoded));
+  ASSERT_TRUE(decoded_empty.has_value());
+  EXPECT_TRUE(decoded_empty->json.empty());
+}
+
+TEST(Wire, StatsDecodeRejectsLengthLies) {
+  StatsFrame stats;
+  stats.client_tag = 9;
+  stats.json = "{\"ok\":true}";
+  std::vector<std::uint8_t> encoded;
+  encode(stats, encoded);
+  std::vector<std::uint8_t> payload(payload_of(encoded).begin(),
+                                    payload_of(encoded).end());
+
+  // Declared JSON length larger than the remaining bytes.
+  std::vector<std::uint8_t> overlong = payload;
+  overlong[9] = static_cast<std::uint8_t>(stats.json.size() + 1);
+  EXPECT_FALSE(decode_stats(overlong).has_value());
+
+  // Declared length smaller: trailing garbage, equally malformed.
+  std::vector<std::uint8_t> underlong = payload;
+  underlong[9] = static_cast<std::uint8_t>(stats.json.size() - 1);
+  EXPECT_FALSE(decode_stats(underlong).has_value());
+
+  // Truncated before the length field.
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.begin() + 6);
+  EXPECT_FALSE(decode_stats(truncated).has_value());
+
+  // Wrong type byte.
+  std::vector<std::uint8_t> wrong_type = payload;
+  wrong_type[0] = kVersionInfoFrame;
+  EXPECT_FALSE(decode_stats(wrong_type).has_value());
+}
+
+TEST(Wire, StatsFrameExactlyAtTheFrameBoundIsAccepted) {
+  // The largest legal stats document: payload (type + tag + length +
+  // json) exactly kMaxFrameBytes. One byte more must flag corruption —
+  // the boundary itself must not.
+  constexpr std::size_t kHeader = 1 + 8 + 4;
+  StatsFrame stats;
+  stats.client_tag = 7;
+  stats.json.assign(kMaxFrameBytes - kHeader, 'x');
+  stats.json.front() = '{';
+  stats.json.back() = '}';
+  std::vector<std::uint8_t> encoded;
+  encode(stats, encoded);
+  ASSERT_EQ(encoded.size(), 4 + kMaxFrameBytes);
+
+  // Reassemble from irregular chunks (a stats scrape straddles many TCP
+  // segments in practice).
+  FrameReader reader;
+  std::size_t offset = 0;
+  std::size_t chunk = 1;
+  std::vector<std::uint8_t> payload;
+  while (offset < encoded.size()) {
+    const std::size_t n = std::min(chunk, encoded.size() - offset);
+    reader.feed(std::span<const std::uint8_t>(encoded.data() + offset, n));
+    offset += n;
+    chunk = chunk * 3 + 1;  // 1, 4, 13, 40, ... irregular on purpose
+  }
+  ASSERT_TRUE(reader.next(payload));
+  EXPECT_FALSE(reader.corrupt());
+  const auto decoded = decode_stats(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->json.size(), stats.json.size());
+  EXPECT_EQ(decoded->json, stats.json);
+
+  // One byte past the bound: corrupt stream, no payload.
+  StatsFrame oversized;
+  oversized.json.assign(kMaxFrameBytes - kHeader + 1, 'y');
+  encoded.clear();
+  encode(oversized, encoded);
+  FrameReader strict;
+  strict.feed(encoded);
+  EXPECT_FALSE(strict.next(payload));
+  EXPECT_TRUE(strict.corrupt());
+}
+
+TEST(Wire, FrameReaderInterleavesProbesWithLargeStatsFrames) {
+  // A version query, a near-max stats frame, and another query on one
+  // stream, fed in fixed 4093-byte chunks: the reader must yield all
+  // three payloads in order with types intact.
+  std::vector<std::uint8_t> stream;
+  VersionQueryFrame before;
+  before.client_tag = 1;
+  encode(before, stream);
+  StatsFrame stats;
+  stats.client_tag = 2;
+  stats.json.assign((1 << 19) + 37, 's');
+  encode(stats, stream);
+  VersionQueryFrame after;
+  after.client_tag = 3;
+  encode(after, stream);
+
+  FrameReader reader;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t offset = 0; offset < stream.size(); offset += 4093) {
+    const std::size_t n = std::min<std::size_t>(4093, stream.size() - offset);
+    reader.feed(std::span<const std::uint8_t>(stream.data() + offset, n));
+    while (reader.next(payload)) payloads.push_back(payload);
+  }
+  ASSERT_EQ(payloads.size(), 3U);
+  EXPECT_EQ(payloads[0].front(), kVersionQueryFrame);
+  EXPECT_EQ(payloads[1].front(), kStatsFrame);
+  EXPECT_EQ(payloads[2].front(), kVersionQueryFrame);
+  EXPECT_EQ(decode_version_query(payloads[0])->client_tag, 1U);
+  EXPECT_EQ(decode_stats(payloads[1])->json.size(), stats.json.size());
+  EXPECT_EQ(decode_version_query(payloads[2])->client_tag, 3U);
 }
 
 }  // namespace
